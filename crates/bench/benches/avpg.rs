@@ -1,0 +1,36 @@
+//! Ablation A1 bench: backend planning with and without the AVPG
+//! elimination, plus the resulting simulated communication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster_sim::ClusterConfig;
+use lmad::Granularity;
+use polaris_be::BackendOptions;
+use spmd_rt::ExecMode;
+
+fn bench_avpg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("avpg");
+    g.sample_size(10);
+    let cluster = ClusterConfig::paper_4node();
+    for avpg in [true, false] {
+        g.bench_with_input(
+            BenchmarkId::new("swim128_end_to_end", avpg),
+            &avpg,
+            |b, &avpg| {
+                b.iter(|| {
+                    let opts = BackendOptions::new(4)
+                        .granularity(Granularity::Coarse)
+                        .avpg(avpg);
+                    let compiled =
+                        vpce::compile(vpce_workloads::swim::SOURCE, &[("N", 128)], &opts)
+                            .unwrap();
+                    let rep = spmd_rt::execute(&compiled.program, &cluster, ExecMode::Analytic);
+                    std::hint::black_box(rep.comm_time)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_avpg);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Claim C3 bench: hardware virtual-bus broadcast against the
+//! software binomial tree, across node counts and payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbus_sim::sweep::{broadcast_sweep, tree_broadcast_time};
+use vbus_sim::{NetConfig, NetSim};
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast");
+    g.sample_size(20);
+    for &nodes in &[4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("vbus", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                let mut sim = NetSim::new(NetConfig::vbus_skwp(nodes));
+                std::hint::black_box(sim.vbus_broadcast(0, 1 << 16, 0.0))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tree", nodes), &nodes, |b, &nodes| {
+            let cfg = NetConfig::vbus_skwp(nodes);
+            b.iter(|| std::hint::black_box(tree_broadcast_time(&cfg, 1 << 16)))
+        });
+        g.bench_with_input(BenchmarkId::new("sweep", nodes), &nodes, |b, &nodes| {
+            let cfg = NetConfig::vbus_skwp(nodes);
+            b.iter(|| {
+                std::hint::black_box(broadcast_sweep(&cfg, &[1 << 10, 1 << 16, 1 << 20]))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Compiler throughput: front-end analysis and the MPI-2 postpass on
+//! the paper workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmad::Granularity;
+use polaris_be::BackendOptions;
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compiler");
+    g.sample_size(20);
+    let cases = [
+        ("mm", vpce_workloads::mm::SOURCE, ("N", 256i64)),
+        ("swim", vpce_workloads::swim::SOURCE, ("N", 128)),
+        ("cfft", vpce_workloads::cfft::SOURCE, ("M", 11)),
+    ];
+    for (name, src, params) in cases {
+        g.bench_function(BenchmarkId::new("frontend", name), |b| {
+            b.iter(|| std::hint::black_box(polaris_fe::compile(src, &[params]).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("backend", name), |b| {
+            let analyzed = polaris_fe::compile(src, &[params]).unwrap();
+            let opts = BackendOptions::new(4).granularity(Granularity::Fine);
+            b.iter(|| std::hint::black_box(polaris_be::compile_backend(&analyzed, &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compiler);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Interpreter throughput: full numeric execution of the MM kernel on
+//! the simulated cluster (the Full/Analytic split exists because of
+//! this cost — measure it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster_sim::ClusterConfig;
+use lmad::Granularity;
+use polaris_be::BackendOptions;
+use spmd_rt::ExecMode;
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    g.sample_size(10);
+    let cluster = ClusterConfig::paper_4node();
+    let opts = BackendOptions::new(4).granularity(Granularity::Coarse);
+    let compiled = vpce::compile(vpce_workloads::mm::SOURCE, &[("N", 64)], &opts).unwrap();
+    for mode in [ExecMode::Full, ExecMode::Analytic] {
+        g.bench_with_input(
+            BenchmarkId::new("mm64", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        spmd_rt::execute(&compiled.program, &cluster, mode).elapsed,
+                    )
+                })
+            },
+        );
+    }
+    g.bench_function("mm64/sequential_full", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                spmd_rt::execute_sequential(&compiled.program, &cluster.node.cpu, ExecMode::Full)
+                    .elapsed,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Claim C1 bench: the signal-level link model and the wormhole
+//! message scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbus_sim::{LinkPhy, NetConfig, NetSim, SignallingMode};
+
+fn bench_phy(c: &mut Criterion) {
+    let phy = LinkPhy::paper_card();
+    c.bench_function("link_phy/skwp_gain", |b| {
+        b.iter(|| std::hint::black_box(phy.skwp_gain()))
+    });
+    for mode in [
+        SignallingMode::Conventional,
+        SignallingMode::WavePipelined,
+        SignallingMode::Skwp,
+    ] {
+        c.bench_with_input(
+            BenchmarkId::new("link_phy/bandwidth", mode.name()),
+            &mode,
+            |b, &mode| b.iter(|| std::hint::black_box(phy.bandwidth_bps(mode))),
+        );
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wormhole_scheduler");
+    for &nodes in &[4usize, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("p2p_1k_msgs", nodes),
+            &nodes,
+            |b, &nodes| {
+                b.iter(|| {
+                    let mut sim = NetSim::new(NetConfig::vbus_skwp(nodes));
+                    let mut t = 0.0;
+                    for i in 0..1000 {
+                        let src = i % nodes;
+                        let dst = (i * 7 + 3) % nodes;
+                        t = sim.p2p(src, dst, 1024 + i, i as f64 * 1e-6).end;
+                    }
+                    std::hint::black_box(t)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_phy, bench_scheduler);
+criterion_main!(benches);

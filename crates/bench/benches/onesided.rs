@@ -1,0 +1,53 @@
+//! Claim C4 bench: one-sided PUT/GET through the MPI-2 layer —
+//! contiguous (DMA) versus strided (PIO) paths, including the fence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster_sim::ClusterConfig;
+use mpi2::Universe;
+
+fn bench_onesided(c: &mut Criterion) {
+    let mut g = c.benchmark_group("onesided");
+    g.sample_size(10);
+    for &elems in &[1024usize, 16384] {
+        g.bench_with_input(
+            BenchmarkId::new("put_contiguous", elems),
+            &elems,
+            |b, &elems| {
+                b.iter(|| {
+                    let uni = Universe::new(ClusterConfig::paper_n(2));
+                    let out = uni.run(|mpi| {
+                        let w = mpi.win_create(2 * elems);
+                        if mpi.rank() == 0 {
+                            mpi.put_region(&w, 1, 0, elems);
+                        }
+                        mpi.fence_all();
+                        mpi.now()
+                    });
+                    std::hint::black_box(out.elapsed())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("put_strided", elems),
+            &elems,
+            |b, &elems| {
+                b.iter(|| {
+                    let uni = Universe::new(ClusterConfig::paper_n(2));
+                    let out = uni.run(|mpi| {
+                        let w = mpi.win_create(2 * elems);
+                        if mpi.rank() == 0 {
+                            mpi.put_region_strided(&w, 1, 0, 2, elems / 2);
+                        }
+                        mpi.fence_all();
+                        mpi.now()
+                    });
+                    std::hint::black_box(out.elapsed())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_onesided);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench behind Table 1: the full compile-and-simulate
+//! pipeline for MM across node counts (analytic mode — virtual times
+//! are identical to full execution; wall time here measures the
+//! reproduction system itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmad::Granularity;
+use polaris_be::BackendOptions;
+use spmd_rt::ExecMode;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_mm");
+    g.sample_size(10);
+    for &nodes in &[1usize, 2, 4] {
+        for &n in &[256i64, 1024] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{nodes}nodes"), n),
+                &(nodes, n),
+                |b, &(nodes, n)| {
+                    let cluster = cluster_sim::ClusterConfig::paper_n(nodes);
+                    let opts = BackendOptions::new(nodes).granularity(Granularity::Coarse);
+                    let compiled =
+                        vpce::compile(vpce_workloads::mm::SOURCE, &[("N", n)], &opts).unwrap();
+                    b.iter(|| {
+                        let rep =
+                            spmd_rt::execute(&compiled.program, &cluster, ExecMode::Analytic);
+                        std::hint::black_box(rep.elapsed)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

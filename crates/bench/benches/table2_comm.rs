@@ -1,0 +1,49 @@
+//! Criterion bench behind Table 2: plan + simulate each workload at
+//! each granularity (moderate sizes keep the sweep quick; the printed
+//! table uses the paper's full sizes via `cargo run --bin table2`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cluster_sim::ClusterConfig;
+use lmad::Granularity;
+use vpce_bench::table2::{measure, Bench};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_comm");
+    g.sample_size(10);
+    let cluster = ClusterConfig::paper_4node();
+    let benches = [
+        Bench {
+            name: "mm256",
+            source: vpce_workloads::mm::SOURCE,
+            params: ("N", 256),
+            schedule: None,
+        },
+        Bench {
+            name: "swim128",
+            source: vpce_workloads::swim::SOURCE,
+            params: ("N", 128),
+            schedule: None,
+        },
+        Bench {
+            name: "cfft11",
+            source: vpce_workloads::cfft::SOURCE,
+            params: ("M", 11),
+            schedule: None,
+        },
+    ];
+    for b in &benches {
+        for grain in Granularity::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(b.name, grain.name()),
+                &grain,
+                |bench, &grain| {
+                    bench.iter(|| std::hint::black_box(measure(b, grain, &cluster).comm_time));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

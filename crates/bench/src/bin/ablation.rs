@@ -1,0 +1,63 @@
+//! Regenerate the ablations A1-A4 (DESIGN.md section 4).
+
+use cluster_sim::ClusterConfig;
+use vpce_bench::{ablation, fmt_secs};
+
+fn main() {
+    let cluster = ClusterConfig::paper_4node();
+
+    println!("== A1: AVPG redundant-communication elimination (SWIM 256) ==");
+    let a1 = ablation::a1_avpg(256, &cluster);
+    println!(
+        "  with AVPG:    comm {} / {} msgs / {} B",
+        fmt_secs(a1.with_avpg_comm),
+        a1.with_msgs,
+        a1.with_bytes
+    );
+    println!(
+        "  without AVPG: comm {} / {} msgs / {} B",
+        fmt_secs(a1.without_avpg_comm),
+        a1.without_msgs,
+        a1.without_bytes
+    );
+    println!(
+        "  elided: {} scatters, {} collects ({:.1}% comm-time saved)",
+        a1.scatters_elided,
+        a1.collects_elided,
+        100.0 * (1.0 - a1.with_avpg_comm / a1.without_avpg_comm)
+    );
+
+    println!("\n== A2: shared driver/daemon queue vs kernel stack (MM 256, fine) ==");
+    let a2 = ablation::a2_stack(256);
+    println!(
+        "  user-level {} vs kernel-level {} ({:.2}x)",
+        fmt_secs(a2.user_level_comm),
+        fmt_secs(a2.kernel_level_comm),
+        a2.kernel_level_comm / a2.user_level_comm
+    );
+
+    println!("\n== A3: block vs cyclic partitioning (triangular matmul 256) ==");
+    let a3 = ablation::a3_partitioning(256, &cluster);
+    println!(
+        "  block {} vs cyclic {} ({:.2}x); heuristic picked cyclic: {}",
+        fmt_secs(a3.block_elapsed),
+        fmt_secs(a3.cyclic_elapsed),
+        a3.block_elapsed / a3.cyclic_elapsed,
+        a3.heuristic_is_cyclic
+    );
+
+    println!("\n== A5: push (master PUT) vs pull (slave GET) scattering (SWIM 256, fine) ==");
+    let a5 = ablation::a5_push_vs_pull(256, &cluster);
+    println!(
+        "  push comm {} (master host {}) vs pull comm {} (master host {})",
+        fmt_secs(a5.push_comm),
+        fmt_secs(a5.push_master_host),
+        fmt_secs(a5.pull_comm),
+        fmt_secs(a5.pull_master_host)
+    );
+
+    println!("\n== A4: section 5.6 overlap safety check (coarse collection) ==");
+    let (mm_fb, swim_fb) = ablation::a4_overlap_check(256);
+    println!("  MM (interleaved row bands): {mm_fb} arrays forced to fine collection");
+    println!("  SWIM (disjoint column bands): {swim_fb} arrays forced to fine collection");
+}

@@ -1,0 +1,61 @@
+//! Scaling beyond the paper: the paper stops at 4 nodes ("we plan to
+//! extend our experiment", §7); the simulated machine scales the mesh
+//! to any size. Sweep MM and SWIM over 1..16 nodes on the nominal and
+//! prototype cards.
+
+use cluster_sim::ClusterConfig;
+use lmad::Granularity;
+use polaris_be::BackendOptions;
+use spmd_rt::ExecMode;
+use vpce_bench::fmt_secs;
+
+fn sweep(name: &str, source: &str, params: (&str, i64), cluster_of: fn(usize) -> ClusterConfig) {
+    println!("\n== {name} ==");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9} {:>12} {:>10}",
+        "nodes", "T_seq", "T_par", "speedup", "comm", "eff"
+    );
+    let seq = {
+        let opts = BackendOptions::new(1).granularity(Granularity::Coarse);
+        let compiled = vpce::compile(source, &[params], &opts).unwrap();
+        spmd_rt::execute_sequential(&compiled.program, &cluster_of(1).node.cpu, ExecMode::Analytic)
+            .elapsed
+    };
+    for nodes in [1usize, 2, 4, 8, 16] {
+        let opts = BackendOptions::new(nodes).granularity(Granularity::Coarse);
+        let compiled = vpce::compile(source, &[params], &opts).unwrap();
+        let rep = spmd_rt::execute(&compiled.program, &cluster_of(nodes), ExecMode::Analytic);
+        let speedup = seq / rep.elapsed;
+        println!(
+            "{:>6} {:>12} {:>12} {:>9.3} {:>12} {:>9.1}%",
+            nodes,
+            fmt_secs(seq),
+            fmt_secs(rep.elapsed),
+            speedup,
+            fmt_secs(rep.comm_time),
+            100.0 * speedup / nodes as f64
+        );
+    }
+}
+
+fn main() {
+    println!("scaling sweeps (coarse granularity, analytic mode)");
+    sweep(
+        "MM 512^2, nominal card",
+        vpce_workloads::mm::SOURCE,
+        ("N", 512),
+        ClusterConfig::paper_n,
+    );
+    sweep(
+        "MM 512^2, calibrated prototype",
+        vpce_workloads::mm::SOURCE,
+        ("N", 512),
+        ClusterConfig::prototype_n,
+    );
+    sweep(
+        "SWIM 256, nominal card",
+        vpce_workloads::swim::SOURCE,
+        ("N", 256),
+        ClusterConfig::paper_n,
+    );
+}

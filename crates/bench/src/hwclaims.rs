@@ -1,0 +1,161 @@
+//! The paper's quantitative hardware claims (C1–C4 of `DESIGN.md`):
+//! everything §1/§2 asserts about the card, regenerated from the
+//! models.
+
+use cluster_sim::{ClusterConfig, CpuModel, NicModel, TransferKind};
+use vbus_sim::sweep::{broadcast_sweep, link_mode_table, p2p_sweep, BroadcastPoint, LinkModeRow, P2pPoint};
+use vbus_sim::{LinkPhy, NetConfig};
+
+/// C1 — "SKWP increases the bandwidth up to four times higher than
+/// conventional pipelining."
+pub fn c1_link_modes() -> Vec<LinkModeRow> {
+    link_mode_table(&LinkPhy::paper_card())
+}
+
+/// C2 — "a V-Bus network card provides about four times lower latency
+/// than the Fast Ethernet card" (and 4x the bandwidth): small-message
+/// latency and large-message bandwidth of an MPI ping on both cards.
+#[derive(Debug, Clone)]
+pub struct C2Row {
+    pub bytes: usize,
+    pub vbus: P2pPoint,
+    pub ethernet: P2pPoint,
+}
+
+pub fn c2_vbus_vs_ethernet(sizes: &[usize]) -> Vec<C2Row> {
+    let vb = p2p_sweep(&NetConfig::vbus_skwp(4), sizes);
+    let fe = p2p_sweep(&NetConfig::fast_ethernet(4), sizes);
+    // Add the NIC software stack on both sides (the paper's latency
+    // claim is end-to-end, §7: user-level vs kernel communication).
+    let cpu = CpuModel::pentium_ii_300();
+    let vb_nic = NicModel::vbus_card();
+    let fe_nic = NicModel::fast_ethernet_card();
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &bytes)| {
+            let kind = TransferKind::Contiguous { bytes };
+            let mut v = vb[i].clone();
+            v.latency_s += vb_nic.host_overhead(kind, &cpu) + vb_nic.post_s;
+            v.bandwidth_mbps = bytes as f64 / v.latency_s / 1e6;
+            let mut e = fe[i].clone();
+            e.latency_s += fe_nic.host_overhead(kind, &cpu) + fe_nic.post_s;
+            e.bandwidth_mbps = bytes as f64 / e.latency_s / 1e6;
+            C2Row {
+                bytes,
+                vbus: v,
+                ethernet: e,
+            }
+        })
+        .collect()
+}
+
+/// C3 — hardware virtual-bus broadcast vs software binomial tree on
+/// the same mesh.
+pub fn c3_broadcast(n_nodes: usize, sizes: &[usize]) -> Vec<BroadcastPoint> {
+    broadcast_sweep(&NetConfig::vbus_skwp(n_nodes), sizes)
+}
+
+/// C4 — DMA (contiguous) vs PIO (strided) one-sided transfer host
+/// cost: the asymmetry behind §5.6.
+#[derive(Debug, Clone)]
+pub struct C4Row {
+    pub elems: usize,
+    pub contiguous_host_s: f64,
+    pub strided_host_s: f64,
+    pub ratio: f64,
+}
+
+pub fn c4_dma_vs_pio(elem_counts: &[usize]) -> Vec<C4Row> {
+    let cpu = CpuModel::pentium_ii_300();
+    let nic = NicModel::vbus_card();
+    elem_counts
+        .iter()
+        .map(|&elems| {
+            let c = nic.host_overhead(TransferKind::Contiguous { bytes: elems * 8 }, &cpu);
+            let s = nic.host_overhead(
+                TransferKind::Strided {
+                    elems,
+                    elem_bytes: 8,
+                },
+                &cpu,
+            );
+            C4Row {
+                elems,
+                contiguous_host_s: c,
+                strided_host_s: s,
+                ratio: s / c,
+            }
+        })
+        .collect()
+}
+
+/// System-level C1: MM end-to-end on SKWP vs conventionally pipelined
+/// links.
+pub fn c1_system_level(size: i64) -> (f64, f64) {
+    use lmad::Granularity;
+    use polaris_be::BackendOptions;
+    use spmd_rt::ExecMode;
+    let opts = BackendOptions::new(4).granularity(Granularity::Coarse);
+    let compiled =
+        vpce::compile(vpce_workloads::mm::SOURCE, &[("N", size)], &opts).expect("compiles");
+    let skwp = spmd_rt::execute(&compiled.program, &ClusterConfig::paper_n(4), ExecMode::Analytic);
+    let conv = spmd_rt::execute(
+        &compiled.program,
+        &ClusterConfig::conventional_links_n(4),
+        ExecMode::Analytic,
+    );
+    (skwp.comm_time, conv.comm_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2_latency_ratio_about_four() {
+        let rows = c2_vbus_vs_ethernet(&[64]);
+        let ratio = rows[0].ethernet.latency_s / rows[0].vbus.latency_s;
+        assert!(
+            (3.0..6.0).contains(&ratio),
+            "small-message latency ratio should be ~4 (paper §2.1), got {ratio}"
+        );
+    }
+
+    #[test]
+    fn c2_bandwidth_ratio_about_four() {
+        let rows = c2_vbus_vs_ethernet(&[1 << 22]);
+        let ratio = rows[0].vbus.bandwidth_mbps / rows[0].ethernet.bandwidth_mbps;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "large-message bandwidth ratio should be ~4, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn c3_vbus_wins_and_gap_grows_with_fanout() {
+        let small = c3_broadcast(4, &[1 << 16]);
+        let large = c3_broadcast(16, &[1 << 16]);
+        let g4 = small[0].tree_s / small[0].vbus_s;
+        let g16 = large[0].tree_s / large[0].vbus_s;
+        assert!(g4 > 1.0);
+        assert!(g16 > g4, "bus advantage grows with node count");
+    }
+
+    #[test]
+    fn c4_pio_ratio_grows_with_size() {
+        let rows = c4_dma_vs_pio(&[16, 1024, 65536]);
+        assert!(rows[0].ratio < rows[1].ratio);
+        assert!(rows[1].ratio < rows[2].ratio);
+        assert!(rows[2].ratio > 100.0, "large strided transfers are PIO-bound");
+    }
+
+    #[test]
+    fn c1_system_conventional_links_slow_mm_comm() {
+        let (skwp, conv) = c1_system_level(128);
+        assert!(
+            conv / skwp > 2.0,
+            "conventional links should hurt: {skwp} vs {conv}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # vpce-bench — the paper's evaluation, regenerated
+//!
+//! One module per experiment of `DESIGN.md` §4:
+//!
+//! * [`table1`] — MM speedups over matrix size × node count;
+//! * [`table2`] — communication time at fine/middle/coarse granularity
+//!   for MM, SWIM and CFFT2INIT;
+//! * [`hwclaims`] — the §1/§2 hardware claims: SKWP vs conventional
+//!   pipelining (C1), V-Bus card vs Fast Ethernet (C2), virtual-bus vs
+//!   software broadcast (C3), DMA vs PIO one-sided transfers (C4);
+//! * [`ablation`] — AVPG elimination (A1), user-level vs kernel stack
+//!   (A2), block vs cyclic partitioning (A3), and the §5.6 overlap
+//!   safety check (A4).
+//!
+//! Each module computes plain data structures; the `table1`, `table2`,
+//! `hwclaims` and `ablation` binaries print them as the paper-style
+//! rows recorded in `EXPERIMENTS.md`.
+
+pub mod ablation;
+pub mod hwclaims;
+pub mod table1;
+pub mod table2;
+
+/// Render a float with engineering-style precision for tables.
+pub fn fmt_secs(s: f64) -> String {
+    if s == 0.0 {
+        "0".into()
+    } else if s >= 1.0 {
+        format!("{s:.3}s")
+    } else if s >= 1e-3 {
+        format!("{:.3}ms", s * 1e3)
+    } else {
+        format!("{:.2}us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(0.0), "0");
+        assert_eq!(fmt_secs(2.5), "2.500s");
+        assert_eq!(fmt_secs(0.0025), "2.500ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.50us");
+    }
+}

@@ -1,0 +1,152 @@
+//! Table 1 — "Total execution time of the MM code": speedups of the
+//! compiled parallel MM over the sequential original, for matrix
+//! sizes 256²/512²/1024² on 1/2/4 nodes.
+//!
+//! Two hardware variants are reported: the nominal card (§2.1 specs:
+//! 50 MB/s SKWP links) and the calibrated prototype
+//! ([`cluster_sim::ClusterConfig::prototype_n`]), whose ≈6 MB/s
+//! achieved bandwidth reconciles the paper's own speedup numbers.
+
+use cluster_sim::ClusterConfig;
+use lmad::Granularity;
+use polaris_be::BackendOptions;
+use spmd_rt::ExecMode;
+use vpce_workloads::mm;
+
+/// The paper's Table 1 values, `paper[size][nodes]` with
+/// sizes = [256, 512, 1024] and nodes = [1, 2, 4].
+pub const PAPER: [[f64; 3]; 3] = [
+    [0.96, 1.086, 1.75],
+    [0.96, 1.53, 2.74],
+    [0.96, 1.60, 3.033],
+];
+
+/// Sizes and node counts of the sweep.
+pub const SIZES: [i64; 3] = [256, 512, 1024];
+pub const NODES: [usize; 3] = [1, 2, 4];
+
+/// One measured cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    pub size: i64,
+    pub nodes: usize,
+    pub seq_time: f64,
+    pub par_time: f64,
+    pub speedup: f64,
+    pub comm_time: f64,
+}
+
+/// Run the whole sweep on a cluster family (e.g.
+/// `ClusterConfig::paper_n` or `ClusterConfig::prototype_n`).
+///
+/// Uses coarse granularity (the fewest-setup plan — what a user would
+/// pick for MM per §5.6) and analytic execution (identical virtual
+/// times to full execution; see `spmd-rt` docs).
+pub fn sweep(cluster_of: impl Fn(usize) -> ClusterConfig) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for &size in &SIZES {
+        // The sequential baseline does not depend on the node count.
+        let opts = BackendOptions::new(1).granularity(Granularity::Coarse);
+        let compiled = vpce::compile(mm::SOURCE, &[("N", size)], &opts).expect("MM compiles");
+        let seq =
+            spmd_rt::execute_sequential(&compiled.program, &cluster_of(1).node.cpu, ExecMode::Analytic);
+        for &nodes in &NODES {
+            let opts = BackendOptions::new(nodes).granularity(Granularity::Coarse);
+            let compiled =
+                vpce::compile(mm::SOURCE, &[("N", size)], &opts).expect("MM compiles");
+            let rep = spmd_rt::execute(&compiled.program, &cluster_of(nodes), ExecMode::Analytic);
+            out.push(Cell {
+                size,
+                nodes,
+                seq_time: seq.elapsed,
+                par_time: rep.elapsed,
+                speedup: seq.elapsed / rep.elapsed,
+                comm_time: rep.comm_time,
+            });
+        }
+    }
+    out
+}
+
+/// Pretty-print one sweep next to the paper's numbers.
+pub fn print_sweep(title: &str, cells: &[Cell]) {
+    println!("\n== Table 1: MM speedups ({title}) ==");
+    println!(
+        "{:>10} {:>6} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "size", "nodes", "T_seq", "T_par", "speedup", "paper", "comm"
+    );
+    for c in cells {
+        let si = SIZES.iter().position(|&s| s == c.size).unwrap();
+        let ni = NODES.iter().position(|&n| n == c.nodes).unwrap();
+        println!(
+            "{:>7}^2 {:>6} {:>10} {:>10} {:>9.3} {:>9.3} {:>9}",
+            c.size,
+            c.nodes,
+            crate::fmt_secs(c.seq_time),
+            crate::fmt_secs(c.par_time),
+            c.speedup,
+            PAPER[si][ni],
+            crate::fmt_secs(c.comm_time),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep(cluster_of: impl Fn(usize) -> ClusterConfig, size: i64) -> Vec<Cell> {
+        let mut out = Vec::new();
+        let opts = BackendOptions::new(1).granularity(Granularity::Coarse);
+        let compiled = vpce::compile(mm::SOURCE, &[("N", size)], &opts).unwrap();
+        let seq = spmd_rt::execute_sequential(
+            &compiled.program,
+            &cluster_of(1).node.cpu,
+            ExecMode::Analytic,
+        );
+        for nodes in [1usize, 2, 4] {
+            let opts = BackendOptions::new(nodes).granularity(Granularity::Coarse);
+            let compiled = vpce::compile(mm::SOURCE, &[("N", size)], &opts).unwrap();
+            let rep =
+                spmd_rt::execute(&compiled.program, &cluster_of(nodes), ExecMode::Analytic);
+            out.push(Cell {
+                size,
+                nodes,
+                seq_time: seq.elapsed,
+                par_time: rep.elapsed,
+                speedup: seq.elapsed / rep.elapsed,
+                comm_time: rep.comm_time,
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn single_node_speedup_is_the_calibrated_0_96() {
+        let cells = small_sweep(ClusterConfig::paper_n, 64);
+        assert!(
+            (cells[0].speedup - 0.96).abs() < 0.01,
+            "got {}",
+            cells[0].speedup
+        );
+    }
+
+    #[test]
+    fn speedup_monotone_in_nodes() {
+        let cells = small_sweep(ClusterConfig::paper_n, 128);
+        assert!(cells[0].speedup < cells[1].speedup);
+        assert!(cells[1].speedup < cells[2].speedup);
+    }
+
+    #[test]
+    fn larger_matrices_scale_better() {
+        // The paper's key Table-1 shape: speedup at 4 nodes grows with
+        // the matrix size (compute grows N^3, communication N^2).
+        let s64 = small_sweep(ClusterConfig::prototype_n, 64)[2].speedup;
+        let s256 = small_sweep(ClusterConfig::prototype_n, 256)[2].speedup;
+        assert!(
+            s256 > s64,
+            "4-node speedup should grow with N: {s64} vs {s256}"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Per-node memory accounting.
+//!
+//! The paper's PCs carry 64 MB each. In the master/slave execution
+//! model every slave holds private copies of the regions scattered to
+//! it, so the footprint per node can approach the master's full data
+//! set; [`MemoryTracker`] lets the runtime detect configurations that
+//! would not have fit on the real machine (and tests exercise that).
+
+use std::fmt;
+
+/// Error returned when an allocation would exceed the node's memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    pub requested: usize,
+    pub in_use: usize,
+    pub capacity: usize,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "node out of memory: requested {} B with {} B in use of {} B",
+            self.requested, self.in_use, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Tracks live allocations against a node's installed memory.
+#[derive(Debug, Clone)]
+pub struct MemoryTracker {
+    capacity: usize,
+    in_use: usize,
+    peak: usize,
+}
+
+impl MemoryTracker {
+    /// A tracker for a node with `capacity` bytes installed.
+    pub fn new(capacity: usize) -> Self {
+        MemoryTracker {
+            capacity,
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// Record an allocation of `bytes`.
+    pub fn alloc(&mut self, bytes: usize) -> Result<(), OutOfMemory> {
+        let new = self.in_use.saturating_add(bytes);
+        if new > self.capacity {
+            return Err(OutOfMemory {
+                requested: bytes,
+                in_use: self.in_use,
+                capacity: self.capacity,
+            });
+        }
+        self.in_use = new;
+        self.peak = self.peak.max(new);
+        Ok(())
+    }
+
+    /// Record a free of `bytes`.
+    ///
+    /// # Panics
+    /// Panics if more is freed than is in use (an accounting bug).
+    pub fn free(&mut self, bytes: usize) {
+        assert!(
+            bytes <= self.in_use,
+            "freeing {bytes} B with only {} B in use",
+            self.in_use
+        );
+        self.in_use -= bytes;
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// High-water mark.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Installed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut m = MemoryTracker::new(100);
+        m.alloc(60).unwrap();
+        m.alloc(40).unwrap();
+        assert_eq!(m.in_use(), 100);
+        m.free(50);
+        assert_eq!(m.in_use(), 50);
+        assert_eq!(m.peak(), 100);
+    }
+
+    #[test]
+    fn overflow_is_reported_not_panicked() {
+        let mut m = MemoryTracker::new(64 << 20);
+        m.alloc(60 << 20).unwrap();
+        let err = m.alloc(8 << 20).unwrap_err();
+        assert_eq!(err.capacity, 64 << 20);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn double_free_panics() {
+        let mut m = MemoryTracker::new(10);
+        m.alloc(5).unwrap();
+        m.free(6);
+    }
+
+    #[test]
+    fn paper_node_fits_three_1024_matrices() {
+        // MM at 1024x1024 needs 3 x 8 MB on the master: fits in 64 MB.
+        let mut m = MemoryTracker::new(64 << 20);
+        for _ in 0..3 {
+            m.alloc(1024 * 1024 * 8).unwrap();
+        }
+        assert!(m.in_use() < m.capacity());
+    }
+}

@@ -1,0 +1,253 @@
+//! Network-interface model: DMA vs. programmed I/O, and the software
+//! stack between a user buffer and the wire.
+//!
+//! §2.2 of the paper:
+//!
+//! > "Contiguous MPI_PUT/MPI_GET use DMA so that data from the user
+//! > buffer can be copied into the device driver buffer without
+//! > interrupting the processor. But stride MPI_PUT/MPI_GET use
+//! > programmed I/O where data in the user buffer is copied into the
+//! > device driver buffer one-element by one-element. So, stride
+//! > MPI_PUT/MPI_GET are generally less efficient … because they
+//! > increase communication setup time significantly."
+//!
+//! and:
+//!
+//! > "Our MPI-2 library reduces the communication overheads by sharing
+//! > a message queue between device driver … and a MPI-2 daemon
+//! > process, and by transferring data directly from a user buffer to a
+//! > device drive buffer."
+//!
+//! [`NicModel::host_overhead`] turns a transfer description into the
+//! CPU-side cost; the wire time itself is the network simulator's job.
+
+use crate::cpu::CpuModel;
+
+/// Shape of a one-sided transfer as seen by the NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferKind {
+    /// One contiguous region: DMA path.
+    Contiguous {
+        bytes: usize,
+    },
+    /// A constant-stride region of `elems` elements of `elem_bytes`
+    /// each: programmed-I/O path.
+    Strided {
+        elems: usize,
+        elem_bytes: usize,
+    },
+}
+
+impl TransferKind {
+    /// Payload bytes that cross the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match *self {
+            TransferKind::Contiguous { bytes } => bytes,
+            TransferKind::Strided { elems, elem_bytes } => elems * elem_bytes,
+        }
+    }
+}
+
+/// Cost parameters of one network card plus its driver stack.
+#[derive(Debug, Clone)]
+pub struct NicModel {
+    /// CPU time to post one message descriptor (queue entry, doorbell).
+    pub post_s: f64,
+    /// CPU time to program one DMA descriptor for a contiguous region.
+    pub dma_setup_s: f64,
+    /// CPU time per element for the programmed-I/O element-by-element
+    /// copy into the device-driver buffer.
+    pub pio_per_elem_s: f64,
+    /// `true` for the paper's optimized stack: the driver and the MPI
+    /// daemon share a message queue and data moves directly from the
+    /// user buffer to the driver buffer.
+    pub shared_queue: bool,
+    /// Context-switch cost into the kernel per message when the shared
+    /// queue is absent (conventional system-level stack).
+    pub context_switch_s: f64,
+    /// Extra per-byte staging copy cost when data cannot go directly
+    /// from the user buffer (conventional stack), s/byte.
+    pub staging_copy_s_per_byte: f64,
+    /// Device-driver buffer size; a transfer larger than this is split
+    /// into buffer-sized chunks, each paying the post cost.
+    pub driver_buf_bytes: usize,
+}
+
+impl NicModel {
+    /// The paper's V-Bus card with the user-level stack: cheap posts
+    /// (shared queue), ~10 µs DMA setup, ~0.6 µs per PIO element
+    /// (an uncached device-register write plus driver-loop overhead
+    /// per element on the 300 MHz host).
+    pub fn vbus_card() -> Self {
+        NicModel {
+            post_s: 3.0e-6,
+            dma_setup_s: 10.0e-6,
+            pio_per_elem_s: 0.6e-6,
+            shared_queue: true,
+            context_switch_s: 15.0e-6,
+            staging_copy_s_per_byte: 1.0 / 180e6,
+            driver_buf_bytes: 256 << 10,
+        }
+    }
+
+    /// The same silicon behind a conventional kernel-level stack
+    /// (ablation A2): every message context-switches and pays a staging
+    /// copy.
+    pub fn vbus_card_kernel_stack() -> Self {
+        NicModel {
+            shared_queue: false,
+            ..NicModel::vbus_card()
+        }
+    }
+
+    /// A Fast-Ethernet NIC of the era: kernel sockets, interrupt-driven,
+    /// staging copies — the reference point for the paper's "about four
+    /// times lower latency" claim.
+    pub fn fast_ethernet_card() -> Self {
+        NicModel {
+            post_s: 10.0e-6,
+            dma_setup_s: 15.0e-6,
+            pio_per_elem_s: 0.6e-6,
+            shared_queue: false,
+            context_switch_s: 25.0e-6,
+            staging_copy_s_per_byte: 1.0 / 180e6,
+            driver_buf_bytes: 64 << 10,
+        }
+    }
+
+    /// Number of driver-buffer chunks a transfer needs.
+    pub fn chunks(&self, wire_bytes: usize) -> usize {
+        wire_bytes.div_ceil(self.driver_buf_bytes).max(1)
+    }
+
+    /// CPU (host) seconds consumed to *initiate* the transfer. This is
+    /// the "communication setup time" of §2.2 — the part the
+    /// granularity optimization of §5.6 trades against redundant data.
+    ///
+    /// The DMA path blocks the host only for descriptor programming;
+    /// the PIO path blocks it for the whole element-by-element copy.
+    pub fn host_overhead(&self, kind: TransferKind, cpu: &CpuModel) -> f64 {
+        let wire = kind.wire_bytes();
+        let per_msg = if self.shared_queue {
+            self.post_s
+        } else {
+            // Conventional stack: kernel entry per chunk plus one
+            // staging copy of the payload, amortised over the chunks.
+            self.post_s
+                + self.context_switch_s
+                + wire as f64 * self.staging_copy_s_per_byte / self.chunks(wire) as f64
+        };
+        let n_chunks = self.chunks(wire) as f64;
+        match kind {
+            TransferKind::Contiguous { .. } => per_msg * n_chunks + self.dma_setup_s * n_chunks,
+            TransferKind::Strided { elems, .. } => {
+                // Element-by-element copy by the CPU, plus one DMA-less
+                // descriptor per chunk. The per-element cost includes
+                // address generation, bounded below by the raw copy
+                // speed.
+                let copy = elems as f64 * self.pio_per_elem_s.max(
+                    // never cheaper than the machine's memcpy rate
+                    kind.wire_bytes() as f64 / elems.max(1) as f64 / cpu.memcpy_bps,
+                );
+                per_msg * n_chunks + copy
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> CpuModel {
+        CpuModel::pentium_ii_300()
+    }
+
+    #[test]
+    fn strided_setup_dwarfs_contiguous_for_same_payload() {
+        // 8192 f64 elements: contiguous pays one DMA setup; strided
+        // pays 8192 PIO element copies.
+        let nic = NicModel::vbus_card();
+        let cont = nic.host_overhead(
+            TransferKind::Contiguous { bytes: 8192 * 8 },
+            &cpu(),
+        );
+        let strided = nic.host_overhead(
+            TransferKind::Strided {
+                elems: 8192,
+                elem_bytes: 8,
+            },
+            &cpu(),
+        );
+        assert!(
+            strided > 10.0 * cont,
+            "strided {strided} should dwarf contiguous {cont}"
+        );
+    }
+
+    #[test]
+    fn small_strided_beats_padded_contiguous() {
+        // The flip side that makes "fine" the right answer sometimes:
+        // a few strided elements cost less host time than DMA-ing a
+        // large bounding region would add in wire time. At the host
+        // level alone, 8 PIO elements are cheaper than a DMA setup.
+        let nic = NicModel::vbus_card();
+        let strided = nic.host_overhead(
+            TransferKind::Strided {
+                elems: 8,
+                elem_bytes: 8,
+            },
+            &cpu(),
+        );
+        let cont = nic.host_overhead(TransferKind::Contiguous { bytes: 64 }, &cpu());
+        assert!(strided < cont);
+    }
+
+    #[test]
+    fn kernel_stack_costs_more_per_message() {
+        let user = NicModel::vbus_card();
+        let kernel = NicModel::vbus_card_kernel_stack();
+        let kind = TransferKind::Contiguous { bytes: 4096 };
+        assert!(kernel.host_overhead(kind, &cpu()) > user.host_overhead(kind, &cpu()));
+    }
+
+    #[test]
+    fn vbus_vs_fast_ethernet_small_message_host_cost_about_4x() {
+        // Claim C2, host-side component: the user-level V-Bus stack vs
+        // the kernel Fast-Ethernet stack on a small message.
+        let vb = NicModel::vbus_card();
+        let fe = NicModel::fast_ethernet_card();
+        let kind = TransferKind::Contiguous { bytes: 1024 };
+        let ratio = fe.host_overhead(kind, &cpu()) / vb.host_overhead(kind, &cpu());
+        assert!(
+            (2.5..8.0).contains(&ratio),
+            "FE/V-Bus host cost ratio should be a few x, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn large_transfers_split_into_driver_buffer_chunks() {
+        let nic = NicModel::vbus_card();
+        assert_eq!(nic.chunks(1), 1);
+        assert_eq!(nic.chunks(256 << 10), 1);
+        assert_eq!(nic.chunks((256 << 10) + 1), 2);
+        assert_eq!(nic.chunks(1 << 20), 4);
+        // Cost grows with chunk count.
+        let small = nic.host_overhead(TransferKind::Contiguous { bytes: 256 << 10 }, &cpu());
+        let big = nic.host_overhead(TransferKind::Contiguous { bytes: 1 << 20 }, &cpu());
+        assert!(big > 3.0 * small);
+    }
+
+    #[test]
+    fn wire_bytes() {
+        assert_eq!(TransferKind::Contiguous { bytes: 10 }.wire_bytes(), 10);
+        assert_eq!(
+            TransferKind::Strided {
+                elems: 4,
+                elem_bytes: 8
+            }
+            .wire_bytes(),
+            32
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! `vpcec` — the command-line front door of the environment:
+//! compile an F77-mini program and run it on the simulated V-Bus
+//! cluster. All logic lives in `vpce::cli` (unit-tested); this binary
+//! only does I/O.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        print!("{}", vpce::cli::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    let args = match vpce::cli::parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", vpce::cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&args.source_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.source_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    match vpce::cli::run(&source, &args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The `vpcec` command-line driver: compile an F77-mini file and run
+//! it on the simulated cluster. Argument parsing is hand-rolled (no
+//! CLI dependency) and pure — [`run`] maps arguments to output text,
+//! so the whole driver is unit-testable.
+
+use std::fmt::Write as _;
+
+use lmad::Granularity;
+use spmd_rt::{ExecMode, Schedule};
+
+use crate::{BackendOptions, ClusterConfig, FrontError};
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    pub source_path: String,
+    pub nodes: usize,
+    pub granularity: Option<Granularity>,
+    pub schedule: Option<Schedule>,
+    pub mode: ExecMode,
+    pub params: Vec<(String, i64)>,
+    pub show_report: bool,
+    pub advise: bool,
+    pub no_avpg: bool,
+    pub prototype: bool,
+    pub pull: bool,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        CliArgs {
+            source_path: String::new(),
+            nodes: 4,
+            granularity: None,
+            schedule: None,
+            mode: ExecMode::Full,
+            params: Vec::new(),
+            show_report: false,
+            advise: false,
+            no_avpg: false,
+            prototype: false,
+            pull: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+vpcec — compile Fortran-77 (F77-mini) and run it on the simulated V-Bus cluster
+
+USAGE: vpcec <file.f> [options]
+  --nodes N            cluster size (default 4)
+  --grain fine|middle|coarse
+                       communication granularity (default: advisor's pick)
+  --schedule block|cyclic
+                       override the block/cyclic heuristic
+  --analytic           analytic timing mode (skip numeric execution)
+  --param NAME=VALUE   override a PARAMETER (repeatable)
+  --report             print the compiler's analysis and plans
+  --advise             print the granularity advisor's comparison
+  --no-avpg            disable the AVPG communication elimination
+  --prototype          use the calibrated ~6 MB/s prototype card
+  --pull               slaves GET their data instead of master PUTs
+";
+
+/// Parse an argument vector (excluding argv[0]).
+pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut out = CliArgs::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                out.nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--nodes needs a number")?;
+            }
+            "--grain" => {
+                out.granularity = Some(match it.next().map(String::as_str) {
+                    Some("fine") => Granularity::Fine,
+                    Some("middle") => Granularity::Middle,
+                    Some("coarse") => Granularity::Coarse,
+                    other => return Err(format!("bad --grain {other:?}")),
+                });
+            }
+            "--schedule" => {
+                out.schedule = Some(match it.next().map(String::as_str) {
+                    Some("block") => Schedule::Block,
+                    Some("cyclic") => Schedule::Cyclic,
+                    other => return Err(format!("bad --schedule {other:?}")),
+                });
+            }
+            "--analytic" => out.mode = ExecMode::Analytic,
+            "--param" => {
+                let kv = it.next().ok_or("--param needs NAME=VALUE")?;
+                let (k, v) = kv.split_once('=').ok_or("--param needs NAME=VALUE")?;
+                let v: i64 = v.parse().map_err(|_| format!("bad value in {kv}"))?;
+                out.params.push((k.to_ascii_uppercase(), v));
+            }
+            "--report" => out.show_report = true,
+            "--advise" => out.advise = true,
+            "--no-avpg" => out.no_avpg = true,
+            "--prototype" => out.prototype = true,
+            "--pull" => out.pull = true,
+            other if !other.starts_with('-') && out.source_path.is_empty() => {
+                out.source_path = other.to_string();
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if out.source_path.is_empty() {
+        return Err("no source file given".into());
+    }
+    Ok(out)
+}
+
+/// Execute the request against already-loaded source text. Returns the
+/// full report the binary prints.
+pub fn run(source: &str, args: &CliArgs) -> Result<String, FrontError> {
+    let cluster = if args.prototype {
+        ClusterConfig::prototype_n(args.nodes)
+    } else {
+        ClusterConfig::paper_n(args.nodes)
+    };
+    let params: Vec<(&str, i64)> = args.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+
+    let mut out = String::new();
+
+    // Granularity: explicit, or the simulation-backed advisor.
+    let granularity = match args.granularity {
+        Some(g) => g,
+        None => {
+            let base = base_opts(args);
+            let (winner, measured) =
+                crate::advise_granularity(source, &params, &cluster, &base)?;
+            if args.advise {
+                let _ = writeln!(out, "granularity advisor:");
+                for (g, t) in &measured {
+                    let _ = writeln!(out, "  {:>6}: {:.3} ms comm", g.name(), t * 1e3);
+                }
+                let _ = writeln!(out, "  picked: {}", winner.name());
+            }
+            winner
+        }
+    };
+
+    let mut opts = base_opts(args).granularity(granularity);
+    if let Some(s) = args.schedule {
+        opts = opts.schedule(s);
+    }
+
+    let analyzed = polaris_fe::compile(source, &params)?;
+    if args.show_report {
+        out.push_str(&crate::report::describe_frontend(&analyzed));
+    }
+    let compiled = polaris_be::compile_backend(&analyzed, &opts);
+    if args.show_report {
+        out.push_str(&crate::report::describe_backend(&compiled));
+    }
+
+    let parallel = spmd_rt::execute(&compiled.program, &cluster, args.mode);
+    let sequential =
+        spmd_rt::execute_sequential(&compiled.program, &cluster.node.cpu, args.mode);
+
+    let _ = writeln!(
+        out,
+        "{}: {} ranks, {} granularity",
+        compiled.program.name,
+        args.nodes,
+        granularity.name()
+    );
+    let _ = writeln!(
+        out,
+        "  sequential {:>12.6}s | parallel {:>12.6}s | speedup {:.3}x",
+        sequential.elapsed,
+        parallel.elapsed,
+        sequential.elapsed / parallel.elapsed
+    );
+    let _ = writeln!(
+        out,
+        "  communication {:.6}s | {} wire messages | {} wire bytes",
+        parallel.comm_time, parallel.net.p2p_messages, parallel.net.p2p_bytes
+    );
+    if args.mode == ExecMode::Full {
+        let identical = parallel.arrays == sequential.arrays;
+        let _ = writeln!(
+            out,
+            "  results identical to sequential execution: {identical}"
+        );
+    }
+    Ok(out)
+}
+
+fn base_opts(args: &CliArgs) -> BackendOptions {
+    let mut o = BackendOptions::new(args.nodes)
+        .avpg(!args.no_avpg)
+        .pull(args.pull);
+    if let Some(s) = args.schedule {
+        o = o.schedule(s);
+    }
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    const SRC: &str = "PROGRAM T\nPARAMETER (N = 32)\nREAL A(N)\nINTEGER I\nDO I = 1, N\nA(I) = REAL(I)\nENDDO\nEND\n";
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse_args(&argv(
+            "prog.f --nodes 8 --grain coarse --schedule cyclic --analytic \
+             --param N=128 --report --advise --no-avpg --prototype --pull",
+        ))
+        .unwrap();
+        assert_eq!(a.source_path, "prog.f");
+        assert_eq!(a.nodes, 8);
+        assert_eq!(a.granularity, Some(Granularity::Coarse));
+        assert_eq!(a.schedule, Some(Schedule::Cyclic));
+        assert_eq!(a.mode, ExecMode::Analytic);
+        assert_eq!(a.params, vec![("N".to_string(), 128)]);
+        assert!(a.show_report && a.advise && a.no_avpg && a.prototype && a.pull);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&argv("prog.f --grain huge")).is_err());
+        assert!(parse_args(&argv("prog.f --bogus")).is_err());
+        assert!(parse_args(&argv("")).is_err());
+        assert!(parse_args(&argv("prog.f --param N")).is_err());
+    }
+
+    #[test]
+    fn runs_and_reports_identical_results() {
+        let args = parse_args(&argv("x.f --nodes 4")).unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert!(out.contains("speedup"), "{out}");
+        assert!(out.contains("results identical to sequential execution: true"));
+    }
+
+    #[test]
+    fn advisor_path_prints_comparison() {
+        let mut args = parse_args(&argv("x.f --advise")).unwrap();
+        args.params.push(("N".into(), 64));
+        let out = run(SRC, &args).unwrap();
+        assert!(out.contains("granularity advisor:"), "{out}");
+        assert!(out.contains("picked:"), "{out}");
+    }
+
+    #[test]
+    fn report_path_prints_compiler_listing() {
+        let args = parse_args(&argv("x.f --report --grain fine")).unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert!(out.contains("PARALLEL DO"), "{out}");
+        assert!(out.contains("AVPG"), "{out}");
+    }
+
+    #[test]
+    fn front_errors_surface() {
+        let args = parse_args(&argv("x.f --grain fine")).unwrap();
+        let err = run("PROGRAM T\nX = \nEND\n", &args).unwrap_err();
+        assert!(err.to_string().contains("line"));
+    }
+}

@@ -1,0 +1,218 @@
+//! # vpce — the V-Bus PC-cluster parallel programming environment
+//!
+//! The top of the reproduction of *"A Parallel Programming Environment
+//! for a V-Bus based PC-cluster"* (Lim, Paek, Park, Hoeflinger;
+//! IEEE CLUSTER 2001): compile a sequential Fortran-77-subset program
+//! with the Polaris-style front-end, lower it through the MPI-2
+//! postpass to master/slave SPMD form with one-sided communication,
+//! and execute it on the simulated V-Bus cluster.
+//!
+//! ```
+//! use vpce::{compile, run_experiment, BackendOptions, ClusterConfig, ExecMode};
+//!
+//! let source = r"
+//!       PROGRAM SCALE
+//!       PARAMETER (N = 64)
+//!       REAL A(N), B(N)
+//!       INTEGER I
+//!       DO I = 1, N
+//!         A(I) = REAL(I)
+//!       ENDDO
+//!       DO I = 1, N
+//!         B(I) = 2.0 * A(I)
+//!       ENDDO
+//!       END
+//! ";
+//! let cluster = ClusterConfig::paper_4node();
+//! let exp = run_experiment(
+//!     source,
+//!     &[],
+//!     &cluster,
+//!     &BackendOptions::new(4),
+//!     ExecMode::Full,
+//! )
+//! .unwrap();
+//! // The parallel run computed the same values the sequential one did…
+//! assert_eq!(exp.parallel.arrays, exp.sequential.arrays);
+//! // …and its virtual execution time yields the speedup.
+//! assert!(exp.speedup() > 0.0);
+//! ```
+//!
+//! The heavy lifting lives in the sub-crates, all re-exported here:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`vbus_sim`] | V-Bus/SKWP mesh interconnect model (§2.1) |
+//! | [`cluster_sim`] | PC node model: CPU cycle costs, NIC DMA/PIO (§2) |
+//! | [`mpi2`] | the MPI-2 library: windows, PUT/GET, fence, collectives (§2.2) |
+//! | [`lmad`] | LMAD algebra and summary sets (§4) |
+//! | [`polaris_fe`] | front-end: parsing + parallelism detection (§3) |
+//! | [`polaris_be`] | the MPI-2 postpass (§5) |
+//! | [`spmd_rt`] | SPMD IR + interpreter over the simulated cluster (§3) |
+
+pub mod cli;
+pub mod report;
+
+pub use cluster_sim::{ClusterConfig, CpuModel, NodeConfig, OpCounts};
+pub use polaris_be::{advise, CostParams, GranularityAdvice};
+pub use report::{describe_backend, describe_frontend};
+pub use lmad::Granularity;
+pub use mpi2::{Mpi, RunOutcome, Universe};
+pub use polaris_be::{compile_backend, Avpg, BackendOptions, CompiledProgram, NodeAttr};
+pub use polaris_fe::{compile as compile_frontend, FrontError};
+pub use spmd_rt::{execute, execute_sequential, ExecMode, RunReport, Schedule, SeqReport, SpmdProgram};
+pub use vbus_sim::{NetConfig, NetSim};
+
+/// Compile F77-mini source all the way to an executable SPMD program.
+///
+/// `params` overrides `PARAMETER` constants (problem-size sweeps).
+pub fn compile(
+    source: &str,
+    params: &[(&str, i64)],
+    opts: &BackendOptions,
+) -> Result<CompiledProgram, FrontError> {
+    let analyzed = polaris_fe::compile(source, params)?;
+    Ok(polaris_be::compile_backend(&analyzed, opts))
+}
+
+/// Pick the cheapest §5.6 granularity by *simulating* all three
+/// (the precise counterpart of the static
+/// [`polaris_be::advise`] estimator). Returns the winner and the
+/// simulated communication time per granularity in
+/// [`Granularity::ALL`] order.
+pub fn advise_granularity(
+    source: &str,
+    params: &[(&str, i64)],
+    cluster: &ClusterConfig,
+    base: &BackendOptions,
+) -> Result<(Granularity, Vec<(Granularity, f64)>), FrontError> {
+    let mut measured = Vec::with_capacity(3);
+    for g in Granularity::ALL {
+        let opts = BackendOptions {
+            granularity: g,
+            ..base.clone()
+        };
+        let compiled = compile(source, params, &opts)?;
+        let rep = spmd_rt::execute(&compiled.program, cluster, ExecMode::Analytic);
+        measured.push((g, rep.comm_time));
+    }
+    let winner = measured
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|&(g, _)| g)
+        .expect("three candidates");
+    Ok((winner, measured))
+}
+
+/// A complete experiment: the compiled program plus its parallel and
+/// sequential executions.
+#[derive(Debug)]
+pub struct Experiment {
+    pub compiled: CompiledProgram,
+    pub parallel: RunReport,
+    pub sequential: SeqReport,
+}
+
+impl Experiment {
+    /// Table-1 speedup: sequential time over parallel time.
+    pub fn speedup(&self) -> f64 {
+        self.sequential.elapsed / self.parallel.elapsed
+    }
+
+    /// Table-2 communication time (critical path).
+    pub fn comm_time(&self) -> f64 {
+        self.parallel.comm_time
+    }
+}
+
+/// Compile and run `source` on `cluster`, plus the sequential
+/// baseline on one of its CPUs.
+pub fn run_experiment(
+    source: &str,
+    params: &[(&str, i64)],
+    cluster: &ClusterConfig,
+    opts: &BackendOptions,
+    mode: ExecMode,
+) -> Result<Experiment, FrontError> {
+    assert_eq!(
+        opts.nprocs,
+        cluster.num_nodes(),
+        "backend nprocs must match the cluster"
+    );
+    let compiled = compile(source, params, opts)?;
+    let parallel = spmd_rt::execute(&compiled.program, cluster, mode);
+    let sequential = spmd_rt::execute_sequential(&compiled.program, &cluster.node.cpu, mode);
+    Ok(Experiment {
+        compiled,
+        parallel,
+        sequential,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOT: &str = r"
+      PROGRAM DOT
+      PARAMETER (N = 64)
+      REAL A(N), B(N)
+      REAL S
+      INTEGER I
+      DO I = 1, N
+        A(I) = REAL(I)
+        B(I) = 2.0
+      ENDDO
+      S = 0.0
+      DO I = 1, N
+        S = S + A(I) * B(I)
+      ENDDO
+      END
+";
+
+    #[test]
+    fn dot_product_reduction_end_to_end() {
+        let cluster = ClusterConfig::paper_4node();
+        let exp = run_experiment(DOT, &[], &cluster, &BackendOptions::new(4), ExecMode::Full)
+            .unwrap();
+        // S = sum 2*i for i in 1..=64 = 64*65 = 4160.
+        let s_slot = exp
+            .compiled
+            .program
+            .scalars
+            .iter()
+            .position(|(n, _)| n == "S")
+            .unwrap();
+        assert_eq!(exp.parallel.scalars[s_slot].as_real(), 4160.0);
+        assert_eq!(exp.sequential.scalars[s_slot].as_real(), 4160.0);
+    }
+
+    #[test]
+    fn parameter_override_reaches_the_runtime() {
+        let cluster = ClusterConfig::paper_4node();
+        let exp = run_experiment(
+            DOT,
+            &[("N", 128)],
+            &cluster,
+            &BackendOptions::new(4),
+            ExecMode::Full,
+        )
+        .unwrap();
+        assert_eq!(exp.compiled.program.arrays[0].1, 128);
+        let s_slot = exp
+            .compiled
+            .program
+            .scalars
+            .iter()
+            .position(|(n, _)| n == "S")
+            .unwrap();
+        assert_eq!(exp.parallel.scalars[s_slot].as_real(), (128.0 * 129.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the cluster")]
+    fn nprocs_mismatch_caught() {
+        let cluster = ClusterConfig::paper_4node();
+        let _ = run_experiment(DOT, &[], &cluster, &BackendOptions::new(2), ExecMode::Full);
+    }
+}

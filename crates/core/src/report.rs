@@ -1,0 +1,165 @@
+//! Human-readable compilation reports — the Polaris-style listing a
+//! user reads to understand what the compiler did to their program.
+
+use polaris_be::{CompiledProgram, NodeAttr};
+use polaris_fe::analysis::{AnalyzedProgram, Region};
+
+/// Describe the front-end's findings: which loops parallelised and
+/// why the others did not.
+pub fn describe_frontend(analyzed: &AnalyzedProgram) -> String {
+    let mut out = format!("program {}\n", analyzed.name);
+    for (i, region) in analyzed.regions.iter().enumerate() {
+        match region {
+            Region::Parallel(p) => {
+                out.push_str(&format!(
+                    "  region {i}: PARALLEL DO (line {}, {} iterations{})\n",
+                    p.line,
+                    p.trips,
+                    if p.analysis.triangular {
+                        ", triangular"
+                    } else {
+                        ""
+                    }
+                ));
+                if !p.analysis.reductions.is_empty() {
+                    let names: Vec<&str> = p
+                        .analysis
+                        .reductions
+                        .iter()
+                        .map(|r| analyzed.symbols.scalars[r.var].name.as_str())
+                        .collect();
+                    out.push_str(&format!("    reductions: {}\n", names.join(", ")));
+                }
+                if !p.analysis.private_scalars.is_empty() {
+                    let names: Vec<&str> = p
+                        .analysis
+                        .private_scalars
+                        .iter()
+                        .map(|&v| analyzed.symbols.scalars[v].name.as_str())
+                        .collect();
+                    out.push_str(&format!("    private: {}\n", names.join(", ")));
+                }
+                for entry_array in p.analysis.summary.arrays() {
+                    let name = &analyzed.symbols.arrays[entry_array.0].name;
+                    for e in p.analysis.summary.of(entry_array) {
+                        out.push_str(&format!(
+                            "    {name}: {} {}\n",
+                            e.class, e.lmad
+                        ));
+                    }
+                }
+            }
+            Region::Seq(_) => {
+                out.push_str(&format!("  region {i}: sequential\n"));
+            }
+        }
+    }
+    if !analyzed.serial_reasons.is_empty() {
+        out.push_str("  serial loops:\n");
+        for (line, reason) in &analyzed.serial_reasons {
+            out.push_str(&format!("    line {line}: {reason}\n"));
+        }
+    }
+    out
+}
+
+/// Describe the backend's plans: windows, AVPG attributes, per-region
+/// communication.
+pub fn describe_backend(compiled: &CompiledProgram) -> String {
+    let prog = &compiled.program;
+    let mut out = format!(
+        "SPMD program {} for {} ranks\n",
+        prog.name, prog.nprocs
+    );
+    out.push_str(&format!(
+        "  windows: {}\n",
+        compiled
+            .report
+            .windowed_arrays
+            .iter()
+            .map(|a| prog.arrays[a.0].0.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    for (i, info) in compiled.report.regions.iter().enumerate() {
+        out.push_str(&format!(
+            "  parallel region {i} (line {}): {} schedule\n",
+            info.line,
+            if info.sched_cyclic { "cyclic" } else { "block" }
+        ));
+        out.push_str(&format!(
+            "    scatter: {} msgs / {} elems; collect: {} msgs / {} elems; strided: {}\n",
+            info.scatter_msgs,
+            info.scatter_elems,
+            info.collect_msgs,
+            info.collect_elems,
+            info.strided_msgs
+        ));
+        if !info.collect_fallback_fine.is_empty() {
+            let names: Vec<&str> = info
+                .collect_fallback_fine
+                .iter()
+                .map(|a| prog.arrays[a.0].0.as_str())
+                .collect();
+            out.push_str(&format!(
+                "    overlap check forced fine collection for: {}\n",
+                names.join(", ")
+            ));
+        }
+    }
+    let e = &compiled.report.elisions;
+    if e.scatters_elided + e.collects_elided > 0 {
+        out.push_str(&format!(
+            "  AVPG elided {} scatters and {} collects ({} elements)\n",
+            e.scatters_elided, e.collects_elided, e.elided_elems
+        ));
+    }
+    // AVPG attribute matrix.
+    out.push_str("  AVPG (V=valid, p=propagate, .=invalid):\n");
+    for (i, _node) in compiled.avpg.nodes.iter().enumerate() {
+        let row: String = (0..prog.arrays.len())
+            .map(|a| match compiled.avpg.attr(i, lmad::ArrayId(a)) {
+                NodeAttr::Valid => 'V',
+                NodeAttr::Propagate => 'p',
+                NodeAttr::Invalid => '.',
+            })
+            .collect();
+        out.push_str(&format!("    region {i}: {row}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BackendOptions;
+    use vpce_workloads::swim;
+
+    #[test]
+    fn frontend_report_lists_parallel_loops_and_regions() {
+        let analyzed = polaris_fe::compile(swim::SOURCE, &[("N", 16)]).unwrap();
+        let r = super::describe_frontend(&analyzed);
+        assert!(r.contains("PARALLEL DO"), "{r}");
+        assert!(r.contains("WriteFirst"), "{r}");
+        assert!(r.contains("ReadOnly"), "{r}");
+    }
+
+    #[test]
+    fn frontend_report_explains_serial_loops() {
+        let src = "PROGRAM T\nPARAMETER (N = 8)\nREAL A(N)\nINTEGER I\nDO I = 2, N\nA(I) = A(I-1)\nENDDO\nEND\n";
+        let analyzed = polaris_fe::compile(src, &[]).unwrap();
+        let r = super::describe_frontend(&analyzed);
+        assert!(r.contains("serial loops"), "{r}");
+        assert!(r.contains("dependence"), "{r}");
+    }
+
+    #[test]
+    fn backend_report_shows_plans_and_avpg() {
+        let compiled =
+            crate::compile(swim::SOURCE, &[("N", 16)], &BackendOptions::new(4)).unwrap();
+        let r = super::describe_backend(&compiled);
+        assert!(r.contains("for 4 ranks"), "{r}");
+        assert!(r.contains("scatter:"), "{r}");
+        assert!(r.contains("AVPG"), "{r}");
+        assert!(r.contains('V'), "{r}");
+    }
+}

@@ -1,0 +1,592 @@
+//! The LMAD itself: dimensions, simplification, enumeration, overlap.
+
+use std::fmt;
+
+/// One access dimension: a consistent stride walked `count` times.
+///
+/// The paper characterises a dimension by (stride, span); we store
+/// (stride, count) with `span = stride * (count - 1)`, which keeps the
+/// element count explicit and makes degenerate dimensions
+/// (`count == 1`) unambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim {
+    /// Distance in elements between consecutive accesses of this
+    /// dimension. May be negative for descending loops.
+    pub stride: i64,
+    /// Number of accesses the dimension generates (≥ 1).
+    pub count: u64,
+}
+
+impl Dim {
+    /// Construct a dimension.
+    ///
+    /// # Panics
+    /// Panics if `count == 0`.
+    pub fn new(stride: i64, count: u64) -> Self {
+        assert!(count >= 1, "a dimension makes at least one access");
+        Dim { stride, count }
+    }
+
+    /// The paper's *span*: `offset(last) - offset(first)`.
+    pub fn span(&self) -> i64 {
+        self.stride * (self.count as i64 - 1)
+    }
+
+    /// True when this dimension walks consecutive elements.
+    pub fn is_unit_stride(&self) -> bool {
+        self.stride == 1
+    }
+}
+
+/// A Linear Memory Access Descriptor: `base` plus a set of dimensions.
+///
+/// The empty-dimension LMAD denotes the single element at `base`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lmad {
+    pub base: i64,
+    pub dims: Vec<Dim>,
+}
+
+impl fmt::Display for Lmad {
+    /// The paper's notation: strides as superscripts, spans as
+    /// subscripts, base after a plus: `A^{s1,s2}_{p1,p2} + b` rendered
+    /// as `A[s1,s2 / p1,p2] + b`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", d.stride)?;
+        }
+        write!(f, " / ")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", d.span())?;
+        }
+        write!(f, "] + {}", self.base)
+    }
+}
+
+impl Lmad {
+    /// The single element at `base`.
+    pub fn scalar(base: i64) -> Self {
+        Lmad {
+            base,
+            dims: Vec::new(),
+        }
+    }
+
+    /// A contiguous run of `count` elements starting at `base`.
+    pub fn contiguous(base: i64, count: u64) -> Self {
+        if count == 1 {
+            return Lmad::scalar(base);
+        }
+        Lmad {
+            base,
+            dims: vec![Dim::new(1, count)],
+        }
+    }
+
+    /// A one-dimensional strided access.
+    pub fn strided(base: i64, stride: i64, count: u64) -> Self {
+        if count == 1 {
+            return Lmad::scalar(base);
+        }
+        Lmad {
+            base,
+            dims: vec![Dim::new(stride, count)],
+        }
+    }
+
+    /// Build from explicit dimensions.
+    pub fn new(base: i64, dims: Vec<Dim>) -> Self {
+        Lmad { base, dims }
+    }
+
+    /// Number of accesses described (with multiplicity — aliasing
+    /// dimensions may revisit an element).
+    pub fn num_accesses(&self) -> u64 {
+        self.dims.iter().map(|d| d.count).product()
+    }
+
+    /// Number of *distinct* elements touched, or `None` when it cannot
+    /// be established exactly (dimensions may alias and the access is
+    /// too large to enumerate within `limit`).
+    pub fn distinct_elements_exact(&self, limit: u64) -> Option<u64> {
+        let n = self.normalized();
+        // Fast path: each dimension's stride jumps past the combined
+        // extent of all inner dimensions, so digits are unique.
+        let mut inner_span: i64 = 0;
+        let mut non_aliasing = true;
+        for d in &n.dims {
+            if d.stride <= inner_span {
+                non_aliasing = false;
+                break;
+            }
+            inner_span += d.span();
+        }
+        if non_aliasing {
+            return Some(n.num_accesses());
+        }
+        n.offsets(limit).map(|mut offs| {
+            offs.dedup();
+            offs.len() as u64
+        })
+    }
+
+    /// Number of *distinct* elements touched. Exact when
+    /// [`Lmad::distinct_elements_exact`] succeeds; otherwise an upper
+    /// bound (compiler-generated subscripts are non-aliasing, so the
+    /// bound is only reached on adversarial inputs).
+    pub fn distinct_elements(&self, limit: u64) -> u64 {
+        self.distinct_elements_exact(limit)
+            .unwrap_or_else(|| self.num_accesses().min(self.bounding_len()))
+    }
+
+    /// Expansion across an enclosing loop (§4.2): the loop contributes
+    /// `per_iter` elements of movement per iteration, `count`
+    /// iterations. A zero contribution leaves the descriptor invariant
+    /// in that loop.
+    pub fn expanded(&self, per_iter: i64, count: u64) -> Lmad {
+        assert!(count >= 1);
+        if per_iter == 0 || count == 1 {
+            return self.clone();
+        }
+        let mut dims = self.dims.clone();
+        dims.push(Dim::new(per_iter, count));
+        Lmad {
+            base: self.base,
+            dims,
+        }
+    }
+
+    /// Lowest and highest element offset touched (inclusive).
+    pub fn extent(&self) -> (i64, i64) {
+        let mut lo = self.base;
+        let mut hi = self.base;
+        for d in &self.dims {
+            let s = d.span();
+            if s >= 0 {
+                hi += s;
+            } else {
+                lo += s;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Number of elements in the bounding contiguous region.
+    pub fn bounding_len(&self) -> u64 {
+        let (lo, hi) = self.extent();
+        (hi - lo + 1) as u64
+    }
+
+    /// The bounding contiguous LMAD — §5.6's "approximate region" at
+    /// its coarsest.
+    pub fn bounding_contiguous(&self) -> Lmad {
+        let (lo, hi) = self.extent();
+        Lmad::contiguous(lo, (hi - lo + 1) as u64)
+    }
+
+    /// Normalise: drop degenerate dimensions, flip negative strides
+    /// (adjusting the base), sort by increasing |stride|, and coalesce
+    /// adjacent dimensions where the outer stride equals the inner
+    /// stride times the inner count (PLDI'98 "contiguous aggregation").
+    ///
+    /// Normalisation preserves the *set* of touched offsets (it may
+    /// drop multiplicity of revisits, which no consumer depends on).
+    pub fn normalized(&self) -> Lmad {
+        let mut base = self.base;
+        let mut dims: Vec<Dim> = Vec::with_capacity(self.dims.len());
+        for d in &self.dims {
+            if d.count == 1 || d.stride == 0 {
+                continue; // degenerate: contributes nothing to movement
+            }
+            if d.stride < 0 {
+                // Walk the dimension backwards: same offsets.
+                base += d.span();
+                dims.push(Dim::new(-d.stride, d.count));
+            } else {
+                dims.push(*d);
+            }
+        }
+        dims.sort_by_key(|d| d.stride);
+        // Coalesce inner->outer while profitable.
+        let mut out: Vec<Dim> = Vec::with_capacity(dims.len());
+        for d in dims {
+            match out.last_mut() {
+                Some(prev) if d.stride == prev.stride * prev.count as i64 => {
+                    prev.count *= d.count;
+                }
+                _ => out.push(d),
+            }
+        }
+        Lmad { base, dims: out }
+    }
+
+    /// True when the (normalised) access is one contiguous run.
+    pub fn is_contiguous(&self) -> bool {
+        let n = self.normalized();
+        n.dims.is_empty() || (n.dims.len() == 1 && n.dims[0].stride == 1)
+    }
+
+    /// Enumerate every touched offset (with multiplicity), smallest
+    /// dimension varying fastest. Returns `None` when the access count
+    /// exceeds `limit` — callers must then fall back to conservative
+    /// reasoning.
+    pub fn offsets(&self, limit: u64) -> Option<Vec<i64>> {
+        if self.num_accesses() > limit {
+            return None;
+        }
+        let mut out = vec![self.base];
+        for d in &self.dims {
+            let mut next = Vec::with_capacity(out.len() * d.count as usize);
+            for i in 0..d.count as i64 {
+                for &o in &out {
+                    next.push(o + i * d.stride);
+                }
+            }
+            out = next;
+        }
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Exact containment of one element offset, via enumeration when
+    /// feasible, else digit-decomposition over the normalised sorted
+    /// dims (exact when dims are non-aliasing, conservative `true`
+    /// otherwise).
+    pub fn contains(&self, offset: i64) -> bool {
+        let n = self.normalized();
+        let (lo, hi) = n.extent();
+        if offset < lo || offset > hi {
+            return false;
+        }
+        // Greedy digit decomposition from the largest stride down.
+        fn rec(dims: &[Dim], rem: i64) -> bool {
+            match dims.split_last() {
+                None => rem == 0,
+                Some((d, rest)) => {
+                    // Try every feasible digit (usually ≤ 2 candidates
+                    // after the bound check below).
+                    let inner_span: i64 = rest.iter().map(|x| x.span()).sum();
+                    for i in 0..d.count as i64 {
+                        let r = rem - i * d.stride;
+                        if r < 0 {
+                            break;
+                        }
+                        if r <= inner_span && rec(rest, r) {
+                            return true;
+                        }
+                    }
+                    false
+                }
+            }
+        }
+        rec(&n.dims, offset - n.base)
+    }
+
+    /// Conservative overlap: do the bounding extents intersect? Never
+    /// returns `false` when a true overlap exists.
+    pub fn may_overlap(&self, other: &Lmad) -> bool {
+        let (alo, ahi) = self.extent();
+        let (blo, bhi) = other.extent();
+        if ahi < blo || bhi < alo {
+            return false;
+        }
+        // Refinement for a pair of single-dimension strided accesses:
+        // offsets a.base + i*s and b.base + j*t intersect only if
+        // gcd(s, t) divides the base difference.
+        let a = self.normalized();
+        let b = other.normalized();
+        if a.dims.len() == 1 && b.dims.len() == 1 {
+            let g = gcd(a.dims[0].stride.unsigned_abs(), b.dims[0].stride.unsigned_abs());
+            if g > 0 && (a.base - b.base).unsigned_abs() % g != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Exact overlap via enumeration; `None` if either side exceeds
+    /// `limit` accesses (fall back to [`Lmad::may_overlap`]).
+    pub fn overlaps_exact(&self, other: &Lmad, limit: u64) -> Option<bool> {
+        let a = self.offsets(limit)?;
+        let b = other.offsets(limit)?;
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return Some(true),
+            }
+        }
+        Some(false)
+    }
+
+    /// Best-effort overlap: exact when enumerable, conservative
+    /// otherwise.
+    pub fn overlaps(&self, other: &Lmad) -> bool {
+        self.overlaps_exact(other, 4096)
+            .unwrap_or_else(|| self.may_overlap(other))
+    }
+
+    /// True when every offset of `other` is an offset of `self`
+    /// (exact via enumeration; conservative `false` when too large).
+    pub fn contains_all(&self, other: &Lmad, limit: u64) -> bool {
+        match other.offsets(limit) {
+            Some(offs) => offs.iter().all(|&o| self.contains(o)),
+            None => {
+                // Cheap sufficient condition: self is contiguous and
+                // other's extent is inside it.
+                let n = self.normalized();
+                if n.is_contiguous() {
+                    let (lo, hi) = n.extent();
+                    let (olo, ohi) = other.extent();
+                    lo <= olo && ohi <= hi
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The splitted LMADs of §5.4, Definition 2: `A_mapping` is the
+    /// lowest (fastest-varying) dimension, which maps onto a
+    /// communication primitive; `A_offsets` is everything else, which
+    /// enumerates the copies' start offsets.
+    ///
+    /// For a dimensionless LMAD the mapping is a single element.
+    pub fn split(&self) -> SplitLmad {
+        let n = self.normalized();
+        match n.dims.split_first() {
+            None => SplitLmad {
+                mapping: Dim::new(1, 1),
+                offsets: Lmad::scalar(n.base),
+            },
+            Some((lowest, rest)) => SplitLmad {
+                mapping: *lowest,
+                offsets: Lmad {
+                    base: n.base,
+                    dims: rest.to_vec(),
+                },
+            },
+        }
+    }
+}
+
+/// The §5.4 decomposition: `A_offsets` enumerates start offsets,
+/// `A_mapping` describes the per-offset transfer shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitLmad {
+    /// The lowest dimension (`α_1`, `δ_1`): maps to one
+    /// contiguous/strided PUT/GET per offset.
+    pub mapping: Dim,
+    /// The remaining dimensions, whose enumeration gives "the set of
+    /// the offsets calculated from `A_offset`".
+    pub offsets: Lmad,
+}
+
+impl SplitLmad {
+    /// Number of communications at fine/middle grain — the paper's
+    /// `(δ2/α2) x ... x (δp/αp)` count (each factor is a dim count).
+    pub fn num_offsets(&self) -> u64 {
+        self.offsets.num_accesses()
+    }
+
+    /// Enumerate the start offsets.
+    pub fn offset_list(&self, limit: u64) -> Option<Vec<i64>> {
+        self.offsets.offsets(limit)
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 4 access: `REAL A(14,*)`, loops I=1,2 /
+    /// J=1,2 / K=1,10,3 over `A(K, J+2*(I-1))` (column-major):
+    /// offsets = (K-1) + 14*(J-1) + 28*(I-1) → LMAD
+    /// A[3,14,28 / 9,14,28] + 0.
+    fn figure4() -> Lmad {
+        Lmad::new(
+            0,
+            vec![Dim::new(3, 4), Dim::new(14, 2), Dim::new(28, 2)],
+        )
+    }
+
+    #[test]
+    fn figure4_offsets() {
+        let offs = figure4().offsets(1000).unwrap();
+        // K dim: 0,3,6,9; J adds +14; I adds +28.
+        let mut expect = Vec::new();
+        for i in [0i64, 28] {
+            for j in [0i64, 14] {
+                for k in [0i64, 3, 6, 9] {
+                    expect.push(i + j + k);
+                }
+            }
+        }
+        expect.sort_unstable();
+        assert_eq!(offs, expect);
+    }
+
+    #[test]
+    fn figure2_stride2() {
+        // DO i=1,11,2 over A(i): 6 accesses at stride 2.
+        let l = Lmad::strided(0, 2, 6);
+        assert_eq!(l.num_accesses(), 6);
+        assert_eq!(l.extent(), (0, 10));
+        assert_eq!(l.dims[0].span(), 10);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let s = figure4().to_string();
+        assert_eq!(s, "A[3,14,28 / 9,14,28] + 0");
+    }
+
+    #[test]
+    fn expansion_adds_a_dimension() {
+        // Statement-level access A(I) expanded over DO I=1,100.
+        let stmt = Lmad::scalar(0);
+        let loop_l = stmt.expanded(1, 100);
+        assert_eq!(loop_l, Lmad::contiguous(0, 100));
+        // Invariant in the loop: unchanged.
+        assert_eq!(stmt.expanded(0, 100), stmt);
+    }
+
+    #[test]
+    fn normalize_flips_negative_strides() {
+        // DO i=10,1,-1 over A(i): stride -1 from base 9.
+        let l = Lmad::strided(9, -1, 10);
+        let n = l.normalized();
+        assert_eq!(n, Lmad::contiguous(0, 10));
+        assert_eq!(
+            l.offsets(100).unwrap(),
+            n.offsets(100).unwrap(),
+            "normalisation preserves the offset set"
+        );
+    }
+
+    #[test]
+    fn normalize_coalesces_contiguous_dims() {
+        // Rows of 5 contiguous elements, stride 5 between rows: one
+        // contiguous run of 20.
+        let l = Lmad::new(0, vec![Dim::new(1, 5), Dim::new(5, 4)]);
+        assert_eq!(l.normalized(), Lmad::contiguous(0, 20));
+        assert!(l.is_contiguous());
+    }
+
+    #[test]
+    fn normalize_keeps_gaps() {
+        // Rows of 4 of 5: gap of one element per row.
+        let l = Lmad::new(0, vec![Dim::new(1, 4), Dim::new(5, 4)]);
+        let n = l.normalized();
+        assert_eq!(n.dims.len(), 2);
+        assert!(!l.is_contiguous());
+    }
+
+    #[test]
+    fn contains_matches_enumeration() {
+        let l = figure4();
+        let offs = l.offsets(1000).unwrap();
+        for o in -5..60 {
+            assert_eq!(
+                l.contains(o),
+                offs.contains(&o),
+                "offset {o} disagreement"
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_exact_and_conservative_agree_when_enumerable() {
+        let a = Lmad::strided(0, 2, 10); // evens 0..18
+        let b = Lmad::strided(1, 2, 10); // odds 1..19
+        assert_eq!(a.overlaps_exact(&b, 100), Some(false));
+        // may_overlap's gcd refinement also proves it:
+        assert!(!a.may_overlap(&b));
+        let c = Lmad::strided(4, 2, 3);
+        assert_eq!(a.overlaps_exact(&c, 100), Some(true));
+        assert!(a.may_overlap(&c));
+    }
+
+    #[test]
+    fn may_overlap_is_conservative_not_exact() {
+        // Same parity classes, disjoint by range interleaving the gcd
+        // test can't see: stride 6 {0,6} vs stride 6 {3,9} share gcd 6,
+        // base diff 3 not divisible -> provably disjoint.
+        let a = Lmad::strided(0, 6, 2);
+        let b = Lmad::strided(3, 6, 2);
+        assert!(!a.may_overlap(&b));
+        // Multi-dim: falls back to extent intersection (true even when
+        // actually disjoint).
+        let c = Lmad::new(0, vec![Dim::new(2, 3), Dim::new(12, 2)]);
+        let d = Lmad::strided(1, 16, 2);
+        assert!(c.may_overlap(&d));
+        assert_eq!(c.overlaps_exact(&d, 100), Some(false));
+    }
+
+    #[test]
+    fn bounding_contiguous_covers_everything() {
+        let l = figure4();
+        let b = l.bounding_contiguous();
+        assert_eq!(b, Lmad::contiguous(0, 52));
+        for o in l.offsets(1000).unwrap() {
+            assert!(b.contains(o));
+        }
+    }
+
+    #[test]
+    fn split_figure8() {
+        // §5.4's example: offsets {0,14,24,38}-ish from the two outer
+        // dims, mapping = the K dimension (stride 3, count 4).
+        let l = Lmad::new(
+            0,
+            vec![Dim::new(3, 4), Dim::new(14, 2), Dim::new(24, 2)],
+        );
+        let s = l.split();
+        assert_eq!(s.mapping, Dim::new(3, 4));
+        assert_eq!(s.num_offsets(), 4);
+        assert_eq!(s.offset_list(100).unwrap(), vec![0, 14, 24, 38]);
+    }
+
+    #[test]
+    fn split_scalar() {
+        let s = Lmad::scalar(7).split();
+        assert_eq!(s.mapping, Dim::new(1, 1));
+        assert_eq!(s.offset_list(10).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn contains_all_for_bounding_regions() {
+        let l = Lmad::strided(0, 2, 8);
+        assert!(l.bounding_contiguous().contains_all(&l, 1000));
+        assert!(!l.contains_all(&l.bounding_contiguous(), 1000));
+    }
+
+    #[test]
+    fn offsets_respects_limit() {
+        let big = Lmad::contiguous(0, 1_000_000);
+        assert!(big.offsets(1000).is_none());
+        assert!(big.offsets(1_000_000).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access")]
+    fn zero_count_dim_rejected() {
+        Dim::new(1, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # lmad — Linear Memory Access Descriptors and summary sets
+//!
+//! The array-access representation at the heart of the paper's
+//! compiler (§4): a **LMAD** describes "access movement through memory
+//! in terms of a series of dimensions", each dimension a consistent
+//! *stride* plus a *span*, with one common *base offset*. The paper's
+//! written form
+//!
+//! ```text
+//!      stride_1, stride_2, ..., stride_d
+//!     A                                   + base
+//!      span_1,   span_2,   ..., span_d
+//! ```
+//!
+//! maps to [`Lmad`] with `dims[k] = Dim { stride, count }` where
+//! `span = stride * (count - 1)`.
+//!
+//! The crate provides the algebra the front- and back-end need:
+//!
+//! * construction and *expansion* across enclosing loop indices (§4.2);
+//! * simplification (coalescing contiguous dimensions, normalising
+//!   negative strides) following Paek/Hoeflinger/Padua, *Simplification
+//!   of Array Access Patterns for Compiler Optimizations* (PLDI'98);
+//! * exact and conservative **overlap** tests (the dependence test of
+//!   the Access Region Test, and the §5.6 safety check on coarse-grain
+//!   data collection);
+//! * access classification (`ReadOnly` / `WriteFirst` / `ReadWrite`)
+//!   and **summary sets** per program section (§4.2);
+//! * the **splitted LMADs** of §5.4 (`A_offsets` × `A_mapping`) and the
+//!   fine / middle / coarse transfer plans of §5.6.
+//!
+//! Strides, spans and offsets are concrete `i64` element counts: the
+//! front-end substitutes `PARAMETER` constants before analysis, exactly
+//! as Fortran 77 fixes array dimensions at compile time (documented in
+//! `DESIGN.md`).
+
+mod descriptor;
+mod summary;
+mod transfer;
+
+pub use descriptor::{Dim, Lmad, SplitLmad};
+pub use summary::{AccessClass, ArrayId, SummaryEntry, SummarySet};
+pub use transfer::{any_overlap, Granularity, RegionTransfer, TransferPlan};

@@ -1,0 +1,158 @@
+//! Property-based tests on the LMAD algebra: the invariants every
+//! consumer (dependence test, scatter/collect planner, granularity
+//! lowering) relies on.
+
+use lmad::{any_overlap, Dim, Granularity, Lmad, TransferPlan};
+use proptest::prelude::*;
+
+const LIMIT: u64 = 1 << 14;
+
+/// Random small LMADs: up to 3 dimensions, strides in ±12, counts ≤ 8,
+/// base in 0..64.
+fn arb_lmad() -> impl Strategy<Value = Lmad> {
+    let stride = prop_oneof![1i64..=12, -12i64..=-1];
+    let dim = (stride, 1u64..=8).prop_map(|(stride, count)| Dim::new(stride, count));
+    (0i64..64, proptest::collection::vec(dim, 0..=3)).prop_map(|(base, dims)| Lmad::new(base, dims))
+}
+
+/// LMADs guaranteed non-negative offsets (for transfer lowering).
+fn arb_positive_lmad() -> impl Strategy<Value = Lmad> {
+    let dim = (1i64..=12, 1u64..=8).prop_map(|(stride, count)| Dim::new(stride, count));
+    (0i64..64, proptest::collection::vec(dim, 0..=3)).prop_map(|(base, dims)| Lmad::new(base, dims))
+}
+
+fn offset_set(l: &Lmad) -> Vec<i64> {
+    let mut v = l.offsets(LIMIT).expect("small by construction");
+    v.dedup();
+    v
+}
+
+proptest! {
+    #[test]
+    fn normalization_preserves_offset_set(l in arb_lmad()) {
+        prop_assert_eq!(offset_set(&l), offset_set(&l.normalized()));
+    }
+
+    #[test]
+    fn normalization_is_idempotent(l in arb_lmad()) {
+        let n = l.normalized();
+        prop_assert_eq!(n.normalized(), n);
+    }
+
+    #[test]
+    fn normalized_strides_positive_sorted(l in arb_lmad()) {
+        let n = l.normalized();
+        let strides: Vec<i64> = n.dims.iter().map(|d| d.stride).collect();
+        prop_assert!(strides.iter().all(|&s| s > 0));
+        prop_assert!(strides.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn extent_bounds_all_offsets(l in arb_lmad()) {
+        let (lo, hi) = l.extent();
+        for o in offset_set(&l) {
+            prop_assert!(o >= lo && o <= hi);
+        }
+        // And the bounds are attained.
+        let offs = offset_set(&l);
+        prop_assert_eq!(*offs.first().unwrap(), lo);
+        prop_assert_eq!(*offs.last().unwrap(), hi);
+    }
+
+    #[test]
+    fn bounding_contiguous_contains_everything(l in arb_lmad()) {
+        let b = l.bounding_contiguous();
+        for o in offset_set(&l) {
+            prop_assert!(b.contains(o));
+        }
+        prop_assert!(b.is_contiguous());
+    }
+
+    #[test]
+    fn contains_agrees_with_enumeration(l in arb_lmad()) {
+        let offs = offset_set(&l);
+        let (lo, hi) = l.extent();
+        for o in (lo - 2)..=(hi + 2) {
+            prop_assert_eq!(
+                l.contains(o),
+                offs.binary_search(&o).is_ok(),
+                "offset {} of {}", o, l
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_exact_matches_set_intersection(a in arb_lmad(), b in arb_lmad()) {
+        let sa = offset_set(&a);
+        let sb = offset_set(&b);
+        let truth = sa.iter().any(|o| sb.binary_search(o).is_ok());
+        prop_assert_eq!(a.overlaps_exact(&b, LIMIT), Some(truth));
+        // Symmetry.
+        prop_assert_eq!(b.overlaps_exact(&a, LIMIT), Some(truth));
+        // may_overlap is never falsely negative.
+        if truth {
+            prop_assert!(a.may_overlap(&b));
+        }
+    }
+
+    #[test]
+    fn split_reconstructs_offsets(l in arb_positive_lmad()) {
+        let n = l.normalized();
+        let s = n.split();
+        let mut rebuilt = Vec::new();
+        for off in s.offset_list(LIMIT).unwrap() {
+            for i in 0..s.mapping.count as i64 {
+                rebuilt.push(off + i * s.mapping.stride);
+            }
+        }
+        rebuilt.sort_unstable();
+        rebuilt.dedup();
+        prop_assert_eq!(rebuilt, offset_set(&l));
+    }
+
+    #[test]
+    fn plans_cover_exact_region(l in arb_positive_lmad(), g in prop_oneof![
+        Just(Granularity::Fine), Just(Granularity::Middle), Just(Granularity::Coarse)
+    ]) {
+        let p = TransferPlan::lower(&l, g, LIMIT);
+        for o in offset_set(&l) {
+            let covered = p.transfers.iter().any(|t| {
+                o >= t.offset && o < t.end() && (o - t.offset) as u64 % t.stride == 0
+            });
+            prop_assert!(covered, "{:?} misses {} of {}", g, o, l);
+        }
+        // Redundancy is never below 1 (plans may only add data).
+        prop_assert!(p.redundancy() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn coarse_is_single_contiguous_message(l in arb_positive_lmad()) {
+        let p = TransferPlan::lower(&l, Granularity::Coarse, LIMIT);
+        prop_assert_eq!(p.num_messages(), 1);
+        prop_assert!(p.transfers[0].is_contiguous());
+    }
+
+    #[test]
+    fn middle_never_uses_pio(l in arb_positive_lmad()) {
+        let p = TransferPlan::lower(&l, Granularity::Middle, LIMIT);
+        prop_assert_eq!(p.strided_messages(), 0);
+    }
+
+    #[test]
+    fn middle_and_fine_have_same_message_count(l in arb_positive_lmad()) {
+        let f = TransferPlan::lower(&l, Granularity::Fine, LIMIT);
+        let m = TransferPlan::lower(&l, Granularity::Middle, LIMIT);
+        prop_assert_eq!(f.num_messages(), m.num_messages());
+        // Middle moves at least as much data.
+        prop_assert!(m.total_elems() >= f.total_elems());
+    }
+
+    #[test]
+    fn overlap_check_is_symmetric_under_permutation(
+        a in arb_lmad(), b in arb_lmad(), c in arb_lmad()
+    ) {
+        let abc = any_overlap(&[a.clone(), b.clone(), c.clone()]);
+        let cba = any_overlap(&[c, b, a]);
+        prop_assert_eq!(abc, cba);
+    }
+}

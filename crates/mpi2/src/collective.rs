@@ -1,0 +1,171 @@
+//! A reusable leader-based rendezvous.
+//!
+//! Every collective in this library follows one pattern: all ranks
+//! arrive with an input value, the *last* arriver runs a leader closure
+//! over the full input vector (scheduling network transfers, moving
+//! memory), and every rank leaves with its slot of the leader's output
+//! vector. Because the leader only runs once all inputs are present and
+//! processes them in rank order, the outcome is independent of OS
+//! scheduling.
+
+use std::any::Any;
+
+use parking_lot::{Condvar, Mutex};
+
+type Slot = Option<Box<dyn Any + Send>>;
+
+struct State {
+    generation: u64,
+    arrived: usize,
+    poisoned: bool,
+    inputs: Vec<Slot>,
+    outputs: Vec<Slot>,
+}
+
+/// Cyclic leader-based rendezvous for `n` participants.
+pub struct Collective {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Collective {
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        Collective {
+            n,
+            state: Mutex::new(State {
+                generation: 0,
+                arrived: 0,
+                poisoned: false,
+                inputs: (0..n).map(|_| None).collect(),
+                outputs: (0..n).map(|_| None).collect(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Mark the collective unusable because a participant died. Wakes
+    /// every waiter, which then panics instead of blocking forever.
+    pub fn poison(&self) {
+        self.state.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Enter the rendezvous as `rank` with `input`. When the last rank
+    /// arrives, its `leader` closure maps the full input vector to one
+    /// output per rank; every rank returns its own output.
+    ///
+    /// All ranks must pass behaviourally identical leaders (the code is
+    /// SPMD, so they do).
+    pub fn run<T, R, F>(&self, rank: usize, input: T, leader: F) -> R
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: FnOnce(Vec<T>) -> Vec<R>,
+    {
+        let mut st = self.state.lock();
+        assert!(!st.poisoned, "collective poisoned: a peer rank panicked");
+        debug_assert!(st.inputs[rank].is_none(), "rank {rank} re-entered");
+        st.inputs[rank] = Some(Box::new(input));
+        st.arrived += 1;
+        if st.arrived == self.n {
+            // Leader: drain inputs in rank order, produce outputs.
+            let inputs: Vec<T> = st
+                .inputs
+                .iter_mut()
+                .map(|s| *s.take().unwrap().downcast::<T>().expect("input type"))
+                .collect();
+            let outputs = leader(inputs);
+            assert_eq!(outputs.len(), self.n, "leader must emit one output per rank");
+            for (slot, out) in st.outputs.iter_mut().zip(outputs) {
+                *slot = Some(Box::new(out));
+            }
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+        } else {
+            let gen = st.generation;
+            self.cv
+                .wait_while(&mut st, |s| s.generation == gen && !s.poisoned);
+            assert!(
+                st.generation != gen,
+                "collective poisoned: a peer rank panicked"
+            );
+        }
+        *st.outputs[rank]
+            .take()
+            .expect("output present")
+            .downcast::<R>()
+            .expect("output type")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sums_inputs_for_everyone() {
+        let c = Arc::new(Collective::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    c.run(r, r as u64 + 1, |xs| {
+                        let total: u64 = xs.iter().sum();
+                        vec![total; 4]
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 10);
+        }
+    }
+
+    #[test]
+    fn per_rank_outputs_routed_correctly() {
+        let c = Arc::new(Collective::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|r| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || c.run(r, r, |xs| xs.iter().map(|x| x * 10).collect()))
+            })
+            .collect();
+        let outs: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(outs, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let c = Arc::new(Collective::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut acc = 0u64;
+                    for round in 0..100u64 {
+                        acc = c.run(r, (acc + round) % 1_000_003, |xs| {
+                            vec![(xs[0] + xs[1]) % 1_000_003; 2]
+                        });
+                    }
+                    acc
+                })
+            })
+            .collect();
+        let a = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>();
+        assert_eq!(a[0], a[1]);
+    }
+
+    #[test]
+    fn single_participant_runs_leader_inline() {
+        let c = Collective::new(1);
+        let out = c.run(0, 7, |xs| vec![xs[0] * 2]);
+        assert_eq!(out, 14);
+    }
+}

@@ -1,0 +1,60 @@
+//! # mpi2 — the paper's MPI-2 library over the simulated V-Bus cluster
+//!
+//! Implements the communication layer of §2.2: the MPI-1 two-sided
+//! primitives plus the MPI-2 one-sided extensions the compiler backend
+//! targets —
+//!
+//! * **memory windows** ([`Mpi::win_create`]) — "a portion of the
+//!   private memory of a local process that can be accessed by remote
+//!   processes without intervention of the local process" (§5.1);
+//! * **contiguous `MPI_PUT`/`MPI_GET`** ([`Mpi::put`], [`Mpi::get`]) —
+//!   DMA path, the host pays only descriptor setup;
+//! * **strided `MPI_PUT`/`MPI_GET`** ([`Mpi::put_strided`],
+//!   [`Mpi::get_strided`]) — programmed-I/O path, the host copies
+//!   element by element into the driver buffer;
+//! * **`MPI_WIN_FENCE`** ([`Mpi::win_fence`], [`Mpi::fence_all`]) —
+//!   closes the access epoch: "fences guarantee that all outstanding
+//!   writes to remote memory have been completed" (§3);
+//! * **`MPI_BARRIER`** and collectives, with broadcast lowered onto the
+//!   card's virtual-bus hardware when present;
+//! * **`MPI_WIN_LOCK`/`UNLOCK`** for critical sections (§3's lock
+//!   primitive for reductions).
+//!
+//! ## Execution model
+//!
+//! Each MPI process is an OS thread carrying a **virtual clock**
+//! (seconds). Compute advances the clock locally
+//! ([`Mpi::compute`]/[`Mpi::advance`]); communication costs come from
+//! the [`cluster_sim`] NIC model (host side) and the [`vbus_sim`] link
+//! scheduler (wire side). Wall-clock never influences any result.
+//!
+//! ## Determinism
+//!
+//! One-sided operations issued inside an access epoch are *buffered*
+//! and scheduled at the closing fence, sorted by
+//! `(issue time, origin rank, sequence number)`. This is faithful to
+//! MPI-2 semantics — the target may not observe RMA results before the
+//! epoch closes — and makes every run bit-reproducible regardless of OS
+//! thread scheduling. Passive-target lock/unlock epochs are the one
+//! exception (documented on [`Mpi::win_lock`]).
+
+mod collective;
+mod p2p;
+mod rma;
+mod stats;
+mod universe;
+mod window;
+
+pub mod coll;
+
+pub use rma::AccumulateOp;
+pub use stats::RankStats;
+pub use universe::{Mpi, RunOutcome, Universe};
+pub use window::{WinId, WindowRef};
+
+/// All window payloads are double precision, matching the `REAL*8`
+/// arrays of the evaluated Fortran codes.
+pub type Elem = f64;
+
+/// Size of one window element on the wire.
+pub const ELEM_BYTES: usize = std::mem::size_of::<Elem>();

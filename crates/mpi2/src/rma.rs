@@ -1,0 +1,201 @@
+//! One-sided operations: the pending-op buffer and its application at
+//! the fence.
+//!
+//! Inside an access epoch, PUT/GET/ACCUMULATE calls only (a) charge the
+//! origin CPU the host-side initiation cost and (b) append a
+//! [`PendingRma`] record. The closing fence drains the buffer in
+//! deterministic order, schedules every wire transfer on the link
+//! simulator, and materialises the memory effects — the MPI-2 rule that
+//! RMA results become visible only when the epoch closes.
+
+use crate::window::WinId;
+use crate::Elem;
+
+/// Reduction operator for `MPI_ACCUMULATE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccumulateOp {
+    Sum,
+    Prod,
+    Max,
+    Min,
+}
+
+impl AccumulateOp {
+    /// Apply the operator.
+    pub fn apply(self, a: Elem, b: Elem) -> Elem {
+        match self {
+            AccumulateOp::Sum => a + b,
+            AccumulateOp::Prod => a * b,
+            AccumulateOp::Max => a.max(b),
+            AccumulateOp::Min => a.min(b),
+        }
+    }
+}
+
+/// The payload-specific part of a pending one-sided operation.
+///
+/// Offsets are in elements. Layouts are symmetric: the scatter/collect
+/// scheme keeps every rank's copy of an array at full size, so a region
+/// lives at the same offsets on both sides (see `spmd-rt`).
+#[derive(Debug, Clone)]
+pub(crate) enum RmaKind {
+    /// Contiguous PUT: write `data` at `off` in the target shard.
+    PutContig { off: usize, data: Vec<Elem> },
+    /// Strided PUT: write `data[i]` at `off + i*stride`.
+    PutStrided {
+        off: usize,
+        stride: usize,
+        data: Vec<Elem>,
+    },
+    /// Contiguous GET: read `count` elements at `off` from the target
+    /// shard into the origin shard at the same offset.
+    GetContig { off: usize, count: usize },
+    /// Strided GET: read elements `off + i*stride` from the target into
+    /// the same locations of the origin shard.
+    GetStrided {
+        off: usize,
+        stride: usize,
+        count: usize,
+    },
+    /// Accumulate: combine `data` into the target at `off` with `op`.
+    AccContig {
+        off: usize,
+        data: Vec<Elem>,
+        op: AccumulateOp,
+    },
+}
+
+impl RmaKind {
+    /// Payload bytes crossing the wire.
+    pub fn wire_bytes(&self) -> usize {
+        let elems = match self {
+            RmaKind::PutContig { data, .. } => data.len(),
+            RmaKind::PutStrided { data, .. } => data.len(),
+            RmaKind::GetContig { count, .. } => *count,
+            RmaKind::GetStrided { count, .. } => *count,
+            RmaKind::AccContig { data, .. } => data.len(),
+        };
+        elems * crate::ELEM_BYTES
+    }
+
+    /// True for GET-family operations (data flows target → origin).
+    pub fn is_get(&self) -> bool {
+        matches!(self, RmaKind::GetContig { .. } | RmaKind::GetStrided { .. })
+    }
+
+    /// Highest element index touched on the target shard.
+    pub fn target_extent(&self) -> usize {
+        match *self {
+            RmaKind::PutContig { off, ref data } => off + data.len(),
+            RmaKind::PutStrided {
+                off,
+                stride,
+                ref data,
+            } => off + stride * data.len().saturating_sub(1) + 1,
+            RmaKind::GetContig { off, count } => off + count,
+            RmaKind::GetStrided { off, stride, count } => {
+                off + stride * count.saturating_sub(1) + 1
+            }
+            RmaKind::AccContig { off, ref data, .. } => off + data.len(),
+        }
+    }
+}
+
+/// A buffered one-sided operation awaiting the closing fence.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingRma {
+    /// Per-origin issue sequence number (ties in the deterministic
+    /// sort).
+    pub seq: u64,
+    pub origin: usize,
+    pub target: usize,
+    pub win: WinId,
+    /// Origin virtual time when the op left the host (after host
+    /// overhead was charged).
+    pub issue: f64,
+    pub kind: RmaKind,
+}
+
+impl PendingRma {
+    /// The deterministic scheduling order: issue time, then origin,
+    /// then per-origin sequence.
+    pub fn sort_key(&self) -> (u64, usize, u64) {
+        // Total order on non-NaN f64 via bit tricks is overkill here:
+        // issue times are products of deterministic arithmetic, so we
+        // order by their bit pattern after a monotone map.
+        (f64_order_key(self.issue), self.origin, self.seq)
+    }
+}
+
+/// Monotone map from non-negative finite f64 to u64 preserving order.
+pub(crate) fn f64_order_key(x: f64) -> u64 {
+    debug_assert!(x >= 0.0 && x.is_finite(), "virtual time must be finite+");
+    x.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_ops() {
+        assert_eq!(AccumulateOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(AccumulateOp::Prod.apply(2.0, 3.0), 6.0);
+        assert_eq!(AccumulateOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(AccumulateOp::Min.apply(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn wire_bytes_per_kind() {
+        assert_eq!(
+            RmaKind::PutContig {
+                off: 0,
+                data: vec![0.0; 4]
+            }
+            .wire_bytes(),
+            32
+        );
+        assert_eq!(
+            RmaKind::GetStrided {
+                off: 0,
+                stride: 3,
+                count: 5
+            }
+            .wire_bytes(),
+            40
+        );
+    }
+
+    #[test]
+    fn target_extent_strided() {
+        let k = RmaKind::PutStrided {
+            off: 10,
+            stride: 4,
+            data: vec![0.0; 3],
+        };
+        // Elements at 10, 14, 18 -> extent 19.
+        assert_eq!(k.target_extent(), 19);
+    }
+
+    #[test]
+    fn f64_order_key_monotone() {
+        let xs = [0.0, 1e-12, 3.5e-6, 0.1, 1.0, 1e9];
+        for w in xs.windows(2) {
+            assert!(f64_order_key(w[0]) < f64_order_key(w[1]));
+        }
+    }
+
+    #[test]
+    fn sort_key_breaks_ties_by_origin_then_seq() {
+        let mk = |origin, seq| PendingRma {
+            seq,
+            origin,
+            target: 0,
+            win: WinId(0),
+            issue: 1.0,
+            kind: RmaKind::GetContig { off: 0, count: 1 },
+        };
+        assert!(mk(0, 5).sort_key() < mk(1, 0).sort_key());
+        assert!(mk(1, 0).sort_key() < mk(1, 1).sort_key());
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-rank accounting of where virtual time goes.
+//!
+//! Table 2 of the paper reports the *communication time* of each
+//! benchmark; [`RankStats`] is the ledger those numbers come from. We
+//! separate:
+//!
+//! * `comm_host` — CPU time spent initiating transfers (descriptor
+//!   posts, DMA setup, programmed-I/O element copies). This is the
+//!   "communication setup time" §5.6 optimizes;
+//! * `comm_wait` — time from entering a fence (or blocking receive)
+//!   until the data had drained;
+//! * `sync_wait` — time spent in pure synchronization (barriers,
+//!   waiting for slower ranks at collectives).
+
+/// Virtual-time and volume counters for one rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankStats {
+    /// Host-side communication cost, seconds (posts, DMA setup, PIO).
+    pub comm_host: f64,
+    /// Time blocked in fences / receives waiting for data, seconds.
+    pub comm_wait: f64,
+    /// Time blocked in barriers and collective rendezvous, seconds.
+    pub sync_wait: f64,
+    /// Bytes sent by PUT (payload).
+    pub bytes_put: u64,
+    /// Bytes fetched by GET (payload).
+    pub bytes_got: u64,
+    /// Bytes moved by two-sided sends.
+    pub bytes_sent: u64,
+    /// Contiguous one-sided operations issued.
+    pub rma_contiguous: u64,
+    /// Strided one-sided operations issued.
+    pub rma_strided: u64,
+    /// Elements copied by programmed I/O.
+    pub pio_elems: u64,
+    /// Fences participated in.
+    pub fences: u64,
+    /// Barriers participated in.
+    pub barriers: u64,
+}
+
+impl RankStats {
+    /// Total communication time in the Table-2 sense: everything spent
+    /// initiating transfers or waiting for them (excluding pure barrier
+    /// synchronization).
+    pub fn comm_time(&self) -> f64 {
+        self.comm_host + self.comm_wait
+    }
+
+    /// Total one-sided operations issued.
+    pub fn rma_ops(&self) -> u64 {
+        self.rma_contiguous + self.rma_strided
+    }
+
+    /// Fold another rank's counters into this one (for cluster-wide
+    /// totals).
+    pub fn merge(&mut self, other: &RankStats) {
+        self.comm_host += other.comm_host;
+        self.comm_wait += other.comm_wait;
+        self.sync_wait += other.sync_wait;
+        self.bytes_put += other.bytes_put;
+        self.bytes_got += other.bytes_got;
+        self.bytes_sent += other.bytes_sent;
+        self.rma_contiguous += other.rma_contiguous;
+        self.rma_strided += other.rma_strided;
+        self.pio_elems += other.pio_elems;
+        self.fences += other.fences;
+        self.barriers += other.barriers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_time_sums_host_and_wait() {
+        let s = RankStats {
+            comm_host: 1.0,
+            comm_wait: 2.0,
+            sync_wait: 4.0,
+            ..RankStats::default()
+        };
+        assert_eq!(s.comm_time(), 3.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RankStats {
+            bytes_put: 10,
+            rma_strided: 1,
+            ..RankStats::default()
+        };
+        let b = RankStats {
+            bytes_put: 5,
+            rma_contiguous: 2,
+            ..RankStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.bytes_put, 15);
+        assert_eq!(a.rma_ops(), 3);
+    }
+}

@@ -1,0 +1,957 @@
+//! The MPI universe: rank threads, virtual clocks, and the `Mpi`
+//! process handle.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cluster_sim::{ClusterConfig, CpuModel, NicModel, OpCounts, TransferKind};
+use parking_lot::lock_api::ArcMutexGuard;
+use parking_lot::{Mutex, RawMutex};
+use vbus_sim::{NetSim, NetStats};
+
+use crate::collective::Collective;
+use crate::p2p::Mailboxes;
+use crate::rma::{AccumulateOp, PendingRma, RmaKind};
+use crate::stats::RankStats;
+use crate::window::{WinId, WindowRef, WindowTable};
+use crate::Elem;
+
+/// State shared by every rank of a universe.
+pub(crate) struct Shared {
+    pub cfg: ClusterConfig,
+    pub net: Mutex<NetSim>,
+    pub table: Mutex<WindowTable>,
+    pub pending: Mutex<Vec<PendingRma>>,
+    pub coll: Collective,
+    pub mail: Mailboxes,
+}
+
+impl Shared {
+    /// Software+wire cost of one barrier on this machine: with V-Bus
+    /// hardware a bus-arbitrated release, otherwise a software
+    /// dissemination tree.
+    pub fn barrier_cost(&self) -> f64 {
+        let cfg = &self.cfg;
+        let p = cfg.num_nodes();
+        if p == 1 {
+            return cfg.node.nic.post_s;
+        }
+        let link = cfg.net.link;
+        let small = link.per_hop_s * cfg.net.topology.diameter() as f64
+            + link.transfer_time(64)
+            + cfg.node.nic.post_s;
+        match cfg.net.vbus {
+            Some(vb) => vb.arbitration_s + vb.per_node_config_s * p as f64 + small,
+            None => 2.0 * (p as f64).log2().ceil() * small,
+        }
+    }
+}
+
+/// The outcome of running an SPMD closure on the cluster.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    /// Per-rank return values of the closure.
+    pub results: Vec<R>,
+    /// Final virtual clock of each rank, seconds.
+    pub clocks: Vec<f64>,
+    /// Per-rank communication/synchronization ledgers.
+    pub rank_stats: Vec<RankStats>,
+    /// Aggregate network counters.
+    pub net: NetStats,
+}
+
+impl<R> RunOutcome<R> {
+    /// Virtual execution time of the run: the slowest rank's clock.
+    pub fn elapsed(&self) -> f64 {
+        self.clocks.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// The critical-path communication time: the largest per-rank
+    /// `comm_host + comm_wait` (what Table 2 reports).
+    pub fn max_comm_time(&self) -> f64 {
+        self.rank_stats
+            .iter()
+            .map(RankStats::comm_time)
+            .fold(0.0, f64::max)
+    }
+
+    /// Cluster-wide totals (all ranks merged).
+    pub fn total_stats(&self) -> RankStats {
+        let mut acc = RankStats::default();
+        for s in &self.rank_stats {
+            acc.merge(s);
+        }
+        acc
+    }
+}
+
+/// A simulated cluster ready to run SPMD programs.
+pub struct Universe {
+    cfg: ClusterConfig,
+}
+
+impl Universe {
+    /// Build a universe for the given machine.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        Universe { cfg }
+    }
+
+    /// The paper's 4-node machine.
+    pub fn paper_4node() -> Self {
+        Universe::new(ClusterConfig::paper_4node())
+    }
+
+    /// Number of MPI processes (one per node).
+    pub fn size(&self) -> usize {
+        self.cfg.num_nodes()
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Run `f` as an SPMD program: one OS thread per rank, each handed
+    /// its own [`Mpi`] handle. Returns when every rank's closure
+    /// returns.
+    pub fn run<R, F>(&self, f: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut Mpi) -> R + Sync,
+    {
+        let n = self.size();
+        let shared = Arc::new(Shared {
+            cfg: self.cfg.clone(),
+            net: Mutex::new(NetSim::new(self.cfg.net.clone())),
+            table: Mutex::new(WindowTable::default()),
+            pending: Mutex::new(Vec::new()),
+            coll: Collective::new(n),
+            mail: Mailboxes::new(n),
+        });
+        let mut results: Vec<Option<(R, f64, RankStats)>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for rank in 0..n {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let body = std::panic::AssertUnwindSafe(|| {
+                        let mut mpi = Mpi {
+                            rank,
+                            size: n,
+                            clock: 0.0,
+                            seq: 0,
+                            stats: RankStats::default(),
+                            shared: Arc::clone(&shared),
+                            held: HashMap::new(),
+                        };
+                        let r = f(&mut mpi);
+                        assert!(
+                            mpi.held.is_empty(),
+                            "rank {rank} finished holding window locks"
+                        );
+                        (r, mpi.clock, mpi.stats)
+                    });
+                    match std::panic::catch_unwind(body) {
+                        Ok(out) => out,
+                        Err(payload) => {
+                            // Unblock peers stuck in collectives or
+                            // receives, then re-raise.
+                            shared.coll.poison();
+                            shared.mail.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(out) => results[rank] = Some(out),
+                    // Re-raise the first failing rank's panic with its
+                    // original payload (peers were poisoned awake).
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        let mut out_results = Vec::with_capacity(n);
+        let mut clocks = Vec::with_capacity(n);
+        let mut rank_stats = Vec::with_capacity(n);
+        for r in results {
+            let (r, c, s) = r.expect("all ranks joined");
+            out_results.push(r);
+            clocks.push(c);
+            rank_stats.push(s);
+        }
+        let net = shared.net.lock().stats().clone();
+        RunOutcome {
+            results: out_results,
+            clocks,
+            rank_stats,
+            net,
+        }
+    }
+}
+
+/// Guard of a passive-target lock epoch.
+type EpochGuard = ArcMutexGuard<RawMutex, f64>;
+
+/// Handle to one MPI process. Obtained only inside [`Universe::run`].
+pub struct Mpi {
+    rank: usize,
+    size: usize,
+    clock: f64,
+    seq: u64,
+    stats: RankStats,
+    shared: Arc<Shared>,
+    held: HashMap<(usize, usize), EpochGuard>,
+}
+
+impl Mpi {
+    /// This process's rank, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processes in the universe.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// The ledger of this rank so far.
+    pub fn stats(&self) -> &RankStats {
+        &self.stats
+    }
+
+    /// The CPU model of this node.
+    pub fn cpu(&self) -> &CpuModel {
+        &self.shared.cfg.node.cpu
+    }
+
+    fn nic(&self) -> &NicModel {
+        &self.shared.cfg.node.nic
+    }
+
+    /// Charge the virtual clock for local computation.
+    pub fn compute(&mut self, ops: &OpCounts) {
+        self.clock += self.cpu().time(ops);
+    }
+
+    /// Advance the virtual clock by raw seconds (pre-computed costs).
+    pub fn advance(&mut self, secs: f64) {
+        debug_assert!(secs >= 0.0);
+        self.clock += secs;
+    }
+
+    // ------------------------------------------------------------------
+    // Windows
+    // ------------------------------------------------------------------
+
+    /// Collectively create a window with `len` local elements on every
+    /// rank (ranks may pass different lengths). Returns the handle to
+    /// this rank's shard.
+    pub fn win_create(&mut self, len: usize) -> WindowRef {
+        let entry = self.clock;
+        let shared = Arc::clone(&self.shared);
+        let (win, exit) = self.shared.coll.run(self.rank, (len, self.clock), |ins| {
+            let lens: Vec<usize> = ins.iter().map(|(l, _)| *l).collect();
+            let maxc = ins.iter().map(|&(_, c)| c).fold(0.0, f64::max);
+            let id = shared.table.lock().create(&lens);
+            let exit = maxc + shared.barrier_cost();
+            vec![(id, exit); lens.len()]
+        });
+        self.stats.sync_wait += exit - entry;
+        self.clock = exit;
+        self.win_ref(win)
+    }
+
+    /// Handle to this rank's shard of an existing window.
+    pub fn win_ref(&self, win: WinId) -> WindowRef {
+        let table = self.shared.table.lock();
+        let shard = table.shard(win, self.rank);
+        WindowRef {
+            win,
+            rank: self.rank,
+            mem: Arc::clone(&shard.mem),
+            len: shard.len,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided operations (active target: buffered until the fence)
+    // ------------------------------------------------------------------
+
+    fn check_bounds(&self, win: WinId, target: usize, kind: &RmaKind) {
+        assert!(target < self.size, "target rank {target} out of range");
+        let table = self.shared.table.lock();
+        let len = table.shard(win, target).len;
+        assert!(
+            kind.target_extent() <= len,
+            "RMA past end of window {win:?} shard {target}: extent {} > len {len}",
+            kind.target_extent()
+        );
+    }
+
+    fn charge_host(&mut self, kind: TransferKind) {
+        let t = self.nic().host_overhead(kind, self.cpu());
+        self.clock += t;
+        self.stats.comm_host += t;
+        match kind {
+            TransferKind::Contiguous { .. } => self.stats.rma_contiguous += 1,
+            TransferKind::Strided { elems, .. } => {
+                self.stats.rma_strided += 1;
+                self.stats.pio_elems += elems as u64;
+            }
+        }
+    }
+
+    fn push_pending(&mut self, target: usize, win: WinId, kind: RmaKind) {
+        self.check_bounds(win, target, &kind);
+        let op = PendingRma {
+            seq: self.seq,
+            origin: self.rank,
+            target,
+            win,
+            issue: self.clock,
+            kind,
+        };
+        self.seq += 1;
+        self.shared.pending.lock().push(op);
+    }
+
+    /// Contiguous `MPI_PUT`: write `data` at element offset `off` of
+    /// `target`'s shard. DMA path — the host pays descriptor setup
+    /// only; completion happens at the closing fence.
+    pub fn put(&mut self, win: &WindowRef, target: usize, off: usize, data: Vec<Elem>) {
+        let bytes = data.len() * crate::ELEM_BYTES;
+        self.stats.bytes_put += bytes as u64;
+        self.charge_host(TransferKind::Contiguous { bytes });
+        self.push_pending(target, win.id(), RmaKind::PutContig { off, data });
+    }
+
+    /// Strided `MPI_PUT`: write `data[i]` to `off + i*stride` of the
+    /// target shard. Programmed-I/O path — the host copies element by
+    /// element into the driver buffer (§2.2).
+    pub fn put_strided(
+        &mut self,
+        win: &WindowRef,
+        target: usize,
+        off: usize,
+        stride: usize,
+        data: Vec<Elem>,
+    ) {
+        assert!(stride >= 1, "stride must be positive");
+        let elems = data.len();
+        self.stats.bytes_put += (elems * crate::ELEM_BYTES) as u64;
+        self.charge_host(TransferKind::Strided {
+            elems,
+            elem_bytes: crate::ELEM_BYTES,
+        });
+        self.push_pending(target, win.id(), RmaKind::PutStrided { off, stride, data });
+    }
+
+    /// Contiguous PUT of a region of *this rank's own shard* to the
+    /// same offsets of `target`'s shard — the symmetric-layout transfer
+    /// the data-scattering/collecting scheme uses.
+    pub fn put_region(&mut self, win: &WindowRef, target: usize, off: usize, count: usize) {
+        let data = {
+            let m = win.lock();
+            m[off..off + count].to_vec()
+        };
+        self.put(win, target, off, data);
+    }
+
+    /// Strided PUT of a region of this rank's own shard (elements
+    /// `off + i*stride`, `i < count`) to the same locations on
+    /// `target`.
+    pub fn put_region_strided(
+        &mut self,
+        win: &WindowRef,
+        target: usize,
+        off: usize,
+        stride: usize,
+        count: usize,
+    ) {
+        assert!(stride >= 1);
+        let data = {
+            let m = win.lock();
+            (0..count).map(|i| m[off + i * stride]).collect::<Vec<_>>()
+        };
+        self.put_strided(win, target, off, stride, data);
+    }
+
+    /// Contiguous `MPI_GET`: fetch `count` elements at `off` from
+    /// `target`'s shard into the same offsets of this rank's shard.
+    /// Completes at the closing fence.
+    pub fn get(&mut self, win: &WindowRef, target: usize, off: usize, count: usize) {
+        let bytes = count * crate::ELEM_BYTES;
+        self.stats.bytes_got += bytes as u64;
+        self.charge_host(TransferKind::Contiguous { bytes });
+        self.push_pending(target, win.id(), RmaKind::GetContig { off, count });
+    }
+
+    /// Strided `MPI_GET`: fetch elements `off + i*stride` from the
+    /// target into the same locations locally. PIO path.
+    pub fn get_strided(
+        &mut self,
+        win: &WindowRef,
+        target: usize,
+        off: usize,
+        stride: usize,
+        count: usize,
+    ) {
+        assert!(stride >= 1);
+        self.stats.bytes_got += (count * crate::ELEM_BYTES) as u64;
+        self.charge_host(TransferKind::Strided {
+            elems: count,
+            elem_bytes: crate::ELEM_BYTES,
+        });
+        self.push_pending(target, win.id(), RmaKind::GetStrided { off, stride, count });
+    }
+
+    /// `MPI_ACCUMULATE` (contiguous): combine `data` into the target
+    /// shard at `off` with `op`, at the closing fence, in deterministic
+    /// order.
+    pub fn accumulate(
+        &mut self,
+        win: &WindowRef,
+        target: usize,
+        off: usize,
+        data: Vec<Elem>,
+        op: AccumulateOp,
+    ) {
+        let bytes = data.len() * crate::ELEM_BYTES;
+        self.stats.bytes_put += bytes as u64;
+        self.charge_host(TransferKind::Contiguous { bytes });
+        self.push_pending(target, win.id(), RmaKind::AccContig { off, data, op });
+    }
+
+    // ------------------------------------------------------------------
+    // Fences
+    // ------------------------------------------------------------------
+
+    /// `MPI_WIN_FENCE` on one window: completes every buffered
+    /// operation on it, schedules the wire transfers deterministically,
+    /// and synchronizes all ranks.
+    pub fn win_fence(&mut self, win: WinId) {
+        self.fence_filtered(Some(win));
+    }
+
+    /// Fence over *all* windows — what the backend emits at parallel-
+    /// region boundaries ("MPI_FENCE is also inserted at the same place
+    /// to guarantee that all outstanding writes … are complete", §5.5).
+    pub fn fence_all(&mut self) {
+        self.fence_filtered(None);
+    }
+
+    fn fence_filtered(&mut self, filter: Option<WinId>) {
+        let entry = self.clock;
+        let shared = Arc::clone(&self.shared);
+        let exit: f64 = self.shared.coll.run(self.rank, self.clock, move |clocks| {
+            let n = clocks.len();
+            let mut ops: Vec<PendingRma> = {
+                let mut pend = shared.pending.lock();
+                match filter {
+                    None => pend.drain(..).collect(),
+                    Some(w) => {
+                        let mut kept = Vec::new();
+                        let mut drained = Vec::new();
+                        for op in pend.drain(..) {
+                            if op.win == w {
+                                drained.push(op);
+                            } else {
+                                kept.push(op);
+                            }
+                        }
+                        *pend = kept;
+                        drained
+                    }
+                }
+            };
+            ops.sort_by_key(PendingRma::sort_key);
+            let mut net = shared.net.lock();
+            let table = shared.table.lock();
+            let mut latest = clocks.iter().cloned().fold(0.0, f64::max);
+            for op in &ops {
+                // GETs are a request (origin->target) followed by the
+                // data flowing back; PUT data flows origin->target.
+                let end = if op.kind.is_get() {
+                    let req = net.p2p(op.origin, op.target, 16, op.issue);
+                    net.p2p(op.target, op.origin, op.kind.wire_bytes(), req.end)
+                        .end
+                } else {
+                    net.p2p(op.origin, op.target, op.kind.wire_bytes(), op.issue)
+                        .end
+                };
+                latest = latest.max(end);
+                apply_memory(&table, op);
+            }
+            let exit = latest + shared.cfg.node.nic.post_s;
+            vec![exit; n]
+        });
+        self.stats.comm_wait += exit - entry;
+        self.stats.fences += 1;
+        self.clock = exit;
+    }
+
+    // ------------------------------------------------------------------
+    // Passive target (lock/unlock)
+    // ------------------------------------------------------------------
+
+    /// `MPI_WIN_LOCK`: open a passive-target exclusive epoch on
+    /// `target`'s shard. Inside the epoch use [`Mpi::put_now`] /
+    /// [`Mpi::accumulate_now`]; close with [`Mpi::win_unlock`].
+    ///
+    /// Note on determinism: competing lock acquisitions are ordered by
+    /// OS scheduling, so *virtual timing* may vary across runs when
+    /// several ranks contend; memory results of commutative updates do
+    /// not. The compiler backend avoids locks for this reason
+    /// (reductions go through [`Mpi::accumulate`] + fence); locks exist
+    /// for MPI-2 completeness and for the lock-based reduction variant.
+    pub fn win_lock(&mut self, win: &WindowRef, target: usize) {
+        assert!(target < self.size);
+        let release = {
+            let table = self.shared.table.lock();
+            Arc::clone(&table.shard(win.id(), target).last_release)
+        };
+        let guard = release.lock_arc();
+        // Acquiring the lock is a small round trip to the target.
+        let link = self.shared.cfg.net.link;
+        let rtt = 2.0
+            * (link.per_hop_s * self.shared.cfg.net.topology.hops(self.rank, target) as f64
+                + link.transfer_time(32))
+            + self.nic().post_s;
+        self.clock = self.clock.max(*guard) + rtt;
+        let prev = self.held.insert((win.id().0, target), guard);
+        assert!(prev.is_none(), "window already locked by this rank");
+    }
+
+    /// `MPI_WIN_UNLOCK`: close the passive epoch opened by
+    /// [`Mpi::win_lock`].
+    pub fn win_unlock(&mut self, win: &WindowRef, target: usize) {
+        let mut guard = self
+            .held
+            .remove(&(win.id().0, target))
+            .expect("unlock without lock");
+        *guard = self.clock;
+    }
+
+    /// Immediate contiguous PUT inside a lock epoch: the transfer is
+    /// scheduled and applied now, and the origin blocks until it
+    /// completes.
+    pub fn put_now(&mut self, win: &WindowRef, target: usize, off: usize, data: Vec<Elem>) {
+        assert!(
+            self.held.contains_key(&(win.id().0, target)),
+            "put_now outside a lock epoch"
+        );
+        let bytes = data.len() * crate::ELEM_BYTES;
+        self.stats.bytes_put += bytes as u64;
+        self.charge_host(TransferKind::Contiguous { bytes });
+        let kind = RmaKind::PutContig { off, data };
+        self.check_bounds(win.id(), target, &kind);
+        let end = {
+            let mut net = self.shared.net.lock();
+            net.p2p(self.rank, target, kind.wire_bytes(), self.clock).end
+        };
+        let op = PendingRma {
+            seq: self.seq,
+            origin: self.rank,
+            target,
+            win: win.id(),
+            issue: self.clock,
+            kind,
+        };
+        self.seq += 1;
+        apply_memory(&self.shared.table.lock(), &op);
+        self.stats.comm_wait += end - self.clock;
+        self.clock = end;
+    }
+
+    /// Immediate accumulate inside a lock epoch (the §3 "global
+    /// operations using shared variables, such as reduction
+    /// operations").
+    pub fn accumulate_now(
+        &mut self,
+        win: &WindowRef,
+        target: usize,
+        off: usize,
+        data: Vec<Elem>,
+        op: AccumulateOp,
+    ) {
+        assert!(
+            self.held.contains_key(&(win.id().0, target)),
+            "accumulate_now outside a lock epoch"
+        );
+        let bytes = data.len() * crate::ELEM_BYTES;
+        self.stats.bytes_put += bytes as u64;
+        self.charge_host(TransferKind::Contiguous { bytes });
+        let kind = RmaKind::AccContig { off, data, op };
+        self.check_bounds(win.id(), target, &kind);
+        let end = {
+            let mut net = self.shared.net.lock();
+            net.p2p(self.rank, target, kind.wire_bytes(), self.clock).end
+        };
+        let pend = PendingRma {
+            seq: self.seq,
+            origin: self.rank,
+            target,
+            win: win.id(),
+            issue: self.clock,
+            kind,
+        };
+        self.seq += 1;
+        apply_memory(&self.shared.table.lock(), &pend);
+        self.stats.comm_wait += end - self.clock;
+        self.clock = end;
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------------
+
+    /// `MPI_BARRIER`: all ranks leave at the same virtual time.
+    pub fn barrier(&mut self) {
+        let entry = self.clock;
+        let shared = Arc::clone(&self.shared);
+        let exit: f64 = self.shared.coll.run(self.rank, self.clock, move |clocks| {
+            let n = clocks.len();
+            let exit = clocks.iter().cloned().fold(0.0, f64::max) + shared.barrier_cost();
+            vec![exit; n]
+        });
+        self.stats.sync_wait += exit - entry;
+        self.stats.barriers += 1;
+        self.clock = exit;
+    }
+
+    /// Access to shared state for sibling modules (p2p, collectives).
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    pub(crate) fn clock_mut(&mut self) -> &mut f64 {
+        &mut self.clock
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut RankStats {
+        &mut self.stats
+    }
+}
+
+/// Materialise the memory effect of one RMA operation.
+fn apply_memory(table: &WindowTable, op: &PendingRma) {
+    let tgt_shard = table.shard(op.win, op.target);
+    match &op.kind {
+        RmaKind::PutContig { off, data } => {
+            tgt_shard.mem.lock()[*off..off + data.len()].copy_from_slice(data);
+        }
+        RmaKind::PutStrided { off, stride, data } => {
+            let mut m = tgt_shard.mem.lock();
+            for (i, v) in data.iter().enumerate() {
+                m[off + i * stride] = *v;
+            }
+        }
+        RmaKind::AccContig { off, data, op: a } => {
+            let mut m = tgt_shard.mem.lock();
+            for (i, v) in data.iter().enumerate() {
+                m[off + i] = a.apply(m[off + i], *v);
+            }
+        }
+        RmaKind::GetContig { off, count } => {
+            if op.origin == op.target {
+                return; // symmetric layout: self-get is the identity
+            }
+            let src = tgt_shard.mem.lock();
+            let org = table.shard(op.win, op.origin);
+            org.mem.lock()[*off..off + count].copy_from_slice(&src[*off..off + count]);
+        }
+        RmaKind::GetStrided { off, stride, count } => {
+            if op.origin == op.target {
+                return;
+            }
+            let src = tgt_shard.mem.lock();
+            let org = table.shard(op.win, op.origin);
+            let mut dst = org.mem.lock();
+            for i in 0..*count {
+                let idx = off + i * stride;
+                dst[idx] = src[idx];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_sim::ClusterConfig;
+
+    fn uni(n: usize) -> Universe {
+        Universe::new(ClusterConfig::paper_n(n))
+    }
+
+    #[test]
+    fn ranks_and_size() {
+        let out = uni(4).run(|mpi| (mpi.rank(), mpi.size()));
+        let mut ranks: Vec<_> = out.results.iter().map(|r| r.0).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+        assert!(out.results.iter().all(|r| r.1 == 4));
+    }
+
+    #[test]
+    fn compute_advances_only_local_clock() {
+        let out = uni(2).run(|mpi| {
+            if mpi.rank() == 0 {
+                mpi.compute(&OpCounts::madd_loop(1_000_000));
+            }
+            mpi.now()
+        });
+        assert!(out.results[0] > 0.0);
+        assert_eq!(out.results[1], 0.0);
+    }
+
+    #[test]
+    fn barrier_equalises_clocks() {
+        let out = uni(4).run(|mpi| {
+            mpi.advance(mpi.rank() as f64 * 0.25);
+            mpi.barrier();
+            mpi.now()
+        });
+        let c0 = out.results[0];
+        assert!(out.results.iter().all(|&c| (c - c0).abs() < 1e-12));
+        assert!(c0 > 0.75, "barrier exit must dominate the slowest rank");
+    }
+
+    #[test]
+    fn put_applies_at_fence_with_values_intact() {
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(8);
+            if mpi.rank() == 0 {
+                w.fill_from(&[1., 2., 3., 4., 5., 6., 7., 8.]);
+                mpi.put_region(&w, 1, 2, 3); // elements 3,4,5 at offsets 2..5
+            }
+            mpi.win_fence(w.id());
+            w.snapshot()
+        });
+        assert_eq!(out.results[1], vec![0., 0., 3., 4., 5., 0., 0., 0.]);
+    }
+
+    #[test]
+    fn strided_put_scatters_correctly() {
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(10);
+            if mpi.rank() == 0 {
+                let data: Vec<f64> = (1..=10).map(f64::from).collect();
+                w.fill_from(&data);
+                mpi.put_region_strided(&w, 1, 1, 3, 3); // offsets 1,4,7
+            }
+            mpi.win_fence(w.id());
+            w.snapshot()
+        });
+        assert_eq!(
+            out.results[1],
+            vec![0., 2., 0., 0., 5., 0., 0., 8., 0., 0.]
+        );
+    }
+
+    #[test]
+    fn get_pulls_remote_region() {
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(4);
+            if mpi.rank() == 1 {
+                w.fill_from(&[10., 20., 30., 40.]);
+            }
+            mpi.barrier();
+            if mpi.rank() == 0 {
+                mpi.get(&w, 1, 1, 2);
+            }
+            mpi.win_fence(w.id());
+            w.snapshot()
+        });
+        assert_eq!(out.results[0], vec![0., 20., 30., 0.]);
+    }
+
+    #[test]
+    fn strided_get_pulls_alternating_elements() {
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(6);
+            if mpi.rank() == 1 {
+                w.fill_from(&[1., 2., 3., 4., 5., 6.]);
+            }
+            mpi.barrier();
+            if mpi.rank() == 0 {
+                mpi.get_strided(&w, 1, 0, 2, 3); // offsets 0,2,4
+            }
+            mpi.win_fence(w.id());
+            w.snapshot()
+        });
+        assert_eq!(out.results[0], vec![1., 0., 3., 0., 5., 0.]);
+    }
+
+    #[test]
+    fn accumulate_sums_deterministically() {
+        let out = uni(4).run(|mpi| {
+            let w = mpi.win_create(1);
+            mpi.accumulate(&w, 0, 0, vec![(mpi.rank() + 1) as f64], AccumulateOp::Sum);
+            mpi.win_fence(w.id());
+            w.snapshot()[0]
+        });
+        assert_eq!(out.results[0], 10.0);
+    }
+
+    #[test]
+    fn fence_only_completes_target_window() {
+        let out = uni(2).run(|mpi| {
+            let a = mpi.win_create(2);
+            let b = mpi.win_create(2);
+            if mpi.rank() == 0 {
+                a.fill_from(&[1., 1.]);
+                b.fill_from(&[2., 2.]);
+                mpi.put_region(&a, 1, 0, 2);
+                mpi.put_region(&b, 1, 0, 2);
+            }
+            mpi.win_fence(a.id());
+            let a_after = a.snapshot();
+            mpi.win_fence(b.id());
+            (a_after, b.snapshot())
+        });
+        // Window a's data arrived at its own fence...
+        assert_eq!(out.results[1].0, vec![1., 1.]);
+        // ...and b's at the second fence.
+        assert_eq!(out.results[1].1, vec![2., 2.]);
+    }
+
+    #[test]
+    fn strided_put_costs_more_host_time_than_contiguous() {
+        // The §2.2 asymmetry visible through the API.
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(16384);
+            if mpi.rank() == 0 {
+                mpi.put_region(&w, 1, 0, 8192);
+            }
+            mpi.fence_all();
+            let contig_host = mpi.stats().comm_host;
+            if mpi.rank() == 0 {
+                mpi.put_region_strided(&w, 1, 0, 2, 8192);
+            }
+            mpi.fence_all();
+            (contig_host, mpi.stats().comm_host - contig_host)
+        });
+        let (contig, strided) = out.results[0];
+        assert!(
+            strided > 5.0 * contig,
+            "strided {strided} vs contiguous {contig}"
+        );
+    }
+
+    #[test]
+    fn lock_epoch_put_now_is_immediately_visible() {
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(2);
+            if mpi.rank() == 0 {
+                mpi.win_lock(&w, 1);
+                mpi.put_now(&w, 1, 0, vec![7.0, 8.0]);
+                mpi.win_unlock(&w, 1);
+            }
+            mpi.barrier();
+            w.snapshot()
+        });
+        assert_eq!(out.results[1], vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn lock_based_reduction_accumulates_all_ranks() {
+        let out = uni(4).run(|mpi| {
+            let w = mpi.win_create(1);
+            mpi.win_lock(&w, 0);
+            mpi.accumulate_now(&w, 0, 0, vec![1.0], AccumulateOp::Sum);
+            mpi.win_unlock(&w, 0);
+            mpi.barrier();
+            w.snapshot()[0]
+        });
+        assert_eq!(out.results[0], 4.0);
+    }
+
+    #[test]
+    fn run_is_deterministic_in_time_and_values() {
+        let run = || {
+            uni(4).run(|mpi| {
+                let w = mpi.win_create(64);
+                if mpi.rank() != 0 {
+                    let data: Vec<f64> = (0..16).map(|i| (i * mpi.rank()) as f64).collect();
+                    w.lock()[16 * mpi.rank()..16 * (mpi.rank() + 1)].copy_from_slice(&data);
+                    mpi.put_region(&w, 0, 16 * mpi.rank(), 16);
+                }
+                mpi.fence_all();
+                (mpi.now(), w.snapshot())
+            })
+        };
+        let a = run();
+        let b = run();
+        for i in 0..4 {
+            assert_eq!(a.results[i].0, b.results[i].0, "clock rank {i}");
+            assert_eq!(a.results[i].1, b.results[i].1, "memory rank {i}");
+        }
+        assert_eq!(a.net.p2p_messages, b.net.p2p_messages);
+    }
+
+    #[test]
+    fn single_rank_universe_works() {
+        let out = uni(1).run(|mpi| {
+            let w = mpi.win_create(4);
+            w.fill_from(&[1., 2., 3., 4.]);
+            mpi.put_region(&w, 0, 0, 4); // self-put
+            mpi.fence_all();
+            mpi.barrier();
+            w.snapshot()
+        });
+        assert_eq!(out.results[0], vec![1., 2., 3., 4.]);
+        assert_eq!(out.net.p2p_messages, 0, "self-traffic stays off the wire");
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(1024);
+            if mpi.rank() == 0 {
+                mpi.put_region(&w, 1, 0, 1024);
+            }
+            mpi.fence_all();
+        });
+        assert!(out.elapsed() > 0.0);
+        assert!(out.max_comm_time() > 0.0);
+        let tot = out.total_stats();
+        assert_eq!(tot.bytes_put, 1024 * 8);
+        assert_eq!(tot.fences, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "RMA past end of window")]
+    fn bounds_checked_puts() {
+        uni(2).run(|mpi| {
+            let w = mpi.win_create(4);
+            if mpi.rank() == 0 {
+                mpi.put(&w, 1, 2, vec![0.0; 3]);
+            }
+            mpi.fence_all();
+        });
+    }
+
+    #[test]
+    fn comm_wait_accounts_fence_time() {
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(1 << 16);
+            if mpi.rank() == 0 {
+                mpi.put_region(&w, 1, 0, 1 << 16);
+            }
+            mpi.fence_all();
+            mpi.stats().clone()
+        });
+        // Rank 1 waited for rank 0's big put to drain.
+        assert!(out.results[1].comm_wait > 0.0);
+        assert_eq!(out.results[1].fences, 1);
+    }
+}

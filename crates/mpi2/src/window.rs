@@ -1,0 +1,188 @@
+//! Memory windows (`MPI_WIN_CREATE`).
+//!
+//! A window exposes a per-rank `Vec<f64>` to remote PUT/GET. The owning
+//! rank computes on its portion directly through [`WindowRef`]; remote
+//! ranks reach it only through RMA calls, whose effects materialise at
+//! the closing fence (active target) or under a lock (passive target).
+//!
+//! §5.1: "we create a memory window … which is a portion of the private
+//! memory of a local process that can be accessed by remote processes
+//! without intervention of the local process."
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::Elem;
+
+/// Identifier of a window, dense from zero in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WinId(pub usize);
+
+/// One rank's slice of a window.
+pub(crate) struct WindowShard {
+    pub mem: Arc<Mutex<Vec<Elem>>>,
+    pub len: usize,
+    /// Passive-target lock state: virtual time at which the previous
+    /// lock epoch on this shard released. Held (via `lock_arc`) for the
+    /// duration of a lock/unlock epoch.
+    pub last_release: Arc<Mutex<f64>>,
+}
+
+/// A window: one shard per rank.
+pub(crate) struct Window {
+    pub shards: Vec<WindowShard>,
+}
+
+/// The registry of all windows in a universe.
+#[derive(Default)]
+pub(crate) struct WindowTable {
+    pub windows: Vec<Window>,
+}
+
+impl WindowTable {
+    /// Register a window whose shard on rank `r` holds `lens[r]`
+    /// elements (zero-initialised).
+    pub fn create(&mut self, lens: &[usize]) -> WinId {
+        let shards = lens
+            .iter()
+            .map(|&len| WindowShard {
+                mem: Arc::new(Mutex::new(vec![0.0; len])),
+                len,
+                last_release: Arc::new(Mutex::new(0.0)),
+            })
+            .collect();
+        self.windows.push(Window { shards });
+        WinId(self.windows.len() - 1)
+    }
+
+    pub fn shard(&self, win: WinId, rank: usize) -> &WindowShard {
+        &self.windows[win.0].shards[rank]
+    }
+
+    #[allow(dead_code)] // exercised by unit tests; kept for diagnostics
+    pub fn num_windows(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+/// A handle to one rank's local shard of a window, used by the owning
+/// rank for direct computation.
+///
+/// Locking is per *region of work*, not per element: the interpreter
+/// acquires the guard once around a loop nest. Between fences only the
+/// owner touches the shard, so the lock is uncontended.
+#[derive(Clone)]
+pub struct WindowRef {
+    pub(crate) win: WinId,
+    pub(crate) rank: usize,
+    pub(crate) mem: Arc<Mutex<Vec<Elem>>>,
+    pub(crate) len: usize,
+}
+
+impl WindowRef {
+    /// The window this shard belongs to.
+    pub fn id(&self) -> WinId {
+        self.win
+    }
+
+    /// The owning rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of elements in this shard.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the shard holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lock the shard for direct access by the owner.
+    pub fn lock(&self) -> MutexGuard<'_, Vec<Elem>> {
+        self.mem.lock()
+    }
+
+    /// Owned lock guard (storable across call frames). The interpreter
+    /// acquires one per array for the duration of a compute region;
+    /// it MUST be dropped before any fence or collective (the fence
+    /// leader locks shards to apply transfers).
+    pub fn lock_arc(&self) -> parking_lot::ArcMutexGuard<parking_lot::RawMutex, Vec<Elem>> {
+        Mutex::lock_arc(&self.mem)
+    }
+
+    /// Copy the whole shard out (convenience for tests and result
+    /// extraction).
+    pub fn snapshot(&self) -> Vec<Elem> {
+        self.mem.lock().clone()
+    }
+
+    /// Overwrite the shard contents (convenience for initialisation).
+    ///
+    /// # Panics
+    /// Panics if `data` does not match the shard length.
+    pub fn fill_from(&self, data: &[Elem]) {
+        let mut m = self.mem.lock();
+        assert_eq!(data.len(), m.len(), "fill_from length mismatch");
+        m.copy_from_slice(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_assigns_dense_ids() {
+        let mut t = WindowTable::default();
+        let a = t.create(&[4, 4]);
+        let b = t.create(&[0, 8]);
+        assert_eq!(a, WinId(0));
+        assert_eq!(b, WinId(1));
+        assert_eq!(t.num_windows(), 2);
+        assert_eq!(t.shard(b, 0).len, 0);
+        assert_eq!(t.shard(b, 1).len, 8);
+    }
+
+    #[test]
+    fn shards_zero_initialised() {
+        let mut t = WindowTable::default();
+        let w = t.create(&[3]);
+        assert_eq!(&*t.shard(w, 0).mem.lock(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn window_ref_roundtrip() {
+        let mut t = WindowTable::default();
+        let w = t.create(&[2, 2]);
+        let shard = t.shard(w, 1);
+        let r = WindowRef {
+            win: w,
+            rank: 1,
+            mem: Arc::clone(&shard.mem),
+            len: shard.len,
+        };
+        r.fill_from(&[1.5, 2.5]);
+        assert_eq!(r.snapshot(), vec![1.5, 2.5]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fill_from_checks_length() {
+        let mut t = WindowTable::default();
+        let w = t.create(&[2]);
+        let shard = t.shard(w, 0);
+        let r = WindowRef {
+            win: w,
+            rank: 0,
+            mem: Arc::clone(&shard.mem),
+            len: 2,
+        };
+        r.fill_from(&[1.0]);
+    }
+}

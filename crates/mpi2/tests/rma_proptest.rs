@@ -1,0 +1,149 @@
+//! Property tests of the one-sided layer: random batches of PUTs in
+//! one access epoch must (a) land exactly where a serial oracle says,
+//! (b) produce bit-identical virtual times across repeated runs, and
+//! (c) respect MPI-2's epoch visibility rule.
+
+use cluster_sim::ClusterConfig;
+use mpi2::Universe;
+use proptest::prelude::*;
+
+/// One PUT in the batch: origin writes `len` elements at `off` of
+/// `target`'s shard, tagged with a unique value.
+#[derive(Debug, Clone)]
+struct Put {
+    origin: usize,
+    target: usize,
+    off: usize,
+    len: usize,
+}
+
+const RANKS: usize = 4;
+const WIN: usize = 64;
+
+fn arb_puts() -> impl Strategy<Value = Vec<Put>> {
+    proptest::collection::vec(
+        (0..RANKS, 0..RANKS, 0..WIN, 1usize..12).prop_map(|(origin, target, off, len)| Put {
+            origin,
+            target,
+            off: off.min(WIN - 1),
+            len,
+        }),
+        1..16,
+    )
+    .prop_map(|mut puts| {
+        for p in &mut puts {
+            p.len = p.len.min(WIN - p.off);
+        }
+        puts
+    })
+}
+
+/// The oracle: apply the puts to a model of all shards in the same
+/// deterministic order the fence uses (issue order here is the
+/// program order per origin; distinct (origin, seq) values make the
+/// last-writer unambiguous only per (origin); cross-origin conflicts
+/// are resolved by the documented sort, which we reproduce).
+fn oracle(puts: &[Put]) -> Vec<Vec<f64>> {
+    let mut shards = vec![vec![0.0f64; WIN]; RANKS];
+    // The fence sorts by (issue time, origin, seq). All puts here are
+    // issued at distinct, strictly increasing per-origin times, but
+    // origins run concurrently; the runtime tags each op with its
+    // origin clock. To keep the oracle exact we only generate
+    // *conflict-free* batches per (target, element) across origins —
+    // enforced below in the test by skipping conflicting cases — so
+    // application order between origins doesn't matter.
+    for (i, p) in puts.iter().enumerate() {
+        for k in 0..p.len {
+            shards[p.target][p.off + k] = (i + 1) as f64;
+        }
+    }
+    shards
+}
+
+/// Two puts from different origins touching the same (target, element)?
+fn cross_origin_conflict(puts: &[Put]) -> bool {
+    for (i, a) in puts.iter().enumerate() {
+        for b in &puts[i + 1..] {
+            if a.origin != b.origin
+                && a.target == b.target
+                && a.off < b.off + b.len
+                && b.off < a.off + a.len
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn put_batches_match_oracle(puts in arb_puts()) {
+        prop_assume!(!cross_origin_conflict(&puts));
+        let uni = Universe::new(ClusterConfig::paper_n(RANKS));
+        let puts2 = puts.clone();
+        let out = uni.run(move |mpi| {
+            let w = mpi.win_create(WIN);
+            for (i, p) in puts2.iter().enumerate() {
+                if p.origin == mpi.rank() {
+                    mpi.put(&w, p.target, p.off, vec![(i + 1) as f64; p.len]);
+                }
+            }
+            mpi.fence_all();
+            w.snapshot()
+        });
+        let want = oracle(&puts);
+        for (r, w) in want.iter().enumerate() {
+            // Same-origin overlapping puts apply in issue order on
+            // both sides; cross-origin overlaps were filtered.
+            prop_assert_eq!(&out.results[r], w, "rank {}", r);
+        }
+    }
+
+    #[test]
+    fn virtual_times_are_reproducible(puts in arb_puts()) {
+        let run = || {
+            let uni = Universe::new(ClusterConfig::paper_n(RANKS));
+            let puts = puts.clone();
+            let out = uni.run(move |mpi| {
+                let w = mpi.win_create(WIN);
+                for (i, p) in puts.iter().enumerate() {
+                    if p.origin == mpi.rank() {
+                        mpi.put(&w, p.target, p.off, vec![(i + 1) as f64; p.len]);
+                    }
+                }
+                mpi.fence_all();
+                mpi.now()
+            });
+            (out.results.clone(), out.net.p2p_messages, out.net.contention_wait)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn epoch_rule_no_visibility_before_fence(
+        target_off in 0usize..32,
+        len in 1usize..16,
+    ) {
+        // A put issued but not fenced is invisible to the target.
+        let uni = Universe::new(ClusterConfig::paper_n(2));
+        let out = uni.run(move |mpi| {
+            let w = mpi.win_create(WIN);
+            if mpi.rank() == 0 {
+                mpi.put(&w, 1, target_off, vec![7.0; len]);
+            }
+            // Both ranks snapshot *before* the fence.
+            let before = w.snapshot();
+            mpi.fence_all();
+            let after = w.snapshot();
+            (before, after)
+        });
+        let (before, after) = &out.results[1];
+        prop_assert!(before.iter().all(|&x| x == 0.0), "visible before fence");
+        prop_assert!(after[target_off..target_off + len.min(WIN - target_off)]
+            .iter()
+            .all(|&x| x == 7.0));
+    }
+}

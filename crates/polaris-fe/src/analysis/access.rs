@@ -1,0 +1,378 @@
+//! Array access extraction: from subscript expressions to
+//! [`RefAccess`] descriptors (the raw material of both the dependence
+//! test and the backend's scatter/collect planner).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lmad::{ArrayId, Dim};
+
+use crate::affine::Affine;
+use crate::ast::{Expr, Stmt};
+use crate::sema::Symbols;
+
+use super::scalars::ScalarAnalysis;
+use super::{trip_count, RefAccess};
+
+/// Scan result for a parallel-loop body.
+#[derive(Debug, Clone, Default)]
+pub struct BodyScan {
+    pub refs: Vec<RefAccess>,
+    /// Some inner loop's bounds vary with the parallel index.
+    pub triangular: bool,
+}
+
+/// One in-scope inner loop.
+#[derive(Debug, Clone)]
+struct LoopCtx {
+    var: usize,
+    step: i64,
+    /// Maximal trip count over the parallel range (exact when not
+    /// triangular).
+    trips: u64,
+    /// Minimal value of the loop's lower bound over the parallel
+    /// range (exact when not triangular).
+    lo_min: i64,
+}
+
+struct Scanner<'a> {
+    symbols: &'a Symbols,
+    pvar: usize,
+    /// First value of the parallel index (iteration 0).
+    p_start: i64,
+    /// Value intervals of every in-scope integer variable.
+    env: BTreeMap<usize, (i64, i64)>,
+    loops: Vec<LoopCtx>,
+    refs: Vec<RefAccess>,
+    triangular: bool,
+    conditional: usize,
+}
+
+/// Interval of an affine form under a box environment.
+fn affine_interval(a: &Affine, env: &BTreeMap<usize, (i64, i64)>) -> Option<(i64, i64)> {
+    let mut lo = a.konst;
+    let mut hi = a.konst;
+    for (&v, &c) in &a.terms {
+        let &(vlo, vhi) = env.get(&v)?;
+        if c >= 0 {
+            lo += c * vlo;
+            hi += c * vhi;
+        } else {
+            lo += c * vhi;
+            hi += c * vlo;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Scan the body of a candidate parallel loop.
+pub fn scan_parallel_body(
+    pvar: usize,
+    plo: i64,
+    phi: i64,
+    pstep: i64,
+    body: &[Stmt],
+    symbols: &Symbols,
+    scal: &ScalarAnalysis,
+) -> Result<BodyScan, String> {
+    let trips = trip_count(plo, phi, pstep);
+    let p_last = plo + (trips as i64 - 1) * pstep;
+    let mut env = BTreeMap::new();
+    env.insert(pvar, (plo.min(p_last), plo.max(p_last)));
+    let _ = scal;
+    let mut s = Scanner {
+        symbols,
+        pvar,
+        p_start: plo,
+        env,
+        loops: Vec::new(),
+        refs: Vec::new(),
+        triangular: false,
+        conditional: 0,
+    };
+    s.stmts(body)?;
+    Ok(BodyScan {
+        refs: s.refs,
+        triangular: s.triangular,
+    })
+}
+
+impl<'a> Scanner<'a> {
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), String> {
+        for st in stmts {
+            self.stmt(st)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, st: &Stmt) -> Result<(), String> {
+        match st {
+            Stmt::Assign {
+                target,
+                subscripts,
+                value,
+                ..
+            } => {
+                // Reads first (right-hand side and subscripts), then
+                // the write: Fortran evaluates the RHS before storing.
+                self.expr_reads(value)?;
+                if !subscripts.is_empty() {
+                    for sub in subscripts {
+                        self.expr_reads(sub)?;
+                    }
+                    self.array_ref(target.id(), subscripts, true)?;
+                }
+                Ok(())
+            }
+            Stmt::Do { header, body, .. } => {
+                let var = header.var.id();
+                self.expr_reads(&header.lo)?;
+                self.expr_reads(&header.hi)?;
+                let step = match header.step.as_ref() {
+                    None => 1,
+                    Some(Expr::IntLit(v)) if *v != 0 => *v,
+                    Some(_) => return Err("inner loop with non-constant step".into()),
+                };
+                let lo_aff = Affine::from_expr(&header.lo)
+                    .ok_or_else(|| "inner loop bound not affine".to_string())?;
+                let hi_aff = Affine::from_expr(&header.hi)
+                    .ok_or_else(|| "inner loop bound not affine".to_string())?;
+                let (lo_min, lo_max) = affine_interval(&lo_aff, &self.env)
+                    .ok_or_else(|| "inner loop bound uses an unknown scalar".to_string())?;
+                let (hi_min, hi_max) = affine_interval(&hi_aff, &self.env)
+                    .ok_or_else(|| "inner loop bound uses an unknown scalar".to_string())?;
+                // Trip count extremes over the box.
+                let (t_min, t_max) = if step > 0 {
+                    (
+                        trip_count(lo_max, hi_min, step),
+                        trip_count(lo_min, hi_max, step),
+                    )
+                } else {
+                    (
+                        trip_count(lo_min, hi_max, step),
+                        trip_count(lo_max, hi_min, step),
+                    )
+                };
+                if t_min != t_max || lo_min != lo_max {
+                    self.triangular = true;
+                }
+                if t_max == 0 {
+                    return Ok(()); // the loop never executes
+                }
+                // Value interval of the index across the whole box.
+                let last_min = lo_min + (t_min.max(1) as i64 - 1) * step;
+                let last_max = lo_max + (t_max as i64 - 1) * step;
+                let vmin = lo_min.min(last_min).min(last_max);
+                let vmax = lo_max.max(last_min).max(last_max);
+                self.env.insert(var, (vmin, vmax));
+                self.loops.push(LoopCtx {
+                    var,
+                    step,
+                    trips: t_max,
+                    lo_min,
+                });
+                let r = self.stmts(body);
+                self.loops.pop();
+                self.env.remove(&var);
+                r
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                self.expr_reads(cond)?;
+                self.conditional += 1;
+                let r = self.stmts(then_body).and_then(|_| self.stmts(else_body));
+                self.conditional -= 1;
+                r
+            }
+            Stmt::Continue { .. } => Ok(()),
+            Stmt::Call { name, .. } => Err(format!(
+                "CALL {name} survived inlining inside a candidate loop"
+            )),
+        }
+    }
+
+    /// Collect array reads of an expression (scalars were handled by
+    /// the scalar analysis).
+    fn expr_reads(&mut self, e: &Expr) -> Result<(), String> {
+        // Collect array references with their subscripts; Expr::walk
+        // borrows immutably, so gather first, process after.
+        let mut found: Vec<(usize, Vec<Expr>)> = Vec::new();
+        e.walk(&mut |x| {
+            if let Expr::ArrayRef(sym, subs) = x {
+                found.push((sym.id(), subs.clone()));
+            }
+        });
+        for (id, subs) in found {
+            self.array_ref(id, &subs, false)?;
+        }
+        Ok(())
+    }
+
+    /// Record one array reference.
+    fn array_ref(&mut self, array: usize, subs: &[Expr], is_write: bool) -> Result<(), String> {
+        let info = &self.symbols.arrays[array];
+        // Linearise: offset = Σ (sub_j - 1) * mult_j (column-major).
+        let mut offset = Affine::constant(0);
+        let mut affine_ok = true;
+        for (j, sub) in subs.iter().enumerate() {
+            match Affine::from_expr(sub) {
+                Some(a) => {
+                    offset = offset.add(&a.sub(&Affine::constant(1)).scale(info.mult[j]));
+                }
+                None => affine_ok = false,
+            }
+        }
+        if !affine_ok {
+            if is_write {
+                return Err(format!(
+                    "non-affine subscript in a write to {}",
+                    info.name
+                ));
+            }
+            // Conservative read of the whole array.
+            self.refs.push(RefAccess {
+                array: ArrayId(array),
+                is_write: false,
+                base: 0,
+                coeff: 0,
+                inner: vec![Dim::new(1, info.len as u64)],
+                conditional: self.conditional > 0,
+            });
+            return Ok(());
+        }
+        // Split the affine offset into: parallel coefficient, inner
+        // loop dims, constants. Any other variable makes the access
+        // non-analysable.
+        let coeff_p = offset.coeff(self.pvar);
+        // Base = offset at iteration 0, i.e. p at its first value.
+        let mut base = offset.konst + coeff_p * self.p_start;
+        let mut inner = Vec::new();
+        for lc in &self.loops {
+            let c = offset.coeff(lc.var);
+            if c == 0 {
+                continue;
+            }
+            base += c * lc.lo_min;
+            if lc.trips > 1 {
+                inner.push(Dim::new(c * lc.step, lc.trips));
+            }
+        }
+        // Verify no stray variables remain.
+        for v in offset.vars() {
+            if v != self.pvar && !self.loops.iter().any(|l| l.var == v) {
+                let name = &self.symbols.scalars[v].name;
+                if is_write {
+                    return Err(format!(
+                        "write to {} subscripted by non-loop scalar `{name}`",
+                        info.name
+                    ));
+                }
+                // Conservative whole-array read.
+                self.refs.push(RefAccess {
+                    array: ArrayId(array),
+                    is_write: false,
+                    base: 0,
+                    coeff: 0,
+                    inner: vec![Dim::new(1, info.len as u64)],
+                    conditional: self.conditional > 0,
+                });
+                return Ok(());
+            }
+        }
+        self.refs.push(RefAccess {
+            array: ArrayId(array),
+            is_write,
+            base,
+            coeff: coeff_p, // per unit of p; converted to per-iteration below
+            inner,
+            conditional: self.conditional > 0,
+        });
+        Ok(())
+    }
+}
+
+/// Normalise `coeff` from per-unit-of-p to per-iteration by folding in
+/// the loop step. Exposed for the caller that knows the step.
+pub fn apply_step(refs: &mut [RefAccess], step: i64) {
+    for r in refs {
+        r.coeff *= step;
+    }
+}
+
+/// Arrays read/written by a statement list (for sequential regions and
+/// the AVPG).
+pub fn array_use_sets(
+    stmts: &[Stmt],
+    symbols: &Symbols,
+) -> (BTreeSet<ArrayId>, BTreeSet<ArrayId>) {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    fn walk_expr(e: &Expr, reads: &mut BTreeSet<ArrayId>) {
+        e.walk(&mut |x| {
+            if let Expr::ArrayRef(sym, _) = x {
+                reads.insert(ArrayId(sym.id()));
+            }
+        });
+    }
+    fn walk(
+        stmts: &[Stmt],
+        reads: &mut BTreeSet<ArrayId>,
+        writes: &mut BTreeSet<ArrayId>,
+    ) {
+        for s in stmts {
+            match s {
+                Stmt::Assign {
+                    target,
+                    subscripts,
+                    value,
+                    ..
+                } => {
+                    walk_expr(value, reads);
+                    for sub in subscripts {
+                        walk_expr(sub, reads);
+                    }
+                    if !subscripts.is_empty() {
+                        writes.insert(ArrayId(target.id()));
+                    }
+                }
+                Stmt::Do { header, body, .. } => {
+                    walk_expr(&header.lo, reads);
+                    walk_expr(&header.hi, reads);
+                    if let Some(st) = &header.step {
+                        walk_expr(st, reads);
+                    }
+                    walk(body, reads, writes);
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    walk_expr(cond, reads);
+                    walk(then_body, reads, writes);
+                    walk(else_body, reads, writes);
+                }
+                Stmt::Continue { .. } => {}
+                Stmt::Call { args, .. } => {
+                    // Residual CALL in a sequential region: treat every
+                    // argument array conservatively as read+written.
+                    for a in args {
+                        walk_expr(a, reads);
+                        a.walk(&mut |x| {
+                            if let Expr::ArrayRef(sym, _) = x {
+                                writes.insert(ArrayId(sym.id()));
+                            }
+                        });
+                    }
+                }
+            }
+        }
+    }
+    walk(stmts, &mut reads, &mut writes);
+    let _ = symbols;
+    (reads, writes)
+}

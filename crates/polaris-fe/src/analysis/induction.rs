@@ -1,0 +1,378 @@
+//! Induction-variable substitution (§3).
+//!
+//! The classic enabling transformation: a scalar `K` initialised to a
+//! constant right before a unit-step loop and bumped by a constant
+//! once per iteration,
+//!
+//! ```fortran
+//! K = k0
+//! DO I = lo, hi
+//!    ... uses of K ...          ! K = k0 + c*(I - lo)
+//!    K = K + c
+//!    ... uses of K ...          ! K = k0 + c*(I - lo) + c
+//! ENDDO
+//! ```
+//!
+//! is rewritten so every use of `K` becomes an affine expression in
+//! `I`, the increment disappears, and a final assignment after the
+//! loop restores `K`'s closed-form value. Without this, `K` is a
+//! loop-carried scalar and the privatization test would (correctly)
+//! keep the loop serial.
+
+use crate::ast::{BinOp, DoHeader, Expr, Stmt, SymRef};
+
+/// Apply induction substitution to a whole statement list (recursing
+/// into nested loops first, then matching the init+loop pattern at
+/// each level).
+pub fn substitute_inductions(stmts: Vec<Stmt>) -> Vec<Stmt> {
+    // Recurse into structured bodies first.
+    let mut stmts: Vec<Stmt> = stmts
+        .into_iter()
+        .map(|s| match s {
+            Stmt::Do { header, body, line } => Stmt::Do {
+                header,
+                body: substitute_inductions(body),
+                line,
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            } => Stmt::If {
+                cond,
+                then_body: substitute_inductions(then_body),
+                else_body: substitute_inductions(else_body),
+                line,
+            },
+            other => other,
+        })
+        .collect();
+
+    // Match `K = const; DO ...` pairs at this level.
+    let mut i = 0;
+    while i + 1 < stmts.len() {
+        if let Some(rewritten) = try_substitute(&stmts[i], &stmts[i + 1]) {
+            let (new_do, final_assign) = rewritten;
+            stmts[i + 1] = new_do;
+            stmts.insert(i + 2, final_assign);
+            // The init statement stays (K's pre-loop value may be
+            // read by the closed form's base... it is folded in, but
+            // keeping the init is harmless and preserves K if the
+            // loop runs zero times).
+        }
+        i += 1;
+    }
+    stmts
+}
+
+/// If `init; do_stmt` matches the pattern, return the rewritten loop
+/// and the closing assignment.
+fn try_substitute(init: &Stmt, do_stmt: &Stmt) -> Option<(Stmt, Stmt)> {
+    let (k, k0) = match init {
+        Stmt::Assign {
+            target,
+            subscripts,
+            value: Expr::IntLit(v),
+            ..
+        } if subscripts.is_empty() => (target.id(), *v),
+        _ => return None,
+    };
+    let (header, body, line) = match do_stmt {
+        Stmt::Do { header, body, line } => (header, body, *line),
+        _ => return None,
+    };
+    // Unit step, affine-usable index.
+    match header.step.as_ref() {
+        None | Some(Expr::IntLit(1)) => {}
+        _ => return None,
+    }
+    let loop_var = header.var.id();
+    if loop_var == k {
+        return None;
+    }
+    let lo = match &header.lo {
+        Expr::IntLit(v) => *v,
+        _ => return None,
+    };
+    // Exactly one top-level `K = K + c` and no other writes to K.
+    let mut incr_pos = None;
+    let mut incr_c = 0i64;
+    for (pos, s) in body.iter().enumerate() {
+        match s {
+            Stmt::Assign {
+                target,
+                subscripts,
+                value,
+                ..
+            } if subscripts.is_empty() && target.id() == k => {
+                let c = match_const_increment(k, value)?;
+                if incr_pos.is_some() {
+                    return None; // bumped twice: not a simple induction
+                }
+                incr_pos = Some(pos);
+                incr_c = c;
+            }
+            // Any write to K inside nested structure disqualifies.
+            Stmt::Do { body: b, .. }
+                if writes_scalar(b, k) => {
+                    return None;
+                }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            }
+                if (writes_scalar(then_body, k) || writes_scalar(else_body, k)) => {
+                    return None;
+                }
+            _ => {}
+        }
+    }
+    let incr_pos = incr_pos?;
+
+    // Closed form before the increment: k0 + c*(I - lo); after:
+    // + c more.
+    let closed = |phase: i64| -> Expr {
+        // (k0 - c*lo + phase) + c*I
+        let konst = k0 - incr_c * lo + phase;
+        Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::IntLit(konst)),
+            Box::new(Expr::Bin(
+                BinOp::Mul,
+                Box::new(Expr::IntLit(incr_c)),
+                Box::new(Expr::Var(SymRef::Resolved(loop_var))),
+            )),
+        )
+    };
+
+    let mut new_body = Vec::with_capacity(body.len() - 1);
+    for (pos, s) in body.iter().enumerate() {
+        if pos == incr_pos {
+            continue; // the increment disappears
+        }
+        let phase = if pos < incr_pos { 0 } else { incr_c };
+        new_body.push(replace_scalar(s.clone(), k, &closed(phase)));
+    }
+
+    let new_do = Stmt::Do {
+        header: DoHeader {
+            var: header.var.clone(),
+            lo: header.lo.clone(),
+            hi: header.hi.clone(),
+            step: header.step.clone(),
+        },
+        body: new_body,
+        line,
+    };
+    // K after the loop: k0 + c * trips; trips = hi - lo + 1 needs hi,
+    // which may be symbolic — express as k0 + c*(hi - lo + 1) using
+    // the header expression.
+    let final_value = Expr::Bin(
+        BinOp::Add,
+        Box::new(Expr::IntLit(k0)),
+        Box::new(Expr::Bin(
+            BinOp::Mul,
+            Box::new(Expr::IntLit(incr_c)),
+            Box::new(Expr::Bin(
+                BinOp::Sub,
+                Box::new(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(header.hi.clone()),
+                    Box::new(Expr::IntLit(1)),
+                )),
+                Box::new(Expr::IntLit(lo)),
+            )),
+        )),
+    );
+    let final_assign = Stmt::Assign {
+        target: SymRef::Resolved(k),
+        subscripts: Vec::new(),
+        value: final_value,
+        line,
+    };
+    Some((new_do, final_assign))
+}
+
+/// Match `K = K + c` / `K = c + K` / `K = K - c`.
+fn match_const_increment(k: usize, value: &Expr) -> Option<i64> {
+    match value {
+        Expr::Bin(BinOp::Add, a, b) => match (&**a, &**b) {
+            (Expr::Var(SymRef::Resolved(id)), Expr::IntLit(c)) if *id == k => Some(*c),
+            (Expr::IntLit(c), Expr::Var(SymRef::Resolved(id))) if *id == k => Some(*c),
+            _ => None,
+        },
+        Expr::Bin(BinOp::Sub, a, b) => match (&**a, &**b) {
+            (Expr::Var(SymRef::Resolved(id)), Expr::IntLit(c)) if *id == k => Some(-*c),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Does the statement list write scalar `k` anywhere?
+fn writes_scalar(stmts: &[Stmt], k: usize) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Assign {
+            target, subscripts, ..
+        } => subscripts.is_empty() && target.id() == k,
+        Stmt::Do { body, .. } => writes_scalar(body, k),
+        Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } => writes_scalar(then_body, k) || writes_scalar(else_body, k),
+        Stmt::Continue { .. } => false,
+        // Conservative: an un-inlined call could write anything.
+        Stmt::Call { .. } => true,
+    })
+}
+
+/// Replace every read of scalar `k` in a statement by `with`.
+fn replace_scalar(s: Stmt, k: usize, with: &Expr) -> Stmt {
+    match s {
+        Stmt::Assign {
+            target,
+            subscripts,
+            value,
+            line,
+        } => Stmt::Assign {
+            target,
+            subscripts: subscripts
+                .into_iter()
+                .map(|e| replace_in_expr(e, k, with))
+                .collect(),
+            value: replace_in_expr(value, k, with),
+            line,
+        },
+        Stmt::Do { header, body, line } => Stmt::Do {
+            header: DoHeader {
+                var: header.var,
+                lo: replace_in_expr(header.lo, k, with),
+                hi: replace_in_expr(header.hi, k, with),
+                step: header.step.map(|e| replace_in_expr(e, k, with)),
+            },
+            body: body
+                .into_iter()
+                .map(|s| replace_scalar(s, k, with))
+                .collect(),
+            line,
+        },
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        } => Stmt::If {
+            cond: replace_in_expr(cond, k, with),
+            then_body: then_body
+                .into_iter()
+                .map(|s| replace_scalar(s, k, with))
+                .collect(),
+            else_body: else_body
+                .into_iter()
+                .map(|s| replace_scalar(s, k, with))
+                .collect(),
+            line,
+        },
+        Stmt::Continue { line } => Stmt::Continue { line },
+        Stmt::Call { name, args, line } => Stmt::Call {
+            name,
+            args: args
+                .into_iter()
+                .map(|a| replace_in_expr(a, k, with))
+                .collect(),
+            line,
+        },
+    }
+}
+
+fn replace_in_expr(e: Expr, k: usize, with: &Expr) -> Expr {
+    match e {
+        Expr::Var(SymRef::Resolved(id)) if id == k => with.clone(),
+        Expr::Un(op, inner) => Expr::Un(op, Box::new(replace_in_expr(*inner, k, with))),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            op,
+            Box::new(replace_in_expr(*a, k, with)),
+            Box::new(replace_in_expr(*b, k, with)),
+        ),
+        Expr::Call(i, args) => Expr::Call(
+            i,
+            args.into_iter()
+                .map(|a| replace_in_expr(a, k, with))
+                .collect(),
+        ),
+        Expr::ArrayRef(sym, subs) => Expr::ArrayRef(
+            sym,
+            subs.into_iter()
+                .map(|a| replace_in_expr(a, k, with))
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::{lexer::lex, parser::parse, sema::resolve};
+
+    fn analyzed(src: &str) -> crate::analysis::AnalyzedProgram {
+        let (p, sy) = resolve(parse(&lex(src).unwrap()).unwrap(), &[]).unwrap();
+        crate::analysis::analyze(p, sy)
+    }
+
+    #[test]
+    fn substitutes_simple_induction() {
+        // Without substitution K is loop-carried and the loop stays
+        // serial; with it, W(K) becomes W(2I-1)-like and the loop is
+        // parallel.
+        let a = analyzed(
+            "PROGRAM T\nREAL W(40)\nK = 0\nDO I = 1, 10\nW(K + 1) = 1.0\nK = K + 2\nENDDO\nEND\n",
+        );
+        assert_eq!(a.num_parallel(), 1, "reasons: {:?}", a.serial_reasons);
+    }
+
+    #[test]
+    fn uses_after_increment_get_the_bumped_value() {
+        let src =
+            "PROGRAM T\nREAL W(40)\nK = 0\nDO I = 1, 10\nK = K + 2\nW(K) = 1.0\nENDDO\nEND\n";
+        let a = analyzed(src);
+        assert_eq!(a.num_parallel(), 1);
+        // Iteration I writes W(2I): footprint base 2*1-1 = offset 1.
+        if let crate::analysis::Region::Parallel(p) = &a.regions[1] {
+            let w = p.analysis.refs.iter().find(|r| r.is_write).unwrap();
+            assert_eq!(w.base, 1, "W(2) zero-based at iteration 0");
+            assert_eq!(w.coeff, 2);
+        } else {
+            panic!("expected parallel region, got {:?}", a.serial_reasons);
+        }
+    }
+
+    #[test]
+    fn double_increment_disables_substitution() {
+        let a = analyzed(
+            "PROGRAM T\nREAL W(40)\nK = 0\nDO I = 1, 10\nK = K + 1\nW(K) = 1.0\nK = K + 1\nENDDO\nEND\n",
+        );
+        assert_eq!(a.num_parallel(), 0);
+    }
+
+    #[test]
+    fn negative_increment() {
+        let a = analyzed(
+            "PROGRAM T\nREAL W(40)\nK = 21\nDO I = 1, 10\nK = K - 2\nW(K) = 1.0\nENDDO\nEND\n",
+        );
+        assert_eq!(a.num_parallel(), 1);
+    }
+
+    #[test]
+    fn final_value_restored_after_loop() {
+        // The closed-form final assignment lets later code read K.
+        let a = analyzed(
+            "PROGRAM T\nREAL W(40)\nK = 0\nDO I = 1, 10\nW(I) = 1.0\nK = K + 2\nENDDO\nW(K) = 5.0\nEND\n",
+        );
+        // The loop parallelises and the trailing W(K) reads K = 20.
+        assert_eq!(a.num_parallel(), 1);
+    }
+}

@@ -1,0 +1,404 @@
+//! Scalar-side loop analysis: reduction recognition and privatization.
+//!
+//! §3 lists both among the FE's parallelism-detection techniques. A
+//! scalar written inside a candidate loop must be one of: the loop
+//! index of an inner `DO`, a recognised reduction (`s = s ⊕ e`), or a
+//! privatizable temporary (written before read in every iteration) —
+//! otherwise the value flows across iterations and the loop stays
+//! serial.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{BinOp, Expr, Intrinsic, Stmt, SymRef};
+
+/// Reduction operators recognised by the FE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+}
+
+/// A recognised scalar reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reduction {
+    /// Scalar id of the accumulator.
+    pub var: usize,
+    pub op: ReductionOp,
+}
+
+/// Result of the scalar analysis.
+#[derive(Debug, Clone, Default)]
+pub struct ScalarAnalysis {
+    pub reductions: Vec<Reduction>,
+    pub private_scalars: BTreeSet<usize>,
+    /// Read-only scalars whose values the slaves need from the master.
+    pub shared_scalars: BTreeSet<usize>,
+    /// Inner-loop index variables (implicitly private).
+    pub inner_loop_vars: BTreeSet<usize>,
+}
+
+/// One observed scalar access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Event {
+    var: usize,
+    is_write: bool,
+    /// Nesting depth below the parallel body (0 = top level).
+    depth: usize,
+    /// Inside an IF branch?
+    conditional: bool,
+}
+
+/// Analyse scalar accesses of a candidate parallel body.
+pub fn analyze_scalars(parallel_var: usize, body: &[Stmt]) -> Result<ScalarAnalysis, String> {
+    let mut events = Vec::new();
+    let mut inner_loop_vars = BTreeSet::new();
+    let mut reduction_stmts: Vec<(usize, ReductionOp)> = Vec::new();
+    scan_stmts(
+        body,
+        0,
+        false,
+        &mut events,
+        &mut inner_loop_vars,
+        &mut reduction_stmts,
+    );
+
+    if inner_loop_vars.contains(&parallel_var) {
+        return Err("parallel index reused by an inner loop".into());
+    }
+
+    // Group events per scalar, in program order.
+    let mut per_var: BTreeMap<usize, Vec<Event>> = BTreeMap::new();
+    for e in &events {
+        per_var.entry(e.var).or_default().push(*e);
+    }
+
+    let mut out = ScalarAnalysis {
+        inner_loop_vars: inner_loop_vars.clone(),
+        ..ScalarAnalysis::default()
+    };
+
+    // Reduction accumulators must have no accesses beyond their
+    // reduction statements (the scan emits a marker write for those).
+    let reduction_vars: BTreeSet<usize> = reduction_stmts.iter().map(|&(v, _)| v).collect();
+
+    for (&var, evs) in &per_var {
+        if var == parallel_var {
+            // Reads of the index are fine; writes would be bizarre.
+            if evs.iter().any(|e| e.is_write) {
+                return Err("loop index assigned inside the loop".into());
+            }
+            continue;
+        }
+        if inner_loop_vars.contains(&var) {
+            // Inner loop indices are private by construction; reads
+            // are fine, stray writes are not.
+            continue;
+        }
+        if reduction_vars.contains(&var) {
+            // All accesses must come from the reduction statements
+            // themselves; the scanner tags those events with
+            // depth == usize::MAX as a marker.
+            if evs.iter().any(|e| e.depth != usize::MAX) {
+                return Err(format!(
+                    "scalar #{var} mixes reduction and non-reduction accesses"
+                ));
+            }
+            continue;
+        }
+        let any_write = evs.iter().any(|e| e.is_write);
+        if !any_write {
+            out.shared_scalars.insert(var);
+            continue;
+        }
+        // Privatizable: first access is an unconditional top-level
+        // write.
+        let first = evs[0];
+        if first.is_write && !first.conditional && first.depth == 0 {
+            out.private_scalars.insert(var);
+        } else {
+            return Err(format!(
+                "scalar #{var} carries a value across iterations (not privatizable)"
+            ));
+        }
+    }
+
+    // Deduplicate reductions (the same accumulator may appear once).
+    let mut seen = BTreeSet::new();
+    for (var, op) in reduction_stmts {
+        if seen.insert(var) {
+            out.reductions.push(Reduction { var, op });
+        } else if out.reductions.iter().any(|r| r.var == var && r.op != op) {
+            return Err(format!("scalar #{var} reduced with conflicting operators"));
+        }
+    }
+    Ok(out)
+}
+
+/// Does `e` mention scalar `var`?
+fn mentions_scalar(e: &Expr, var: usize) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if let Expr::Var(SymRef::Resolved(id)) = x {
+            if *id == var {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+/// Match `s = s ⊕ e` (or `s = MIN/MAX(s, e)`), `e` free of `s`.
+fn match_reduction(target: usize, value: &Expr) -> Option<ReductionOp> {
+    match value {
+        Expr::Bin(op @ (BinOp::Add | BinOp::Mul), a, b) => {
+            let red = if *op == BinOp::Add {
+                ReductionOp::Sum
+            } else {
+                ReductionOp::Prod
+            };
+            match (&**a, &**b) {
+                (Expr::Var(SymRef::Resolved(id)), rest) if *id == target => {
+                    (!mentions_scalar(rest, target)).then_some(red)
+                }
+                (rest, Expr::Var(SymRef::Resolved(id)))
+                    if *id == target && !mentions_scalar(rest, target) =>
+                {
+                    Some(red)
+                }
+                _ => None,
+            }
+        }
+        Expr::Call(intr @ (Intrinsic::Min | Intrinsic::Max), args) => {
+            let red = if *intr == Intrinsic::Min {
+                ReductionOp::Min
+            } else {
+                ReductionOp::Max
+            };
+            match (&args[0], &args[1]) {
+                (Expr::Var(SymRef::Resolved(id)), rest) if *id == target => {
+                    (!mentions_scalar(rest, target)).then_some(red)
+                }
+                (rest, Expr::Var(SymRef::Resolved(id)))
+                    if *id == target && !mentions_scalar(rest, target) =>
+                {
+                    Some(red)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn scan_expr(e: &Expr, depth: usize, conditional: bool, events: &mut Vec<Event>) {
+    e.walk(&mut |x| {
+        if let Expr::Var(SymRef::Resolved(id)) = x {
+            events.push(Event {
+                var: *id,
+                is_write: false,
+                depth,
+                conditional,
+            });
+        }
+    });
+}
+
+fn scan_stmts(
+    stmts: &[Stmt],
+    depth: usize,
+    conditional: bool,
+    events: &mut Vec<Event>,
+    inner_loop_vars: &mut BTreeSet<usize>,
+    reductions: &mut Vec<(usize, ReductionOp)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign {
+                target,
+                subscripts,
+                value,
+                ..
+            } => {
+                if subscripts.is_empty() {
+                    let var = target.id();
+                    if let Some(op) = match_reduction(var, value) {
+                        // Mark reduction accesses with a sentinel depth
+                        // so the grouping loop can tell them apart.
+                        reductions.push((var, op));
+                        events.push(Event {
+                            var,
+                            is_write: true,
+                            depth: usize::MAX,
+                            conditional,
+                        });
+                        // Scan the non-accumulator operand for other
+                        // scalars, then drop the accumulator read the
+                        // blanket scan just pushed (it belongs to this
+                        // reduction statement, not to general uses).
+                        let before = events.len();
+                        scan_expr(value, depth, conditional, events);
+                        let mut i = before;
+                        while i < events.len() {
+                            if events[i].var == var && !events[i].is_write {
+                                events.remove(i);
+                            } else {
+                                i += 1;
+                            }
+                        }
+                        continue;
+                    }
+                    scan_expr(value, depth, conditional, events);
+                    events.push(Event {
+                        var,
+                        is_write: true,
+                        depth,
+                        conditional,
+                    });
+                } else {
+                    for sub in subscripts {
+                        scan_expr(sub, depth, conditional, events);
+                    }
+                    scan_expr(value, depth, conditional, events);
+                }
+            }
+            Stmt::Do { header, body, .. } => {
+                inner_loop_vars.insert(header.var.id());
+                scan_expr(&header.lo, depth, conditional, events);
+                scan_expr(&header.hi, depth, conditional, events);
+                if let Some(st) = &header.step {
+                    scan_expr(st, depth, conditional, events);
+                }
+                scan_stmts(body, depth + 1, conditional, events, inner_loop_vars, reductions);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                scan_expr(cond, depth, conditional, events);
+                scan_stmts(
+                    then_body,
+                    depth + 1,
+                    true,
+                    events,
+                    inner_loop_vars,
+                    reductions,
+                );
+                scan_stmts(
+                    else_body,
+                    depth + 1,
+                    true,
+                    events,
+                    inner_loop_vars,
+                    reductions,
+                );
+            }
+            Stmt::Continue { .. } => {}
+            Stmt::Call { args, .. } => {
+                // Residual CALL: scan argument expressions for scalar
+                // reads; the access scanner rejects the loop anyway.
+                for a in args {
+                    scan_expr(a, depth, conditional, events);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lexer::lex, parser::parse, sema::resolve};
+
+    /// Analyse the first top-level DO loop of `src`.
+    fn scal(src: &str) -> Result<ScalarAnalysis, String> {
+        let (p, _sy) = resolve(parse(&lex(src).unwrap()).unwrap(), &[]).unwrap();
+        for s in &p.body {
+            if let Stmt::Do { header, body, .. } = s {
+                return analyze_scalars(header.var.id(), body);
+            }
+        }
+        panic!("no loop in test source");
+    }
+
+    #[test]
+    fn recognises_sum_reduction() {
+        let a = scal(
+            "PROGRAM T\nREAL A(10)\nS = 0\nDO I = 1, 10\nS = S + A(I)\nENDDO\nEND\n",
+        )
+        .unwrap();
+        assert_eq!(a.reductions.len(), 1);
+        assert_eq!(a.reductions[0].op, ReductionOp::Sum);
+    }
+
+    #[test]
+    fn recognises_max_reduction_commuted() {
+        let a = scal(
+            "PROGRAM T\nREAL A(10)\nS = 0\nDO I = 1, 10\nS = MAX(A(I), S)\nENDDO\nEND\n",
+        )
+        .unwrap();
+        assert_eq!(a.reductions[0].op, ReductionOp::Max);
+    }
+
+    #[test]
+    fn accumulator_in_operand_is_not_a_reduction() {
+        // S = S + S is not recognisable.
+        let r = scal("PROGRAM T\nDO I = 1, 10\nS = S + S\nENDDO\nEND\n");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn privatizes_write_first_temporary() {
+        let a = scal(
+            "PROGRAM T\nREAL W(20)\nDO I = 1, 10\nT = I * 2.0\nW(I) = T + 1.0\nENDDO\nEND\n",
+        )
+        .unwrap();
+        assert_eq!(a.private_scalars.len(), 1);
+    }
+
+    #[test]
+    fn read_before_write_is_loop_carried() {
+        let r = scal(
+            "PROGRAM T\nREAL W(20)\nDO I = 1, 10\nW(I) = T\nT = I * 1.0\nENDDO\nEND\n",
+        );
+        assert!(r.unwrap_err().contains("not privatizable"));
+    }
+
+    #[test]
+    fn conditional_first_write_blocks_privatization() {
+        let r = scal(
+            "PROGRAM T\nREAL W(20)\nDO I = 1, 10\nIF (I .GT. 5) THEN\nT = 1.0\nENDIF\nW(I) = T\nENDDO\nEND\n",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn read_only_scalars_are_shared() {
+        let a = scal(
+            "PROGRAM T\nREAL W(20)\nALPHA = 2.0\nDO I = 1, 10\nW(I) = ALPHA\nENDDO\nEND\n",
+        )
+        .unwrap();
+        assert_eq!(a.shared_scalars.len(), 1);
+        assert!(a.private_scalars.is_empty());
+    }
+
+    #[test]
+    fn inner_loop_vars_tracked() {
+        let a = scal(
+            "PROGRAM T\nREAL W(100)\nDO I = 1, 10\nDO J = 1, 10\nW(J) = 1.0\nENDDO\nENDDO\nEND\n",
+        )
+        .unwrap();
+        assert_eq!(a.inner_loop_vars.len(), 1);
+    }
+
+    #[test]
+    fn mixed_reduction_and_plain_use_rejected() {
+        let r = scal(
+            "PROGRAM T\nREAL A(10), W(10)\nDO I = 1, 10\nS = S + A(I)\nW(I) = S\nENDDO\nEND\n",
+        );
+        assert!(r.unwrap_err().contains("mixes reduction"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Abstract syntax for F77-mini.
+//!
+//! Two layers share these types: the raw parse tree uses names
+//! (strings); after semantic resolution the same shapes carry symbol
+//! ids (see [`crate::sema`]). To keep one set of types, names are
+//! represented by [`SymRef`], which starts as `Named` and is rewritten
+//! to `Resolved` by `sema`.
+
+/// Reference to a symbol: by name after parsing, by id after `sema`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SymRef {
+    Named(String),
+    Resolved(usize),
+}
+
+impl SymRef {
+    /// The resolved symbol id.
+    ///
+    /// # Panics
+    /// Panics before semantic resolution.
+    pub fn id(&self) -> usize {
+        match self {
+            SymRef::Resolved(i) => *i,
+            SymRef::Named(n) => panic!("unresolved symbol `{n}`"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    // Relational / logical (in IF conditions).
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Intrinsic functions of F77-mini.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    Sqrt,
+    Abs,
+    Mod,
+    Min,
+    Max,
+    Sin,
+    Cos,
+    Exp,
+    /// `REAL(i)` conversion.
+    Real,
+    /// `INT(x)` truncation.
+    Int,
+}
+
+impl Intrinsic {
+    /// Look up by (upper-case) name.
+    pub fn by_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "SQRT" => Intrinsic::Sqrt,
+            "ABS" => Intrinsic::Abs,
+            "MOD" => Intrinsic::Mod,
+            "MIN" => Intrinsic::Min,
+            "MAX" => Intrinsic::Max,
+            "SIN" => Intrinsic::Sin,
+            "COS" => Intrinsic::Cos,
+            "EXP" => Intrinsic::Exp,
+            "REAL" => Intrinsic::Real,
+            "INT" => Intrinsic::Int,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Mod | Intrinsic::Min | Intrinsic::Max => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    IntLit(i64),
+    RealLit(f64),
+    /// Scalar variable or `PARAMETER` (parameters fold away in sema).
+    Var(SymRef),
+    /// `A(i)`, `A(i,j)`, `A(i,j,k)`.
+    ArrayRef(SymRef, Vec<Expr>),
+    Un(UnOp, Box<Expr>),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Call(Intrinsic, Vec<Expr>),
+}
+
+impl Expr {
+    /// Walk every sub-expression (including self), pre-order.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Un(_, e) => e.walk(f),
+            Expr::Bin(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Call(_, args) | Expr::ArrayRef(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A `DO` loop header: `DO var = lo, hi [, step]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoHeader {
+    pub var: SymRef,
+    pub lo: Expr,
+    pub hi: Expr,
+    pub step: Option<Expr>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `lhs = rhs`; `lhs` is a scalar (no subscripts) or array element.
+    Assign {
+        target: SymRef,
+        subscripts: Vec<Expr>,
+        value: Expr,
+        line: usize,
+    },
+    /// `DO ... ENDDO`.
+    Do {
+        header: DoHeader,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    /// `IF (cond) THEN ... [ELSE ...] ENDIF`.
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+        line: usize,
+    },
+    /// `CONTINUE` — a no-op.
+    Continue { line: usize },
+    /// `CALL sub(args)` — removed by the inliner before analysis.
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        line: usize,
+    },
+}
+
+impl Stmt {
+    /// Source line of the statement.
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Assign { line, .. }
+            | Stmt::Do { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::Continue { line }
+            | Stmt::Call { line, .. } => *line,
+        }
+    }
+}
+
+/// Scalar base types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    Integer,
+    Real,
+}
+
+/// A declaration item: scalar or array with constant-expression bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeclItem {
+    pub name: String,
+    /// Upper bounds of each dimension (lower bounds are 1).
+    pub dims: Vec<Expr>,
+}
+
+/// One declaration statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    Type {
+        base: BaseType,
+        items: Vec<DeclItem>,
+        line: usize,
+    },
+    Dimension {
+        items: Vec<DeclItem>,
+        line: usize,
+    },
+    Parameter {
+        assignments: Vec<(String, Expr)>,
+        line: usize,
+    },
+}
+
+/// A parsed program unit (before semantic resolution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Unit {
+    pub name: String,
+    /// `true` for `SUBROUTINE`, `false` for `PROGRAM`.
+    pub is_subroutine: bool,
+    /// Dummy argument names (subroutines only).
+    pub args: Vec<String>,
+    pub decls: Vec<Decl>,
+    pub body: Vec<Stmt>,
+}
+
+/// A semantically resolved program: the statement list with all
+/// symbol references resolved and parameters folded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub name: String,
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_lookup_and_arity() {
+        assert_eq!(Intrinsic::by_name("SQRT"), Some(Intrinsic::Sqrt));
+        assert_eq!(Intrinsic::by_name("MOD"), Some(Intrinsic::Mod));
+        assert_eq!(Intrinsic::by_name("FOO"), None);
+        assert_eq!(Intrinsic::Mod.arity(), 2);
+        assert_eq!(Intrinsic::Cos.arity(), 1);
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::IntLit(1)),
+            Box::new(Expr::Call(Intrinsic::Sqrt, vec![Expr::IntLit(2)])),
+        );
+        let mut n = 0;
+        e.walk(&mut |_| n += 1);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved symbol")]
+    fn named_ref_has_no_id() {
+        SymRef::Named("X".into()).id();
+    }
+}

@@ -1,0 +1,462 @@
+//! Lexer for F77-mini.
+//!
+//! Accepts free-form source, case-insensitive. Comments start with `!`
+//! anywhere, or with `C`/`c`/`*` in column one (classic fixed-form
+//! comment cards). Statements end at end-of-line; a trailing `&`
+//! continues onto the next line.
+
+use crate::FrontError;
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: usize,
+}
+
+/// Token kinds. Keywords are recognised in the parser from `Ident`
+/// spellings (Fortran has no reserved words).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    Ident(String),
+    IntLit(i64),
+    RealLit(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Pow,
+    LParen,
+    RParen,
+    Comma,
+    Assign,
+    // Relational operators (both F77 `.LT.` and F90 `<` spellings).
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+    Not,
+    Newline,
+    Eof,
+}
+
+/// Tokenise `source`.
+pub fn lex(source: &str) -> Result<Vec<Token>, FrontError> {
+    let mut out = Vec::new();
+    let mut continuation = false;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line_no = lineno + 1;
+        // Fixed-form comment card: '*' in column one always comments;
+        // 'C'/'c' in column one comments only when followed by
+        // whitespace or nothing (so `CU(I,J) = ...` and `C(I,J) = ...`
+        // still lex as statements).
+        let mut first_two = raw.chars();
+        match (first_two.next(), first_two.next()) {
+            (Some('*'), _) => continue,
+            (Some('C') | Some('c'), second) if second.is_none_or(char::is_whitespace) => {
+                continue;
+            }
+            _ => {}
+        }
+        let text = match raw.find('!') {
+            Some(p) => &raw[..p],
+            None => raw,
+        };
+        // Leading '&' (column-6 style continuation): join with the
+        // previous statement by removing its terminating Newline.
+        let text = {
+            let trimmed = text.trim_start();
+            if let Some(rest) = trimmed.strip_prefix('&') {
+                if matches!(out.last().map(|t: &Token| &t.kind), Some(TokKind::Newline)) {
+                    out.pop();
+                }
+                rest
+            } else {
+                text
+            }
+        };
+        let mut chars = text.char_indices().peekable();
+        let start_len = out.len();
+        let mut continued_next = false;
+        while let Some(&(i, c)) = chars.peek() {
+            match c {
+                ' ' | '\t' | '\r' => {
+                    chars.next();
+                }
+                '&' => {
+                    chars.next();
+                    continued_next = true;
+                }
+                '(' => {
+                    chars.next();
+                    out.push(Token { kind: TokKind::LParen, line: line_no });
+                }
+                ')' => {
+                    chars.next();
+                    out.push(Token { kind: TokKind::RParen, line: line_no });
+                }
+                ',' => {
+                    chars.next();
+                    out.push(Token { kind: TokKind::Comma, line: line_no });
+                }
+                '+' => {
+                    chars.next();
+                    out.push(Token { kind: TokKind::Plus, line: line_no });
+                }
+                '-' => {
+                    chars.next();
+                    out.push(Token { kind: TokKind::Minus, line: line_no });
+                }
+                '/' => {
+                    chars.next();
+                    if chars.peek().map(|&(_, c)| c) == Some('=') {
+                        chars.next();
+                        out.push(Token { kind: TokKind::Ne, line: line_no });
+                    } else {
+                        out.push(Token { kind: TokKind::Slash, line: line_no });
+                    }
+                }
+                '*' => {
+                    chars.next();
+                    if chars.peek().map(|&(_, c)| c) == Some('*') {
+                        chars.next();
+                        out.push(Token { kind: TokKind::Pow, line: line_no });
+                    } else {
+                        out.push(Token { kind: TokKind::Star, line: line_no });
+                    }
+                }
+                '=' => {
+                    chars.next();
+                    if chars.peek().map(|&(_, c)| c) == Some('=') {
+                        chars.next();
+                        out.push(Token { kind: TokKind::Eq, line: line_no });
+                    } else {
+                        out.push(Token { kind: TokKind::Assign, line: line_no });
+                    }
+                }
+                '<' => {
+                    chars.next();
+                    if chars.peek().map(|&(_, c)| c) == Some('=') {
+                        chars.next();
+                        out.push(Token { kind: TokKind::Le, line: line_no });
+                    } else {
+                        out.push(Token { kind: TokKind::Lt, line: line_no });
+                    }
+                }
+                '>' => {
+                    chars.next();
+                    if chars.peek().map(|&(_, c)| c) == Some('=') {
+                        chars.next();
+                        out.push(Token { kind: TokKind::Ge, line: line_no });
+                    } else {
+                        out.push(Token { kind: TokKind::Gt, line: line_no });
+                    }
+                }
+                '.' => {
+                    // Either a real literal (.5) or a dotted operator
+                    // (.LT. .AND. ...).
+                    let rest = &text[i..];
+                    if let Some(op) = lex_dotted_op(rest) {
+                        let (kind, len) = op;
+                        for _ in 0..len {
+                            chars.next();
+                        }
+                        out.push(Token { kind, line: line_no });
+                    } else if rest.len() > 1
+                        && rest[1..].starts_with(|c: char| c.is_ascii_digit())
+                    {
+                        let (tok, consumed) = lex_number(rest, line_no)?;
+                        for _ in 0..consumed {
+                            chars.next();
+                        }
+                        out.push(tok);
+                    } else {
+                        return Err(FrontError::new(line_no, format!("stray '.' near `{rest}`")));
+                    }
+                }
+                c if c.is_ascii_digit() => {
+                    let rest = &text[i..];
+                    let (tok, consumed) = lex_number(rest, line_no)?;
+                    for _ in 0..consumed {
+                        chars.next();
+                    }
+                    out.push(tok);
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let rest = &text[i..];
+                    let end = rest
+                        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                        .unwrap_or(rest.len());
+                    let word = rest[..end].to_ascii_uppercase();
+                    for _ in 0..end {
+                        chars.next();
+                    }
+                    out.push(Token { kind: TokKind::Ident(word), line: line_no });
+                }
+                other => {
+                    return Err(FrontError::new(
+                        line_no,
+                        format!("unexpected character `{other}`"),
+                    ));
+                }
+            }
+        }
+        let emitted = out.len() > start_len;
+        if continued_next {
+            continuation = true;
+        } else if emitted || continuation {
+            // Close the (possibly continued) statement.
+            if !continued_next {
+                out.push(Token { kind: TokKind::Newline, line: line_no });
+                continuation = false;
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokKind::Eof,
+        line: source.lines().count() + 1,
+    });
+    Ok(out)
+}
+
+/// Recognise `.LT. .LE. .GT. .GE. .EQ. .NE. .AND. .OR. .NOT.`.
+fn lex_dotted_op(rest: &str) -> Option<(TokKind, usize)> {
+    let upper = rest.get(..6).map(str::to_ascii_uppercase).unwrap_or_else(|| {
+        rest.to_ascii_uppercase()
+    });
+    let table: [(&str, TokKind); 9] = [
+        (".AND.", TokKind::And),
+        (".NOT.", TokKind::Not),
+        (".OR.", TokKind::Or),
+        (".LT.", TokKind::Lt),
+        (".LE.", TokKind::Le),
+        (".GT.", TokKind::Gt),
+        (".GE.", TokKind::Ge),
+        (".EQ.", TokKind::Eq),
+        (".NE.", TokKind::Ne),
+    ];
+    for (pat, kind) in table {
+        if upper.starts_with(pat) {
+            return Some((kind, pat.len()));
+        }
+    }
+    None
+}
+
+/// Lex an integer or real literal starting at the head of `rest`.
+/// Returns the token and the number of chars consumed.
+fn lex_number(rest: &str, line: usize) -> Result<(Token, usize), FrontError> {
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_real = false;
+    if i < bytes.len() && bytes[i] == b'.' {
+        // Not a dotted operator? (digits after the dot or end)
+        let after = &rest[i..];
+        if lex_dotted_op(after).is_none() {
+            is_real = true;
+            i += 1;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    // Exponent: E or D (double) form.
+    if i < bytes.len() && matches!(bytes[i], b'e' | b'E' | b'd' | b'D') {
+        let mut j = i + 1;
+        if j < bytes.len() && matches!(bytes[j], b'+' | b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            is_real = true;
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &rest[..i];
+    if is_real {
+        let norm = text.replace(['d', 'D'], "E");
+        let v: f64 = norm
+            .parse()
+            .map_err(|_| FrontError::new(line, format!("bad real literal `{text}`")))?;
+        Ok((Token { kind: TokKind::RealLit(v), line }, i))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| FrontError::new(line, format!("bad integer literal `{text}`")))?;
+        Ok((Token { kind: TokKind::IntLit(v), line }, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        use TokKind::*;
+        assert_eq!(
+            kinds("X = A(I,J) + 2.5"),
+            vec![
+                Ident("X".into()),
+                Assign,
+                Ident("A".into()),
+                LParen,
+                Ident("I".into()),
+                Comma,
+                Ident("J".into()),
+                RParen,
+                Plus,
+                RealLit(2.5),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn power_and_star() {
+        use TokKind::*;
+        assert_eq!(
+            kinds("N = 2**M * 3"),
+            vec![
+                Ident("N".into()),
+                Assign,
+                IntLit(2),
+                Pow,
+                Ident("M".into()),
+                Star,
+                IntLit(3),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn case_insensitive_identifiers() {
+        assert_eq!(kinds("enddo"), kinds("ENDDO"));
+        assert_eq!(kinds("EndDo"), kinds("ENDDO"));
+    }
+
+    #[test]
+    fn comment_cards_and_bang_comments() {
+        let src = "C this is a comment card\n* so is this\nX = 1 ! trailing\n";
+        use TokKind::*;
+        assert_eq!(
+            kinds(src),
+            vec![Ident("X".into()), Assign, IntLit(1), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn cu_is_an_identifier_not_a_comment() {
+        // 'CU(I,J) = 1' must not be swallowed as a C-card.
+        let toks = kinds("CU(I,J) = 1");
+        assert_eq!(toks[0], TokKind::Ident("CU".into()));
+    }
+
+    #[test]
+    fn continuation_joins_lines() {
+        let src = "X = 1 + &\n    2\n";
+        use TokKind::*;
+        assert_eq!(
+            kinds(src),
+            vec![
+                Ident("X".into()),
+                Assign,
+                IntLit(1),
+                Plus,
+                IntLit(2),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_operators() {
+        use TokKind::*;
+        assert_eq!(
+            kinds("IF (I .LT. N .AND. J .GE. 1) THEN"),
+            vec![
+                Ident("IF".into()),
+                LParen,
+                Ident("I".into()),
+                Lt,
+                Ident("N".into()),
+                And,
+                Ident("J".into()),
+                Ge,
+                IntLit(1),
+                RParen,
+                Ident("THEN".into()),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn modern_relational_spellings() {
+        use TokKind::*;
+        assert_eq!(
+            kinds("IF (I <= N) THEN"),
+            vec![
+                Ident("IF".into()),
+                LParen,
+                Ident("I".into()),
+                Le,
+                Ident("N".into()),
+                RParen,
+                Ident("THEN".into()),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn real_literal_forms() {
+        use TokKind::*;
+        assert_eq!(kinds("X = .5")[2], RealLit(0.5));
+        assert_eq!(kinds("X = 1.")[2], RealLit(1.0));
+        assert_eq!(kinds("X = 1.5E2")[2], RealLit(150.0));
+        assert_eq!(kinds("X = 2D0")[2], RealLit(2.0));
+        assert_eq!(kinds("X = 1E-3")[2], RealLit(0.001));
+    }
+
+    #[test]
+    fn number_followed_by_dotted_op() {
+        // `1.EQ.I` must lex as IntLit(1) Eq Ident(I), not a real.
+        use TokKind::*;
+        assert_eq!(
+            kinds("IF (1.EQ.I) THEN")[2..5],
+            [IntLit(1), Eq, Ident("I".into())]
+        );
+    }
+
+    #[test]
+    fn blank_lines_produce_no_tokens() {
+        assert_eq!(kinds("\n\n\n"), vec![TokKind::Eof]);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = lex("X = 1\nY = $").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains('$'));
+    }
+}

@@ -1,0 +1,628 @@
+//! Recursive-descent parser for F77-mini.
+
+use crate::ast::*;
+use crate::lexer::{TokKind, Token};
+use crate::FrontError;
+
+/// Parse one program unit (the first in the token stream).
+pub fn parse(tokens: &[Token]) -> Result<Unit, FrontError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.unit()
+}
+
+/// Parse every unit in a source file: one `PROGRAM` plus any number of
+/// `SUBROUTINE`s, in any order.
+pub fn parse_units(tokens: &[Token]) -> Result<Vec<Unit>, FrontError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut units = Vec::new();
+    loop {
+        p.skip_newlines();
+        if matches!(p.peek(), TokKind::Eof) {
+            break;
+        }
+        units.push(p.unit()?);
+    }
+    if units.is_empty() {
+        return Err(FrontError::new(1, "empty source: no program unit"));
+    }
+    Ok(units)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> &TokKind {
+        let t = &self.tokens[self.pos].kind;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokKind, what: &str) -> Result<(), FrontError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> FrontError {
+        FrontError::new(self.line(), message)
+    }
+
+    /// Is the current token the identifier `kw`?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokKind::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, FrontError> {
+        match self.peek().clone() {
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat(&TokKind::Newline) {}
+    }
+
+    fn end_stmt(&mut self) -> Result<(), FrontError> {
+        if self.eat(&TokKind::Newline) || matches!(self.peek(), TokKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected end of statement, found {:?}", self.peek())))
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn unit(&mut self) -> Result<Unit, FrontError> {
+        self.skip_newlines();
+        let kind_kw = if self.eat_kw("PROGRAM") {
+            "PROGRAM"
+        } else if self.eat_kw("SUBROUTINE") {
+            "SUBROUTINE"
+        } else {
+            return Err(self.err("expected PROGRAM or SUBROUTINE".into()));
+        };
+        let name = self.expect_ident("unit name")?;
+        let mut args = Vec::new();
+        if kind_kw == "SUBROUTINE" && self.eat(&TokKind::LParen)
+            && !self.eat(&TokKind::RParen) {
+                loop {
+                    args.push(self.expect_ident("dummy argument")?);
+                    if !self.eat(&TokKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokKind::RParen, "`)`")?;
+            }
+        self.end_stmt()?;
+        let mut decls = Vec::new();
+        self.skip_newlines();
+        while let Some(d) = self.try_decl()? {
+            decls.push(d);
+            self.skip_newlines();
+        }
+        let body = self.stmt_list(&["END"])?;
+        if !self.eat_kw("END") {
+            return Err(self.err("expected END".into()));
+        }
+        let _ = self.end_stmt();
+        Ok(Unit {
+            name,
+            is_subroutine: kind_kw == "SUBROUTINE",
+            args,
+            decls,
+            body,
+        })
+    }
+
+    fn try_decl(&mut self) -> Result<Option<Decl>, FrontError> {
+        let line = self.line();
+        if self.at_kw("INTEGER") || self.at_kw("REAL") {
+            let base = if self.eat_kw("INTEGER") {
+                BaseType::Integer
+            } else {
+                self.eat_kw("REAL");
+                BaseType::Real
+            };
+            // `REAL X` vs the statement `REAL = ...` can't collide:
+            // REAL is an intrinsic, not an assignable name in F77-mini.
+            let items = self.decl_items()?;
+            self.end_stmt()?;
+            Ok(Some(Decl::Type { base, items, line }))
+        } else if self.eat_kw("DIMENSION") {
+            let items = self.decl_items()?;
+            self.end_stmt()?;
+            Ok(Some(Decl::Dimension { items, line }))
+        } else if self.eat_kw("PARAMETER") {
+            self.expect(&TokKind::LParen, "`(`")?;
+            let mut assignments = Vec::new();
+            loop {
+                let name = self.expect_ident("parameter name")?;
+                self.expect(&TokKind::Assign, "`=`")?;
+                let value = self.expr()?;
+                assignments.push((name, value));
+                if !self.eat(&TokKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokKind::RParen, "`)`")?;
+            self.end_stmt()?;
+            Ok(Some(Decl::Parameter { assignments, line }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn decl_items(&mut self) -> Result<Vec<DeclItem>, FrontError> {
+        let mut items = Vec::new();
+        loop {
+            let name = self.expect_ident("declared name")?;
+            let mut dims = Vec::new();
+            if self.eat(&TokKind::LParen) {
+                loop {
+                    dims.push(self.expr()?);
+                    if !self.eat(&TokKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokKind::RParen, "`)`")?;
+            }
+            items.push(DeclItem { name, dims });
+            if !self.eat(&TokKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    /// Parse statements until a block terminator (`END`, `ENDDO`,
+    /// `ENDIF`, `ELSE`) — not consumed. Callers verify they got the
+    /// right one, so a stray terminator yields a precise error.
+    fn stmt_list(&mut self, _stop: &[&str]) -> Result<Vec<Stmt>, FrontError> {
+        const TERMINATORS: [&str; 4] = ["END", "ENDDO", "ENDIF", "ELSE"];
+        let mut out = Vec::new();
+        loop {
+            self.skip_newlines();
+            if matches!(self.peek(), TokKind::Eof)
+                || TERMINATORS.iter().any(|k| self.at_kw(k))
+            {
+                return Ok(out);
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, FrontError> {
+        let line = self.line();
+        if self.eat_kw("DO") {
+            let var = SymRef::Named(self.expect_ident("loop variable")?);
+            self.expect(&TokKind::Assign, "`=`")?;
+            let lo = self.expr()?;
+            self.expect(&TokKind::Comma, "`,`")?;
+            let hi = self.expr()?;
+            let step = if self.eat(&TokKind::Comma) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.end_stmt()?;
+            let body = self.stmt_list(&["ENDDO"])?;
+            if !self.eat_kw("ENDDO") {
+                return Err(self.err("expected ENDDO".into()));
+            }
+            self.end_stmt()?;
+            Ok(Stmt::Do {
+                header: DoHeader { var, lo, hi, step },
+                body,
+                line,
+            })
+        } else if self.eat_kw("IF") {
+            self.expect(&TokKind::LParen, "`(`")?;
+            let cond = self.expr()?;
+            self.expect(&TokKind::RParen, "`)`")?;
+            if !self.eat_kw("THEN") {
+                return Err(self.err("only block IF (… ) THEN is supported".into()));
+            }
+            self.end_stmt()?;
+            let then_body = self.stmt_list(&["ELSE", "ENDIF"])?;
+            let else_body = if self.eat_kw("ELSE") {
+                self.end_stmt()?;
+                self.stmt_list(&["ENDIF"])?
+            } else {
+                Vec::new()
+            };
+            if !self.eat_kw("ENDIF") {
+                return Err(self.err("expected ENDIF".into()));
+            }
+            self.end_stmt()?;
+            Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            })
+        } else if self.eat_kw("CONTINUE") {
+            self.end_stmt()?;
+            Ok(Stmt::Continue { line })
+        } else if self.eat_kw("CALL") {
+            let name = self.expect_ident("subroutine name")?;
+            let mut args = Vec::new();
+            if self.eat(&TokKind::LParen)
+                && !self.eat(&TokKind::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&TokKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokKind::RParen, "`)`")?;
+                }
+            self.end_stmt()?;
+            Ok(Stmt::Call { name, args, line })
+        } else {
+            // Assignment: name [ (subscripts) ] = expr
+            let name = self.expect_ident("statement")?;
+            let mut subscripts = Vec::new();
+            if self.eat(&TokKind::LParen) {
+                loop {
+                    subscripts.push(self.expr()?);
+                    if !self.eat(&TokKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokKind::RParen, "`)`")?;
+            }
+            self.expect(&TokKind::Assign, "`=` (assignment)")?;
+            let value = self.expr()?;
+            self.end_stmt()?;
+            Ok(Stmt::Assign {
+                target: SymRef::Named(name),
+                subscripts,
+                value,
+                line,
+            })
+        }
+    }
+
+    // -------------------- expressions --------------------
+    // Precedence (low→high): .OR. < .AND. < .NOT. < relational <
+    // additive < multiplicative < unary minus < ** < primary.
+
+    fn expr(&mut self) -> Result<Expr, FrontError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokKind::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat(&TokKind::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, FrontError> {
+        if self.eat(&TokKind::Not) {
+            Ok(Expr::Un(UnOp::Not, Box::new(self.not_expr()?)))
+        } else {
+            self.rel_expr()
+        }
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr, FrontError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokKind::Lt => BinOp::Lt,
+            TokKind::Le => BinOp::Le,
+            TokKind::Gt => BinOp::Gt,
+            TokKind::Ge => BinOp::Ge,
+            TokKind::Eq => BinOp::Eq,
+            TokKind::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = if self.eat(&TokKind::Minus) {
+            Expr::Un(UnOp::Neg, Box::new(self.mul_expr()?))
+        } else {
+            self.eat(&TokKind::Plus);
+            self.mul_expr()?
+        };
+        loop {
+            let op = match self.peek() {
+                TokKind::Plus => BinOp::Add,
+                TokKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, FrontError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Star => BinOp::Mul,
+                TokKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, FrontError> {
+        if self.eat(&TokKind::Minus) {
+            Ok(Expr::Un(UnOp::Neg, Box::new(self.unary_expr()?)))
+        } else {
+            self.pow_expr()
+        }
+    }
+
+    fn pow_expr(&mut self) -> Result<Expr, FrontError> {
+        let base = self.primary()?;
+        if self.eat(&TokKind::Pow) {
+            // `**` is right-associative in Fortran.
+            let exp = self.unary_expr()?;
+            Ok(Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp)))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontError> {
+        match self.peek().clone() {
+            TokKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            TokKind::RealLit(v) => {
+                self.bump();
+                Ok(Expr::RealLit(v))
+            }
+            TokKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokKind::LParen) {
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(&TokKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&TokKind::RParen, "`)`")?;
+                    if let Some(intr) = Intrinsic::by_name(&name) {
+                        if args.len() != intr.arity() {
+                            return Err(self.err(format!(
+                                "{name} takes {} argument(s), got {}",
+                                intr.arity(),
+                                args.len()
+                            )));
+                        }
+                        Ok(Expr::Call(intr, args))
+                    } else {
+                        Ok(Expr::ArrayRef(SymRef::Named(name), args))
+                    }
+                } else {
+                    Ok(Expr::Var(SymRef::Named(name)))
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_minimal_program() {
+        let u = parse_src("PROGRAM T\nX = 1\nEND\n");
+        assert_eq!(u.name, "T");
+        assert_eq!(u.body.len(), 1);
+    }
+
+    #[test]
+    fn parses_declarations() {
+        let u = parse_src(
+            "PROGRAM T\nPARAMETER (N = 8)\nREAL A(N,N), B(N)\nINTEGER I, J\nX = 1\nEND\n",
+        );
+        assert_eq!(u.decls.len(), 3);
+        match &u.decls[1] {
+            Decl::Type { base, items, .. } => {
+                assert_eq!(*base, BaseType::Real);
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0].name, "A");
+                assert_eq!(items[0].dims.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_do_loops() {
+        let u = parse_src(
+            "PROGRAM T\nDO I = 1, 10\nDO J = 1, 10, 2\nX = I + J\nENDDO\nENDDO\nEND\n",
+        );
+        match &u.body[0] {
+            Stmt::Do { header, body, .. } => {
+                assert_eq!(header.var, SymRef::Named("I".into()));
+                assert!(header.step.is_none());
+                match &body[0] {
+                    Stmt::Do { header, .. } => {
+                        assert_eq!(header.step, Some(Expr::IntLit(2)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let u = parse_src(
+            "PROGRAM T\nIF (I .LT. N) THEN\nX = 1\nELSE\nX = 2\nENDIF\nEND\n",
+        );
+        match &u.body[0] {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let u = parse_src("PROGRAM T\nX = 1 + 2 * 3\nEND\n");
+        match &u.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Bin(BinOp::Add, l, r) => {
+                    assert_eq!(**l, Expr::IntLit(1));
+                    assert!(matches!(**r, Expr::Bin(BinOp::Mul, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pow_is_right_associative_and_binds_tighter_than_neg() {
+        // -2**2 = -(2**2) in Fortran.
+        let u = parse_src("PROGRAM T\nX = -2**2\nEND\n");
+        match &u.body[0] {
+            Stmt::Assign { value, .. } => {
+                assert!(matches!(value, Expr::Un(UnOp::Neg, inner)
+                    if matches!(**inner, Expr::Bin(BinOp::Pow, _, _))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intrinsics_vs_array_refs() {
+        let u = parse_src("PROGRAM T\nX = COS(Y) + A(I)\nEND\n");
+        match &u.body[0] {
+            Stmt::Assign { value, .. } => match value {
+                Expr::Bin(BinOp::Add, l, r) => {
+                    assert!(matches!(**l, Expr::Call(Intrinsic::Cos, _)));
+                    assert!(matches!(**r, Expr::ArrayRef(_, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_assignment_target() {
+        let u = parse_src("PROGRAM T\nA(I,J) = 0.0\nEND\n");
+        match &u.body[0] {
+            Stmt::Assign {
+                target, subscripts, ..
+            } => {
+                assert_eq!(*target, SymRef::Named("A".into()));
+                assert_eq!(subscripts.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn intrinsic_arity_checked() {
+        let toks = lex("PROGRAM T\nX = MOD(I)\nEND\n").unwrap();
+        let err = parse(&toks).unwrap_err();
+        assert!(err.message.contains("MOD takes 2"));
+    }
+
+    #[test]
+    fn subroutine_header_with_args() {
+        let u = parse_src("SUBROUTINE CALC1(U, V, N)\nX = 1\nEND\n");
+        assert_eq!(u.name, "CALC1");
+    }
+
+    #[test]
+    fn missing_enddo_is_an_error() {
+        let toks = lex("PROGRAM T\nDO I = 1, 3\nX = 1\nEND\n").unwrap();
+        let err = parse(&toks).unwrap_err();
+        assert!(err.message.contains("ENDDO"), "{}", err.message);
+    }
+
+    #[test]
+    fn continue_statement() {
+        let u = parse_src("PROGRAM T\nCONTINUE\nEND\n");
+        assert!(matches!(u.body[0], Stmt::Continue { .. }));
+    }
+}

@@ -1,0 +1,139 @@
+//! Parser ↔ printer round-trip: for random well-formed statement
+//! trees, `parse(print(ast))` prints back identically. This pins the
+//! grammar, the precedence rules, and the printer to each other.
+
+use polaris_fe::ast::*;
+use polaris_fe::lexer::lex;
+use polaris_fe::parser::parse;
+use polaris_fe::printer::print_stmts;
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // Avoid keywords and intrinsic names.
+    prop_oneof![
+        Just("X".to_string()),
+        Just("Y".to_string()),
+        Just("ALPHA".to_string()),
+        Just("K2".to_string()),
+        Just("IVAR".to_string()),
+    ]
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(Expr::IntLit),
+        (0u32..1000).prop_map(|v| Expr::RealLit(v as f64 / 8.0)),
+        arb_name().prop_map(|n| Expr::Var(SymRef::Named(n))),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_expr(depth - 1);
+    let inner2 = arb_expr(depth - 1);
+    let inner3 = arb_expr(depth - 1);
+    let inner4 = arb_expr(depth - 1);
+    prop_oneof![
+        leaf,
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Div),
+                Just(BinOp::Pow),
+            ],
+            inner,
+            inner2
+        )
+            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+        inner3.prop_map(|a| Expr::Un(UnOp::Neg, Box::new(a))),
+        inner4.prop_map(|a| Expr::Call(Intrinsic::Sqrt, vec![a])),
+    ]
+    .boxed()
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let assign = (arb_name(), arb_expr(2)).prop_map(|(n, value)| Stmt::Assign {
+        target: SymRef::Named(n),
+        subscripts: Vec::new(),
+        value,
+        line: 0,
+    });
+    let array_assign =
+        (arb_expr(1), arb_expr(1)).prop_map(|(sub, value)| Stmt::Assign {
+            target: SymRef::Named("ARR".to_string()),
+            subscripts: vec![sub],
+            value,
+            line: 0,
+        });
+    if depth == 0 {
+        return prop_oneof![assign, array_assign, Just(Stmt::Continue { line: 0 })].boxed();
+    }
+    let body = proptest::collection::vec(arb_stmt(depth - 1), 1..3);
+    let body2 = proptest::collection::vec(arb_stmt(depth - 1), 0..2);
+    let body3 = proptest::collection::vec(arb_stmt(depth - 1), 1..3);
+    prop_oneof![
+        assign,
+        array_assign,
+        (arb_expr(1), arb_expr(1), body).prop_map(|(lo, hi, body)| Stmt::Do {
+            header: DoHeader {
+                var: SymRef::Named("I".to_string()),
+                lo,
+                hi,
+                step: Some(Expr::IntLit(2)),
+            },
+            body,
+            line: 0,
+        }),
+        (arb_expr(1), arb_expr(1), body3, body2).prop_map(|(a, b, t, e)| Stmt::If {
+            cond: Expr::Bin(BinOp::Lt, Box::new(a), Box::new(b)),
+            then_body: t,
+            else_body: e,
+            line: 0,
+        }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_print_is_identity(stmts in proptest::collection::vec(arb_stmt(2), 1..5)) {
+        let printed = print_stmts(&stmts, None);
+        let src = format!("PROGRAM T\n{printed}END\n");
+        let unit = parse(&lex(&src).unwrap())
+            .unwrap_or_else(|e| panic!("printed source failed to parse: {e}\n{src}"));
+        let reprinted = print_stmts(&unit.body, None);
+        prop_assert_eq!(printed, reprinted, "source:\n{}", src);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_text(src in "\\PC{0,200}") {
+        // Errors are fine; panics are not.
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_token_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("PROGRAM"), Just("DO"), Just("ENDDO"), Just("IF"),
+                Just("THEN"), Just("ELSE"), Just("ENDIF"), Just("END"),
+                Just("CALL"), Just("CONTINUE"), Just("X"), Just("="),
+                Just("1"), Just("2.5"), Just("("), Just(")"), Just(","),
+                Just("+"), Just("*"), Just("\n"), Just(".LT."),
+            ],
+            0..60,
+        )
+    ) {
+        let src = words.join(" ");
+        if let Ok(tokens) = lex(&src) {
+            let _ = parse(&tokens);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # spmd-rt — the SPMD target program and its runtime
+//!
+//! §3 of the paper describes the code the compiler emits: "a single
+//! program multiple data (SPMD) form using the master/slave model of
+//! execution, where one of the parallel processes (the master)
+//! executes all sequential sections and the other processes (the
+//! slaves) participate only in the computations of parallel sections",
+//! with explicit barriers, fences and one-sided communication. This
+//! crate defines that target form ([`SpmdProgram`]) and executes it on
+//! the simulated cluster through the `mpi2` library.
+//!
+//! ## Execution modes
+//!
+//! * [`ExecMode::Full`] — every assignment runs numerically; results
+//!   are bit-comparable against the sequential reference
+//!   ([`execute_sequential`]). Used by all correctness tests.
+//! * [`ExecMode::Analytic`] — loop bodies inside compute regions are
+//!   *not* executed; their cycle cost is charged from iteration counts
+//!   and per-iteration operation counts. All communication still moves
+//!   real (if numerically meaningless) bytes through the simulated
+//!   network, so communication times are identical to `Full` mode.
+//!   Used for the paper-scale (1024x1024) timing runs where full
+//!   interpretation is needlessly slow. See `DESIGN.md` §2.
+//!
+//! Master copies of all program data live on rank 0 (the paper: "the
+//! master initially holds all program data objects"). Every rank's
+//! copy of every array is full-size, so a region occupies the same
+//! element offsets on master and slaves and scatter/collect transfers
+//! are offset-preserving (`mpi2::Mpi::put_region` et al.).
+
+pub mod cost;
+pub mod exec;
+pub mod ir;
+pub mod value;
+
+pub use exec::{execute, execute_sequential, ExecMode, RunReport, SeqReport};
+pub use ir::{
+    Block, CommOp, CommPlan, Expr, Instr, IntrinsicOp, ParRegion, RedOp, Schedule, SpmdProgram,
+};
+pub use value::Value;

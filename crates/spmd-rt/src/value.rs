@@ -1,0 +1,169 @@
+//! Runtime scalar values: Fortran INTEGER/REAL semantics.
+
+/// A runtime scalar. Arithmetic follows Fortran: INTEGER÷INTEGER
+//  truncates, mixed operands promote to REAL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    I(i64),
+    R(f64),
+}
+
+#[allow(clippy::should_implement_trait)] // Fortran semantics, deliberately not std ops
+impl Value {
+    /// Integer view (required for subscripts and loop bounds).
+    ///
+    /// INTEGER *arrays* are stored in the same f64 windows as REAL
+    /// ones, so an integral-valued REAL (e.g. `IDX(I)` read back from
+    /// an integer array) converts exactly.
+    ///
+    /// # Panics
+    /// Panics on a fractional REAL — the translator only emits
+    /// integer-valued expressions in integer positions, so this
+    /// indicates a compiler bug, not a user error.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::R(v) if v.fract() == 0.0 && v.abs() < 2f64.powi(53) => v as i64,
+            Value::R(v) => panic!("REAL value {v} used where INTEGER required"),
+        }
+    }
+
+    /// Numeric view as f64 (Fortran implicit conversion).
+    pub fn as_real(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::R(v) => v,
+        }
+    }
+
+    /// Truth view (relational results are stored as I(0)/I(1)).
+    pub fn is_true(self) -> bool {
+        match self {
+            Value::I(v) => v != 0,
+            Value::R(v) => v != 0.0,
+        }
+    }
+
+    fn bool(b: bool) -> Value {
+        Value::I(b as i64)
+    }
+
+    pub fn add(self, o: Value) -> Value {
+        match (self, o) {
+            (Value::I(a), Value::I(b)) => Value::I(a.wrapping_add(b)),
+            _ => Value::R(self.as_real() + o.as_real()),
+        }
+    }
+
+    pub fn sub(self, o: Value) -> Value {
+        match (self, o) {
+            (Value::I(a), Value::I(b)) => Value::I(a.wrapping_sub(b)),
+            _ => Value::R(self.as_real() - o.as_real()),
+        }
+    }
+
+    pub fn mul(self, o: Value) -> Value {
+        match (self, o) {
+            (Value::I(a), Value::I(b)) => Value::I(a.wrapping_mul(b)),
+            _ => Value::R(self.as_real() * o.as_real()),
+        }
+    }
+
+    /// Fortran division: INTEGER/INTEGER truncates toward zero.
+    pub fn div(self, o: Value) -> Value {
+        match (self, o) {
+            (Value::I(a), Value::I(b)) => {
+                assert!(b != 0, "integer division by zero");
+                Value::I(a / b)
+            }
+            _ => Value::R(self.as_real() / o.as_real()),
+        }
+    }
+
+    /// Fortran `**`.
+    pub fn pow(self, o: Value) -> Value {
+        match (self, o) {
+            (Value::I(a), Value::I(b)) if b >= 0 => Value::I(a.pow(b.min(62) as u32)),
+            _ => Value::R(self.as_real().powf(o.as_real())),
+        }
+    }
+
+    pub fn neg(self) -> Value {
+        match self {
+            Value::I(v) => Value::I(-v),
+            Value::R(v) => Value::R(-v),
+        }
+    }
+
+    pub fn lt(self, o: Value) -> Value {
+        Value::bool(self.as_real() < o.as_real())
+    }
+    pub fn le(self, o: Value) -> Value {
+        Value::bool(self.as_real() <= o.as_real())
+    }
+    pub fn gt(self, o: Value) -> Value {
+        Value::bool(self.as_real() > o.as_real())
+    }
+    pub fn ge(self, o: Value) -> Value {
+        Value::bool(self.as_real() >= o.as_real())
+    }
+    pub fn eq_v(self, o: Value) -> Value {
+        Value::bool(self.as_real() == o.as_real())
+    }
+    pub fn ne_v(self, o: Value) -> Value {
+        Value::bool(self.as_real() != o.as_real())
+    }
+    pub fn and(self, o: Value) -> Value {
+        Value::bool(self.is_true() && o.is_true())
+    }
+    pub fn or(self, o: Value) -> Value {
+        Value::bool(self.is_true() || o.is_true())
+    }
+    pub fn not(self) -> Value {
+        Value::bool(!self.is_true())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_division_truncates() {
+        assert_eq!(Value::I(7).div(Value::I(2)), Value::I(3));
+        assert_eq!(Value::I(-7).div(Value::I(2)), Value::I(-3));
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes() {
+        assert_eq!(Value::I(1).add(Value::R(0.5)), Value::R(1.5));
+        assert_eq!(Value::I(7).div(Value::R(2.0)), Value::R(3.5));
+    }
+
+    #[test]
+    fn integer_pow() {
+        assert_eq!(Value::I(2).pow(Value::I(10)), Value::I(1024));
+        assert_eq!(Value::R(2.0).pow(Value::I(3)), Value::R(8.0));
+    }
+
+    #[test]
+    fn relational_yields_int_bool() {
+        assert_eq!(Value::I(1).lt(Value::I(2)), Value::I(1));
+        assert_eq!(Value::R(2.0).lt(Value::I(1)), Value::I(0));
+        assert!(Value::I(1).is_true());
+        assert!(!Value::I(0).is_true());
+    }
+
+    #[test]
+    #[should_panic(expected = "INTEGER required")]
+    fn fractional_real_as_int_panics() {
+        Value::R(1.5).as_int();
+    }
+
+    #[test]
+    fn integral_real_as_int_converts_exactly() {
+        // INTEGER arrays live in f64 windows; their values round-trip.
+        assert_eq!(Value::R(42.0).as_int(), 42);
+        assert_eq!(Value::R(-7.0).as_int(), -7);
+    }
+}

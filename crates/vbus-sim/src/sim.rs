@@ -1,0 +1,444 @@
+//! The deterministic link-schedule simulator.
+//!
+//! Every directed link carries a `busy_until` virtual time. A wormhole
+//! point-to-point message acquires its entire XY path at
+//! `max(ready, busy_until of every path link)` — the worm's header
+//! cannot advance into a held channel, and once it advances the body
+//! flits occupy the whole path until the tail drains (a standard
+//! single-virtual-channel wormhole approximation). A virtual-bus
+//! broadcast instead *preempts*: it starts immediately after bus
+//! arbitration, and every link schedule that extends past the bus
+//! interval is pushed back by the bus duration — the paper's "on-going
+//! point-to-point messages are frozen in buffers".
+//!
+//! Determinism: results are a pure function of the sequence of calls.
+//! Callers that batch messages (the MPI-2 fence does) sort them by
+//! `(ready, src, seq)` before submission, so the whole stack is
+//! bit-reproducible.
+
+use crate::link::LinkRate;
+use crate::stats::{LinkStats, NetStats};
+use crate::topology::{NodeId, Topology};
+use crate::Time;
+
+/// Virtual-bus parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VBusConfig {
+    /// Bus arbitration latency before the bus exists, seconds.
+    pub arbitration_s: f64,
+    /// Router reconfiguration cost per node on the bus, seconds.
+    pub per_node_config_s: f64,
+    /// Derating of link bandwidth when driven as a bus (the serpentine
+    /// spans many segments; the slowest segment clocks the bus).
+    pub bandwidth_derate: f64,
+}
+
+impl VBusConfig {
+    /// Parameters matching the paper's card: a few microseconds to
+    /// erect the bus, near-full link bandwidth once established.
+    pub fn paper() -> Self {
+        VBusConfig {
+            arbitration_s: 2.0e-6,
+            per_node_config_s: 0.5e-6,
+            bandwidth_derate: 0.9,
+        }
+    }
+}
+
+/// Complete network configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    pub topology: Topology,
+    pub link: LinkRate,
+    /// `Some` iff the card supports hardware (virtual-bus) broadcast.
+    pub vbus: Option<VBusConfig>,
+}
+
+impl NetConfig {
+    /// The paper's machine: `n` nodes, near-square mesh, SKWP links,
+    /// virtual-bus broadcast.
+    pub fn vbus_skwp(n: usize) -> Self {
+        NetConfig {
+            topology: Topology::mesh_for(n),
+            link: LinkRate::vbus_skwp(),
+            vbus: Some(VBusConfig::paper()),
+        }
+    }
+
+    /// Same mesh with conventionally pipelined links (≈¼ bandwidth) —
+    /// isolates the SKWP contribution.
+    pub fn vbus_conventional(n: usize) -> Self {
+        NetConfig {
+            topology: Topology::mesh_for(n),
+            link: LinkRate::vbus_conventional(),
+            vbus: Some(VBusConfig::paper()),
+        }
+    }
+
+    /// The same card on a 2-D torus (§2.1 lists mesh, torus and
+    /// hypercube as V-Bus targets): wraparound links halve the
+    /// diameter.
+    pub fn vbus_skwp_torus(n: usize) -> Self {
+        NetConfig {
+            topology: Topology::torus_for(n),
+            link: LinkRate::vbus_skwp(),
+            vbus: Some(VBusConfig::paper()),
+        }
+    }
+
+    /// Fast-Ethernet reference cluster: shared segment, no hardware
+    /// broadcast.
+    pub fn fast_ethernet(n: usize) -> Self {
+        NetConfig {
+            topology: Topology::shared_for(n),
+            link: LinkRate::fast_ethernet(),
+            vbus: None,
+        }
+    }
+
+    /// Number of nodes on the network.
+    pub fn num_nodes(&self) -> usize {
+        self.topology.num_nodes()
+    }
+}
+
+/// The outcome of scheduling one transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// When the message started moving (path acquired / bus erected).
+    pub start: Time,
+    /// When the tail flit drained at the destination.
+    pub end: Time,
+    /// Router hops traversed (0 for loopback).
+    pub hops: usize,
+    /// Time spent blocked waiting for contended links.
+    pub waited: Time,
+}
+
+impl Transfer {
+    /// End-to-end duration from readiness to completion.
+    pub fn latency_from(&self, ready: Time) -> Time {
+        self.end - ready
+    }
+}
+
+/// The network simulator. One instance models the whole interconnect.
+#[derive(Debug, Clone)]
+pub struct NetSim {
+    cfg: NetConfig,
+    /// `busy_until` per directed link.
+    link_busy: Vec<Time>,
+    per_link: Vec<LinkStats>,
+    stats: NetStats,
+}
+
+impl NetSim {
+    /// Build a simulator for the given configuration.
+    pub fn new(cfg: NetConfig) -> Self {
+        let n_links = cfg.topology.num_links();
+        NetSim {
+            cfg,
+            link_busy: vec![0.0; n_links],
+            per_link: vec![LinkStats::default(); n_links],
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Per-link occupancy counters.
+    pub fn link_stats(&self) -> &[LinkStats] {
+        &self.per_link
+    }
+
+    /// Reset schedules and statistics (new experiment, same network).
+    pub fn reset(&mut self) {
+        self.link_busy.fill(0.0);
+        self.per_link.fill(LinkStats::default());
+        self.stats = NetStats::default();
+    }
+
+    /// Schedule a point-to-point wormhole message of `bytes` payload,
+    /// ready to leave `src` for `dst` at time `ready`.
+    ///
+    /// Loopback (`src == dst`) completes instantly at the network level;
+    /// the memory-copy cost of a local transfer is charged by the node
+    /// model, not the wire.
+    pub fn p2p(&mut self, src: NodeId, dst: NodeId, bytes: usize, ready: Time) -> Transfer {
+        let n = self.cfg.num_nodes();
+        assert!(src < n && dst < n, "rank out of range: {src}->{dst} of {n}");
+        if src == dst {
+            self.stats.loopbacks += 1;
+            return Transfer {
+                start: ready,
+                end: ready,
+                hops: 0,
+                waited: 0.0,
+            };
+        }
+        let path = self.cfg.topology.route(src, dst);
+        let hops = path.len();
+        let start = path
+            .iter()
+            .map(|&l| self.link_busy[l])
+            .fold(ready, f64::max);
+        let head = self.cfg.link.per_hop_s * hops as f64;
+        let body = self.cfg.link.transfer_time(bytes);
+        let end = start + head + body;
+        for &l in &path {
+            let held = end - self.link_busy[l].max(start);
+            self.per_link[l].busy += held.max(0.0).min(end - start);
+            self.per_link[l].messages += 1;
+            self.link_busy[l] = end;
+        }
+        let waited = start - ready;
+        self.stats.p2p_messages += 1;
+        self.stats.p2p_bytes += bytes as u64;
+        self.stats.contention_wait += waited;
+        self.stats.horizon = self.stats.horizon.max(end);
+        Transfer {
+            start,
+            end,
+            hops,
+            waited,
+        }
+    }
+
+    /// Broadcast `bytes` from `src` to every node.
+    ///
+    /// With a [`VBusConfig`] present this uses the hardware virtual bus:
+    /// arbitration, router reconfiguration along the serpentine, a
+    /// single bus-rate transfer, and a *freeze* of every in-flight p2p
+    /// message (their link reservations are pushed back by the bus
+    /// occupancy). Without V-Bus hardware the caller (e.g. the MPI
+    /// library) must lower the broadcast to a software tree of `p2p`
+    /// calls — see `mpi2::coll`.
+    ///
+    /// Returns `None` when the card has no hardware broadcast.
+    pub fn vbus_broadcast(&mut self, src: NodeId, bytes: usize, ready: Time) -> Option<Transfer> {
+        let vb = self.cfg.vbus?;
+        let n = self.cfg.num_nodes();
+        assert!(src < n, "rank out of range: {src} of {n}");
+        if n == 1 {
+            self.stats.loopbacks += 1;
+            return Some(Transfer {
+                start: ready,
+                end: ready,
+                hops: 0,
+                waited: 0.0,
+            });
+        }
+        let setup = vb.arbitration_s + vb.per_node_config_s * n as f64;
+        let start = ready + setup;
+        let bus_bw = self.cfg.link.bandwidth_bps * vb.bandwidth_derate;
+        // The header still crosses the bus diameter once.
+        let head = self.cfg.link.per_hop_s * self.cfg.topology.diameter() as f64;
+        let duration = head + bytes as f64 / bus_bw;
+        let end = start + duration;
+        // Freeze: any reservation extending past the bus start is pushed
+        // back by the bus duration ("frozen in buffers"); and the bus
+        // itself occupies every channel until it is torn down, so
+        // traffic scheduled later waits for `end`.
+        for (l, busy) in self.link_busy.iter_mut().enumerate() {
+            if *busy > start {
+                *busy += duration;
+                self.per_link[l].busy += duration;
+                self.stats.frozen_time += duration;
+                self.stats.frozen_links += 1;
+            } else {
+                *busy = end;
+                self.per_link[l].busy += duration;
+            }
+        }
+        self.stats.broadcasts += 1;
+        self.stats.broadcast_bytes += bytes as u64;
+        self.stats.horizon = self.stats.horizon.max(end);
+        Some(Transfer {
+            start,
+            end,
+            hops: self.cfg.topology.diameter(),
+            waited: setup,
+        })
+    }
+
+    /// Earliest time at which all links are idle at or after `t` — used
+    /// by tests and by quiescence assertions.
+    pub fn quiescent_after(&self, t: Time) -> Time {
+        self.link_busy.iter().cloned().fold(t, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim4() -> NetSim {
+        NetSim::new(NetConfig::vbus_skwp(4))
+    }
+
+    #[test]
+    fn loopback_is_free_on_the_wire() {
+        let mut s = sim4();
+        let t = s.p2p(1, 1, 1 << 20, 5.0);
+        assert_eq!(t.start, 5.0);
+        assert_eq!(t.end, 5.0);
+        assert_eq!(s.stats().loopbacks, 1);
+        assert_eq!(s.stats().p2p_messages, 0);
+    }
+
+    #[test]
+    fn single_message_latency_decomposes() {
+        let mut s = sim4();
+        let bytes = 4096;
+        let t = s.p2p(0, 3, bytes, 0.0);
+        let link = LinkRate::vbus_skwp();
+        let expect = 2.0 * link.per_hop_s + link.transfer_time(bytes);
+        assert!((t.end - expect).abs() < 1e-12, "{} vs {}", t.end, expect);
+        assert_eq!(t.hops, 2);
+        assert_eq!(t.waited, 0.0);
+    }
+
+    #[test]
+    fn contention_serialises_messages_on_shared_links() {
+        let mut s = sim4();
+        // 0->1 and 0->1 again: second waits for the first.
+        let a = s.p2p(0, 1, 1 << 16, 0.0);
+        let b = s.p2p(0, 1, 1 << 16, 0.0);
+        assert!(b.start >= a.end - 1e-15);
+        assert!(b.waited > 0.0);
+        assert!(s.stats().contention_wait > 0.0);
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_contend() {
+        let mut s = sim4();
+        // In the 2x2 mesh, 0->1 (east on row 0) and 2->3 (east on row 1)
+        // use disjoint links.
+        let a = s.p2p(0, 1, 1 << 16, 0.0);
+        let b = s.p2p(2, 3, 1 << 16, 0.0);
+        assert_eq!(a.waited, 0.0);
+        assert_eq!(b.waited, 0.0);
+        assert!((a.end - b.end).abs() < 1e-15);
+    }
+
+    #[test]
+    fn determinism_same_sequence_same_schedule() {
+        let run = || {
+            let mut s = sim4();
+            let mut ends = Vec::new();
+            for i in 0..20 {
+                let src = i % 4;
+                let dst = (i * 7 + 1) % 4;
+                ends.push(s.p2p(src, dst, 1000 + i * 37, i as f64 * 1e-5).end);
+            }
+            ends
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn broadcast_freezes_inflight_p2p() {
+        let mut s = sim4();
+        let big = 1 << 20;
+        let p = s.p2p(0, 1, big, 0.0); // long-running worm
+        let b = s.vbus_broadcast(2, 4096, 0.0).unwrap();
+        assert!(b.start < p.end, "broadcast must preempt, not queue");
+        // The frozen worm's link reservation was extended.
+        let resumed = s.p2p(0, 1, 16, 0.0);
+        assert!(
+            resumed.start > p.end,
+            "second worm should see the pushed-back schedule"
+        );
+        assert!(s.stats().frozen_links > 0);
+        assert!(s.stats().frozen_time > 0.0);
+    }
+
+    #[test]
+    fn broadcast_needs_vbus_hardware() {
+        let mut s = NetSim::new(NetConfig::fast_ethernet(4));
+        assert!(s.vbus_broadcast(0, 100, 0.0).is_none());
+    }
+
+    #[test]
+    fn broadcast_on_single_node_is_trivial() {
+        let mut s = NetSim::new(NetConfig::vbus_skwp(1));
+        let b = s.vbus_broadcast(0, 1 << 20, 3.0).unwrap();
+        assert_eq!(b.end, 3.0);
+    }
+
+    #[test]
+    fn vbus_broadcast_beats_sequential_unicasts_for_large_payloads() {
+        // The hardware bus sends the payload once; p2p to 3 peers sends
+        // it three times (and serialises on the source's links).
+        let bytes = 1 << 20;
+        let mut hw = sim4();
+        let b = hw.vbus_broadcast(0, bytes, 0.0).unwrap();
+        let mut sw = sim4();
+        let mut end: f64 = 0.0;
+        for dst in 1..4 {
+            end = end.max(sw.p2p(0, dst, bytes, 0.0).end);
+        }
+        assert!(
+            b.end < end,
+            "vbus {} should beat unicast sweep {}",
+            b.end,
+            end
+        );
+    }
+
+    #[test]
+    fn fast_ethernet_serialises_disjoint_pairs() {
+        let mut s = NetSim::new(NetConfig::fast_ethernet(4));
+        let a = s.p2p(0, 1, 1 << 16, 0.0);
+        let b = s.p2p(2, 3, 1 << 16, 0.0);
+        assert!(
+            b.start >= a.end - 1e-15,
+            "shared segment must serialise all traffic"
+        );
+    }
+
+    #[test]
+    fn reset_clears_schedule_and_stats() {
+        let mut s = sim4();
+        s.p2p(0, 3, 1 << 20, 0.0);
+        s.vbus_broadcast(1, 1 << 10, 0.0);
+        s.reset();
+        assert_eq!(s.stats().total_messages(), 0);
+        assert_eq!(s.quiescent_after(0.0), 0.0);
+        let t = s.p2p(0, 3, 16, 0.0);
+        assert_eq!(t.waited, 0.0);
+    }
+
+    #[test]
+    fn torus_shortens_long_routes() {
+        // Corner-to-corner on 16 nodes: 6 hops on the mesh, 2 on the
+        // torus — lower latency for the same payload.
+        let bytes = 4096;
+        let mesh_t = NetSim::new(NetConfig::vbus_skwp(16)).p2p(0, 15, bytes, 0.0).end;
+        let torus_t = NetSim::new(NetConfig::vbus_skwp_torus(16))
+            .p2p(0, 15, bytes, 0.0)
+            .end;
+        assert!(torus_t < mesh_t, "torus {torus_t} vs mesh {mesh_t}");
+    }
+
+    #[test]
+    fn horizon_tracks_latest_completion() {
+        let mut s = sim4();
+        let a = s.p2p(0, 1, 1 << 20, 0.0);
+        assert!((s.stats().horizon - a.end).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn p2p_rejects_bad_rank() {
+        sim4().p2p(0, 9, 1, 0.0);
+    }
+}

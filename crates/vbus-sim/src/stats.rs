@@ -1,0 +1,69 @@
+//! Network statistics: per-link occupancy and aggregate counters.
+//!
+//! The paper argues the V-Bus achieves "more efficient bandwidth
+//! utilization" than dedicated broadcast wires; [`NetStats`] exposes the
+//! utilization numbers that back that comparison in our benches.
+
+/// Aggregate counters for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// Point-to-point messages scheduled.
+    pub p2p_messages: u64,
+    /// Bytes moved by point-to-point messages.
+    pub p2p_bytes: u64,
+    /// Virtual-bus broadcasts performed.
+    pub broadcasts: u64,
+    /// Bytes moved by broadcasts (payload, counted once per broadcast).
+    pub broadcast_bytes: u64,
+    /// Loopback (same-node) transfers that never touched the wire.
+    pub loopbacks: u64,
+    /// Total extra delay injected into in-flight p2p messages by
+    /// virtual-bus freezes, in link·seconds.
+    pub frozen_time: f64,
+    /// Number of link schedules extended by a freeze.
+    pub frozen_links: u64,
+    /// Sum over messages of time spent waiting to acquire a path
+    /// (contention).
+    pub contention_wait: f64,
+    /// Latest completion time observed on any link.
+    pub horizon: f64,
+}
+
+/// Per-link occupancy, for utilization reports.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    /// Total time the link was held by messages, seconds.
+    pub busy: f64,
+    /// Messages that traversed the link.
+    pub messages: u64,
+}
+
+impl NetStats {
+    /// Total bytes moved over the network (p2p + broadcast payloads).
+    pub fn total_bytes(&self) -> u64 {
+        self.p2p_bytes + self.broadcast_bytes
+    }
+
+    /// Total messages of any kind.
+    pub fn total_messages(&self) -> u64 {
+        self.p2p_messages + self.broadcasts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_combine_p2p_and_broadcast() {
+        let s = NetStats {
+            p2p_messages: 3,
+            p2p_bytes: 100,
+            broadcasts: 2,
+            broadcast_bytes: 50,
+            ..NetStats::default()
+        };
+        assert_eq!(s.total_bytes(), 150);
+        assert_eq!(s.total_messages(), 5);
+    }
+}

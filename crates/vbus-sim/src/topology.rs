@@ -1,0 +1,513 @@
+//! Network topologies: the 2-D mesh the paper's cluster uses, plus a
+//! shared-segment topology used by the Fast-Ethernet reference model.
+//!
+//! The mesh uses deterministic dimension-ordered (XY) wormhole routing:
+//! a message first travels along the X dimension to the destination
+//! column, then along Y to the destination row. XY routing is minimal
+//! and deadlock-free on a mesh, which matches the wormhole router of
+//! the paper's network card (Kim et al., "A Wormhole Router with
+//! Embedded Broadcasting Virtual Bus for Mesh Computers").
+
+/// Identifier of a node (PC) in the cluster, `0..n`.
+pub type NodeId = usize;
+
+/// A directed link identifier, `0..topology.num_links()`.
+pub type LinkId = usize;
+
+/// The four mesh directions, used to index per-node outgoing links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    East = 0,
+    West = 1,
+    North = 2,
+    South = 3,
+}
+
+/// A network topology: supplies routes (lists of directed links) between
+/// node pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// A 2-D mesh with XY dimension-ordered routing. `nodes` PCs are
+    /// attached at positions `0..nodes`; any remaining mesh positions
+    /// are routers without a PC (a non-square machine).
+    Mesh { mesh: Mesh, nodes: usize },
+    /// A 2-D torus: the mesh with wraparound links, halving the
+    /// diameter. §2.1 lists the torus among the switched networks the
+    /// V-Bus targets ("e.g., mesh, torus and hypercube").
+    Torus { mesh: Mesh, nodes: usize },
+    /// A binary hypercube (power-of-two nodes), the third switched
+    /// network §2.1 names. E-cube (dimension-ordered) routing.
+    Hypercube { dims: u32, nodes: usize },
+    /// A single shared segment (hub/repeater era Fast Ethernet): every
+    /// message between distinct nodes occupies the one shared link, so
+    /// all traffic serialises — the property that makes the paper's
+    /// mesh-based card "more scalable" than a shared network (§2.1).
+    SharedSegment { nodes: usize },
+}
+
+impl Topology {
+    /// A near-square mesh for `n` nodes (the paper's 4-node machine is a
+    /// 2x2 mesh).
+    pub fn mesh_for(n: usize) -> Self {
+        Topology::Mesh {
+            mesh: Mesh::near_square(n),
+            nodes: n,
+        }
+    }
+
+    /// A near-square torus for `n` nodes.
+    pub fn torus_for(n: usize) -> Self {
+        Topology::Torus {
+            mesh: Mesh::near_square(n),
+            nodes: n,
+        }
+    }
+
+    /// A binary hypercube for `n` nodes.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two.
+    pub fn hypercube_for(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "hypercube needs a power-of-two size");
+        Topology::Hypercube {
+            dims: n.trailing_zeros(),
+            nodes: n,
+        }
+    }
+
+    /// Shared-segment topology for `n` nodes (Fast-Ethernet reference).
+    pub fn shared_for(n: usize) -> Self {
+        Topology::SharedSegment { nodes: n }
+    }
+
+    /// Number of PCs attached to the network.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            Topology::Mesh { nodes, .. }
+            | Topology::Torus { nodes, .. }
+            | Topology::Hypercube { nodes, .. } => *nodes,
+            Topology::SharedSegment { nodes } => *nodes,
+        }
+    }
+
+    /// Number of directed links managed by the scheduler.
+    pub fn num_links(&self) -> usize {
+        match self {
+            // 4 outgoing directions per mesh position; edge links
+            // simply stay unused (always used on the torus).
+            Topology::Mesh { mesh, .. } | Topology::Torus { mesh, .. } => mesh.num_nodes() * 4,
+            // One outgoing link per dimension per node.
+            Topology::Hypercube { dims, nodes } => nodes * *dims as usize,
+            Topology::SharedSegment { .. } => 1,
+        }
+    }
+
+    /// The directed links a message from `src` to `dst` occupies, in
+    /// traversal order. Empty for `src == dst` (loopback never touches
+    /// the wire).
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        match self {
+            Topology::Mesh { mesh, .. } => mesh.xy_route(src, dst),
+            Topology::Torus { mesh, .. } => mesh.torus_route(src, dst),
+            Topology::Hypercube { dims, .. } => {
+                // E-cube: correct differing bits from the lowest
+                // dimension up; deadlock-free like XY on the mesh.
+                let mut links = Vec::new();
+                let mut cur = src;
+                for d in 0..*dims {
+                    if (cur ^ dst) & (1 << d) != 0 {
+                        links.push(cur * *dims as usize + d as usize);
+                        cur ^= 1 << d;
+                    }
+                }
+                links
+            }
+            Topology::SharedSegment { .. } => {
+                if src == dst {
+                    Vec::new()
+                } else {
+                    vec![0]
+                }
+            }
+        }
+    }
+
+    /// Number of router hops between `src` and `dst` (0 for loopback).
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> usize {
+        match self {
+            Topology::Mesh { mesh, .. } => mesh.distance(src, dst),
+            Topology::Torus { mesh, .. } => mesh.torus_distance(src, dst),
+            Topology::Hypercube { .. } => (src ^ dst).count_ones() as usize,
+            Topology::SharedSegment { .. } => usize::from(src != dst),
+        }
+    }
+
+    /// Network diameter in hops.
+    pub fn diameter(&self) -> usize {
+        match self {
+            Topology::Mesh { mesh, .. } => (mesh.cols - 1) + (mesh.rows - 1),
+            Topology::Torus { mesh, .. } => mesh.cols / 2 + mesh.rows / 2,
+            Topology::Hypercube { dims, .. } => *dims as usize,
+            Topology::SharedSegment { .. } => 1,
+        }
+    }
+}
+
+/// A `cols x rows` 2-D mesh. Node `i` sits at
+/// `(x, y) = (i % cols, i / cols)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    pub cols: usize,
+    pub rows: usize,
+}
+
+impl Mesh {
+    /// Construct a mesh with the given dimensions.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        Mesh { cols, rows }
+    }
+
+    /// The most nearly square mesh holding at least `n` nodes.
+    ///
+    /// `n = 4` gives the paper's 2x2 configuration.
+    pub fn near_square(n: usize) -> Self {
+        assert!(n > 0, "mesh must hold at least one node");
+        let mut cols = (n as f64).sqrt().ceil() as usize;
+        cols = cols.max(1);
+        let rows = n.div_ceil(cols);
+        Mesh { cols, rows }
+    }
+
+    /// Total node capacity of the mesh.
+    pub fn num_nodes(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// `(x, y)` coordinates of a node.
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        debug_assert!(node < self.num_nodes());
+        (node % self.cols, node / self.cols)
+    }
+
+    /// Node at `(x, y)`.
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        debug_assert!(x < self.cols && y < self.rows);
+        y * self.cols + x
+    }
+
+    /// Manhattan distance in hops.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    fn link(&self, node: NodeId, dir: Dir) -> LinkId {
+        node * 4 + dir as usize
+    }
+
+    /// Directed links of the XY route from `src` to `dst`: X first
+    /// (east/west), then Y (north/south).
+    pub fn xy_route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut links = Vec::with_capacity(self.distance(src, dst));
+        let mut x = sx;
+        let y = sy;
+        while x < dx {
+            links.push(self.link(self.node_at(x, y), Dir::East));
+            x += 1;
+        }
+        while x > dx {
+            links.push(self.link(self.node_at(x, y), Dir::West));
+            x -= 1;
+        }
+        let mut y = sy;
+        while y < dy {
+            links.push(self.link(self.node_at(x, y), Dir::South));
+            y += 1;
+        }
+        while y > dy {
+            links.push(self.link(self.node_at(x, y), Dir::North));
+            y -= 1;
+        }
+        links
+    }
+
+    /// Wraparound (torus) distance: per dimension, the shorter way
+    /// around the ring.
+    pub fn torus_distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let dx = ax.abs_diff(bx).min(self.cols - ax.abs_diff(bx));
+        let dy = ay.abs_diff(by).min(self.rows - ay.abs_diff(by));
+        dx + dy
+    }
+
+    /// Dimension-ordered torus route: per dimension, walk the shorter
+    /// direction (ties break toward increasing coordinates), wrapping
+    /// at the edges.
+    pub fn torus_route(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut links = Vec::with_capacity(self.torus_distance(src, dst));
+        // X dimension.
+        let mut x = sx;
+        let fwd = (dx + self.cols - sx) % self.cols; // hops going east
+        let go_east = fwd <= self.cols - fwd;
+        let steps = fwd.min(self.cols - fwd);
+        for _ in 0..steps {
+            if go_east {
+                links.push(self.link(self.node_at(x, sy), Dir::East));
+                x = (x + 1) % self.cols;
+            } else {
+                links.push(self.link(self.node_at(x, sy), Dir::West));
+                x = (x + self.cols - 1) % self.cols;
+            }
+        }
+        // Y dimension.
+        let mut y = sy;
+        let fwd = (dy + self.rows - sy) % self.rows;
+        let go_south = fwd <= self.rows - fwd;
+        let steps = fwd.min(self.rows - fwd);
+        for _ in 0..steps {
+            if go_south {
+                links.push(self.link(self.node_at(x, y), Dir::South));
+                y = (y + 1) % self.rows;
+            } else {
+                links.push(self.link(self.node_at(x, y), Dir::North));
+                y = (y + self.rows - 1) % self.rows;
+            }
+        }
+        links
+    }
+
+    /// The links of a virtual bus spanning every router: a boustrophedon
+    /// (serpentine) walk across the mesh, which is how the embedded
+    /// broadcasting bus of the V-Bus router threads all nodes without
+    /// extra physical wires.
+    pub fn serpentine(&self) -> Vec<LinkId> {
+        let mut links = Vec::new();
+        for y in 0..self.rows {
+            if y % 2 == 0 {
+                for x in 0..self.cols.saturating_sub(1) {
+                    links.push(self.link(self.node_at(x, y), Dir::East));
+                }
+            } else {
+                for x in (1..self.cols).rev() {
+                    links.push(self.link(self.node_at(x, y), Dir::West));
+                }
+            }
+            if y + 1 < self.rows {
+                let x = if y % 2 == 0 { self.cols - 1 } else { 0 };
+                links.push(self.link(self.node_at(x, y), Dir::South));
+            }
+        }
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_square_shapes() {
+        assert_eq!(Mesh::near_square(1), Mesh::new(1, 1));
+        assert_eq!(Mesh::near_square(2), Mesh::new(2, 1));
+        assert_eq!(Mesh::near_square(4), Mesh::new(2, 2));
+        assert_eq!(Mesh::near_square(6), Mesh::new(3, 2));
+        assert_eq!(Mesh::near_square(9), Mesh::new(3, 3));
+        assert_eq!(Mesh::near_square(12), Mesh::new(4, 3));
+    }
+
+    #[test]
+    fn near_square_capacity_suffices() {
+        for n in 1..=64 {
+            assert!(Mesh::near_square(n).num_nodes() >= n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let m = Mesh::new(4, 3);
+        for node in 0..m.num_nodes() {
+            let (x, y) = m.coords(node);
+            assert_eq!(m.node_at(x, y), node);
+        }
+    }
+
+    #[test]
+    fn xy_route_length_is_manhattan_distance() {
+        let m = Mesh::new(4, 4);
+        for s in 0..16 {
+            for d in 0..16 {
+                assert_eq!(m.xy_route(s, d).len(), m.distance(s, d), "{s}->{d}");
+            }
+        }
+    }
+
+    #[test]
+    fn xy_route_loopback_is_empty() {
+        let m = Mesh::new(3, 3);
+        for n in 0..9 {
+            assert!(m.xy_route(n, n).is_empty());
+        }
+    }
+
+    #[test]
+    fn xy_routes_share_no_link_in_opposite_directions() {
+        // A->B and B->A use disjoint directed links.
+        let m = Mesh::new(3, 3);
+        for s in 0..9 {
+            for d in 0..9 {
+                if s == d {
+                    continue;
+                }
+                let fwd = m.xy_route(s, d);
+                let bwd = m.xy_route(d, s);
+                for l in &fwd {
+                    assert!(!bwd.contains(l), "{s}<->{d} share directed link {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_2x2_mesh_routes() {
+        // Paper configuration: 4 nodes in a 2x2 mesh.
+        let m = Mesh::near_square(4);
+        assert_eq!(m.distance(0, 3), 2); // corner to corner: 2 hops
+        assert_eq!(m.distance(0, 1), 1);
+        assert_eq!(m.distance(0, 2), 1);
+        let route = m.xy_route(0, 3);
+        assert_eq!(route.len(), 2);
+    }
+
+    #[test]
+    fn serpentine_visits_every_node_once() {
+        for (c, r) in [(2, 2), (3, 3), (4, 2), (1, 5), (5, 1), (4, 3)] {
+            let m = Mesh::new(c, r);
+            // A serpentine over n nodes has n-1 links.
+            assert_eq!(m.serpentine().len(), m.num_nodes() - 1, "{c}x{r}");
+            // And no repeated links.
+            let mut links = m.serpentine();
+            links.sort_unstable();
+            links.dedup();
+            assert_eq!(links.len(), m.num_nodes() - 1, "{c}x{r} repeats a link");
+        }
+    }
+
+    #[test]
+    fn torus_distance_uses_wraparound() {
+        let m = Mesh::new(4, 4);
+        // Corner to corner: 6 hops on the mesh, 2 on the torus.
+        assert_eq!(m.distance(0, 15), 6);
+        assert_eq!(m.torus_distance(0, 15), 2);
+        assert_eq!(m.torus_distance(0, 3), 1, "wrap west beats 3 east");
+    }
+
+    #[test]
+    fn torus_route_length_matches_torus_distance() {
+        let m = Mesh::new(4, 3);
+        for s in 0..12 {
+            for d in 0..12 {
+                assert_eq!(
+                    m.torus_route(s, d).len(),
+                    m.torus_distance(s, d),
+                    "{s}->{d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_route_lands_on_destination() {
+        // Walk the links and verify the path is connected: each link
+        // id decodes to (node, dir); replay the walk.
+        let m = Mesh::new(5, 4);
+        for s in 0..20 {
+            for d in 0..20 {
+                let mut x = m.coords(s).0;
+                let mut y = m.coords(s).1;
+                for l in m.torus_route(s, d) {
+                    let node = l / 4;
+                    assert_eq!(node, m.node_at(x, y), "{s}->{d} disconnected");
+                    match l % 4 {
+                        0 => x = (x + 1) % m.cols,
+                        1 => x = (x + m.cols - 1) % m.cols,
+                        2 => y = (y + m.rows - 1) % m.rows,
+                        3 => y = (y + 1) % m.rows,
+                        _ => unreachable!(),
+                    }
+                }
+                assert_eq!(m.node_at(x, y), d, "{s}->{d} wrong endpoint");
+            }
+        }
+    }
+
+    #[test]
+    fn torus_diameter_half_of_mesh() {
+        let mesh = Topology::mesh_for(16);
+        let torus = Topology::torus_for(16);
+        assert_eq!(mesh.diameter(), 6);
+        assert_eq!(torus.diameter(), 4);
+    }
+
+    #[test]
+    fn hypercube_routes_follow_hamming_distance() {
+        let h = Topology::hypercube_for(16);
+        for s in 0..16usize {
+            for d in 0..16usize {
+                assert_eq!(h.route(s, d).len(), (s ^ d).count_ones() as usize);
+                assert_eq!(h.hops(s, d), (s ^ d).count_ones() as usize);
+            }
+        }
+        assert_eq!(h.diameter(), 4);
+        assert_eq!(h.num_links(), 64);
+    }
+
+    #[test]
+    fn hypercube_ecube_routes_are_connected() {
+        let h = Topology::hypercube_for(8);
+        for s in 0..8usize {
+            for d in 0..8usize {
+                let mut cur = s;
+                for l in h.route(s, d) {
+                    let node = l / 3;
+                    let dim = l % 3;
+                    assert_eq!(node, cur, "{s}->{d} disconnected");
+                    cur ^= 1 << dim;
+                }
+                assert_eq!(cur, d, "{s}->{d} wrong endpoint");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hypercube_rejects_non_power_of_two() {
+        Topology::hypercube_for(6);
+    }
+
+    #[test]
+    fn shared_segment_serialises_everything_on_one_link() {
+        let t = Topology::shared_for(8);
+        assert_eq!(t.num_links(), 1);
+        assert_eq!(t.route(2, 5), vec![0]);
+        assert_eq!(t.route(3, 3), Vec::<LinkId>::new());
+    }
+
+    #[test]
+    fn topology_mesh_dispatch() {
+        let t = Topology::mesh_for(4);
+        assert_eq!(t.num_nodes(), 4);
+        assert_eq!(t.hops(0, 3), 2);
+        assert_eq!(t.diameter(), 2);
+        assert_eq!(t.route(0, 0), Vec::<LinkId>::new());
+    }
+}

@@ -1,0 +1,73 @@
+//! IRRGATHER — an irregular gather, the access class §2.2 says
+//! one-sided communication was built for: "it may also help the
+//! compiler to simplify code generation for certain classes of
+//! computations, such as irregular computations and pointer chasing.
+//! This is because MPI_PUT/MPI_GET take place under the control of
+//! only a single processor."
+//!
+//! `B(I) = A(IDX(I)) * 2` reads `A` through a runtime index vector.
+//! The front-end cannot summarise `A(IDX(I))` as an affine LMAD, so it
+//! falls back to a conservative whole-array `ReadOnly` region — the
+//! loop still parallelises (the *writes* are affine), and the backend
+//! simply scatters all of `A`. With two-sided message passing the
+//! producer of each element would have to know who reads it; with
+//! one-sided windows nobody needs to.
+
+use crate::Workload;
+
+/// F77-mini source. `IDX` is a bit-reversal-flavoured permutation
+/// computed with `MOD`, so the gather is genuinely scrambled.
+pub const SOURCE: &str = r"
+      PROGRAM IRR
+      PARAMETER (N = 64)
+      REAL A(N), B(N)
+      INTEGER IDX(N)
+      INTEGER I
+      DO I = 1, N
+        A(I) = REAL(I) / 4.0
+        IDX(I) = MOD(I * 7, N) + 1
+      ENDDO
+      DO I = 1, N
+        B(I) = A(IDX(I)) * 2.0
+      ENDDO
+      END
+";
+
+/// Workload descriptor.
+pub const WORKLOAD: Workload = Workload {
+    name: "IRRGATHER",
+    source: SOURCE,
+    size_param: "N",
+    paper_size: 4096,
+};
+
+/// Native reference: `(A, IDX, B)`.
+pub fn reference(n: usize) -> (Vec<f64>, Vec<i64>, Vec<f64>) {
+    let mut a = vec![0.0; n];
+    let mut idx = vec![0i64; n];
+    for i in 1..=n {
+        a[i - 1] = i as f64 / 4.0;
+        idx[i - 1] = ((i * 7) % n) as i64 + 1;
+    }
+    let b: Vec<f64> = (1..=n).map(|i| a[idx[i - 1] as usize - 1] * 2.0).collect();
+    (a, idx, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_gathers_through_the_permutation() {
+        let (a, idx, b) = reference(64);
+        for i in 0..64 {
+            assert_eq!(b[i], a[idx[i] as usize - 1] * 2.0);
+        }
+    }
+
+    #[test]
+    fn index_vector_stays_in_bounds() {
+        let (_, idx, _) = reference(256);
+        assert!(idx.iter().all(|&v| (1..=256).contains(&v)));
+    }
+}

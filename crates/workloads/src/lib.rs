@@ -1,0 +1,82 @@
+//! # vpce-workloads — the paper's benchmark programs
+//!
+//! §6: "The benchmark codes used in this experiment are MM for a
+//! matrix multiplication, a SWIM from the SPEC97 benchmark suite and
+//! CFFT2INIT, a major subroutine of TFFT for the NASA codes."
+//!
+//! Each workload ships as F77-mini source (compiled through the full
+//! Polaris pipeline) plus a native Rust reference implementation the
+//! tests compare the compiled execution against.
+//!
+//! * [`mm`] — dense matrix multiplication, the Table-1/Table-2 kernel;
+//! * [`swim`] — the shallow-water `CALC1`/`CALC2`/copy-back loop
+//!   sequence (ITMAX=1), a 10-array stencil chain that exercises the
+//!   AVPG;
+//! * [`cfft`] — the `CFFT2INIT`-style trig-table initialisation whose
+//!   stride-2 LMADs drive the paper's middle-granularity observation;
+//! * [`irregular`] — an index-vector gather, the "irregular
+//!   computation" class §2.2 says one-sided communication simplifies.
+
+pub mod cfft;
+pub mod irregular;
+pub mod mm;
+pub mod swim;
+pub mod swim_full;
+
+/// A benchmark program: source plus the `PARAMETER` that scales it.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    pub name: &'static str,
+    pub source: &'static str,
+    /// Name of the size parameter (`N` or `M`).
+    pub size_param: &'static str,
+    /// The paper's evaluation size for this workload.
+    pub paper_size: i64,
+}
+
+/// All three paper workloads (plus see [`irregular`] for the
+/// §2.2-motivated extension).
+pub fn all() -> [Workload; 3] {
+    [mm::WORKLOAD, swim::WORKLOAD, cfft::WORKLOAD]
+}
+
+/// Column-major linear index for unit-lower-bound 2-D arrays.
+#[inline]
+pub fn idx2(i: usize, j: usize, rows: usize) -> usize {
+    (i - 1) + (j - 1) * rows
+}
+
+/// Maximum absolute elementwise difference between two arrays.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "array shape mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx2_is_column_major() {
+        // A(3,2) in an 8-row array: (3-1) + (2-1)*8 = 10.
+        assert_eq!(idx2(3, 2, 8), 10);
+        assert_eq!(idx2(1, 1, 8), 0);
+    }
+
+    #[test]
+    fn all_workloads_have_distinct_names() {
+        let ws = all();
+        assert_eq!(ws.len(), 3);
+        assert_ne!(ws[0].name, ws[1].name);
+        assert_ne!(ws[1].name, ws[2].name);
+    }
+
+    #[test]
+    fn max_abs_diff_basics() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

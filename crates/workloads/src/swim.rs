@@ -1,0 +1,277 @@
+//! SWIM — the SPEC CPU95/97 shallow-water model, reduced to one time
+//! step (the paper runs `ITMAX = 1`): the `CALC1` and `CALC2` finite
+//! difference sweeps plus the copy-back, as a chain of consecutive
+//! parallel loops over ten N×N arrays.
+//!
+//! The chain is the AVPG's natural habitat: `CU/CV/Z/H` are produced
+//! by `CALC1`, consumed by `CALC2`, and never used again — their
+//! collects die on a Valid→Invalid edge; `U/V/P` scattered for `CALC1`
+//! are re-read by `CALC2` unchanged — their re-scatter is elided.
+
+use crate::{idx2, Workload};
+
+/// F77-mini source (ITMAX = 1).
+pub const SOURCE: &str = r"
+      PROGRAM SWIM
+      PARAMETER (N = 32)
+      REAL U(N,N), V(N,N), P(N,N)
+      REAL UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      REAL CU(N,N), CV(N,N), Z(N,N), H(N,N)
+      REAL FSDX, FSDY, TDTS8, TDTSDX, TDTSDY
+      INTEGER I, J
+      FSDX = 4.0 / 0.25
+      FSDY = 4.0 / 0.25
+      TDTS8 = 90.0 / 8.0
+      TDTSDX = 90.0 / 0.25
+      TDTSDY = 90.0 / 0.25
+      DO J = 1, N
+        DO I = 1, N
+          U(I,J) = SIN(REAL(I) / REAL(N)) * 0.5
+          V(I,J) = COS(REAL(J) / REAL(N)) * 0.5
+          P(I,J) = 2.0 + SIN(REAL(I+J) / REAL(N))
+        ENDDO
+      ENDDO
+      DO J = 1, N - 1
+        DO I = 1, N - 1
+          CU(I+1,J) = 0.5 * (P(I+1,J) + P(I,J)) * U(I+1,J)
+          CV(I,J+1) = 0.5 * (P(I,J+1) + P(I,J)) * V(I,J+1)
+          Z(I+1,J+1) = (FSDX * (V(I+1,J+1) - V(I,J+1)) - FSDY *
+     & (U(I+1,J+1) - U(I+1,J))) /
+     & (P(I,J) + P(I+1,J) + P(I+1,J+1) + P(I,J+1))
+          H(I,J) = P(I,J) + 0.25 * (U(I+1,J) * U(I+1,J)
+     & + U(I,J) * U(I,J)
+     & + V(I,J+1) * V(I,J+1) + V(I,J) * V(I,J))
+        ENDDO
+      ENDDO
+      DO J = 1, N - 2
+        DO I = 1, N - 2
+          UNEW(I+1,J) = U(I+1,J) + TDTS8 * (Z(I+1,J+1) + Z(I+1,J)) *
+     & (CV(I+1,J+1) + CV(I,J+1) + CV(I,J) + CV(I+1,J))
+     & - TDTSDX * (H(I+1,J) - H(I,J))
+          VNEW(I,J+1) = V(I,J+1) - TDTS8 * (Z(I+1,J+1) + Z(I,J+1)) *
+     & (CU(I+1,J+1) + CU(I,J+1) + CU(I,J) + CU(I+1,J))
+     & - TDTSDY * (H(I,J+1) - H(I,J))
+          PNEW(I,J) = P(I,J) - TDTSDX * (CU(I+1,J) - CU(I,J))
+     & - TDTSDY * (CV(I,J+1) - CV(I,J))
+        ENDDO
+      ENDDO
+      DO J = 1, N - 2
+        DO I = 1, N - 2
+          U(I,J) = UNEW(I,J)
+          V(I,J) = VNEW(I,J)
+          P(I,J) = PNEW(I,J)
+        ENDDO
+      ENDDO
+      END
+";
+
+/// Workload descriptor (SPEC's grid is 512x512; the paper's ITMAX=1).
+pub const WORKLOAD: Workload = Workload {
+    name: "SWIM",
+    source: SOURCE,
+    size_param: "N",
+    paper_size: 512,
+};
+
+/// The same program structured like the real SPEC code: `CALC1` and
+/// `CALC2` as subroutines, inlined by the front-end (§3 lists inlining
+/// among Polaris's techniques). Must behave identically to [`SOURCE`].
+pub const SOURCE_SUBROUTINES: &str = r"
+      PROGRAM SWIMS
+      PARAMETER (N = 32)
+      REAL U(N,N), V(N,N), P(N,N)
+      REAL UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      REAL CU(N,N), CV(N,N), Z(N,N), H(N,N)
+      INTEGER I, J
+      DO J = 1, N
+        DO I = 1, N
+          U(I,J) = SIN(REAL(I) / REAL(N)) * 0.5
+          V(I,J) = COS(REAL(J) / REAL(N)) * 0.5
+          P(I,J) = 2.0 + SIN(REAL(I+J) / REAL(N))
+        ENDDO
+      ENDDO
+      CALL CALC1(U, V, P, CU, CV, Z, H, N)
+      CALL CALC2(U, V, P, CU, CV, Z, H, UNEW, VNEW, PNEW, N)
+      DO J = 1, N - 2
+        DO I = 1, N - 2
+          U(I,J) = UNEW(I,J)
+          V(I,J) = VNEW(I,J)
+          P(I,J) = PNEW(I,J)
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE CALC1(U, V, P, CU, CV, Z, H, N)
+      INTEGER N
+      REAL U(N,N), V(N,N), P(N,N)
+      REAL CU(N,N), CV(N,N), Z(N,N), H(N,N)
+      REAL FSDX, FSDY
+      INTEGER I, J
+      FSDX = 4.0 / 0.25
+      FSDY = 4.0 / 0.25
+      DO J = 1, N - 1
+        DO I = 1, N - 1
+          CU(I+1,J) = 0.5 * (P(I+1,J) + P(I,J)) * U(I+1,J)
+          CV(I,J+1) = 0.5 * (P(I,J+1) + P(I,J)) * V(I,J+1)
+          Z(I+1,J+1) = (FSDX * (V(I+1,J+1) - V(I,J+1)) - FSDY *
+     & (U(I+1,J+1) - U(I+1,J))) /
+     & (P(I,J) + P(I+1,J) + P(I+1,J+1) + P(I,J+1))
+          H(I,J) = P(I,J) + 0.25 * (U(I+1,J) * U(I+1,J)
+     & + U(I,J) * U(I,J)
+     & + V(I,J+1) * V(I,J+1) + V(I,J) * V(I,J))
+        ENDDO
+      ENDDO
+      END
+
+      SUBROUTINE CALC2(U, V, P, CU, CV, Z, H, UNEW, VNEW, PNEW, N)
+      INTEGER N
+      REAL U(N,N), V(N,N), P(N,N)
+      REAL UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      REAL CU(N,N), CV(N,N), Z(N,N), H(N,N)
+      REAL TDTS8, TDTSDX, TDTSDY
+      INTEGER I, J
+      TDTS8 = 90.0 / 8.0
+      TDTSDX = 90.0 / 0.25
+      TDTSDY = 90.0 / 0.25
+      DO J = 1, N - 2
+        DO I = 1, N - 2
+          UNEW(I+1,J) = U(I+1,J) + TDTS8 * (Z(I+1,J+1) + Z(I+1,J)) *
+     & (CV(I+1,J+1) + CV(I,J+1) + CV(I,J) + CV(I+1,J))
+     & - TDTSDX * (H(I+1,J) - H(I,J))
+          VNEW(I,J+1) = V(I,J+1) - TDTS8 * (Z(I+1,J+1) + Z(I,J+1)) *
+     & (CU(I+1,J+1) + CU(I,J+1) + CU(I,J) + CU(I+1,J))
+     & - TDTSDY * (H(I,J+1) - H(I,J))
+          PNEW(I,J) = P(I,J) - TDTSDX * (CU(I+1,J) - CU(I,J))
+     & - TDTSDY * (CV(I,J+1) - CV(I,J))
+        ENDDO
+      ENDDO
+      END
+";
+
+/// Arrays of the native reference state.
+#[derive(Debug, Clone)]
+pub struct SwimState {
+    pub u: Vec<f64>,
+    pub v: Vec<f64>,
+    pub p: Vec<f64>,
+    pub cu: Vec<f64>,
+    pub cv: Vec<f64>,
+    pub z: Vec<f64>,
+    pub h: Vec<f64>,
+    pub unew: Vec<f64>,
+    pub vnew: Vec<f64>,
+    pub pnew: Vec<f64>,
+}
+
+/// Native reference for one time step on an `n x n` grid, mirroring
+/// the F77 source exactly.
+pub fn reference(n: usize) -> SwimState {
+    let sz = n * n;
+    let mut s = SwimState {
+        u: vec![0.0; sz],
+        v: vec![0.0; sz],
+        p: vec![0.0; sz],
+        cu: vec![0.0; sz],
+        cv: vec![0.0; sz],
+        z: vec![0.0; sz],
+        h: vec![0.0; sz],
+        unew: vec![0.0; sz],
+        vnew: vec![0.0; sz],
+        pnew: vec![0.0; sz],
+    };
+    let fsdx = 4.0 / 0.25;
+    let fsdy = 4.0 / 0.25;
+    let tdts8 = 90.0 / 8.0;
+    let tdtsdx = 90.0 / 0.25;
+    let tdtsdy = 90.0 / 0.25;
+    for j in 1..=n {
+        for i in 1..=n {
+            s.u[idx2(i, j, n)] = (i as f64 / n as f64).sin() * 0.5;
+            s.v[idx2(i, j, n)] = (j as f64 / n as f64).cos() * 0.5;
+            s.p[idx2(i, j, n)] = 2.0 + ((i + j) as f64 / n as f64).sin();
+        }
+    }
+    let at = |a: &Vec<f64>, i: usize, j: usize| a[idx2(i, j, n)];
+    for j in 1..=n - 1 {
+        for i in 1..=n - 1 {
+            s.cu[idx2(i + 1, j, n)] =
+                0.5 * (at(&s.p, i + 1, j) + at(&s.p, i, j)) * at(&s.u, i + 1, j);
+            s.cv[idx2(i, j + 1, n)] =
+                0.5 * (at(&s.p, i, j + 1) + at(&s.p, i, j)) * at(&s.v, i, j + 1);
+            s.z[idx2(i + 1, j + 1, n)] = (fsdx * (at(&s.v, i + 1, j + 1) - at(&s.v, i, j + 1))
+                - fsdy * (at(&s.u, i + 1, j + 1) - at(&s.u, i + 1, j)))
+                / (at(&s.p, i, j)
+                    + at(&s.p, i + 1, j)
+                    + at(&s.p, i + 1, j + 1)
+                    + at(&s.p, i, j + 1));
+            s.h[idx2(i, j, n)] = at(&s.p, i, j)
+                + 0.25
+                    * (at(&s.u, i + 1, j) * at(&s.u, i + 1, j)
+                        + at(&s.u, i, j) * at(&s.u, i, j)
+                        + at(&s.v, i, j + 1) * at(&s.v, i, j + 1)
+                        + at(&s.v, i, j) * at(&s.v, i, j));
+        }
+    }
+    for j in 1..=n - 2 {
+        for i in 1..=n - 2 {
+            s.unew[idx2(i + 1, j, n)] = at(&s.u, i + 1, j)
+                + tdts8
+                    * (at(&s.z, i + 1, j + 1) + at(&s.z, i + 1, j))
+                    * (at(&s.cv, i + 1, j + 1)
+                        + at(&s.cv, i, j + 1)
+                        + at(&s.cv, i, j)
+                        + at(&s.cv, i + 1, j))
+                - tdtsdx * (at(&s.h, i + 1, j) - at(&s.h, i, j));
+            s.vnew[idx2(i, j + 1, n)] = at(&s.v, i, j + 1)
+                - tdts8
+                    * (at(&s.z, i + 1, j + 1) + at(&s.z, i, j + 1))
+                    * (at(&s.cu, i + 1, j + 1)
+                        + at(&s.cu, i, j + 1)
+                        + at(&s.cu, i, j)
+                        + at(&s.cu, i + 1, j))
+                - tdtsdy * (at(&s.h, i, j + 1) - at(&s.h, i, j));
+            s.pnew[idx2(i, j, n)] = at(&s.p, i, j)
+                - tdtsdx * (at(&s.cu, i + 1, j) - at(&s.cu, i, j))
+                - tdtsdy * (at(&s.cv, i, j + 1) - at(&s.cv, i, j));
+        }
+    }
+    for j in 1..=n - 2 {
+        for i in 1..=n - 2 {
+            s.u[idx2(i, j, n)] = s.unew[idx2(i, j, n)];
+            s.v[idx2(i, j, n)] = s.vnew[idx2(i, j, n)];
+            s.p[idx2(i, j, n)] = s.pnew[idx2(i, j, n)];
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_runs_and_stays_finite() {
+        let s = reference(16);
+        for arr in [&s.u, &s.v, &s.p, &s.cu, &s.cv, &s.z, &s.h] {
+            assert!(arr.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn pressure_field_perturbed_by_the_step() {
+        let s = reference(16);
+        // PNEW differs from the initial P somewhere in the interior.
+        let init_p_11 = 2.0 + (2.0 / 16.0_f64).sin();
+        assert!((s.pnew[idx2(1, 1, 16)] - init_p_11).abs() > 1e-9);
+    }
+
+    #[test]
+    fn boundary_rows_untouched_by_calc1() {
+        let n = 16;
+        let s = reference(n);
+        // CU's first row (i = 1) is never written.
+        for j in 1..=n {
+            assert_eq!(s.cu[idx2(1, j, n)], 0.0);
+        }
+    }
+}

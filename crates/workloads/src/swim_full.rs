@@ -1,0 +1,221 @@
+//! SWIM-full — the complete three-time-level shallow-water step:
+//! `CALC1`, `CALC2` and `CALC3` (the Robert–Asselin time smoothing
+//! over `UOLD/VOLD/POLD`), with all thirteen state arrays of the SPEC
+//! code. One time step (the paper's `ITMAX = 1`).
+//!
+//! Relative to [`crate::swim`] this doubles the array population the
+//! AVPG must track and adds a region (`CALC3`) that reads *and*
+//! rewrites six arrays in place — the `ReadWrite` classification path.
+
+use crate::{idx2, Workload};
+
+/// F77-mini source.
+pub const SOURCE: &str = r"
+      PROGRAM SWIMF
+      PARAMETER (N = 32)
+      REAL U(N,N), V(N,N), P(N,N)
+      REAL UNEW(N,N), VNEW(N,N), PNEW(N,N)
+      REAL UOLD(N,N), VOLD(N,N), POLD(N,N)
+      REAL CU(N,N), CV(N,N), Z(N,N), H(N,N)
+      REAL FSDX, FSDY, TDTS8, TDTSDX, TDTSDY, ALPHA
+      INTEGER I, J
+      FSDX = 4.0 / 0.25
+      FSDY = 4.0 / 0.25
+      TDTS8 = 90.0 / 8.0
+      TDTSDX = 90.0 / 0.25
+      TDTSDY = 90.0 / 0.25
+      ALPHA = 0.001
+      DO J = 1, N
+        DO I = 1, N
+          U(I,J) = SIN(REAL(I) / REAL(N)) * 0.5
+          V(I,J) = COS(REAL(J) / REAL(N)) * 0.5
+          P(I,J) = 2.0 + SIN(REAL(I+J) / REAL(N))
+          UOLD(I,J) = U(I,J)
+          VOLD(I,J) = V(I,J)
+          POLD(I,J) = P(I,J)
+        ENDDO
+      ENDDO
+      DO J = 1, N - 1
+        DO I = 1, N - 1
+          CU(I+1,J) = 0.5 * (P(I+1,J) + P(I,J)) * U(I+1,J)
+          CV(I,J+1) = 0.5 * (P(I,J+1) + P(I,J)) * V(I,J+1)
+          Z(I+1,J+1) = (FSDX * (V(I+1,J+1) - V(I,J+1)) - FSDY *
+     & (U(I+1,J+1) - U(I+1,J))) /
+     & (P(I,J) + P(I+1,J) + P(I+1,J+1) + P(I,J+1))
+          H(I,J) = P(I,J) + 0.25 * (U(I+1,J) * U(I+1,J)
+     & + U(I,J) * U(I,J)
+     & + V(I,J+1) * V(I,J+1) + V(I,J) * V(I,J))
+        ENDDO
+      ENDDO
+      DO J = 1, N - 2
+        DO I = 1, N - 2
+          UNEW(I+1,J) = UOLD(I+1,J) + TDTS8 * (Z(I+1,J+1) + Z(I+1,J)) *
+     & (CV(I+1,J+1) + CV(I,J+1) + CV(I,J) + CV(I+1,J))
+     & - TDTSDX * (H(I+1,J) - H(I,J))
+          VNEW(I,J+1) = VOLD(I,J+1) - TDTS8 * (Z(I+1,J+1) + Z(I,J+1)) *
+     & (CU(I+1,J+1) + CU(I,J+1) + CU(I,J) + CU(I+1,J))
+     & - TDTSDY * (H(I,J+1) - H(I,J))
+          PNEW(I,J) = POLD(I,J) - TDTSDX * (CU(I+1,J) - CU(I,J))
+     & - TDTSDY * (CV(I,J+1) - CV(I,J))
+        ENDDO
+      ENDDO
+      DO J = 1, N - 2
+        DO I = 1, N - 2
+          UOLD(I,J) = U(I,J) + ALPHA * (UNEW(I,J) - 2.0 * U(I,J)
+     & + UOLD(I,J))
+          VOLD(I,J) = V(I,J) + ALPHA * (VNEW(I,J) - 2.0 * V(I,J)
+     & + VOLD(I,J))
+          POLD(I,J) = P(I,J) + ALPHA * (PNEW(I,J) - 2.0 * P(I,J)
+     & + POLD(I,J))
+          U(I,J) = UNEW(I,J)
+          V(I,J) = VNEW(I,J)
+          P(I,J) = PNEW(I,J)
+        ENDDO
+      ENDDO
+      END
+";
+
+/// Workload descriptor.
+pub const WORKLOAD: Workload = Workload {
+    name: "SWIM-full",
+    source: SOURCE,
+    size_param: "N",
+    paper_size: 512,
+};
+
+/// Native reference state (thirteen arrays).
+#[derive(Debug, Clone)]
+pub struct State {
+    pub u: Vec<f64>,
+    pub v: Vec<f64>,
+    pub p: Vec<f64>,
+    pub uold: Vec<f64>,
+    pub vold: Vec<f64>,
+    pub pold: Vec<f64>,
+    pub unew: Vec<f64>,
+    pub vnew: Vec<f64>,
+    pub pnew: Vec<f64>,
+    pub cu: Vec<f64>,
+    pub cv: Vec<f64>,
+    pub z: Vec<f64>,
+    pub h: Vec<f64>,
+}
+
+/// Run one reference step on an `n x n` grid.
+pub fn reference(n: usize) -> State {
+    let sz = n * n;
+    let zeros = || vec![0.0; sz];
+    let mut s = State {
+        u: zeros(),
+        v: zeros(),
+        p: zeros(),
+        uold: zeros(),
+        vold: zeros(),
+        pold: zeros(),
+        unew: zeros(),
+        vnew: zeros(),
+        pnew: zeros(),
+        cu: zeros(),
+        cv: zeros(),
+        z: zeros(),
+        h: zeros(),
+    };
+    let fsdx = 4.0 / 0.25;
+    let fsdy = 4.0 / 0.25;
+    let tdts8 = 90.0 / 8.0;
+    let tdtsdx = 90.0 / 0.25;
+    let tdtsdy = 90.0 / 0.25;
+    let alpha = 0.001;
+    for j in 1..=n {
+        for i in 1..=n {
+            s.u[idx2(i, j, n)] = (i as f64 / n as f64).sin() * 0.5;
+            s.v[idx2(i, j, n)] = (j as f64 / n as f64).cos() * 0.5;
+            s.p[idx2(i, j, n)] = 2.0 + ((i + j) as f64 / n as f64).sin();
+            s.uold[idx2(i, j, n)] = s.u[idx2(i, j, n)];
+            s.vold[idx2(i, j, n)] = s.v[idx2(i, j, n)];
+            s.pold[idx2(i, j, n)] = s.p[idx2(i, j, n)];
+        }
+    }
+    let at = |a: &Vec<f64>, i: usize, j: usize| a[idx2(i, j, n)];
+    for j in 1..=n - 1 {
+        for i in 1..=n - 1 {
+            s.cu[idx2(i + 1, j, n)] =
+                0.5 * (at(&s.p, i + 1, j) + at(&s.p, i, j)) * at(&s.u, i + 1, j);
+            s.cv[idx2(i, j + 1, n)] =
+                0.5 * (at(&s.p, i, j + 1) + at(&s.p, i, j)) * at(&s.v, i, j + 1);
+            s.z[idx2(i + 1, j + 1, n)] = (fsdx * (at(&s.v, i + 1, j + 1) - at(&s.v, i, j + 1))
+                - fsdy * (at(&s.u, i + 1, j + 1) - at(&s.u, i + 1, j)))
+                / (at(&s.p, i, j)
+                    + at(&s.p, i + 1, j)
+                    + at(&s.p, i + 1, j + 1)
+                    + at(&s.p, i, j + 1));
+            s.h[idx2(i, j, n)] = at(&s.p, i, j)
+                + 0.25
+                    * (at(&s.u, i + 1, j) * at(&s.u, i + 1, j)
+                        + at(&s.u, i, j) * at(&s.u, i, j)
+                        + at(&s.v, i, j + 1) * at(&s.v, i, j + 1)
+                        + at(&s.v, i, j) * at(&s.v, i, j));
+        }
+    }
+    for j in 1..=n - 2 {
+        for i in 1..=n - 2 {
+            s.unew[idx2(i + 1, j, n)] = at(&s.uold, i + 1, j)
+                + tdts8
+                    * (at(&s.z, i + 1, j + 1) + at(&s.z, i + 1, j))
+                    * (at(&s.cv, i + 1, j + 1)
+                        + at(&s.cv, i, j + 1)
+                        + at(&s.cv, i, j)
+                        + at(&s.cv, i + 1, j))
+                - tdtsdx * (at(&s.h, i + 1, j) - at(&s.h, i, j));
+            s.vnew[idx2(i, j + 1, n)] = at(&s.vold, i, j + 1)
+                - tdts8
+                    * (at(&s.z, i + 1, j + 1) + at(&s.z, i, j + 1))
+                    * (at(&s.cu, i + 1, j + 1)
+                        + at(&s.cu, i, j + 1)
+                        + at(&s.cu, i, j)
+                        + at(&s.cu, i + 1, j))
+                - tdtsdy * (at(&s.h, i, j + 1) - at(&s.h, i, j));
+            s.pnew[idx2(i, j, n)] = at(&s.pold, i, j)
+                - tdtsdx * (at(&s.cu, i + 1, j) - at(&s.cu, i, j))
+                - tdtsdy * (at(&s.cv, i, j + 1) - at(&s.cv, i, j));
+        }
+    }
+    for j in 1..=n - 2 {
+        for i in 1..=n - 2 {
+            let k = idx2(i, j, n);
+            s.uold[k] = s.u[k] + alpha * (s.unew[k] - 2.0 * s.u[k] + s.uold[k]);
+            s.vold[k] = s.v[k] + alpha * (s.vnew[k] - 2.0 * s.v[k] + s.vold[k]);
+            s.pold[k] = s.p[k] + alpha * (s.pnew[k] - 2.0 * s.p[k] + s.pold[k]);
+            s.u[k] = s.unew[k];
+            s.v[k] = s.vnew[k];
+            s.p[k] = s.pnew[k];
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_runs_and_smooths() {
+        let n = 16;
+        let s = reference(n);
+        // After the step, UOLD differs from both U's init and U's new
+        // value (the smoothing blended three levels).
+        let k = idx2(2, 2, n);
+        assert_ne!(s.uold[k], s.u[k]);
+        assert!(s.uold[k].is_finite());
+    }
+
+    #[test]
+    fn interiors_updated_boundaries_kept() {
+        let n = 16;
+        let s = reference(n);
+        // The copy-back only covers 1..N-2; the last column keeps its
+        // initial values.
+        let init_u_last = (16.0 / 16.0_f64).sin() * 0.5;
+        assert_eq!(s.u[idx2(16, 16, n)], init_u_last);
+    }
+}

@@ -1,0 +1,21 @@
+C     Dense matrix multiplication -- the paper's Table 1 benchmark.
+C     Run: vpcec examples/fortran/mm.f --param N=256 --advise
+      PROGRAM MM
+      PARAMETER (N = 64)
+      REAL A(N,N), B(N,N), C(N,N)
+      INTEGER I, J, K
+      DO I = 1, N
+        DO J = 1, N
+          A(I,J) = REAL(I+J) / REAL(N)
+          B(I,J) = REAL(I-J) / REAL(N)
+        ENDDO
+      ENDDO
+      DO I = 1, N
+        DO J = 1, N
+          C(I,J) = 0.0
+          DO K = 1, N
+            C(I,J) = C(I,J) + A(I,K) * B(K,J)
+          ENDDO
+        ENDDO
+      ENDDO
+      END

@@ -1,0 +1,71 @@
+//! The paper's MM benchmark end-to-end: Table-1-style speedup rows
+//! for a chosen matrix size (default 256; pass another as argv[1]).
+//!
+//! ```sh
+//! cargo run --release -p vpce --example matrix_multiply -- 512
+//! ```
+
+use vpce::{compile, BackendOptions, ClusterConfig, ExecMode, Granularity};
+use vpce_workloads::{max_abs_diff, mm};
+
+fn main() {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
+
+    // Verify correctness at a reduced size against the native
+    // reference (full interpretation of the big size is unnecessary —
+    // analytic timing is exact).
+    let check_n = n.min(64);
+    let opts = BackendOptions::new(4).granularity(Granularity::Coarse);
+    let compiled = compile(mm::SOURCE, &[("N", check_n)], &opts).unwrap();
+    let rep = spmd_rt::execute(
+        &compiled.program,
+        &ClusterConfig::paper_4node(),
+        ExecMode::Full,
+    );
+    let (_, _, c_ref) = mm::reference(check_n as usize);
+    let c_idx = compiled
+        .program
+        .arrays
+        .iter()
+        .position(|(name, _)| name == "C")
+        .unwrap();
+    let diff = max_abs_diff(&rep.arrays[c_idx], &c_ref);
+    println!("correctness check at N={check_n}: max |diff| = {diff:.2e}");
+    assert!(diff < 1e-10);
+
+    // Timing rows at the requested size.
+    println!("\nMM {n}x{n} on the simulated V-Bus cluster (coarse granularity):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9} {:>12}",
+        "nodes", "T_seq", "T_par", "speedup", "comm"
+    );
+    let seq = {
+        let compiled = compile(mm::SOURCE, &[("N", n)], &BackendOptions::new(1)).unwrap();
+        spmd_rt::execute_sequential(
+            &compiled.program,
+            &ClusterConfig::paper_n(1).node.cpu,
+            ExecMode::Analytic,
+        )
+        .elapsed
+    };
+    for nodes in [1usize, 2, 4, 8] {
+        let opts = BackendOptions::new(nodes).granularity(Granularity::Coarse);
+        let compiled = compile(mm::SOURCE, &[("N", n)], &opts).unwrap();
+        let rep = spmd_rt::execute(
+            &compiled.program,
+            &ClusterConfig::paper_n(nodes),
+            ExecMode::Analytic,
+        );
+        println!(
+            "{:>6} {:>11.3}s {:>11.3}s {:>9.3} {:>11.4}s",
+            nodes,
+            seq,
+            rep.elapsed,
+            seq / rep.elapsed,
+            rep.comm_time
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Differential property testing of the whole pipeline: generate
+//! random (but well-formed) F77-mini programs with affine array
+//! accesses, compile them, and require that the parallel execution on
+//! the simulated cluster computes exactly what the sequential
+//! interpreter computes — for every granularity and both schedules.
+//!
+//! This is the strongest correctness net in the repository: it
+//! exercises the dependence test's conservatism (loops it can't prove
+//! parallel just stay serial — results must still match), the
+//! scatter/collect planner, the AVPG elisions, and the runtime
+//! protocol, on shapes no hand-written test anticipates.
+
+use proptest::prelude::*;
+use vpce::{compile, BackendOptions, ClusterConfig, ExecMode, Granularity, Schedule};
+
+/// A random statement inside a generated loop.
+#[derive(Debug, Clone)]
+enum BodyStmt {
+    /// `dst(a*I+b) = <expr over srcs>`
+    Store {
+        dst: usize,
+        a: i64,
+        b: i64,
+        rhs: RandExpr,
+    },
+    /// `s = s + <expr>` (scalar reduction)
+    Reduce { rhs: RandExpr },
+}
+
+#[derive(Debug, Clone)]
+enum RandExpr {
+    Const(f64),
+    /// `arr(c*I + d)` — a strided read.
+    Read { arr: usize, c: i64, d: i64 },
+    Add(Box<RandExpr>, Box<RandExpr>),
+    Mul(Box<RandExpr>, Box<RandExpr>),
+}
+
+// All generated values are dyadic rationals (quarters/eighths) with
+// small exponents, so every add/multiply in the programs is *exact*
+// in f64. That makes the parallel tree-order reduction bit-identical
+// to the sequential left-to-right one — the comparison below can be
+// `==` instead of approximate.
+const N_ARRAYS: usize = 3;
+const N: i64 = 24; // array length and loop bound domain
+
+fn arb_expr(depth: u32) -> BoxedStrategy<RandExpr> {
+    if depth == 0 {
+        prop_oneof![
+            (-4.0f64..4.0).prop_map(|v| RandExpr::Const((v * 4.0).round() / 4.0)),
+            (0usize..N_ARRAYS, 1i64..=2, 0i64..=2).prop_map(|(arr, c, d)| RandExpr::Read {
+                arr,
+                c,
+                d
+            }),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            arb_expr(0),
+            (arb_expr(depth - 1), arb_expr(depth - 1))
+                .prop_map(|(a, b)| RandExpr::Add(Box::new(a), Box::new(b))),
+            (arb_expr(depth - 1), arb_expr(depth - 1))
+                .prop_map(|(a, b)| RandExpr::Mul(Box::new(a), Box::new(b))),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_body_stmt() -> impl Strategy<Value = BodyStmt> {
+    prop_oneof![
+        4 => (0usize..N_ARRAYS, 1i64..=2, 0i64..=2, arb_expr(2)).prop_map(|(dst, a, b, rhs)| {
+            BodyStmt::Store { dst, a, b, rhs }
+        }),
+        1 => arb_expr(1).prop_map(|rhs| BodyStmt::Reduce { rhs }),
+    ]
+}
+
+/// One generated loop: bounds chosen so every subscript
+/// `c*I + d` with `c ≤ 2, d ≤ 2` stays inside `1..=3*N`.
+#[derive(Debug, Clone)]
+struct RandLoop {
+    lo: i64,
+    hi: i64,
+    body: Vec<BodyStmt>,
+}
+
+fn arb_loop() -> impl Strategy<Value = RandLoop> {
+    (
+        1i64..=4,
+        (N / 2)..=N,
+        proptest::collection::vec(arb_body_stmt(), 1..=3),
+    )
+        .prop_map(|(lo, hi, body)| RandLoop { lo, hi, body })
+}
+
+fn expr_src(e: &RandExpr) -> String {
+    match e {
+        RandExpr::Const(v) => {
+            if *v < 0.0 {
+                format!("(0.0 - {:.4})", -v)
+            } else {
+                format!("{v:.4}")
+            }
+        }
+        RandExpr::Read { arr, c, d } => {
+            format!("A{arr}({c}*I + {d} + 1)")
+        }
+        RandExpr::Add(a, b) => format!("({} + {})", expr_src(a), expr_src(b)),
+        RandExpr::Mul(a, b) => format!("({} * {})", expr_src(a), expr_src(b)),
+    }
+}
+
+/// Render a whole program: init loops (so reads see data), then the
+/// generated loops.
+fn program_src(loops: &[RandLoop]) -> String {
+    let mut s = String::new();
+    s.push_str("      PROGRAM RAND\n");
+    let len = 3 * N + 8;
+    for a in 0..N_ARRAYS {
+        s.push_str(&format!("      REAL A{a}({len})\n"));
+    }
+    s.push_str("      REAL S\n      INTEGER I\n");
+    for a in 0..N_ARRAYS {
+        s.push_str(&format!(
+            "      DO I = 1, {len}\n        A{a}(I) = REAL(I + {a}) / 8.0\n      ENDDO\n"
+        ));
+    }
+    s.push_str("      S = 0.0\n");
+    for l in loops {
+        s.push_str(&format!("      DO I = {}, {}\n", l.lo, l.hi));
+        for st in &l.body {
+            match st {
+                BodyStmt::Store { dst, a, b, rhs } => {
+                    s.push_str(&format!(
+                        "        A{dst}({a}*I + {b} + 1) = {}\n",
+                        expr_src(rhs)
+                    ));
+                }
+                BodyStmt::Reduce { rhs } => {
+                    s.push_str(&format!("        S = S + {}\n", expr_src(rhs)));
+                }
+            }
+        }
+        s.push_str("      ENDDO\n");
+    }
+    s.push_str("      END\n");
+    s
+}
+
+fn check_program(src: &str, g: Granularity, sched: Option<Schedule>) -> Result<(), TestCaseError> {
+    let mut opts = BackendOptions::new(4).granularity(g);
+    if let Some(s) = sched {
+        opts = opts.schedule(s);
+    }
+    let compiled = match compile(src, &[], &opts) {
+        Ok(c) => c,
+        Err(e) => {
+            // The generator can produce semantically fine programs the
+            // conservative front-end rejects outright only via
+            // internal limits; surface those as failures.
+            return Err(TestCaseError::fail(format!("front-end error: {e}\n{src}")));
+        }
+    };
+    let cluster = ClusterConfig::paper_4node();
+    let par = spmd_rt::execute(&compiled.program, &cluster, ExecMode::Full);
+    let seq = spmd_rt::execute_sequential(&compiled.program, &cluster.node.cpu, ExecMode::Full);
+    prop_assert_eq!(&par.arrays, &seq.arrays, "arrays diverge\n{}", src);
+    for (slot, (name, _)) in compiled.program.scalars.iter().enumerate() {
+        if name == "S" {
+            prop_assert_eq!(
+                par.scalars[slot].as_real(),
+                seq.scalars[slot].as_real(),
+                "reduction diverges\n{}",
+                src
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_programs_parallel_equals_sequential(
+        loops in proptest::collection::vec(arb_loop(), 1..=3),
+        g in prop_oneof![
+            Just(Granularity::Fine),
+            Just(Granularity::Middle),
+            Just(Granularity::Coarse)
+        ],
+    ) {
+        let src = program_src(&loops);
+        check_program(&src, g, None)?;
+    }
+
+    #[test]
+    fn random_programs_cyclic_schedule(
+        loops in proptest::collection::vec(arb_loop(), 1..=2),
+    ) {
+        let src = program_src(&loops);
+        check_program(&src, Granularity::Coarse, Some(Schedule::Cyclic))?;
+    }
+}
+
+#[test]
+fn generator_produces_parallelizable_loops_sometimes() {
+    // Sanity: the generator isn't vacuous — a simple instance
+    // parallelises.
+    let l = RandLoop {
+        lo: 1,
+        hi: N,
+        body: vec![BodyStmt::Store {
+            dst: 0,
+            a: 2,
+            b: 0,
+            rhs: RandExpr::Read { arr: 1, c: 1, d: 0 },
+        }],
+    };
+    let src = program_src(&[l]);
+    let analyzed = polaris_fe::compile(&src, &[]).unwrap();
+    assert!(analyzed.num_parallel() >= 4, "init loops + generated loop");
+}

@@ -1,0 +1,486 @@
+//! End-to-end correctness: each paper workload, compiled through the
+//! full Polaris pipeline and executed on the simulated cluster, must
+//! reproduce its native Rust reference exactly — at every granularity,
+//! both schedules, and several cluster sizes.
+
+use vpce::{
+    compile, run_experiment, BackendOptions, ClusterConfig, ExecMode, Granularity, Schedule,
+};
+use vpce_workloads::{cfft, max_abs_diff, mm, swim};
+
+fn array<'a>(exp: &'a vpce::Experiment, name: &str) -> &'a [f64] {
+    let idx = exp
+        .compiled
+        .program
+        .arrays
+        .iter()
+        .position(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("no array {name}"));
+    &exp.parallel.arrays[idx]
+}
+
+fn run(
+    source: &str,
+    params: &[(&str, i64)],
+    nprocs: usize,
+    g: Granularity,
+) -> vpce::Experiment {
+    let cluster = ClusterConfig::paper_n(nprocs);
+    run_experiment(
+        source,
+        params,
+        &cluster,
+        &BackendOptions::new(nprocs).granularity(g),
+        ExecMode::Full,
+    )
+    .expect("pipeline failed")
+}
+
+// ---------------------------------------------------------------- MM
+
+#[test]
+fn mm_matches_reference_all_granularities() {
+    let n = 24usize;
+    let (_, _, c_ref) = mm::reference(n);
+    for g in Granularity::ALL {
+        let exp = run(mm::SOURCE, &[("N", n as i64)], 4, g);
+        let diff = max_abs_diff(array(&exp, "C"), &c_ref);
+        assert!(diff < 1e-12, "{g:?}: max diff {diff}");
+        // And the sequential interpreter agrees too.
+        assert_eq!(exp.parallel.arrays, exp.sequential.arrays, "{g:?}");
+    }
+}
+
+#[test]
+fn mm_matches_reference_across_cluster_sizes() {
+    let n = 16usize;
+    let (_, _, c_ref) = mm::reference(n);
+    for p in [1, 2, 3, 4, 6, 8] {
+        let exp = run(mm::SOURCE, &[("N", n as i64)], p, Granularity::Coarse);
+        assert!(
+            max_abs_diff(array(&exp, "C"), &c_ref) < 1e-12,
+            "wrong result on {p} ranks"
+        );
+    }
+}
+
+#[test]
+fn mm_cyclic_schedule_also_correct() {
+    let n = 20usize;
+    let (_, _, c_ref) = mm::reference(n);
+    for g in Granularity::ALL {
+        let cluster = ClusterConfig::paper_n(4);
+        let exp = run_experiment(
+            mm::SOURCE,
+            &[("N", n as i64)],
+            &cluster,
+            &BackendOptions::new(4).granularity(g).schedule(Schedule::Cyclic),
+            ExecMode::Full,
+        )
+        .unwrap();
+        assert!(
+            max_abs_diff(array(&exp, "C"), &c_ref) < 1e-12,
+            "cyclic {g:?} wrong"
+        );
+    }
+}
+
+#[test]
+fn mm_compiles_with_two_parallel_regions() {
+    let compiled = compile(mm::SOURCE, &[], &BackendOptions::new(4)).unwrap();
+    let regions: Vec<_> = compiled.program.regions().collect();
+    assert_eq!(regions.len(), 2, "init + multiply");
+}
+
+// -------------------------------------------------------------- CFFT
+
+#[test]
+fn cfft_matches_reference_all_granularities() {
+    let m = 6;
+    let (w_ref, winv_ref) = cfft::reference(m as u32);
+    for g in Granularity::ALL {
+        let exp = run(cfft::SOURCE, &[("M", m)], 4, g);
+        assert!(max_abs_diff(array(&exp, "W"), &w_ref) < 1e-12, "{g:?} W");
+        assert!(
+            max_abs_diff(array(&exp, "WINV"), &winv_ref) < 1e-12,
+            "{g:?} WINV"
+        );
+    }
+}
+
+#[test]
+fn cfft_fine_plans_use_strided_messages() {
+    // The §2.2/§5.6 story: stride-2 writes become strided PUTs at fine
+    // grain and contiguous (redundant) PUTs at middle grain.
+    let fine = compile(
+        cfft::SOURCE,
+        &[("M", 6)],
+        &BackendOptions::new(4).granularity(Granularity::Fine),
+    )
+    .unwrap();
+    let middle = compile(
+        cfft::SOURCE,
+        &[("M", 6)],
+        &BackendOptions::new(4).granularity(Granularity::Middle),
+    )
+    .unwrap();
+    let fine_region = fine.program.regions().next().unwrap();
+    let mid_region = middle.program.regions().next().unwrap();
+    assert!(
+        fine_region.collect.strided_messages() > 0,
+        "fine grain must use stride PUT/GET"
+    );
+    assert_eq!(
+        mid_region.collect.strided_messages(),
+        0,
+        "middle grain converts to contiguous"
+    );
+    // Middle moves ~2x the payload of fine (50% redundancy).
+    let f = fine_region.collect.total_elems() as f64;
+    let m = mid_region.collect.total_elems() as f64;
+    assert!((1.5..=2.2).contains(&(m / f)), "redundancy ratio {}", m / f);
+}
+
+// -------------------------------------------------------------- SWIM
+
+#[test]
+fn swim_matches_reference_all_granularities() {
+    let n = 16usize;
+    let r = swim::reference(n);
+    for g in Granularity::ALL {
+        let exp = run(swim::SOURCE, &[("N", n as i64)], 4, g);
+        for (name, want) in [
+            ("U", &r.u),
+            ("V", &r.v),
+            ("P", &r.p),
+            ("CU", &r.cu),
+            ("CV", &r.cv),
+            ("Z", &r.z),
+            ("H", &r.h),
+            ("UNEW", &r.unew),
+            ("VNEW", &r.vnew),
+            ("PNEW", &r.pnew),
+        ] {
+            let diff = max_abs_diff(array(&exp, name), want);
+            assert!(diff < 1e-10, "{g:?} {name}: max diff {diff}");
+        }
+    }
+}
+
+#[test]
+fn swim_parallelizes_all_four_loops() {
+    let compiled = compile(swim::SOURCE, &[], &BackendOptions::new(4)).unwrap();
+    assert_eq!(compiled.program.regions().count(), 4);
+}
+
+#[test]
+fn swim_avpg_elides_redundant_scatters() {
+    let with = compile(swim::SOURCE, &[("N", 32)], &BackendOptions::new(4)).unwrap();
+    let without = compile(
+        swim::SOURCE,
+        &[("N", 32)],
+        &BackendOptions::new(4).avpg(false),
+    )
+    .unwrap();
+    assert!(
+        with.report.elisions.scatters_elided > 0,
+        "U/V/P re-reads across CALC1→CALC2 should be elided"
+    );
+    assert_eq!(without.report.elisions.scatters_elided, 0);
+    let (with_msgs, with_elems) = with.program.comm_summary();
+    let (wo_msgs, wo_elems) = without.program.comm_summary();
+    assert!(with_msgs < wo_msgs, "AVPG reduces messages: {with_msgs} vs {wo_msgs}");
+    assert!(with_elems < wo_elems, "AVPG reduces volume");
+}
+
+#[test]
+fn swim_avpg_off_still_correct() {
+    let n = 16usize;
+    let r = swim::reference(n);
+    let cluster = ClusterConfig::paper_n(4);
+    let exp = run_experiment(
+        swim::SOURCE,
+        &[("N", n as i64)],
+        &cluster,
+        &BackendOptions::new(4).avpg(false),
+        ExecMode::Full,
+    )
+    .unwrap();
+    assert!(max_abs_diff(array(&exp, "P"), &r.p) < 1e-10);
+}
+
+// ------------------------------------------------------ cross checks
+
+#[test]
+fn analytic_and_full_mode_agree_on_time_and_traffic() {
+    for (src, params) in [
+        (mm::SOURCE, vec![("N", 24i64)]),
+        (cfft::SOURCE, vec![("M", 6)]),
+        (swim::SOURCE, vec![("N", 16)]),
+    ] {
+        let cluster = ClusterConfig::paper_n(4);
+        let opts = BackendOptions::new(4).granularity(Granularity::Coarse);
+        let compiled = compile(src, &params, &opts).unwrap();
+        let full = vpce::execute(&compiled.program, &cluster, ExecMode::Full);
+        let ana = vpce::execute(&compiled.program, &cluster, ExecMode::Analytic);
+        assert!(
+            (full.elapsed - ana.elapsed).abs() / full.elapsed < 1e-9,
+            "elapsed: full {} vs analytic {}",
+            full.elapsed,
+            ana.elapsed
+        );
+        assert_eq!(full.net.p2p_bytes, ana.net.p2p_bytes);
+        assert_eq!(full.net.p2p_messages, ana.net.p2p_messages);
+        assert!((full.comm_time - ana.comm_time).abs() / full.comm_time.max(1e-30) < 1e-9);
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let go = || {
+        let exp = run(mm::SOURCE, &[("N", 16)], 4, Granularity::Fine);
+        (
+            exp.parallel.elapsed,
+            exp.parallel.comm_time,
+            exp.parallel.arrays.clone(),
+        )
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}
+
+// ------------------------------------------------- subroutine inlining
+
+#[test]
+fn swim_with_subroutines_matches_flat_swim() {
+    // The same physics written with CALC1/CALC2 as SUBROUTINEs (like
+    // the real SPEC code) must compile — via the §3 inliner — to a
+    // program computing identical values.
+    let n = 16i64;
+    let flat = run(swim::SOURCE, &[("N", n)], 4, Granularity::Coarse);
+    let subs = run(swim::SOURCE_SUBROUTINES, &[("N", n)], 4, Granularity::Coarse);
+    for name in ["U", "V", "P", "CU", "CV", "Z", "H", "UNEW", "VNEW", "PNEW"] {
+        let diff = max_abs_diff(array(&flat, name), array(&subs, name));
+        assert!(diff < 1e-12, "{name}: {diff}");
+    }
+    // And the loops inside the subroutines were parallelized.
+    assert_eq!(subs.compiled.program.regions().count(), 4);
+}
+
+#[test]
+fn inlined_subroutine_overrides_size_through_the_argument() {
+    // N reaches CALC1/CALC2 as an argument, so a PARAMETER override on
+    // the main program rescales everything.
+    let exp = run(swim::SOURCE_SUBROUTINES, &[("N", 24)], 2, Granularity::Fine);
+    assert_eq!(exp.compiled.program.arrays[0].1, 24 * 24);
+    let r = swim::reference(24);
+    assert!(max_abs_diff(array(&exp, "P"), &r.p) < 1e-10);
+}
+
+// ------------------------------------------- one-sided design choices
+
+#[test]
+fn pull_scatter_same_results_less_master_load() {
+    // GET-based scattering: identical data, but the per-message host
+    // setup runs on the slaves in parallel instead of serialising on
+    // the master.
+    let n = 20usize;
+    let (_, _, c_ref) = mm::reference(n);
+    let cluster = ClusterConfig::paper_n(4);
+    let push = run_experiment(
+        mm::SOURCE,
+        &[("N", n as i64)],
+        &cluster,
+        &BackendOptions::new(4),
+        ExecMode::Full,
+    )
+    .unwrap();
+    let pull = run_experiment(
+        mm::SOURCE,
+        &[("N", n as i64)],
+        &cluster,
+        &BackendOptions::new(4).pull(true),
+        ExecMode::Full,
+    )
+    .unwrap();
+    assert!(max_abs_diff(array(&push, "C"), &c_ref) < 1e-12);
+    assert!(max_abs_diff(array(&pull, "C"), &c_ref) < 1e-12);
+    // Master host-side communication cost drops under pull.
+    let push_master = push.parallel.rank_stats[0].comm_host;
+    let pull_master = pull.parallel.rank_stats[0].comm_host;
+    assert!(
+        pull_master < push_master,
+        "pull should unload the master: {pull_master} vs {push_master}"
+    );
+    // And the GET counters show who moved the data.
+    assert!(pull.parallel.rank_stats[1].bytes_got > 0);
+    assert_eq!(push.parallel.rank_stats[1].bytes_got, 0);
+}
+
+#[test]
+fn pull_scatter_faster_when_scatter_message_bound() {
+    // Fine-grain SWIM floods the master with setups; pulling them
+    // from 3 slaves in parallel must shorten the critical path.
+    let cluster = ClusterConfig::paper_n(4);
+    let time = |pull: bool| {
+        let compiled = compile(
+            swim::SOURCE,
+            &[("N", 128)],
+            &BackendOptions::new(4).pull(pull),
+        )
+        .unwrap();
+        vpce::execute(&compiled.program, &cluster, ExecMode::Analytic).comm_time
+    };
+    let push_t = time(false);
+    let pull_t = time(true);
+    assert!(
+        pull_t < push_t,
+        "pull {pull_t} should beat push {push_t} in the setup-bound regime"
+    );
+}
+
+#[test]
+fn lock_based_reductions_compute_the_same_sum() {
+    // §3: "locks are useful for establishing critical sections where
+    // global operations using shared variables, such as reduction
+    // operations, are performed." Dot product with dyadic values is
+    // exact under any accumulation order.
+    const DOT: &str = r"
+      PROGRAM DOT
+      PARAMETER (N = 64)
+      REAL A(N), B(N)
+      REAL S
+      INTEGER I
+      DO I = 1, N
+        A(I) = REAL(I) / 4.0
+        B(I) = 2.0
+      ENDDO
+      S = 0.0
+      DO I = 1, N
+        S = S + A(I) * B(I)
+      ENDDO
+      END
+";
+    let cluster = ClusterConfig::paper_n(4);
+    let s_value = |lock: bool| {
+        let exp = run_experiment(
+            DOT,
+            &[],
+            &cluster,
+            &BackendOptions::new(4).lock_reductions(lock),
+            ExecMode::Full,
+        )
+        .unwrap();
+        let slot = exp
+            .compiled
+            .program
+            .scalars
+            .iter()
+            .position(|(n, _)| n == "S")
+            .unwrap();
+        exp.parallel.scalars[slot].as_real()
+    };
+    let expected: f64 = (1..=64).map(|i| i as f64 / 4.0 * 2.0).sum();
+    assert_eq!(s_value(false), expected, "collective reduction");
+    assert_eq!(s_value(true), expected, "lock-based reduction");
+}
+
+#[test]
+fn irregular_gather_parallelizes_conservatively_and_matches_reference() {
+    // §2.2: one-sided communication "may also help the compiler to
+    // simplify code generation for … irregular computations". The
+    // A(IDX(I)) subscript defeats LMAD analysis, so A degrades to a
+    // conservative whole-array ReadOnly region — but the loop still
+    // runs in parallel and the results are exact.
+    use vpce_workloads::irregular;
+    let n = 64usize;
+    let (a_ref, idx_ref, b_ref) = irregular::reference(n);
+    for g in Granularity::ALL {
+        let exp = run(irregular::SOURCE, &[("N", n as i64)], 4, g);
+        assert!(max_abs_diff(array(&exp, "A"), &a_ref) < 1e-12);
+        assert!(max_abs_diff(array(&exp, "B"), &b_ref) < 1e-12, "{g:?}");
+        let idx_f: Vec<f64> = idx_ref.iter().map(|&v| v as f64).collect();
+        assert!(max_abs_diff(array(&exp, "IDX"), &idx_f) < 1e-12);
+    }
+    // Both loops (init and gather) parallelised.
+    let compiled = compile(
+        irregular::SOURCE,
+        &[("N", n as i64)],
+        &BackendOptions::new(4),
+    )
+    .unwrap();
+    assert_eq!(compiled.program.regions().count(), 2);
+    // The gather region scatters ALL of A to every slave (the
+    // conservative whole-array read).
+    let gather = compiled.program.regions().nth(1).unwrap();
+    for r in 1..4 {
+        let a_bytes: u64 = gather.scatter.per_rank[r]
+            .iter()
+            .filter(|op| op.array == 0)
+            .map(|op| op.transfer.elems())
+            .sum();
+        assert!(a_bytes >= n as u64, "rank {r} must receive all of A");
+    }
+}
+
+#[test]
+fn swim_full_three_time_levels_match_reference() {
+    // The complete 13-array shallow-water step, including CALC3's
+    // ReadWrite time smoothing (UOLD/VOLD/POLD read and rewritten in
+    // place).
+    use vpce_workloads::swim_full;
+    let n = 16usize;
+    let r = swim_full::reference(n);
+    for g in [Granularity::Fine, Granularity::Coarse] {
+        let exp = run(swim_full::SOURCE, &[("N", n as i64)], 4, g);
+        for (name, want) in [
+            ("U", &r.u),
+            ("V", &r.v),
+            ("P", &r.p),
+            ("UOLD", &r.uold),
+            ("VOLD", &r.vold),
+            ("POLD", &r.pold),
+            ("UNEW", &r.unew),
+            ("CU", &r.cu),
+            ("Z", &r.z),
+            ("H", &r.h),
+        ] {
+            let diff = max_abs_diff(array(&exp, name), want);
+            assert!(diff < 1e-10, "{g:?} {name}: {diff}");
+        }
+    }
+    // All four loop nests parallelise, CALC3's arrays classify
+    // ReadWrite (scatter + collect both present for UOLD). Compile
+    // with the AVPG off: with it on, the scatter is (correctly!)
+    // elided because each slave still holds its own fresh UOLD chunk
+    // from the init region.
+    let compiled = compile(
+        swim_full::SOURCE,
+        &[("N", n as i64)],
+        &BackendOptions::new(4).avpg(false),
+    )
+    .unwrap();
+    assert_eq!(compiled.program.regions().count(), 4);
+    let calc3 = compiled.program.regions().nth(3).unwrap();
+    let uold = compiled
+        .program
+        .arrays
+        .iter()
+        .position(|(n, _)| n == "UOLD")
+        .unwrap();
+    let scattered: u64 = calc3.scatter.per_rank[1]
+        .iter()
+        .filter(|op| op.array == uold)
+        .map(|op| op.transfer.elems())
+        .sum();
+    let collected: u64 = calc3.collect.per_rank[1]
+        .iter()
+        .filter(|op| op.array == uold)
+        .map(|op| op.transfer.elems())
+        .sum();
+    assert!(scattered > 0, "ReadWrite UOLD must be scattered");
+    assert!(collected > 0, "ReadWrite UOLD must be collected");
+}
