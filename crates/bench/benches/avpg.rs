@@ -1,7 +1,8 @@
 //! Ablation A1 bench: backend planning with and without the AVPG
 //! elimination, plus the resulting simulated communication.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpce_testkit::bench::{BenchmarkId, Criterion};
+use vpce_testkit::{criterion_group, criterion_main};
 use cluster_sim::ClusterConfig;
 use lmad::Granularity;
 use polaris_be::BackendOptions;

@@ -1,7 +1,8 @@
 //! Claim C3 bench: hardware virtual-bus broadcast against the
 //! software binomial tree, across node counts and payload sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpce_testkit::bench::{BenchmarkId, Criterion};
+use vpce_testkit::{criterion_group, criterion_main};
 use vbus_sim::sweep::{broadcast_sweep, tree_broadcast_time};
 use vbus_sim::{NetConfig, NetSim};
 

@@ -1,7 +1,8 @@
 //! Compiler throughput: front-end analysis and the MPI-2 postpass on
 //! the paper workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpce_testkit::bench::{BenchmarkId, Criterion};
+use vpce_testkit::{criterion_group, criterion_main};
 use lmad::Granularity;
 use polaris_be::BackendOptions;
 

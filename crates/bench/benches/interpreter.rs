@@ -2,7 +2,8 @@
 //! the simulated cluster (the Full/Analytic split exists because of
 //! this cost — measure it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpce_testkit::bench::{BenchmarkId, Criterion};
+use vpce_testkit::{criterion_group, criterion_main};
 use cluster_sim::ClusterConfig;
 use lmad::Granularity;
 use polaris_be::BackendOptions;

@@ -1,7 +1,8 @@
 //! Claim C1 bench: the signal-level link model and the wormhole
 //! message scheduler.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpce_testkit::bench::{BenchmarkId, Criterion};
+use vpce_testkit::{criterion_group, criterion_main};
 use vbus_sim::{LinkPhy, NetConfig, NetSim, SignallingMode};
 
 fn bench_phy(c: &mut Criterion) {

@@ -1,7 +1,8 @@
 //! Claim C4 bench: one-sided PUT/GET through the MPI-2 layer —
 //! contiguous (DMA) versus strided (PIO) paths, including the fence.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpce_testkit::bench::{BenchmarkId, Criterion};
+use vpce_testkit::{criterion_group, criterion_main};
 use cluster_sim::ClusterConfig;
 use mpi2::Universe;
 

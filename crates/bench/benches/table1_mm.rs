@@ -3,7 +3,8 @@
 //! are identical to full execution; wall time here measures the
 //! reproduction system itself).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpce_testkit::bench::{BenchmarkId, Criterion};
+use vpce_testkit::{criterion_group, criterion_main};
 use lmad::Granularity;
 use polaris_be::BackendOptions;
 use spmd_rt::ExecMode;

@@ -2,7 +2,8 @@
 //! each granularity (moderate sizes keep the sweep quick; the printed
 //! table uses the paper's full sizes via `cargo run --bin table2`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vpce_testkit::bench::{BenchmarkId, Criterion};
+use vpce_testkit::{criterion_group, criterion_main};
 use cluster_sim::ClusterConfig;
 use lmad::Granularity;
 use vpce_bench::table2::{measure, Bench};

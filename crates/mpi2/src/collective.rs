@@ -10,7 +10,7 @@
 
 use std::any::Any;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 type Slot = Option<Box<dyn Any + Send>>;
 

@@ -40,6 +40,7 @@
 
 mod collective;
 mod p2p;
+pub mod sync;
 mod rma;
 mod stats;
 mod universe;

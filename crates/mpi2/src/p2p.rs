@@ -16,7 +16,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use cluster_sim::TransferKind;
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::universe::Mpi;
 use crate::Elem;

@@ -5,8 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cluster_sim::{ClusterConfig, CpuModel, NicModel, OpCounts, TransferKind};
-use parking_lot::lock_api::ArcMutexGuard;
-use parking_lot::{Mutex, RawMutex};
+use crate::sync::{ArcMutexGuard, Mutex};
 use vbus_sim::{NetSim, NetStats};
 
 use crate::collective::Collective;
@@ -193,7 +192,7 @@ impl Universe {
 }
 
 /// Guard of a passive-target lock epoch.
-type EpochGuard = ArcMutexGuard<RawMutex, f64>;
+type EpochGuard = ArcMutexGuard<f64>;
 
 /// Handle to one MPI process. Obtained only inside [`Universe::run`].
 pub struct Mpi {
@@ -518,7 +517,7 @@ impl Mpi {
             let table = self.shared.table.lock();
             Arc::clone(&table.shard(win.id(), target).last_release)
         };
-        let guard = release.lock_arc();
+        let guard = Mutex::lock_arc(&release);
         // Acquiring the lock is a small round trip to the target.
         let link = self.shared.cfg.net.link;
         let rtt = 2.0

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard};
+use crate::sync::{ArcMutexGuard, Mutex, MutexGuard};
 
 use crate::Elem;
 
@@ -110,7 +110,7 @@ impl WindowRef {
     /// acquires one per array for the duration of a compute region;
     /// it MUST be dropped before any fence or collective (the fence
     /// leader locks shards to apply transfers).
-    pub fn lock_arc(&self) -> parking_lot::ArcMutexGuard<parking_lot::RawMutex, Vec<Elem>> {
+    pub fn lock_arc(&self) -> ArcMutexGuard<Vec<Elem>> {
         Mutex::lock_arc(&self.mem)
     }
 

@@ -5,7 +5,7 @@
 
 use cluster_sim::ClusterConfig;
 use mpi2::Universe;
-use proptest::prelude::*;
+use vpce_testkit::prelude::*;
 
 /// One PUT in the batch: origin writes `len` elements at `off` of
 /// `target`'s shard, tagged with a unique value.
@@ -19,23 +19,22 @@ struct Put {
 
 const RANKS: usize = 4;
 const WIN: usize = 64;
+const CASES: u32 = 32;
 
-fn arb_puts() -> impl Strategy<Value = Vec<Put>> {
-    proptest::collection::vec(
-        (0..RANKS, 0..RANKS, 0..WIN, 1usize..12).prop_map(|(origin, target, off, len)| Put {
-            origin,
-            target,
-            off: off.min(WIN - 1),
-            len,
-        }),
-        1..16,
+fn arb_puts() -> Gen<Vec<Put>> {
+    let put = zip4(
+        usize_in(0, RANKS - 1),
+        usize_in(0, RANKS - 1),
+        usize_in(0, WIN - 1),
+        usize_in(1, 11),
     )
-    .prop_map(|mut puts| {
-        for p in &mut puts {
-            p.len = p.len.min(WIN - p.off);
-        }
-        puts
-    })
+    .map(|(origin, target, off, len)| Put {
+        origin,
+        target,
+        off,
+        len: len.min(WIN - off),
+    });
+    vec_of(put, 1, 15)
 }
 
 /// The oracle: apply the puts to a model of all shards in the same
@@ -76,74 +75,89 @@ fn cross_origin_conflict(puts: &[Put]) -> bool {
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
-
-    #[test]
-    fn put_batches_match_oracle(puts in arb_puts()) {
-        prop_assume!(!cross_origin_conflict(&puts));
-        let uni = Universe::new(ClusterConfig::paper_n(RANKS));
-        let puts2 = puts.clone();
-        let out = uni.run(move |mpi| {
-            let w = mpi.win_create(WIN);
-            for (i, p) in puts2.iter().enumerate() {
-                if p.origin == mpi.rank() {
-                    mpi.put(&w, p.target, p.off, vec![(i + 1) as f64; p.len]);
-                }
-            }
-            mpi.fence_all();
-            w.snapshot()
-        });
-        let want = oracle(&puts);
-        for (r, w) in want.iter().enumerate() {
-            // Same-origin overlapping puts apply in issue order on
-            // both sides; cross-origin overlaps were filtered.
-            prop_assert_eq!(&out.results[r], w, "rank {}", r);
-        }
-    }
-
-    #[test]
-    fn virtual_times_are_reproducible(puts in arb_puts()) {
-        let run = || {
+#[test]
+fn put_batches_match_oracle() {
+    Check::new("mpi2::put_batches_match_oracle")
+        .cases(CASES)
+        .run(&arb_puts(), |puts| {
+            prop_assume!(!cross_origin_conflict(puts));
             let uni = Universe::new(ClusterConfig::paper_n(RANKS));
-            let puts = puts.clone();
+            let puts2 = puts.clone();
             let out = uni.run(move |mpi| {
                 let w = mpi.win_create(WIN);
-                for (i, p) in puts.iter().enumerate() {
+                for (i, p) in puts2.iter().enumerate() {
                     if p.origin == mpi.rank() {
                         mpi.put(&w, p.target, p.off, vec![(i + 1) as f64; p.len]);
                     }
                 }
                 mpi.fence_all();
-                mpi.now()
+                w.snapshot()
             });
-            (out.results.clone(), out.net.p2p_messages, out.net.contention_wait)
-        };
-        prop_assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn epoch_rule_no_visibility_before_fence(
-        target_off in 0usize..32,
-        len in 1usize..16,
-    ) {
-        // A put issued but not fenced is invisible to the target.
-        let uni = Universe::new(ClusterConfig::paper_n(2));
-        let out = uni.run(move |mpi| {
-            let w = mpi.win_create(WIN);
-            if mpi.rank() == 0 {
-                mpi.put(&w, 1, target_off, vec![7.0; len]);
+            let want = oracle(puts);
+            for (r, w) in want.iter().enumerate() {
+                // Same-origin overlapping puts apply in issue order on
+                // both sides; cross-origin overlaps were filtered.
+                prop_assert_eq!(&out.results[r], w, "rank {}", r);
             }
-            // Both ranks snapshot *before* the fence.
-            let before = w.snapshot();
-            mpi.fence_all();
-            let after = w.snapshot();
-            (before, after)
+            Ok(())
         });
-        let (before, after) = &out.results[1];
-        prop_assert!(before.iter().all(|&x| x == 0.0), "visible before fence");
-        prop_assert!(after[target_off..target_off + len.min(WIN - target_off)]
-            .iter()
-            .all(|&x| x == 7.0));
-    }
+}
+
+#[test]
+fn virtual_times_are_reproducible() {
+    Check::new("mpi2::virtual_times_are_reproducible")
+        .cases(CASES)
+        .run(&arb_puts(), |puts| {
+            let run = || {
+                let uni = Universe::new(ClusterConfig::paper_n(RANKS));
+                let puts = puts.clone();
+                let out = uni.run(move |mpi| {
+                    let w = mpi.win_create(WIN);
+                    for (i, p) in puts.iter().enumerate() {
+                        if p.origin == mpi.rank() {
+                            mpi.put(&w, p.target, p.off, vec![(i + 1) as f64; p.len]);
+                        }
+                    }
+                    mpi.fence_all();
+                    mpi.now()
+                });
+                (
+                    out.results.clone(),
+                    out.net.p2p_messages,
+                    out.net.contention_wait,
+                )
+            };
+            prop_assert_eq!(run(), run());
+            Ok(())
+        });
+}
+
+#[test]
+fn epoch_rule_no_visibility_before_fence() {
+    Check::new("mpi2::epoch_rule_no_visibility_before_fence")
+        .cases(CASES)
+        .run(
+            &zip2(usize_in(0, 31), usize_in(1, 15)),
+            |&(target_off, len)| {
+                // A put issued but not fenced is invisible to the target.
+                let uni = Universe::new(ClusterConfig::paper_n(2));
+                let out = uni.run(move |mpi| {
+                    let w = mpi.win_create(WIN);
+                    if mpi.rank() == 0 {
+                        mpi.put(&w, 1, target_off, vec![7.0; len]);
+                    }
+                    // Both ranks snapshot *before* the fence.
+                    let before = w.snapshot();
+                    mpi.fence_all();
+                    let after = w.snapshot();
+                    (before, after)
+                });
+                let (before, after) = &out.results[1];
+                prop_assert!(before.iter().all(|&x| x == 0.0), "visible before fence");
+                prop_assert!(after[target_off..target_off + len.min(WIN - target_off)]
+                    .iter()
+                    .all(|&x| x == 7.0));
+                Ok(())
+            },
+        );
 }

@@ -5,8 +5,7 @@ use std::collections::HashMap;
 
 use cluster_sim::{ClusterConfig, CpuModel, OpCounts};
 use mpi2::{AccumulateOp, Elem, Mpi, RankStats, Universe, WindowRef};
-use parking_lot::lock_api::ArcMutexGuard;
-use parking_lot::RawMutex;
+use mpi2::sync::ArcMutexGuard;
 use vbus_sim::NetStats;
 
 use crate::cost::instr_ops_shallow;
@@ -202,7 +201,7 @@ fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>
     (arrays, interp.scalars.clone())
 }
 
-type Guard = ArcMutexGuard<RawMutex, Vec<Elem>>;
+type Guard = ArcMutexGuard<Vec<Elem>>;
 
 fn lock_all(wins: &[WindowRef]) -> Vec<Guard> {
     wins.iter().map(WindowRef::lock_arc).collect()

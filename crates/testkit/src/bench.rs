@@ -1,0 +1,349 @@
+//! A micro-benchmark timer with a criterion-shaped API.
+//!
+//! Measures wall time with warmup, batches iterations so that one
+//! sample lasts long enough for the clock to resolve, reports the
+//! median over N samples (robust to scheduler noise), and emits one
+//! JSON line per benchmark so results can be scraped by tooling.
+//!
+//! The API deliberately mirrors the subset of criterion the bench
+//! suite uses — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `b.iter(..)`,
+//! `criterion_group!`, `criterion_main!` — so benches port with only
+//! an import change and keep working if they are ever pointed back at
+//! the real thing.
+//!
+//! Environment knobs:
+//! * `VPCE_BENCH_SAMPLES` — override every group's sample count;
+//! * `VPCE_BENCH_JSON` — also append JSON lines to this file.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time for one timed sample (iterations are batched to
+/// reach it).
+const TARGET_SAMPLE: Duration = Duration::from_millis(4);
+
+/// Identifier `function_name/parameter` (criterion-compatible).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("put_contiguous", 1024)` → `put_contiguous/1024`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Per-iteration timing statistics of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    /// Benchmark name (`group/function/param`).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+}
+
+impl Sampled {
+    fn json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+             \"samples\":{},\"iters_per_sample\":{}}}",
+            self.name, self.median_ns, self.min_ns, self.max_ns, self.samples,
+            self.iters_per_sample
+        )
+    }
+}
+
+/// The measurement driver handed to each bench closure.
+pub struct Bencher {
+    samples: usize,
+    smoke: bool,
+    result: Option<(f64, f64, f64, u64)>,
+}
+
+impl Bencher {
+    /// Time `f`: warm up, calibrate a batch size, then record
+    /// `samples` batched samples. In smoke mode (under `cargo test`)
+    /// the body runs exactly once, untimed.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.smoke {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warmup + calibration: run until we know roughly how long one
+        // iteration takes.
+        let mut calib_iters = 1u64;
+        let per_iter = loop {
+            let t0 = Instant::now();
+            for _ in 0..calib_iters {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || calib_iters >= 1 << 20 {
+                break dt.as_secs_f64() / calib_iters as f64;
+            }
+            calib_iters *= 8;
+        };
+        let iters = ((TARGET_SAMPLE.as_secs_f64() / per_iter.max(1e-9)).ceil() as u64)
+            .clamp(1, 1 << 24);
+        let mut per_iter_ns: Vec<f64> = (0..self.samples.max(1))
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        self.result = Some((
+            median,
+            per_iter_ns[0],
+            per_iter_ns[per_iter_ns.len() - 1],
+            iters,
+        ));
+    }
+}
+
+/// The top-level harness (criterion-compatible shape).
+pub struct Criterion {
+    sample_size: usize,
+    /// When true (under `cargo test`), closures run once for smoke
+    /// coverage but nothing is timed.
+    smoke_only: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let samples = std::env::var("VPCE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Criterion {
+            sample_size: samples,
+            smoke_only: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run and report one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        self.run_one(id.into().name, f);
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run_one(id.name.clone(), |b| f(b, input));
+    }
+
+    /// Open a named group (its benches report as `group/name`).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: self.sample_size,
+            c: self,
+        }
+    }
+
+    fn run_one(&mut self, name: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            smoke: self.smoke_only,
+            result: None,
+        };
+        f(&mut b);
+        if self.smoke_only {
+            // `cargo test` executes harness=false bench binaries with
+            // `--test`: the body ran once for coverage, nothing timed.
+            println!("{name}: smoke ok");
+            return;
+        }
+        let Some((median, min, max, iters)) = b.result else {
+            println!("{name}: bench closure never called iter()");
+            return;
+        };
+        let s = Sampled {
+            name,
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            samples: self.sample_size,
+            iters_per_sample: iters,
+        };
+        println!(
+            "{:<48} median {:>12} min {:>12} ({} samples × {} iters)",
+            s.name,
+            fmt_ns(s.median_ns),
+            fmt_ns(s.min_ns),
+            s.samples,
+            s.iters_per_sample
+        );
+        println!("JSON {}", s.json());
+        if let Ok(path) = std::env::var("VPCE_BENCH_JSON") {
+            use std::io::Write;
+            if let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(path)
+            {
+                let _ = writeln!(fh, "{}", s.json());
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A criterion-style benchmark group.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark within this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run and report one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.prefix, id.into().name);
+        let saved = self.c.sample_size;
+        self.c.sample_size = self.sample_size;
+        self.c.run_one(full, f);
+        self.c.sample_size = saved;
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.prefix, id.name);
+        let saved = self.c.sample_size;
+        self.c.sample_size = self.sample_size;
+        self.c.run_one(full, |b| f(b, input));
+        self.c.sample_size = saved;
+    }
+
+    /// End the group (no-op; criterion compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of bench functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::bench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary's `main` (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_plausible() {
+        let mut b = Bencher {
+            samples: 5,
+            smoke: false,
+            result: None,
+        };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        let (median, min, max, iters) = b.result.expect("result recorded");
+        assert!(median > 0.0 && min > 0.0 && max >= min);
+        assert!(iters >= 1);
+        assert!(median <= max && median >= min);
+    }
+
+    #[test]
+    fn ids_and_json_format() {
+        let id = BenchmarkId::new("put_contiguous", 1024);
+        assert_eq!(id.name, "put_contiguous/1024");
+        let s = Sampled {
+            name: "g/f/1".into(),
+            median_ns: 12.5,
+            min_ns: 10.0,
+            max_ns: 20.0,
+            samples: 3,
+            iters_per_sample: 7,
+        };
+        let j = s.json();
+        assert!(j.contains("\"name\":\"g/f/1\""), "{j}");
+        assert!(j.contains("\"median_ns\":12.5"), "{j}");
+    }
+
+    #[test]
+    fn groups_prefix_names_and_smoke_runs() {
+        let mut c = Criterion {
+            sample_size: 1,
+            smoke_only: true,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2).bench_function("one", |_b| ran += 1);
+            g.bench_with_input(BenchmarkId::new("two", 7), &7, |_b, &x| {
+                assert_eq!(x, 7);
+                ran += 1;
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 2);
+    }
+}

@@ -1,8 +1,10 @@
 //! Property tests on the link scheduler: the invariants the MPI layer
 //! and the timing results rest on.
 
-use proptest::prelude::*;
 use vbus_sim::{NetConfig, NetSim};
+use vpce_testkit::prelude::*;
+
+const CASES: u32 = 256;
 
 /// A random message: src, dst, bytes, ready-time quantum.
 #[derive(Debug, Clone)]
@@ -13,18 +15,20 @@ struct Msg {
     ready_us: u32,
 }
 
-fn arb_msgs(n_nodes: usize) -> impl Strategy<Value = Vec<Msg>> {
-    proptest::collection::vec(
-        (0..n_nodes, 0..n_nodes, 1usize..65536, 0u32..1000).prop_map(
-            |(src, dst, bytes, ready_us)| Msg {
-                src,
-                dst,
-                bytes,
-                ready_us,
-            },
-        ),
-        1..40,
+fn arb_msgs(n_nodes: usize) -> Gen<Vec<Msg>> {
+    let msg = zip4(
+        usize_in(0, n_nodes - 1),
+        usize_in(0, n_nodes - 1),
+        usize_in(1, 65535),
+        u32_in(0, 999),
     )
+    .map(|(src, dst, bytes, ready_us)| Msg {
+        src,
+        dst,
+        bytes,
+        ready_us,
+    });
+    vec_of(msg, 1, 39)
 }
 
 fn cfgs(n: usize) -> Vec<NetConfig> {
@@ -35,111 +39,151 @@ fn cfgs(n: usize) -> Vec<NetConfig> {
     ]
 }
 
-proptest! {
-    #[test]
-    fn messages_never_finish_before_ready_plus_flight(msgs in arb_msgs(9)) {
-        for cfg in cfgs(9) {
-            let mut sim = NetSim::new(cfg.clone());
-            for m in &msgs {
-                let ready = m.ready_us as f64 * 1e-6;
-                let t = sim.p2p(m.src, m.dst, m.bytes, ready);
-                prop_assert!(t.start >= ready, "start before ready");
-                prop_assert!(t.end >= t.start, "negative duration");
-                if m.src != m.dst {
-                    let min =
-                        cfg.link.per_hop_s + cfg.link.transfer_time(m.bytes);
-                    prop_assert!(
-                        t.end - t.start >= min - 1e-15,
-                        "faster than physics: {} < {min}",
-                        t.end - t.start
-                    );
+#[test]
+fn messages_never_finish_before_ready_plus_flight() {
+    Check::new("vbus_sim::messages_never_finish_before_ready_plus_flight")
+        .cases(CASES)
+        .run(&arb_msgs(9), |msgs| {
+            for cfg in cfgs(9) {
+                let mut sim = NetSim::new(cfg.clone());
+                for m in msgs {
+                    let ready = m.ready_us as f64 * 1e-6;
+                    let t = sim.p2p(m.src, m.dst, m.bytes, ready);
+                    prop_assert!(t.start >= ready, "start before ready");
+                    prop_assert!(t.end >= t.start, "negative duration");
+                    if m.src != m.dst {
+                        let min = cfg.link.per_hop_s + cfg.link.transfer_time(m.bytes);
+                        prop_assert!(
+                            t.end - t.start >= min - 1e-15,
+                            "faster than physics: {} < {}",
+                            t.end - t.start,
+                            min
+                        );
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        });
+}
 
-    #[test]
-    fn schedule_is_deterministic(msgs in arb_msgs(4)) {
-        for cfg in cfgs(4) {
-            let run = |cfg: &NetConfig| -> Vec<f64> {
-                let mut sim = NetSim::new(cfg.clone());
-                msgs.iter()
-                    .map(|m| sim.p2p(m.src, m.dst, m.bytes, m.ready_us as f64 * 1e-6).end)
-                    .collect()
-            };
-            prop_assert_eq!(run(&cfg), run(&cfg));
-        }
-    }
-
-    #[test]
-    fn byte_accounting_is_exact(msgs in arb_msgs(6)) {
-        let mut sim = NetSim::new(NetConfig::vbus_skwp(6));
-        let mut wire = 0u64;
-        let mut loopbacks = 0u64;
-        for m in &msgs {
-            sim.p2p(m.src, m.dst, m.bytes, 0.0);
-            if m.src == m.dst {
-                loopbacks += 1;
-            } else {
-                wire += m.bytes as u64;
+#[test]
+fn schedule_is_deterministic() {
+    Check::new("vbus_sim::schedule_is_deterministic")
+        .cases(CASES)
+        .run(&arb_msgs(4), |msgs| {
+            for cfg in cfgs(4) {
+                let run = |cfg: &NetConfig| -> Vec<f64> {
+                    let mut sim = NetSim::new(cfg.clone());
+                    msgs.iter()
+                        .map(|m| sim.p2p(m.src, m.dst, m.bytes, m.ready_us as f64 * 1e-6).end)
+                        .collect()
+                };
+                prop_assert_eq!(run(&cfg), run(&cfg));
             }
-        }
-        prop_assert_eq!(sim.stats().p2p_bytes, wire);
-        prop_assert_eq!(sim.stats().loopbacks, loopbacks);
-        prop_assert_eq!(
-            sim.stats().p2p_messages as usize + sim.stats().loopbacks as usize,
-            msgs.len()
-        );
-    }
+            Ok(())
+        });
+}
 
-    #[test]
-    fn horizon_bounds_every_completion(msgs in arb_msgs(9)) {
-        let mut sim = NetSim::new(NetConfig::vbus_skwp(9));
-        let mut max_end: f64 = 0.0;
-        for m in &msgs {
-            let t = sim.p2p(m.src, m.dst, m.bytes, m.ready_us as f64 * 1e-6);
-            if m.src != m.dst {
-                // Loopbacks never touch the wire, so the horizon (a
-                // *link* property) ignores them.
-                max_end = max_end.max(t.end);
+#[test]
+fn byte_accounting_is_exact() {
+    Check::new("vbus_sim::byte_accounting_is_exact")
+        .cases(CASES)
+        .run(&arb_msgs(6), |msgs| {
+            let mut sim = NetSim::new(NetConfig::vbus_skwp(6));
+            let mut wire = 0u64;
+            let mut loopbacks = 0u64;
+            for m in msgs {
+                sim.p2p(m.src, m.dst, m.bytes, 0.0);
+                if m.src == m.dst {
+                    loopbacks += 1;
+                } else {
+                    wire += m.bytes as u64;
+                }
             }
-        }
-        prop_assert!((sim.stats().horizon - max_end).abs() < 1e-15);
-        prop_assert!(sim.quiescent_after(0.0) >= max_end - 1e-15);
-    }
+            prop_assert_eq!(sim.stats().p2p_bytes, wire);
+            prop_assert_eq!(sim.stats().loopbacks, loopbacks);
+            prop_assert_eq!(
+                sim.stats().p2p_messages as usize + sim.stats().loopbacks as usize,
+                msgs.len()
+            );
+            Ok(())
+        });
+}
 
-    #[test]
-    fn broadcast_after_quiescence_costs_the_same(
-        msgs in arb_msgs(4),
-        bytes in 1usize..65536,
-    ) {
-        // A broadcast on an idle network costs setup + transfer no
-        // matter what traffic drained earlier.
-        let mut fresh = NetSim::new(NetConfig::vbus_skwp(4));
-        let b_fresh = fresh.vbus_broadcast(0, bytes, 0.0).unwrap();
-        let mut used = NetSim::new(NetConfig::vbus_skwp(4));
-        let mut drain: f64 = 0.0;
-        for m in &msgs {
-            drain = drain.max(used.p2p(m.src, m.dst, m.bytes, 0.0).end);
-        }
-        let b_used = used.vbus_broadcast(0, bytes, drain).unwrap();
-        prop_assert!(
-            ((b_used.end - b_used.start) - (b_fresh.end - b_fresh.start)).abs() < 1e-12
-        );
-    }
+#[test]
+fn horizon_bounds_every_completion() {
+    Check::new("vbus_sim::horizon_bounds_every_completion")
+        .cases(CASES)
+        .run(&arb_msgs(9), |msgs| {
+            let mut sim = NetSim::new(NetConfig::vbus_skwp(9));
+            let mut max_end: f64 = 0.0;
+            for m in msgs {
+                let t = sim.p2p(m.src, m.dst, m.bytes, m.ready_us as f64 * 1e-6);
+                if m.src != m.dst {
+                    // Loopbacks never touch the wire, so the horizon (a
+                    // *link* property) ignores them.
+                    max_end = max_end.max(t.end);
+                }
+            }
+            prop_assert!((sim.stats().horizon - max_end).abs() < 1e-15);
+            prop_assert!(sim.quiescent_after(0.0) >= max_end - 1e-15);
+            Ok(())
+        });
+}
 
-    #[test]
-    fn contention_only_delays_never_reorders_physics(msgs in arb_msgs(4)) {
-        // Monotonicity: issuing the same message later never makes it
-        // *finish* earlier.
-        let cfg = NetConfig::vbus_skwp(4);
-        let mut a = NetSim::new(cfg.clone());
-        let mut b = NetSim::new(cfg);
-        for m in &msgs {
-            let t0 = m.ready_us as f64 * 1e-6;
-            let ea = a.p2p(m.src, m.dst, m.bytes, t0).end;
-            let eb = b.p2p(m.src, m.dst, m.bytes, t0 + 1e-3).end;
-            prop_assert!(eb >= ea - 1e-15, "later issue finished earlier");
-        }
-    }
+#[test]
+fn broadcast_after_quiescence_costs_the_same() {
+    Check::new("vbus_sim::broadcast_after_quiescence_costs_the_same")
+        .cases(CASES)
+        .run(&zip2(arb_msgs(4), usize_in(1, 65535)), |(msgs, bytes)| {
+            // A broadcast on an idle network costs setup + transfer no
+            // matter what traffic drained earlier.
+            let mut fresh = NetSim::new(NetConfig::vbus_skwp(4));
+            let b_fresh = fresh.vbus_broadcast(0, *bytes, 0.0).unwrap();
+            let mut used = NetSim::new(NetConfig::vbus_skwp(4));
+            let mut drain: f64 = 0.0;
+            for m in msgs {
+                drain = drain.max(used.p2p(m.src, m.dst, m.bytes, 0.0).end);
+            }
+            let b_used = used.vbus_broadcast(0, *bytes, drain).unwrap();
+            prop_assert!(
+                ((b_used.end - b_used.start) - (b_fresh.end - b_fresh.start)).abs() < 1e-12
+            );
+            Ok(())
+        });
+}
+
+#[test]
+fn contention_only_delays_never_reorders_physics() {
+    Check::new("vbus_sim::contention_only_delays_never_reorders_physics")
+        .cases(CASES)
+        .run(&arb_msgs(4), |msgs| {
+            // Monotonicity: issuing the same message later never makes
+            // it *finish* earlier.
+            let cfg = NetConfig::vbus_skwp(4);
+            let mut a = NetSim::new(cfg.clone());
+            let mut b = NetSim::new(cfg);
+            for m in msgs {
+                let t0 = m.ready_us as f64 * 1e-6;
+                let ea = a.p2p(m.src, m.dst, m.bytes, t0).end;
+                let eb = b.p2p(m.src, m.dst, m.bytes, t0 + 1e-3).end;
+                prop_assert!(eb >= ea - 1e-15, "later issue finished earlier");
+            }
+            Ok(())
+        });
+}
+
+/// Regression pinned from a pre-testkit `.proptest-regressions` entry:
+/// a single loopback message (src == dst) once broke the byte
+/// accounting and the horizon rule, which ignore loopbacks.
+#[test]
+fn regression_single_loopback_message() {
+    let mut sim = NetSim::new(NetConfig::vbus_skwp(6));
+    let t = sim.p2p(3, 3, 1, 1e-6);
+    assert!(t.end >= t.start && t.start >= 1e-6);
+    assert_eq!(sim.stats().p2p_bytes, 0, "loopbacks never touch the wire");
+    assert_eq!(sim.stats().loopbacks, 1);
+    assert_eq!(sim.stats().p2p_messages, 0);
+    assert_eq!(sim.stats().horizon, 0.0, "horizon is a link property");
+    assert!(sim.quiescent_after(0.0) >= 0.0);
 }

@@ -10,8 +10,8 @@
 //! scatter/collect planner, the AVPG elisions, and the runtime
 //! protocol, on shapes no hand-written test anticipates.
 
-use proptest::prelude::*;
 use vpce::{compile, BackendOptions, ClusterConfig, ExecMode, Granularity, Schedule};
+use vpce_testkit::prelude::*;
 
 /// A random statement inside a generated loop.
 #[derive(Debug, Clone)]
@@ -44,36 +44,38 @@ enum RandExpr {
 const N_ARRAYS: usize = 3;
 const N: i64 = 24; // array length and loop bound domain
 
-fn arb_expr(depth: u32) -> BoxedStrategy<RandExpr> {
+fn arb_expr(depth: u32) -> Gen<RandExpr> {
+    let leaf = one_of(vec![
+        f64_in(-4.0, 4.0).map(|v| RandExpr::Const((v * 4.0).round() / 4.0)),
+        zip3(usize_in(0, N_ARRAYS - 1), i64_in(1, 2), i64_in(0, 2))
+            .map(|(arr, c, d)| RandExpr::Read { arr, c, d }),
+    ]);
     if depth == 0 {
-        prop_oneof![
-            (-4.0f64..4.0).prop_map(|v| RandExpr::Const((v * 4.0).round() / 4.0)),
-            (0usize..N_ARRAYS, 1i64..=2, 0i64..=2).prop_map(|(arr, c, d)| RandExpr::Read {
-                arr,
-                c,
-                d
-            }),
-        ]
-        .boxed()
-    } else {
-        prop_oneof![
-            arb_expr(0),
-            (arb_expr(depth - 1), arb_expr(depth - 1))
-                .prop_map(|(a, b)| RandExpr::Add(Box::new(a), Box::new(b))),
-            (arb_expr(depth - 1), arb_expr(depth - 1))
-                .prop_map(|(a, b)| RandExpr::Mul(Box::new(a), Box::new(b))),
-        ]
-        .boxed()
+        return leaf;
     }
+    let inner = arb_expr(depth - 1);
+    one_of(vec![
+        leaf,
+        zip2(inner.clone(), inner.clone())
+            .map(|(a, b)| RandExpr::Add(Box::new(a), Box::new(b))),
+        zip2(inner.clone(), inner).map(|(a, b)| RandExpr::Mul(Box::new(a), Box::new(b))),
+    ])
 }
 
-fn arb_body_stmt() -> impl Strategy<Value = BodyStmt> {
-    prop_oneof![
-        4 => (0usize..N_ARRAYS, 1i64..=2, 0i64..=2, arb_expr(2)).prop_map(|(dst, a, b, rhs)| {
-            BodyStmt::Store { dst, a, b, rhs }
-        }),
-        1 => arb_expr(1).prop_map(|rhs| BodyStmt::Reduce { rhs }),
-    ]
+fn arb_body_stmt() -> Gen<BodyStmt> {
+    weighted(vec![
+        (
+            4,
+            zip4(
+                usize_in(0, N_ARRAYS - 1),
+                i64_in(1, 2),
+                i64_in(0, 2),
+                arb_expr(2),
+            )
+            .map(|(dst, a, b, rhs)| BodyStmt::Store { dst, a, b, rhs }),
+        ),
+        (1, arb_expr(1).map(|rhs| BodyStmt::Reduce { rhs })),
+    ])
 }
 
 /// One generated loop: bounds chosen so every subscript
@@ -85,13 +87,9 @@ struct RandLoop {
     body: Vec<BodyStmt>,
 }
 
-fn arb_loop() -> impl Strategy<Value = RandLoop> {
-    (
-        1i64..=4,
-        (N / 2)..=N,
-        proptest::collection::vec(arb_body_stmt(), 1..=3),
-    )
-        .prop_map(|(lo, hi, body)| RandLoop { lo, hi, body })
+fn arb_loop() -> Gen<RandLoop> {
+    zip3(i64_in(1, 4), i64_in(N / 2, N), vec_of(arb_body_stmt(), 1, 3))
+        .map(|(lo, hi, body)| RandLoop { lo, hi, body })
 }
 
 fn expr_src(e: &RandExpr) -> String {
@@ -148,7 +146,7 @@ fn program_src(loops: &[RandLoop]) -> String {
     s
 }
 
-fn check_program(src: &str, g: Granularity, sched: Option<Schedule>) -> Result<(), TestCaseError> {
+fn check_program(src: &str, g: Granularity, sched: Option<Schedule>) -> PropResult {
     let mut opts = BackendOptions::new(4).granularity(g);
     if let Some(s) = sched {
         opts = opts.schedule(s);
@@ -159,7 +157,7 @@ fn check_program(src: &str, g: Granularity, sched: Option<Schedule>) -> Result<(
             // The generator can produce semantically fine programs the
             // conservative front-end rejects outright only via
             // internal limits; surface those as failures.
-            return Err(TestCaseError::fail(format!("front-end error: {e}\n{src}")));
+            return Err(PropError::fail(format!("front-end error: {e}\n{src}")));
         }
     };
     let cluster = ClusterConfig::paper_4node();
@@ -179,32 +177,35 @@ fn check_program(src: &str, g: Granularity, sched: Option<Schedule>) -> Result<(
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+fn arb_granularity() -> Gen<Granularity> {
+    elem_of(vec![
+        Granularity::Fine,
+        Granularity::Middle,
+        Granularity::Coarse,
+    ])
+}
 
-    #[test]
-    fn random_programs_parallel_equals_sequential(
-        loops in proptest::collection::vec(arb_loop(), 1..=3),
-        g in prop_oneof![
-            Just(Granularity::Fine),
-            Just(Granularity::Middle),
-            Just(Granularity::Coarse)
-        ],
-    ) {
-        let src = program_src(&loops);
-        check_program(&src, g, None)?;
-    }
+#[test]
+fn random_programs_parallel_equals_sequential() {
+    Check::new("differential::random_programs_parallel_equals_sequential")
+        .cases(24)
+        .run(
+            &zip2(vec_of(arb_loop(), 1, 3), arb_granularity()),
+            |(loops, g)| {
+                let src = program_src(loops);
+                check_program(&src, *g, None)
+            },
+        );
+}
 
-    #[test]
-    fn random_programs_cyclic_schedule(
-        loops in proptest::collection::vec(arb_loop(), 1..=2),
-    ) {
-        let src = program_src(&loops);
-        check_program(&src, Granularity::Coarse, Some(Schedule::Cyclic))?;
-    }
+#[test]
+fn random_programs_cyclic_schedule() {
+    Check::new("differential::random_programs_cyclic_schedule")
+        .cases(24)
+        .run(&vec_of(arb_loop(), 1, 2), |loops| {
+            let src = program_src(loops);
+            check_program(&src, Granularity::Coarse, Some(Schedule::Cyclic))
+        });
 }
 
 #[test]
