@@ -1,7 +1,8 @@
 //! `vpcec` — the command-line front door of the environment:
 //! compile an F77-mini program and run it on the simulated V-Bus
-//! cluster. All logic lives in `vpce::cli` (unit-tested); this binary
-//! only does I/O.
+//! cluster (or statically lint its communication plan with `--lint`).
+//! All logic lives in `vpce::cli` (unit-tested); this binary only
+//! does I/O.
 
 use std::process::ExitCode;
 
@@ -26,9 +27,17 @@ fn main() -> ExitCode {
         }
     };
     match vpce::cli::run(&source, &args) {
-        Ok(report) => {
-            print!("{report}");
-            ExitCode::SUCCESS
+        Ok(out) => {
+            print!("{}", out.text);
+            if let (Some(path), Some(json)) = (&args.lint_json, &out.lint_json) {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            // Lint mode reports findings through the exit code:
+            // 0 clean, 1 warnings, 2 conflicts.
+            ExitCode::from(u8::try_from(out.exit).unwrap_or(2))
         }
         Err(e) => {
             eprintln!("compile error: {e}");

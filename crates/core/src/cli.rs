@@ -24,6 +24,9 @@ pub struct CliArgs {
     pub no_avpg: bool,
     pub prototype: bool,
     pub pull: bool,
+    pub lint: bool,
+    pub lint_json: Option<String>,
+    pub unsafe_collect: bool,
 }
 
 impl Default for CliArgs {
@@ -40,6 +43,9 @@ impl Default for CliArgs {
             no_avpg: false,
             prototype: false,
             pull: false,
+            lint: false,
+            lint_json: None,
+            unsafe_collect: false,
         }
     }
 }
@@ -61,6 +67,12 @@ USAGE: vpcec <file.f> [options]
   --no-avpg            disable the AVPG communication elimination
   --prototype          use the calibrated ~6 MB/s prototype card
   --pull               slaves GET their data instead of master PUTs
+  --lint               statically check the communication plan for RMA
+                       races and epoch-safety violations instead of
+                       executing; exit 0 clean / 1 warnings / 2 conflicts
+  --lint-json PATH     also write the lint diagnostics as JSON to PATH
+  --unsafe-collect     skip the 5.6 overlap safety check (deliberately
+                       unsound; exists to exercise the linter)
 ";
 
 /// Parse an argument vector (excluding argv[0]).
@@ -102,6 +114,11 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--no-avpg" => out.no_avpg = true,
             "--prototype" => out.prototype = true,
             "--pull" => out.pull = true,
+            "--lint" => out.lint = true,
+            "--lint-json" => {
+                out.lint_json = Some(it.next().ok_or("--lint-json needs a path")?.clone());
+            }
+            "--unsafe-collect" => out.unsafe_collect = true,
             other if !other.starts_with('-') && out.source_path.is_empty() => {
                 out.source_path = other.to_string();
             }
@@ -114,9 +131,20 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     Ok(out)
 }
 
+/// What one driver invocation produced: the report text, the process
+/// exit code (nonzero only in `--lint` mode: 1 = warnings,
+/// 2 = conflicts), and the JSON lint payload when `--lint-json` was
+/// requested (the binary writes it; this function stays I/O-free).
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    pub text: String,
+    pub exit: i32,
+    pub lint_json: Option<String>,
+}
+
 /// Execute the request against already-loaded source text. Returns the
 /// full report the binary prints.
-pub fn run(source: &str, args: &CliArgs) -> Result<String, FrontError> {
+pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
     let cluster = if args.prototype {
         ClusterConfig::prototype_n(args.nodes)
     } else {
@@ -158,6 +186,20 @@ pub fn run(source: &str, args: &CliArgs) -> Result<String, FrontError> {
         out.push_str(&crate::report::describe_backend(&compiled));
     }
 
+    // Lint mode: statically check the plan instead of executing it.
+    if args.lint {
+        let lint_opts = rmacheck::LintOptions {
+            outputs_live: opts.outputs_live,
+        };
+        let lint = rmacheck::lint(&compiled.program, &compiled.report, &lint_opts);
+        out.push_str(&lint.render_human());
+        return Ok(RunOutput {
+            text: out,
+            exit: lint.exit_code(),
+            lint_json: args.lint_json.is_some().then(|| lint.to_json()),
+        });
+    }
+
     let parallel = spmd_rt::execute(&compiled.program, &cluster, args.mode);
     let sequential =
         spmd_rt::execute_sequential(&compiled.program, &cluster.node.cpu, args.mode);
@@ -188,13 +230,18 @@ pub fn run(source: &str, args: &CliArgs) -> Result<String, FrontError> {
             "  results identical to sequential execution: {identical}"
         );
     }
-    Ok(out)
+    Ok(RunOutput {
+        text: out,
+        exit: 0,
+        lint_json: None,
+    })
 }
 
 fn base_opts(args: &CliArgs) -> BackendOptions {
     let mut o = BackendOptions::new(args.nodes)
         .avpg(!args.no_avpg)
-        .pull(args.pull);
+        .pull(args.pull)
+        .unsafe_collect(args.unsafe_collect);
     if let Some(s) = args.schedule {
         o = o.schedule(s);
     }
@@ -215,7 +262,8 @@ mod tests {
     fn parses_all_flags() {
         let a = parse_args(&argv(
             "prog.f --nodes 8 --grain coarse --schedule cyclic --analytic \
-             --param N=128 --report --advise --no-avpg --prototype --pull",
+             --param N=128 --report --advise --no-avpg --prototype --pull \
+             --lint --lint-json out.json --unsafe-collect",
         ))
         .unwrap();
         assert_eq!(a.source_path, "prog.f");
@@ -225,6 +273,8 @@ mod tests {
         assert_eq!(a.mode, ExecMode::Analytic);
         assert_eq!(a.params, vec![("N".to_string(), 128)]);
         assert!(a.show_report && a.advise && a.no_avpg && a.prototype && a.pull);
+        assert!(a.lint && a.unsafe_collect);
+        assert_eq!(a.lint_json.as_deref(), Some("out.json"));
     }
 
     #[test]
@@ -233,14 +283,26 @@ mod tests {
         assert!(parse_args(&argv("prog.f --bogus")).is_err());
         assert!(parse_args(&argv("")).is_err());
         assert!(parse_args(&argv("prog.f --param N")).is_err());
+        assert!(parse_args(&argv("prog.f --lint-json")).is_err());
+    }
+
+    #[test]
+    fn lint_flags_default_off() {
+        let a = parse_args(&argv("prog.f")).unwrap();
+        assert!(!a.lint && !a.unsafe_collect);
+        assert!(a.lint_json.is_none());
     }
 
     #[test]
     fn runs_and_reports_identical_results() {
         let args = parse_args(&argv("x.f --nodes 4")).unwrap();
         let out = run(SRC, &args).unwrap();
-        assert!(out.contains("speedup"), "{out}");
-        assert!(out.contains("results identical to sequential execution: true"));
+        assert!(out.text.contains("speedup"), "{}", out.text);
+        assert!(out
+            .text
+            .contains("results identical to sequential execution: true"));
+        assert_eq!(out.exit, 0);
+        assert!(out.lint_json.is_none());
     }
 
     #[test]
@@ -248,16 +310,48 @@ mod tests {
         let mut args = parse_args(&argv("x.f --advise")).unwrap();
         args.params.push(("N".into(), 64));
         let out = run(SRC, &args).unwrap();
-        assert!(out.contains("granularity advisor:"), "{out}");
-        assert!(out.contains("picked:"), "{out}");
+        assert!(out.text.contains("granularity advisor:"), "{}", out.text);
+        assert!(out.text.contains("picked:"), "{}", out.text);
     }
 
     #[test]
     fn report_path_prints_compiler_listing() {
         let args = parse_args(&argv("x.f --report --grain fine")).unwrap();
         let out = run(SRC, &args).unwrap();
-        assert!(out.contains("PARALLEL DO"), "{out}");
-        assert!(out.contains("AVPG"), "{out}");
+        assert!(out.text.contains("PARALLEL DO"), "{}", out.text);
+        assert!(out.text.contains("AVPG"), "{}", out.text);
+    }
+
+    #[test]
+    fn lint_mode_on_clean_source_exits_zero() {
+        let args = parse_args(&argv("x.f --lint --grain fine --lint-json o.json")).unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert_eq!(out.exit, 0, "{}", out.text);
+        assert!(out.text.contains("clean"), "{}", out.text);
+        let json = out.lint_json.expect("--lint-json requested");
+        assert!(json.contains("\"exit\": 0"), "{json}");
+        // Lint mode does not execute the program.
+        assert!(!out.text.contains("speedup"));
+    }
+
+    #[test]
+    fn lint_mode_flags_unsafe_collect_races() {
+        // Cyclic schedule + coarse grain interleaves every rank's
+        // writes, so the bounding collect regions all overlap; with
+        // the 5.6 safety check disabled the plan races and the lint
+        // must refuse it with the stable PUT/PUT code.
+        let args = parse_args(&argv(
+            "x.f --lint --grain coarse --schedule cyclic --unsafe-collect",
+        ))
+        .unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert_eq!(out.exit, 2, "{}", out.text);
+        assert!(out.text.contains("VPCE001"), "{}", out.text);
+        // The same plan with the safety check active is conflict-free
+        // (collection falls back to fine grain).
+        let safe = parse_args(&argv("x.f --lint --grain coarse --schedule cyclic")).unwrap();
+        let out = run(SRC, &safe).unwrap();
+        assert_eq!(out.exit, 0, "{}", out.text);
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub use lmad::Granularity;
 pub use mpi2::{Mpi, RunOutcome, Universe};
 pub use polaris_be::{compile_backend, Avpg, BackendOptions, CompiledProgram, NodeAttr};
 pub use polaris_fe::{compile as compile_frontend, FrontError};
+pub use rmacheck::{lint, LintOptions, LintReport};
 pub use spmd_rt::{execute, execute_sequential, ExecMode, RunReport, Schedule, SeqReport, SpmdProgram};
 pub use vbus_sim::{NetConfig, NetSim};
 

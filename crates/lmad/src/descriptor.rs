@@ -28,8 +28,14 @@ impl Dim {
     }
 
     /// The paper's *span*: `offset(last) - offset(first)`.
+    ///
+    /// Saturates at the `i64` range instead of wrapping: a saturated
+    /// span only ever *widens* the extent, which keeps every
+    /// conservative consumer (extent tests, `may_overlap`) sound in
+    /// the over-approximating direction.
     pub fn span(&self) -> i64 {
-        self.stride * (self.count as i64 - 1)
+        let steps = i64::try_from(self.count - 1).unwrap_or(i64::MAX);
+        self.stride.saturating_mul(steps)
     }
 
     /// True when this dimension walks consecutive elements.
@@ -107,9 +113,13 @@ impl Lmad {
     }
 
     /// Number of accesses described (with multiplicity — aliasing
-    /// dimensions may revisit an element).
+    /// dimensions may revisit an element). Saturates at `u64::MAX`;
+    /// a saturated count only makes enumeration limits trip earlier,
+    /// which is the conservative direction.
     pub fn num_accesses(&self) -> u64 {
-        self.dims.iter().map(|d| d.count).product()
+        self.dims
+            .iter()
+            .fold(1u64, |acc, d| acc.saturating_mul(d.count))
     }
 
     /// Number of *distinct* elements touched, or `None` when it cannot
@@ -117,24 +127,30 @@ impl Lmad {
     /// too large to enumerate within `limit`).
     pub fn distinct_elements_exact(&self, limit: u64) -> Option<u64> {
         let n = self.normalized();
-        // Fast path: each dimension's stride jumps past the combined
-        // extent of all inner dimensions, so digits are unique.
-        let mut inner_span: i64 = 0;
-        let mut non_aliasing = true;
-        for d in &n.dims {
-            if d.stride <= inner_span {
-                non_aliasing = false;
-                break;
-            }
-            inner_span += d.span();
-        }
-        if non_aliasing {
+        if n.is_non_aliasing() {
             return Some(n.num_accesses());
         }
         n.offsets(limit).map(|mut offs| {
             offs.dedup();
             offs.len() as u64
         })
+    }
+
+    /// True when (on the *normalised* form) each dimension's stride
+    /// jumps past the combined extent of all inner dimensions, so the
+    /// digit decomposition of an offset is unique: every access hits a
+    /// distinct element and [`Lmad::contains`] is exact.
+    ///
+    /// Callers must pass a normalised LMAD (sorted positive strides).
+    fn is_non_aliasing(&self) -> bool {
+        let mut inner_span: i64 = 0;
+        for d in &self.dims {
+            if d.stride <= inner_span {
+                return false;
+            }
+            inner_span = inner_span.saturating_add(d.span());
+        }
+        true
     }
 
     /// Number of *distinct* elements touched. Exact when
@@ -164,31 +180,35 @@ impl Lmad {
     }
 
     /// Lowest and highest element offset touched (inclusive).
+    /// Saturates at the `i64` range (widening only — conservative).
     pub fn extent(&self) -> (i64, i64) {
         let mut lo = self.base;
         let mut hi = self.base;
         for d in &self.dims {
             let s = d.span();
             if s >= 0 {
-                hi += s;
+                hi = hi.saturating_add(s);
             } else {
-                lo += s;
+                lo = lo.saturating_add(s);
             }
         }
         (lo, hi)
     }
 
-    /// Number of elements in the bounding contiguous region.
+    /// Number of elements in the bounding contiguous region
+    /// (saturating — an extent spanning most of the `i64` range
+    /// reports `u64::MAX` rather than wrapping).
     pub fn bounding_len(&self) -> u64 {
         let (lo, hi) = self.extent();
-        (hi - lo + 1) as u64
+        let len = hi as i128 - lo as i128 + 1;
+        u64::try_from(len).unwrap_or(u64::MAX)
     }
 
     /// The bounding contiguous LMAD — §5.6's "approximate region" at
     /// its coarsest.
     pub fn bounding_contiguous(&self) -> Lmad {
-        let (lo, hi) = self.extent();
-        Lmad::contiguous(lo, (hi - lo + 1) as u64)
+        let (lo, _) = self.extent();
+        Lmad::contiguous(lo, self.bounding_len())
     }
 
     /// Normalise: drop degenerate dimensions, flip negative strides
@@ -207,7 +227,7 @@ impl Lmad {
             }
             if d.stride < 0 {
                 // Walk the dimension backwards: same offsets.
-                base += d.span();
+                base = base.saturating_add(d.span());
                 dims.push(Dim::new(-d.stride, d.count));
             } else {
                 dims.push(*d);
@@ -217,9 +237,15 @@ impl Lmad {
         // Coalesce inner->outer while profitable.
         let mut out: Vec<Dim> = Vec::with_capacity(dims.len());
         for d in dims {
+            let coalesces = out.last().is_some_and(|prev| {
+                i64::try_from(prev.count)
+                    .ok()
+                    .and_then(|c| prev.stride.checked_mul(c))
+                    == Some(d.stride)
+            });
             match out.last_mut() {
-                Some(prev) if d.stride == prev.stride * prev.count as i64 => {
-                    prev.count *= d.count;
+                Some(prev) if coalesces => {
+                    prev.count = prev.count.saturating_mul(d.count);
                 }
                 _ => out.push(d),
             }
@@ -235,8 +261,8 @@ impl Lmad {
 
     /// Enumerate every touched offset (with multiplicity), smallest
     /// dimension varying fastest. Returns `None` when the access count
-    /// exceeds `limit` — callers must then fall back to conservative
-    /// reasoning.
+    /// exceeds `limit` — or when an offset would overflow `i64` —
+    /// callers must then fall back to conservative reasoning.
     pub fn offsets(&self, limit: u64) -> Option<Vec<i64>> {
         if self.num_accesses() > limit {
             return None;
@@ -245,8 +271,9 @@ impl Lmad {
         for d in &self.dims {
             let mut next = Vec::with_capacity(out.len() * d.count as usize);
             for i in 0..d.count as i64 {
+                let step = i.checked_mul(d.stride)?;
                 for &o in &out {
-                    next.push(o + i * d.stride);
+                    next.push(o.checked_add(step)?);
                 }
             }
             out = next;
@@ -265,20 +292,25 @@ impl Lmad {
         if offset < lo || offset > hi {
             return false;
         }
-        // Greedy digit decomposition from the largest stride down.
-        fn rec(dims: &[Dim], rem: i64) -> bool {
+        // Greedy digit decomposition from the largest stride down
+        // (i128 internally so adversarially large strides/counts
+        // cannot overflow the intermediate arithmetic).
+        fn rec(dims: &[Dim], rem: i128) -> bool {
+            if rem < 0 {
+                return false;
+            }
             match dims.split_last() {
                 None => rem == 0,
                 Some((d, rest)) => {
-                    // Try every feasible digit (usually ≤ 2 candidates
-                    // after the bound check below).
-                    let inner_span: i64 = rest.iter().map(|x| x.span()).sum();
-                    for i in 0..d.count as i64 {
-                        let r = rem - i * d.stride;
-                        if r < 0 {
-                            break;
-                        }
-                        if r <= inner_span && rec(rest, r) {
+                    // Only digits leaving a remainder inside the inner
+                    // dims' span are feasible (usually ≤ 2 candidates).
+                    let inner_span: i128 =
+                        rest.iter().map(|x| x.span() as i128).sum();
+                    let s = d.stride as i128; // > 0 after normalisation
+                    let hi = (rem / s).min(d.count as i128 - 1);
+                    let lo = ((rem - inner_span).max(0) + s - 1) / s;
+                    for i in lo..=hi {
+                        if rec(rest, rem - i * s) {
                             return true;
                         }
                     }
@@ -286,11 +318,17 @@ impl Lmad {
                 }
             }
         }
-        rec(&n.dims, offset - n.base)
+        rec(&n.dims, offset as i128 - n.base as i128)
     }
 
-    /// Conservative overlap: do the bounding extents intersect? Never
-    /// returns `false` when a true overlap exists.
+    /// Conservative overlap: do the bounding extents intersect?
+    ///
+    /// **Soundness direction: over-approximates.** May report `true`
+    /// for a pair of disjoint accesses (the interval/gcd abstraction
+    /// loses precision), but never reports `false` when a true overlap
+    /// exists. Race-checking consumers (`vpce-rmacheck`) rely on this:
+    /// a spurious `true` yields a false alarm, a spurious `false`
+    /// would hide a race.
     pub fn may_overlap(&self, other: &Lmad) -> bool {
         let (alo, ahi) = self.extent();
         let (blo, bhi) = other.extent();
@@ -303,35 +341,87 @@ impl Lmad {
         let a = self.normalized();
         let b = other.normalized();
         if a.dims.len() == 1 && b.dims.len() == 1 {
-            let g = gcd(a.dims[0].stride.unsigned_abs(), b.dims[0].stride.unsigned_abs());
-            if g > 0 && (a.base - b.base).unsigned_abs() % g != 0 {
+            let g = gcd(
+                a.dims[0].stride.unsigned_abs(),
+                b.dims[0].stride.unsigned_abs(),
+            );
+            let diff = (a.base as i128 - b.base as i128).unsigned_abs();
+            if g > 0 && diff % g as u128 != 0 {
                 return false;
             }
         }
         true
     }
 
-    /// Exact overlap via enumeration; `None` if either side exceeds
-    /// `limit` accesses (fall back to [`Lmad::may_overlap`]).
+    /// Exact overlap decision; `None` only when undecidable within
+    /// `limit` enumerated accesses. A `Some(_)` answer is *exact* —
+    /// never an approximation in either direction.
+    ///
+    /// Decision ladder, cheapest first:
+    /// 1. disjoint bounding extents — exact `false`;
+    /// 2. both sides (normalised) at most one dimension — closed-form
+    ///    arithmetic-progression intersection, exact at any size;
+    /// 3. one side enumerable within `limit` and the other
+    ///    non-aliasing — membership test of each enumerated offset via
+    ///    the exact digit decomposition of [`Lmad::contains`];
+    /// 4. both sides enumerable — sorted-merge scan.
     pub fn overlaps_exact(&self, other: &Lmad, limit: u64) -> Option<bool> {
-        let a = self.offsets(limit)?;
-        let b = other.offsets(limit)?;
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => return Some(true),
-            }
+        let a = self.normalized();
+        let b = other.normalized();
+        let (alo, ahi) = a.extent();
+        let (blo, bhi) = b.extent();
+        if ahi < blo || bhi < alo {
+            return Some(false);
         }
-        Some(false)
+        if a.dims.len() <= 1 && b.dims.len() <= 1 {
+            let (s1, c1) = a
+                .dims
+                .first()
+                .map_or((1, 1), |d| (d.stride, d.count));
+            let (s2, c2) = b
+                .dims
+                .first()
+                .map_or((1, 1), |d| (d.stride, d.count));
+            return Some(
+                progressions_intersect(a.base, s1, c1, b.base, s2, c2),
+            );
+        }
+        match (a.offsets(limit), b.offsets(limit)) {
+            (Some(ao), Some(bo)) => {
+                let (mut i, mut j) = (0, 0);
+                while i < ao.len() && j < bo.len() {
+                    match ao[i].cmp(&bo[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => return Some(true),
+                    }
+                }
+                Some(false)
+            }
+            (Some(ao), None) if b.is_non_aliasing() => {
+                Some(ao.iter().any(|&o| b.contains(o)))
+            }
+            (None, Some(bo)) if a.is_non_aliasing() => {
+                Some(bo.iter().any(|&o| a.contains(o)))
+            }
+            _ => None,
+        }
     }
 
-    /// Best-effort overlap: exact when enumerable, conservative
-    /// otherwise.
+    /// Best-effort overlap: the [`Lmad::overlaps_exact`] answer
+    /// whenever one exists (it is exact and is always honoured),
+    /// falling back to [`Lmad::may_overlap`] only when exact
+    /// reasoning is infeasible.
+    ///
+    /// **Soundness direction: over-approximates.** Inherits exactness
+    /// from `overlaps_exact` where decidable and conservatism from
+    /// `may_overlap` elsewhere — it may report `true` for disjoint
+    /// accesses but never `false` for overlapping ones.
     pub fn overlaps(&self, other: &Lmad) -> bool {
-        self.overlaps_exact(other, 4096)
-            .unwrap_or_else(|| self.may_overlap(other))
+        match self.overlaps_exact(other, 4096) {
+            Some(exact) => exact,
+            None => self.may_overlap(other),
+        }
     }
 
     /// True when every offset of `other` is an offset of `self`
@@ -409,6 +499,72 @@ fn gcd(a: u64, b: u64) -> u64 {
     } else {
         gcd(b, a % b)
     }
+}
+
+/// Floor division on i128 (Rust `/` truncates toward zero).
+fn div_floor(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division on i128.
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g` and
+/// `g == gcd(a, b)` for `a, b >= 0`.
+fn ext_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = ext_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Exact intersection test of two arithmetic progressions
+/// `{o1 + i*s1 : 0 <= i < c1}` and `{o2 + j*s2 : 0 <= j < c2}` with
+/// positive strides, in closed form (no enumeration): solve the
+/// linear Diophantine equation `i*s1 - j*s2 = o2 - o1` and check the
+/// solution family against both index ranges.
+///
+/// Exact at any size — this is what lets [`Lmad::overlaps_exact`]
+/// decide same- or mixed-stride descriptor pairs far beyond the
+/// enumeration limit.
+fn progressions_intersect(o1: i64, s1: i64, c1: u64, o2: i64, s2: i64, c2: u64) -> bool {
+    debug_assert!(s1 > 0 && s2 > 0, "normalised strides are positive");
+    let (s1, s2) = (s1 as i128, s2 as i128);
+    let d = o2 as i128 - o1 as i128;
+    let (g, x, _) = ext_gcd(s1, s2);
+    if d % g != 0 {
+        return false;
+    }
+    // Particular solution of i*s1 ≡ d (mod s2): scale Bézout's x,
+    // reduced modulo the solution period so later products stay well
+    // inside i128.
+    let step_i = s2 / g;
+    let i0 = (x.rem_euclid(step_i) * (d / g).rem_euclid(step_i)).rem_euclid(step_i);
+    // Constrain 0 <= i <= c1-1.
+    let mut t_lo = div_ceil(-i0, step_i);
+    let mut t_hi = div_floor(c1 as i128 - 1 - i0, step_i);
+    // Constrain 0 <= j <= c2-1, where j = (i0 + t*step_i)*s1/s2 - d/s2
+    // = (i0*s1 - d)/s2 + t*(s1/g).
+    let j0_num = i0 * s1 - d; // divisible by s2 by construction
+    let j0 = j0_num / s2;
+    let step_j = s1 / g;
+    t_lo = t_lo.max(div_ceil(-j0, step_j));
+    t_hi = t_hi.min(div_floor(c2 as i128 - 1 - j0, step_j));
+    t_lo <= t_hi
 }
 
 #[cfg(test)]
@@ -588,5 +744,72 @@ mod tests {
     #[should_panic(expected = "at least one access")]
     fn zero_count_dim_rejected() {
         Dim::new(1, 0);
+    }
+
+    #[test]
+    fn exact_overlap_decides_huge_one_dim_pairs() {
+        // Far beyond any enumeration limit: 10^12 accesses each.
+        let evens = Lmad::strided(0, 2, 1_000_000_000_000);
+        let odds = Lmad::strided(1, 2, 1_000_000_000_000);
+        assert_eq!(evens.overlaps_exact(&odds, 16), Some(false));
+        assert!(!evens.overlaps(&odds));
+        let shifted = Lmad::strided(6, 2, 1_000_000_000_000);
+        assert_eq!(evens.overlaps_exact(&shifted, 16), Some(true));
+        assert!(evens.overlaps(&shifted));
+    }
+
+    #[test]
+    fn exact_overlap_mixed_strides_closed_form() {
+        // stride 6 from 0 vs stride 10 from 3: 6i = 10j + 3 has no
+        // solution (parity), so disjoint at any length.
+        let a = Lmad::strided(0, 6, u64::MAX / 8);
+        let b = Lmad::strided(3, 10, u64::MAX / 16);
+        assert_eq!(a.overlaps_exact(&b, 16), Some(false));
+        // stride 6 from 0 vs stride 10 from 2: 6*2 = 10*1 + 2 → meet
+        // at offset 12.
+        let c = Lmad::strided(2, 10, 1 << 40);
+        assert_eq!(a.overlaps_exact(&c, 16), Some(true));
+    }
+
+    #[test]
+    fn exact_overlap_one_sided_membership() {
+        // Small multi-dim side vs a non-aliasing side too big to
+        // enumerate: decided by membership, not given up on.
+        let small = Lmad::new(0, vec![Dim::new(2, 3), Dim::new(100, 2)]);
+        let big = Lmad::new(1, vec![Dim::new(2, 50), Dim::new(1000, 1 << 40)]);
+        // big touches odd offsets in [1, 99] (mod 1000 blocks);
+        // small touches {0,2,4,100,102,104} — all even → disjoint.
+        assert_eq!(small.overlaps_exact(&big, 64), Some(false));
+        let big_even = Lmad::new(0, vec![Dim::new(2, 50), Dim::new(1000, 1 << 40)]);
+        assert_eq!(small.overlaps_exact(&big_even, 64), Some(true));
+    }
+
+    #[test]
+    fn overlaps_honours_exact_answer_over_interval_fallback() {
+        // Bounding extents intersect and gcd can't help (multi-dim),
+        // but the exact path proves disjointness — overlaps() must
+        // return the exact answer, not the conservative one.
+        let a = Lmad::new(0, vec![Dim::new(2, 3), Dim::new(12, 2)]);
+        let b = Lmad::strided(1, 16, 2);
+        assert!(a.may_overlap(&b), "interval abstraction can't refute");
+        assert!(!a.overlaps(&b), "exact answer must win");
+    }
+
+    #[test]
+    fn saturating_extents_do_not_wrap() {
+        let huge = Lmad::strided(i64::MAX - 10, 4, u64::MAX / 2);
+        let (lo, hi) = huge.extent();
+        assert_eq!(lo, i64::MAX - 10);
+        assert_eq!(hi, i64::MAX, "saturates instead of wrapping");
+        assert!(huge.bounding_len() >= 11);
+        assert!(huge.may_overlap(&huge), "self-overlap stays true");
+        let far = Lmad::contiguous(i64::MIN, 100);
+        assert!(!huge.may_overlap(&far));
+    }
+
+    #[test]
+    fn offsets_refuses_overflowing_enumeration() {
+        let l = Lmad::strided(i64::MAX - 2, 3, 4);
+        assert!(l.offsets(100).is_none(), "would overflow i64");
     }
 }

@@ -1,0 +1,147 @@
+//! Boundary-case property tests for the LMAD intersection algebra:
+//! touching-but-disjoint strided regions, degenerate (no-movement)
+//! dimensions, and offsets near the integer limits where naive
+//! arithmetic would overflow. Seeds are pinned in
+//! `testkit-regressions/` so known-hard cases replay first.
+
+use lmad::{Dim, Lmad};
+use vpce_testkit::prelude::*;
+
+const LIMIT: u64 = 1 << 14;
+const CASES: u32 = 256;
+
+/// Enumerated intersection truth for enumerable descriptors.
+fn truth_overlap(a: &Lmad, b: &Lmad) -> bool {
+    let sa = a.offsets(LIMIT).expect("enumerable by construction");
+    let sb = b.offsets(LIMIT).expect("enumerable by construction");
+    sa.iter().any(|o| sb.binary_search(o).is_ok())
+}
+
+/// A strided region that *touches* `a`'s last element +1 (adjacent,
+/// disjoint) must be refuted exactly; starting one element earlier
+/// (on the last element) must be detected.
+#[test]
+fn touching_strided_regions_are_disjoint() {
+    let g = zip4(i64_in(-100, 100), i64_in(1, 16), u64_in(1, 64), u64_in(1, 64));
+    Check::new("lmad::touching_strided_regions_are_disjoint")
+        .cases(CASES)
+        .run(&g, |&(base, stride, c1, c2)| {
+            let a = Lmad::strided(base, stride, c1);
+            let last = base + stride * (c1 as i64 - 1);
+            let adjacent = Lmad::strided(last + 1, stride, c2);
+            prop_assert_eq!(a.overlaps_exact(&adjacent, LIMIT), Some(false));
+            prop_assert!(!a.overlaps(&adjacent), "touching is not overlapping");
+            let on_last = Lmad::strided(last, stride, c2);
+            prop_assert_eq!(a.overlaps_exact(&on_last, LIMIT), Some(true));
+            prop_assert!(a.overlaps(&on_last));
+            Ok(())
+        });
+}
+
+/// Two interleaved combs (same even stride, bases offset by half a
+/// stride) never meet: `2s*i == s + 2s*j` has no integer solution.
+/// The closed-form progression intersection must prove it at any
+/// count, including counts far beyond enumeration.
+#[test]
+fn interleaved_combs_never_meet() {
+    let g = zip3(i64_in(-1000, 1000), i64_in(1, 32), u64_in(1, 1 << 40));
+    Check::new("lmad::interleaved_combs_never_meet")
+        .cases(CASES)
+        .run(&g, |&(base, s, count)| {
+            let a = Lmad::strided(base, 2 * s, count);
+            let b = Lmad::strided(base + s, 2 * s, count);
+            prop_assert_eq!(a.overlaps_exact(&b, 16), Some(false));
+            prop_assert!(!a.overlaps(&b));
+            Ok(())
+        });
+}
+
+/// Degenerate dimensions (count 1, or stride 0 — "zero-length"
+/// movement) contribute nothing: inserting them anywhere must not
+/// change any overlap verdict or containment.
+#[test]
+fn degenerate_dims_do_not_change_verdicts() {
+    let dim = zip2(i64_in(1, 12), u64_in(2, 6)).map(|(s, c)| Dim::new(s, c));
+    let degenerate = one_of(vec![
+        i64_in(-20, 20).map(|s| Dim::new(s, 1)),
+        u64_in(1, 6).map(|c| Dim::new(0, c)),
+    ]);
+    let g = zip4(
+        zip2(i64_in(0, 40), vec_of(dim.clone(), 0, 2)),
+        degenerate,
+        usize_in(0, 2),
+        zip2(i64_in(0, 40), vec_of(dim, 0, 2)),
+    );
+    Check::new("lmad::degenerate_dims_do_not_change_verdicts")
+        .cases(CASES)
+        .run(&g, |((base, dims), deg, pos, (b2, d2))| {
+            let plain = Lmad::new(*base, dims.clone());
+            let mut padded_dims = dims.clone();
+            padded_dims.insert((*pos).min(dims.len()), *deg);
+            let padded = Lmad::new(*base, padded_dims);
+            let other = Lmad::new(*b2, d2.clone());
+            prop_assert_eq!(
+                plain.overlaps_exact(&other, LIMIT),
+                padded.overlaps_exact(&other, LIMIT)
+            );
+            prop_assert_eq!(plain.overlaps(&other), padded.overlaps(&other));
+            let (lo, hi) = plain.extent();
+            for o in lo..=hi {
+                prop_assert_eq!(plain.contains(o), padded.contains(o));
+            }
+            Ok(())
+        });
+}
+
+/// Offsets near the i64 limits with huge counts: every operation must
+/// stay panic-free (saturating, never wrapping) and keep the
+/// conservative soundness direction — a descriptor always overlaps
+/// itself, and an exact `Some(true)` is never contradicted by
+/// `may_overlap`.
+#[test]
+fn extreme_offsets_never_panic_and_stay_sound() {
+    let base = one_of(vec![
+        i64_in(i64::MAX - (1 << 20), i64::MAX),
+        i64_in(i64::MIN, i64::MIN + (1 << 20)),
+        i64_in(-1000, 1000),
+    ]);
+    let dim = zip2(i64_in(1, 1 << 32), u64_in(1, u64::MAX >> 16))
+        .map(|(s, c)| Dim::new(s, c));
+    let g = zip2(
+        zip2(base.clone(), vec_of(dim.clone(), 0, 3)),
+        zip2(base, vec_of(dim, 0, 3)),
+    );
+    Check::new("lmad::extreme_offsets_never_panic_and_stay_sound")
+        .cases(CASES)
+        .run(&g, |((b1, d1), (b2, d2))| {
+            let a = Lmad::new(*b1, d1.clone());
+            let b = Lmad::new(*b2, d2.clone());
+            let (lo, hi) = a.extent();
+            prop_assert!(lo <= hi);
+            let _ = a.bounding_len();
+            let _ = a.normalized();
+            prop_assert!(a.may_overlap(&a), "self-overlap is never refuted");
+            prop_assert!(a.overlaps(&a));
+            if a.overlaps_exact(&b, 256) == Some(true) {
+                prop_assert!(a.may_overlap(&b), "interval must over-approximate");
+                prop_assert!(a.overlaps(&b), "exact true must be honoured");
+            }
+            Ok(())
+        });
+}
+
+/// Differential check of the closed-form progression intersection
+/// against brute-force enumeration on small one-dimensional pairs.
+#[test]
+fn closed_form_matches_enumeration_on_strided_pairs() {
+    let side = zip3(i64_in(-64, 64), i64_in(1, 24), u64_in(1, 48))
+        .map(|(b, s, c)| Lmad::strided(b, s, c));
+    Check::new("lmad::closed_form_matches_enumeration_on_strided_pairs")
+        .cases(512)
+        .run(&zip2(side.clone(), side), |(a, b)| {
+            // limit 1 forbids enumeration inside overlaps_exact: for
+            // one-dim pairs the answer must come from closed form.
+            prop_assert_eq!(a.overlaps_exact(b, 1), Some(truth_overlap(a, b)));
+            Ok(())
+        });
+}

@@ -39,6 +39,7 @@
 //! exception (documented on [`Mpi::win_lock`]).
 
 mod collective;
+pub mod conflict;
 mod p2p;
 pub mod sync;
 mod rma;
@@ -48,6 +49,7 @@ mod window;
 
 pub mod coll;
 
+pub use conflict::{AccessSet, ConflictKind, ConflictRecord};
 pub use rma::AccumulateOp;
 pub use stats::RankStats;
 pub use universe::{Mpi, RunOutcome, Universe};

@@ -9,6 +9,7 @@ use crate::sync::{ArcMutexGuard, Mutex};
 use vbus_sim::{NetSim, NetStats};
 
 use crate::collective::Collective;
+use crate::conflict::{self, ConflictRecord};
 use crate::p2p::Mailboxes;
 use crate::rma::{AccumulateOp, PendingRma, RmaKind};
 use crate::stats::RankStats;
@@ -23,6 +24,9 @@ pub(crate) struct Shared {
     pub pending: Mutex<Vec<PendingRma>>,
     pub coll: Collective,
     pub mail: Mailboxes,
+    /// Dynamic epoch-conflict ledger: undefined-outcome RMA pairs
+    /// detected at closing fences (see [`crate::conflict`]).
+    pub conflicts: Mutex<Vec<ConflictRecord>>,
 }
 
 impl Shared {
@@ -57,6 +61,10 @@ pub struct RunOutcome<R> {
     pub rank_stats: Vec<RankStats>,
     /// Aggregate network counters.
     pub net: NetStats,
+    /// Undefined-outcome RMA pairs recorded by the dynamic
+    /// epoch-conflict ledger across the whole run. Empty for a
+    /// well-synchronised program.
+    pub rma_conflicts: Vec<ConflictRecord>,
 }
 
 impl<R> RunOutcome<R> {
@@ -126,6 +134,7 @@ impl Universe {
             pending: Mutex::new(Vec::new()),
             coll: Collective::new(n),
             mail: Mailboxes::new(n),
+            conflicts: Mutex::new(Vec::new()),
         });
         let mut results: Vec<Option<(R, f64, RankStats)>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -182,11 +191,13 @@ impl Universe {
             rank_stats.push(s);
         }
         let net = shared.net.lock().stats().clone();
+        let rma_conflicts = std::mem::take(&mut *shared.conflicts.lock());
         RunOutcome {
             results: out_results,
             clocks,
             rank_stats,
             net,
+            rma_conflicts,
         }
     }
 }
@@ -472,6 +483,12 @@ impl Mpi {
                 }
             };
             ops.sort_by_key(PendingRma::sort_key);
+            // The drained batch is exactly one access epoch per fenced
+            // window: scan it for undefined-outcome pairs.
+            let found = conflict::scan_epoch(&ops);
+            if !found.is_empty() {
+                shared.conflicts.lock().extend(found);
+            }
             let mut net = shared.net.lock();
             let table = shared.table.lock();
             let mut latest = clocks.iter().cloned().fold(0.0, f64::max);
@@ -722,6 +739,47 @@ mod tests {
         let c0 = out.results[0];
         assert!(out.results.iter().all(|&c| (c - c0).abs() < 1e-12));
         assert!(c0 > 0.75, "barrier exit must dominate the slowest rank");
+    }
+
+    #[test]
+    fn ledger_flags_racing_puts_and_clears_on_clean_epochs() {
+        let out = uni(3).run(|mpi| {
+            let w = mpi.win_create(8);
+            // Epoch 1: disjoint PUTs into rank 0 — clean.
+            if mpi.rank() > 0 {
+                let off = (mpi.rank() - 1) * 4;
+                mpi.put(&w, 0, off, vec![1.0; 4]);
+            }
+            mpi.fence_all();
+            // Epoch 2: both slaves PUT the same elements — race.
+            if mpi.rank() > 0 {
+                mpi.put(&w, 0, 2, vec![2.0; 3]);
+            }
+            mpi.fence_all();
+        });
+        assert_eq!(out.rma_conflicts.len(), 1);
+        let c = &out.rma_conflicts[0];
+        assert_eq!(c.kind, crate::conflict::ConflictKind::WriteWrite);
+        assert_eq!(c.win, 0);
+        assert_eq!(c.shard, 0);
+        assert!(!c.same_origin);
+    }
+
+    #[test]
+    fn ledger_stays_empty_for_fenced_sequences() {
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(4);
+            if mpi.rank() == 1 {
+                mpi.put(&w, 0, 0, vec![1.0; 4]);
+            }
+            mpi.fence_all();
+            // Same region again, but in a new epoch: ordered, legal.
+            if mpi.rank() == 1 {
+                mpi.put(&w, 0, 0, vec![2.0; 4]);
+            }
+            mpi.fence_all();
+        });
+        assert!(out.rma_conflicts.is_empty());
     }
 
     #[test]

@@ -36,7 +36,7 @@ use spmd_rt::{Block, Schedule, SpmdProgram};
 
 pub use advisor::{advise, CostParams, GranularityAdvice};
 pub use avpg::{Avpg, NodeAttr};
-pub use plan::{ElisionReport, PlanReport};
+pub use plan::{ElisionReport, PlanReport, PlanStep, RegionPlanInfo};
 
 /// Backend configuration.
 #[derive(Debug, Clone)]
@@ -67,6 +67,13 @@ pub struct BackendOptions {
     /// *times* may vary slightly across runs in this mode (values
     /// stay correct; exact for integer/dyadic data).
     pub lock_reductions: bool,
+    /// **Deliberately unsound**: skip the §5.6 overlap safety check
+    /// that forces fine-grain collection when slaves' approximate
+    /// collect regions collide. Overlapping middle/coarse collects are
+    /// then emitted as-is, producing PUT/PUT races inside the collect
+    /// epoch. Exists to manufacture racy plans for `vpce-rmacheck`
+    /// validation (`vpcec --unsafe-collect`); never enable otherwise.
+    pub unsafe_approx_collect: bool,
 }
 
 impl BackendOptions {
@@ -80,6 +87,7 @@ impl BackendOptions {
             schedule_override: None,
             pull_scatter: false,
             lock_reductions: false,
+            unsafe_approx_collect: false,
         }
     }
 
@@ -110,6 +118,13 @@ impl BackendOptions {
     /// Builder-style lock-reduction toggle.
     pub fn lock_reductions(mut self, on: bool) -> Self {
         self.lock_reductions = on;
+        self
+    }
+
+    /// Builder-style toggle for the deliberately unsound approximate
+    /// collection (see [`BackendOptions::unsafe_approx_collect`]).
+    pub fn unsafe_collect(mut self, on: bool) -> Self {
+        self.unsafe_approx_collect = on;
         self
     }
 }

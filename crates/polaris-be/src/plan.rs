@@ -33,6 +33,28 @@ pub struct RegionPlanInfo {
     /// Extra scatter transfers added to keep approximate collection
     /// coherent.
     pub coverage_scatters: usize,
+    /// Per-rank compute-phase *write* footprints, `(array, region)`
+    /// pairs — what each rank's local stores touch while the window
+    /// epoch is open. Consumed by the static RMA checker.
+    pub rank_writes: Vec<Vec<(usize, Lmad)>>,
+    /// Per-rank compute-phase *read* footprints (scatter-sourced
+    /// regions each rank consumes).
+    pub rank_reads: Vec<Vec<(usize, Lmad)>>,
+}
+
+/// One entry in the program-order execution timeline: what the lowered
+/// program does between synchronisation points, at plan granularity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanStep {
+    /// A master-only sequential section with the array ids it reads
+    /// and writes (whole-array granularity).
+    Seq {
+        reads: Vec<usize>,
+        writes: Vec<usize>,
+    },
+    /// A parallel region; the payload indexes into
+    /// [`PlanReport::regions`].
+    Par(usize),
 }
 
 /// Communication the AVPG optimization removed.
@@ -51,6 +73,10 @@ pub struct PlanReport {
     /// Arrays that are remotely accessed (need windows per §5.1) —
     /// every array touched by some parallel region.
     pub windowed_arrays: Vec<ArrayId>,
+    /// Program-order timeline of sequential and parallel steps,
+    /// enabling whole-program reasoning (AVPG elision soundness) in
+    /// the static RMA checker.
+    pub steps: Vec<PlanStep>,
 }
 
 /// Per-rank freshness: regions of the master copy this rank's private
@@ -96,6 +122,10 @@ impl<'a> Planner<'a> {
                 rank_fresh.remove(a);
             }
         }
+        self.report.steps.push(PlanStep::Seq {
+            reads: seq.reads.iter().map(|a| a.0).collect(),
+            writes: seq.writes.iter().map(|a| a.0).collect(),
+        });
     }
 
     /// Plan one parallel region (region index `idx` in program order).
@@ -148,6 +178,24 @@ impl<'a> Planner<'a> {
             sched_cyclic: sched == Schedule::Cyclic,
             ..RegionPlanInfo::default()
         };
+        // Record every rank's compute-phase footprints for the static
+        // RMA checker (local accesses share the collect epoch with the
+        // slaves' collect PUTs). Multiple textual references with the
+        // same footprint collapse to one access.
+        for summary in &rank_summaries {
+            let mut writes = Vec::new();
+            let mut reads = Vec::new();
+            for &a in &arrays {
+                for lm in dedup_regions(summary.collect_regions(a).into_iter().cloned()) {
+                    writes.push((a.0, lm));
+                }
+                for lm in dedup_regions(summary.scatter_regions(a).into_iter().cloned()) {
+                    reads.push((a.0, lm));
+                }
+            }
+            info.rank_writes.push(writes);
+            info.rank_reads.push(reads);
+        }
         let mut scatter_plan: Vec<Vec<CommOp>> = vec![Vec::new(); p];
         let mut collect_plan: Vec<Vec<CommOp>> = vec![Vec::new(); p];
 
@@ -195,6 +243,7 @@ impl<'a> Planner<'a> {
             .flatten()
             .map(|o| o.transfer.elems())
             .sum();
+        self.report.steps.push(PlanStep::Par(self.report.regions.len()));
         self.report.regions.push(info);
 
         ParRegion {
@@ -260,7 +309,10 @@ impl<'a> Planner<'a> {
         // `g` (rank 0's are its exact writes — they reach the master
         // copy directly).
         let mut collect_g = g;
-        if g != Granularity::Fine {
+        // `unsafe_approx_collect` skips the safety check entirely —
+        // overlapping approximate collects are emitted as-is (the
+        // deliberately-racy ablation for the RMA checker).
+        if g != Granularity::Fine && !self.opts.unsafe_approx_collect {
             let mut approx: Vec<Vec<Lmad>> = Vec::with_capacity(p);
             for (r, summary) in rank_summaries.iter().enumerate() {
                 let regions = summary.collect_regions(a);
@@ -291,10 +343,14 @@ impl<'a> Planner<'a> {
         // ---- per-rank plans ----
         for r in 1..p {
             let summary = &rank_summaries[r];
+            // Duplicate footprints (several references touching the
+            // same region) must not become duplicate transfers: the
+            // repeat would double the wire traffic and race against
+            // itself inside the collect epoch.
             let collect_exact: Vec<Lmad> =
-                summary.collect_regions(a).into_iter().cloned().collect();
+                dedup_regions(summary.collect_regions(a).into_iter().cloned());
             let scatter_exact: Vec<Lmad> =
-                summary.scatter_regions(a).into_iter().cloned().collect();
+                dedup_regions(summary.scatter_regions(a).into_iter().cloned());
             // Figure 9(d): at coarse grain "one big approximate
             // region … is transfered to each remote processor" — all
             // of a rank's regions merge into a single bounding run.
@@ -419,6 +475,21 @@ impl<'a> Planner<'a> {
     pub fn into_report(self) -> PlanReport {
         self.report
     }
+}
+
+/// Drop regions whose normalized form already appeared (order
+/// preserved).
+fn dedup_regions(regions: impl Iterator<Item = Lmad>) -> Vec<Lmad> {
+    let mut out: Vec<Lmad> = Vec::new();
+    let mut seen: Vec<Lmad> = Vec::new();
+    for lm in regions {
+        let n = lm.normalized();
+        if !seen.contains(&n) {
+            seen.push(n);
+            out.push(lm);
+        }
+    }
+    out
 }
 
 /// The single bounding contiguous region covering a region list

@@ -1,0 +1,491 @@
+//! The epoch analysis over an [`RmaTrace`]:
+//!
+//! 1. **Sync alignment** — every rank must execute the same sequence
+//!    of fences/barriers/collectives, or the program deadlocks and
+//!    fences pair across different epochs (VPCE005).
+//! 2. **Epoch closure** — an RMA operation issued after a rank's last
+//!    fence never completes inside any exposure epoch (VPCE004).
+//! 3. **Epoch conflicts** — within each fence-delimited epoch, every
+//!    pair of operations touching the same (window, shard) is
+//!    classified; overlapping element footprints with at least one
+//!    write are undefined-outcome conflicts (VPCE001/002/003) or
+//!    same-origin warnings (VPCE101/102).
+//!
+//! Footprint intersection uses [`lmad::Lmad::overlaps`], which is
+//! exact whenever the closed-form/enumeration paths apply and falls
+//! back to a conservative interval test otherwise — so this pass
+//! **over-approximates**: it may flag a conflict that cannot happen,
+//! but never stays green on a real one. That direction is what the
+//! differential suite against the `mpi2` dynamic ledger relies on.
+//!
+//! Barriers and collectives inside an epoch do **not** split it: MPI-2
+//! orders RMA only at fences (ops are buffered until the epoch
+//! closes), so a barrier between two conflicting PUTs does not
+//! serialise them.
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use crate::trace::{AccessKind, Event, Op, RmaTrace, SyncKind};
+
+/// One side of an operation's element-level effect on a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Write,
+    Read,
+}
+
+/// A flattened effect: which shard it touches, how, and from where.
+struct Effect<'a> {
+    origin: usize,
+    shard: usize,
+    role: Role,
+    op: &'a Op,
+}
+
+/// Mirror of the dynamic ledger's effect expansion
+/// (`mpi2::conflict::effects`): a GET reads the target shard *and*
+/// writes the origin's own shard at the same offsets; a self-GET is
+/// the identity under the symmetric window layout.
+fn effects<'a>(origin: usize, op: &'a Op) -> Vec<Effect<'a>> {
+    match op.kind {
+        AccessKind::Put => vec![Effect {
+            origin,
+            shard: op.target,
+            role: Role::Write,
+            op,
+        }],
+        AccessKind::Get => {
+            if op.target == origin {
+                return Vec::new();
+            }
+            vec![
+                Effect {
+                    origin,
+                    shard: op.target,
+                    role: Role::Read,
+                    op,
+                },
+                Effect {
+                    origin,
+                    shard: origin,
+                    role: Role::Write,
+                    op,
+                },
+            ]
+        }
+        AccessKind::LocalWrite => vec![Effect {
+            origin,
+            shard: op.target,
+            role: Role::Write,
+            op,
+        }],
+        AccessKind::LocalRead => vec![Effect {
+            origin,
+            shard: op.target,
+            role: Role::Read,
+            op,
+        }],
+    }
+}
+
+fn is_local(k: AccessKind) -> bool {
+    matches!(k, AccessKind::LocalWrite | AccessKind::LocalRead)
+}
+
+/// Pick the diagnostic code for a colliding pair.
+fn pair_code(a: &Effect, b: &Effect) -> Code {
+    if a.origin == b.origin {
+        if a.role == Role::Write && b.role == Role::Write {
+            Code::SameOriginOverlap
+        } else {
+            Code::RedundantOverlap
+        }
+    } else if is_local(a.op.kind) || is_local(b.op.kind) {
+        Code::PutLocal
+    } else if a.op.kind == AccessKind::Get || b.op.kind == AccessKind::Get {
+        Code::PutGet
+    } else {
+        Code::PutPut
+    }
+}
+
+/// Run the three epoch checks over `trace`, appending findings to
+/// `out`.
+pub fn check_trace(trace: &RmaTrace, out: &mut LintReport) {
+    // ---- 1. sync alignment ----
+    let sync_seqs: Vec<Vec<SyncKind>> = trace
+        .ranks
+        .iter()
+        .map(|evs| {
+            evs.iter()
+                .filter_map(|e| match e {
+                    Event::Sync(k) => Some(*k),
+                    Event::Rma(_) => None,
+                })
+                .collect()
+        })
+        .collect();
+    let mut divergent = false;
+    for (r, seq) in sync_seqs.iter().enumerate().skip(1) {
+        if seq != &sync_seqs[0] {
+            divergent = true;
+            let pos = seq
+                .iter()
+                .zip(&sync_seqs[0])
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| seq.len().min(sync_seqs[0].len()));
+            let (a, b) = (
+                sync_seqs[0].get(pos).map_or("end", |k| k.as_str()),
+                seq.get(pos).map_or("end", |k| k.as_str()),
+            );
+            out.push(Diagnostic {
+                code: Code::DivergentSync,
+                win: usize::MAX,
+                win_name: String::new(),
+                shard: usize::MAX,
+                ranks: (0, r),
+                line: 0,
+                site: "sync".into(),
+                detail: format!(
+                    "ranks disagree on synchronisation step {pos}: rank 0 \
+                     performs `{a}` while rank {r} performs `{b}` — the \
+                     program deadlocks or pairs fences across epochs"
+                ),
+            });
+        }
+    }
+
+    // ---- 2. epoch closure ----
+    for (r, evs) in trace.ranks.iter().enumerate() {
+        let last_fence = evs
+            .iter()
+            .rposition(|e| matches!(e, Event::Sync(SyncKind::Fence)));
+        let tail = match last_fence {
+            Some(i) => &evs[i + 1..],
+            None => &evs[..],
+        };
+        for e in tail {
+            if let Event::Rma(op) = e {
+                if !is_local(op.kind) {
+                    out.push(Diagnostic {
+                        code: Code::Unfenced,
+                        win: op.win,
+                        win_name: trace.win_name(op.win).to_string(),
+                        shard: op.target,
+                        ranks: (r, r),
+                        line: op.line,
+                        site: op.site.as_str().into(),
+                        detail: format!(
+                            "rank {r} issues a {} after its last fence: the \
+                             operation never completes inside an exposure epoch",
+                            match op.kind {
+                                AccessKind::Put => "PUT",
+                                _ => "GET",
+                            }
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // With divergent sync sequences the fences no longer pair up, so
+    // cross-rank epoch grouping is meaningless; stop here.
+    if divergent {
+        return;
+    }
+
+    // ---- 3. epoch conflicts ----
+    // Epoch e of rank r = ops between its e-th and (e+1)-th fence.
+    // Only fence-closed epochs take part (an unclosed trailing epoch
+    // never applies its ops; those were flagged above).
+    let nepochs = sync_seqs
+        .first()
+        .map_or(0, |s| s.iter().filter(|k| **k == SyncKind::Fence).count());
+    for epoch in 0..nepochs {
+        let mut eff: Vec<Effect> = Vec::new();
+        for (r, evs) in trace.ranks.iter().enumerate() {
+            let mut fences = 0usize;
+            for e in evs {
+                match e {
+                    Event::Sync(SyncKind::Fence) => {
+                        fences += 1;
+                        if fences > epoch {
+                            break;
+                        }
+                    }
+                    Event::Rma(op) if fences == epoch => eff.extend(effects(r, op)),
+                    Event::Rma(_) | Event::Sync(_) => {}
+                }
+            }
+        }
+        for (i, a) in eff.iter().enumerate() {
+            for b in &eff[i + 1..] {
+                if a.op.win != b.op.win || a.shard != b.shard {
+                    continue;
+                }
+                if a.role == Role::Read && b.role == Role::Read {
+                    continue;
+                }
+                // Two local accesses on the same shard come from the
+                // same rank: ordinary sequential program order, not an
+                // epoch conflict.
+                if is_local(a.op.kind) && is_local(b.op.kind) {
+                    continue;
+                }
+                if !a.op.region.overlaps(&b.op.region) {
+                    continue;
+                }
+                let code = pair_code(a, b);
+                let (lo, hi) = if a.origin <= b.origin {
+                    (a.origin, b.origin)
+                } else {
+                    (b.origin, a.origin)
+                };
+                out.push(Diagnostic {
+                    code,
+                    win: a.op.win,
+                    win_name: trace.win_name(a.op.win).to_string(),
+                    shard: a.shard,
+                    ranks: (lo, hi),
+                    line: a.op.line.max(b.op.line),
+                    site: format!("{}/{}", a.op.site.as_str(), b.op.site.as_str()),
+                    detail: format!(
+                        "epoch {epoch}: {} by rank {} overlaps {} by rank {} \
+                         on shard {} with no intervening fence",
+                        kind_name(a.op.kind),
+                        a.origin,
+                        kind_name(b.op.kind),
+                        b.origin,
+                        a.shard,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn kind_name(k: AccessKind) -> &'static str {
+    match k {
+        AccessKind::Put => "PUT",
+        AccessKind::Get => "GET",
+        AccessKind::LocalWrite => "local store",
+        AccessKind::LocalRead => "local load",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Site;
+    use lmad::Lmad;
+
+    fn op(kind: AccessKind, win: usize, target: usize, base: i64, count: u64) -> Op {
+        Op {
+            win,
+            target,
+            kind,
+            region: Lmad::contiguous(base, count),
+            line: 0,
+            site: Site::Synthetic,
+        }
+    }
+
+    fn check(trace: &RmaTrace) -> LintReport {
+        let mut r = LintReport::new("t");
+        check_trace(trace, &mut r);
+        r.sort();
+        r
+    }
+
+    fn two_rank_trace() -> RmaTrace {
+        RmaTrace::new(2, vec!["A".into()])
+    }
+
+    #[test]
+    fn disjoint_puts_are_clean() {
+        let mut t = RmaTrace::new(3, vec!["A".into()]);
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 4));
+        t.op(2, op(AccessKind::Put, 0, 0, 4, 4));
+        t.sync_all(SyncKind::Fence);
+        assert!(check(&t).is_clean());
+    }
+
+    #[test]
+    fn overlapping_puts_flag_vpce001() {
+        let mut t = RmaTrace::new(3, vec!["A".into()]);
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 4));
+        t.op(2, op(AccessKind::Put, 0, 0, 3, 4));
+        t.sync_all(SyncKind::Fence);
+        let r = check(&t);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].code, Code::PutPut);
+        assert_eq!(r.diags[0].ranks, (1, 2));
+        assert_eq!(r.exit_code(), 2);
+    }
+
+    #[test]
+    fn fence_between_puts_resolves_conflict() {
+        let mut t = RmaTrace::new(3, vec!["A".into()]);
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 4));
+        t.sync_all(SyncKind::Fence);
+        t.op(2, op(AccessKind::Put, 0, 0, 3, 4));
+        t.sync_all(SyncKind::Fence);
+        assert!(check(&t).is_clean());
+    }
+
+    #[test]
+    fn barrier_does_not_split_an_epoch() {
+        let mut t = RmaTrace::new(3, vec!["A".into()]);
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 4));
+        t.sync_all(SyncKind::Barrier);
+        t.op(2, op(AccessKind::Put, 0, 0, 3, 4));
+        t.sync_all(SyncKind::Fence);
+        let r = check(&t);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].code, Code::PutPut);
+    }
+
+    #[test]
+    fn put_vs_get_flags_vpce002_both_sides() {
+        // Target-side: PUT overlaps the GET's read of shard 0.
+        let mut t = RmaTrace::new(3, vec!["A".into()]);
+        t.op(1, op(AccessKind::Put, 0, 0, 2, 2));
+        t.op(2, op(AccessKind::Get, 0, 0, 3, 4));
+        t.sync_all(SyncKind::Fence);
+        let r = check(&t);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].code, Code::PutGet);
+        assert_eq!(r.diags[0].shard, 0);
+
+        // Origin-side: a GET writes the origin's own shard; a PUT into
+        // that shard at the same offsets collides there.
+        let mut t2 = RmaTrace::new(3, vec!["A".into()]);
+        t2.op(2, op(AccessKind::Get, 0, 0, 0, 4));
+        t2.op(1, op(AccessKind::Put, 0, 2, 2, 2));
+        t2.sync_all(SyncKind::Fence);
+        let r2 = check(&t2);
+        assert_eq!(r2.diags.len(), 1);
+        assert_eq!(r2.diags[0].code, Code::PutGet);
+        assert_eq!(r2.diags[0].shard, 2);
+    }
+
+    #[test]
+    fn put_vs_local_access_flags_vpce003() {
+        let mut t = two_rank_trace();
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 8));
+        t.op(0, op(AccessKind::LocalWrite, 0, 0, 4, 4));
+        t.sync_all(SyncKind::Fence);
+        let r = check(&t);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].code, Code::PutLocal);
+    }
+
+    #[test]
+    fn self_get_is_inert() {
+        let mut t = two_rank_trace();
+        t.op(1, op(AccessKind::Get, 0, 1, 0, 8));
+        t.op(0, op(AccessKind::Put, 0, 1, 0, 8));
+        t.sync_all(SyncKind::Fence);
+        // Only the real PUT writes shard 1; the self-get vanished.
+        assert!(check(&t).is_clean());
+    }
+
+    #[test]
+    fn unfenced_put_flags_vpce004() {
+        let mut t = two_rank_trace();
+        t.sync_all(SyncKind::Fence);
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 4));
+        let r = check(&t);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].code, Code::Unfenced);
+        assert_eq!(r.diags[0].ranks, (1, 1));
+    }
+
+    #[test]
+    fn trailing_epoch_ops_are_not_cross_matched() {
+        // Two overlapping PUTs after the last fence: both unfenced,
+        // but no VPCE001 — they are never applied.
+        let mut t = RmaTrace::new(3, vec!["A".into()]);
+        t.sync_all(SyncKind::Fence);
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 4));
+        t.op(2, op(AccessKind::Put, 0, 0, 0, 4));
+        let r = check(&t);
+        assert_eq!(r.diags.len(), 2);
+        assert!(r.diags.iter().all(|d| d.code == Code::Unfenced));
+    }
+
+    #[test]
+    fn divergent_sync_flags_vpce005() {
+        let mut t = two_rank_trace();
+        t.ranks[0].push(Event::Sync(SyncKind::Fence));
+        t.ranks[0].push(Event::Sync(SyncKind::Barrier));
+        t.ranks[1].push(Event::Sync(SyncKind::Barrier));
+        t.ranks[1].push(Event::Sync(SyncKind::Fence));
+        let r = check(&t);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].code, Code::DivergentSync);
+        assert!(r.diags[0].detail.contains("step 0"));
+    }
+
+    #[test]
+    fn missing_collective_on_one_rank_flags_vpce005() {
+        let mut t = two_rank_trace();
+        t.ranks[0].push(Event::Sync(SyncKind::Reduce));
+        t.ranks[0].push(Event::Sync(SyncKind::Fence));
+        t.ranks[1].push(Event::Sync(SyncKind::Fence));
+        let r = check(&t);
+        assert_eq!(r.diags[0].code, Code::DivergentSync);
+    }
+
+    #[test]
+    fn same_origin_overlapping_puts_warn_vpce101() {
+        let mut t = two_rank_trace();
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 4));
+        t.op(1, op(AccessKind::Put, 0, 0, 2, 4));
+        t.sync_all(SyncKind::Fence);
+        let r = check(&t);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].code, Code::SameOriginOverlap);
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn same_origin_put_get_overlap_warns_vpce102() {
+        // Rank 1 PUTs to shard 0 and GETs an overlapping region from
+        // shard 0 in the same epoch.
+        let mut t = two_rank_trace();
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 4));
+        t.op(1, op(AccessKind::Get, 0, 0, 2, 4));
+        t.sync_all(SyncKind::Fence);
+        let r = check(&t);
+        assert!(r
+            .diags
+            .iter()
+            .any(|d| d.code == Code::RedundantOverlap && d.shard == 0));
+        assert_eq!(r.exit_code(), 1);
+    }
+
+    #[test]
+    fn different_windows_never_conflict() {
+        let mut t = RmaTrace::new(3, vec!["A".into(), "B".into()]);
+        t.op(1, op(AccessKind::Put, 0, 0, 0, 4));
+        t.op(2, op(AccessKind::Put, 1, 0, 0, 4));
+        t.sync_all(SyncKind::Fence);
+        assert!(check(&t).is_clean());
+    }
+
+    #[test]
+    fn strided_interleaving_is_proved_disjoint() {
+        // Evens vs odds: the conservative interval test overlaps, the
+        // exact closed form proves disjointness — must stay clean.
+        let mut t = RmaTrace::new(3, vec!["A".into()]);
+        let mut a = op(AccessKind::Put, 0, 0, 0, 1);
+        a.region = Lmad::strided(0, 2, 1 << 30);
+        let mut b = op(AccessKind::Put, 0, 0, 0, 1);
+        b.region = Lmad::strided(1, 2, 1 << 30);
+        t.op(1, a);
+        t.op(2, b);
+        t.sync_all(SyncKind::Fence);
+        assert!(check(&t).is_clean());
+    }
+}

@@ -1,0 +1,338 @@
+//! Structured lint diagnostics: stable `VPCE0xx` codes, plan-site and
+//! source-loop provenance, deterministic ordering, and a hand-rolled
+//! machine-readable JSON rendering (no serialisation dependency).
+
+use std::fmt::Write as _;
+
+/// How bad a finding is. Errors are undefined-outcome RMA conflicts;
+/// warnings are legal-but-suspect patterns (same-origin overlap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warning,
+    Error,
+}
+
+/// The stable diagnostic codes. Numeric values never change once
+/// published: golden tests and CI diff against them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Two PUTs from different origins overlap on one shard inside a
+    /// single access epoch.
+    PutPut,
+    /// A PUT and a GET touch the same elements inside one epoch
+    /// (either the GET's target-side read or its origin-side write).
+    PutGet,
+    /// A remote operation collides with a rank's own local load/store
+    /// while the window epoch is open.
+    PutLocal,
+    /// An RMA operation is issued after the last fence of its rank —
+    /// it never completes inside any exposure epoch.
+    Unfenced,
+    /// Ranks disagree on the synchronisation sequence (fence/barrier/
+    /// collective order): the program deadlocks or pairs fences across
+    /// different epochs.
+    DivergentSync,
+    /// An AVPG-elided collect left the master copy stale, and the
+    /// stale region is consumed later (or survives to program exit).
+    UnsoundElision,
+    /// One origin wrote the same elements twice in one epoch
+    /// (last-writer ambiguity; the simulator resolves it by sequence
+    /// number, real MPI-2 does not).
+    SameOriginOverlap,
+    /// One origin read and wrote the same elements in one epoch
+    /// (e.g. overlapping GETs into the same local region).
+    RedundantOverlap,
+}
+
+impl Code {
+    /// The stable wire string, e.g. `"VPCE001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::PutPut => "VPCE001",
+            Code::PutGet => "VPCE002",
+            Code::PutLocal => "VPCE003",
+            Code::Unfenced => "VPCE004",
+            Code::DivergentSync => "VPCE005",
+            Code::UnsoundElision => "VPCE006",
+            Code::SameOriginOverlap => "VPCE101",
+            Code::RedundantOverlap => "VPCE102",
+        }
+    }
+
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::SameOriginOverlap | Code::RedundantOverlap => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One finding, with enough provenance to locate it in both the plan
+/// (window, shard, ranks, phase) and the source (loop line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub code: Code,
+    /// Window index (= array index); `usize::MAX` when not tied to a
+    /// particular window.
+    pub win: usize,
+    /// Window (array) name, empty when not applicable.
+    pub win_name: String,
+    /// Rank owning the shard where the footprints collide.
+    pub shard: usize,
+    /// The two involved ranks (sorted; equal for single-rank findings).
+    pub ranks: (usize, usize),
+    /// Source line of the originating loop (0 = unknown).
+    pub line: usize,
+    /// Plan site: which lowering phase produced the operations
+    /// (`scatter`, `collect`, `compute`, `sync`, `avpg`, ...).
+    pub site: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl Diagnostic {
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+/// The full lint result for one compiled program.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    pub program: String,
+    pub diags: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    pub fn new(program: impl Into<String>) -> Self {
+        LintReport {
+            program: program.into(),
+            diags: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Deterministic presentation order: errors first, then by code,
+    /// window, shard, ranks, line.
+    pub fn sort(&mut self) {
+        self.diags.sort_by(|a, b| {
+            b.severity()
+                .cmp(&a.severity())
+                .then(a.code.cmp(&b.code))
+                .then(a.win.cmp(&b.win))
+                .then(a.shard.cmp(&b.shard))
+                .then(a.ranks.cmp(&b.ranks))
+                .then(a.line.cmp(&b.line))
+                .then(a.detail.cmp(&b.detail))
+        });
+        self.diags.dedup();
+    }
+
+    pub fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Process exit code: 0 clean, 1 warnings only, 2 any conflict.
+    pub fn exit_code(&self) -> i32 {
+        if self.errors() > 0 {
+            2
+        } else if self.warnings() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Terminal rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        if self.is_clean() {
+            let _ = writeln!(out, "lint: {}: clean (no RMA conflicts)", self.program);
+            return out;
+        }
+        for d in &self.diags {
+            let sev = match d.severity() {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = write!(out, "{sev}[{}]", d.code.as_str());
+            if !d.win_name.is_empty() {
+                let _ = write!(out, " window {}", d.win_name);
+            }
+            if d.shard != usize::MAX {
+                let _ = write!(out, " shard {}", d.shard);
+            }
+            if d.ranks.0 != usize::MAX {
+                if d.ranks.0 == d.ranks.1 {
+                    let _ = write!(out, " rank {}", d.ranks.0);
+                } else {
+                    let _ = write!(out, " ranks {}/{}", d.ranks.0, d.ranks.1);
+                }
+            }
+            if d.line > 0 {
+                let _ = write!(out, " (loop at line {})", d.line);
+            }
+            let _ = writeln!(out, " [{}]: {}", d.site, d.detail);
+        }
+        let _ = writeln!(
+            out,
+            "lint: {}: {} error(s), {} warning(s)",
+            self.program,
+            self.errors(),
+            self.warnings()
+        );
+        out
+    }
+
+    /// Machine-readable JSON: stable key order, one canonical shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"program\": \"{}\",", json_escape(&self.program));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"code\": \"{}\", ", d.code.as_str());
+            let sev = match d.severity() {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = write!(out, "\"severity\": \"{sev}\", ");
+            if d.win != usize::MAX {
+                let _ = write!(out, "\"win\": {}, ", d.win);
+                let _ = write!(out, "\"window\": \"{}\", ", json_escape(&d.win_name));
+            }
+            if d.shard != usize::MAX {
+                let _ = write!(out, "\"shard\": {}, ", d.shard);
+            }
+            if d.ranks.0 != usize::MAX {
+                let _ = write!(out, "\"ranks\": [{}, {}], ", d.ranks.0, d.ranks.1);
+            }
+            let _ = write!(out, "\"line\": {}, ", d.line);
+            let _ = write!(out, "\"site\": \"{}\", ", json_escape(&d.site));
+            let _ = write!(out, "\"detail\": \"{}\"", json_escape(&d.detail));
+            out.push('}');
+        }
+        if !self.diags.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"exit\": {}}}",
+            self.errors(),
+            self.warnings(),
+            self.exit_code()
+        );
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+/// Minimal JSON string escaping (control chars, quotes, backslash).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(code: Code) -> Diagnostic {
+        Diagnostic {
+            code,
+            win: 0,
+            win_name: "A".into(),
+            shard: 0,
+            ranks: (1, 2),
+            line: 3,
+            site: "collect".into(),
+            detail: "x".into(),
+        }
+    }
+
+    #[test]
+    fn exit_codes_follow_severity() {
+        let mut r = LintReport::new("p");
+        assert_eq!(r.exit_code(), 0);
+        r.push(diag(Code::SameOriginOverlap));
+        assert_eq!(r.exit_code(), 1);
+        r.push(diag(Code::PutPut));
+        assert_eq!(r.exit_code(), 2);
+    }
+
+    #[test]
+    fn sort_puts_errors_before_warnings_and_dedups() {
+        let mut r = LintReport::new("p");
+        r.push(diag(Code::SameOriginOverlap));
+        r.push(diag(Code::PutPut));
+        r.push(diag(Code::PutPut));
+        r.sort();
+        assert_eq!(r.diags.len(), 2);
+        assert_eq!(r.diags[0].code, Code::PutPut);
+        assert_eq!(r.diags[1].code, Code::SameOriginOverlap);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut r = LintReport::new("quo\"te");
+        let mut d = diag(Code::PutGet);
+        d.detail = "line1\nline2".into();
+        r.push(d);
+        let j = r.to_json();
+        assert!(j.contains("\"program\": \"quo\\\"te\""));
+        assert!(j.contains("\"code\": \"VPCE002\""));
+        assert!(j.contains("line1\\nline2"));
+        assert!(j.contains("\"exit\": 2"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::PutPut.as_str(), "VPCE001");
+        assert_eq!(Code::PutGet.as_str(), "VPCE002");
+        assert_eq!(Code::PutLocal.as_str(), "VPCE003");
+        assert_eq!(Code::Unfenced.as_str(), "VPCE004");
+        assert_eq!(Code::DivergentSync.as_str(), "VPCE005");
+        assert_eq!(Code::UnsoundElision.as_str(), "VPCE006");
+        assert_eq!(Code::SameOriginOverlap.as_str(), "VPCE101");
+        assert_eq!(Code::RedundantOverlap.as_str(), "VPCE102");
+    }
+}

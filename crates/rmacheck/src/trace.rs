@@ -1,0 +1,127 @@
+//! The checker's intermediate form: per-rank streams of RMA operations
+//! and synchronisation events, abstracted from the lowered SPMD
+//! program. Element footprints are [`Lmad`] descriptors, so the epoch
+//! conflict scan inherits the exact/conservative intersection algebra
+//! of `crates/lmad` (see [`Lmad::overlaps`]).
+
+use lmad::Lmad;
+
+/// What one operation does to a window shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// One-sided remote write (`MPI_PUT`): writes `target`'s shard.
+    Put,
+    /// One-sided remote read (`MPI_GET`): reads `target`'s shard *and*
+    /// writes the origin's own shard at the same offsets (the windows
+    /// are symmetric full-size arrays, §5.1).
+    Get,
+    /// A local store executed while the window epoch is open (the
+    /// compute phase holds the window locks).
+    LocalWrite,
+    /// A local load under an open epoch.
+    LocalRead,
+}
+
+/// Where in the lowering an operation comes from (plan-site
+/// provenance for diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    Scatter,
+    Collect,
+    Compute,
+    /// Hand-built traces (unit tests, differential harness).
+    Synthetic,
+}
+
+impl Site {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Site::Scatter => "scatter",
+            Site::Collect => "collect",
+            Site::Compute => "compute",
+            Site::Synthetic => "synthetic",
+        }
+    }
+}
+
+/// One RMA or epoch-local access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// Window index (= array index in the SPMD program).
+    pub win: usize,
+    /// Rank whose shard the primary access touches (for local
+    /// accesses this equals the issuing rank).
+    pub target: usize,
+    pub kind: AccessKind,
+    /// Element footprint on the shard.
+    pub region: Lmad,
+    /// Source line of the originating loop (0 = unknown).
+    pub line: usize,
+    pub site: Site,
+}
+
+/// Synchronisation flavours that must agree across ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    /// `MPI_WIN_FENCE` over all windows — the only event that closes
+    /// an access epoch.
+    Fence,
+    Barrier,
+    /// A value-carrying collective (broadcast of shared scalars).
+    Bcast,
+    /// A reduction tree combine.
+    Reduce,
+}
+
+impl SyncKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SyncKind::Fence => "fence",
+            SyncKind::Barrier => "barrier",
+            SyncKind::Bcast => "bcast",
+            SyncKind::Reduce => "reduce",
+        }
+    }
+}
+
+/// One event in a rank's program-order stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    Rma(Op),
+    Sync(SyncKind),
+}
+
+/// The whole-program trace: one event stream per rank.
+#[derive(Debug, Clone, Default)]
+pub struct RmaTrace {
+    pub nranks: usize,
+    /// Window (array) names, indexed by `Op::win`.
+    pub win_names: Vec<String>,
+    pub ranks: Vec<Vec<Event>>,
+}
+
+impl RmaTrace {
+    pub fn new(nranks: usize, win_names: Vec<String>) -> Self {
+        RmaTrace {
+            nranks,
+            win_names,
+            ranks: vec![Vec::new(); nranks],
+        }
+    }
+
+    pub fn win_name(&self, win: usize) -> &str {
+        self.win_names.get(win).map_or("?", |s| s.as_str())
+    }
+
+    /// Append a sync event on every rank (collective call sites).
+    pub fn sync_all(&mut self, kind: SyncKind) {
+        for evs in &mut self.ranks {
+            evs.push(Event::Sync(kind));
+        }
+    }
+
+    /// Append an RMA op on one rank's stream.
+    pub fn op(&mut self, rank: usize, op: Op) {
+        self.ranks[rank].push(Event::Rma(op));
+    }
+}

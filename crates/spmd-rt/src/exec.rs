@@ -43,6 +43,11 @@ pub struct RunReport {
     pub arrays: Vec<Vec<Elem>>,
     /// Master's final scalar values.
     pub scalars: Vec<Value>,
+    /// Undefined-outcome RMA pairs recorded by the dynamic
+    /// epoch-conflict ledger (`mpi2::conflict`). Empty for a
+    /// well-synchronised plan; the differential ground truth for the
+    /// static `vpce-rmacheck` pass.
+    pub rma_conflicts: Vec<mpi2::ConflictRecord>,
 }
 
 /// Result of a sequential execution.
@@ -77,6 +82,7 @@ pub fn execute(prog: &SpmdProgram, cluster: &ClusterConfig, mode: ExecMode) -> R
         net: out.net,
         arrays,
         scalars,
+        rma_conflicts: out.rma_conflicts,
     }
 }
 

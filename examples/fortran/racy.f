@@ -1,0 +1,19 @@
+C     Intentionally racy fixture for the static RMA checker. Run as:
+C
+C       vpcec examples/fortran/racy.f --lint --grain coarse
+C             --schedule cyclic --unsafe-collect
+C
+C     The cyclic schedule interleaves every rank's writes to A, so the
+C     coarse-grain bounding collect regions of all slaves overlap.
+C     --unsafe-collect disables the paper's 5.6 overlap safety check
+C     (which would force fine-grain collection), so the overlapping
+C     PUTs reach the collect epoch as-is: vpce-lint must refuse the
+C     plan with VPCE001 (PUT/PUT conflict) and exit 2.
+      PROGRAM RACY
+      PARAMETER (N = 64)
+      REAL A(N)
+      INTEGER I
+      DO I = 1, N
+        A(I) = REAL(I) * 0.5
+      ENDDO
+      END

@@ -1,0 +1,17 @@
+C     SAXPY with a broadcast scalar -- conflict-free scatter/collect
+C     at every granularity; `vpcec examples/fortran/saxpy.f --lint`
+C     exits 0.
+      PROGRAM SAXPY
+      PARAMETER (N = 96)
+      REAL X(N), Y(N)
+      REAL A
+      INTEGER I
+      A = 2.5
+      DO I = 1, N
+        X(I) = REAL(I)
+        Y(I) = REAL(N - I)
+      ENDDO
+      DO I = 1, N
+        Y(I) = Y(I) + A * X(I)
+      ENDDO
+      END

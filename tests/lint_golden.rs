@@ -1,0 +1,84 @@
+//! Golden lint diagnostics over the `examples/fortran` fixtures: the
+//! machine-readable JSON that `vpcec --lint --lint-json` emits is
+//! diffed byte-for-byte against checked-in expectations, so any drift
+//! in codes, provenance, or formatting is a deliberate, reviewed
+//! change. Regenerate with `UPDATE_GOLDEN=1 cargo test -q -p vpce
+//! --test lint_golden`.
+
+use vpce::cli::{parse_args, run};
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Lint one fixture and compare its JSON against the golden file.
+fn golden_case(fixture: &str, extra_args: &str, golden: &str, expect_exit: i32) -> String {
+    let source = std::fs::read_to_string(repo_path(&format!("examples/fortran/{fixture}")))
+        .expect("fixture exists");
+    let argv: Vec<String> = format!("{fixture} --lint --lint-json out.json {extra_args}")
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let args = parse_args(&argv).expect("fixture args parse");
+    let out = run(&source, &args).expect("fixture compiles");
+    assert_eq!(
+        out.exit, expect_exit,
+        "{fixture}: unexpected lint exit\n{}",
+        out.text
+    );
+    let json = out.lint_json.expect("--lint-json produces a payload");
+
+    let golden_path = repo_path(&format!("tests/golden/{golden}"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &json).expect("write golden");
+        return json;
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {golden_path}: {e}"));
+    assert_eq!(
+        json, expected,
+        "{fixture}: lint JSON drifted from {golden}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+    json
+}
+
+#[test]
+fn mm_is_clean_at_fine_grain() {
+    let json = golden_case("mm.f", "--grain fine", "mm_lint.json", 0);
+    assert!(json.contains("\"errors\": 0"));
+}
+
+#[test]
+fn saxpy_is_clean_at_fine_grain() {
+    let json = golden_case("saxpy.f", "--grain fine", "saxpy_lint.json", 0);
+    assert!(json.contains("\"diagnostics\": []"));
+}
+
+#[test]
+fn racy_fixture_is_flagged_with_stable_code() {
+    let json = golden_case(
+        "racy.f",
+        "--grain coarse --schedule cyclic --unsafe-collect",
+        "racy_lint.json",
+        2,
+    );
+    assert!(
+        json.contains("\"VPCE001\""),
+        "racy fixture must carry the stable PUT/PUT code: {json}"
+    );
+}
+
+#[test]
+fn racy_fixture_is_clean_with_safety_check_active() {
+    // Without --unsafe-collect the 5.6 overlap check forces fine-grain
+    // collection and the very same program lints clean.
+    let source =
+        std::fs::read_to_string(repo_path("examples/fortran/racy.f")).expect("fixture exists");
+    let argv: Vec<String> = "racy.f --lint --grain coarse --schedule cyclic"
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let out = run(&source, &parse_args(&argv).unwrap()).unwrap();
+    assert_eq!(out.exit, 0, "{}", out.text);
+}
