@@ -21,6 +21,16 @@ pub mod hwclaims;
 pub mod table1;
 pub mod table2;
 
+/// Render a float as a JSON number. Rust's `Display` for `f64` never
+/// produces exponents, so the only invalid outputs to guard against
+/// are the non-finite values (which would mean a broken sweep anyway).
+pub fn json_num(v: f64) -> String {
+    assert!(v.is_finite(), "non-finite value in benchmark output: {v}");
+    let s = format!("{v}");
+    debug_assert!(!s.contains(['e', 'E']), "exponent in JSON number: {s}");
+    s
+}
+
 /// Render a float with engineering-style precision for tables.
 pub fn fmt_secs(s: f64) -> String {
     if s == 0.0 {

@@ -91,6 +91,26 @@ pub fn print_sweep(title: &str, cells: &[Cell]) {
     }
 }
 
+/// Render a sweep as a JSON array (hand-rolled — the workspace has no
+/// serde) for the CI benchmark artifacts.
+pub fn to_json(cells: &[Cell]) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"size\": {}, \"nodes\": {}, \"seq_time\": {}, \"par_time\": {}, \"speedup\": {}, \"comm_time\": {}}}",
+                c.size,
+                c.nodes,
+                crate::json_num(c.seq_time),
+                crate::json_num(c.par_time),
+                crate::json_num(c.speedup),
+                crate::json_num(c.comm_time)
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +139,16 @@ mod tests {
             });
         }
         out
+    }
+
+    #[test]
+    fn json_export_is_wellformed() {
+        let cells = small_sweep(ClusterConfig::paper_n, 64);
+        let json = to_json(&cells);
+        assert_eq!(json.matches('{').count(), cells.len());
+        assert_eq!(json.matches('}').count(), cells.len());
+        assert!(json.contains("\"speedup\": "));
+        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
     }
 
     #[test]

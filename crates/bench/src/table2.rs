@@ -185,6 +185,28 @@ pub fn print_sweep(title: &str, cells: &[Cell]) {
     }
 }
 
+/// Render the grid as a JSON array (hand-rolled) for the CI benchmark
+/// artifacts.
+pub fn to_json(cells: &[Cell]) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"workload\": \"{}\", \"granularity\": \"{}\", \"comm_time\": {}, \"messages\": {}, \"strided_messages\": {}, \"wire_bytes\": {}, \"redundancy\": {}, \"overlap_fallbacks\": {}}}",
+                c.workload,
+                c.granularity.name(),
+                crate::json_num(c.comm_time),
+                c.messages,
+                c.strided_messages,
+                c.wire_bytes,
+                crate::json_num(c.redundancy),
+                c.overlap_fallbacks
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +292,16 @@ mod tests {
         };
         let coarse = measure(&b, Granularity::Coarse, &ClusterConfig::paper_4node());
         assert!(coarse.overlap_fallbacks > 0);
+    }
+
+    #[test]
+    fn json_export_is_wellformed() {
+        let c = cell(cfft::SOURCE, ("M", 6), Granularity::Middle);
+        let json = to_json(std::slice::from_ref(&c));
+        assert!(json.contains("\"workload\": \"t\""), "{json}");
+        assert!(json.contains("\"granularity\": \"middle\""), "{json}");
+        assert_eq!(json.matches('{').count(), 1);
+        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
     }
 
     #[test]

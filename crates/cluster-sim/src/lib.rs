@@ -33,7 +33,7 @@ use vbus_sim::NetConfig;
 
 pub use cpu::{CpuModel, OpCounts};
 pub use memory::MemoryTracker;
-pub use nic::{NicModel, TransferKind};
+pub use nic::{HostCostBreakdown, NicModel, TransferKind};
 
 /// Configuration of one PC in the cluster.
 #[derive(Debug, Clone)]

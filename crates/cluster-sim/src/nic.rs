@@ -48,6 +48,31 @@ impl TransferKind {
     }
 }
 
+/// Decomposition of [`NicModel::host_overhead`] into its mechanisms —
+/// the queue hops, the DMA descriptor programming, and the
+/// programmed-I/O element copies — so a trace can show *which* part of
+/// §2.2's "communication setup time" a transfer paid.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostCostBreakdown {
+    /// Message-queue hops: descriptor posts, plus (on the conventional
+    /// kernel stack) context switches and staging copies.
+    pub queue_s: f64,
+    /// DMA descriptor programming time (contiguous path only).
+    pub dma_setup_s: f64,
+    /// Element-by-element programmed-I/O copy time (strided path only).
+    pub pio_copy_s: f64,
+    /// Driver-buffer chunks the transfer was split into.
+    pub chunks: usize,
+}
+
+impl HostCostBreakdown {
+    /// Total host seconds — identical to what
+    /// [`NicModel::host_overhead`] returns.
+    pub fn total(&self) -> f64 {
+        self.queue_s + self.dma_setup_s + self.pio_copy_s
+    }
+}
+
 /// Cost parameters of one network card plus its driver stack.
 #[derive(Debug, Clone)]
 pub struct NicModel {
@@ -127,6 +152,12 @@ impl NicModel {
     /// The DMA path blocks the host only for descriptor programming;
     /// the PIO path blocks it for the whole element-by-element copy.
     pub fn host_overhead(&self, kind: TransferKind, cpu: &CpuModel) -> f64 {
+        self.host_breakdown(kind, cpu).total()
+    }
+
+    /// [`host_overhead`](Self::host_overhead) with the cost split by
+    /// mechanism — what the tracer records per transfer.
+    pub fn host_breakdown(&self, kind: TransferKind, cpu: &CpuModel) -> HostCostBreakdown {
         let wire = kind.wire_bytes();
         let per_msg = if self.shared_queue {
             self.post_s
@@ -137,21 +168,28 @@ impl NicModel {
                 + self.context_switch_s
                 + wire as f64 * self.staging_copy_s_per_byte / self.chunks(wire) as f64
         };
-        let n_chunks = self.chunks(wire) as f64;
+        let n_chunks = self.chunks(wire);
+        let mut out = HostCostBreakdown {
+            queue_s: per_msg * n_chunks as f64,
+            chunks: n_chunks,
+            ..HostCostBreakdown::default()
+        };
         match kind {
-            TransferKind::Contiguous { .. } => per_msg * n_chunks + self.dma_setup_s * n_chunks,
+            TransferKind::Contiguous { .. } => {
+                out.dma_setup_s = self.dma_setup_s * n_chunks as f64;
+            }
             TransferKind::Strided { elems, .. } => {
                 // Element-by-element copy by the CPU, plus one DMA-less
                 // descriptor per chunk. The per-element cost includes
                 // address generation, bounded below by the raw copy
                 // speed.
-                let copy = elems as f64 * self.pio_per_elem_s.max(
+                out.pio_copy_s = elems as f64 * self.pio_per_elem_s.max(
                     // never cheaper than the machine's memcpy rate
                     kind.wire_bytes() as f64 / elems.max(1) as f64 / cpu.memcpy_bps,
                 );
-                per_msg * n_chunks + copy
             }
         }
+        out
     }
 }
 
@@ -236,6 +274,37 @@ mod tests {
         let small = nic.host_overhead(TransferKind::Contiguous { bytes: 256 << 10 }, &cpu());
         let big = nic.host_overhead(TransferKind::Contiguous { bytes: 1 << 20 }, &cpu());
         assert!(big > 3.0 * small);
+    }
+
+    #[test]
+    fn breakdown_totals_match_host_overhead() {
+        for nic in [
+            NicModel::vbus_card(),
+            NicModel::vbus_card_kernel_stack(),
+            NicModel::fast_ethernet_card(),
+        ] {
+            for kind in [
+                TransferKind::Contiguous { bytes: 4096 },
+                TransferKind::Contiguous { bytes: 1 << 20 },
+                TransferKind::Strided {
+                    elems: 512,
+                    elem_bytes: 8,
+                },
+            ] {
+                let b = nic.host_breakdown(kind, &cpu());
+                assert!((b.total() - nic.host_overhead(kind, &cpu())).abs() < 1e-15);
+                match kind {
+                    TransferKind::Contiguous { .. } => {
+                        assert!(b.dma_setup_s > 0.0);
+                        assert_eq!(b.pio_copy_s, 0.0);
+                    }
+                    TransferKind::Strided { .. } => {
+                        assert!(b.pio_copy_s > 0.0);
+                        assert_eq!(b.dma_setup_s, 0.0);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -35,6 +35,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            if let (Some(path), Some(json)) = (&args.trace, &out.trace_json) {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("trace written to {path} (load in ui.perfetto.dev)");
+            }
             // Lint mode reports findings through the exit code:
             // 0 clean, 1 warnings, 2 conflicts.
             ExitCode::from(u8::try_from(out.exit).unwrap_or(2))

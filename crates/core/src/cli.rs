@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 
 use lmad::Granularity;
 use spmd_rt::{ExecMode, Schedule};
+use vpce_trace::Tracer;
 
 use crate::{BackendOptions, ClusterConfig, FrontError};
 
@@ -27,6 +28,8 @@ pub struct CliArgs {
     pub lint: bool,
     pub lint_json: Option<String>,
     pub unsafe_collect: bool,
+    pub trace: Option<String>,
+    pub trace_summary: bool,
 }
 
 impl Default for CliArgs {
@@ -46,6 +49,8 @@ impl Default for CliArgs {
             lint: false,
             lint_json: None,
             unsafe_collect: false,
+            trace: None,
+            trace_summary: false,
         }
     }
 }
@@ -73,6 +78,13 @@ USAGE: vpcec <file.f> [options]
   --lint-json PATH     also write the lint diagnostics as JSON to PATH
   --unsafe-collect     skip the 5.6 overlap safety check (deliberately
                        unsound; exists to exercise the linter)
+  --trace PATH         record the run as Chrome trace-event JSON and
+                       write it to PATH (open in ui.perfetto.dev or
+                       chrome://tracing: one lane per rank, one per
+                       V-Bus link)
+  --trace-summary      print per-phase rollups (DMA vs PIO bytes,
+                       setup time, fence waits) and the critical-path
+                       breakdown of the run
 ";
 
 /// Parse an argument vector (excluding argv[0]).
@@ -119,6 +131,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 out.lint_json = Some(it.next().ok_or("--lint-json needs a path")?.clone());
             }
             "--unsafe-collect" => out.unsafe_collect = true,
+            "--trace" => {
+                out.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
+            }
+            "--trace-summary" => out.trace_summary = true,
             other if !other.starts_with('-') && out.source_path.is_empty() => {
                 out.source_path = other.to_string();
             }
@@ -140,6 +156,9 @@ pub struct RunOutput {
     pub text: String,
     pub exit: i32,
     pub lint_json: Option<String>,
+    /// Chrome trace-event JSON of the run when `--trace` was given
+    /// (the binary writes it to the requested path).
+    pub trace_json: Option<String>,
 }
 
 /// Execute the request against already-loaded source text. Returns the
@@ -197,10 +216,20 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
             text: out,
             exit: lint.exit_code(),
             lint_json: args.lint_json.is_some().then(|| lint.to_json()),
+            trace_json: None,
         });
     }
 
-    let parallel = spmd_rt::execute(&compiled.program, &cluster, args.mode);
+    // A live tracer only when somebody asked for its output; the
+    // disabled tracer keeps the run on the exact untraced code path.
+    let tracing = args.trace.is_some() || args.trace_summary;
+    let tracer = if tracing {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let parallel =
+        spmd_rt::execute_traced(&compiled.program, &cluster, args.mode, tracer.clone());
     let sequential =
         spmd_rt::execute_sequential(&compiled.program, &cluster.node.cpu, args.mode);
 
@@ -223,6 +252,7 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
         "  communication {:.6}s | {} wire messages | {} wire bytes",
         parallel.comm_time, parallel.net.p2p_messages, parallel.net.p2p_bytes
     );
+    out.push_str(&crate::report::describe_comm(&parallel.rank_stats));
     if args.mode == ExecMode::Full {
         let identical = parallel.arrays == sequential.arrays;
         let _ = writeln!(
@@ -230,10 +260,16 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
             "  results identical to sequential execution: {identical}"
         );
     }
+    if args.trace_summary {
+        if let Some(rep) = &parallel.trace {
+            out.push_str(&rep.render());
+        }
+    }
     Ok(RunOutput {
         text: out,
         exit: 0,
         lint_json: None,
+        trace_json: tracing.then(|| tracer.to_chrome_json()),
     })
 }
 
@@ -263,7 +299,8 @@ mod tests {
         let a = parse_args(&argv(
             "prog.f --nodes 8 --grain coarse --schedule cyclic --analytic \
              --param N=128 --report --advise --no-avpg --prototype --pull \
-             --lint --lint-json out.json --unsafe-collect",
+             --lint --lint-json out.json --unsafe-collect \
+             --trace t.json --trace-summary",
         ))
         .unwrap();
         assert_eq!(a.source_path, "prog.f");
@@ -275,6 +312,8 @@ mod tests {
         assert!(a.show_report && a.advise && a.no_avpg && a.prototype && a.pull);
         assert!(a.lint && a.unsafe_collect);
         assert_eq!(a.lint_json.as_deref(), Some("out.json"));
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert!(a.trace_summary);
     }
 
     #[test]
@@ -352,6 +391,42 @@ mod tests {
         let safe = parse_args(&argv("x.f --lint --grain coarse --schedule cyclic")).unwrap();
         let out = run(SRC, &safe).unwrap();
         assert_eq!(out.exit, 0, "{}", out.text);
+    }
+
+    #[test]
+    fn untraced_run_has_no_trace_json() {
+        let args = parse_args(&argv("x.f --grain fine")).unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert!(out.trace_json.is_none());
+        // The DMA/PIO ledger always prints.
+        assert!(out.text.contains("data paths:"), "{}", out.text);
+        assert!(out.text.contains("comm ledger:"), "{}", out.text);
+    }
+
+    #[test]
+    fn trace_summary_prints_phase_table_and_critical_path() {
+        let args = parse_args(&argv("x.f --grain fine --trace-summary")).unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert!(out.text.contains("trace summary"), "{}", out.text);
+        assert!(out.text.contains("critical path:"), "{}", out.text);
+        // --trace-summary alone also makes the JSON available.
+        let json = out.trace_json.expect("tracing was on");
+        assert!(json.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_report_numbers() {
+        let plain = run(SRC, &parse_args(&argv("x.f --grain fine")).unwrap()).unwrap();
+        let traced =
+            run(SRC, &parse_args(&argv("x.f --grain fine --trace t.json")).unwrap()).unwrap();
+        // Identical up to the extra trailing sections.
+        assert!(
+            traced.text.starts_with(&plain.text),
+            "plain:\n{}\ntraced:\n{}",
+            plain.text,
+            traced.text
+        );
+        assert!(traced.trace_json.is_some());
     }
 
     #[test]

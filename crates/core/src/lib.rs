@@ -55,14 +55,18 @@ pub mod report;
 
 pub use cluster_sim::{ClusterConfig, CpuModel, NodeConfig, OpCounts};
 pub use polaris_be::{advise, CostParams, GranularityAdvice};
-pub use report::{describe_backend, describe_frontend};
+pub use report::{describe_backend, describe_comm, describe_frontend};
 pub use lmad::Granularity;
 pub use mpi2::{Mpi, RunOutcome, Universe};
 pub use polaris_be::{compile_backend, Avpg, BackendOptions, CompiledProgram, NodeAttr};
 pub use polaris_fe::{compile as compile_frontend, FrontError};
 pub use rmacheck::{lint, LintOptions, LintReport};
-pub use spmd_rt::{execute, execute_sequential, ExecMode, RunReport, Schedule, SeqReport, SpmdProgram};
+pub use spmd_rt::{
+    execute, execute_sequential, execute_traced, ExecMode, RunReport, Schedule, SeqReport,
+    SpmdProgram,
+};
 pub use vbus_sim::{NetConfig, NetSim};
+pub use vpce_trace::{TraceReport, TraceSummary, Tracer};
 
 /// Compile F77-mini source all the way to an executable SPMD program.
 ///

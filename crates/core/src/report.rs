@@ -1,8 +1,37 @@
 //! Human-readable compilation reports — the Polaris-style listing a
 //! user reads to understand what the compiler did to their program.
 
+use mpi2::RankStats;
 use polaris_be::{CompiledProgram, NodeAttr};
 use polaris_fe::analysis::{AnalyzedProgram, Region};
+
+/// Describe where the one-sided traffic went: the §2.2 DMA path
+/// (contiguous transfers, descriptor programming) versus the
+/// programmed-I/O path (strided transfers, element-by-element copies),
+/// plus the time ledger those mechanisms feed.
+pub fn describe_comm(stats: &[RankStats]) -> String {
+    let mut total = RankStats::default();
+    for s in stats {
+        total.merge(s);
+    }
+    let pio_bytes = total.pio_elems * mpi2::ELEM_BYTES as u64;
+    let rma_bytes = total.bytes_put + total.bytes_got;
+    let dma_bytes = rma_bytes.saturating_sub(pio_bytes);
+    let mut out = format!(
+        "  data paths: DMA {} B in {} contiguous ops | PIO {} B in {} strided ops ({} elems)\n",
+        dma_bytes, total.rma_contiguous, pio_bytes, total.rma_strided, total.pio_elems
+    );
+    let n = stats.len().max(1) as u64;
+    out.push_str(&format!(
+        "  comm ledger: {:.6}s host setup | {:.6}s data wait | {:.6}s sync wait ({} fences, {} barriers)\n",
+        total.comm_host,
+        total.comm_wait,
+        total.sync_wait,
+        total.fences / n,
+        total.barriers / n
+    ));
+    out
+}
 
 /// Describe the front-end's findings: which loops parallelised and
 /// why the others did not.
@@ -150,6 +179,28 @@ mod tests {
         let r = super::describe_frontend(&analyzed);
         assert!(r.contains("serial loops"), "{r}");
         assert!(r.contains("dependence"), "{r}");
+    }
+
+    #[test]
+    fn comm_report_splits_dma_and_pio_traffic() {
+        use crate::{BackendOptions, ClusterConfig, ExecMode};
+        use lmad::Granularity;
+        use spmd_rt::Schedule;
+        // Cyclic + fine grain forces strided (PIO) transfers alongside
+        // the contiguous (DMA) ones.
+        let opts = BackendOptions::new(4)
+            .granularity(Granularity::Fine)
+            .schedule(Schedule::Cyclic);
+        let compiled = crate::compile(swim::SOURCE, &[("N", 16)], &opts).unwrap();
+        let rep = spmd_rt::execute(
+            &compiled.program,
+            &ClusterConfig::paper_4node(),
+            ExecMode::Analytic,
+        );
+        let text = super::describe_comm(&rep.rank_stats);
+        assert!(text.contains("data paths: DMA"), "{text}");
+        assert!(text.contains("strided ops"), "{text}");
+        assert!(text.contains("comm ledger:"), "{text}");
     }
 
     #[test]

@@ -17,6 +17,17 @@ use cluster_sim::TransferKind;
 use crate::rma::AccumulateOp;
 use crate::universe::Mpi;
 use crate::Elem;
+use vpce_trace::CallOp;
+
+/// Dependency edge a collective's leader closure hands back to one
+/// rank: `((dominating rank, its time), wire interval)` of the
+/// transfer that determined this rank's exit, when one did.
+type CollDep = Option<((usize, f64), (f64, f64))>;
+
+/// Per-rank delivery record inside the broadcast leader: arrival time
+/// plus the wire interval of the delivering transfer (None at the
+/// root, which already holds the payload).
+type Arrival = (f64, Option<(f64, f64)>);
 
 impl Mpi {
     fn charge_msg_host(&mut self, bytes: usize) {
@@ -41,13 +52,14 @@ impl Mpi {
             data.is_some(),
             "exactly the root must supply the payload"
         );
+        let t_enter = self.now();
         if let Some(bytes) = data.as_ref().map(|d| d.len() * crate::ELEM_BYTES) {
             self.charge_msg_host(bytes);
         }
         let entry = self.now();
         let rank = self.rank();
         let shared = Arc::clone(self.shared());
-        let (payload, exit): (Arc<Vec<Elem>>, f64) =
+        let (payload, exit, dep): (Arc<Vec<Elem>>, f64, CollDep) =
             self.shared()
                 .coll
                 .run(rank, (self.now(), data), move |ins| {
@@ -61,14 +73,21 @@ impl Mpi {
                     let bytes = payload.len() * crate::ELEM_BYTES;
                     let mut net = shared.net.lock();
                     let post = shared.cfg.node.nic.post_s;
-                    let arrive: Vec<f64> = if n == 1 {
-                        vec![clocks[root]]
+                    // Arrival time + wire interval of the delivering
+                    // transfer, per rank (None at the root).
+                    let arrive: Vec<Arrival> = if n == 1 {
+                        vec![(clocks[root], None)]
                     } else if let Some(t) = net.vbus_broadcast(root, bytes, clocks[root]) {
-                        vec![t.end; n]
+                        (0..n)
+                            .map(|r| {
+                                let net_iv = (r != root).then_some((t.start, t.end));
+                                (t.end, net_iv)
+                            })
+                            .collect()
                     } else {
                         // Binomial tree rooted at `root` over rank space.
-                        let mut have: Vec<Option<f64>> = vec![None; n];
-                        have[root] = Some(clocks[root]);
+                        let mut have: Vec<Option<Arrival>> = vec![None; n];
+                        have[root] = Some((clocks[root], None));
                         let mut stride = 1;
                         while stride < n {
                             for rel in 0..n {
@@ -76,9 +95,9 @@ impl Mpi {
                                 let rel_dst = rel + stride;
                                 if rel_dst < n {
                                     let dst = (root + rel_dst) % n;
-                                    if let (Some(t), None) = (have[src], have[dst]) {
+                                    if let (Some((t, _)), None) = (have[src], have[dst]) {
                                         let x = net.p2p(src, dst, bytes, t + post);
-                                        have[dst] = Some(x.end);
+                                        have[dst] = Some((x.end, Some((x.start, x.end))));
                                     }
                                 }
                             }
@@ -88,14 +107,27 @@ impl Mpi {
                     };
                     (0..n)
                         .map(|r| {
-                            let exit = arrive[r].max(clocks[r]) + post;
-                            (Arc::clone(&payload), exit)
+                            let (arr, net_iv) = arrive[r];
+                            let exit = arr.max(clocks[r]) + post;
+                            let dep = net_iv.map(|iv| ((root, clocks[root]), iv));
+                            (Arc::clone(&payload), exit, dep)
                         })
                         .collect()
                 });
         self.stats_mut().comm_wait += exit - entry;
         *self.clock_mut() = exit;
+        let bytes = payload.len() * crate::ELEM_BYTES;
+        self.trace_coll(CallOp::Bcast, t_enter, exit, bytes as u64, dep);
         Arc::try_unwrap(payload).unwrap_or_else(|p| (*p).clone())
+    }
+
+    /// Emit one collective's blocking span with its dependency edge.
+    fn trace_coll(&self, op: CallOp, t0: f64, t1: f64, bytes: u64, dep: CollDep) {
+        let (dom, net) = match dep {
+            Some((dom, iv)) => (Some(dom), Some(iv)),
+            None => (None, None),
+        };
+        self.trace_blocking(op, t0, t1, bytes, dom, net);
     }
 
     /// `MPI_REDUCE`: element-wise reduction of every rank's vector to
@@ -108,12 +140,13 @@ impl Mpi {
         op: AccumulateOp,
     ) -> Option<Vec<Elem>> {
         assert!(root < self.size(), "reduce root out of range");
+        let t_enter = self.now();
         let bytes = value.len() * crate::ELEM_BYTES;
         self.charge_msg_host(bytes);
         let entry = self.now();
         let rank = self.rank();
         let shared = Arc::clone(self.shared());
-        let (result, exit): (Option<Vec<Elem>>, f64) =
+        let (result, exit, dep): (Option<Vec<Elem>>, f64, CollDep) =
             self.shared()
                 .coll
                 .run(rank, (self.now(), value), move |ins| {
@@ -122,6 +155,9 @@ impl Mpi {
                     let mut vals: Vec<Option<Vec<Elem>>> =
                         ins.into_iter().map(|(_, v)| Some(v)).collect();
                     let mut avail = clocks.clone();
+                    // The incoming transfer that pushed each receiver's
+                    // availability furthest — its dependency edge.
+                    let mut deps: Vec<CollDep> = vec![None; n];
                     let mut net = shared.net.lock();
                     let post = shared.cfg.node.nic.post_s;
                     // Binomial fan-in: in round k, ranks at odd multiples
@@ -136,6 +172,9 @@ impl Mpi {
                             let bytes = src_val.len() * crate::ELEM_BYTES;
                             let ready = avail[src];
                             let t = net.p2p(src, dst, bytes, ready + post);
+                            if t.end > avail[dst] {
+                                deps[dst] = Some(((src, ready), (t.start, t.end)));
+                            }
                             avail[dst] = avail[dst].max(t.end);
                             let dst_val = vals[dst].as_mut().expect("dest live");
                             assert_eq!(dst_val.len(), src_val.len(), "reduce length mismatch");
@@ -150,16 +189,17 @@ impl Mpi {
                     (0..n)
                         .map(|r| {
                             if r == root {
-                                (Some(result.clone()), root_exit)
+                                (Some(result.clone()), root_exit, deps[r])
                             } else {
                                 // Senders proceed once their last send left.
-                                (None, avail[r] + post)
+                                (None, avail[r] + post, deps[r])
                             }
                         })
                         .collect()
                 });
         self.stats_mut().comm_wait += exit - entry;
         *self.clock_mut() = exit;
+        self.trace_coll(CallOp::Reduce, t_enter, exit, bytes as u64, dep);
         result
     }
 
@@ -173,12 +213,13 @@ impl Mpi {
     /// them all, indexed by rank.
     pub fn gather(&mut self, root: usize, value: Vec<Elem>) -> Option<Vec<Vec<Elem>>> {
         assert!(root < self.size(), "gather root out of range");
+        let t_enter = self.now();
         let bytes = value.len() * crate::ELEM_BYTES;
         self.charge_msg_host(bytes);
         let entry = self.now();
         let rank = self.rank();
         let shared = Arc::clone(self.shared());
-        let (result, exit): (Option<Vec<Vec<Elem>>>, f64) =
+        let (result, exit, dep): (Option<Vec<Vec<Elem>>>, f64, CollDep) =
             self.shared()
                 .coll
                 .run(rank, (self.now(), value), move |ins| {
@@ -188,12 +229,16 @@ impl Mpi {
                     let mut net = shared.net.lock();
                     let post = shared.cfg.node.nic.post_s;
                     let mut root_time = clocks[root];
+                    let mut root_dep: CollDep = None;
                     let mut exits = clocks.clone();
                     for (r, v) in vals.iter().enumerate() {
                         if r == root {
                             continue;
                         }
                         let t = net.p2p(r, root, v.len() * crate::ELEM_BYTES, clocks[r] + post);
+                        if t.end > root_time {
+                            root_dep = Some(((r, clocks[r]), (t.start, t.end)));
+                        }
                         root_time = root_time.max(t.end);
                         exits[r] = clocks[r] + post;
                     }
@@ -201,15 +246,16 @@ impl Mpi {
                     (0..n)
                         .map(|r| {
                             if r == root {
-                                (Some(vals.clone()), exits[r])
+                                (Some(vals.clone()), exits[r], root_dep)
                             } else {
-                                (None, exits[r])
+                                (None, exits[r], None)
                             }
                         })
                         .collect()
                 });
         self.stats_mut().comm_wait += exit - entry;
         *self.clock_mut() = exit;
+        self.trace_coll(CallOp::Gather, t_enter, exit, bytes as u64, dep);
         result
     }
 
@@ -243,6 +289,7 @@ impl Mpi {
             chunks.is_some(),
             "exactly the root must supply the chunks"
         );
+        let t_enter = self.now();
         if let Some(c) = &chunks {
             assert_eq!(c.len(), self.size(), "one chunk per rank required");
             let total: usize = c.iter().map(|v| v.len() * crate::ELEM_BYTES).sum();
@@ -251,7 +298,7 @@ impl Mpi {
         let entry = self.now();
         let rank = self.rank();
         let shared = Arc::clone(self.shared());
-        let (mine, exit): (Vec<Elem>, f64) =
+        let (mine, exit, dep): (Vec<Elem>, f64, CollDep) =
             self.shared()
                 .coll
                 .run(rank, (self.now(), chunks), move |ins| {
@@ -267,7 +314,7 @@ impl Mpi {
                     (0..n)
                         .map(|r| {
                             if r == root {
-                                (chunks[r].clone(), clocks[r] + post)
+                                (chunks[r].clone(), clocks[r] + post, None)
                             } else {
                                 let t = net.p2p(
                                     root,
@@ -276,13 +323,16 @@ impl Mpi {
                                     send_t + post,
                                 );
                                 send_t = t.start; // pipelined injection
-                                (chunks[r].clone(), t.end.max(clocks[r]) + post)
+                                let dep = Some(((root, clocks[root]), (t.start, t.end)));
+                                (chunks[r].clone(), t.end.max(clocks[r]) + post, dep)
                             }
                         })
                         .collect()
                 });
         self.stats_mut().comm_wait += exit - entry;
         *self.clock_mut() = exit;
+        let bytes = (mine.len() * crate::ELEM_BYTES) as u64;
+        self.trace_coll(CallOp::Scatter, t_enter, exit, bytes, dep);
         mine
     }
 }

@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 
 use cluster_sim::TransferKind;
 use crate::sync::{Condvar, Mutex};
+use vpce_trace::{CallInfo, CallOp, DataPath, Dominator, EventKind, Lane, SetupParts};
 
 use crate::universe::Mpi;
 use crate::Elem;
@@ -84,17 +85,29 @@ impl Mpi {
     pub fn send(&mut self, dst: usize, tag: i32, data: Vec<Elem>) {
         assert!(dst < self.size(), "send to rank {dst} out of range");
         let bytes = data.len() * crate::ELEM_BYTES;
-        let t = self
-            .shared()
-            .cfg
-            .node
-            .nic
-            .host_overhead(TransferKind::Contiguous { bytes }, &self.shared().cfg.node.cpu);
-        *self.clock_mut() += t;
-        self.stats_mut().comm_host += t;
+        let t0 = self.now();
+        let b = self.shared().cfg.node.nic.host_breakdown(
+            TransferKind::Contiguous { bytes },
+            &self.shared().cfg.node.cpu,
+        );
+        *self.clock_mut() += b.total();
+        self.stats_mut().comm_host += b.total();
         self.stats_mut().bytes_sent += bytes as u64;
         let ready = self.now();
         let rank = self.rank();
+        if self.tracer().is_enabled() {
+            let mut info = CallInfo::new(CallOp::Send);
+            info.bytes = bytes as u64;
+            info.path = DataPath::Dma;
+            info.parts = Some(SetupParts {
+                queue_s: b.queue_s,
+                dma_s: b.dma_setup_s,
+                pio_s: b.pio_copy_s,
+                chunks: b.chunks as u64,
+            });
+            self.tracer()
+                .push(Lane::Rank(rank), t0, ready, EventKind::Call(info));
+        }
         self.shared().mail.post(rank, dst, tag, Message { data, ready });
     }
 
@@ -121,15 +134,26 @@ impl Mpi {
         let rank = self.rank();
         let msg = self.shared().mail.take(src, rank, tag);
         let bytes = msg.data.len() * crate::ELEM_BYTES;
-        let end = {
+        let wire = {
             let shared = std::sync::Arc::clone(self.shared());
             let mut net = shared.net.lock();
-            net.p2p(src, rank, bytes, msg.ready.max(entry)).end
+            net.p2p(src, rank, bytes, msg.ready.max(entry))
         };
         let post = self.shared().cfg.node.nic.post_s;
-        let exit = end.max(entry) + post;
+        let exit = wire.end.max(entry) + post;
         self.stats_mut().comm_wait += exit - entry;
         *self.clock_mut() = exit;
+        if self.tracer().is_enabled() {
+            let mut info = CallInfo::new(CallOp::Recv);
+            info.bytes = bytes as u64;
+            info.dom = Some(Dominator {
+                rank: src,
+                t: msg.ready,
+            });
+            info.net = Some((wire.start, wire.end));
+            self.tracer()
+                .push(Lane::Rank(rank), entry, exit, EventKind::Call(info));
+        }
         msg.data
     }
 }

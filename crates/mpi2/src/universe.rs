@@ -4,9 +4,10 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cluster_sim::{ClusterConfig, CpuModel, NicModel, OpCounts, TransferKind};
+use cluster_sim::{ClusterConfig, CpuModel, HostCostBreakdown, NicModel, OpCounts, TransferKind};
 use crate::sync::{ArcMutexGuard, Mutex};
 use vbus_sim::{NetSim, NetStats};
+use vpce_trace::{CallInfo, CallOp, DataPath, Dominator, EventKind, Lane, SetupParts, TraceReport, Tracer};
 
 use crate::collective::Collective;
 use crate::conflict::{self, ConflictRecord};
@@ -27,6 +28,9 @@ pub(crate) struct Shared {
     /// Dynamic epoch-conflict ledger: undefined-outcome RMA pairs
     /// detected at closing fences (see [`crate::conflict`]).
     pub conflicts: Mutex<Vec<ConflictRecord>>,
+    /// Trace sink — the no-op tracer unless the universe was built
+    /// with [`Universe::with_tracer`].
+    pub tracer: Tracer,
 }
 
 impl Shared {
@@ -65,6 +69,9 @@ pub struct RunOutcome<R> {
     /// epoch-conflict ledger across the whole run. Empty for a
     /// well-synchronised program.
     pub rma_conflicts: Vec<ConflictRecord>,
+    /// Phase rollups + critical-path attribution, present iff the
+    /// universe was built with [`Universe::with_tracer`].
+    pub trace: Option<TraceReport>,
 }
 
 impl<R> RunOutcome<R> {
@@ -95,12 +102,29 @@ impl<R> RunOutcome<R> {
 /// A simulated cluster ready to run SPMD programs.
 pub struct Universe {
     cfg: ClusterConfig,
+    tracer: Tracer,
 }
 
 impl Universe {
     /// Build a universe for the given machine.
     pub fn new(cfg: ClusterConfig) -> Self {
-        Universe { cfg }
+        Universe {
+            cfg,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attach a trace sink: every run records call spans, link
+    /// occupancy and bus events into `tracer`, and the outcome carries
+    /// a [`TraceReport`].
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The trace sink this universe emits into (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The paper's 4-node machine.
@@ -127,14 +151,22 @@ impl Universe {
         F: Fn(&mut Mpi) -> R + Sync,
     {
         let n = self.size();
+        let mut net = NetSim::new(self.cfg.net.clone());
+        if self.tracer.is_enabled() {
+            net.set_tracer(self.tracer.clone());
+            for r in 0..n {
+                self.tracer.register_lane(Lane::Rank(r), format!("rank {r}"));
+            }
+        }
         let shared = Arc::new(Shared {
             cfg: self.cfg.clone(),
-            net: Mutex::new(NetSim::new(self.cfg.net.clone())),
+            net: Mutex::new(net),
             table: Mutex::new(WindowTable::default()),
             pending: Mutex::new(Vec::new()),
             coll: Collective::new(n),
             mail: Mailboxes::new(n),
             conflicts: Mutex::new(Vec::new()),
+            tracer: self.tracer.clone(),
         });
         let mut results: Vec<Option<(R, f64, RankStats)>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
@@ -192,18 +224,38 @@ impl Universe {
         }
         let net = shared.net.lock().stats().clone();
         let rma_conflicts = std::mem::take(&mut *shared.conflicts.lock());
+        let trace = self
+            .tracer
+            .is_enabled()
+            .then(|| TraceReport::build(&self.tracer, &clocks));
         RunOutcome {
             results: out_results,
             clocks,
             rank_stats,
             net,
             rma_conflicts,
+            trace,
         }
     }
 }
 
 /// Guard of a passive-target lock epoch.
 type EpochGuard = ArcMutexGuard<f64>;
+
+/// Trace provenance a fence's leader closure hands back to every
+/// rank: what the exit time was waiting on.
+#[derive(Debug, Clone, Copy)]
+struct FenceTrace {
+    /// Buffered one-sided ops the epoch completed.
+    ops: u64,
+    /// Rank of the event that determined the fence exit.
+    dom_rank: usize,
+    /// Virtual time of that event (slowest entry, or the dominating
+    /// transfer's issue).
+    dom_t: f64,
+    /// Wire interval of the dominating transfer, if one dominated.
+    net: Option<(f64, f64)>,
+}
 
 /// Handle to one MPI process. Obtained only inside [`Universe::run`].
 pub struct Mpi {
@@ -267,15 +319,23 @@ impl Mpi {
     pub fn win_create(&mut self, len: usize) -> WindowRef {
         let entry = self.clock;
         let shared = Arc::clone(&self.shared);
-        let (win, exit) = self.shared.coll.run(self.rank, (len, self.clock), |ins| {
+        let (win, exit, dom) = self.shared.coll.run(self.rank, (len, self.clock), |ins| {
             let lens: Vec<usize> = ins.iter().map(|(l, _)| *l).collect();
-            let maxc = ins.iter().map(|&(_, c)| c).fold(0.0, f64::max);
+            let mut maxc = 0.0f64;
+            let mut slowest = 0usize;
+            for (r, &(_, c)) in ins.iter().enumerate() {
+                if c > maxc {
+                    maxc = c;
+                    slowest = r;
+                }
+            }
             let id = shared.table.lock().create(&lens);
             let exit = maxc + shared.barrier_cost();
-            vec![(id, exit); lens.len()]
+            vec![(id, exit, (slowest, maxc)); lens.len()]
         });
         self.stats.sync_wait += exit - entry;
         self.clock = exit;
+        self.trace_blocking(CallOp::WinCreate, entry, exit, 0, Some(dom), None);
         self.win_ref(win)
     }
 
@@ -306,10 +366,10 @@ impl Mpi {
         );
     }
 
-    fn charge_host(&mut self, kind: TransferKind) {
-        let t = self.nic().host_overhead(kind, self.cpu());
-        self.clock += t;
-        self.stats.comm_host += t;
+    fn charge_host(&mut self, kind: TransferKind) -> HostCostBreakdown {
+        let b = self.nic().host_breakdown(kind, self.cpu());
+        self.clock += b.total();
+        self.stats.comm_host += b.total();
         match kind {
             TransferKind::Contiguous { .. } => self.stats.rma_contiguous += 1,
             TransferKind::Strided { elems, .. } => {
@@ -317,6 +377,60 @@ impl Mpi {
                 self.stats.pio_elems += elems as u64;
             }
         }
+        b
+    }
+
+    /// The trace sink of this universe (the no-op tracer by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
+    }
+
+    /// Emit the span of a transfer-initiating call (the host-side
+    /// setup of a PUT/GET/SEND): `t0` is the clock before
+    /// [`Mpi::charge_host`], the span ends at the current clock.
+    fn trace_transfer(&self, op: CallOp, kind: TransferKind, t0: f64, b: &HostCostBreakdown) {
+        if !self.shared.tracer.is_enabled() {
+            return;
+        }
+        let mut info = CallInfo::new(op);
+        info.bytes = kind.wire_bytes() as u64;
+        info.path = match kind {
+            TransferKind::Contiguous { .. } => DataPath::Dma,
+            TransferKind::Strided { .. } => DataPath::Pio,
+        };
+        info.parts = Some(SetupParts {
+            queue_s: b.queue_s,
+            dma_s: b.dma_setup_s,
+            pio_s: b.pio_copy_s,
+            chunks: b.chunks as u64,
+        });
+        self.shared
+            .tracer
+            .push(Lane::Rank(self.rank), t0, self.clock, EventKind::Call(info));
+    }
+
+    /// Emit a blocking call span `[t0, t1]` with its dependency edge:
+    /// `dom` is the `(rank, time)` of the remote event that determined
+    /// the exit, `net` the wire interval of the dominating transfer.
+    pub(crate) fn trace_blocking(
+        &self,
+        op: CallOp,
+        t0: f64,
+        t1: f64,
+        bytes: u64,
+        dom: Option<(usize, f64)>,
+        net: Option<(f64, f64)>,
+    ) {
+        if !self.shared.tracer.is_enabled() {
+            return;
+        }
+        let mut info = CallInfo::new(op);
+        info.bytes = bytes;
+        info.dom = dom.map(|(rank, t)| Dominator { rank, t });
+        info.net = net;
+        self.shared
+            .tracer
+            .push(Lane::Rank(self.rank), t0, t1, EventKind::Call(info));
     }
 
     fn push_pending(&mut self, target: usize, win: WinId, kind: RmaKind) {
@@ -338,8 +452,11 @@ impl Mpi {
     /// only; completion happens at the closing fence.
     pub fn put(&mut self, win: &WindowRef, target: usize, off: usize, data: Vec<Elem>) {
         let bytes = data.len() * crate::ELEM_BYTES;
+        let kind = TransferKind::Contiguous { bytes };
         self.stats.bytes_put += bytes as u64;
-        self.charge_host(TransferKind::Contiguous { bytes });
+        let t0 = self.clock;
+        let b = self.charge_host(kind);
+        self.trace_transfer(CallOp::Put, kind, t0, &b);
         self.push_pending(target, win.id(), RmaKind::PutContig { off, data });
     }
 
@@ -356,11 +473,14 @@ impl Mpi {
     ) {
         assert!(stride >= 1, "stride must be positive");
         let elems = data.len();
-        self.stats.bytes_put += (elems * crate::ELEM_BYTES) as u64;
-        self.charge_host(TransferKind::Strided {
+        let kind = TransferKind::Strided {
             elems,
             elem_bytes: crate::ELEM_BYTES,
-        });
+        };
+        self.stats.bytes_put += (elems * crate::ELEM_BYTES) as u64;
+        let t0 = self.clock;
+        let b = self.charge_host(kind);
+        self.trace_transfer(CallOp::Put, kind, t0, &b);
         self.push_pending(target, win.id(), RmaKind::PutStrided { off, stride, data });
     }
 
@@ -399,8 +519,11 @@ impl Mpi {
     /// Completes at the closing fence.
     pub fn get(&mut self, win: &WindowRef, target: usize, off: usize, count: usize) {
         let bytes = count * crate::ELEM_BYTES;
+        let kind = TransferKind::Contiguous { bytes };
         self.stats.bytes_got += bytes as u64;
-        self.charge_host(TransferKind::Contiguous { bytes });
+        let t0 = self.clock;
+        let b = self.charge_host(kind);
+        self.trace_transfer(CallOp::Get, kind, t0, &b);
         self.push_pending(target, win.id(), RmaKind::GetContig { off, count });
     }
 
@@ -415,11 +538,14 @@ impl Mpi {
         count: usize,
     ) {
         assert!(stride >= 1);
-        self.stats.bytes_got += (count * crate::ELEM_BYTES) as u64;
-        self.charge_host(TransferKind::Strided {
+        let kind = TransferKind::Strided {
             elems: count,
             elem_bytes: crate::ELEM_BYTES,
-        });
+        };
+        self.stats.bytes_got += (count * crate::ELEM_BYTES) as u64;
+        let t0 = self.clock;
+        let b = self.charge_host(kind);
+        self.trace_transfer(CallOp::Get, kind, t0, &b);
         self.push_pending(target, win.id(), RmaKind::GetStrided { off, stride, count });
     }
 
@@ -435,8 +561,11 @@ impl Mpi {
         op: AccumulateOp,
     ) {
         let bytes = data.len() * crate::ELEM_BYTES;
+        let kind = TransferKind::Contiguous { bytes };
         self.stats.bytes_put += bytes as u64;
-        self.charge_host(TransferKind::Contiguous { bytes });
+        let t0 = self.clock;
+        let b = self.charge_host(kind);
+        self.trace_transfer(CallOp::Accumulate, kind, t0, &b);
         self.push_pending(target, win.id(), RmaKind::AccContig { off, data, op });
     }
 
@@ -461,7 +590,7 @@ impl Mpi {
     fn fence_filtered(&mut self, filter: Option<WinId>) {
         let entry = self.clock;
         let shared = Arc::clone(&self.shared);
-        let exit: f64 = self.shared.coll.run(self.rank, self.clock, move |clocks| {
+        let (exit, ft): (f64, FenceTrace) = self.shared.coll.run(self.rank, self.clock, move |clocks| {
             let n = clocks.len();
             let mut ops: Vec<PendingRma> = {
                 let mut pend = shared.pending.lock();
@@ -491,27 +620,66 @@ impl Mpi {
             }
             let mut net = shared.net.lock();
             let table = shared.table.lock();
-            let mut latest = clocks.iter().cloned().fold(0.0, f64::max);
+            // Default dominator: the rendezvous join — the slowest
+            // rank's entry clock (what a fence with no traffic is).
+            let mut latest = 0.0f64;
+            let mut slowest = 0usize;
+            for (r, c) in clocks.iter().enumerate() {
+                if *c > latest {
+                    latest = *c;
+                    slowest = r;
+                }
+            }
+            let mut ft = FenceTrace {
+                ops: ops.len() as u64,
+                dom_rank: slowest,
+                dom_t: latest,
+                net: None,
+            };
             for op in &ops {
                 // GETs are a request (origin->target) followed by the
                 // data flowing back; PUT data flows origin->target.
-                let end = if op.kind.is_get() {
+                let (start, end) = if op.kind.is_get() {
                     let req = net.p2p(op.origin, op.target, 16, op.issue);
-                    net.p2p(op.target, op.origin, op.kind.wire_bytes(), req.end)
-                        .end
+                    let data = net.p2p(op.target, op.origin, op.kind.wire_bytes(), req.end);
+                    (req.start, data.end)
                 } else {
-                    net.p2p(op.origin, op.target, op.kind.wire_bytes(), op.issue)
-                        .end
+                    let t = net.p2p(op.origin, op.target, op.kind.wire_bytes(), op.issue);
+                    (t.start, t.end)
                 };
-                latest = latest.max(end);
+                if end > latest {
+                    // The fence's exit is now determined by this
+                    // transfer: remember its issue point as the
+                    // dependency edge for the critical-path walk.
+                    latest = end;
+                    ft.dom_rank = op.origin;
+                    ft.dom_t = op.issue;
+                    ft.net = Some((start, end));
+                }
                 apply_memory(&table, op);
             }
             let exit = latest + shared.cfg.node.nic.post_s;
-            vec![exit; n]
+            vec![(exit, ft); n]
         });
         self.stats.comm_wait += exit - entry;
         self.stats.fences += 1;
         self.clock = exit;
+        if self.shared.tracer.is_enabled() {
+            self.trace_blocking(
+                CallOp::Fence,
+                entry,
+                exit,
+                0,
+                Some((ft.dom_rank, ft.dom_t)),
+                ft.net,
+            );
+            self.shared.tracer.push(
+                Lane::Rank(self.rank),
+                exit,
+                exit,
+                EventKind::EpochClose { ops: ft.ops },
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -530,6 +698,7 @@ impl Mpi {
     /// for MPI-2 completeness and for the lock-based reduction variant.
     pub fn win_lock(&mut self, win: &WindowRef, target: usize) {
         assert!(target < self.size);
+        let entry = self.clock;
         let release = {
             let table = self.shared.table.lock();
             Arc::clone(&table.shard(win.id(), target).last_release)
@@ -542,6 +711,9 @@ impl Mpi {
                 + link.transfer_time(32))
             + self.nic().post_s;
         self.clock = self.clock.max(*guard) + rtt;
+        // No dominator: passive-target contention order is decided by
+        // OS scheduling, so the edge would not be reproducible.
+        self.trace_blocking(CallOp::WinLock, entry, self.clock, 0, None, None);
         let prev = self.held.insert((win.id().0, target), guard);
         assert!(prev.is_none(), "window already locked by this rank");
     }
@@ -554,6 +726,7 @@ impl Mpi {
             .remove(&(win.id().0, target))
             .expect("unlock without lock");
         *guard = self.clock;
+        self.trace_blocking(CallOp::WinUnlock, self.clock, self.clock, 0, None, None);
     }
 
     /// Immediate contiguous PUT inside a lock epoch: the transfer is
@@ -565,14 +738,16 @@ impl Mpi {
             "put_now outside a lock epoch"
         );
         let bytes = data.len() * crate::ELEM_BYTES;
+        let entry = self.clock;
         self.stats.bytes_put += bytes as u64;
-        self.charge_host(TransferKind::Contiguous { bytes });
+        let breakdown = self.charge_host(TransferKind::Contiguous { bytes });
         let kind = RmaKind::PutContig { off, data };
         self.check_bounds(win.id(), target, &kind);
-        let end = {
+        let wire = {
             let mut net = self.shared.net.lock();
-            net.p2p(self.rank, target, kind.wire_bytes(), self.clock).end
+            net.p2p(self.rank, target, kind.wire_bytes(), self.clock)
         };
+        let end = wire.end;
         let op = PendingRma {
             seq: self.seq,
             origin: self.rank,
@@ -585,6 +760,25 @@ impl Mpi {
         apply_memory(&self.shared.table.lock(), &op);
         self.stats.comm_wait += end - self.clock;
         self.clock = end;
+        if self.shared.tracer.is_enabled() {
+            let mut info = CallInfo::new(CallOp::PutNow);
+            info.bytes = bytes as u64;
+            info.path = DataPath::Dma;
+            info.parts = Some(SetupParts {
+                queue_s: breakdown.queue_s,
+                dma_s: breakdown.dma_setup_s,
+                pio_s: breakdown.pio_copy_s,
+                chunks: breakdown.chunks as u64,
+            });
+            info.dom = Some(Dominator {
+                rank: self.rank,
+                t: entry,
+            });
+            info.net = Some((wire.start, wire.end));
+            self.shared
+                .tracer
+                .push(Lane::Rank(self.rank), entry, end, EventKind::Call(info));
+        }
     }
 
     /// Immediate accumulate inside a lock epoch (the §3 "global
@@ -603,14 +797,16 @@ impl Mpi {
             "accumulate_now outside a lock epoch"
         );
         let bytes = data.len() * crate::ELEM_BYTES;
+        let entry = self.clock;
         self.stats.bytes_put += bytes as u64;
-        self.charge_host(TransferKind::Contiguous { bytes });
+        let breakdown = self.charge_host(TransferKind::Contiguous { bytes });
         let kind = RmaKind::AccContig { off, data, op };
         self.check_bounds(win.id(), target, &kind);
-        let end = {
+        let wire = {
             let mut net = self.shared.net.lock();
-            net.p2p(self.rank, target, kind.wire_bytes(), self.clock).end
+            net.p2p(self.rank, target, kind.wire_bytes(), self.clock)
         };
+        let end = wire.end;
         let pend = PendingRma {
             seq: self.seq,
             origin: self.rank,
@@ -623,6 +819,25 @@ impl Mpi {
         apply_memory(&self.shared.table.lock(), &pend);
         self.stats.comm_wait += end - self.clock;
         self.clock = end;
+        if self.shared.tracer.is_enabled() {
+            let mut info = CallInfo::new(CallOp::AccumulateNow);
+            info.bytes = bytes as u64;
+            info.path = DataPath::Dma;
+            info.parts = Some(SetupParts {
+                queue_s: breakdown.queue_s,
+                dma_s: breakdown.dma_setup_s,
+                pio_s: breakdown.pio_copy_s,
+                chunks: breakdown.chunks as u64,
+            });
+            info.dom = Some(Dominator {
+                rank: self.rank,
+                t: entry,
+            });
+            info.net = Some((wire.start, wire.end));
+            self.shared
+                .tracer
+                .push(Lane::Rank(self.rank), entry, end, EventKind::Call(info));
+        }
     }
 
     // ------------------------------------------------------------------
@@ -633,14 +848,24 @@ impl Mpi {
     pub fn barrier(&mut self) {
         let entry = self.clock;
         let shared = Arc::clone(&self.shared);
-        let exit: f64 = self.shared.coll.run(self.rank, self.clock, move |clocks| {
-            let n = clocks.len();
-            let exit = clocks.iter().cloned().fold(0.0, f64::max) + shared.barrier_cost();
-            vec![exit; n]
-        });
+        let (exit, dom): (f64, (usize, f64)) =
+            self.shared.coll.run(self.rank, self.clock, move |clocks| {
+                let n = clocks.len();
+                let mut maxc = 0.0f64;
+                let mut slowest = 0usize;
+                for (r, c) in clocks.iter().enumerate() {
+                    if *c > maxc {
+                        maxc = *c;
+                        slowest = r;
+                    }
+                }
+                let exit = maxc + shared.barrier_cost();
+                vec![(exit, (slowest, maxc)); n]
+            });
         self.stats.sync_wait += exit - entry;
         self.stats.barriers += 1;
         self.clock = exit;
+        self.trace_blocking(CallOp::Barrier, entry, exit, 0, Some(dom), None);
     }
 
     /// Access to shared state for sibling modules (p2p, collectives).
@@ -983,6 +1208,50 @@ mod tests {
         let tot = out.total_stats();
         assert_eq!(tot.bytes_put, 1024 * 8);
         assert_eq!(tot.fences, 2);
+    }
+
+    #[test]
+    fn traced_run_tiles_elapsed_and_default_is_untraced() {
+        let tracer = Tracer::enabled();
+        let out = uni(4).with_tracer(tracer.clone()).run(|mpi| {
+            let w = mpi.win_create(64);
+            if mpi.rank() != 0 {
+                mpi.put_region(&w, 0, 16 * mpi.rank(), 16);
+            }
+            mpi.fence_all();
+            mpi.barrier();
+        });
+        let trace = out.trace.as_ref().expect("traced run carries a report");
+        let total = trace.critical.breakdown.total();
+        assert!(
+            (total - out.elapsed()).abs() <= 1e-9 * out.elapsed().max(1e-30),
+            "critical-path components {total} must tile elapsed {}",
+            out.elapsed()
+        );
+        assert!(!tracer.events().is_empty());
+        assert!(tracer.to_chrome_json().contains("\"fence\""));
+
+        let untraced = uni(4).run(|mpi| mpi.barrier());
+        assert!(untraced.trace.is_none());
+    }
+
+    #[test]
+    fn traced_run_is_byte_reproducible() {
+        let run = || {
+            let tracer = Tracer::enabled();
+            uni(4).with_tracer(tracer.clone()).run(|mpi| {
+                let w = mpi.win_create(64);
+                if mpi.rank() != 0 {
+                    mpi.put_region_strided(&w, 0, mpi.rank(), 4, 8);
+                }
+                mpi.fence_all();
+                let v = mpi.allreduce(vec![1.0], AccumulateOp::Sum);
+                mpi.barrier();
+                v
+            });
+            tracer.to_chrome_json()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -7,6 +7,7 @@ use cluster_sim::{ClusterConfig, CpuModel, OpCounts};
 use mpi2::{AccumulateOp, Elem, Mpi, RankStats, Universe, WindowRef};
 use mpi2::sync::ArcMutexGuard;
 use vbus_sim::NetStats;
+use vpce_trace::{EventKind, Lane, TraceReport, Tracer};
 
 use crate::cost::instr_ops_shallow;
 use crate::ir::*;
@@ -48,6 +49,9 @@ pub struct RunReport {
     /// well-synchronised plan; the differential ground truth for the
     /// static `vpce-rmacheck` pass.
     pub rma_conflicts: Vec<mpi2::ConflictRecord>,
+    /// Trace analyses (rollups + critical path) when the run was
+    /// executed through [`execute_traced`] with a live tracer.
+    pub trace: Option<TraceReport>,
 }
 
 /// Result of a sequential execution.
@@ -65,6 +69,19 @@ pub struct SeqReport {
 /// Panics if the cluster size differs from the one the program's
 /// communication plans were generated for.
 pub fn execute(prog: &SpmdProgram, cluster: &ClusterConfig, mode: ExecMode) -> RunReport {
+    execute_traced(prog, cluster, mode, Tracer::disabled())
+}
+
+/// [`execute`] with a tracer attached: every MPI call, link transfer
+/// and SPMD phase of the run lands in the tracer's buffer, and the
+/// report carries the derived analyses. Passing a disabled tracer is
+/// exactly `execute` (and costs nothing).
+pub fn execute_traced(
+    prog: &SpmdProgram,
+    cluster: &ClusterConfig,
+    mode: ExecMode,
+    tracer: Tracer,
+) -> RunReport {
     assert_eq!(
         prog.nprocs,
         cluster.num_nodes(),
@@ -72,7 +89,7 @@ pub fn execute(prog: &SpmdProgram, cluster: &ClusterConfig, mode: ExecMode) -> R
         prog.nprocs,
         cluster.num_nodes()
     );
-    let uni = Universe::new(cluster.clone());
+    let uni = Universe::new(cluster.clone()).with_tracer(tracer);
     let out = uni.run(|mpi| run_rank(prog, mpi, mode));
     let (arrays, scalars) = out.results[0].clone();
     RunReport {
@@ -83,6 +100,7 @@ pub fn execute(prog: &SpmdProgram, cluster: &ClusterConfig, mode: ExecMode) -> R
         arrays,
         scalars,
         rma_conflicts: out.rma_conflicts,
+        trace: out.trace,
     }
 }
 
@@ -139,10 +157,24 @@ fn combine(op: RedOp, a: f64, b: f64) -> f64 {
     }
 }
 
+/// Emit a phase span `[t0, now]` on this rank's lane. The name
+/// closure only runs when somebody is tracing.
+fn phase(mpi: &Mpi, t0: f64, name: impl FnOnce() -> String) {
+    if mpi.tracer().is_enabled() {
+        mpi.tracer().push(
+            Lane::Rank(mpi.rank()),
+            t0,
+            mpi.now(),
+            EventKind::Phase { name: name() },
+        );
+    }
+}
+
 /// Per-rank execution of the whole program.
 fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>>, Vec<Value>) {
     let rank = mpi.rank();
     let nprocs = mpi.size();
+    let t_init = mpi.now();
     // One window per array, full-size on every rank ("all data
     // declared are intrinsically private", §3).
     let wins: Vec<WindowRef> = prog
@@ -158,6 +190,7 @@ fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>
         .max()
         .unwrap_or(0);
     let red_win: Option<WindowRef> = (max_reds > 0).then(|| mpi.win_create(max_reds));
+    phase(mpi, t_init, || "init".to_string());
     let mut interp = Interp {
         scalars: init_scalars(prog),
         mem: Vec::new(), // unused on the MPI path; windows hold memory
@@ -171,6 +204,7 @@ fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>
         match block {
             Block::MasterSeq(instrs) => {
                 if rank == 0 {
+                    let t_serial = mpi.now();
                     let mut guards = lock_all(&wins);
                     match mode {
                         ExecMode::Full => interp.run_on(instrs, &mut guards),
@@ -181,6 +215,7 @@ fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>
                     }
                     drop(guards);
                     flush_cycles(&mut interp, mpi);
+                    phase(mpi, t_serial, || "serial".to_string());
                 }
             }
             Block::Parallel(region) => {
@@ -233,6 +268,8 @@ fn run_region(
     rank: usize,
     nprocs: usize,
 ) {
+    let line = region.line;
+    let t_join = mpi.now();
     // Barrier: slaves are released to join the computation.
     mpi.barrier();
 
@@ -256,6 +293,9 @@ fn run_region(
         }
     }
 
+    phase(mpi, t_join, || format!("join@L{line}"));
+    let t_scatter = mpi.now();
+
     // Data scattering, completed by a fence. Push mode: the master
     // PUTs every slave's regions (its host pays all setup costs,
     // serially). Pull mode: each slave GETs its own regions from the
@@ -275,6 +315,8 @@ fn run_region(
         }
     }
     mpi.fence_all();
+    phase(mpi, t_scatter, || format!("scatter@L{line}"));
+    let t_compute = mpi.now();
 
     // Reductions: save master's running value, seed local accumulator.
     let saved: Vec<f64> = region
@@ -304,6 +346,8 @@ fn run_region(
         interp.cycles = before + (interp.cycles - before) * SPMD_OVERHEAD;
     }
     flush_cycles(interp, mpi);
+    phase(mpi, t_compute, || format!("compute@L{line}"));
+    let t_reduce = mpi.now();
 
     // Reduction combine: everyone contributes its partial — through
     // the collective tree, or through §3's lock/accumulate critical
@@ -346,6 +390,11 @@ fn run_region(
         }
     }
 
+    if !region.reductions.is_empty() {
+        phase(mpi, t_reduce, || format!("reduce@L{line}"));
+    }
+    let t_collect = mpi.now();
+
     // Data collecting (slaves put WriteFirst/ReadWrite regions back to
     // the master), completed by a fence; final barrier closes the
     // region.
@@ -356,6 +405,7 @@ fn run_region(
     }
     mpi.fence_all();
     mpi.barrier();
+    phase(mpi, t_collect, || format!("collect@L{line}"));
 }
 
 fn get_transfer(mpi: &mut Mpi, win: &WindowRef, target: usize, t: &lmad::RegionTransfer) {
@@ -882,5 +932,38 @@ mod tests {
     fn cluster_size_mismatch_rejected() {
         let prog = axpy_prog(4);
         execute(&prog, &ClusterConfig::paper_n(2), ExecMode::Full);
+    }
+
+    #[test]
+    fn traced_execution_emits_phases_without_perturbing_timing() {
+        let prog = axpy_prog(4);
+        let cluster = ClusterConfig::paper_4node();
+        let plain = execute(&prog, &cluster, ExecMode::Full);
+        assert!(plain.trace.is_none(), "default runs carry no trace");
+
+        let tracer = Tracer::enabled();
+        let traced = execute_traced(&prog, &cluster, ExecMode::Full, tracer.clone());
+        assert_eq!(traced.elapsed, plain.elapsed, "tracing must not change time");
+        assert_eq!(traced.arrays, plain.arrays);
+
+        let rep = traced.trace.expect("traced run carries the report");
+        for stage in ["init", "join@L", "scatter@L", "compute@L", "collect@L"] {
+            assert!(
+                rep.summary.phases.iter().any(|p| p.name.starts_with(stage)),
+                "missing phase {stage}: {:?}",
+                rep.summary.phases.iter().map(|p| &p.name).collect::<Vec<_>>()
+            );
+        }
+        // The critical-path components tile the whole run.
+        let total = rep.critical.breakdown.total();
+        assert!(
+            (total - traced.elapsed).abs() <= 1e-9 * traced.elapsed.max(1e-30),
+            "breakdown {total} vs elapsed {}",
+            traced.elapsed
+        );
+        // And the raw buffer exports as Chrome JSON with rank lanes.
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("rank 0"));
     }
 }

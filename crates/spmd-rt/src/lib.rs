@@ -33,7 +33,7 @@ pub mod exec;
 pub mod ir;
 pub mod value;
 
-pub use exec::{execute, execute_sequential, ExecMode, RunReport, SeqReport};
+pub use exec::{execute, execute_sequential, execute_traced, ExecMode, RunReport, SeqReport};
 pub use ir::{
     Block, CommOp, CommPlan, Expr, Instr, IntrinsicOp, ParRegion, RedOp, Schedule, SpmdProgram,
 };

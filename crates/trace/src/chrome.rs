@@ -1,0 +1,231 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the `{"traceEvents": [...]}` object format understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): complete
+//! spans (`"ph":"X"`) for events with duration, instants (`"ph":"i"`)
+//! for zero-length markers, plus `"M"` metadata records naming the
+//! processes and threads.
+//!
+//! Lane mapping:
+//!
+//! * `pid 1` = "ranks" — one thread per MPI rank (`tid` = rank).
+//! * `pid 2` = "interconnect" — one thread per directed link
+//!   (`tid` = link index), plus `tid 9999` for the virtual bus.
+//!
+//! Timestamps: the simulator's virtual clocks are in seconds; the
+//! trace-event format wants microseconds. Values are written with
+//! Rust's default `f64` `Display`, which is deterministic and never
+//! produces exponent notation — a requirement of the golden-trace
+//! tests, and valid JSON.
+//!
+//! The serializer is hand-rolled: the workspace builds offline against
+//! an empty registry, so no serde.
+
+use crate::event::{Event, EventKind, Lane};
+use std::fmt::Write as _;
+
+const BUS_TID: u64 = 9999;
+const RANKS_PID: u64 = 1;
+const NET_PID: u64 = 2;
+
+fn lane_pid_tid(lane: Lane) -> (u64, u64) {
+    match lane {
+        Lane::Rank(r) => (RANKS_PID, r as u64),
+        Lane::Link(l) => (NET_PID, l as u64),
+        Lane::Bus => (NET_PID, BUS_TID),
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Seconds → microseconds, rendered with `f64` `Display` (no exponent
+/// notation, deterministic digits).
+fn us(seconds: f64) -> String {
+    format!("{}", seconds * 1e6)
+}
+
+fn args_json(kind: &EventKind) -> String {
+    match kind {
+        EventKind::Call(c) => {
+            let mut s = format!(
+                "{{\"bytes\":{},\"path\":\"{}\"",
+                c.bytes,
+                c.path.name()
+            );
+            if let Some(p) = &c.parts {
+                let _ = write!(
+                    s,
+                    ",\"setup_queue_us\":{},\"setup_dma_us\":{},\"setup_pio_us\":{},\"chunks\":{}",
+                    us(p.queue_s),
+                    us(p.dma_s),
+                    us(p.pio_s),
+                    p.chunks
+                );
+            }
+            if let Some(d) = &c.dom {
+                let _ = write!(s, ",\"waited_on_rank\":{},\"waited_on_us\":{}", d.rank, us(d.t));
+            }
+            if let Some((n0, n1)) = &c.net {
+                let _ = write!(s, ",\"wire_start_us\":{},\"wire_end_us\":{}", us(*n0), us(*n1));
+            }
+            s.push('}');
+            s
+        }
+        EventKind::Phase { .. } => "{}".to_string(),
+        EventKind::LinkBusy {
+            src,
+            dst,
+            bytes,
+            wait,
+        } => format!(
+            "{{\"src\":{src},\"dst\":{dst},\"bytes\":{bytes},\"blocked_us\":{}}}",
+            us(*wait)
+        ),
+        EventKind::BusBroadcast { root, bytes, setup } => format!(
+            "{{\"root\":{root},\"bytes\":{bytes},\"setup_us\":{}}}",
+            us(*setup)
+        ),
+        EventKind::BusFreeze { links, pushback } => format!(
+            "{{\"frozen_links\":{links},\"pushback_us\":{}}}",
+            us(*pushback)
+        ),
+        EventKind::EpochClose { ops } => format!("{{\"completed_ops\":{ops}}}"),
+    }
+}
+
+fn push_meta(out: &mut String, pid: u64, tid: Option<u64>, key: &str, name: &str) {
+    let _ = match tid {
+        Some(tid) => write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"{key}\",\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ),
+        None => write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"{key}\",\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(name)
+        ),
+    };
+}
+
+/// Serialize `events` (already in deterministic `(lane, seq)` order —
+/// see `Tracer::events`) plus lane labels into a Chrome trace-event
+/// JSON document.
+pub fn to_chrome_json(events: &[Event], lanes: &[(Lane, String)]) -> String {
+    let mut records: Vec<String> = Vec::with_capacity(events.len() + lanes.len() + 2);
+
+    let mut meta = String::new();
+    push_meta(&mut meta, RANKS_PID, None, "process_name", "ranks");
+    records.push(std::mem::take(&mut meta));
+    push_meta(&mut meta, NET_PID, None, "process_name", "interconnect");
+    records.push(std::mem::take(&mut meta));
+    for (lane, label) in lanes {
+        let (pid, tid) = lane_pid_tid(*lane);
+        push_meta(&mut meta, pid, Some(tid), "thread_name", label);
+        records.push(std::mem::take(&mut meta));
+    }
+
+    for ev in events {
+        let (pid, tid) = lane_pid_tid(ev.lane);
+        let name = json_escape(&ev.kind.name());
+        let cat = ev.kind.category();
+        let args = args_json(&ev.kind);
+        let rec = if ev.t1 > ev.t0 {
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\"name\":\"{name}\",\"cat\":\"{cat}\",\"args\":{args}}}",
+                us(ev.t0),
+                us(ev.dur())
+            )
+        } else {
+            format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"s\":\"t\",\"name\":\"{name}\",\"cat\":\"{cat}\",\"args\":{args}}}",
+                us(ev.t0)
+            )
+        };
+        records.push(rec);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, rec) in records.iter().enumerate() {
+        out.push_str(rec);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CallInfo, CallOp};
+
+    fn ev(lane: Lane, t0: f64, t1: f64, kind: EventKind) -> Event {
+        Event {
+            lane,
+            seq: 0,
+            t0,
+            t1,
+            kind,
+        }
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn microseconds_never_use_exponents() {
+        // 1.5 ns in seconds — small enough that naive formatting of the
+        // seconds value would be exponential; in µs it is 0.0015.
+        assert_eq!(us(1.5e-9), "0.0015");
+        assert_eq!(us(2.0), "2000000");
+    }
+
+    #[test]
+    fn span_and_instant_shapes() {
+        let span = ev(
+            Lane::Rank(0),
+            1.0,
+            2.0,
+            EventKind::Call(CallInfo::new(CallOp::Fence)),
+        );
+        let instant = ev(Lane::Bus, 3.0, 3.0, EventKind::EpochClose { ops: 4 });
+        let json = to_chrome_json(&[span, instant], &[(Lane::Rank(0), "rank 0".into())]);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":1000000"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"completed_ops\":4"));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn lane_mapping_is_stable() {
+        assert_eq!(lane_pid_tid(Lane::Rank(3)), (1, 3));
+        assert_eq!(lane_pid_tid(Lane::Link(7)), (2, 7));
+        assert_eq!(lane_pid_tid(Lane::Bus), (2, 9999));
+    }
+}

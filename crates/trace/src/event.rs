@@ -1,0 +1,282 @@
+//! The typed event model: what the stack emits, onto which lane, and
+//! with which provenance.
+//!
+//! Every event carries **virtual** timestamps (seconds, the same
+//! clocks `vbus-sim` and `mpi2` advance) — wall-clock never appears in
+//! a trace, which is why two runs of the same program produce
+//! byte-identical traces.
+
+/// Where an event is drawn. Lanes map onto Chrome trace-event
+/// process/thread pairs: one lane per MPI rank, one per directed
+/// network link, and one for the virtual bus itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Per-rank timeline (MPI call spans, phase spans).
+    Rank(usize),
+    /// Per-directed-link occupancy timeline.
+    Link(usize),
+    /// The virtual bus / whole-interconnect timeline (broadcasts,
+    /// freezes, epoch markers).
+    Bus,
+}
+
+/// Which MPI-level operation a [`EventKind::Call`] span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallOp {
+    Put,
+    Get,
+    Accumulate,
+    Send,
+    Recv,
+    Fence,
+    Barrier,
+    Bcast,
+    Reduce,
+    Gather,
+    Scatter,
+    WinCreate,
+    WinLock,
+    WinUnlock,
+    /// The blocking drain of a passive-target immediate PUT.
+    PutNow,
+    /// The blocking drain of a passive-target immediate accumulate.
+    AccumulateNow,
+}
+
+impl CallOp {
+    /// Stable lowercase name (used in exported traces — part of the
+    /// golden-trace contract).
+    pub fn name(self) -> &'static str {
+        match self {
+            CallOp::Put => "put",
+            CallOp::Get => "get",
+            CallOp::Accumulate => "accumulate",
+            CallOp::Send => "send",
+            CallOp::Recv => "recv",
+            CallOp::Fence => "fence",
+            CallOp::Barrier => "barrier",
+            CallOp::Bcast => "bcast",
+            CallOp::Reduce => "reduce",
+            CallOp::Gather => "gather",
+            CallOp::Scatter => "scatter",
+            CallOp::WinCreate => "win_create",
+            CallOp::WinLock => "win_lock",
+            CallOp::WinUnlock => "win_unlock",
+            CallOp::PutNow => "put_now",
+            CallOp::AccumulateNow => "accumulate_now",
+        }
+    }
+
+    /// Does this call block until remote progress (fences, barriers,
+    /// collectives, receives), as opposed to only spending local host
+    /// cycles on transfer setup?
+    pub fn is_blocking(self) -> bool {
+        matches!(
+            self,
+            CallOp::Fence
+                | CallOp::Barrier
+                | CallOp::Bcast
+                | CallOp::Reduce
+                | CallOp::Gather
+                | CallOp::Scatter
+                | CallOp::WinCreate
+                | CallOp::WinLock
+                | CallOp::Recv
+                | CallOp::PutNow
+                | CallOp::AccumulateNow
+        )
+    }
+}
+
+/// Host-side data path of a transfer-initiating call (§2.2: DMA for
+/// contiguous regions, programmed I/O for strided ones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPath {
+    /// Contiguous: one DMA descriptor, host pays setup only.
+    Dma,
+    /// Strided: the host copies element-by-element into the driver
+    /// buffer.
+    Pio,
+    /// Not a data transfer (fences, barriers…).
+    None,
+}
+
+impl DataPath {
+    pub fn name(self) -> &'static str {
+        match self {
+            DataPath::Dma => "dma",
+            DataPath::Pio => "pio",
+            DataPath::None => "-",
+        }
+    }
+}
+
+/// Breakdown of the host-side setup cost of one transfer, mirroring
+/// `cluster_sim::HostCostBreakdown` (kept structurally here so this
+/// crate stays dependency-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SetupParts {
+    /// Message-queue hops: descriptor posts, and on the conventional
+    /// kernel stack the context switches + staging copies.
+    pub queue_s: f64,
+    /// DMA descriptor programming time.
+    pub dma_s: f64,
+    /// Programmed-I/O element-copy time.
+    pub pio_s: f64,
+    /// Driver-buffer chunks the transfer was split into.
+    pub chunks: u64,
+}
+
+/// What a blocking span's *exit time* was determined by: an event at
+/// `t` on `rank`. The critical-path walk follows these edges backwards
+/// (message completions, fence joins, collective rendezvous).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dominator {
+    pub rank: usize,
+    pub t: f64,
+}
+
+/// Payload of a [`EventKind::Call`] span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallInfo {
+    pub op: CallOp,
+    /// Payload bytes moved by the call (0 for pure synchronization).
+    pub bytes: u64,
+    pub path: DataPath,
+    /// Host setup cost decomposition, when the call initiated a
+    /// transfer.
+    pub parts: Option<SetupParts>,
+    /// What the exit time of a blocking span was waiting on.
+    pub dom: Option<Dominator>,
+    /// The wire interval `[start, end]` of the transfer that dominated
+    /// a blocking span (network-occupancy attribution).
+    pub net: Option<(f64, f64)>,
+}
+
+impl CallInfo {
+    /// A plain call with no transfer payload and no provenance.
+    pub fn new(op: CallOp) -> Self {
+        CallInfo {
+            op,
+            bytes: 0,
+            path: DataPath::None,
+            parts: None,
+            dom: None,
+            net: None,
+        }
+    }
+}
+
+/// The typed event vocabulary of the whole stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An MPI call span on a rank lane.
+    Call(CallInfo),
+    /// A runtime phase span on a rank lane (scatter/compute/collect…),
+    /// enclosing the call spans it contains.
+    Phase { name: String },
+    /// A wormhole message holding one directed link from `t0` to `t1`
+    /// (drawn on that link's lane). `wait` is how long the worm was
+    /// blocked before acquiring its path.
+    LinkBusy {
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        wait: f64,
+    },
+    /// A hardware virtual-bus broadcast: `t0` is readiness, the bus is
+    /// erected over `setup` seconds, and data drains until `t1`.
+    BusBroadcast { root: usize, bytes: u64, setup: f64 },
+    /// In-flight point-to-point messages were frozen in buffers while
+    /// the bus held the links: `links` reservations pushed back by
+    /// `pushback` seconds each.
+    BusFreeze { links: u64, pushback: f64 },
+    /// An access epoch closed at a fence; `ops` buffered one-sided
+    /// operations completed.
+    EpochClose { ops: u64 },
+}
+
+impl EventKind {
+    /// Stable display name (part of the golden-trace contract).
+    pub fn name(&self) -> String {
+        match self {
+            EventKind::Call(c) => c.op.name().to_string(),
+            EventKind::Phase { name } => name.clone(),
+            EventKind::LinkBusy { src, dst, .. } => format!("msg {src}->{dst}"),
+            EventKind::BusBroadcast { root, .. } => format!("vbus-bcast from {root}"),
+            EventKind::BusFreeze { .. } => "freeze".to_string(),
+            EventKind::EpochClose { .. } => "epoch-close".to_string(),
+        }
+    }
+
+    /// Trace-event category the exporter tags this kind with.
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::Call(_) => "mpi",
+            EventKind::Phase { .. } => "phase",
+            EventKind::LinkBusy { .. } => "net",
+            EventKind::BusBroadcast { .. } | EventKind::BusFreeze { .. } => "bus",
+            EventKind::EpochClose { .. } => "epoch",
+        }
+    }
+}
+
+/// One recorded event. `seq` is the per-lane emission index — the
+/// deterministic tiebreaker that makes exports byte-reproducible
+/// regardless of OS thread scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub lane: Lane,
+    pub seq: u64,
+    /// Start virtual time, seconds.
+    pub t0: f64,
+    /// End virtual time, seconds (`== t0` for instant events).
+    pub t1: f64,
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Span duration (0 for instants).
+    pub fn dur(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_order_groups_ranks_before_links_before_bus() {
+        let mut lanes = vec![Lane::Bus, Lane::Link(0), Lane::Rank(1), Lane::Rank(0)];
+        lanes.sort();
+        assert_eq!(
+            lanes,
+            vec![Lane::Rank(0), Lane::Rank(1), Lane::Link(0), Lane::Bus]
+        );
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(CallOp::Fence.is_blocking());
+        assert!(CallOp::Barrier.is_blocking());
+        assert!(CallOp::Recv.is_blocking());
+        assert!(!CallOp::Put.is_blocking());
+        assert!(!CallOp::Send.is_blocking());
+        assert!(!CallOp::WinUnlock.is_blocking());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CallOp::WinCreate.name(), "win_create");
+        assert_eq!(DataPath::Pio.name(), "pio");
+        let k = EventKind::LinkBusy {
+            src: 0,
+            dst: 3,
+            bytes: 64,
+            wait: 0.0,
+        };
+        assert_eq!(k.name(), "msg 0->3");
+        assert_eq!(k.category(), "net");
+    }
+}

@@ -20,6 +20,7 @@ use crate::link::LinkRate;
 use crate::stats::{LinkStats, NetStats};
 use crate::topology::{NodeId, Topology};
 use crate::Time;
+use vpce_trace::{EventKind, Lane, Tracer};
 
 /// Virtual-bus parameters.
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +131,9 @@ pub struct NetSim {
     link_busy: Vec<Time>,
     per_link: Vec<LinkStats>,
     stats: NetStats,
+    /// Trace sink — the no-op tracer by default; link-occupancy and
+    /// virtual-bus events are emitted only when enabled.
+    tracer: Tracer,
 }
 
 impl NetSim {
@@ -141,7 +145,17 @@ impl NetSim {
             link_busy: vec![0.0; n_links],
             per_link: vec![LinkStats::default(); n_links],
             stats: NetStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a trace sink. Links that carry traffic get their own
+    /// lanes; the virtual bus draws on the shared bus lane.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        if tracer.is_enabled() {
+            tracer.register_lane(Lane::Bus, "virtual bus".to_string());
+        }
+        self.tracer = tracer;
     }
 
     /// The configuration this simulator was built with.
@@ -204,6 +218,24 @@ impl NetSim {
         self.stats.p2p_bytes += bytes as u64;
         self.stats.contention_wait += waited;
         self.stats.horizon = self.stats.horizon.max(end);
+        if self.tracer.is_enabled() {
+            // A wormhole holds its whole path for [start, end]: one
+            // occupancy span per traversed link.
+            for &l in &path {
+                self.tracer.register_lane(Lane::Link(l), format!("link {l}"));
+                self.tracer.push(
+                    Lane::Link(l),
+                    start,
+                    end,
+                    EventKind::LinkBusy {
+                        src,
+                        dst,
+                        bytes: bytes as u64,
+                        wait: waited,
+                    },
+                );
+            }
+        }
         Transfer {
             start,
             end,
@@ -247,12 +279,14 @@ impl NetSim {
         // back by the bus duration ("frozen in buffers"); and the bus
         // itself occupies every channel until it is torn down, so
         // traffic scheduled later waits for `end`.
+        let mut frozen_here = 0u64;
         for (l, busy) in self.link_busy.iter_mut().enumerate() {
             if *busy > start {
                 *busy += duration;
                 self.per_link[l].busy += duration;
                 self.stats.frozen_time += duration;
                 self.stats.frozen_links += 1;
+                frozen_here += 1;
             } else {
                 *busy = end;
                 self.per_link[l].busy += duration;
@@ -261,6 +295,29 @@ impl NetSim {
         self.stats.broadcasts += 1;
         self.stats.broadcast_bytes += bytes as u64;
         self.stats.horizon = self.stats.horizon.max(end);
+        if self.tracer.is_enabled() {
+            self.tracer.push(
+                Lane::Bus,
+                ready,
+                end,
+                EventKind::BusBroadcast {
+                    root: src,
+                    bytes: bytes as u64,
+                    setup,
+                },
+            );
+            if frozen_here > 0 {
+                self.tracer.push(
+                    Lane::Bus,
+                    start,
+                    start,
+                    EventKind::BusFreeze {
+                        links: frozen_here,
+                        pushback: duration,
+                    },
+                );
+            }
+        }
         Some(Transfer {
             start,
             end,

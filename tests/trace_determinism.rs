@@ -1,0 +1,63 @@
+//! Trace determinism: tracing a program twice must yield byte-identical
+//! Chrome JSON. The simulation is virtual-time-deterministic; the trace
+//! subsystem must not reintroduce nondeterminism through map iteration
+//! order, thread interleaving of emissions, or float formatting.
+
+use vpce::cli::{parse_args, run};
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn trace_json(fixture: &str, extra_args: &str) -> String {
+    let source = std::fs::read_to_string(repo_path(&format!("examples/fortran/{fixture}")))
+        .expect("fixture exists");
+    let argv: Vec<String> = format!("{fixture} --trace out.json {extra_args}")
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let out = run(&source, &parse_args(&argv).expect("args parse")).expect("fixture compiles");
+    out.trace_json.expect("--trace produces a payload")
+}
+
+#[test]
+fn same_run_twice_is_byte_identical() {
+    for args in [
+        "--nodes 2 --grain fine",
+        "--nodes 4 --grain coarse",
+        "--nodes 4 --grain middle --schedule cyclic",
+    ] {
+        let a = trace_json("saxpy.f", args);
+        let b = trace_json("saxpy.f", args);
+        assert_eq!(a, b, "trace JSON drifted between identical runs ({args})");
+        assert!(a.contains("\"traceEvents\""), "{args}");
+    }
+}
+
+#[test]
+fn traces_never_leak_wall_clock() {
+    // Every timestamp is virtual; two runs separated by real time must
+    // agree (covered above), and the JSON must not contain exponent
+    // notation that a strict parser could choke on.
+    let json = trace_json("mm.f", "--nodes 4 --param N=16 --grain fine");
+    for needle in ["\"ts\": -", "e-", "e+", "E-", "E+"] {
+        assert!(!json.contains(needle), "bad number format: {needle}");
+    }
+}
+
+#[test]
+fn tracing_identical_with_and_without_summary() {
+    // --trace-summary changes what is printed, not what is recorded.
+    let source =
+        std::fs::read_to_string(repo_path("examples/fortran/saxpy.f")).expect("fixture exists");
+    let argv = |extra: &str| -> Vec<String> {
+        format!("saxpy.f --nodes 2 --grain fine --trace o.json{extra}")
+            .split_whitespace()
+            .map(String::from)
+            .collect()
+    };
+    let plain = run(&source, &parse_args(&argv("")).unwrap()).unwrap();
+    let with_summary = run(&source, &parse_args(&argv(" --trace-summary")).unwrap()).unwrap();
+    assert_eq!(plain.trace_json, with_summary.trace_json);
+    assert!(with_summary.text.contains("critical path:"));
+}

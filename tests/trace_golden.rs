@@ -1,0 +1,70 @@
+//! Golden trace over the `examples/fortran/saxpy.f` fixture: the
+//! Chrome trace-event JSON that `vpcec --trace` emits is diffed
+//! byte-for-byte against a checked-in expectation, so any drift in
+//! event content, lane layout, or number formatting is a deliberate,
+//! reviewed change. Regenerate with `UPDATE_GOLDEN=1 cargo test -q
+//! -p vpce --test trace_golden`.
+
+use vpce::cli::{parse_args, run};
+use vpce::{compile, execute_traced, BackendOptions, ClusterConfig, ExecMode, Granularity, Tracer};
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+const FIXTURE_ARGS: &str = "saxpy.f --nodes 2 --param N=16 --grain fine --trace out.json";
+
+#[test]
+fn saxpy_trace_matches_golden() {
+    let source =
+        std::fs::read_to_string(repo_path("examples/fortran/saxpy.f")).expect("fixture exists");
+    let argv: Vec<String> = FIXTURE_ARGS.split_whitespace().map(String::from).collect();
+    let out = run(&source, &parse_args(&argv).expect("args parse")).expect("fixture compiles");
+    let json = out.trace_json.expect("--trace produces a payload");
+
+    let golden_path = repo_path("tests/golden/saxpy_trace.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &json).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {golden_path}: {e}"));
+    assert_eq!(
+        json, expected,
+        "saxpy trace drifted from tests/golden/saxpy_trace.json; if \
+         intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn saxpy_critical_path_tiles_the_elapsed_time() {
+    // The ISSUE's core invariant, checked on the same fixture the
+    // golden pins: compute + setup + occupancy + wait == elapsed.
+    let source =
+        std::fs::read_to_string(repo_path("examples/fortran/saxpy.f")).expect("fixture exists");
+    let opts = BackendOptions::new(2).granularity(Granularity::Fine);
+    let compiled = compile(&source, &[("N", 16)], &opts).expect("fixture compiles");
+    let rep = execute_traced(
+        &compiled.program,
+        &ClusterConfig::paper_n(2),
+        ExecMode::Full,
+        Tracer::enabled(),
+    );
+    let trace = rep.trace.expect("traced run carries the report");
+    let b = &trace.critical.breakdown;
+    let total = b.total();
+    assert!(
+        (total - rep.elapsed).abs() <= 1e-9 * rep.elapsed.max(1e-30),
+        "critical-path components must tile [0, elapsed]: \
+         compute {} + setup {} + occupancy {} + wait {} = {total} vs elapsed {}",
+        b.compute,
+        b.setup,
+        b.occupancy,
+        b.wait,
+        rep.elapsed
+    );
+    // Every component is a time, not a residual: none may be negative.
+    for part in [b.compute, b.setup, b.occupancy, b.wait] {
+        assert!(part >= 0.0, "negative component in {b:?}");
+    }
+}
