@@ -10,13 +10,17 @@
 //!   software broadcast (C3), DMA vs PIO one-sided transfers (C4);
 //! * [`ablation`] — AVPG elimination (A1), user-level vs kernel stack
 //!   (A2), block vs cyclic partitioning (A3), and the §5.6 overlap
-//!   safety check (A4).
+//!   safety check (A4);
+//! * [`chaos`] — the fault matrix: workloads under seeded fault
+//!   schedules, recording the self-healing transport's counters and
+//!   the byte-identity invariant.
 //!
 //! Each module computes plain data structures; the `table1`, `table2`,
-//! `hwclaims` and `ablation` binaries print them as the paper-style
-//! rows recorded in `EXPERIMENTS.md`.
+//! `hwclaims`, `ablation` and `chaos` binaries print them as the
+//! paper-style rows recorded in `EXPERIMENTS.md`.
 
 pub mod ablation;
+pub mod chaos;
 pub mod hwclaims;
 pub mod table1;
 pub mod table2;

@@ -22,6 +22,7 @@
 //! CPU-side cost; the wire time itself is the network simulator's job.
 
 use crate::cpu::CpuModel;
+use vpce_faults::{site, FaultInjector, VpceError};
 
 /// Shape of a one-sided transfer as seen by the NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,13 +64,22 @@ pub struct HostCostBreakdown {
     pub pio_copy_s: f64,
     /// Driver-buffer chunks the transfer was split into.
     pub chunks: usize,
+    /// Extra host seconds spent on fault recovery: re-posting rejected
+    /// DMA descriptors, redoing corrupted PIO copies, and riding out
+    /// injected driver-queue stalls. Always 0 without fault injection.
+    pub retry_s: f64,
+    /// DMA descriptor re-posts plus PIO copy re-dos performed.
+    pub retries: u64,
+    /// Injected shared-queue stalls ridden out.
+    pub stalls: u64,
 }
 
 impl HostCostBreakdown {
     /// Total host seconds — identical to what
-    /// [`NicModel::host_overhead`] returns.
+    /// [`NicModel::host_overhead`] returns (which never pays retries),
+    /// plus any fault-recovery cost on the injected path.
     pub fn total(&self) -> f64 {
-        self.queue_s + self.dma_setup_s + self.pio_copy_s
+        self.queue_s + self.dma_setup_s + self.pio_copy_s + self.retry_s
     }
 }
 
@@ -191,6 +201,73 @@ impl NicModel {
         }
         out
     }
+
+    /// [`host_breakdown`](Self::host_breakdown) under an armed fault
+    /// plane: the shared driver queue may stall, each chunk's DMA
+    /// descriptor may be rejected and re-programmed, and the PIO copy
+    /// may be detected corrupt and redone — every recovery bounded by
+    /// the spec's retry budget, every draw a pure hash of
+    /// `(rank, seq, chunk, attempt)` so the cost is deterministic.
+    /// `seq` is the caller's per-rank host-operation counter.
+    pub fn host_breakdown_faulty(
+        &self,
+        kind: TransferKind,
+        cpu: &CpuModel,
+        inj: &FaultInjector,
+        rank: usize,
+        seq: u64,
+    ) -> Result<HostCostBreakdown, VpceError> {
+        let mut out = self.host_breakdown(kind, cpu);
+        if !inj.enabled() {
+            return Ok(out);
+        }
+        let spec = inj.spec();
+        let key = ((rank as u64) << 32) ^ seq;
+        if inj.hits(spec.nic_stall, site::NIC_STALL, key, 0) {
+            out.retry_s += spec.nic_stall_s;
+            out.stalls += 1;
+        }
+        match kind {
+            TransferKind::Contiguous { .. } => {
+                // Each chunk programs its own descriptor; a rejected
+                // descriptor is re-programmed after a short backoff.
+                for chunk in 0..out.chunks as u64 {
+                    let mut attempt: u32 = 1;
+                    while inj.hits(spec.dma_err, site::DMA_ERR, key, (chunk << 8) | attempt as u64)
+                    {
+                        if attempt >= spec.max_retries.saturating_add(1) {
+                            return Err(VpceError::NicFailure {
+                                rank,
+                                what: "DMA descriptor",
+                                attempts: attempt,
+                            });
+                        }
+                        out.retry_s += self.dma_setup_s + inj.backoff_delay(attempt);
+                        out.retries += 1;
+                        attempt += 1;
+                    }
+                }
+            }
+            TransferKind::Strided { .. } => {
+                // A corrupted element batch is detected at the end of
+                // the copy and the whole copy redone.
+                let mut attempt: u32 = 1;
+                while inj.hits(spec.pio_err, site::PIO_ERR, key, attempt as u64) {
+                    if attempt >= spec.max_retries.saturating_add(1) {
+                        return Err(VpceError::NicFailure {
+                            rank,
+                            what: "PIO copy",
+                            attempts: attempt,
+                        });
+                    }
+                    out.retry_s += out.pio_copy_s;
+                    out.retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +381,73 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn faulty_breakdown_with_off_spec_is_identical() {
+        use vpce_faults::FaultSpec;
+        let nic = NicModel::vbus_card();
+        let inj = FaultInjector::new(FaultSpec::off());
+        for kind in [
+            TransferKind::Contiguous { bytes: 1 << 20 },
+            TransferKind::Strided { elems: 512, elem_bytes: 8 },
+        ] {
+            let plain = nic.host_breakdown(kind, &cpu());
+            let faulty = nic.host_breakdown_faulty(kind, &cpu(), &inj, 0, 7).unwrap();
+            assert_eq!(plain, faulty);
+            assert_eq!(faulty.retry_s, 0.0);
+        }
+    }
+
+    #[test]
+    fn dma_and_pio_retries_cost_deterministic_host_time() {
+        use vpce_faults::FaultSpec;
+        let nic = NicModel::vbus_card();
+        let inj = FaultInjector::new(FaultSpec {
+            seed: 3,
+            dma_err: 0.4,
+            pio_err: 0.4,
+            nic_stall: 0.3,
+            ..FaultSpec::off()
+        });
+        let mut saw_retry = false;
+        let mut saw_stall = false;
+        for seq in 0..40u64 {
+            for kind in [
+                TransferKind::Contiguous { bytes: 1 << 20 },
+                TransferKind::Strided { elems: 256, elem_bytes: 8 },
+            ] {
+                let a = nic.host_breakdown_faulty(kind, &cpu(), &inj, 1, seq).unwrap();
+                let b = nic.host_breakdown_faulty(kind, &cpu(), &inj, 1, seq).unwrap();
+                assert_eq!(a, b, "same (rank, seq) must cost the same");
+                assert!(a.total() >= nic.host_overhead(kind, &cpu()));
+                saw_retry |= a.retries > 0;
+                saw_stall |= a.stalls > 0;
+            }
+        }
+        assert!(saw_retry, "0.4 error rates must fire in 80 ops");
+        assert!(saw_stall);
+    }
+
+    #[test]
+    fn exhausted_nic_budget_is_a_typed_error() {
+        use vpce_faults::FaultSpec;
+        let nic = NicModel::vbus_card();
+        let inj = FaultInjector::new(FaultSpec {
+            seed: 0,
+            dma_err: 1.0,
+            max_retries: 2,
+            ..FaultSpec::off()
+        });
+        let err = nic
+            .host_breakdown_faulty(TransferKind::Contiguous { bytes: 64 }, &cpu(), &inj, 3, 0)
+            .unwrap_err();
+        match err {
+            VpceError::NicFailure { rank: 3, what, attempts: 3 } => {
+                assert_eq!(what, "DMA descriptor");
+            }
+            other => panic!("expected NicFailure, got {other:?}"),
         }
     }
 

@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 
 use lmad::Granularity;
-use spmd_rt::{ExecMode, Schedule};
+use spmd_rt::{ExecMode, FaultSpec, Schedule};
 use vpce_trace::Tracer;
 
 use crate::{BackendOptions, ClusterConfig, FrontError};
@@ -30,6 +30,8 @@ pub struct CliArgs {
     pub unsafe_collect: bool,
     pub trace: Option<String>,
     pub trace_summary: bool,
+    pub faults: FaultSpec,
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for CliArgs {
@@ -51,6 +53,8 @@ impl Default for CliArgs {
             unsafe_collect: false,
             trace: None,
             trace_summary: false,
+            faults: FaultSpec::off(),
+            fault_seed: None,
         }
     }
 }
@@ -85,6 +89,15 @@ USAGE: vpcec <file.f> [options]
   --trace-summary      print per-phase rollups (DMA vs PIO bytes,
                        setup time, fence waits) and the critical-path
                        breakdown of the run
+  --faults SPEC        inject a deterministic fault schedule: off,
+                       light, heavy or crashy, tunable with key=value
+                       pairs (e.g. light,drop=0.2,retries=10,seed=7).
+                       Survivable schedules self-heal (CRC/ack/
+                       retransmit, V-Bus degradation to a software
+                       tree) and leave results bit-identical; an
+                       unsurvivable schedule exits 3 with a one-line
+                       typed diagnosis
+  --fault-seed N       override the fault schedule's PRNG seed
 ";
 
 /// Parse an argument vector (excluding argv[0]).
@@ -135,6 +148,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                 out.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
             }
             "--trace-summary" => out.trace_summary = true,
+            "--faults" => {
+                let spec = it.next().ok_or("--faults needs a schedule spec")?;
+                out.faults = FaultSpec::parse(spec)?;
+            }
+            "--fault-seed" => {
+                out.fault_seed = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--fault-seed needs a number")?,
+                );
+            }
             other if !other.starts_with('-') && out.source_path.is_empty() => {
                 out.source_path = other.to_string();
             }
@@ -144,13 +168,17 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     if out.source_path.is_empty() {
         return Err("no source file given".into());
     }
+    if let Some(seed) = out.fault_seed {
+        out.faults.seed = seed;
+    }
     Ok(out)
 }
 
 /// What one driver invocation produced: the report text, the process
-/// exit code (nonzero only in `--lint` mode: 1 = warnings,
-/// 2 = conflicts), and the JSON lint payload when `--lint-json` was
-/// requested (the binary writes it; this function stays I/O-free).
+/// exit code (`--lint` mode: 1 = warnings, 2 = conflicts; a fault the
+/// stack could not survive: 3), and the JSON lint payload when
+/// `--lint-json` was requested (the binary writes it; this function
+/// stays I/O-free).
 #[derive(Debug, Clone)]
 pub struct RunOutput {
     pub text: String,
@@ -228,8 +256,27 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
     } else {
         Tracer::disabled()
     };
-    let parallel =
-        spmd_rt::execute_traced(&compiled.program, &cluster, args.mode, tracer.clone());
+    let parallel = match spmd_rt::try_execute_traced(
+        &compiled.program,
+        &cluster,
+        args.mode,
+        tracer.clone(),
+        args.faults.clone(),
+    ) {
+        Ok(rep) => rep,
+        Err(e) => {
+            // Unsurvivable fault (or a program/cluster mismatch): a
+            // one-line typed diagnosis and a distinct exit code, never
+            // a panic.
+            let _ = writeln!(out, "error: {e}");
+            return Ok(RunOutput {
+                text: out,
+                exit: e.exit_code(),
+                lint_json: None,
+                trace_json: None,
+            });
+        }
+    };
     let sequential =
         spmd_rt::execute_sequential(&compiled.program, &cluster.node.cpu, args.mode);
 
@@ -259,6 +306,12 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
             out,
             "  results identical to sequential execution: {identical}"
         );
+    }
+    // The fault ledger prints only when a schedule is active, so a
+    // fault-free invocation's report is byte-identical to the
+    // pre-fault-plane output.
+    if !args.faults.is_off() {
+        out.push_str(&crate::report::describe_faults(&args.faults, &parallel));
     }
     if args.trace_summary {
         if let Some(rep) = &parallel.trace {
@@ -427,6 +480,52 @@ mod tests {
             traced.text
         );
         assert!(traced.trace_json.is_some());
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let a = parse_args(&argv("prog.f --faults light,drop=0.2 --fault-seed 9")).unwrap();
+        assert!(!a.faults.is_off());
+        assert_eq!(a.faults.link_drop, 0.2);
+        assert_eq!(a.faults.seed, 9, "--fault-seed overrides the spec seed");
+        assert!(parse_args(&argv("prog.f --faults drop=2.0")).is_err());
+        assert!(parse_args(&argv("prog.f --fault-seed x")).is_err());
+        assert!(parse_args(&argv("prog.f --faults")).is_err());
+    }
+
+    #[test]
+    fn faulty_run_self_heals_and_reports_the_ledger() {
+        let args = parse_args(&argv("x.f --grain fine --faults heavy,seed=3")).unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert_eq!(out.exit, 0, "{}", out.text);
+        assert!(
+            out.text
+                .contains("results identical to sequential execution: true"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("fault schedule: seed 3"), "{}", out.text);
+        assert!(out.text.contains("self-healing:"), "{}", out.text);
+    }
+
+    #[test]
+    fn off_schedule_output_is_byte_identical_to_no_flag() {
+        let plain = run(SRC, &parse_args(&argv("x.f --grain fine")).unwrap()).unwrap();
+        let off =
+            run(SRC, &parse_args(&argv("x.f --grain fine --faults off")).unwrap()).unwrap();
+        assert_eq!(plain.text, off.text);
+        assert_eq!(plain.exit, off.exit);
+        assert!(!plain.text.contains("fault schedule"));
+    }
+
+    #[test]
+    fn unsurvivable_fault_exits_3_with_one_line_diagnosis() {
+        let args =
+            parse_args(&argv("x.f --grain fine --faults drop=1.0,retries=2")).unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert_eq!(out.exit, 3, "{}", out.text);
+        assert!(out.text.contains("error: link failure"), "{}", out.text);
+        assert!(!out.text.contains("speedup"), "{}", out.text);
     }
 
     #[test]

@@ -33,6 +33,31 @@ pub fn describe_comm(stats: &[RankStats]) -> String {
     out
 }
 
+/// Describe what the fault plane injected and what the self-healing
+/// machinery did about it: the CRC/ack/retransmit ledger, degraded
+/// V-Bus collectives, and NIC-level retries. Printed only when a
+/// fault schedule is active.
+pub fn describe_faults(spec: &spmd_rt::FaultSpec, rep: &spmd_rt::RunReport) -> String {
+    let net = &rep.net;
+    let mut total = RankStats::default();
+    for s in &rep.rank_stats {
+        total.merge(s);
+    }
+    let mut out = format!(
+        "  fault schedule: seed {} | {} CRC failures | {} packets dropped | {} link stalls\n",
+        spec.seed, net.crc_failures, net.packets_dropped, net.link_stalls
+    );
+    out.push_str(&format!(
+        "  self-healing: {} retransmits | {:.6}s backoff | {:.6}s recovery on the wire\n",
+        net.retransmits, net.backoff_time, net.recovery_time
+    ));
+    out.push_str(&format!(
+        "  degraded paths: {} V-Bus fallbacks to software tree ({} failed bus attempts) | {} NIC retries, {} NIC stalls ({:.6}s)\n",
+        net.bus_degraded, net.bus_fail_attempts, total.nic_retries, total.nic_stalls, total.nic_retry_s
+    ));
+    out
+}
+
 /// Describe the front-end's findings: which loops parallelised and
 /// why the others did not.
 pub fn describe_frontend(analyzed: &AnalyzedProgram) -> String {

@@ -1,0 +1,169 @@
+//! The typed error hierarchy for the whole stack.
+//!
+//! Every non-test failure path in `mpi2` and `spmd-rt` funnels into
+//! [`VpceError`]. Inside a rank thread the error travels as a typed
+//! panic payload (see [`crate::raise`]) so it can cross the scoped
+//! thread join; `Universe::try_run` downcasts it back and returns a
+//! `Result`, so callers never see a raw panic for a modelled fault.
+//!
+//! Display strings are part of the public contract: several phrases
+//! ("RMA past end of window", "compiled for", "INTEGER required",
+//! "collective poisoned") are pinned by tests and by the infallible
+//! wrappers that re-panic with the Display text.
+
+use std::fmt;
+
+/// A structured failure anywhere in the simulated stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VpceError {
+    /// A point-to-point packet exhausted its retransmit budget.
+    LinkFailure {
+        src: usize,
+        dst: usize,
+        attempts: u32,
+    },
+    /// V-Bus construction failed and no degraded path was permitted.
+    BusFailure { root: usize, attempts: u32 },
+    /// A NIC-level operation (DMA descriptor / PIO copy) exhausted
+    /// its retry budget on the host side.
+    NicFailure {
+        rank: usize,
+        what: &'static str,
+        attempts: u32,
+    },
+    /// A rank was killed by the fault schedule.
+    RankCrash { rank: usize, region: String },
+    /// An RMA operation reached past the end of the target window.
+    RmaBounds {
+        target: usize,
+        offset: usize,
+        len: usize,
+        size: usize,
+    },
+    /// A target rank outside the communicator.
+    RankOutOfRange { what: &'static str, rank: usize, size: usize },
+    /// Lock/unlock protocol misuse (double lock, unlock without lock,
+    /// passive-target op outside an epoch).
+    LockState { msg: String },
+    /// A peer rank failed while this rank was blocked on it.
+    PeerFailure { msg: String },
+    /// Program/cluster shape mismatch.
+    SizeMismatch { program: usize, cluster: usize },
+    /// Interpreter-level type violation (REAL where INTEGER required,
+    /// division by zero, ...).
+    TypeViolation { msg: String },
+    /// Caller handed the runtime an argument that cannot be honoured.
+    InvalidArgument { msg: String },
+    /// An internal invariant broke; always a bug, never a modelled fault.
+    Internal { msg: String },
+}
+
+impl VpceError {
+    /// Stable process exit code `vpcec` maps this error to.
+    /// (0 = ok, 1 = usage/front-end, 2 = lint findings, 3 = runtime error.)
+    pub fn exit_code(&self) -> i32 {
+        3
+    }
+
+    /// True when the error is an *injected* (modelled) fault rather
+    /// than a program/runtime misuse.
+    pub fn is_injected(&self) -> bool {
+        matches!(
+            self,
+            VpceError::LinkFailure { .. }
+                | VpceError::BusFailure { .. }
+                | VpceError::NicFailure { .. }
+                | VpceError::RankCrash { .. }
+        )
+    }
+
+    /// Short stable category tag (used in diagnostics and JSON).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VpceError::LinkFailure { .. } => "link-failure",
+            VpceError::BusFailure { .. } => "bus-failure",
+            VpceError::NicFailure { .. } => "nic-failure",
+            VpceError::RankCrash { .. } => "rank-crash",
+            VpceError::RmaBounds { .. } => "rma-bounds",
+            VpceError::RankOutOfRange { .. } => "rank-out-of-range",
+            VpceError::LockState { .. } => "lock-state",
+            VpceError::PeerFailure { .. } => "peer-failure",
+            VpceError::SizeMismatch { .. } => "size-mismatch",
+            VpceError::TypeViolation { .. } => "type-violation",
+            VpceError::InvalidArgument { .. } => "invalid-argument",
+            VpceError::Internal { .. } => "internal",
+        }
+    }
+}
+
+impl fmt::Display for VpceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpceError::LinkFailure { src, dst, attempts } => write!(
+                f,
+                "link failure: packet {src}->{dst} lost after {attempts} attempts (retransmit budget exhausted)"
+            ),
+            VpceError::BusFailure { root, attempts } => write!(
+                f,
+                "V-Bus construction from node {root} failed after {attempts} attempts"
+            ),
+            VpceError::NicFailure { rank, what, attempts } => write!(
+                f,
+                "NIC failure on rank {rank}: {what} failed after {attempts} attempts"
+            ),
+            VpceError::RankCrash { rank, region } => {
+                write!(f, "rank {rank} crashed (fault schedule) at {region}")
+            }
+            VpceError::RmaBounds { target, offset, len, size } => write!(
+                f,
+                "RMA past end of window: offset {offset} + len {len} > size {size} on target rank {target}"
+            ),
+            VpceError::RankOutOfRange { what, rank, size } => {
+                write!(f, "{what} rank out of range: {rank} >= {size}")
+            }
+            VpceError::LockState { msg } => write!(f, "{msg}"),
+            VpceError::PeerFailure { msg } => write!(f, "{msg}"),
+            VpceError::SizeMismatch { program, cluster } => write!(
+                f,
+                "program compiled for {program} ranks, cluster has {cluster}"
+            ),
+            VpceError::TypeViolation { msg } => write!(f, "{msg}"),
+            VpceError::InvalidArgument { msg } => write!(f, "{msg}"),
+            VpceError::Internal { msg } => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VpceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_display_phrases_survive() {
+        // These substrings are load-bearing: infallible wrappers panic
+        // with the Display text and existing tests match on them.
+        let e = VpceError::RmaBounds { target: 1, offset: 9, len: 4, size: 8 };
+        assert!(e.to_string().contains("RMA past end of window"));
+        let e = VpceError::SizeMismatch { program: 4, cluster: 2 };
+        assert!(e.to_string().contains("compiled for"));
+        let e = VpceError::RankOutOfRange { what: "target", rank: 7, size: 4 };
+        assert!(e.to_string().contains("target rank out of range"));
+        let e = VpceError::PeerFailure {
+            msg: "collective poisoned: a peer rank panicked".into(),
+        };
+        assert!(e.to_string().contains("collective poisoned"));
+    }
+
+    #[test]
+    fn injected_vs_misuse_split() {
+        assert!(VpceError::RankCrash { rank: 0, region: "r".into() }.is_injected());
+        assert!(VpceError::LinkFailure { src: 0, dst: 1, attempts: 9 }.is_injected());
+        assert!(!VpceError::LockState { msg: "x".into() }.is_injected());
+        assert_eq!(
+            VpceError::BusFailure { root: 0, attempts: 3 }.exit_code(),
+            3
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Typed-panic propagation: how a [`VpceError`] crosses a rank thread.
+//!
+//! Rank bodies run as closures inside scoped threads; the only way out
+//! of an arbitrary call depth without threading `Result` through every
+//! user-visible signature is unwinding. [`raise`] wraps the error in
+//! [`Raised`] and panics with it; the universe catches the join,
+//! downcasts with [`take_raised`], and returns a proper `Result`.
+//! Anything that unwinds with a *non*-`Raised` payload is a genuine
+//! bug and is resumed as-is.
+
+use std::any::Any;
+use std::panic;
+use std::sync::OnceLock;
+
+use crate::error::VpceError;
+
+/// Panic payload carrying a typed error across an unwind boundary.
+pub struct Raised(pub VpceError);
+
+/// Unwind out of the current rank with a typed error.
+///
+/// Installs the quiet panic hook first so the default hook does not
+/// spray a backtrace for what is a modelled, recoverable failure.
+pub fn raise(err: VpceError) -> ! {
+    install_quiet_hook();
+    panic::panic_any(Raised(err));
+}
+
+/// Recover the typed error from a caught unwind payload, or hand the
+/// payload back unchanged if it was a plain panic.
+pub fn take_raised(
+    payload: Box<dyn Any + Send + 'static>,
+) -> Result<VpceError, Box<dyn Any + Send + 'static>> {
+    match payload.downcast::<Raised>() {
+        Ok(r) => Ok(r.0),
+        Err(other) => Err(other),
+    }
+}
+
+/// Borrowing peek used by panic hooks and poison paths.
+pub fn raised_ref(payload: &(dyn Any + Send)) -> Option<&VpceError> {
+    payload.downcast_ref::<Raised>().map(|r| &r.0)
+}
+
+/// Install (once) a panic hook that stays silent for [`Raised`]
+/// payloads and defers to the previously installed hook otherwise.
+pub fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<Raised>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_round_trips_through_catch_unwind() {
+        let err = VpceError::RankCrash { rank: 2, region: "region 0".into() };
+        let want = err.clone();
+        let payload = panic::catch_unwind(|| raise(err)).unwrap_err();
+        match take_raised(payload) {
+            Ok(e) => assert_eq!(e, want),
+            Err(_) => panic!("payload was not Raised"),
+        }
+    }
+
+    #[test]
+    fn plain_panics_pass_through_take_raised() {
+        let payload = panic::catch_unwind(|| panic!("ordinary")).unwrap_err();
+        let back = take_raised(payload).unwrap_err();
+        let msg = back.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "ordinary");
+    }
+
+    #[test]
+    fn raised_ref_peeks_without_consuming() {
+        let payload =
+            panic::catch_unwind(|| raise(VpceError::PeerFailure { msg: "p".into() }))
+                .unwrap_err();
+        assert!(matches!(
+            raised_ref(payload.as_ref()),
+            Some(VpceError::PeerFailure { .. })
+        ));
+    }
+}

@@ -1,0 +1,118 @@
+//! Pure-function fault draws.
+//!
+//! Every injection decision is a *stateless hash* of
+//! `(seed, site, key, salt)` — there is no shared mutable RNG, so the
+//! outcome of any draw is independent of thread scheduling and of how
+//! many other draws happened first. Determinism then reduces to the
+//! callers supplying deterministic keys (packet serials, rank numbers,
+//! region indices), which they do.
+
+use vpce_testkit::rng::SplitMix64;
+
+use crate::spec::FaultSpec;
+
+/// Injection-site discriminants. Distinct sites decorrelate draws that
+/// happen to share a key (e.g. packet serial 5 on the corrupt site vs
+/// the drop site).
+pub mod site {
+    pub const FLIT_CORRUPT: u64 = 0x01;
+    pub const LINK_DROP: u64 = 0x02;
+    pub const LINK_STALL: u64 = 0x03;
+    pub const BUS_FAIL: u64 = 0x04;
+    pub const DMA_ERR: u64 = 0x05;
+    pub const PIO_ERR: u64 = 0x06;
+    pub const NIC_STALL: u64 = 0x07;
+    pub const RANK_SLOW: u64 = 0x08;
+    pub const RANK_CRASH: u64 = 0x09;
+}
+
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Deterministic fault oracle for one run.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+}
+
+impl FaultInjector {
+    pub fn new(spec: FaultSpec) -> Self {
+        FaultInjector { spec }
+    }
+
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    pub fn enabled(&self) -> bool {
+        !self.spec.is_off()
+    }
+
+    /// Uniform draw in [0,1) as a pure hash of (seed, site, key, salt).
+    pub fn draw(&self, site: u64, key: u64, salt: u64) -> f64 {
+        let mut s = self.spec.seed;
+        for w in [site, key, salt] {
+            s = SplitMix64::new(s ^ w.wrapping_mul(GOLDEN)).next_u64();
+        }
+        // 53 high-quality bits -> f64 in [0,1).
+        (s >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Does a fault with probability `rate` fire at this (site, key,
+    /// salt)? Zero-rate short-circuits without hashing.
+    pub fn hits(&self, rate: f64, site: u64, key: u64, salt: u64) -> bool {
+        rate > 0.0 && self.draw(site, key, salt) < rate
+    }
+
+    /// Bounded exponential backoff delay before retransmit `attempt`
+    /// (1-based), in virtual seconds. Doubling is capped at 2^6 so a
+    /// deep retry budget cannot run the clock away.
+    pub fn backoff_delay(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(6);
+        self.spec.backoff_base_s * (1u64 << exp) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_deterministic_and_site_decorrelated() {
+        let inj = FaultInjector::new(FaultSpec { seed: 42, ..FaultSpec::light() });
+        let a = inj.draw(site::FLIT_CORRUPT, 5, 0);
+        let b = inj.draw(site::FLIT_CORRUPT, 5, 0);
+        assert_eq!(a, b);
+        let c = inj.draw(site::LINK_DROP, 5, 0);
+        assert_ne!(a, c);
+        assert!((0.0..1.0).contains(&a) && (0.0..1.0).contains(&c));
+    }
+
+    #[test]
+    fn hit_rate_tracks_requested_probability() {
+        let inj = FaultInjector::new(FaultSpec { seed: 7, ..FaultSpec::off() });
+        let n = 20_000u64;
+        let hits = (0..n)
+            .filter(|&k| inj.hits(0.25, site::DMA_ERR, k, 0))
+            .count() as f64;
+        let freq = hits / n as f64;
+        assert!((freq - 0.25).abs() < 0.02, "observed {freq}");
+    }
+
+    #[test]
+    fn zero_rate_never_hits_and_one_always_does() {
+        let inj = FaultInjector::new(FaultSpec::off());
+        assert!(!inj.hits(0.0, site::FLIT_CORRUPT, 1, 1));
+        assert!(inj.hits(1.0, site::FLIT_CORRUPT, 1, 1));
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let inj = FaultInjector::new(FaultSpec::off());
+        let base = inj.spec().backoff_base_s;
+        assert_eq!(inj.backoff_delay(1), base);
+        assert_eq!(inj.backoff_delay(2), base * 2.0);
+        assert_eq!(inj.backoff_delay(3), base * 4.0);
+        assert_eq!(inj.backoff_delay(7), base * 64.0);
+        assert_eq!(inj.backoff_delay(30), base * 64.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The fault schedule: which faults fire, how often, and how hard.
+//!
+//! A [`FaultSpec`] is pure data — rates, delays and budgets. Combined
+//! with a seed it fully determines every injection decision (see
+//! [`crate::FaultInjector`]); no wall clock, no global state. The same
+//! spec + seed therefore reproduces the same faults bit-for-bit.
+
+/// Probabilities are per *event* (per packet attempt, per NIC chunk,
+/// per region entry), not per second: the simulation is virtual-time
+/// and event-driven, so event counts are the deterministic unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// PRNG seed for all injection decisions.
+    pub seed: u64,
+    /// P(per-packet-attempt) the CRC check fails on arrival.
+    pub flit_corrupt: f64,
+    /// P(per-packet-attempt) the packet vanishes (ack timeout).
+    pub link_drop: f64,
+    /// P(per-packet-attempt) the link stalls before forwarding.
+    pub link_stall: f64,
+    /// Virtual seconds a link stall holds the packet.
+    pub stall_s: f64,
+    /// P(per-acquisition-attempt) V-Bus construction fails.
+    pub bus_fail: f64,
+    /// Acquisition attempts before degrading to the software tree.
+    pub bus_attempts: u32,
+    /// P(per-chunk) a DMA descriptor is rejected and must be re-posted.
+    pub dma_err: f64,
+    /// P(per-element-batch) a PIO copy is corrupted and redone.
+    pub pio_err: f64,
+    /// P(per-host-op) the shared driver queue stalls.
+    pub nic_stall: f64,
+    /// Virtual seconds a NIC queue stall costs.
+    pub nic_stall_s: f64,
+    /// P(per-region-entry, per-rank) compute runs slowed this region.
+    pub rank_slow: f64,
+    /// Multiplier applied to slowed compute time.
+    pub slow_factor: f64,
+    /// P(per-region-entry, per-rank) the rank crashes outright.
+    pub rank_crash: f64,
+    /// Retransmit / re-post budget per packet or descriptor.
+    pub max_retries: u32,
+    /// Base of the bounded exponential backoff (virtual seconds).
+    pub backoff_base_s: f64,
+}
+
+impl FaultSpec {
+    /// The all-zeroes schedule: injection completely disabled.
+    pub fn off() -> Self {
+        FaultSpec {
+            seed: 0,
+            flit_corrupt: 0.0,
+            link_drop: 0.0,
+            link_stall: 0.0,
+            stall_s: 20.0e-6,
+            bus_fail: 0.0,
+            bus_attempts: 3,
+            dma_err: 0.0,
+            pio_err: 0.0,
+            nic_stall: 0.0,
+            nic_stall_s: 30.0e-6,
+            rank_slow: 0.0,
+            slow_factor: 2.0,
+            rank_crash: 0.0,
+            max_retries: 8,
+            backoff_base_s: 2.0e-6,
+        }
+    }
+
+    /// Gentle transport-only noise: everything retries successfully
+    /// with overwhelming probability, so runs always survive.
+    pub fn light() -> Self {
+        FaultSpec {
+            flit_corrupt: 0.02,
+            link_drop: 0.01,
+            link_stall: 0.02,
+            bus_fail: 0.05,
+            dma_err: 0.02,
+            pio_err: 0.01,
+            nic_stall: 0.02,
+            rank_slow: 0.05,
+            ..FaultSpec::off()
+        }
+    }
+
+    /// Aggressive transport faults — still survivable (rates well
+    /// below what an 8-deep retry budget can absorb), but every
+    /// recovery path gets exercised, including bus degradation.
+    pub fn heavy() -> Self {
+        FaultSpec {
+            flit_corrupt: 0.15,
+            link_drop: 0.10,
+            link_stall: 0.10,
+            bus_fail: 0.60,
+            dma_err: 0.10,
+            pio_err: 0.08,
+            nic_stall: 0.10,
+            rank_slow: 0.20,
+            ..FaultSpec::off()
+        }
+    }
+
+    /// Unsurvivable: ranks crash. Runs must end in a typed error.
+    pub fn crashy() -> Self {
+        FaultSpec { rank_crash: 0.5, ..FaultSpec::light() }
+    }
+
+    /// True when no fault can ever fire (rates all zero).
+    pub fn is_off(&self) -> bool {
+        self.flit_corrupt == 0.0
+            && self.link_drop == 0.0
+            && self.link_stall == 0.0
+            && self.bus_fail == 0.0
+            && self.dma_err == 0.0
+            && self.pio_err == 0.0
+            && self.nic_stall == 0.0
+            && self.rank_slow == 0.0
+            && self.rank_crash == 0.0
+    }
+
+    /// Parse `--faults` syntax: a preset name (`off`, `light`,
+    /// `heavy`, `crashy`) optionally followed by comma-separated
+    /// `key=value` overrides, or overrides alone (starting from
+    /// `off`). Example: `light,drop=0.2,retries=10`.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let mut spec = FaultSpec::off();
+        for (i, part) in s.split(',').enumerate() {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part {
+                "off" | "light" | "heavy" | "crashy" => {
+                    if i != 0 {
+                        return Err(format!(
+                            "preset '{part}' must come first in a --faults spec"
+                        ));
+                    }
+                    spec = match part {
+                        "off" => FaultSpec::off(),
+                        "light" => FaultSpec::light(),
+                        "heavy" => FaultSpec::heavy(),
+                        _ => FaultSpec::crashy(),
+                    };
+                    continue;
+                }
+                _ => {}
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad --faults item '{part}': expected key=value"))?;
+            let fval = || -> Result<f64, String> {
+                value
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --faults value '{value}' for '{key}'"))
+            };
+            let uval = || -> Result<u32, String> {
+                value
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad --faults value '{value}' for '{key}'"))
+            };
+            let rate = |v: f64| -> Result<f64, String> {
+                if (0.0..=1.0).contains(&v) {
+                    Ok(v)
+                } else {
+                    Err(format!("--faults rate '{key}' must be in [0,1], got {v}"))
+                }
+            };
+            match key {
+                "seed" => {
+                    spec.seed = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad --faults seed '{value}'"))?
+                }
+                "corrupt" => spec.flit_corrupt = rate(fval()?)?,
+                "drop" => spec.link_drop = rate(fval()?)?,
+                "stall" => spec.link_stall = rate(fval()?)?,
+                "stall_s" => spec.stall_s = fval()?,
+                "bus" => spec.bus_fail = rate(fval()?)?,
+                "bus_attempts" => spec.bus_attempts = uval()?.max(1),
+                "dma" => spec.dma_err = rate(fval()?)?,
+                "pio" => spec.pio_err = rate(fval()?)?,
+                "nicstall" => spec.nic_stall = rate(fval()?)?,
+                "nicstall_s" => spec.nic_stall_s = fval()?,
+                "slow" => spec.rank_slow = rate(fval()?)?,
+                "slow_factor" => spec.slow_factor = fval()?.max(1.0),
+                "crash" => spec.rank_crash = rate(fval()?)?,
+                "retries" => spec.max_retries = uval()?,
+                "backoff_s" => spec.backoff_base_s = fval()?,
+                _ => return Err(format!("unknown --faults key '{key}'")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_off_and_presets_are_not() {
+        assert!(FaultSpec::off().is_off());
+        assert!(!FaultSpec::light().is_off());
+        assert!(!FaultSpec::heavy().is_off());
+        assert!(!FaultSpec::crashy().is_off());
+        assert!(FaultSpec::crashy().rank_crash > 0.0);
+    }
+
+    #[test]
+    fn parse_preset_with_overrides() {
+        let s = FaultSpec::parse("light,drop=0.25,retries=12,seed=7").unwrap();
+        assert_eq!(s.link_drop, 0.25);
+        assert_eq!(s.max_retries, 12);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.flit_corrupt, FaultSpec::light().flit_corrupt);
+    }
+
+    #[test]
+    fn parse_bare_overrides_start_from_off() {
+        let s = FaultSpec::parse("corrupt=0.1").unwrap();
+        assert_eq!(s.flit_corrupt, 0.1);
+        assert_eq!(s.link_drop, 0.0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultSpec::parse("drop=2.0").is_err());
+        assert!(FaultSpec::parse("nope=1").is_err());
+        assert!(FaultSpec::parse("drop").is_err());
+        assert!(FaultSpec::parse("corrupt=0.1,light").is_err());
+    }
+}

@@ -13,6 +13,8 @@
 use std::sync::Arc;
 
 use cluster_sim::TransferKind;
+use vbus_sim::BusOutcome;
+use vpce_faults::{raise, VpceError};
 
 use crate::rma::AccumulateOp;
 use crate::universe::Mpi;
@@ -20,14 +22,16 @@ use crate::Elem;
 use vpce_trace::CallOp;
 
 /// Dependency edge a collective's leader closure hands back to one
-/// rank: `((dominating rank, its time), wire interval)` of the
-/// transfer that determined this rank's exit, when one did.
-type CollDep = Option<((usize, f64), (f64, f64))>;
+/// rank: `((dominating rank, its time), wire interval, recovery)` of
+/// the transfer that determined this rank's exit, when one did. The
+/// recovery component is the time that transfer lost to retransmits,
+/// backoff or bus degradation (0 fault-free).
+type CollDep = Option<((usize, f64), (f64, f64), f64)>;
 
-/// Per-rank delivery record inside the broadcast leader: arrival time
-/// plus the wire interval of the delivering transfer (None at the
-/// root, which already holds the payload).
-type Arrival = (f64, Option<(f64, f64)>);
+/// Per-rank delivery record inside the broadcast leader: arrival time,
+/// the wire interval of the delivering transfer (None at the root,
+/// which already holds the payload), and its recovery time.
+type Arrival = (f64, Option<(f64, f64)>, f64);
 
 impl Mpi {
     fn charge_msg_host(&mut self, bytes: usize) {
@@ -46,12 +50,18 @@ impl Mpi {
     /// freezing p2p traffic), otherwise a binomial tree of p2p
     /// messages.
     pub fn bcast(&mut self, root: usize, data: Option<Vec<Elem>>) -> Vec<Elem> {
-        assert!(root < self.size(), "bcast root out of range");
-        assert_eq!(
-            self.rank() == root,
-            data.is_some(),
-            "exactly the root must supply the payload"
-        );
+        if root >= self.size() {
+            raise(VpceError::RankOutOfRange {
+                what: "bcast root",
+                rank: root,
+                size: self.size(),
+            });
+        }
+        if (self.rank() == root) != data.is_some() {
+            raise(VpceError::InvalidArgument {
+                msg: "exactly the root must supply the payload".into(),
+            });
+        }
         let t_enter = self.now();
         if let Some(bytes) = data.as_ref().map(|d| d.len() * crate::ELEM_BYTES) {
             self.charge_msg_host(bytes);
@@ -76,40 +86,59 @@ impl Mpi {
                     // Arrival time + wire interval of the delivering
                     // transfer, per rank (None at the root).
                     let arrive: Vec<Arrival> = if n == 1 {
-                        vec![(clocks[root], None)]
-                    } else if let Some(t) = net.vbus_broadcast(root, bytes, clocks[root]) {
-                        (0..n)
-                            .map(|r| {
-                                let net_iv = (r != root).then_some((t.start, t.end));
-                                (t.end, net_iv)
-                            })
-                            .collect()
+                        vec![(clocks[root], None, 0.0)]
                     } else {
-                        // Binomial tree rooted at `root` over rank space.
-                        let mut have: Vec<Option<Arrival>> = vec![None; n];
-                        have[root] = Some((clocks[root], None));
-                        let mut stride = 1;
-                        while stride < n {
-                            for rel in 0..n {
-                                let src = (root + rel) % n;
-                                let rel_dst = rel + stride;
-                                if rel_dst < n {
-                                    let dst = (root + rel_dst) % n;
-                                    if let (Some((t, _)), None) = (have[src], have[dst]) {
-                                        let x = net.p2p(src, dst, bytes, t + post);
-                                        have[dst] = Some((x.end, Some((x.start, x.end))));
+                        match net.vbus_broadcast_checked(root, bytes, clocks[root]) {
+                            BusOutcome::Granted(t) => (0..n)
+                                .map(|r| {
+                                    let net_iv = (r != root).then_some((t.start, t.end));
+                                    (t.end, net_iv, t.recovery)
+                                })
+                                .collect(),
+                            outcome => {
+                                // No hardware bus — or its construction
+                                // degraded under the fault schedule: fall
+                                // back to a binomial tree rooted at
+                                // `root`, starting at the post-
+                                // arbitration clock when degraded.
+                                let (t0, bus_rec) = match outcome {
+                                    BusOutcome::Degraded { ready, .. } => {
+                                        (ready, ready - clocks[root])
                                     }
+                                    _ => (clocks[root], 0.0),
+                                };
+                                let mut have: Vec<Option<Arrival>> = vec![None; n];
+                                have[root] = Some((t0, None, bus_rec));
+                                let mut stride = 1;
+                                while stride < n {
+                                    for rel in 0..n {
+                                        let src = (root + rel) % n;
+                                        let rel_dst = rel + stride;
+                                        if rel_dst < n {
+                                            let dst = (root + rel_dst) % n;
+                                            if let (Some((t, _, _)), None) = (have[src], have[dst]) {
+                                                let x = net
+                                                    .try_p2p(src, dst, bytes, t + post)
+                                                    .unwrap_or_else(|e| raise(e));
+                                                have[dst] = Some((
+                                                    x.end,
+                                                    Some((x.start, x.end)),
+                                                    bus_rec + x.recovery,
+                                                ));
+                                            }
+                                        }
+                                    }
+                                    stride *= 2;
                                 }
+                                have.into_iter().map(|t| t.expect("tree covers all")).collect()
                             }
-                            stride *= 2;
                         }
-                        have.into_iter().map(|t| t.expect("tree covers all")).collect()
                     };
                     (0..n)
                         .map(|r| {
-                            let (arr, net_iv) = arrive[r];
+                            let (arr, net_iv, rec) = arrive[r];
                             let exit = arr.max(clocks[r]) + post;
-                            let dep = net_iv.map(|iv| ((root, clocks[root]), iv));
+                            let dep = net_iv.map(|iv| ((root, clocks[root]), iv, rec));
                             (Arc::clone(&payload), exit, dep)
                         })
                         .collect()
@@ -124,7 +153,7 @@ impl Mpi {
     /// Emit one collective's blocking span with its dependency edge.
     fn trace_coll(&self, op: CallOp, t0: f64, t1: f64, bytes: u64, dep: CollDep) {
         let (dom, net) = match dep {
-            Some((dom, iv)) => (Some(dom), Some(iv)),
+            Some((dom, iv, rec)) => (Some(dom), Some((iv, rec))),
             None => (None, None),
         };
         self.trace_blocking(op, t0, t1, bytes, dom, net);
@@ -139,7 +168,13 @@ impl Mpi {
         value: Vec<Elem>,
         op: AccumulateOp,
     ) -> Option<Vec<Elem>> {
-        assert!(root < self.size(), "reduce root out of range");
+        if root >= self.size() {
+            raise(VpceError::RankOutOfRange {
+                what: "reduce root",
+                rank: root,
+                size: self.size(),
+            });
+        }
         let t_enter = self.now();
         let bytes = value.len() * crate::ELEM_BYTES;
         self.charge_msg_host(bytes);
@@ -171,13 +206,23 @@ impl Mpi {
                             let src_val = vals[src].take().expect("value live");
                             let bytes = src_val.len() * crate::ELEM_BYTES;
                             let ready = avail[src];
-                            let t = net.p2p(src, dst, bytes, ready + post);
+                            let t = net
+                                .try_p2p(src, dst, bytes, ready + post)
+                                .unwrap_or_else(|e| raise(e));
                             if t.end > avail[dst] {
-                                deps[dst] = Some(((src, ready), (t.start, t.end)));
+                                deps[dst] = Some(((src, ready), (t.start, t.end), t.recovery));
                             }
                             avail[dst] = avail[dst].max(t.end);
                             let dst_val = vals[dst].as_mut().expect("dest live");
-                            assert_eq!(dst_val.len(), src_val.len(), "reduce length mismatch");
+                            if dst_val.len() != src_val.len() {
+                                raise(VpceError::InvalidArgument {
+                                    msg: format!(
+                                        "reduce length mismatch: rank {src} sent {} elements, rank {dst} holds {}",
+                                        src_val.len(),
+                                        dst_val.len()
+                                    ),
+                                });
+                            }
                             for (d, s) in dst_val.iter_mut().zip(&src_val) {
                                 *d = op.apply(*d, *s);
                             }
@@ -212,7 +257,13 @@ impl Mpi {
     /// `MPI_GATHER`: every rank contributes a vector; the root receives
     /// them all, indexed by rank.
     pub fn gather(&mut self, root: usize, value: Vec<Elem>) -> Option<Vec<Vec<Elem>>> {
-        assert!(root < self.size(), "gather root out of range");
+        if root >= self.size() {
+            raise(VpceError::RankOutOfRange {
+                what: "gather root",
+                rank: root,
+                size: self.size(),
+            });
+        }
         let t_enter = self.now();
         let bytes = value.len() * crate::ELEM_BYTES;
         self.charge_msg_host(bytes);
@@ -235,9 +286,11 @@ impl Mpi {
                         if r == root {
                             continue;
                         }
-                        let t = net.p2p(r, root, v.len() * crate::ELEM_BYTES, clocks[r] + post);
+                        let t = net
+                            .try_p2p(r, root, v.len() * crate::ELEM_BYTES, clocks[r] + post)
+                            .unwrap_or_else(|e| raise(e));
                         if t.end > root_time {
-                            root_dep = Some(((r, clocks[r]), (t.start, t.end)));
+                            root_dep = Some(((r, clocks[r]), (t.start, t.end), t.recovery));
                         }
                         root_time = root_time.max(t.end);
                         exits[r] = clocks[r] + post;
@@ -283,15 +336,29 @@ impl Mpi {
     /// `MPI_SCATTER`: the root supplies one vector per rank; every rank
     /// receives its own.
     pub fn scatter(&mut self, root: usize, chunks: Option<Vec<Vec<Elem>>>) -> Vec<Elem> {
-        assert!(root < self.size(), "scatter root out of range");
-        assert_eq!(
-            self.rank() == root,
-            chunks.is_some(),
-            "exactly the root must supply the chunks"
-        );
+        if root >= self.size() {
+            raise(VpceError::RankOutOfRange {
+                what: "scatter root",
+                rank: root,
+                size: self.size(),
+            });
+        }
+        if (self.rank() == root) != chunks.is_some() {
+            raise(VpceError::InvalidArgument {
+                msg: "exactly the root must supply the chunks".into(),
+            });
+        }
         let t_enter = self.now();
         if let Some(c) = &chunks {
-            assert_eq!(c.len(), self.size(), "one chunk per rank required");
+            if c.len() != self.size() {
+                raise(VpceError::InvalidArgument {
+                    msg: format!(
+                        "one chunk per rank required: got {} chunks for {} ranks",
+                        c.len(),
+                        self.size()
+                    ),
+                });
+            }
             let total: usize = c.iter().map(|v| v.len() * crate::ELEM_BYTES).sum();
             self.charge_msg_host(total);
         }
@@ -316,14 +383,17 @@ impl Mpi {
                             if r == root {
                                 (chunks[r].clone(), clocks[r] + post, None)
                             } else {
-                                let t = net.p2p(
-                                    root,
-                                    r,
-                                    chunks[r].len() * crate::ELEM_BYTES,
-                                    send_t + post,
-                                );
+                                let t = net
+                                    .try_p2p(
+                                        root,
+                                        r,
+                                        chunks[r].len() * crate::ELEM_BYTES,
+                                        send_t + post,
+                                    )
+                                    .unwrap_or_else(|e| raise(e));
                                 send_t = t.start; // pipelined injection
-                                let dep = Some(((root, clocks[root]), (t.start, t.end)));
+                                let dep =
+                                    Some(((root, clocks[root]), (t.start, t.end), t.recovery));
                                 (chunks[r].clone(), t.end.max(clocks[r]) + post, dep)
                             }
                         })

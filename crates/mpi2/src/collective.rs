@@ -10,6 +10,8 @@
 
 use std::any::Any;
 
+use vpce_faults::{raise, VpceError};
+
 use crate::sync::{Condvar, Mutex};
 
 type Slot = Option<Box<dyn Any + Send>>;
@@ -65,7 +67,11 @@ impl Collective {
         F: FnOnce(Vec<T>) -> Vec<R>,
     {
         let mut st = self.state.lock();
-        assert!(!st.poisoned, "collective poisoned: a peer rank panicked");
+        if st.poisoned {
+            raise(VpceError::PeerFailure {
+                msg: "collective poisoned: a peer rank panicked".into(),
+            });
+        }
         debug_assert!(st.inputs[rank].is_none(), "rank {rank} re-entered");
         st.inputs[rank] = Some(Box::new(input));
         st.arrived += 1;
@@ -77,7 +83,15 @@ impl Collective {
                 .map(|s| *s.take().unwrap().downcast::<T>().expect("input type"))
                 .collect();
             let outputs = leader(inputs);
-            assert_eq!(outputs.len(), self.n, "leader must emit one output per rank");
+            if outputs.len() != self.n {
+                raise(VpceError::Internal {
+                    msg: format!(
+                        "leader must emit one output per rank: {} != {}",
+                        outputs.len(),
+                        self.n
+                    ),
+                });
+            }
             for (slot, out) in st.outputs.iter_mut().zip(outputs) {
                 *slot = Some(Box::new(out));
             }
@@ -88,10 +102,11 @@ impl Collective {
             let gen = st.generation;
             self.cv
                 .wait_while(&mut st, |s| s.generation == gen && !s.poisoned);
-            assert!(
-                st.generation != gen,
-                "collective poisoned: a peer rank panicked"
-            );
+            if st.generation == gen {
+                raise(VpceError::PeerFailure {
+                    msg: "collective poisoned: a peer rank panicked".into(),
+                });
+            }
         }
         *st.outputs[rank]
             .take()

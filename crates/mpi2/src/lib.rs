@@ -53,6 +53,7 @@ pub use conflict::{AccessSet, ConflictKind, ConflictRecord};
 pub use rma::AccumulateOp;
 pub use stats::RankStats;
 pub use universe::{Mpi, RunOutcome, Universe};
+pub use vpce_faults::{FaultInjector, FaultSpec, VpceError};
 pub use window::{WinId, WindowRef};
 
 /// All window payloads are double precision, matching the `REAL*8`

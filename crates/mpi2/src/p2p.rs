@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 
 use cluster_sim::TransferKind;
 use crate::sync::{Condvar, Mutex};
+use vpce_faults::{raise, VpceError};
 use vpce_trace::{CallInfo, CallOp, DataPath, Dominator, EventKind, Lane, SetupParts};
 
 use crate::universe::Mpi;
@@ -72,7 +73,11 @@ impl Mailboxes {
                     return msg;
                 }
             }
-            assert!(!boxes.poisoned, "recv poisoned: a peer rank panicked");
+            if boxes.poisoned {
+                raise(VpceError::PeerFailure {
+                    msg: "recv poisoned: a peer rank panicked".into(),
+                });
+            }
             self.cv.wait(&mut boxes);
         }
     }
@@ -83,13 +88,16 @@ impl Mpi {
     /// sender pays the host-side cost and continues; the wire transfer
     /// is scheduled when the receiver posts the matching `recv`.
     pub fn send(&mut self, dst: usize, tag: i32, data: Vec<Elem>) {
-        assert!(dst < self.size(), "send to rank {dst} out of range");
+        if dst >= self.size() {
+            raise(VpceError::RankOutOfRange {
+                what: "send destination",
+                rank: dst,
+                size: self.size(),
+            });
+        }
         let bytes = data.len() * crate::ELEM_BYTES;
         let t0 = self.now();
-        let b = self.shared().cfg.node.nic.host_breakdown(
-            TransferKind::Contiguous { bytes },
-            &self.shared().cfg.node.cpu,
-        );
+        let b = self.host_breakdown_checked(TransferKind::Contiguous { bytes });
         *self.clock_mut() += b.total();
         self.stats_mut().comm_host += b.total();
         self.stats_mut().bytes_sent += bytes as u64;
@@ -129,7 +137,13 @@ impl Mpi {
     /// `tag` arrives, schedule its wire transfer, and return the
     /// payload.
     pub fn recv(&mut self, src: usize, tag: i32) -> Vec<Elem> {
-        assert!(src < self.size(), "recv from rank {src} out of range");
+        if src >= self.size() {
+            raise(VpceError::RankOutOfRange {
+                what: "recv source",
+                rank: src,
+                size: self.size(),
+            });
+        }
         let entry = self.now();
         let rank = self.rank();
         let msg = self.shared().mail.take(src, rank, tag);
@@ -137,7 +151,8 @@ impl Mpi {
         let wire = {
             let shared = std::sync::Arc::clone(self.shared());
             let mut net = shared.net.lock();
-            net.p2p(src, rank, bytes, msg.ready.max(entry))
+            net.try_p2p(src, rank, bytes, msg.ready.max(entry))
+                .unwrap_or_else(|e| raise(e))
         };
         let post = self.shared().cfg.node.nic.post_s;
         let exit = wire.end.max(entry) + post;
@@ -151,6 +166,7 @@ impl Mpi {
                 t: msg.ready,
             });
             info.net = Some((wire.start, wire.end));
+            info.recovery_s = wire.recovery;
             self.tracer()
                 .push(Lane::Rank(rank), entry, exit, EventKind::Call(info));
         }

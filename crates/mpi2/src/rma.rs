@@ -83,6 +83,17 @@ impl RmaKind {
         matches!(self, RmaKind::GetContig { .. } | RmaKind::GetStrided { .. })
     }
 
+    /// First element index touched on the target shard.
+    pub fn target_offset(&self) -> usize {
+        match *self {
+            RmaKind::PutContig { off, .. }
+            | RmaKind::PutStrided { off, .. }
+            | RmaKind::GetContig { off, .. }
+            | RmaKind::GetStrided { off, .. }
+            | RmaKind::AccContig { off, .. } => off,
+        }
+    }
+
     /// Highest element index touched on the target shard.
     pub fn target_extent(&self) -> usize {
         match *self {

@@ -37,6 +37,14 @@ pub struct RankStats {
     pub fences: u64,
     /// Barriers participated in.
     pub barriers: u64,
+    /// Host-side NIC operations retried (DMA descriptor rewrites, PIO
+    /// copy restarts) under an armed fault schedule.
+    pub nic_retries: u64,
+    /// NIC send-queue stalls waited out under an armed fault schedule.
+    pub nic_stalls: u64,
+    /// Host time spent on those retries and stalls, seconds (already
+    /// included in `comm_host`).
+    pub nic_retry_s: f64,
 }
 
 impl RankStats {
@@ -66,6 +74,9 @@ impl RankStats {
         self.pio_elems += other.pio_elems;
         self.fences += other.fences;
         self.barriers += other.barriers;
+        self.nic_retries += other.nic_retries;
+        self.nic_stalls += other.nic_stalls;
+        self.nic_retry_s += other.nic_retry_s;
     }
 }
 

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use cluster_sim::{ClusterConfig, CpuModel, HostCostBreakdown, NicModel, OpCounts, TransferKind};
 use crate::sync::{ArcMutexGuard, Mutex};
 use vbus_sim::{NetSim, NetStats};
+use vpce_faults::{raise, take_raised, FaultInjector, FaultSpec, VpceError};
 use vpce_trace::{CallInfo, CallOp, DataPath, Dominator, EventKind, Lane, SetupParts, TraceReport, Tracer};
 
 use crate::collective::Collective;
@@ -31,6 +32,10 @@ pub(crate) struct Shared {
     /// Trace sink — the no-op tracer unless the universe was built
     /// with [`Universe::with_tracer`].
     pub tracer: Tracer,
+    /// Host-side fault plane (NIC retries/stalls); the wire-side plane
+    /// lives inside [`NetSim`]. Disabled unless the universe was built
+    /// with [`Universe::with_faults`].
+    pub faults: FaultInjector,
 }
 
 impl Shared {
@@ -103,6 +108,7 @@ impl<R> RunOutcome<R> {
 pub struct Universe {
     cfg: ClusterConfig,
     tracer: Tracer,
+    faults: FaultSpec,
 }
 
 impl Universe {
@@ -111,6 +117,7 @@ impl Universe {
         Universe {
             cfg,
             tracer: Tracer::disabled(),
+            faults: FaultSpec::off(),
         }
     }
 
@@ -120,6 +127,21 @@ impl Universe {
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
         self
+    }
+
+    /// Arm a deterministic fault schedule: link corruption/drops,
+    /// V-Bus arbitration failures, NIC retries and rank faults are
+    /// drawn from `spec` during every run. With the default
+    /// ([`FaultSpec::off`]) behaviour is byte-identical to a universe
+    /// built without this call.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = spec;
+        self
+    }
+
+    /// The fault schedule this universe runs under.
+    pub fn fault_spec(&self) -> &FaultSpec {
+        &self.faults
     }
 
     /// The trace sink this universe emits into (disabled by default).
@@ -145,13 +167,32 @@ impl Universe {
     /// Run `f` as an SPMD program: one OS thread per rank, each handed
     /// its own [`Mpi`] handle. Returns when every rank's closure
     /// returns.
+    ///
+    /// # Panics
+    /// Panics with the error's Display text when the run fails — a
+    /// modelled fault exhausted its recovery budget, or the program
+    /// misused the API. [`Universe::try_run`] returns the typed error
+    /// instead.
     pub fn run<R, F>(&self, f: F) -> RunOutcome<R>
+    where
+        R: Send,
+        F: Fn(&mut Mpi) -> R + Sync,
+    {
+        self.try_run(f).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`run`](Universe::run), but a failed run — an injected fault
+    /// that exhausted its recovery budget, or API misuse — comes back
+    /// as a typed [`VpceError`] instead of a panic. A panic payload
+    /// that is not a [`VpceError`] (a genuine bug) is re-raised.
+    pub fn try_run<R, F>(&self, f: F) -> Result<RunOutcome<R>, VpceError>
     where
         R: Send,
         F: Fn(&mut Mpi) -> R + Sync,
     {
         let n = self.size();
         let mut net = NetSim::new(self.cfg.net.clone());
+        net.set_faults(self.faults.clone());
         if self.tracer.is_enabled() {
             net.set_tracer(self.tracer.clone());
             for r in 0..n {
@@ -167,8 +208,10 @@ impl Universe {
             mail: Mailboxes::new(n),
             conflicts: Mutex::new(Vec::new()),
             tracer: self.tracer.clone(),
+            faults: FaultInjector::new(self.faults.clone()),
         });
         let mut results: Vec<Option<(R, f64, RankStats)>> = (0..n).map(|_| None).collect();
+        let mut typed: Vec<VpceError> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for rank in 0..n {
@@ -181,15 +224,17 @@ impl Universe {
                             size: n,
                             clock: 0.0,
                             seq: 0,
+                            nic_seq: 0,
                             stats: RankStats::default(),
                             shared: Arc::clone(&shared),
                             held: HashMap::new(),
                         };
                         let r = f(&mut mpi);
-                        assert!(
-                            mpi.held.is_empty(),
-                            "rank {rank} finished holding window locks"
-                        );
+                        if !mpi.held.is_empty() {
+                            raise(VpceError::LockState {
+                                msg: format!("rank {rank} finished holding window locks"),
+                            });
+                        }
                         (r, mpi.clock, mpi.stats)
                     });
                     match std::panic::catch_unwind(body) {
@@ -207,12 +252,25 @@ impl Universe {
             for (rank, h) in handles.into_iter().enumerate() {
                 match h.join() {
                     Ok(out) => results[rank] = Some(out),
-                    // Re-raise the first failing rank's panic with its
-                    // original payload (peers were poisoned awake).
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    Err(payload) => match take_raised(payload) {
+                        Ok(err) => typed.push(err),
+                        // Not a typed error: a genuine bug. Re-raise
+                        // with the original payload (peers were
+                        // poisoned awake).
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    },
                 }
             }
         });
+        if !typed.is_empty() {
+            // Prefer the root cause over the secondary poison
+            // wake-ups it triggered on peer ranks.
+            let best = typed
+                .iter()
+                .position(|e| !matches!(e, VpceError::PeerFailure { .. }))
+                .unwrap_or(0);
+            return Err(typed.swap_remove(best));
+        }
         let mut out_results = Vec::with_capacity(n);
         let mut clocks = Vec::with_capacity(n);
         let mut rank_stats = Vec::with_capacity(n);
@@ -228,14 +286,14 @@ impl Universe {
             .tracer
             .is_enabled()
             .then(|| TraceReport::build(&self.tracer, &clocks));
-        RunOutcome {
+        Ok(RunOutcome {
             results: out_results,
             clocks,
             rank_stats,
             net,
             rma_conflicts,
             trace,
-        }
+        })
     }
 }
 
@@ -255,6 +313,8 @@ struct FenceTrace {
     dom_t: f64,
     /// Wire interval of the dominating transfer, if one dominated.
     net: Option<(f64, f64)>,
+    /// Leading part of that interval spent on retransmits/backoff.
+    recovery: f64,
 }
 
 /// Handle to one MPI process. Obtained only inside [`Universe::run`].
@@ -263,6 +323,9 @@ pub struct Mpi {
     size: usize,
     clock: f64,
     seq: u64,
+    /// Serial number of host-side NIC operations on this rank — the
+    /// deterministic key fault draws for DMA/PIO retries hash on.
+    nic_seq: u64,
     stats: RankStats,
     shared: Arc<Shared>,
     held: HashMap<(usize, usize), EpochGuard>,
@@ -292,6 +355,13 @@ impl Mpi {
     /// The CPU model of this node.
     pub fn cpu(&self) -> &CpuModel {
         &self.shared.cfg.node.cpu
+    }
+
+    /// The run's fault oracle (inert when the spec is off). Runtimes
+    /// layered above MPI draw their own fault decisions from it so
+    /// the whole stack shares one seed.
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.shared.faults
     }
 
     fn nic(&self) -> &NicModel {
@@ -356,18 +426,67 @@ impl Mpi {
     // ------------------------------------------------------------------
 
     fn check_bounds(&self, win: WinId, target: usize, kind: &RmaKind) {
-        assert!(target < self.size, "target rank {target} out of range");
+        if target >= self.size {
+            raise(VpceError::RankOutOfRange {
+                what: "target",
+                rank: target,
+                size: self.size,
+            });
+        }
         let table = self.shared.table.lock();
         let len = table.shard(win, target).len;
-        assert!(
-            kind.target_extent() <= len,
-            "RMA past end of window {win:?} shard {target}: extent {} > len {len}",
-            kind.target_extent()
-        );
+        let extent = kind.target_extent();
+        if extent > len {
+            let off = kind.target_offset();
+            raise(VpceError::RmaBounds {
+                target,
+                offset: off,
+                len: extent - off,
+                size: len,
+            });
+        }
+    }
+
+    /// Host-side cost of initiating one transfer, with the NIC fault
+    /// plane applied: DMA/PIO retries and queue stalls are drawn
+    /// deterministically from this rank's operation serial. An
+    /// exhausted retry budget raises [`VpceError::NicFailure`].
+    pub(crate) fn host_breakdown_checked(&mut self, kind: TransferKind) -> HostCostBreakdown {
+        let seq = self.nic_seq;
+        self.nic_seq += 1;
+        let b = self
+            .shared
+            .cfg
+            .node
+            .nic
+            .host_breakdown_faulty(kind, self.cpu(), &self.shared.faults, self.rank, seq)
+            .unwrap_or_else(|e| raise(e));
+        if b.retries > 0 || b.stalls > 0 {
+            self.stats.nic_retries += b.retries;
+            self.stats.nic_stalls += b.stalls;
+            self.stats.nic_retry_s += b.retry_s;
+            if self.shared.tracer.is_enabled() {
+                let what = match kind {
+                    TransferKind::Contiguous { .. } => "DMA descriptor",
+                    TransferKind::Strided { .. } => "PIO copy",
+                };
+                self.shared.tracer.push(
+                    Lane::Rank(self.rank),
+                    self.clock,
+                    self.clock + b.retry_s,
+                    EventKind::NicRetry {
+                        rank: self.rank,
+                        what,
+                        attempts: (b.retries + b.stalls) as u32,
+                    },
+                );
+            }
+        }
+        b
     }
 
     fn charge_host(&mut self, kind: TransferKind) -> HostCostBreakdown {
-        let b = self.nic().host_breakdown(kind, self.cpu());
+        let b = self.host_breakdown_checked(kind);
         self.clock += b.total();
         self.stats.comm_host += b.total();
         match kind {
@@ -411,7 +530,9 @@ impl Mpi {
 
     /// Emit a blocking call span `[t0, t1]` with its dependency edge:
     /// `dom` is the `(rank, time)` of the remote event that determined
-    /// the exit, `net` the wire interval of the dominating transfer.
+    /// the exit, `net` the wire interval of the dominating transfer
+    /// paired with the leading part of that interval spent on
+    /// retransmits/backoff (0 when fault-free).
     pub(crate) fn trace_blocking(
         &self,
         op: CallOp,
@@ -419,7 +540,7 @@ impl Mpi {
         t1: f64,
         bytes: u64,
         dom: Option<(usize, f64)>,
-        net: Option<(f64, f64)>,
+        net: Option<((f64, f64), f64)>,
     ) {
         if !self.shared.tracer.is_enabled() {
             return;
@@ -427,7 +548,10 @@ impl Mpi {
         let mut info = CallInfo::new(op);
         info.bytes = bytes;
         info.dom = dom.map(|(rank, t)| Dominator { rank, t });
-        info.net = net;
+        if let Some((iv, recovery)) = net {
+            info.net = Some(iv);
+            info.recovery_s = recovery;
+        }
         self.shared
             .tracer
             .push(Lane::Rank(self.rank), t0, t1, EventKind::Call(info));
@@ -471,7 +595,11 @@ impl Mpi {
         stride: usize,
         data: Vec<Elem>,
     ) {
-        assert!(stride >= 1, "stride must be positive");
+        if stride < 1 {
+            raise(VpceError::InvalidArgument {
+                msg: "stride must be positive".into(),
+            });
+        }
         let elems = data.len();
         let kind = TransferKind::Strided {
             elems,
@@ -506,7 +634,11 @@ impl Mpi {
         stride: usize,
         count: usize,
     ) {
-        assert!(stride >= 1);
+        if stride < 1 {
+            raise(VpceError::InvalidArgument {
+                msg: "stride must be positive".into(),
+            });
+        }
         let data = {
             let m = win.lock();
             (0..count).map(|i| m[off + i * stride]).collect::<Vec<_>>()
@@ -537,7 +669,11 @@ impl Mpi {
         stride: usize,
         count: usize,
     ) {
-        assert!(stride >= 1);
+        if stride < 1 {
+            raise(VpceError::InvalidArgument {
+                msg: "stride must be positive".into(),
+            });
+        }
         let kind = TransferKind::Strided {
             elems: count,
             elem_bytes: crate::ELEM_BYTES,
@@ -635,17 +771,24 @@ impl Mpi {
                 dom_rank: slowest,
                 dom_t: latest,
                 net: None,
+                recovery: 0.0,
             };
             for op in &ops {
                 // GETs are a request (origin->target) followed by the
                 // data flowing back; PUT data flows origin->target.
-                let (start, end) = if op.kind.is_get() {
-                    let req = net.p2p(op.origin, op.target, 16, op.issue);
-                    let data = net.p2p(op.target, op.origin, op.kind.wire_bytes(), req.end);
-                    (req.start, data.end)
+                let (start, end, rec) = if op.kind.is_get() {
+                    let req = net
+                        .try_p2p(op.origin, op.target, 16, op.issue)
+                        .unwrap_or_else(|e| raise(e));
+                    let data = net
+                        .try_p2p(op.target, op.origin, op.kind.wire_bytes(), req.end)
+                        .unwrap_or_else(|e| raise(e));
+                    (req.start, data.end, req.recovery + data.recovery)
                 } else {
-                    let t = net.p2p(op.origin, op.target, op.kind.wire_bytes(), op.issue);
-                    (t.start, t.end)
+                    let t = net
+                        .try_p2p(op.origin, op.target, op.kind.wire_bytes(), op.issue)
+                        .unwrap_or_else(|e| raise(e));
+                    (t.start, t.end, t.recovery)
                 };
                 if end > latest {
                     // The fence's exit is now determined by this
@@ -655,6 +798,7 @@ impl Mpi {
                     ft.dom_rank = op.origin;
                     ft.dom_t = op.issue;
                     ft.net = Some((start, end));
+                    ft.recovery = rec;
                 }
                 apply_memory(&table, op);
             }
@@ -671,7 +815,7 @@ impl Mpi {
                 exit,
                 0,
                 Some((ft.dom_rank, ft.dom_t)),
-                ft.net,
+                ft.net.map(|iv| (iv, ft.recovery)),
             );
             self.shared.tracer.push(
                 Lane::Rank(self.rank),
@@ -697,7 +841,13 @@ impl Mpi {
     /// (reductions go through [`Mpi::accumulate`] + fence); locks exist
     /// for MPI-2 completeness and for the lock-based reduction variant.
     pub fn win_lock(&mut self, win: &WindowRef, target: usize) {
-        assert!(target < self.size);
+        if target >= self.size {
+            raise(VpceError::RankOutOfRange {
+                what: "lock target",
+                rank: target,
+                size: self.size,
+            });
+        }
         let entry = self.clock;
         let release = {
             let table = self.shared.table.lock();
@@ -715,16 +865,21 @@ impl Mpi {
         // OS scheduling, so the edge would not be reproducible.
         self.trace_blocking(CallOp::WinLock, entry, self.clock, 0, None, None);
         let prev = self.held.insert((win.id().0, target), guard);
-        assert!(prev.is_none(), "window already locked by this rank");
+        if prev.is_some() {
+            raise(VpceError::LockState {
+                msg: "window already locked by this rank".into(),
+            });
+        }
     }
 
     /// `MPI_WIN_UNLOCK`: close the passive epoch opened by
     /// [`Mpi::win_lock`].
     pub fn win_unlock(&mut self, win: &WindowRef, target: usize) {
-        let mut guard = self
-            .held
-            .remove(&(win.id().0, target))
-            .expect("unlock without lock");
+        let Some(mut guard) = self.held.remove(&(win.id().0, target)) else {
+            raise(VpceError::LockState {
+                msg: "unlock without lock".into(),
+            });
+        };
         *guard = self.clock;
         self.trace_blocking(CallOp::WinUnlock, self.clock, self.clock, 0, None, None);
     }
@@ -733,10 +888,11 @@ impl Mpi {
     /// scheduled and applied now, and the origin blocks until it
     /// completes.
     pub fn put_now(&mut self, win: &WindowRef, target: usize, off: usize, data: Vec<Elem>) {
-        assert!(
-            self.held.contains_key(&(win.id().0, target)),
-            "put_now outside a lock epoch"
-        );
+        if !self.held.contains_key(&(win.id().0, target)) {
+            raise(VpceError::LockState {
+                msg: "put_now outside a lock epoch".into(),
+            });
+        }
         let bytes = data.len() * crate::ELEM_BYTES;
         let entry = self.clock;
         self.stats.bytes_put += bytes as u64;
@@ -745,7 +901,8 @@ impl Mpi {
         self.check_bounds(win.id(), target, &kind);
         let wire = {
             let mut net = self.shared.net.lock();
-            net.p2p(self.rank, target, kind.wire_bytes(), self.clock)
+            net.try_p2p(self.rank, target, kind.wire_bytes(), self.clock)
+                .unwrap_or_else(|e| raise(e))
         };
         let end = wire.end;
         let op = PendingRma {
@@ -775,6 +932,7 @@ impl Mpi {
                 t: entry,
             });
             info.net = Some((wire.start, wire.end));
+            info.recovery_s = wire.recovery;
             self.shared
                 .tracer
                 .push(Lane::Rank(self.rank), entry, end, EventKind::Call(info));
@@ -792,10 +950,11 @@ impl Mpi {
         data: Vec<Elem>,
         op: AccumulateOp,
     ) {
-        assert!(
-            self.held.contains_key(&(win.id().0, target)),
-            "accumulate_now outside a lock epoch"
-        );
+        if !self.held.contains_key(&(win.id().0, target)) {
+            raise(VpceError::LockState {
+                msg: "accumulate_now outside a lock epoch".into(),
+            });
+        }
         let bytes = data.len() * crate::ELEM_BYTES;
         let entry = self.clock;
         self.stats.bytes_put += bytes as u64;
@@ -804,7 +963,8 @@ impl Mpi {
         self.check_bounds(win.id(), target, &kind);
         let wire = {
             let mut net = self.shared.net.lock();
-            net.p2p(self.rank, target, kind.wire_bytes(), self.clock)
+            net.try_p2p(self.rank, target, kind.wire_bytes(), self.clock)
+                .unwrap_or_else(|e| raise(e))
         };
         let end = wire.end;
         let pend = PendingRma {
@@ -834,6 +994,7 @@ impl Mpi {
                 t: entry,
             });
             info.net = Some((wire.start, wire.end));
+            info.recovery_s = wire.recovery;
             self.shared
                 .tracer
                 .push(Lane::Rank(self.rank), entry, end, EventKind::Call(info));
@@ -1252,6 +1413,130 @@ mod tests {
             tracer.to_chrome_json()
         };
         assert_eq!(run(), run());
+    }
+
+    fn put_fence_body(mpi: &mut Mpi) -> Vec<Elem> {
+        let w = mpi.win_create(64);
+        if mpi.rank() != 0 {
+            let data: Vec<f64> = (0..16).map(|i| (i * mpi.rank()) as f64).collect();
+            w.lock()[16 * mpi.rank()..16 * (mpi.rank() + 1)].copy_from_slice(&data);
+            mpi.put_region(&w, 0, 16 * mpi.rank(), 16);
+        }
+        mpi.fence_all();
+        w.snapshot()
+    }
+
+    #[test]
+    fn survivable_faults_preserve_memory_results() {
+        let clean = uni(4).run(put_fence_body);
+        let mut recovered = 0u64;
+        for seed in 0..8 {
+            let spec = FaultSpec { seed, ..FaultSpec::heavy() };
+            let out = uni(4).with_faults(spec).run(put_fence_body);
+            for r in 0..4 {
+                assert_eq!(out.results[r], clean.results[r], "seed {seed} rank {r}");
+            }
+            assert!(
+                out.elapsed() >= clean.elapsed(),
+                "recovery can only add virtual time (seed {seed})"
+            );
+            recovered += out.net.retransmits + out.net.link_stalls;
+        }
+        assert!(
+            recovered > 0,
+            "heavy schedule over 8 seeds must exercise the retransmit path"
+        );
+    }
+
+    #[test]
+    fn dead_link_yields_typed_error_not_a_panic() {
+        let spec = FaultSpec {
+            link_drop: 1.0,
+            max_retries: 2,
+            ..FaultSpec::off()
+        };
+        let err = uni(2)
+            .with_faults(spec)
+            .try_run(|mpi| {
+                if mpi.rank() == 0 {
+                    mpi.send(1, 0, vec![1.0]);
+                } else {
+                    mpi.recv(0, 0);
+                }
+            })
+            .unwrap_err();
+        match err {
+            VpceError::LinkFailure { src, dst, attempts } => {
+                assert_eq!((src, dst), (0, 1));
+                assert_eq!(attempts, 3, "initial try + 2 retries");
+            }
+            other => panic!("expected LinkFailure, got {other}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "link failure")]
+    fn run_panics_with_display_text_on_unsurvivable_fault() {
+        let spec = FaultSpec {
+            link_drop: 1.0,
+            max_retries: 1,
+            ..FaultSpec::off()
+        };
+        uni(2).with_faults(spec).run(|mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, 0, vec![1.0]);
+            } else {
+                mpi.recv(0, 0);
+            }
+        });
+    }
+
+    #[test]
+    fn bus_degradation_falls_back_to_software_tree() {
+        let spec = FaultSpec {
+            bus_fail: 1.0,
+            bus_attempts: 2,
+            ..FaultSpec::off()
+        };
+        let out = uni(4).with_faults(spec).run(|mpi| {
+            let data = (mpi.rank() == 0).then(|| vec![1.5; 64]);
+            mpi.bcast(0, data)
+        });
+        for r in &out.results {
+            assert_eq!(r, &vec![1.5; 64]);
+        }
+        assert_eq!(out.net.bus_degraded, 1, "bus gave up after 2 attempts");
+        assert_eq!(out.net.broadcasts, 0, "no hardware broadcast completed");
+        assert_eq!(out.net.p2p_messages, 3, "binomial tree carried the payload");
+    }
+
+    #[test]
+    fn off_spec_is_byte_identical_to_unfaulted_universe() {
+        let run = |armed: bool| {
+            let tracer = Tracer::enabled();
+            let mut u = uni(4).with_tracer(tracer.clone());
+            if armed {
+                u = u.with_faults(FaultSpec::off());
+            }
+            let out = u.run(put_fence_body);
+            (format!("{:?}", out.results), tracer.to_chrome_json())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn try_run_reraises_non_typed_panics() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = uni(2).try_run(|mpi| {
+                if mpi.rank() == 1 {
+                    panic!("plain bug");
+                }
+                mpi.barrier();
+            });
+        }));
+        let payload = caught.expect_err("bug must still panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "plain bug", "original payload re-raised");
     }
 
     #[test]

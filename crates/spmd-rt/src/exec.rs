@@ -7,6 +7,7 @@ use cluster_sim::{ClusterConfig, CpuModel, OpCounts};
 use mpi2::{AccumulateOp, Elem, Mpi, RankStats, Universe, WindowRef};
 use mpi2::sync::ArcMutexGuard;
 use vbus_sim::NetStats;
+use vpce_faults::{raise, site, FaultSpec, VpceError};
 use vpce_trace::{EventKind, Lane, TraceReport, Tracer};
 
 use crate::cost::instr_ops_shallow;
@@ -82,17 +83,42 @@ pub fn execute_traced(
     mode: ExecMode,
     tracer: Tracer,
 ) -> RunReport {
-    assert_eq!(
-        prog.nprocs,
-        cluster.num_nodes(),
-        "program compiled for {} ranks, cluster has {}",
-        prog.nprocs,
-        cluster.num_nodes()
-    );
-    let uni = Universe::new(cluster.clone()).with_tracer(tracer);
-    let out = uni.run(|mpi| run_rank(prog, mpi, mode));
+    try_execute_traced(prog, cluster, mode, tracer, FaultSpec::off())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`execute`]: runs under the given fault schedule and
+/// returns a typed [`VpceError`] instead of panicking when the program
+/// does not fit the cluster or an injected fault proves unsurvivable.
+pub fn try_execute(
+    prog: &SpmdProgram,
+    cluster: &ClusterConfig,
+    mode: ExecMode,
+    faults: FaultSpec,
+) -> Result<RunReport, VpceError> {
+    try_execute_traced(prog, cluster, mode, Tracer::disabled(), faults)
+}
+
+/// [`try_execute`] with a tracer attached.
+pub fn try_execute_traced(
+    prog: &SpmdProgram,
+    cluster: &ClusterConfig,
+    mode: ExecMode,
+    tracer: Tracer,
+    faults: FaultSpec,
+) -> Result<RunReport, VpceError> {
+    if prog.nprocs != cluster.num_nodes() {
+        return Err(VpceError::SizeMismatch {
+            program: prog.nprocs,
+            cluster: cluster.num_nodes(),
+        });
+    }
+    let uni = Universe::new(cluster.clone())
+        .with_tracer(tracer)
+        .with_faults(faults);
+    let out = uni.try_run(|mpi| run_rank(prog, mpi, mode))?;
     let (arrays, scalars) = out.results[0].clone();
-    RunReport {
+    Ok(RunReport {
         elapsed: out.elapsed(),
         comm_time: out.max_comm_time(),
         rank_stats: out.rank_stats,
@@ -101,7 +127,7 @@ pub fn execute_traced(
         scalars,
         rma_conflicts: out.rma_conflicts,
         trace: out.trace,
-    }
+    })
 }
 
 /// Execute the program's sequential form on one node (the Table-1
@@ -200,6 +226,9 @@ fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>
         mode,
     };
 
+    // Serial number of the parallel region being entered — the
+    // deterministic key for rank-level fault draws.
+    let mut region_serial: u64 = 0;
     for block in &prog.blocks {
         match block {
             Block::MasterSeq(instrs) => {
@@ -228,7 +257,9 @@ fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>
                     &mut interp,
                     rank,
                     nprocs,
+                    region_serial,
                 );
+                region_serial += 1;
             }
         }
     }
@@ -267,8 +298,33 @@ fn run_region(
     interp: &mut Interp,
     rank: usize,
     nprocs: usize,
+    region_serial: u64,
 ) {
     let line = region.line;
+    // Rank-level fault draws, keyed (rank, region serial) so the
+    // outcome is a pure function of the schedule, not of thread
+    // interleaving. A crash unwinds before the join barrier; peers
+    // then observe poisoned collectives and the universe reports the
+    // crash as the root cause.
+    let fault_key = ((rank as u64) << 32) ^ region_serial;
+    let (crash, slow_factor) = {
+        let inj = mpi.fault_injector();
+        let spec = inj.spec();
+        (
+            inj.hits(spec.rank_crash, site::RANK_CRASH, fault_key, 0),
+            if inj.hits(spec.rank_slow, site::RANK_SLOW, fault_key, 0) {
+                spec.slow_factor
+            } else {
+                1.0
+            },
+        )
+    };
+    if crash {
+        raise(VpceError::RankCrash {
+            rank,
+            region: format!("L{line}"),
+        });
+    }
     let t_join = mpi.now();
     // Barrier: slaves are released to join the computation.
     mpi.barrier();
@@ -342,8 +398,10 @@ fn run_region(
             }
         }
         drop(guards);
-        // SPMD addressing overhead on the region's compute.
-        interp.cycles = before + (interp.cycles - before) * SPMD_OVERHEAD;
+        // SPMD addressing overhead on the region's compute; an
+        // injected rank slowdown stretches the same interval (timing
+        // only — numeric results are untouched).
+        interp.cycles = before + (interp.cycles - before) * SPMD_OVERHEAD * slow_factor;
     }
     flush_cycles(interp, mpi);
     phase(mpi, t_compute, || format!("compute@L{line}"));
@@ -932,6 +990,68 @@ mod tests {
     fn cluster_size_mismatch_rejected() {
         let prog = axpy_prog(4);
         execute(&prog, &ClusterConfig::paper_n(2), ExecMode::Full);
+    }
+
+    #[test]
+    fn size_mismatch_is_a_typed_error_on_the_fallible_path() {
+        let prog = axpy_prog(4);
+        let err = try_execute(
+            &prog,
+            &ClusterConfig::paper_n(2),
+            ExecMode::Full,
+            FaultSpec::off(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            VpceError::SizeMismatch { program: 4, cluster: 2 }
+        ));
+    }
+
+    #[test]
+    fn survivable_faults_preserve_program_results() {
+        let prog = axpy_prog(4);
+        let cluster = ClusterConfig::paper_4node();
+        let clean = execute(&prog, &cluster, ExecMode::Full);
+        let mut recovered = 0u64;
+        for seed in 0..6 {
+            let spec = FaultSpec { seed, ..FaultSpec::heavy() };
+            let faulty = try_execute(&prog, &cluster, ExecMode::Full, spec)
+                .expect("heavy schedules without crashes are survivable");
+            assert_eq!(faulty.arrays, clean.arrays, "seed {seed}");
+            assert_eq!(faulty.scalars, clean.scalars, "seed {seed}");
+            assert!(faulty.elapsed >= clean.elapsed, "seed {seed}");
+            recovered += faulty.net.retransmits + faulty.net.bus_degraded;
+        }
+        assert!(recovered > 0, "heavy schedules must exercise recovery");
+    }
+
+    #[test]
+    fn certain_crash_yields_typed_rank_crash() {
+        let prog = axpy_prog(4);
+        let spec = FaultSpec { rank_crash: 1.0, ..FaultSpec::off() };
+        let err = try_execute(&prog, &ClusterConfig::paper_4node(), ExecMode::Full, spec)
+            .unwrap_err();
+        match err {
+            VpceError::RankCrash { region, .. } => assert!(region.starts_with('L')),
+            other => panic!("expected RankCrash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rank_slowdown_stretches_time_but_not_results() {
+        let prog = axpy_prog(4);
+        let cluster = ClusterConfig::paper_4node();
+        let clean = execute(&prog, &cluster, ExecMode::Full);
+        let spec = FaultSpec { rank_slow: 1.0, slow_factor: 4.0, ..FaultSpec::off() };
+        let slow = try_execute(&prog, &cluster, ExecMode::Full, spec).unwrap();
+        assert_eq!(slow.arrays, clean.arrays);
+        assert!(
+            slow.elapsed > clean.elapsed,
+            "slowdown {} vs clean {}",
+            slow.elapsed,
+            clean.elapsed
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub mod exec;
 pub mod ir;
 pub mod value;
 
-pub use exec::{execute, execute_sequential, execute_traced, ExecMode, RunReport, SeqReport};
+pub use exec::{
+    execute, execute_sequential, execute_traced, try_execute, try_execute_traced, ExecMode,
+    RunReport, SeqReport,
+};
+pub use vpce_faults::{FaultSpec, VpceError};
 pub use ir::{
     Block, CommOp, CommPlan, Expr, Instr, IntrinsicOp, ParRegion, RedOp, Schedule, SpmdProgram,
 };

@@ -1,5 +1,7 @@
 //! Runtime scalar values: Fortran INTEGER/REAL semantics.
 
+use vpce_faults::{raise, VpceError};
+
 /// A runtime scalar. Arithmetic follows Fortran: INTEGER÷INTEGER
 //  truncates, mixed operands promote to REAL.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,14 +19,16 @@ impl Value {
     /// an integer array) converts exactly.
     ///
     /// # Panics
-    /// Panics on a fractional REAL — the translator only emits
-    /// integer-valued expressions in integer positions, so this
-    /// indicates a compiler bug, not a user error.
+    /// Raises [`VpceError::TypeViolation`] on a fractional REAL — the
+    /// translator only emits integer-valued expressions in integer
+    /// positions, so this indicates a compiler bug, not a user error.
     pub fn as_int(self) -> i64 {
         match self {
             Value::I(v) => v,
             Value::R(v) if v.fract() == 0.0 && v.abs() < 2f64.powi(53) => v as i64,
-            Value::R(v) => panic!("REAL value {v} used where INTEGER required"),
+            Value::R(v) => raise(VpceError::TypeViolation {
+                msg: format!("REAL value {v} used where INTEGER required"),
+            }),
         }
     }
 
@@ -73,7 +77,11 @@ impl Value {
     pub fn div(self, o: Value) -> Value {
         match (self, o) {
             (Value::I(a), Value::I(b)) => {
-                assert!(b != 0, "integer division by zero");
+                if b == 0 {
+                    raise(VpceError::TypeViolation {
+                        msg: "integer division by zero".into(),
+                    });
+                }
                 Value::I(a / b)
             }
             _ => Value::R(self.as_real() / o.as_real()),
@@ -155,9 +163,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "INTEGER required")]
-    fn fractional_real_as_int_panics() {
-        Value::R(1.5).as_int();
+    fn fractional_real_as_int_raises_type_violation() {
+        let payload = std::panic::catch_unwind(|| Value::R(1.5).as_int()).unwrap_err();
+        match vpce_faults::take_raised(payload) {
+            Ok(VpceError::TypeViolation { msg }) => assert!(msg.contains("INTEGER required")),
+            Ok(other) => panic!("wrong error: {other}"),
+            Err(_) => panic!("payload was not a typed Raised error"),
+        }
+    }
+
+    #[test]
+    fn integer_division_by_zero_raises_type_violation() {
+        let payload =
+            std::panic::catch_unwind(|| Value::I(1).div(Value::I(0))).unwrap_err();
+        match vpce_faults::take_raised(payload) {
+            Ok(VpceError::TypeViolation { msg }) => assert!(msg.contains("division by zero")),
+            Ok(other) => panic!("wrong error: {other}"),
+            Err(_) => panic!("payload was not a typed Raised error"),
+        }
     }
 
     #[test]

@@ -85,6 +85,9 @@ fn args_json(kind: &EventKind) -> String {
             if let Some((n0, n1)) = &c.net {
                 let _ = write!(s, ",\"wire_start_us\":{},\"wire_end_us\":{}", us(*n0), us(*n1));
             }
+            if c.recovery_s > 0.0 {
+                let _ = write!(s, ",\"recovery_us\":{}", us(c.recovery_s));
+            }
             s.push('}');
             s
         }
@@ -107,6 +110,24 @@ fn args_json(kind: &EventKind) -> String {
             us(*pushback)
         ),
         EventKind::EpochClose { ops } => format!("{{\"completed_ops\":{ops}}}"),
+        EventKind::Retransmit {
+            src,
+            dst,
+            attempt,
+            bytes,
+        } => format!("{{\"src\":{src},\"dst\":{dst},\"attempt\":{attempt},\"bytes\":{bytes}}}"),
+        EventKind::BackoffWait { src, dst, delay } => format!(
+            "{{\"src\":{src},\"dst\":{dst},\"delay_us\":{}}}",
+            us(*delay)
+        ),
+        EventKind::BusDegraded { root, attempts } => {
+            format!("{{\"root\":{root},\"attempts\":{attempts}}}")
+        }
+        EventKind::NicRetry {
+            rank,
+            what,
+            attempts,
+        } => format!("{{\"rank\":{rank},\"what\":\"{what}\",\"attempts\":{attempts}}}"),
     }
 }
 

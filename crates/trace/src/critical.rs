@@ -35,6 +35,10 @@ pub enum TimeClass {
     Setup,
     Occupancy,
     Wait,
+    /// Time the dominating transfer spent recovering from injected
+    /// faults: failed attempts, ack/timeout turnarounds, backoff.
+    /// Never appears when fault injection is off.
+    Recovery,
 }
 
 impl TimeClass {
@@ -44,6 +48,7 @@ impl TimeClass {
             TimeClass::Setup => "setup",
             TimeClass::Occupancy => "occupancy",
             TimeClass::Wait => "wait",
+            TimeClass::Recovery => "recovery",
         }
     }
 }
@@ -72,11 +77,13 @@ pub struct Breakdown {
     pub setup: f64,
     pub occupancy: f64,
     pub wait: f64,
+    /// Fault-recovery time on the critical path (0 without injection).
+    pub recovery: f64,
 }
 
 impl Breakdown {
     pub fn total(&self) -> f64 {
-        self.compute + self.setup + self.occupancy + self.wait
+        self.compute + self.setup + self.occupancy + self.wait + self.recovery
     }
 
     fn charge(&mut self, class: TimeClass, dur: f64) {
@@ -85,6 +92,7 @@ impl Breakdown {
             TimeClass::Setup => self.setup += dur,
             TimeClass::Occupancy => self.occupancy += dur,
             TimeClass::Wait => self.wait += dur,
+            TimeClass::Recovery => self.recovery += dur,
         }
     }
 }
@@ -126,14 +134,20 @@ impl Walk {
 
 /// Charge the part of a blocking span between the dominating event and
 /// the cursor. Layout (latest to earliest): post-transfer tail →
-/// wire occupancy → dependency wait.
+/// wire occupancy → fault recovery → dependency wait. The recovery
+/// carve-out is the leading `recovery_s` seconds of the (clamped) wire
+/// interval — the failed attempts and backoffs that preceded the
+/// successful transmission; with injection off it is empty and the
+/// layout is exactly the pre-fault one.
 fn tile_blocking(walk: &mut Walk, rank: usize, info: &CallInfo, lo: f64, t: f64, what: &str) {
     match info.net {
         Some((n0, n1)) => {
             let n1 = n1.clamp(lo, t);
             let n0 = n0.clamp(lo, n1);
+            let r1 = (n0 + info.recovery_s).clamp(n0, n1);
             walk.tile(rank, n1, t, TimeClass::Setup, what);
-            walk.tile(rank, n0, n1, TimeClass::Occupancy, what);
+            walk.tile(rank, r1, n1, TimeClass::Occupancy, what);
+            walk.tile(rank, n0, r1, TimeClass::Recovery, what);
             walk.tile(rank, lo, n0, TimeClass::Wait, what);
         }
         None => walk.tile(rank, lo, t, TimeClass::Wait, what),
@@ -263,6 +277,17 @@ impl CriticalPath {
                 pct(v, self.elapsed)
             );
         }
+        // Only faulted runs have a recovery component; keeping the line
+        // out otherwise preserves the fault-free summary byte-for-byte.
+        if b.recovery > 0.0 {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>12.1} us  {:>5.1}%",
+                "recovery",
+                b.recovery * 1e6,
+                pct(b.recovery, self.elapsed)
+            );
+        }
         out
     }
 }
@@ -370,6 +395,39 @@ mod tests {
         for w in segs.windows(2) {
             assert!(w[0].t1 <= w[1].t0 + 1e-12);
         }
+    }
+
+    #[test]
+    fn recovery_carves_out_of_occupancy_and_still_tiles() {
+        // Same shape as fence_hop_attributes_wire_and_wait, but the
+        // dominating transfer spent its first 0.6 s recovering from
+        // retransmits: that slice moves from occupancy to recovery and
+        // the total still tiles elapsed exactly.
+        let mut info = CallInfo::new(CallOp::Fence);
+        info.dom = Some(Dominator { rank: 1, t: 1.0 });
+        info.net = Some((1.2, 2.8));
+        info.recovery_s = 0.6;
+        let events = vec![
+            call_ev(1, CallOp::Put, 1.0, 1.2, None, None),
+            Event {
+                lane: Lane::Rank(0),
+                seq: 0,
+                t0: 0.5,
+                t1: 3.0,
+                kind: EventKind::Call(info),
+            },
+        ];
+        let cp = critical_path(&events, &[3.0, 1.2]);
+        assert!((cp.breakdown.recovery - 0.6).abs() < 1e-12);
+        assert!((cp.breakdown.occupancy - 1.0).abs() < 1e-12);
+        assert!((cp.breakdown.total() - cp.elapsed).abs() < 1e-12);
+        assert!(cp.render().contains("recovery"));
+        // Without recovery, the render has no recovery line.
+        let plain = critical_path(
+            &[call_ev(0, CallOp::Put, 0.0, 1.0, None, None)],
+            &[1.0],
+        );
+        assert!(!plain.render().contains("recovery"));
     }
 
     #[test]

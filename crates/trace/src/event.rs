@@ -151,6 +151,10 @@ pub struct CallInfo {
     /// The wire interval `[start, end]` of the transfer that dominated
     /// a blocking span (network-occupancy attribution).
     pub net: Option<(f64, f64)>,
+    /// Leading seconds of the wire interval spent on fault recovery
+    /// (failed attempts, ack turnarounds, backoff) rather than useful
+    /// occupancy. Always 0 when fault injection is off.
+    pub recovery_s: f64,
 }
 
 impl CallInfo {
@@ -163,6 +167,7 @@ impl CallInfo {
             parts: None,
             dom: None,
             net: None,
+            recovery_s: 0.0,
         }
     }
 }
@@ -194,6 +199,28 @@ pub enum EventKind {
     /// An access epoch closed at a fence; `ops` buffered one-sided
     /// operations completed.
     EpochClose { ops: u64 },
+    /// A packet attempt failed (CRC mismatch or ack timeout) and was
+    /// retransmitted: the span covers the failed attempt plus the
+    /// detection turnaround, ending when the retry became ready.
+    Retransmit {
+        src: usize,
+        dst: usize,
+        attempt: u32,
+        bytes: u64,
+    },
+    /// The sender sat out an exponential-backoff delay before a
+    /// retransmission.
+    BackoffWait { src: usize, dst: usize, delay: f64 },
+    /// V-Bus construction exceeded its attempt budget; the collective
+    /// degraded to a software multicast tree over p2p.
+    BusDegraded { root: usize, attempts: u32 },
+    /// A NIC host-side operation (DMA descriptor post or PIO copy) was
+    /// injected with an error and retried.
+    NicRetry {
+        rank: usize,
+        what: &'static str,
+        attempts: u32,
+    },
 }
 
 impl EventKind {
@@ -206,6 +233,10 @@ impl EventKind {
             EventKind::BusBroadcast { root, .. } => format!("vbus-bcast from {root}"),
             EventKind::BusFreeze { .. } => "freeze".to_string(),
             EventKind::EpochClose { .. } => "epoch-close".to_string(),
+            EventKind::Retransmit { src, dst, .. } => format!("retransmit {src}->{dst}"),
+            EventKind::BackoffWait { .. } => "backoff".to_string(),
+            EventKind::BusDegraded { root, .. } => format!("vbus-degraded from {root}"),
+            EventKind::NicRetry { what, .. } => format!("nic-retry {what}"),
         }
     }
 
@@ -217,6 +248,10 @@ impl EventKind {
             EventKind::LinkBusy { .. } => "net",
             EventKind::BusBroadcast { .. } | EventKind::BusFreeze { .. } => "bus",
             EventKind::EpochClose { .. } => "epoch",
+            EventKind::Retransmit { .. }
+            | EventKind::BackoffWait { .. }
+            | EventKind::BusDegraded { .. }
+            | EventKind::NicRetry { .. } => "fault",
         }
     }
 }
@@ -278,5 +313,26 @@ mod tests {
         };
         assert_eq!(k.name(), "msg 0->3");
         assert_eq!(k.category(), "net");
+    }
+
+    #[test]
+    fn fault_events_have_stable_names_and_category() {
+        let r = EventKind::Retransmit {
+            src: 1,
+            dst: 2,
+            attempt: 3,
+            bytes: 64,
+        };
+        assert_eq!(r.name(), "retransmit 1->2");
+        assert_eq!(r.category(), "fault");
+        let d = EventKind::BusDegraded { root: 0, attempts: 3 };
+        assert_eq!(d.name(), "vbus-degraded from 0");
+        assert_eq!(d.category(), "fault");
+        let b = EventKind::BackoffWait { src: 0, dst: 1, delay: 1e-6 };
+        assert_eq!(b.name(), "backoff");
+        assert_eq!(b.category(), "fault");
+        let n = EventKind::NicRetry { rank: 2, what: "dma", attempts: 1 };
+        assert_eq!(n.name(), "nic-retry dma");
+        assert_eq!(n.category(), "fault");
     }
 }

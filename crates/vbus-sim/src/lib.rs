@@ -45,7 +45,7 @@ pub mod topology;
 mod sim;
 
 pub use link::{LinkPhy, LinkRate, SignallingMode};
-pub use sim::{NetConfig, NetSim, Transfer, VBusConfig};
+pub use sim::{BusOutcome, NetConfig, NetSim, Transfer, VBusConfig};
 pub use stats::{LinkStats, NetStats};
 pub use topology::{Mesh, NodeId, Topology};
 

@@ -201,7 +201,27 @@ impl LinkRate {
     pub fn transfer_time(&self, bytes: usize) -> f64 {
         bytes as f64 / self.bandwidth_bps
     }
+
+    /// Seconds for the receiver's CRC verdict to reach the sender: the
+    /// ack worm re-crosses the path ([`ACK_BYTES`] payload, one header
+    /// flight per hop). This is the detection latency of a corrupted
+    /// packet — the NACK round trip before a retransmit can start.
+    pub fn ack_turnaround(&self, hops: usize) -> f64 {
+        self.per_hop_s * hops as f64 + self.transfer_time(ACK_BYTES)
+    }
+
+    /// Sender-side ack timeout after which a packet is declared lost
+    /// (no CRC verdict ever arrives for a dropped packet). A small
+    /// multiple of the ack turnaround, as a real link layer would
+    /// configure it.
+    pub fn drop_timeout(&self, hops: usize) -> f64 {
+        4.0 * self.ack_turnaround(hops)
+    }
 }
+
+/// Payload bytes of the link-level acknowledgement packet: the packet
+/// serial being acked plus the CRC verdict.
+pub const ACK_BYTES: usize = 8;
 
 #[cfg(test)]
 mod tests {
@@ -292,6 +312,18 @@ mod tests {
         let t1 = r.transfer_time(1 << 20);
         let t2 = r.transfer_time(2 << 20);
         assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ack_protocol_timings_scale_with_path_length() {
+        let r = LinkRate::vbus_skwp();
+        let one = r.ack_turnaround(1);
+        let three = r.ack_turnaround(3);
+        assert!((three - one - 2.0 * r.per_hop_s).abs() < 1e-15);
+        assert!(one > r.transfer_time(ACK_BYTES));
+        // Drop detection is strictly slower than NACK detection: a lost
+        // packet costs more to notice than a corrupted one.
+        assert!(r.drop_timeout(2) > r.ack_turnaround(2));
     }
 
     #[test]

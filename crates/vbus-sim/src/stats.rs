@@ -27,6 +27,28 @@ pub struct NetStats {
     pub contention_wait: f64,
     /// Latest completion time observed on any link.
     pub horizon: f64,
+    /// Packet attempts whose CRC check failed at the receiver
+    /// (injected flit corruption; every one triggered a retransmit).
+    pub crc_failures: u64,
+    /// Packet attempts lost outright (detected by ack timeout).
+    pub packets_dropped: u64,
+    /// Injected link stalls (packet held in a router buffer).
+    pub link_stalls: u64,
+    /// Extra seconds packets spent stalled in buffers.
+    pub stall_time: f64,
+    /// Retransmissions performed (= crc_failures + packets_dropped on
+    /// survivable runs).
+    pub retransmits: u64,
+    /// Seconds spent in exponential backoff before retransmits.
+    pub backoff_time: f64,
+    /// Total fault-recovery seconds across transfers (failed attempts,
+    /// detection turnarounds, backoff) — the sum of `Transfer::recovery`.
+    pub recovery_time: f64,
+    /// V-Bus construction attempts that failed arbitration.
+    pub bus_fail_attempts: u64,
+    /// Broadcasts that gave up on the hardware bus and degraded to the
+    /// software multicast tree.
+    pub bus_degraded: u64,
 }
 
 /// Per-link occupancy, for utilization reports.
@@ -48,6 +70,18 @@ impl NetStats {
     pub fn total_messages(&self) -> u64 {
         self.p2p_messages + self.broadcasts
     }
+
+    /// Did any injected fault fire during the run? All-zero whenever
+    /// injection is off, which is what keeps fault-free reports
+    /// byte-identical to the pre-fault code.
+    pub fn faults_seen(&self) -> bool {
+        self.crc_failures != 0
+            || self.packets_dropped != 0
+            || self.link_stalls != 0
+            || self.retransmits != 0
+            || self.bus_fail_attempts != 0
+            || self.bus_degraded != 0
+    }
 }
 
 #[cfg(test)]
@@ -65,5 +99,20 @@ mod tests {
         };
         assert_eq!(s.total_bytes(), 150);
         assert_eq!(s.total_messages(), 5);
+    }
+
+    #[test]
+    fn fault_free_stats_report_no_faults() {
+        assert!(!NetStats::default().faults_seen());
+        let s = NetStats {
+            retransmits: 1,
+            ..NetStats::default()
+        };
+        assert!(s.faults_seen());
+        let s = NetStats {
+            bus_degraded: 2,
+            ..NetStats::default()
+        };
+        assert!(s.faults_seen());
     }
 }

@@ -142,6 +142,45 @@ impl Topology {
         }
     }
 
+    /// Decode a directed link id back to its `(from, to)` router pair —
+    /// the provenance a fault diagnostic needs when a retransmit or a
+    /// stall is attributed to one physical channel. Returns `None` for
+    /// links with no single endpoint pair (the shared segment) and for
+    /// mesh edge links that leave the machine (never routed over).
+    pub fn endpoints(&self, link: LinkId) -> Option<(NodeId, NodeId)> {
+        match self {
+            Topology::Mesh { mesh, .. } => {
+                let (node, dx, dy, wraps) = mesh.decode_link(link)?;
+                let (x, y) = mesh.coords(node);
+                if wraps {
+                    return None; // off the edge: unused on a plain mesh
+                }
+                let nx = x.checked_add_signed(dx)?;
+                let ny = y.checked_add_signed(dy)?;
+                if nx >= mesh.cols || ny >= mesh.rows {
+                    return None;
+                }
+                Some((node, mesh.node_at(nx, ny)))
+            }
+            Topology::Torus { mesh, .. } => {
+                let (node, dx, dy, _) = mesh.decode_link(link)?;
+                let (x, y) = mesh.coords(node);
+                let nx = (x as isize + dx).rem_euclid(mesh.cols as isize) as usize;
+                let ny = (y as isize + dy).rem_euclid(mesh.rows as isize) as usize;
+                Some((node, mesh.node_at(nx, ny)))
+            }
+            Topology::Hypercube { dims, nodes } => {
+                let d = *dims as usize;
+                let node = link / d;
+                if node >= *nodes {
+                    return None;
+                }
+                Some((node, node ^ (1 << (link % d))))
+            }
+            Topology::SharedSegment { .. } => None,
+        }
+    }
+
     /// Network diameter in hops.
     pub fn diameter(&self) -> usize {
         match self {
@@ -208,6 +247,28 @@ impl Mesh {
 
     fn link(&self, node: NodeId, dir: Dir) -> LinkId {
         node * 4 + dir as usize
+    }
+
+    /// Decode a link id to its owning node and unit step `(dx, dy)`.
+    /// `wraps` reports whether the step leaves the mesh rectangle
+    /// (usable only with torus wraparound).
+    fn decode_link(&self, link: LinkId) -> Option<(NodeId, isize, isize, bool)> {
+        let node = link / 4;
+        if node >= self.num_nodes() {
+            return None;
+        }
+        let (dx, dy): (isize, isize) = match link % 4 {
+            0 => (1, 0),  // east
+            1 => (-1, 0), // west
+            2 => (0, -1), // north
+            _ => (0, 1),  // south
+        };
+        let (x, y) = self.coords(node);
+        let wraps = (dx < 0 && x == 0)
+            || (dx > 0 && x + 1 == self.cols)
+            || (dy < 0 && y == 0)
+            || (dy > 0 && y + 1 == self.rows);
+        Some((node, dx, dy, wraps))
     }
 
     /// Directed links of the XY route from `src` to `dst`: X first
@@ -500,6 +561,46 @@ mod tests {
         assert_eq!(t.num_links(), 1);
         assert_eq!(t.route(2, 5), vec![0]);
         assert_eq!(t.route(3, 3), Vec::<LinkId>::new());
+    }
+
+    #[test]
+    fn endpoints_chain_along_every_route() {
+        // Walking a route link-by-link through endpoints() must trace a
+        // connected path from src to dst on every topology that has
+        // per-pair links.
+        for t in [
+            Topology::mesh_for(12),
+            Topology::torus_for(12),
+            Topology::hypercube_for(8),
+        ] {
+            let n = t.num_nodes();
+            for s in 0..n {
+                for d in 0..n {
+                    let mut cur = s;
+                    for l in t.route(s, d) {
+                        let (from, to) = t
+                            .endpoints(l)
+                            .unwrap_or_else(|| panic!("{t:?} link {l} undecodable"));
+                        assert_eq!(from, cur, "{s}->{d} disconnected at link {l}");
+                        cur = to;
+                    }
+                    assert_eq!(cur, d, "{s}->{d} route endpoint mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_reject_edge_and_shared_links() {
+        // East link of the mesh's north-east corner leaves the machine.
+        let m = Topology::mesh_for(4);
+        let corner_east = 4; // node 1 = (1,0), dir east (= 1*4 + 0)
+        assert_eq!(m.endpoints(corner_east), None);
+        // The same id on the torus wraps around to node 0.
+        let t = Topology::torus_for(4);
+        assert_eq!(t.endpoints(corner_east), Some((1, 0)));
+        assert_eq!(Topology::shared_for(4).endpoints(0), None);
+        assert_eq!(m.endpoints(1_000), None);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Chaos property suite — the fault plane's headline invariant.
+//!
+//! For any *survivable* seeded fault schedule, the MM and SWIM
+//! workloads must produce byte-identical arrays and scalars to the
+//! fault-free run, with the self-healing machinery (CRC/ack
+//! retransmits, V-Bus degradation, NIC retries) visible in the stats
+//! ledger. An *unsurvivable* schedule must surface as a typed
+//! `VpceError` from `try_execute` — never a panic. Schedules come
+//! from the testkit's deterministic choice stream; failures print the
+//! reproducing seed, and pinned regressions live in
+//! `crates/core/testkit-regressions/`.
+
+use std::cell::Cell;
+
+use spmd_rt::{ExecMode, FaultSpec};
+use vpce::{compile, BackendOptions, ClusterConfig, Granularity};
+use vpce_testkit::prelude::*;
+use vpce_workloads::{mm, swim};
+
+/// A random transport-fault schedule: light or heavy base rates, a
+/// fresh seed, never a rank crash (crashes are unsurvivable by
+/// construction and covered separately).
+fn arb_schedule() -> Gen<FaultSpec> {
+    zip2(u64_in(1, u64::MAX / 2), bool_any()).map(|(seed, heavy)| {
+        let base = if heavy {
+            FaultSpec::heavy()
+        } else {
+            FaultSpec::light()
+        };
+        FaultSpec {
+            seed,
+            rank_crash: 0.0,
+            ..base
+        }
+    })
+}
+
+/// Run `cases` random schedules over one compiled workload and hold
+/// the invariant on every one of them.
+fn chaos(name: &'static str, source: &str, n: i64, cases: u32) {
+    let opts = BackendOptions::new(4).granularity(Granularity::Fine);
+    let compiled = compile(source, &[("N", n)], &opts).expect("workload compiles");
+    let cluster = ClusterConfig::paper_4node();
+    let clean = spmd_rt::execute(&compiled.program, &cluster, ExecMode::Full);
+    let survived = Cell::new(0u32);
+    let recovered = Cell::new(0u64);
+    Check::new(name).cases(cases).run(&arb_schedule(), |spec| {
+        match spmd_rt::try_execute(&compiled.program, &cluster, ExecMode::Full, spec.clone()) {
+            Ok(rep) => {
+                prop_assert!(
+                    rep.arrays == clean.arrays,
+                    "arrays diverge from fault-free run under {spec:?}"
+                );
+                prop_assert!(
+                    rep.scalars == clean.scalars,
+                    "scalars diverge from fault-free run under {spec:?}"
+                );
+                survived.set(survived.get() + 1);
+                recovered.set(
+                    recovered.get()
+                        + rep.net.retransmits
+                        + rep.net.bus_degraded
+                        + rep.net.link_stalls,
+                );
+            }
+            Err(e) => {
+                // The bounded retry budget makes genuine transport
+                // loss vanishingly rare; whatever does get through
+                // must be a typed injected failure, never a panic or
+                // a logic error.
+                prop_assert!(e.is_injected(), "non-injected failure under {spec:?}: {e}");
+            }
+        }
+        Ok(())
+    });
+    assert!(
+        survived.get() >= cases * 9 / 10,
+        "{name}: only {} of {cases} schedules survived",
+        survived.get()
+    );
+    assert!(
+        recovered.get() > 0,
+        "{name}: no recovery events across {cases} schedules — injection is dead"
+    );
+}
+
+#[test]
+fn mm_survivable_schedules_are_byte_identical() {
+    chaos(
+        "chaos::mm_survivable_schedules_are_byte_identical",
+        mm::SOURCE,
+        12,
+        120,
+    );
+}
+
+#[test]
+fn swim_survivable_schedules_are_byte_identical() {
+    chaos(
+        "chaos::swim_survivable_schedules_are_byte_identical",
+        swim::SOURCE,
+        8,
+        120,
+    );
+}
+
+#[test]
+fn crashy_schedules_fail_typed_and_never_panic() {
+    let opts = BackendOptions::new(4).granularity(Granularity::Fine);
+    let compiled = compile(mm::SOURCE, &[("N", 12)], &opts).expect("workload compiles");
+    let cluster = ClusterConfig::paper_4node();
+    let clean = spmd_rt::execute(&compiled.program, &cluster, ExecMode::Full);
+    let mut crashes = 0;
+    for seed in 0..20u64 {
+        let spec = FaultSpec {
+            seed,
+            ..FaultSpec::crashy()
+        };
+        match spmd_rt::try_execute(&compiled.program, &cluster, ExecMode::Full, spec) {
+            Ok(rep) => assert_eq!(rep.arrays, clean.arrays, "seed {seed}"),
+            Err(e) => {
+                assert!(e.is_injected(), "seed {seed}: {e}");
+                crashes += 1;
+            }
+        }
+    }
+    assert!(crashes > 0, "crashy never crashed in 20 seeds");
+}
+
+/// The report produced under one fixed fault schedule, golden-pinned.
+/// Regenerate with `UPDATE_GOLDEN=1 cargo test -q -p vpce --test
+/// chaos_faults`.
+#[test]
+fn fault_report_matches_golden() {
+    const SRC: &str = "PROGRAM CHAOS\nPARAMETER (N = 32)\nREAL A(N)\nINTEGER I\nDO I = 1, N\nA(I) = REAL(I) * 2.0\nENDDO\nEND\n";
+    let argv: Vec<String> = "chaos.f --grain fine --faults heavy,seed=3"
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let args = vpce::cli::parse_args(&argv).expect("args parse");
+    let out = vpce::cli::run(SRC, &args).expect("program compiles");
+    assert_eq!(out.exit, 0, "{}", out.text);
+    assert!(out.text.contains("fault schedule: seed 3"), "{}", out.text);
+
+    let path = format!(
+        "{}/../../tests/golden/fault_report.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &out.text).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {path}: {e}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        out.text, want,
+        "fault report drifted from golden; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
