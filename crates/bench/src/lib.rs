@@ -13,7 +13,10 @@
 //!   safety check (A4);
 //! * [`chaos`] — the fault matrix: workloads under seeded fault
 //!   schedules, recording the self-healing transport's counters and
-//!   the byte-identity invariant.
+//!   the byte-identity invariant;
+//! * [`sched`] — the batch-scheduler sweep: seeded traffic storms over
+//!   machine size × arrival rate × policy (fcfs vs backfill),
+//!   recording utilization, gang concurrency and wait percentiles.
 //!
 //! Each module computes plain data structures; the `table1`, `table2`,
 //! `hwclaims`, `ablation` and `chaos` binaries print them as the
@@ -22,6 +25,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod hwclaims;
+pub mod sched;
 pub mod table1;
 pub mod table2;
 

@@ -34,6 +34,27 @@ use vbus_sim::NetConfig;
 pub use cpu::{CpuModel, OpCounts};
 pub use memory::MemoryTracker;
 pub use nic::{HostCostBreakdown, NicModel, TransferKind};
+pub use vbus_sim::Mesh;
+
+/// Maximum aspect ratio a rectangular job partition may have before
+/// the exact factorization is considered degenerate and the allocator
+/// falls back to a near-square shape with spare router positions.
+pub const MAX_PARTITION_ASPECT: usize = 4;
+
+/// Shape of the rectangular partition a gang scheduler should carve
+/// for a job of `ranks` processes.
+///
+/// Policy (documented here, pinned by tests): prefer the most-square
+/// *exact* factorization of `ranks` with aspect ratio at most
+/// [`MAX_PARTITION_ASPECT`] (no wasted positions); when none exists —
+/// primes and other awkward counts like 7 or 13 — fall back
+/// *deliberately* to [`Mesh::near_square`], which wastes under one row
+/// of router positions but never produces a `1 x n` chain for
+/// `ranks >= 3`. The degenerate chain is thus unreachable either way.
+pub fn partition_shape(ranks: usize) -> Mesh {
+    assert!(ranks > 0, "a partition holds at least one rank");
+    Mesh::exact_factor(ranks, MAX_PARTITION_ASPECT).unwrap_or_else(|| Mesh::near_square(ranks))
+}
 
 /// Configuration of one PC in the cluster.
 #[derive(Debug, Clone)]
@@ -75,6 +96,20 @@ impl ClusterConfig {
         ClusterConfig {
             node: NodeConfig::paper_pc(),
             net: NetConfig::vbus_skwp(n),
+        }
+    }
+
+    /// A rectangular sub-partition of the paper's machine: `ranks`
+    /// paper PCs attached to an explicit `mesh` shape. This is the
+    /// per-job machine a gang scheduler builds — the partition owns
+    /// its wires and counters, so concurrent jobs are fully isolated.
+    ///
+    /// # Panics
+    /// Panics if the mesh cannot hold `ranks` nodes.
+    pub fn paper_partition(mesh: Mesh, ranks: usize) -> Self {
+        ClusterConfig {
+            node: NodeConfig::paper_pc(),
+            net: NetConfig::vbus_skwp_mesh(mesh, ranks),
         }
     }
 
@@ -136,6 +171,29 @@ mod tests {
         let c = ClusterConfig::fast_ethernet_n(4);
         assert!(!c.node.nic.shared_queue);
         assert!(c.net.vbus.is_none());
+    }
+
+    #[test]
+    fn partition_shapes_are_exact_or_deliberately_near_square() {
+        // Exact aspect-bounded factorizations win…
+        assert_eq!(partition_shape(4), Mesh::new(2, 2));
+        assert_eq!(partition_shape(8), Mesh::new(4, 2));
+        assert_eq!(partition_shape(12), Mesh::new(4, 3));
+        assert_eq!(partition_shape(2), Mesh::new(2, 1));
+        // …awkward counts fall back to near-square, never a chain.
+        for ranks in [5, 7, 11, 13, 17] {
+            let m = partition_shape(ranks);
+            assert!(m.rows >= 2, "ranks={ranks} got a {}x{} chain", m.cols, m.rows);
+            assert!(m.num_nodes() >= ranks);
+        }
+    }
+
+    #[test]
+    fn paper_partition_isolates_shape_and_size() {
+        let c = ClusterConfig::paper_partition(Mesh::new(2, 1), 2);
+        assert_eq!(c.num_nodes(), 2);
+        // The partition keeps the paper card (V-Bus present).
+        assert!(c.net.vbus.is_some());
     }
 
     #[test]

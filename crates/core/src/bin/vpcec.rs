@@ -1,54 +1,112 @@
 //! `vpcec` — the command-line front door of the environment:
 //! compile an F77-mini program and run it on the simulated V-Bus
-//! cluster (or statically lint its communication plan with `--lint`).
-//! All logic lives in `vpce::cli` (unit-tested); this binary only
-//! does I/O.
+//! cluster, statically lint its communication plan (`--lint`), or run
+//! a whole jobfile through the gang scheduler (`--batch`). All logic
+//! lives in `vpce::cli` (unit-tested); this binary only does I/O, and
+//! every exit funnels through the one `Outcome` table.
 
+use std::path::Path;
 use std::process::ExitCode;
+
+use vpce::cli::{self, Outcome};
+
+fn exit(outcome: Outcome) -> ExitCode {
+    ExitCode::from(u8::try_from(outcome.exit_code()).unwrap_or(1))
+}
+
+fn write_or_die(path: &str, contents: &str, what: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, contents).map_err(|e| {
+        eprintln!("error: cannot write {what} {path}: {e}");
+        exit(Outcome::IoError)
+    })
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
-        print!("{}", vpce::cli::USAGE);
-        return ExitCode::SUCCESS;
+        print!("{}", cli::USAGE);
+        return exit(Outcome::Success);
     }
-    let args = match vpce::cli::parse_args(&argv) {
+    let args = match cli::parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\n\n{}", vpce::cli::USAGE);
-            return ExitCode::FAILURE;
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            return exit(Outcome::UsageError);
         }
     };
+
+    if let Some(jobfile_path) = &args.batch {
+        return run_batch(jobfile_path, &args);
+    }
+
     let source = match std::fs::read_to_string(&args.source_path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot read {}: {e}", args.source_path);
-            return ExitCode::FAILURE;
+            return exit(Outcome::IoError);
         }
     };
-    match vpce::cli::run(&source, &args) {
+    match cli::run(&source, &args) {
         Ok(out) => {
             print!("{}", out.text);
             if let (Some(path), Some(json)) = (&args.lint_json, &out.lint_json) {
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("error: cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
+                if let Err(code) = write_or_die(path, json, "lint JSON") {
+                    return code;
                 }
             }
             if let (Some(path), Some(json)) = (&args.trace, &out.trace_json) {
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("error: cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
+                if let Err(code) = write_or_die(path, json, "trace") {
+                    return code;
                 }
                 eprintln!("trace written to {path} (load in ui.perfetto.dev)");
             }
-            // Lint mode reports findings through the exit code:
-            // 0 clean, 1 warnings, 2 conflicts.
-            ExitCode::from(u8::try_from(out.exit).unwrap_or(2))
+            exit(out.outcome)
         }
         Err(e) => {
             eprintln!("compile error: {e}");
-            ExitCode::FAILURE
+            exit(Outcome::UsageError)
+        }
+    }
+}
+
+fn run_batch(jobfile_path: &str, args: &cli::CliArgs) -> ExitCode {
+    let jobfile = match std::fs::read_to_string(jobfile_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {jobfile_path}: {e}");
+            return exit(Outcome::IoError);
+        }
+    };
+    // `src=` paths resolve relative to the jobfile's directory, so a
+    // jobfile and its programs travel as one unit.
+    let dir = Path::new(jobfile_path)
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let loader = move |p: &str| {
+        let pb = Path::new(p);
+        let full = if pb.is_absolute() { pb.to_path_buf() } else { dir.join(pb) };
+        std::fs::read_to_string(&full).map_err(|e| e.to_string())
+    };
+    match cli::run_batch(&jobfile, args, &loader) {
+        Ok(out) => {
+            print!("{}", out.text);
+            if let (Some(path), Some(json)) = (&args.batch_json, &out.batch_json) {
+                if let Err(code) = write_or_die(path, json, "batch report") {
+                    return code;
+                }
+            }
+            if let (Some(path), Some(json)) = (&args.trace, &out.trace_json) {
+                if let Err(code) = write_or_die(path, json, "cluster timeline") {
+                    return code;
+                }
+                eprintln!("cluster timeline written to {path} (load in ui.perfetto.dev)");
+            }
+            exit(out.outcome)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(Outcome::UsageError)
         }
     }
 }

@@ -6,7 +6,8 @@
 use std::fmt::Write as _;
 
 use lmad::Granularity;
-use spmd_rt::{ExecMode, FaultSpec, Schedule};
+use spmd_rt::{ExecMode, FaultSpec, Schedule, VpceError};
+use vpce_sched::{BatchOptions, BatchSpec, SourceLoader};
 use vpce_trace::Tracer;
 
 use crate::{BackendOptions, ClusterConfig, FrontError};
@@ -32,6 +33,13 @@ pub struct CliArgs {
     pub trace_summary: bool,
     pub faults: FaultSpec,
     pub fault_seed: Option<u64>,
+    /// Batch mode: path of a jobfile to run through the gang
+    /// scheduler instead of a single program.
+    pub batch: Option<String>,
+    /// `--sched-seed`: overrides the jobfile's `seed=` directive.
+    pub sched_seed: Option<u64>,
+    /// `--batch-json`: also write the batch report as stable JSON.
+    pub batch_json: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -55,6 +63,79 @@ impl Default for CliArgs {
             trace_summary: false,
             faults: FaultSpec::off(),
             fault_seed: None,
+            batch: None,
+            sched_seed: None,
+            batch_json: None,
+        }
+    }
+}
+
+/// Every way a `vpcec` invocation can end. All process exit codes
+/// funnel through [`Outcome::exit_code`] — the one documented table —
+/// instead of scattered numeric literals.
+///
+/// | code | outcomes |
+/// |------|----------|
+/// | 0    | `Success` |
+/// | 1    | `UsageError`, `IoError`, `LintWarnings` |
+/// | 2    | `LintConflicts` |
+/// | 3    | `RuntimeFault` (an unsurvivable fault, or a failed batch job) |
+/// | 4    | `AdmissionFailure` (a batch job refused at admission) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    Success,
+    /// Bad flags or a malformed jobfile.
+    UsageError,
+    /// A file could not be read or written.
+    IoError,
+    /// `--lint` found warnings.
+    LintWarnings,
+    /// `--lint` found undefined-outcome conflicts.
+    LintConflicts,
+    /// The run died on an unsurvivable fault (or, in batch mode, at
+    /// least one admitted job failed).
+    RuntimeFault,
+    /// Batch admission control refused at least one job.
+    AdmissionFailure,
+}
+
+impl Outcome {
+    /// The process exit code for this outcome — the single mapping
+    /// the binary and every test go through.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Outcome::Success => 0,
+            Outcome::UsageError | Outcome::IoError | Outcome::LintWarnings => 1,
+            Outcome::LintConflicts => 2,
+            Outcome::RuntimeFault => 3,
+            Outcome::AdmissionFailure => 4,
+        }
+    }
+
+    /// Classify a lint exit (0 clean / 1 warnings / 2 conflicts).
+    pub fn from_lint(code: i32) -> Outcome {
+        match code {
+            0 => Outcome::Success,
+            1 => Outcome::LintWarnings,
+            _ => Outcome::LintConflicts,
+        }
+    }
+
+    /// Classify a typed runtime error.
+    pub fn from_error(e: &VpceError) -> Outcome {
+        match e.exit_code() {
+            4 => Outcome::AdmissionFailure,
+            _ => Outcome::RuntimeFault,
+        }
+    }
+
+    /// Classify a finished batch (4 beats 3 beats 0, like
+    /// `BatchReport::exit_code`).
+    pub fn from_batch(report_exit: i32) -> Outcome {
+        match report_exit {
+            0 => Outcome::Success,
+            4 => Outcome::AdmissionFailure,
+            _ => Outcome::RuntimeFault,
         }
     }
 }
@@ -98,6 +179,18 @@ USAGE: vpcec <file.f> [options]
                        unsurvivable schedule exits 3 with a one-line
                        typed diagnosis
   --fault-seed N       override the fault schedule's PRNG seed
+  --batch JOBFILE      run a batch of jobs through the deterministic
+                       gang scheduler instead of a single program
+                       (jobfile `nodes=`/`policy=`/`seed=` directives
+                       win over flags); prints per-job and aggregate
+                       results. Exit 0 all jobs done / 3 an admitted
+                       job failed / 4 a job was refused at admission
+  --sched-seed N       override the jobfile's batch seed (storm
+                       arrivals and per-job fault schedules)
+  --batch-json PATH    also write the batch report as stable JSON
+
+EXIT CODES: 0 ok | 1 usage, I/O or lint warnings | 2 lint conflicts |
+            3 unsurvivable fault / failed batch job | 4 admission refused
 ";
 
 /// Parse an argument vector (excluding argv[0]).
@@ -159,14 +252,31 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                         .ok_or("--fault-seed needs a number")?,
                 );
             }
+            "--batch" => {
+                out.batch = Some(it.next().ok_or("--batch needs a jobfile path")?.clone());
+            }
+            "--sched-seed" => {
+                out.sched_seed = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--sched-seed needs a number")?,
+                );
+            }
+            "--batch-json" => {
+                out.batch_json = Some(it.next().ok_or("--batch-json needs a path")?.clone());
+            }
             other if !other.starts_with('-') && out.source_path.is_empty() => {
                 out.source_path = other.to_string();
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if out.source_path.is_empty() {
-        return Err("no source file given".into());
+    match (&out.batch, out.source_path.is_empty()) {
+        (None, true) => return Err("no source file given".into()),
+        (Some(_), false) => {
+            return Err("give either a source file or --batch JOBFILE, not both".into())
+        }
+        _ => {}
     }
     if let Some(seed) = out.fault_seed {
         out.faults.seed = seed;
@@ -183,10 +293,16 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
 pub struct RunOutput {
     pub text: String,
     pub exit: i32,
+    /// What kind of ending this was; `exit` is always
+    /// `outcome.exit_code()`.
+    pub outcome: Outcome,
     pub lint_json: Option<String>,
     /// Chrome trace-event JSON of the run when `--trace` was given
     /// (the binary writes it to the requested path).
     pub trace_json: Option<String>,
+    /// Stable-JSON batch report in `--batch` mode (the binary writes
+    /// it when `--batch-json` was requested).
+    pub batch_json: Option<String>,
 }
 
 /// Execute the request against already-loaded source text. Returns the
@@ -240,11 +356,14 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
         };
         let lint = rmacheck::lint(&compiled.program, &compiled.report, &lint_opts);
         out.push_str(&lint.render_human());
+        let outcome = Outcome::from_lint(lint.exit_code());
         return Ok(RunOutput {
             text: out,
-            exit: lint.exit_code(),
+            exit: outcome.exit_code(),
+            outcome,
             lint_json: args.lint_json.is_some().then(|| lint.to_json()),
             trace_json: None,
+            batch_json: None,
         });
     }
 
@@ -269,11 +388,14 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
             // one-line typed diagnosis and a distinct exit code, never
             // a panic.
             let _ = writeln!(out, "error: {e}");
+            let outcome = Outcome::from_error(&e);
             return Ok(RunOutput {
                 text: out,
-                exit: e.exit_code(),
+                exit: outcome.exit_code(),
+                outcome,
                 lint_json: None,
                 trace_json: None,
+                batch_json: None,
             });
         }
     };
@@ -321,8 +443,39 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
     Ok(RunOutput {
         text: out,
         exit: 0,
+        outcome: Outcome::Success,
         lint_json: None,
         trace_json: tracing.then(|| tracer.to_chrome_json()),
+        batch_json: None,
+    })
+}
+
+/// Batch mode: parse the jobfile text and play it through the gang
+/// scheduler. `Err` is usage-level (malformed jobfile, empty batch);
+/// per-job failures land in the report and drive the outcome instead.
+/// The loader resolves `src=` paths (the binary resolves relative to
+/// the jobfile's directory; tests inject closures).
+pub fn run_batch(
+    jobfile: &str,
+    args: &CliArgs,
+    loader: &SourceLoader,
+) -> Result<RunOutput, String> {
+    let spec = BatchSpec::parse(jobfile)?;
+    let opts = BatchOptions {
+        nodes: args.nodes,
+        seed: args.sched_seed,
+        mode: args.mode,
+        ..BatchOptions::default()
+    };
+    let report = vpce_sched::run_batch(&spec, &opts, loader)?;
+    let outcome = Outcome::from_batch(report.exit_code());
+    Ok(RunOutput {
+        text: report.render_human(),
+        exit: outcome.exit_code(),
+        outcome,
+        lint_json: None,
+        trace_json: args.trace.is_some().then(|| report.trace_json.clone()),
+        batch_json: Some(report.to_json()),
     })
 }
 
@@ -526,6 +679,82 @@ mod tests {
         assert_eq!(out.exit, 3, "{}", out.text);
         assert!(out.text.contains("error: link failure"), "{}", out.text);
         assert!(!out.text.contains("speedup"), "{}", out.text);
+    }
+
+    #[test]
+    fn exit_code_table_is_the_single_mapping() {
+        // The documented table: every outcome, its one code.
+        for (outcome, code) in [
+            (Outcome::Success, 0),
+            (Outcome::UsageError, 1),
+            (Outcome::IoError, 1),
+            (Outcome::LintWarnings, 1),
+            (Outcome::LintConflicts, 2),
+            (Outcome::RuntimeFault, 3),
+            (Outcome::AdmissionFailure, 4),
+        ] {
+            assert_eq!(outcome.exit_code(), code, "{outcome:?}");
+        }
+        assert_eq!(Outcome::from_lint(0), Outcome::Success);
+        assert_eq!(Outcome::from_lint(1), Outcome::LintWarnings);
+        assert_eq!(Outcome::from_lint(2), Outcome::LintConflicts);
+        let crash = VpceError::RankCrash { rank: 0, region: "r".into() };
+        assert_eq!(Outcome::from_error(&crash), Outcome::RuntimeFault);
+        let rej = VpceError::AdmissionRejected { job: "j".into(), reason: "r".into() };
+        assert_eq!(Outcome::from_error(&rej), Outcome::AdmissionFailure);
+        assert_eq!(Outcome::from_batch(0), Outcome::Success);
+        assert_eq!(Outcome::from_batch(3), Outcome::RuntimeFault);
+        assert_eq!(Outcome::from_batch(4), Outcome::AdmissionFailure);
+    }
+
+    #[test]
+    fn parses_batch_flags() {
+        let a = parse_args(&argv("--batch jobs.txt --sched-seed 5 --batch-json b.json")).unwrap();
+        assert_eq!(a.batch.as_deref(), Some("jobs.txt"));
+        assert_eq!(a.sched_seed, Some(5));
+        assert_eq!(a.batch_json.as_deref(), Some("b.json"));
+        assert!(a.source_path.is_empty());
+        // A source file and --batch are mutually exclusive; plain
+        // parses still demand a source file.
+        assert!(parse_args(&argv("x.f --batch jobs.txt")).is_err());
+        assert!(parse_args(&argv("--sched-seed 5")).is_err());
+        assert!(parse_args(&argv("--batch")).is_err());
+    }
+
+    #[test]
+    fn batch_mode_runs_a_jobfile_end_to_end() {
+        let jobfile = "nodes=4\nseed=1\n\
+                       job name=a workload=mm ranks=2 param:N=8\n\
+                       job name=b workload=mm ranks=2 param:N=8\n";
+        let args = parse_args(&argv("--batch j.txt")).unwrap();
+        let loader = |p: &str| Err::<String, _>(format!("unexpected load of `{p}`"));
+        let out = run_batch(jobfile, &args, &loader).unwrap();
+        assert_eq!(out.outcome, Outcome::Success, "{}", out.text);
+        assert!(out.text.contains("2 submitted | 2 done"), "{}", out.text);
+        let json = out.batch_json.expect("batch always renders JSON");
+        assert!(json.contains("\"policy\": \"backfill\""), "{json}");
+        assert!(out.trace_json.is_none(), "no --trace, no timeline file");
+        // Byte-determinism straight through the CLI layer.
+        let again = run_batch(jobfile, &args, &loader).unwrap();
+        assert_eq!(out.text, again.text);
+        assert_eq!(json, again.batch_json.unwrap());
+        // A malformed jobfile is a usage error, not a report.
+        assert!(run_batch("job huh", &args, &loader).is_err());
+    }
+
+    #[test]
+    fn sched_seed_flag_overrides_the_jobfile() {
+        let jobfile = "nodes=4\nseed=7\n\
+                       storm count=2 prefix=s workload=mm ranks=2 param:N=8 mean-gap=1e-4\n";
+        let args = parse_args(&argv("--batch j.txt")).unwrap();
+        let loader = |p: &str| Err::<String, _>(format!("unexpected load of `{p}`"));
+        let base = run_batch(jobfile, &args, &loader).unwrap();
+        let seeded = parse_args(&argv("--batch j.txt --sched-seed 7")).unwrap();
+        let same = run_batch(jobfile, &seeded, &loader).unwrap();
+        assert_eq!(base.batch_json, same.batch_json, "--sched-seed 7 == seed=7");
+        let other = parse_args(&argv("--batch j.txt --sched-seed 8")).unwrap();
+        let diff = run_batch(jobfile, &other, &loader).unwrap();
+        assert_ne!(base.batch_json, diff.batch_json, "storm arrivals re-draw");
     }
 
     #[test]

@@ -54,15 +54,25 @@ pub enum VpceError {
     TypeViolation { msg: String },
     /// Caller handed the runtime an argument that cannot be honoured.
     InvalidArgument { msg: String },
+    /// Batch admission control refused a job at submission (bad spec,
+    /// uncompilable source, or a request larger than the machine).
+    AdmissionRejected { job: String, reason: String },
+    /// A previously admitted job can no longer be placed — node drains
+    /// shrank the machine below the job's partition footprint.
+    AdmissionInfeasible { job: String, need: usize, have: usize },
     /// An internal invariant broke; always a bug, never a modelled fault.
     Internal { msg: String },
 }
 
 impl VpceError {
     /// Stable process exit code `vpcec` maps this error to.
-    /// (0 = ok, 1 = usage/front-end, 2 = lint findings, 3 = runtime error.)
+    /// (0 = ok, 1 = usage/front-end, 2 = lint findings, 3 = runtime
+    /// error, 4 = batch admission failure.)
     pub fn exit_code(&self) -> i32 {
-        3
+        match self {
+            VpceError::AdmissionRejected { .. } | VpceError::AdmissionInfeasible { .. } => 4,
+            _ => 3,
+        }
     }
 
     /// True when the error is an *injected* (modelled) fault rather
@@ -91,6 +101,8 @@ impl VpceError {
             VpceError::SizeMismatch { .. } => "size-mismatch",
             VpceError::TypeViolation { .. } => "type-violation",
             VpceError::InvalidArgument { .. } => "invalid-argument",
+            VpceError::AdmissionRejected { .. } => "admission-rejected",
+            VpceError::AdmissionInfeasible { .. } => "admission-infeasible",
             VpceError::Internal { .. } => "internal",
         }
     }
@@ -129,6 +141,13 @@ impl fmt::Display for VpceError {
             ),
             VpceError::TypeViolation { msg } => write!(f, "{msg}"),
             VpceError::InvalidArgument { msg } => write!(f, "{msg}"),
+            VpceError::AdmissionRejected { job, reason } => {
+                write!(f, "admission rejected: job '{job}': {reason}")
+            }
+            VpceError::AdmissionInfeasible { job, need, have } => write!(
+                f,
+                "admission infeasible: job '{job}' needs {need} nodes, machine has {have} usable"
+            ),
             VpceError::Internal { msg } => write!(f, "internal error: {msg}"),
         }
     }
@@ -165,5 +184,21 @@ mod tests {
             VpceError::BusFailure { root: 0, attempts: 3 }.exit_code(),
             3
         );
+    }
+
+    #[test]
+    fn admission_errors_are_exit_4_and_not_injected() {
+        let rej = VpceError::AdmissionRejected {
+            job: "wide".into(),
+            reason: "requests 32 ranks on a 16-node machine".into(),
+        };
+        assert_eq!(rej.exit_code(), 4);
+        assert!(!rej.is_injected());
+        assert_eq!(rej.kind(), "admission-rejected");
+        assert!(rej.to_string().contains("admission rejected"), "{rej}");
+        let inf = VpceError::AdmissionInfeasible { job: "j".into(), need: 4, have: 3 };
+        assert_eq!(inf.exit_code(), 4);
+        assert_eq!(inf.kind(), "admission-infeasible");
+        assert!(inf.to_string().contains("admission infeasible"), "{inf}");
     }
 }

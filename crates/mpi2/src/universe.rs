@@ -352,6 +352,21 @@ impl Mpi {
         &self.stats
     }
 
+    /// Take this rank's ledger and leave a zeroed one behind.
+    ///
+    /// `RankStats` accumulates for the lifetime of the closure a
+    /// `Universe` runs — correct for one job, wrong the moment one
+    /// universe multiplexes several logical runs (a batch scheduler,
+    /// an in-closure phase sweep): without an explicit scope boundary
+    /// the second run's counters silently include the first's. Calling
+    /// `take_stats` at the boundary makes the scoping explicit: each
+    /// segment reports exactly its own traffic, and the pieces sum to
+    /// what the lifetime ledger would have shown. The virtual clock is
+    /// untouched — this scopes *counters*, not time.
+    pub fn take_stats(&mut self) -> RankStats {
+        std::mem::take(&mut self.stats)
+    }
+
     /// The CPU model of this node.
     pub fn cpu(&self) -> &CpuModel {
         &self.shared.cfg.node.cpu
@@ -1101,6 +1116,44 @@ mod tests {
         ranks.sort_unstable();
         assert_eq!(ranks, vec![0, 1, 2, 3]);
         assert!(out.results.iter().all(|r| r.1 == 4));
+    }
+
+    #[test]
+    fn take_stats_scopes_back_to_back_runs_independently() {
+        // Two logical "runs" multiplexed through one universe: the
+        // second run's ledger must not include the first's traffic,
+        // and the two scoped ledgers must sum to the lifetime total.
+        let out = uni(2).run(|mpi| {
+            let w = mpi.win_create(64);
+            // Run 1: one 8-element put.
+            if mpi.rank() == 0 {
+                mpi.put(&w, 1, 0, vec![1.0; 8]);
+            }
+            mpi.fence_all();
+            let first = mpi.take_stats();
+            // Run 2: two 8-element puts.
+            if mpi.rank() == 0 {
+                mpi.put(&w, 1, 8, vec![2.0; 8]);
+                mpi.put(&w, 1, 16, vec![3.0; 8]);
+            }
+            mpi.fence_all();
+            let second = mpi.take_stats();
+            (first, second)
+        });
+        let (a, b) = &out.results[0];
+        assert_eq!(a.bytes_put, 8 * crate::ELEM_BYTES as u64);
+        assert_eq!(b.bytes_put, 2 * 8 * crate::ELEM_BYTES as u64, "second run must start from zero");
+        assert_eq!(a.rma_contiguous, 1);
+        assert_eq!(b.rma_contiguous, 2);
+        assert_eq!(a.fences, 1);
+        assert_eq!(b.fences, 1);
+        // The scoped pieces tile the lifetime ledger.
+        let mut sum = a.clone();
+        sum.merge(b);
+        assert_eq!(sum.bytes_put, 3 * 8 * crate::ELEM_BYTES as u64);
+        // After the final take, the end-of-run ledger is empty.
+        assert_eq!(out.rank_stats[0].bytes_put, 0);
+        assert_eq!(out.rank_stats[0].fences, 0);
     }
 
     #[test]

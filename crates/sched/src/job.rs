@@ -1,0 +1,426 @@
+//! The job model and the jobfile format.
+//!
+//! A jobfile is line-oriented: `#` starts a comment, blank lines are
+//! skipped, and each remaining line is either a header directive
+//! (`nodes=16`, `policy=backfill`, `seed=1`) or a whitespace-separated
+//! `key=value` record introduced by `job` or `storm`:
+//!
+//! ```text
+//! # a 16-node batch
+//! nodes=16
+//! policy=backfill
+//! seed=1
+//!
+//! job name=mm0 workload=mm ranks=2 param:N=16 arrive=0.0 prio=1
+//! job name=wide src=examples/fortran/mm.f ranks=8 grain=coarse
+//! job name=risky workload=mm ranks=2 faults=crashy,seed=7 retries=3
+//! storm count=8 prefix=s workload=mm ranks=2 param:N=16 mean-gap=2e-4
+//! ```
+//!
+//! `storm` is the seeded synthetic arrival generator: `count` jobs
+//! cloned from the record's template, with exponentially distributed
+//! inter-arrival gaps (mean `mean-gap` virtual seconds) drawn from the
+//! batch seed — the deterministic traffic-storm scenario the property
+//! suite and `bench::sched` sweep.
+
+use lmad::Granularity;
+use vpce_faults::FaultSpec;
+use vpce_testkit::rng::SplitMix64;
+
+/// Where a job's program text comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSource {
+    /// F77-mini source held inline (API submissions, property tests).
+    Inline(String),
+    /// A path resolved by the caller-supplied source loader
+    /// (`src=` in a jobfile; the CLI resolves relative to the
+    /// jobfile's directory).
+    Path(String),
+    /// One of the built-in paper workloads (`workload=mm|swim|cfft|
+    /// irregular`), resolved without any I/O.
+    Workload(String),
+}
+
+/// One batch job: what to run, how wide, and how urgently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique name within the batch.
+    pub name: String,
+    pub source: JobSource,
+    /// Requested ranks (the partition may reserve a few spare router
+    /// positions on top — see `cluster_sim::partition_shape`).
+    pub ranks: usize,
+    /// Higher runs first; ties broken by arrival time, then
+    /// submission order.
+    pub priority: i64,
+    /// Virtual submission time, seconds.
+    pub arrival: f64,
+    /// Soft deadline hint (virtual seconds of turnaround); the report
+    /// flags jobs that missed it, the scheduler does not kill them.
+    pub deadline: Option<f64>,
+    /// `PARAMETER` overrides, `(NAME, value)`.
+    pub params: Vec<(String, i64)>,
+    /// Explicit communication granularity; `None` asks the static
+    /// advisor.
+    pub granularity: Option<Granularity>,
+    /// Per-job fault schedule (each requeue re-seeds it
+    /// deterministically).
+    pub faults: FaultSpec,
+    /// How many times a fault-failed job may be requeued.
+    pub retries: u32,
+}
+
+impl JobSpec {
+    /// A job with neutral defaults: priority 0, arrival 0, no
+    /// deadline, advisor granularity, faults off, 2 retries.
+    pub fn new(name: impl Into<String>, source: JobSource, ranks: usize) -> Self {
+        JobSpec {
+            name: name.into(),
+            source,
+            ranks,
+            priority: 0,
+            arrival: 0.0,
+            deadline: None,
+            params: Vec::new(),
+            granularity: None,
+            faults: FaultSpec::off(),
+            retries: 2,
+        }
+    }
+}
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Strict priority-ordered first-come-first-served: nothing starts
+    /// while the head of the queue cannot be placed.
+    Fcfs,
+    /// FCFS with conservative backfill: the blocked head gets a
+    /// reservation; later jobs may start only if they provably finish
+    /// before it or avoid its rectangle.
+    Backfill,
+}
+
+impl Policy {
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "fcfs" => Ok(Policy::Fcfs),
+            "backfill" => Ok(Policy::Backfill),
+            other => Err(format!("unknown policy `{other}` (fcfs|backfill)")),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fcfs => "fcfs",
+            Policy::Backfill => "backfill",
+        }
+    }
+}
+
+/// A `storm` directive: `count` jobs cloned from `template` with
+/// seeded exponential inter-arrival gaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StormSpec {
+    /// Name prefix; generated jobs are `<prefix>0`, `<prefix>1`, …
+    pub prefix: String,
+    pub count: usize,
+    /// Mean inter-arrival gap, virtual seconds.
+    pub mean_gap_s: f64,
+    /// Arrival time of the storm's clock origin.
+    pub start_s: f64,
+    /// Everything except name and arrival is taken from here.
+    pub template: JobSpec,
+}
+
+impl StormSpec {
+    /// Expand the storm deterministically from `seed`. Gaps are
+    /// inverse-CDF exponential draws from a SplitMix64 stream salted
+    /// with the prefix, so two storms in one batch decorrelate.
+    pub fn expand(&self, seed: u64) -> Vec<JobSpec> {
+        let mut h = seed;
+        for b in self.prefix.bytes() {
+            h = SplitMix64::new(h ^ u64::from(b).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
+        }
+        let mut rng = SplitMix64::new(h);
+        let mut t = self.start_s;
+        (0..self.count)
+            .map(|i| {
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                t += -self.mean_gap_s * (1.0 - u).ln();
+                let mut job = self.template.clone();
+                job.name = format!("{}{}", self.prefix, i);
+                job.arrival = t;
+                job
+            })
+            .collect()
+    }
+}
+
+/// A parsed jobfile: header directives plus the submitted jobs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchSpec {
+    /// Machine size (header `nodes=`); the CLI's `--nodes` is the
+    /// fallback when absent.
+    pub nodes: Option<usize>,
+    pub policy: Option<Policy>,
+    /// Batch seed (header `seed=`); `--sched-seed` overrides it.
+    pub seed: Option<u64>,
+    pub jobs: Vec<JobSpec>,
+    pub storms: Vec<StormSpec>,
+}
+
+impl BatchSpec {
+    /// Parse a jobfile. Errors are usage-level (malformed line, bad
+    /// value, duplicate explicit name) and name the offending line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut spec = BatchSpec::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            let at = |msg: String| format!("jobfile line {}: {msg}", lineno + 1);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            let head = tokens.next().expect("non-empty line");
+            match head {
+                "job" => {
+                    let job = parse_job(tokens, /*storm*/ false).map_err(at)?;
+                    if spec.jobs.iter().any(|j| j.name == job.name) {
+                        return Err(at(format!("duplicate job name `{}`", job.name)));
+                    }
+                    spec.jobs.push(job);
+                }
+                "storm" => spec.storms.push(parse_storm(tokens).map_err(at)?),
+                _ => {
+                    let (k, v) = head
+                        .split_once('=')
+                        .ok_or_else(|| at(format!("expected `job`, `storm` or `key=value`, got `{head}`")))?;
+                    if tokens.next().is_some() {
+                        return Err(at("header directives take a single key=value".into()));
+                    }
+                    match k {
+                        "nodes" => {
+                            spec.nodes =
+                                Some(v.parse().map_err(|_| at(format!("bad nodes `{v}`")))?)
+                        }
+                        "policy" => spec.policy = Some(Policy::parse(v).map_err(at)?),
+                        "seed" => {
+                            spec.seed = Some(v.parse().map_err(|_| at(format!("bad seed `{v}`")))?)
+                        }
+                        other => return Err(at(format!("unknown header directive `{other}`"))),
+                    }
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Explicit jobs plus every storm expansion under `seed`, checked
+    /// for name collisions (a storm prefix may not shadow an explicit
+    /// job or another storm).
+    pub fn materialize(&self, seed: u64) -> Result<Vec<JobSpec>, String> {
+        let mut jobs = self.jobs.clone();
+        for storm in &self.storms {
+            jobs.extend(storm.expand(seed));
+        }
+        let mut names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
+        names.sort_unstable();
+        if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(format!("duplicate job name `{}` after storm expansion", w[0]));
+        }
+        Ok(jobs)
+    }
+}
+
+/// Shared field grammar for `job` and `storm` records. For storms the
+/// `name=` key is the prefix and `arrive=` the storm origin.
+struct RecordFields {
+    job: JobSpec,
+    named: bool,
+    sourced: bool,
+    count: Option<usize>,
+    mean_gap_s: f64,
+}
+
+fn parse_record<'a>(
+    tokens: impl Iterator<Item = &'a str>,
+    storm: bool,
+) -> Result<RecordFields, String> {
+    let mut f = RecordFields {
+        job: JobSpec::new("", JobSource::Inline(String::new()), 0),
+        named: false,
+        sourced: false,
+        count: None,
+        mean_gap_s: 1e-4,
+    };
+    for tok in tokens {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got `{tok}`"))?;
+        let set_source = |f: &mut RecordFields, src: JobSource| -> Result<(), String> {
+            if f.sourced {
+                return Err("a job takes exactly one of src=/workload=".into());
+            }
+            f.sourced = true;
+            f.job.source = src;
+            Ok(())
+        };
+        match k {
+            "name" | "prefix" => {
+                f.job.name = v.to_string();
+                f.named = true;
+            }
+            "src" => set_source(&mut f, JobSource::Path(v.to_string()))?,
+            "workload" => set_source(&mut f, JobSource::Workload(v.to_string()))?,
+            "ranks" => f.job.ranks = v.parse().map_err(|_| format!("bad ranks `{v}`"))?,
+            "arrive" | "start" => {
+                f.job.arrival = parse_time(v)?;
+            }
+            "prio" => f.job.priority = v.parse().map_err(|_| format!("bad prio `{v}`"))?,
+            "deadline" => f.job.deadline = Some(parse_time(v)?),
+            "grain" => {
+                f.job.granularity = Some(match v {
+                    "fine" => Granularity::Fine,
+                    "middle" => Granularity::Middle,
+                    "coarse" => Granularity::Coarse,
+                    other => return Err(format!("bad grain `{other}`")),
+                })
+            }
+            "faults" => f.job.faults = FaultSpec::parse(v)?,
+            "retries" => f.job.retries = v.parse().map_err(|_| format!("bad retries `{v}`"))?,
+            "count" if storm => f.count = Some(v.parse().map_err(|_| format!("bad count `{v}`"))?),
+            "mean-gap" if storm => f.mean_gap_s = parse_time(v)?,
+            _ if k.starts_with("param:") => {
+                let name = k["param:".len()..].to_ascii_uppercase();
+                let val: i64 = v.parse().map_err(|_| format!("bad value in `{tok}`"))?;
+                f.job.params.push((name, val));
+            }
+            other => return Err(format!("unknown key `{other}`")),
+        }
+    }
+    if !f.named {
+        return Err(if storm { "storm needs prefix=" } else { "job needs name=" }.into());
+    }
+    if !f.sourced {
+        return Err("job needs src= or workload=".into());
+    }
+    if f.job.ranks == 0 {
+        return Err("job needs ranks= (at least 1)".into());
+    }
+    Ok(f)
+}
+
+fn parse_job<'a>(tokens: impl Iterator<Item = &'a str>, storm: bool) -> Result<JobSpec, String> {
+    Ok(parse_record(tokens, storm)?.job)
+}
+
+fn parse_storm<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<StormSpec, String> {
+    let f = parse_record(tokens, true)?;
+    let count = f.count.ok_or("storm needs count=")?;
+    if count == 0 {
+        return Err("storm count must be at least 1".into());
+    }
+    if f.mean_gap_s <= 0.0 || f.mean_gap_s.is_nan() {
+        return Err("storm mean-gap must be positive".into());
+    }
+    Ok(StormSpec {
+        prefix: f.job.name.clone(),
+        count,
+        mean_gap_s: f.mean_gap_s,
+        start_s: f.job.arrival,
+        template: f.job,
+    })
+}
+
+fn parse_time(v: &str) -> Result<f64, String> {
+    let t: f64 = v.parse().map_err(|_| format!("bad time `{v}`"))?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(format!("time `{v}` must be finite and non-negative"));
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FILE: &str = "\
+# demo batch
+nodes=16
+policy=backfill
+seed=7
+
+job name=a workload=mm ranks=2 param:N=16 arrive=0.0 prio=1
+job name=b src=prog.f ranks=8 grain=coarse deadline=0.5 retries=3
+storm count=3 prefix=s workload=mm ranks=2 mean-gap=1e-4 start=2e-4
+";
+
+    #[test]
+    fn parses_headers_jobs_and_storms() {
+        let spec = BatchSpec::parse(FILE).unwrap();
+        assert_eq!(spec.nodes, Some(16));
+        assert_eq!(spec.policy, Some(Policy::Backfill));
+        assert_eq!(spec.seed, Some(7));
+        assert_eq!(spec.jobs.len(), 2);
+        let a = &spec.jobs[0];
+        assert_eq!(a.name, "a");
+        assert_eq!(a.source, JobSource::Workload("mm".into()));
+        assert_eq!(a.params, vec![("N".to_string(), 16)]);
+        assert_eq!(a.priority, 1);
+        let b = &spec.jobs[1];
+        assert_eq!(b.source, JobSource::Path("prog.f".into()));
+        assert_eq!(b.granularity, Some(Granularity::Coarse));
+        assert_eq!(b.deadline, Some(0.5));
+        assert_eq!(b.retries, 3);
+        assert_eq!(spec.storms.len(), 1);
+        assert_eq!(spec.storms[0].count, 3);
+    }
+
+    #[test]
+    fn storm_expansion_is_seed_deterministic_and_ordered() {
+        let spec = BatchSpec::parse(FILE).unwrap();
+        let one = spec.materialize(1).unwrap();
+        let two = spec.materialize(1).unwrap();
+        assert_eq!(one, two, "same seed, same expansion");
+        assert_eq!(one.len(), 5);
+        let arrivals: Vec<f64> = one[2..].iter().map(|j| j.arrival).collect();
+        assert!(arrivals.windows(2).all(|w| w[0] < w[1]), "{arrivals:?}");
+        assert!(arrivals[0] >= 2e-4, "storm starts at its origin");
+        let other = spec.materialize(2).unwrap();
+        assert_ne!(
+            one[2].arrival, other[2].arrival,
+            "different seed, different gaps"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (bad, needle) in [
+            ("job ranks=2 workload=mm", "needs name"),
+            ("job name=x ranks=2", "src= or workload="),
+            ("job name=x workload=mm", "ranks"),
+            ("job name=x workload=mm ranks=2 bogus=1", "unknown key"),
+            ("job name=x workload=mm src=y ranks=2", "exactly one"),
+            ("storm prefix=s workload=mm ranks=1", "count"),
+            ("nodes=p", "bad nodes"),
+            ("what", "expected"),
+            ("job name=x workload=mm ranks=2 arrive=-1", "non-negative"),
+        ] {
+            let err = BatchSpec::parse(bad).unwrap_err();
+            assert!(err.contains("line 1"), "{bad}: {err}");
+            assert!(err.contains(needle), "{bad}: {err}");
+        }
+        let dup = "job name=x workload=mm ranks=1\njob name=x workload=mm ranks=1";
+        assert!(BatchSpec::parse(dup).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn materialize_rejects_storm_name_collisions() {
+        let spec = BatchSpec::parse(
+            "job name=s0 workload=mm ranks=1\nstorm count=1 prefix=s workload=mm ranks=1",
+        )
+        .unwrap();
+        assert!(spec.materialize(1).unwrap_err().contains("duplicate"));
+    }
+}

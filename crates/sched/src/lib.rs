@@ -1,0 +1,50 @@
+//! # vpce-sched — gang scheduler / batch job server for the simulated cluster
+//!
+//! The paper runs exactly one compiled SPMD program across the whole
+//! machine. This crate adds the middleware tier a *usable* machine
+//! needs (the "cluster job management" layer of the Cluster Computing
+//! White Paper): many jobs, submitted over time, contending for the
+//! mesh — and a scheduler that decides which job runs where and when.
+//!
+//! Everything is **deterministic virtual time**. Job arrivals, queue
+//! waits, partition lifetimes and completions all live on the same
+//! virtual clock the network simulator uses; the same jobfile and seed
+//! produce a byte-identical batch report on every run.
+//!
+//! The moving parts:
+//!
+//! * [`JobSpec`] / [`BatchSpec`] — the job model and the line-oriented
+//!   jobfile format (`job name=… ranks=… workload=… faults=…`), plus a
+//!   seeded synthetic arrival generator (`storm count=… mean-gap=…`)
+//!   for traffic-storm scenarios.
+//! * [`NodeMap`] — the machine as a grid of allocatable node cells:
+//!   rectangular partitions are carved first-fit (row-major anchors,
+//!   transposed orientation as a fallback), crashed nodes are drained.
+//! * [`Scheduler`] — the event loop: priority-ordered FCFS with
+//!   *conservative backfill* (a blocked wide job gets a reservation;
+//!   smaller jobs may slide past only if they provably finish before
+//!   the reservation or avoid its rectangle — so backfill never
+//!   starves the head of the queue), admission control with typed
+//!   [`vpce_faults::VpceError::AdmissionRejected`] errors, node drain
+//!   on rank crashes, and bounded requeue with per-attempt re-seeded
+//!   fault schedules.
+//! * [`BatchReport`] — per-job and aggregate results (throughput,
+//!   p50/p99 queue wait and makespan, utilization, requeues) in human
+//!   and stable-JSON form, plus a whole-cluster Chrome timeline.
+//!
+//! **Isolation.** Each job attempt executes in its own
+//! [`mpi2::Universe`] over a [`cluster_sim::ClusterConfig`] built for
+//! its private partition mesh: windows, `NetStats`, `RankStats` and
+//! trace buffers are per-job by construction — concurrent jobs cannot
+//! read or corrupt each other's counters.
+
+pub mod job;
+pub mod partition;
+pub mod report;
+pub mod run;
+pub mod sched;
+
+pub use job::{BatchSpec, JobSource, JobSpec, Policy, StormSpec};
+pub use partition::{NodeMap, Partition};
+pub use report::{AttemptLog, BatchReport, JobRecord, JobStatus};
+pub use sched::{run_batch, BatchOptions, Scheduler, SourceLoader};

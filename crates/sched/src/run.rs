@@ -1,0 +1,195 @@
+//! Per-job preparation and execution.
+//!
+//! Admission compiles the job once (front-end + backend at the chosen
+//! granularity) and dry-runs it fault-free on its private partition.
+//! The dry run serves three masters: it validates the program (a job
+//! that cannot finish cleanly is rejected up front, not discovered
+//! mid-batch), it yields the *baseline makespan* the backfill
+//! reservation arithmetic and the failure heartbeat both need, and it
+//! pins the reference arrays each faulty attempt must reproduce
+//! byte-identically.
+//!
+//! Every attempt runs in its own [`cluster_sim::ClusterConfig`] /
+//! `mpi2::Universe`: windows, `NetStats`, `RankStats` and trace
+//! buffers are private to the attempt by construction. Requeued
+//! attempts re-seed the job's fault schedule deterministically
+//! (`seed + k·GOLDEN` for attempt `k`), so a crash is not replayed
+//! verbatim yet the whole batch stays a pure function of the jobfile
+//! and batch seed.
+
+use cluster_sim::{partition_shape, ClusterConfig};
+use lmad::Granularity;
+use polaris_be::{advisor, BackendOptions};
+use spmd_rt::{ExecMode, RunReport, SpmdProgram, VpceError};
+use vbus_sim::Mesh;
+use vpce_faults::FaultSpec;
+use vpce_trace::Tracer;
+
+use crate::job::{JobSource, JobSpec};
+
+/// Odd golden-ratio increment used to derive per-attempt fault seeds.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Resolves a `src=` jobfile path to program text. The CLI resolves
+/// relative to the jobfile's directory; tests inject closures.
+pub type SourceLoader<'a> = dyn Fn(&str) -> Result<String, String> + 'a;
+
+/// A job that passed admission: compiled program, partition shape and
+/// fault-free baseline.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    pub program: SpmdProgram,
+    /// Partition rectangle the job's ranks occupy.
+    pub shape: Mesh,
+    pub granularity: Granularity,
+    /// Fault-free virtual makespan (the scheduling-time estimate, the
+    /// backfill bound and the failure heartbeat).
+    pub clean_elapsed: f64,
+    /// Fault-free master arrays — the byte-identity reference.
+    pub clean_arrays: Vec<Vec<mpi2::Elem>>,
+}
+
+fn reject(job: &JobSpec, reason: String) -> VpceError {
+    VpceError::AdmissionRejected { job: job.name.clone(), reason }
+}
+
+fn resolve_source(job: &JobSpec, loader: &SourceLoader) -> Result<String, VpceError> {
+    match &job.source {
+        JobSource::Inline(text) => Ok(text.clone()),
+        JobSource::Path(path) => {
+            loader(path).map_err(|e| reject(job, format!("source `{path}`: {e}")))
+        }
+        JobSource::Workload(name) => {
+            let w = match name.as_str() {
+                "mm" => vpce_workloads::mm::WORKLOAD,
+                "swim" => vpce_workloads::swim::WORKLOAD,
+                "swim-full" => vpce_workloads::swim_full::WORKLOAD,
+                "cfft" => vpce_workloads::cfft::WORKLOAD,
+                "irregular" => vpce_workloads::irregular::WORKLOAD,
+                other => {
+                    return Err(reject(
+                        job,
+                        format!("unknown workload `{other}` (mm|swim|swim-full|cfft|irregular)"),
+                    ))
+                }
+            };
+            Ok(w.source.to_string())
+        }
+    }
+}
+
+/// Admission-time compile + fault-free dry run. Any failure here is a
+/// typed [`VpceError::AdmissionRejected`] — the job never enters the
+/// queue.
+pub fn prepare(job: &JobSpec, loader: &SourceLoader, mode: ExecMode) -> Result<Prepared, VpceError> {
+    let source = resolve_source(job, loader)?;
+    let params: Vec<(&str, i64)> = job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let analyzed = polaris_fe::compile(&source, &params)
+        .map_err(|e| reject(job, format!("front-end: {e}")))?;
+    let base = BackendOptions::new(job.ranks);
+    let granularity = job.granularity.unwrap_or_else(|| {
+        advisor::advise(&analyzed, &base, &advisor::CostParams::paper_card()).recommended
+    });
+    let compiled = polaris_be::compile_backend(&analyzed, &base.granularity(granularity));
+    let shape = partition_shape(job.ranks);
+    let cluster = partition_cluster(shape, job.ranks);
+    let clean = spmd_rt::try_execute(&compiled.program, &cluster, mode, FaultSpec::off())
+        .map_err(|e| reject(job, format!("fault-free dry run: {e}")))?;
+    Ok(Prepared {
+        program: compiled.program,
+        shape,
+        granularity,
+        clean_elapsed: clean.elapsed,
+        clean_arrays: clean.arrays,
+    })
+}
+
+/// The private cluster an attempt executes on: paper-model PCs on the
+/// job's own partition mesh (phantom router cells included so awkward
+/// rank counts still route).
+pub fn partition_cluster(shape: Mesh, ranks: usize) -> ClusterConfig {
+    ClusterConfig::paper_partition(shape, ranks)
+}
+
+/// Fault seed for attempt `k` of a job (attempt 0 is the jobfile's own
+/// seed; requeues stride deterministically so a crash is not replayed).
+pub fn attempt_faults(base: &FaultSpec, attempt: u32) -> FaultSpec {
+    let mut f = base.clone();
+    f.seed = f.seed.wrapping_add(u64::from(attempt).wrapping_mul(SEED_STRIDE));
+    f
+}
+
+/// Execute attempt `attempt` of a prepared job, traced, on a fresh
+/// private cluster. The outcome is a pure function of
+/// `(program, shape, faults, attempt)` — the scheduler may call this
+/// at decision time and trust the result never changes.
+pub fn run_attempt(
+    job: &JobSpec,
+    prepared: &Prepared,
+    mode: ExecMode,
+    attempt: u32,
+) -> Result<RunReport, VpceError> {
+    let cluster = partition_cluster(prepared.shape, job.ranks);
+    let faults = attempt_faults(&job.faults, attempt);
+    spmd_rt::try_execute_traced(&prepared.program, &cluster, mode, Tracer::enabled(), faults)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn no_loader() -> impl Fn(&str) -> Result<String, String> {
+        |p: &str| Err(format!("no loader for `{p}` in tests"))
+    }
+
+    fn mm_job(name: &str, ranks: usize) -> JobSpec {
+        let mut j = JobSpec::new(name, JobSource::Workload("mm".into()), ranks);
+        j.params.push(("N".into(), 8));
+        j
+    }
+
+    #[test]
+    fn prepare_compiles_and_pins_the_clean_baseline() {
+        let job = mm_job("mm0", 2);
+        let p = prepare(&job, &no_loader(), ExecMode::Full).unwrap();
+        assert!(p.clean_elapsed > 0.0);
+        assert!(!p.clean_arrays.is_empty());
+        assert_eq!(p.shape.num_nodes(), 2);
+        // The attempt path reproduces the dry run exactly when faults
+        // are off.
+        let rep = run_attempt(&job, &p, ExecMode::Full, 0).unwrap();
+        assert_eq!(rep.elapsed, p.clean_elapsed);
+        assert_eq!(rep.arrays, p.clean_arrays);
+        assert!(rep.trace.is_some(), "attempts always trace");
+    }
+
+    #[test]
+    fn bad_jobs_are_rejected_with_typed_errors() {
+        let job = JobSpec::new("w", JobSource::Workload("nope".into()), 2);
+        let e = prepare(&job, &no_loader(), ExecMode::Full).unwrap_err();
+        assert_eq!(e.exit_code(), 4);
+        assert!(e.to_string().contains("unknown workload"), "{e}");
+
+        let job = JobSpec::new("p", JobSource::Path("x.f".into()), 2);
+        let e = prepare(&job, &no_loader(), ExecMode::Full).unwrap_err();
+        assert!(e.to_string().contains("no loader"), "{e}");
+
+        let job = JobSpec::new("syn", JobSource::Inline("PROGRAM T\nX = \nEND\n".into()), 2);
+        let e = prepare(&job, &no_loader(), ExecMode::Full).unwrap_err();
+        assert_eq!(e.kind(), "admission-rejected");
+        assert!(e.to_string().contains("front-end"), "{e}");
+    }
+
+    #[test]
+    fn attempt_seeds_stride_deterministically() {
+        let base = FaultSpec::parse("crashy,seed=7").unwrap();
+        assert_eq!(attempt_faults(&base, 0).seed, 7);
+        let a1 = attempt_faults(&base, 1);
+        let a1_again = attempt_faults(&base, 1);
+        assert_eq!(a1.seed, a1_again.seed);
+        assert_ne!(a1.seed, base.seed);
+        assert_ne!(attempt_faults(&base, 2).seed, a1.seed);
+        assert_eq!(a1.rank_crash, base.rank_crash, "only the seed changes");
+    }
+}

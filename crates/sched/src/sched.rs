@@ -1,0 +1,805 @@
+//! The gang scheduler's deterministic event loop.
+//!
+//! Virtual time advances from event to event: job arrivals and
+//! partition completions. At every event the scheduler runs one
+//! placement pass over the priority-ordered queue:
+//!
+//! * **FCFS** — the head of the queue is placed first-fit; while it
+//!   cannot be placed, nothing behind it may start.
+//! * **Conservative backfill** — a blocked head gets a *reservation*:
+//!   the earliest future time (simulating the frees of the running
+//!   jobs, in completion order) at which its rectangle fits, and where.
+//!   A later job may slide past the head only if it fits right now and
+//!   either provably completes before the reservation time or its
+//!   rectangle is disjoint from the reserved one. Either way the
+//!   reservation is never delayed, so a wide job cannot starve.
+//!
+//! Attempt outcomes are *pure functions* of (program, partition shape,
+//! fault schedule, attempt number) — the scheduler computes them at
+//! decision time, uses the resulting makespan for backfill arithmetic,
+//! and replays nothing. A fault-failed attempt still occupies its
+//! partition for the fault-free makespan (the "heartbeat deadline" at
+//! which the failure is detected), then the job is requeued with a
+//! re-seeded schedule or declared failed once its retry budget is
+//! spent. A rank crash additionally *drains* the machine node that
+//! hosted the crashed rank: queued jobs route around it, and queued
+//! jobs whose rectangle can no longer fit anywhere fail with a typed
+//! `AdmissionInfeasible`.
+
+use std::cmp::Reverse;
+
+use spmd_rt::{ExecMode, RunReport, VpceError};
+use vbus_sim::Mesh;
+use vpce_trace::{EventKind, Lane, Tracer};
+
+use crate::job::{BatchSpec, JobSpec, Policy};
+use crate::partition::{NodeMap, Partition};
+use crate::report::{AttemptLog, BatchReport, JobRecord, JobStatus};
+use crate::run::{self, Prepared};
+
+pub use crate::run::SourceLoader;
+
+/// Knobs the CLI resolves before handing a batch to the scheduler.
+/// Jobfile header directives win over `nodes`/`policy`; `seed`
+/// (`--sched-seed`) wins over the jobfile's `seed=`.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    pub nodes: usize,
+    pub policy: Policy,
+    pub seed: Option<u64>,
+    pub mode: ExecMode,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            nodes: 16,
+            policy: Policy::Backfill,
+            seed: None,
+            mode: ExecMode::Full,
+        }
+    }
+}
+
+/// Parse-level resolution + admission + the event loop, in one call.
+/// `Err` is usage-level (empty batch, storm name collision); every
+/// per-job failure is a typed record inside the report instead.
+pub fn run_batch(
+    spec: &BatchSpec,
+    opts: &BatchOptions,
+    loader: &SourceLoader,
+) -> Result<BatchReport, String> {
+    let nodes = spec.nodes.unwrap_or(opts.nodes);
+    let policy = spec.policy.unwrap_or(opts.policy);
+    let seed = opts.seed.or(spec.seed).unwrap_or(0);
+    let jobs = spec.materialize(seed)?;
+    if jobs.is_empty() {
+        return Err("jobfile submits no jobs".into());
+    }
+    let mut sched = Scheduler::new(jobs, nodes, policy, seed, opts.mode, loader)?;
+    Ok(sched.run())
+}
+
+/// Per-job scheduler state.
+struct JobState {
+    spec: JobSpec,
+    /// Admission outcome: compiled + dry-run, or the typed rejection.
+    prepared: Result<Prepared, VpceError>,
+    status: Option<JobStatus>,
+    /// Attempts executed (or in flight).
+    attempts: u32,
+    queue_wait: f64,
+    enqueued_at: f64,
+    first_start: Option<f64>,
+    end: Option<f64>,
+    /// Final placement (last attempt's partition).
+    placed: Option<Partition>,
+    error: Option<(String, String)>,
+    /// Outcome of the *next* attempt, computed lazily at decision time
+    /// (it is a pure function of the job and attempt number).
+    next_outcome: Option<Result<RunReport, VpceError>>,
+    final_report: Option<RunReport>,
+}
+
+impl JobState {
+    fn shape(&self) -> Mesh {
+        self.prepared
+            .as_ref()
+            .map(|p| p.shape)
+            .unwrap_or_else(|_| cluster_sim::partition_shape(self.spec.ranks.max(1)))
+    }
+}
+
+/// A partition currently executing an attempt.
+struct Running {
+    job: usize,
+    part: Partition,
+    start: f64,
+    end: f64,
+    attempt: u32,
+    outcome: Result<RunReport, VpceError>,
+}
+
+/// The batch scheduler. Constructed over a materialized job list;
+/// [`Scheduler::run`] plays the whole batch and returns the report.
+pub struct Scheduler {
+    jobs: Vec<JobState>,
+    map: NodeMap,
+    nodes: usize,
+    policy: Policy,
+    seed: u64,
+    mode: ExecMode,
+    now: f64,
+    /// Indices not yet arrived, ascending `(arrival, idx)`.
+    arrivals: Vec<usize>,
+    /// Indices queued and waiting for a partition.
+    queue: Vec<usize>,
+    running: Vec<Running>,
+    peak_concurrent: usize,
+    busy_cell_s: f64,
+    tracer: Tracer,
+    /// Every attempt interval + placement, for audits and the
+    /// no-overlap safety property.
+    attempts: Vec<AttemptLog>,
+}
+
+impl Scheduler {
+    /// Admit `jobs` onto an `nodes`-PC machine. Every job is compiled
+    /// and dry-run here (rejections become records, not errors); the
+    /// loader resolves `src=` paths.
+    pub fn new(
+        jobs: Vec<JobSpec>,
+        nodes: usize,
+        policy: Policy,
+        seed: u64,
+        mode: ExecMode,
+        loader: &SourceLoader,
+    ) -> Result<Scheduler, String> {
+        if nodes == 0 {
+            return Err("batch needs at least one node".into());
+        }
+        let mesh = Mesh::near_square(nodes);
+        let map = NodeMap::new(mesh, nodes);
+        let tracer = Tracer::enabled();
+        for n in 0..nodes {
+            tracer.register_lane(Lane::Rank(n), format!("node {n}"));
+        }
+        let states: Vec<JobState> = jobs
+            .into_iter()
+            .map(|spec| {
+                let prepared = admit(&spec, nodes, &map, loader, mode);
+                JobState {
+                    spec,
+                    prepared,
+                    status: None,
+                    attempts: 0,
+                    queue_wait: 0.0,
+                    enqueued_at: 0.0,
+                    first_start: None,
+                    end: None,
+                    placed: None,
+                    error: None,
+                    next_outcome: None,
+                    final_report: None,
+                }
+            })
+            .collect();
+        let mut arrivals: Vec<usize> = (0..states.len()).collect();
+        arrivals.sort_by(|&a, &b| {
+            states[a]
+                .spec
+                .arrival
+                .total_cmp(&states[b].spec.arrival)
+                .then(a.cmp(&b))
+        });
+        Ok(Scheduler {
+            jobs: states,
+            map,
+            nodes,
+            policy,
+            seed,
+            mode,
+            now: 0.0,
+            arrivals,
+            queue: Vec::new(),
+            running: Vec::new(),
+            peak_concurrent: 0,
+            busy_cell_s: 0.0,
+            tracer,
+            attempts: Vec::new(),
+        })
+    }
+
+    /// Play the batch to completion.
+    pub fn run(&mut self) -> BatchReport {
+        loop {
+            self.complete_due();
+            self.arrive_due();
+            self.schedule_pass();
+            // With no future events and an idle machine, anything
+            // still queued can never start — fail it typed rather
+            // than spin.
+            if self.running.is_empty() && self.arrivals.is_empty() && !self.queue.is_empty() {
+                self.fail_stuck_queue();
+            }
+            // Advance to the next event: the earlier of the next
+            // arrival and the next completion (exact virtual-time
+            // comparison — every time here was computed once and is
+            // reused, never re-derived).
+            let next_arrival = self
+                .arrivals
+                .first()
+                .map(|&i| self.jobs[i].spec.arrival);
+            let next_end = self
+                .running
+                .iter()
+                .map(|r| r.end)
+                .min_by(f64::total_cmp);
+            let t = match (next_arrival, next_end) {
+                (Some(a), Some(e)) => a.min(e),
+                (Some(a), None) => a,
+                (None, Some(e)) => e,
+                (None, None) => break,
+            };
+            self.now = self.now.max(t);
+        }
+        self.build_report()
+    }
+
+    fn complete_due(&mut self) {
+        // Deterministic completion order: (end, submission index).
+        self.running
+            .sort_by(|a, b| a.end.total_cmp(&b.end).then(a.job.cmp(&b.job)));
+        while let Some(r) = self.running.first() {
+            if r.end > self.now {
+                break;
+            }
+            let r = self.running.remove(0);
+            self.map.free(&r.part);
+            self.attempts.push(AttemptLog {
+                job: self.jobs[r.job].spec.name.clone(),
+                attempt: r.attempt,
+                start: r.start,
+                end: r.end,
+                partition: r.part.clone(),
+                ok: r.outcome.is_ok(),
+            });
+            self.settle_attempt(r);
+        }
+    }
+
+    fn settle_attempt(&mut self, r: Running) {
+        let job = &mut self.jobs[r.job];
+        job.placed = Some(r.part.clone());
+        match r.outcome {
+            Ok(report) => {
+                job.status = Some(JobStatus::Done);
+                job.end = Some(r.end);
+                job.final_report = Some(report);
+            }
+            Err(e) => {
+                // A crashed rank takes its machine node down with it.
+                if let VpceError::RankCrash { rank, .. } = &e {
+                    if let Some(&node) = r.part.nodes.get(*rank) {
+                        self.map.drain(node);
+                    }
+                }
+                let job = &mut self.jobs[r.job];
+                let retryable = e.is_injected() && r.attempt < job.spec.retries;
+                let feasible = self.map.feasible(
+                    job.prepared.as_ref().map(|p| p.shape).expect("ran, so admitted"),
+                );
+                if retryable && feasible {
+                    job.enqueued_at = r.end;
+                    job.next_outcome = None;
+                    self.queue.push(r.job);
+                } else if retryable {
+                    job.status = Some(JobStatus::Failed);
+                    job.end = Some(r.end);
+                    let inf = VpceError::AdmissionInfeasible {
+                        job: job.spec.name.clone(),
+                        need: job.spec.ranks,
+                        have: self.map.usable_nodes(),
+                    };
+                    job.error = Some((inf.kind().into(), inf.to_string()));
+                } else {
+                    job.status = Some(JobStatus::Failed);
+                    job.end = Some(r.end);
+                    job.error = Some((e.kind().into(), e.to_string()));
+                }
+                // Drains may strand other queued jobs; fail them now
+                // with the same typed error rather than at loop exit.
+                self.sweep_infeasible_queue();
+            }
+        }
+    }
+
+    fn sweep_infeasible_queue(&mut self) {
+        let mut kept = Vec::with_capacity(self.queue.len());
+        for &idx in &self.queue {
+            let shape = self.jobs[idx].shape();
+            if self.map.feasible(shape) {
+                kept.push(idx);
+                continue;
+            }
+            let job = &mut self.jobs[idx];
+            job.status = Some(JobStatus::Failed);
+            job.end = Some(self.now);
+            job.queue_wait += self.now - job.enqueued_at;
+            let e = VpceError::AdmissionInfeasible {
+                job: job.spec.name.clone(),
+                need: job.spec.ranks,
+                have: self.map.usable_nodes(),
+            };
+            job.error = Some((e.kind().into(), e.to_string()));
+        }
+        self.queue = kept;
+    }
+
+    fn arrive_due(&mut self) {
+        while let Some(&idx) = self.arrivals.first() {
+            if self.jobs[idx].spec.arrival > self.now {
+                break;
+            }
+            self.arrivals.remove(0);
+            let feasible_shape = self.jobs[idx].shape();
+            match &self.jobs[idx].prepared {
+                Err(e) => {
+                    let err = (e.kind().to_string(), e.to_string());
+                    let job = &mut self.jobs[idx];
+                    job.status = Some(JobStatus::Rejected);
+                    job.end = None;
+                    job.error = Some(err);
+                }
+                Ok(_) if !self.map.feasible(feasible_shape) => {
+                    let job = &mut self.jobs[idx];
+                    let e = VpceError::AdmissionInfeasible {
+                        job: job.spec.name.clone(),
+                        need: job.spec.ranks,
+                        have: self.map.usable_nodes(),
+                    };
+                    job.status = Some(JobStatus::Rejected);
+                    job.error = Some((e.kind().into(), e.to_string()));
+                }
+                Ok(_) => {
+                    let job = &mut self.jobs[idx];
+                    job.enqueued_at = self.now;
+                    self.queue.push(idx);
+                }
+            }
+        }
+    }
+
+    /// Queue order: priority descending, then arrival, then submission
+    /// order — the order every placement decision respects.
+    fn sort_queue(&mut self) {
+        let jobs = &self.jobs;
+        self.queue.sort_by(|&a, &b| {
+            Reverse(jobs[a].spec.priority)
+                .cmp(&Reverse(jobs[b].spec.priority))
+                .then(jobs[a].spec.arrival.total_cmp(&jobs[b].spec.arrival))
+                .then(a.cmp(&b))
+        });
+    }
+
+    fn schedule_pass(&mut self) {
+        loop {
+            self.sort_queue();
+            let Some(&head) = self.queue.first() else { return };
+            let head_shape = self.jobs[head].shape();
+            if let Some((x, y, s)) = self.map.find_fit(head_shape) {
+                self.start(head, x, y, s);
+                self.queue.remove(0);
+                continue;
+            }
+            if self.policy == Policy::Fcfs {
+                return;
+            }
+            // Head is blocked: compute its reservation, then let
+            // smaller jobs slide past if they provably cannot delay it.
+            let Some((t_res, rect)) = self.reservation(head_shape) else {
+                // Machine cannot host the head even empty (a drain
+                // landed since admission) — sweep will fail it.
+                self.sweep_infeasible_queue();
+                continue;
+            };
+            let mut started = false;
+            for qi in 1..self.queue.len() {
+                let idx = self.queue[qi];
+                let shape = self.jobs[idx].shape();
+                let Some((x, y, s)) = self.map.find_fit(shape) else { continue };
+                let cand = Partition {
+                    x,
+                    y,
+                    shape: s,
+                    nodes: Vec::new(),
+                };
+                let dur = self.attempt_duration(idx);
+                let fits_in_time = self.now + dur <= t_res;
+                let avoids_rect = !cand.overlaps(&rect);
+                if fits_in_time || avoids_rect {
+                    self.start(idx, x, y, s);
+                    self.queue.remove(qi);
+                    started = true;
+                    break;
+                }
+            }
+            if !started {
+                return;
+            }
+        }
+    }
+
+    /// The head-of-queue reservation: simulate the running partitions
+    /// freeing in completion order and return the first time `shape`
+    /// fits, plus where. `None` if it cannot fit even on the drained
+    /// empty machine.
+    fn reservation(&self, shape: Mesh) -> Option<(f64, Partition)> {
+        let mut ghost = self.map.clone();
+        let mut ends: Vec<(f64, usize)> = self
+            .running
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.end, i))
+            .collect();
+        ends.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (end, i) in ends {
+            ghost.free(&self.running[i].part);
+            if let Some((x, y, s)) = ghost.find_fit(shape) {
+                return Some((
+                    end,
+                    Partition { x, y, shape: s, nodes: Vec::new() },
+                ));
+            }
+        }
+        None
+    }
+
+    /// Makespan of the job's next attempt — computing it forces the
+    /// (pure, cached) attempt outcome.
+    fn attempt_duration(&mut self, idx: usize) -> f64 {
+        let job = &mut self.jobs[idx];
+        let prepared = job.prepared.as_ref().expect("queued jobs are admitted");
+        if job.next_outcome.is_none() {
+            job.next_outcome = Some(run::run_attempt(
+                &job.spec, prepared, self.mode, job.attempts,
+            ));
+        }
+        match job.next_outcome.as_ref().expect("just computed") {
+            Ok(rep) => rep.elapsed,
+            // Heartbeat model: a fault is detected when the job blows
+            // its fault-free deadline, so the partition is held that
+            // long either way.
+            Err(_) => prepared.clean_elapsed,
+        }
+    }
+
+    fn start(&mut self, idx: usize, x: usize, y: usize, shape: Mesh) {
+        let dur = self.attempt_duration(idx);
+        let part = self.map.alloc(x, y, shape);
+        let job = &mut self.jobs[idx];
+        let outcome = job.next_outcome.take().expect("attempt_duration computed it");
+        job.queue_wait += self.now - job.enqueued_at;
+        job.first_start.get_or_insert(self.now);
+        let attempt = job.attempts;
+        job.attempts += 1;
+        let end = self.now + dur;
+        let label = if attempt == 0 {
+            job.spec.name.clone()
+        } else {
+            format!("{} (retry {attempt})", job.spec.name)
+        };
+        for &node in &part.nodes {
+            self.tracer.push(
+                Lane::Rank(node),
+                self.now,
+                end,
+                EventKind::Phase { name: label.clone() },
+            );
+        }
+        self.busy_cell_s += part.nodes.len() as f64 * dur;
+        self.running.push(Running {
+            job: idx,
+            part,
+            start: self.now,
+            end,
+            attempt,
+            outcome,
+        });
+        self.peak_concurrent = self.peak_concurrent.max(self.running.len());
+    }
+
+    fn fail_stuck_queue(&mut self) {
+        // Everything still queued on an idle machine is unplaceable
+        // (admission guarantees a fit on the pristine empty machine,
+        // so only drains can get us here). Sweeping may unblock an
+        // FCFS queue whose *head* was the stranded job.
+        self.sweep_infeasible_queue();
+        self.schedule_pass();
+        if self.running.is_empty() && !self.queue.is_empty() {
+            debug_assert!(false, "feasible job stuck on an idle machine");
+            let stuck: Vec<usize> = self.queue.drain(..).collect();
+            for idx in stuck {
+                let job = &mut self.jobs[idx];
+                job.status = Some(JobStatus::Failed);
+                job.end = Some(self.now);
+                let e = VpceError::Internal {
+                    msg: format!("job '{}' stuck on an idle machine", job.spec.name),
+                };
+                job.error = Some((e.kind().into(), e.to_string()));
+            }
+        }
+    }
+
+    fn build_report(&mut self) -> BatchReport {
+        let horizon = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.end)
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        let records: Vec<JobRecord> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let status = j.status.unwrap_or(JobStatus::Failed);
+                let makespan = j.end.map(|e| e - j.spec.arrival);
+                let identical = match (&j.final_report, &j.prepared, self.mode) {
+                    (Some(rep), Ok(p), ExecMode::Full) => Some(rep.arrays == p.clean_arrays),
+                    _ => None,
+                };
+                let breakdown = j.final_report.as_ref().and_then(|rep| {
+                    rep.trace
+                        .as_ref()
+                        .map(|t| t.critical.breakdown.with_queue_wait(j.queue_wait))
+                });
+                JobRecord {
+                    name: j.spec.name.clone(),
+                    ranks: j.spec.ranks,
+                    shape: j
+                        .placed
+                        .as_ref()
+                        .map(|p| p.shape)
+                        .unwrap_or_else(|| j.shape()),
+                    status,
+                    arrival: j.spec.arrival,
+                    start: j.first_start,
+                    end: j.end,
+                    queue_wait: j.queue_wait,
+                    nodes: j.placed.as_ref().map(|p| p.nodes.clone()).unwrap_or_default(),
+                    attempts: j.attempts,
+                    requeues: j.attempts.saturating_sub(1),
+                    identical,
+                    error: j.error.clone(),
+                    missed_deadline: match (j.spec.deadline, makespan) {
+                        (Some(d), Some(m)) => m > d,
+                        _ => false,
+                    },
+                    breakdown,
+                    net_messages: j.final_report.as_ref().map(|r| r.net.p2p_messages).unwrap_or(0),
+                    net_bytes: j.final_report.as_ref().map(|r| r.net.p2p_bytes).unwrap_or(0),
+                }
+            })
+            .collect();
+        let utilization = if horizon > 0.0 {
+            self.busy_cell_s / (self.nodes as f64 * horizon)
+        } else {
+            0.0
+        };
+        BatchReport {
+            nodes: self.nodes,
+            mesh: self.map.mesh(),
+            policy: self.policy,
+            seed: self.seed,
+            records,
+            peak_concurrent: self.peak_concurrent,
+            drained: self.map.drained(),
+            horizon,
+            utilization,
+            trace_json: self.tracer.to_chrome_json(),
+            attempts: std::mem::take(&mut self.attempts),
+        }
+    }
+}
+
+/// Admission: machine-shape feasibility, then compile + dry run.
+fn admit(
+    spec: &JobSpec,
+    nodes: usize,
+    map: &NodeMap,
+    loader: &SourceLoader,
+    mode: ExecMode,
+) -> Result<Prepared, VpceError> {
+    if spec.ranks == 0 {
+        return Err(VpceError::AdmissionRejected {
+            job: spec.name.clone(),
+            reason: "requests zero ranks".into(),
+        });
+    }
+    if spec.ranks > nodes {
+        return Err(VpceError::AdmissionInfeasible {
+            job: spec.name.clone(),
+            need: spec.ranks,
+            have: nodes,
+        });
+    }
+    let shape = cluster_sim::partition_shape(spec.ranks);
+    if !map.feasible(shape) {
+        return Err(VpceError::AdmissionRejected {
+            job: spec.name.clone(),
+            reason: format!(
+                "partition {}x{} does not fit the {}-node machine",
+                shape.cols, shape.rows, nodes
+            ),
+        });
+    }
+    run::prepare(spec, loader, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSource;
+    use vpce_faults::FaultSpec;
+
+    fn no_loader() -> impl Fn(&str) -> Result<String, String> {
+        |p: &str| Err(format!("no loader for `{p}`"))
+    }
+
+    fn mm(name: &str, ranks: usize) -> JobSpec {
+        let mut j = JobSpec::new(name, JobSource::Workload("mm".into()), ranks);
+        j.params.push(("N".into(), 8));
+        j
+    }
+
+    fn batch(jobs: Vec<JobSpec>, nodes: usize, policy: Policy) -> (BatchReport, Vec<AttemptLog>) {
+        let mut s =
+            Scheduler::new(jobs, nodes, policy, 1, ExecMode::Full, &no_loader()).unwrap();
+        let rep = s.run();
+        let attempts = rep.attempts.clone();
+        (rep, attempts)
+    }
+
+    #[test]
+    fn serial_batch_completes_in_arrival_order() {
+        let (rep, _) = batch(vec![mm("a", 2), mm("b", 2)], 2, Policy::Fcfs);
+        assert_eq!(rep.done(), 2);
+        let a = &rep.records[0];
+        let b = &rep.records[1];
+        assert_eq!(a.queue_wait, 0.0);
+        assert!(b.queue_wait > 0.0, "one 2-node machine serialises the jobs");
+        assert_eq!(b.start, a.end, "b starts the instant a frees the mesh");
+        assert_eq!(a.identical, Some(true));
+        assert_eq!(rep.peak_concurrent, 1);
+        assert_eq!(rep.exit_code(), 0);
+    }
+
+    #[test]
+    fn independent_jobs_gang_schedule_concurrently() {
+        let (rep, attempts) = batch(
+            (0..8).map(|i| mm(&format!("j{i}"), 2)).collect(),
+            16,
+            Policy::Backfill,
+        );
+        assert_eq!(rep.done(), 8);
+        assert_eq!(rep.peak_concurrent, 8, "eight 2x1 partitions tile a 4x4 mesh");
+        for r in &rep.records {
+            assert_eq!(r.queue_wait, 0.0, "{}", r.name);
+        }
+        // Safety: no two time-overlapping attempts share a node.
+        for (i, a) in attempts.iter().enumerate() {
+            for b in &attempts[i + 1..] {
+                if a.start < b.end && b.start < a.end {
+                    assert!(
+                        !a.partition.overlaps(&b.partition),
+                        "{} and {} overlap",
+                        a.job,
+                        b.job
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backfill_lets_narrow_jobs_slide_without_starving_the_wide_one() {
+        // Two 2-rank jobs hold half of a 2x2 machine; a 4-rank job is
+        // head of queue (higher priority) and must still run.
+        let mut wide = mm("wide", 4);
+        wide.priority = 5;
+        wide.arrival = 1e-6;
+        let mut late = mm("late", 2);
+        late.arrival = 2e-6;
+        let (rep, _) = batch(vec![mm("first", 2), wide, late], 4, Policy::Backfill);
+        assert_eq!(rep.done(), 3, "{:?}", rep.records.iter().map(|r| (&r.name, r.status.name())).collect::<Vec<_>>());
+        let wide_rec = rep.records.iter().find(|r| r.name == "wide").unwrap();
+        assert_eq!(wide_rec.status, JobStatus::Done);
+    }
+
+    #[test]
+    fn oversized_and_broken_jobs_are_rejected_not_run() {
+        let broken = JobSpec::new("syn", JobSource::Inline("PROGRAM T\nX = \nEND\n".into()), 1);
+        let (rep, attempts) = batch(vec![mm("huge", 32), broken, mm("ok", 2)], 16, Policy::Backfill);
+        assert_eq!(rep.rejected(), 2);
+        assert_eq!(rep.done(), 1);
+        assert_eq!(rep.exit_code(), 4, "admission failure dominates");
+        assert!(attempts.iter().all(|a| a.job == "ok"));
+        let huge = rep.records.iter().find(|r| r.name == "huge").unwrap();
+        assert_eq!(huge.error.as_ref().unwrap().0, "admission-infeasible");
+    }
+
+    #[test]
+    fn same_seed_same_report_bytes() {
+        let jobs = || (0..4).map(|i| mm(&format!("j{i}"), 2)).collect::<Vec<_>>();
+        let (a, _) = batch(jobs(), 4, Policy::Backfill);
+        let (b, _) = batch(jobs(), 4, Policy::Backfill);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.render_human(), b.render_human());
+        assert_eq!(a.trace_json, b.trace_json, "cluster timeline is deterministic too");
+    }
+
+    #[test]
+    fn crashed_job_drains_its_node_and_requeues_byte_identically() {
+        // A crash-prone job on a machine with room to requeue
+        // elsewhere. Find a seed whose first attempt crashes and a
+        // later attempt survives; determinism makes the scan stable.
+        let mut found = false;
+        for seed in 0..64u64 {
+            let mut risky = mm("risky", 2);
+            risky.faults = FaultSpec::parse(&format!("crashy,seed={seed}")).unwrap();
+            risky.retries = 4;
+            let (rep, _) = batch(vec![risky, mm("bystander", 2)], 16, Policy::Backfill);
+            let r = rep.records.iter().find(|r| r.name == "risky").unwrap();
+            if r.status == JobStatus::Done && r.requeues > 0 {
+                assert_eq!(r.identical, Some(true), "healed run must match the dry run");
+                assert!(!rep.drained.is_empty(), "the crashed rank's node is drained");
+                let drained = &rep.drained;
+                let retry = rep
+                    .attempts
+                    .iter()
+                    .find(|a| a.job == "risky" && a.ok)
+                    .expect("surviving attempt logged");
+                assert!(
+                    retry.partition.nodes.iter().all(|n| !drained.contains(n)),
+                    "requeued placement avoids the drained node"
+                );
+                assert_eq!(rep.exit_code(), 0, "a survived batch exits clean");
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no seed in 0..64 produced crash-then-survive");
+    }
+
+    #[test]
+    fn exhausted_retries_fail_typed() {
+        let mut doomed = mm("doomed", 2);
+        // crash=1.0 kills every attempt.
+        doomed.faults = FaultSpec::parse("crashy,crash=1.0,seed=3").unwrap();
+        doomed.retries = 1;
+        let (rep, attempts) = batch(vec![doomed], 16, Policy::Backfill);
+        let r = &rep.records[0];
+        assert_eq!(r.status, JobStatus::Failed);
+        assert_eq!(r.attempts, 2, "initial + one requeue");
+        assert_eq!(r.error.as_ref().unwrap().0, "rank-crash");
+        assert_eq!(rep.exit_code(), 3);
+        assert_eq!(attempts.len(), 2);
+    }
+
+    #[test]
+    fn run_batch_resolves_headers_and_seeds() {
+        let spec = BatchSpec::parse(
+            "nodes=4\npolicy=fcfs\nseed=9\njob name=a workload=mm ranks=2 param:N=8\n",
+        )
+        .unwrap();
+        let rep = run_batch(&spec, &BatchOptions::default(), &no_loader()).unwrap();
+        assert_eq!(rep.nodes, 4, "jobfile nodes= wins over the option");
+        assert_eq!(rep.policy, Policy::Fcfs);
+        assert_eq!(rep.seed, 9);
+        let over = BatchOptions { seed: Some(2), ..Default::default() };
+        let rep = run_batch(&spec, &over, &no_loader()).unwrap();
+        assert_eq!(rep.seed, 2, "--sched-seed wins over the jobfile");
+        let empty = BatchSpec::parse("nodes=4\n").unwrap();
+        assert!(run_batch(&empty, &BatchOptions::default(), &no_loader()).is_err());
+    }
+}

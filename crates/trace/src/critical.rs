@@ -39,6 +39,13 @@ pub enum TimeClass {
     /// faults: failed attempts, ack/timeout turnarounds, backoff.
     /// Never appears when fault injection is off.
     Recovery,
+    /// Time the job sat in a scheduler queue before its partition was
+    /// allocated. Never produced by the walk itself (a single run
+    /// starts at t = 0 by construction); a batch scheduler charges it
+    /// via [`Breakdown::with_queue_wait`] so a job's turnaround tiles
+    /// into queue + run components exactly like a run tiles into the
+    /// other five.
+    Queue,
 }
 
 impl TimeClass {
@@ -49,6 +56,7 @@ impl TimeClass {
             TimeClass::Occupancy => "occupancy",
             TimeClass::Wait => "wait",
             TimeClass::Recovery => "recovery",
+            TimeClass::Queue => "queue",
         }
     }
 }
@@ -79,11 +87,21 @@ pub struct Breakdown {
     pub wait: f64,
     /// Fault-recovery time on the critical path (0 without injection).
     pub recovery: f64,
+    /// Scheduler queue wait preceding the run (0 outside batch mode).
+    pub queue: f64,
 }
 
 impl Breakdown {
     pub fn total(&self) -> f64 {
-        self.compute + self.setup + self.occupancy + self.wait + self.recovery
+        self.compute + self.setup + self.occupancy + self.wait + self.recovery + self.queue
+    }
+
+    /// This breakdown with `queue` seconds of scheduler wait charged
+    /// in front of it — the batch scheduler's view of a job: the
+    /// components then tile `[0, queue + elapsed]` (turnaround).
+    pub fn with_queue_wait(mut self, queue: f64) -> Self {
+        self.queue += queue;
+        self
     }
 
     fn charge(&mut self, class: TimeClass, dur: f64) {
@@ -93,6 +111,7 @@ impl Breakdown {
             TimeClass::Occupancy => self.occupancy += dur,
             TimeClass::Wait => self.wait += dur,
             TimeClass::Recovery => self.recovery += dur,
+            TimeClass::Queue => self.queue += dur,
         }
     }
 }
@@ -277,8 +296,9 @@ impl CriticalPath {
                 pct(v, self.elapsed)
             );
         }
-        // Only faulted runs have a recovery component; keeping the line
-        // out otherwise preserves the fault-free summary byte-for-byte.
+        // Only faulted runs have a recovery component, and only batch
+        // jobs a queue component; keeping the lines out otherwise
+        // preserves the plain summary byte-for-byte.
         if b.recovery > 0.0 {
             let _ = writeln!(
                 out,
@@ -286,6 +306,15 @@ impl CriticalPath {
                 "recovery",
                 b.recovery * 1e6,
                 pct(b.recovery, self.elapsed)
+            );
+        }
+        if b.queue > 0.0 {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:>12.1} us  {:>5.1}%",
+                "queue",
+                b.queue * 1e6,
+                pct(b.queue, self.elapsed)
             );
         }
         out
@@ -428,6 +457,21 @@ mod tests {
             &[1.0],
         );
         assert!(!plain.render().contains("recovery"));
+    }
+
+    #[test]
+    fn queue_wait_extends_the_tiling_to_turnaround() {
+        // A batch job that computed for 1 s after waiting 0.25 s in
+        // the queue: the queued breakdown tiles [0, turnaround].
+        let cp = critical_path(&[], &[1.0]);
+        let queued = cp.breakdown.with_queue_wait(0.25);
+        assert!((queued.queue - 0.25).abs() < 1e-12);
+        assert!((queued.total() - (cp.elapsed + 0.25)).abs() < 1e-12);
+        // The render shows a queue line iff the component is nonzero.
+        let mut with_queue = cp.clone();
+        with_queue.breakdown = queued;
+        assert!(with_queue.render().contains("queue"));
+        assert!(!cp.render().contains("queue"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::link::LinkRate;
 use crate::stats::{LinkStats, NetStats};
-use crate::topology::{NodeId, Topology};
+use crate::topology::{Mesh, NodeId, Topology};
 use crate::Time;
 use vpce_faults::{site, FaultInjector, FaultSpec, VpceError};
 use vpce_trace::{EventKind, Lane, Tracer};
@@ -73,6 +73,19 @@ impl NetConfig {
         NetConfig {
             topology: Topology::mesh_for(n),
             link: LinkRate::vbus_conventional(),
+            vbus: Some(VBusConfig::paper()),
+        }
+    }
+
+    /// A rectangular sub-partition of the paper's machine: `n` nodes
+    /// attached to an explicit `mesh` shape, SKWP links, virtual-bus
+    /// broadcast. This is the network a gang scheduler hands each job:
+    /// the partition's wires are private, so concurrent jobs cannot
+    /// contend (or share counters) at the network level.
+    pub fn vbus_skwp_mesh(mesh: Mesh, n: usize) -> Self {
+        NetConfig {
+            topology: Topology::mesh_with(mesh, n),
+            link: LinkRate::vbus_skwp(),
             vbus: Some(VBusConfig::paper()),
         }
     }
@@ -214,6 +227,15 @@ impl NetSim {
     /// Per-link occupancy counters.
     pub fn link_stats(&self) -> &[LinkStats] {
         &self.per_link
+    }
+
+    /// Take the accumulated network counters, leaving a zeroed ledger
+    /// behind — the scoping primitive for multiplexed runs: callers
+    /// that reuse one simulator for several logical runs snapshot each
+    /// run's traffic without the totals bleeding together. Link
+    /// schedules (`busy_until`) are untouched; time keeps flowing.
+    pub fn take_stats(&mut self) -> NetStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Reset schedules and statistics (new experiment, same network).

@@ -55,6 +55,23 @@ impl Topology {
         }
     }
 
+    /// A mesh of explicit shape with `n` nodes attached at positions
+    /// `0..n` (the remaining positions are routers without a PC) —
+    /// the shape a gang scheduler carves for a rectangular partition.
+    ///
+    /// # Panics
+    /// Panics if the mesh cannot hold `n` nodes.
+    pub fn mesh_with(mesh: Mesh, n: usize) -> Self {
+        assert!(n > 0, "topology needs at least one node");
+        assert!(
+            n <= mesh.num_nodes(),
+            "{n} nodes do not fit a {}x{} mesh",
+            mesh.cols,
+            mesh.rows
+        );
+        Topology::Mesh { mesh, nodes: n }
+    }
+
     /// A near-square torus for `n` nodes.
     pub fn torus_for(n: usize) -> Self {
         Topology::Torus {
@@ -213,12 +230,47 @@ impl Mesh {
     /// The most nearly square mesh holding at least `n` nodes.
     ///
     /// `n = 4` gives the paper's 2x2 configuration.
+    ///
+    /// **Factorization policy** (load-bearing for awkward node counts):
+    /// `cols = ceil(sqrt(n))`, `rows = ceil(n / cols)`, so
+    /// `cols >= rows` always, and for every `n >= 3` the result has
+    /// `rows >= 2` — a prime or otherwise non-rectangular `n` (7, 13,
+    /// 17…) gets a compact grid with up to `cols - 1` unpopulated
+    /// router positions, **never** a silent degenerate `1 x n` chain
+    /// (whose diameter and bisection would collapse the wormhole
+    /// model). Only `n = 1` and `n = 2` are chains, and those are the
+    /// honest shapes. Callers that need an *exact* factorization
+    /// (no spare routers) use [`Mesh::exact_factor`] and fall back
+    /// here deliberately when it declines.
     pub fn near_square(n: usize) -> Self {
         assert!(n > 0, "mesh must hold at least one node");
         let mut cols = (n as f64).sqrt().ceil() as usize;
         cols = cols.max(1);
         let rows = n.div_ceil(cols);
         Mesh { cols, rows }
+    }
+
+    /// The most nearly square *exact* factorization `cols x rows == n`
+    /// with `cols >= rows` and aspect ratio `cols / rows <= max_aspect`.
+    ///
+    /// Returns `None` when every exact factorization is too elongated
+    /// (e.g. any prime `n > max_aspect`): an over-stretched chain is a
+    /// degenerate mesh, and refusing it forces the caller to choose the
+    /// fallback ([`Mesh::near_square`] with spare routers) explicitly
+    /// rather than receive a `1 x n` wire by accident.
+    pub fn exact_factor(n: usize, max_aspect: usize) -> Option<Self> {
+        assert!(n > 0, "mesh must hold at least one node");
+        assert!(max_aspect >= 1, "aspect bound must be at least 1");
+        // Largest divisor <= sqrt(n) gives the most-square pair.
+        let mut rows = (n as f64).sqrt().floor() as usize;
+        while rows >= 1 {
+            if n % rows == 0 {
+                let cols = n / rows;
+                return (cols <= rows * max_aspect).then_some(Mesh { cols, rows });
+            }
+            rows -= 1;
+        }
+        None
     }
 
     /// Total node capacity of the mesh.
@@ -384,6 +436,58 @@ mod tests {
         assert_eq!(Mesh::near_square(6), Mesh::new(3, 2));
         assert_eq!(Mesh::near_square(9), Mesh::new(3, 3));
         assert_eq!(Mesh::near_square(12), Mesh::new(4, 3));
+    }
+
+    #[test]
+    fn near_square_never_degenerates_into_a_chain() {
+        // Awkward node counts (primes, non-squares) must get a compact
+        // grid, never a silent 1 x n wire. Pinned policy: rows >= 2
+        // for every n >= 3, and the waste stays under one row.
+        for n in [3, 5, 7, 11, 13, 17, 19, 23, 29, 97] {
+            let m = Mesh::near_square(n);
+            assert!(m.rows >= 2, "n={n} degenerated to {}x{}", m.cols, m.rows);
+            assert!(m.cols >= m.rows, "n={n}: {}x{}", m.cols, m.rows);
+            assert!(m.num_nodes() >= n, "n={n} does not fit");
+            assert!(
+                m.num_nodes() - n < m.cols,
+                "n={n} wastes a whole row on a {}x{} mesh",
+                m.cols,
+                m.rows
+            );
+        }
+        // The two honest chains.
+        assert_eq!(Mesh::near_square(1), Mesh::new(1, 1));
+        assert_eq!(Mesh::near_square(2), Mesh::new(2, 1));
+    }
+
+    #[test]
+    fn exact_factor_bounds_aspect_or_declines() {
+        assert_eq!(Mesh::exact_factor(16, 4), Some(Mesh::new(4, 4)));
+        assert_eq!(Mesh::exact_factor(12, 4), Some(Mesh::new(4, 3)));
+        assert_eq!(Mesh::exact_factor(8, 4), Some(Mesh::new(4, 2)));
+        assert_eq!(Mesh::exact_factor(3, 4), Some(Mesh::new(3, 1)));
+        // Primes above the aspect bound refuse rather than chain.
+        assert_eq!(Mesh::exact_factor(7, 4), None);
+        assert_eq!(Mesh::exact_factor(13, 4), None);
+        assert_eq!(Mesh::exact_factor(18, 4), Some(Mesh::new(6, 3)));
+        // 2x11 is the squarest exact pair for 22; aspect 5.5 > 4.
+        assert_eq!(Mesh::exact_factor(22, 4), None);
+        assert_eq!(Mesh::exact_factor(22, 6), Some(Mesh::new(11, 2)));
+    }
+
+    #[test]
+    fn mesh_with_attaches_partial_nodes() {
+        let t = Topology::mesh_with(Mesh::new(4, 4), 13);
+        assert_eq!(t.num_nodes(), 13);
+        assert_eq!(t.num_links(), 64);
+        // Routing still works through unpopulated router positions.
+        assert!(!t.route(0, 12).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "do not fit")]
+    fn mesh_with_rejects_overfull_shapes() {
+        let _ = Topology::mesh_with(Mesh::new(2, 2), 5);
     }
 
     #[test]

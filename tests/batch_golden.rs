@@ -1,0 +1,95 @@
+//! Golden batch report over `examples/jobs/storm.jobs`: the stable
+//! JSON that `vpcec --batch --batch-json` emits is diffed byte-for-
+//! byte against a checked-in expectation, pinning the scheduler's
+//! entire observable behaviour — placements, queue waits, requeues,
+//! drains, percentiles. Regenerate with `UPDATE_GOLDEN=1 cargo test
+//! -q -p vpce --test batch_golden`.
+
+use vpce::cli::{parse_args, run_batch, Outcome, RunOutput};
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_jobfile(jobfile: &str, extra_args: &str) -> RunOutput {
+    let text = std::fs::read_to_string(repo_path(&format!("examples/jobs/{jobfile}")))
+        .expect("jobfile fixture exists");
+    let argv: Vec<String> = format!("--batch {jobfile} {extra_args}")
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let args = parse_args(&argv).expect("fixture args parse");
+    let loader = |p: &str| Err::<String, _>(format!("fixture jobfiles are self-contained: `{p}`"));
+    run_batch(&text, &args, &loader).expect("jobfile parses")
+}
+
+#[test]
+fn storm_batch_report_matches_golden_bytes() {
+    let out = run_jobfile("storm.jobs", "--sched-seed 1");
+    assert_eq!(out.outcome, Outcome::Success, "{}", out.text);
+    let json = out.batch_json.expect("batch mode renders JSON");
+
+    // Determinism first: the same jobfile and seed must reproduce the
+    // report byte-for-byte within this process too.
+    let again = run_jobfile("storm.jobs", "--sched-seed 1");
+    assert_eq!(json, again.batch_json.unwrap(), "batch report must be deterministic");
+    assert_eq!(out.text, again.text);
+
+    let golden_path = repo_path("tests/golden/storm_batch.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &json).expect("write golden");
+    } else {
+        let expected = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden file {golden_path}: {e}"));
+        assert_eq!(
+            json, expected,
+            "batch report drifted from storm_batch.json; if intentional, \
+             regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+
+    // The acceptance-criteria shape of the storm, pinned structurally
+    // as well as byte-wise.
+    assert!(json.contains("\"done\": 12"), "{json}");
+    assert!(json.contains("\"failed\": 0"), "{json}");
+    assert!(json.contains("\"rejected\": 0"), "{json}");
+    assert!(json.contains("\"requeues\": 1"), "{json}");
+    assert!(json.contains("\"drained\": [0]"), "{json}");
+    let peak: usize = json
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"peak_concurrent\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .expect("peak_concurrent in report");
+    assert!(peak >= 8, "storm must gang-schedule >= 8 jobs at once, got {peak}");
+    // Every job — including the requeued crashy one — heals
+    // byte-identically to its fault-free run.
+    assert_eq!(json.matches("\"identical\": true").count(), 12, "{json}");
+}
+
+#[test]
+fn drain_batch_survives_with_requeues_and_exits_clean() {
+    let out = run_jobfile("drain.jobs", "");
+    assert_eq!(out.outcome, Outcome::Success, "{}", out.text);
+    assert_eq!(out.exit, 0);
+    let json = out.batch_json.expect("batch mode renders JSON");
+    assert!(json.contains("\"done\": 4"), "{json}");
+    let requeues: u32 = json
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"requeues\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .expect("aggregate requeues in report");
+    assert!(requeues > 0, "drain scenario must requeue: {json}");
+    assert!(!json.contains("\"drained\": []"), "nodes must drain: {json}");
+    assert_eq!(json.matches("\"identical\": true").count(), 4, "{json}");
+}
+
+#[test]
+fn batch_timeline_is_emitted_on_request_and_deterministic() {
+    let out = run_jobfile("storm.jobs", "--sched-seed 1 --trace t.json");
+    let trace = out.trace_json.expect("--trace emits the cluster timeline");
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("node 0"), "one lane per machine node");
+    assert!(trace.contains("risky (retry 1)"), "requeued attempt is labelled");
+    let again = run_jobfile("storm.jobs", "--sched-seed 1 --trace t.json");
+    assert_eq!(trace, again.trace_json.unwrap());
+}
