@@ -16,7 +16,10 @@
 //!   the byte-identity invariant;
 //! * [`sched`] — the batch-scheduler sweep: seeded traffic storms over
 //!   machine size × arrival rate × policy (fcfs vs backfill),
-//!   recording utilization, gang concurrency and wait percentiles.
+//!   recording utilization, gang concurrency and wait percentiles;
+//! * [`transport`] — the eager/rendezvous crossover grid: message size
+//!   × protocol mode (auto and both forced) × registered pool size,
+//!   recording the per-protocol ledgers and the achieved bandwidth.
 //!
 //! Each module computes plain data structures; the `table1`, `table2`,
 //! `hwclaims`, `ablation` and `chaos` binaries print them as the
@@ -28,6 +31,7 @@ pub mod hwclaims;
 pub mod sched;
 pub mod table1;
 pub mod table2;
+pub mod transport;
 
 /// Render a float as a JSON number. Rust's `Display` for `f64` never
 /// produces exponents, so the only invalid outputs to guard against

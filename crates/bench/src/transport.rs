@@ -1,0 +1,269 @@
+//! Transport sweep — message size × protocol mode × pool size.
+//!
+//! The eager/rendezvous counterpart of the paper's Table-2: a neighbour
+//! ring of one-sided PUTs swept across payload sizes that straddle the
+//! derived threshold, run three ways — the policy's own choice
+//! (`auto`), and both protocols forced via [`TransportPolicy::forced`]
+//! so the crossover is *measured*, not assumed — and across registered
+//! pool sizes, so the cost of a starved pool (fallbacks, waits) is a
+//! row in the table rather than folklore.
+//!
+//! The `transportbench` binary prints the grid and, with `--json PATH`,
+//! writes the artifact the CI `transport` job uploads
+//! (`BENCH_transport.json` at the repo root).
+
+use cluster_sim::{ClusterConfig, Protocol};
+use mpi2::{TransportPolicy, Universe, ELEM_BYTES};
+
+/// Ranks in the neighbour ring.
+const RANKS: usize = 4;
+/// PUTs each rank issues per epoch: more than the smallest pool swept,
+/// so the 4-slot rows show starvation (eager fallbacks) that the
+/// 16-slot rows absorb — and enough in-flight descriptors to exercise
+/// doorbell ring batching.
+const PUTS_PER_EPOCH: usize = 6;
+
+/// Payload sizes in bytes, bracketing the few-KB threshold.
+pub const SWEEP_BYTES: [usize; 5] = [64, 512, 4096, 65_536, 1 << 20];
+
+/// Registered-pool sizes swept (slots per rank).
+pub const POOL_SIZES: [usize; 2] = [4, 16];
+
+/// The protocol-mode axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The policy derived from the machine cost model decides.
+    Auto,
+    /// Every transfer forced eager (staged copy, no handshake).
+    Eager,
+    /// Every transfer forced rendezvous (RTS/CTS, zero-copy DMA).
+    Rendezvous,
+}
+
+impl Mode {
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Auto => "auto",
+            Mode::Eager => "eager",
+            Mode::Rendezvous => "rendezvous",
+        }
+    }
+
+    pub const ALL: [Mode; 3] = [Mode::Auto, Mode::Eager, Mode::Rendezvous];
+}
+
+/// One (size, mode, pool) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub bytes: usize,
+    pub mode: &'static str,
+    pub slots: usize,
+    /// Virtual elapsed time of the whole ring exchange, seconds.
+    pub elapsed: f64,
+    /// Payload bandwidth: total payload bytes over elapsed, bytes/s.
+    pub bandwidth_bps: f64,
+    pub eager_ops: u64,
+    pub rdvz_ops: u64,
+    pub eager_copy_s: f64,
+    pub eager_fallbacks: u64,
+    pub pool_waits: u64,
+    pub pool_wait_s: f64,
+    pub pool_hwm: u64,
+    pub doorbells: u64,
+    pub ring_batched: u64,
+    pub rdvz_handshakes: u64,
+    pub wire_bytes: u64,
+}
+
+/// Resolve the policy for one cell.
+fn policy_for(mode: Mode, cfg: &ClusterConfig, bytes: usize, slots: usize) -> TransportPolicy {
+    match mode {
+        Mode::Auto => {
+            let mut p = TransportPolicy::from_config(cfg);
+            p.slots = slots;
+            p
+        }
+        Mode::Eager => TransportPolicy::forced(Protocol::Eager, bytes, slots),
+        Mode::Rendezvous => TransportPolicy::forced(Protocol::Rendezvous, bytes, slots),
+    }
+}
+
+/// Run one cell: `epochs` rounds of a neighbour ring where every rank
+/// PUTs `PUTS_PER_EPOCH` payloads of `bytes` to its successor.
+fn run_cell(cfg: &ClusterConfig, mode: Mode, bytes: usize, slots: usize, epochs: usize) -> Cell {
+    let elems = (bytes / ELEM_BYTES).max(1);
+    let policy = policy_for(mode, cfg, bytes, slots);
+    let uni = Universe::new(cfg.clone()).with_transport(policy);
+    let out = uni.run(move |mpi| {
+        let w = mpi.win_create(elems * PUTS_PER_EPOCH);
+        let next = (mpi.rank() + 1) % mpi.size();
+        for _ in 0..epochs {
+            for p in 0..PUTS_PER_EPOCH {
+                mpi.put_region(&w, next, p * elems, elems);
+            }
+            mpi.fence_all();
+        }
+    });
+    let s = out.total_stats();
+    let payload = (RANKS * PUTS_PER_EPOCH * epochs * elems * ELEM_BYTES) as f64;
+    let elapsed = out.elapsed();
+    Cell {
+        bytes,
+        mode: mode.name(),
+        slots,
+        elapsed,
+        bandwidth_bps: payload / elapsed,
+        eager_ops: s.eager_ops,
+        rdvz_ops: s.rdvz_ops,
+        eager_copy_s: s.eager_copy_s,
+        eager_fallbacks: s.eager_fallbacks,
+        pool_waits: s.pool_waits,
+        pool_wait_s: s.pool_wait_s,
+        pool_hwm: s.pool_hwm,
+        doorbells: s.doorbells,
+        ring_batched: s.ring_batched,
+        rdvz_handshakes: out.net.rdvz_handshakes,
+        wire_bytes: out.net.p2p_bytes,
+    }
+}
+
+/// The full grid: size × mode × pool, `epochs` fence epochs per cell.
+pub fn sweep(cluster: &ClusterConfig, epochs: usize) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for bytes in SWEEP_BYTES {
+        for mode in Mode::ALL {
+            for slots in POOL_SIZES {
+                cells.push(run_cell(cluster, mode, bytes, slots, epochs));
+            }
+        }
+    }
+    cells
+}
+
+/// Print the grid.
+pub fn print_sweep(title: &str, cells: &[Cell]) {
+    println!("\n== Transport sweep: eager/rendezvous crossover ({title}) ==");
+    println!(
+        "{:>9} {:>11} {:>5} {:>10} {:>12} {:>6} {:>6} {:>5} {:>6} {:>6} {:>7}",
+        "bytes", "mode", "pool", "elapsed", "bandwidth", "eager", "rdvz", "fall", "waits", "drbl", "batched"
+    );
+    for c in cells {
+        println!(
+            "{:>9} {:>11} {:>5} {:>10} {:>10}/s {:>6} {:>6} {:>5} {:>6} {:>6} {:>7}",
+            c.bytes,
+            c.mode,
+            c.slots,
+            crate::fmt_secs(c.elapsed),
+            fmt_bytes(c.bandwidth_bps),
+            c.eager_ops,
+            c.rdvz_ops,
+            c.eager_fallbacks,
+            c.pool_waits,
+            c.doorbells,
+            c.ring_batched,
+        );
+    }
+}
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2}GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2}MB", b / 1e6)
+    } else {
+        format!("{:.1}KB", b / 1e3)
+    }
+}
+
+/// Render the grid as a JSON array for the CI artifact.
+pub fn to_json(cells: &[Cell]) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"bytes\": {}, \"mode\": \"{}\", \"pool_slots\": {}, \"elapsed_s\": {}, \"bandwidth_bps\": {}, \"eager_ops\": {}, \"rdvz_ops\": {}, \"eager_copy_s\": {}, \"eager_fallbacks\": {}, \"pool_waits\": {}, \"pool_wait_s\": {}, \"pool_hwm\": {}, \"doorbells\": {}, \"ring_batched\": {}, \"rdvz_handshakes\": {}, \"wire_bytes\": {}}}",
+                c.bytes,
+                c.mode,
+                c.slots,
+                crate::json_num(c.elapsed),
+                crate::json_num(c.bandwidth_bps),
+                c.eager_ops,
+                c.rdvz_ops,
+                crate::json_num(c.eager_copy_s),
+                c.eager_fallbacks,
+                c.pool_waits,
+                crate::json_num(c.pool_wait_s),
+                c.pool_hwm,
+                c.doorbells,
+                c.ring_batched,
+                c.rdvz_handshakes,
+                c.wire_bytes
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_modes_pin_the_protocol_and_auto_crosses_over() {
+        let cells = sweep(&ClusterConfig::paper_n(RANKS), 2);
+        assert_eq!(cells.len(), SWEEP_BYTES.len() * 3 * POOL_SIZES.len());
+        for c in &cells {
+            match c.mode {
+                // Forced eager only goes rendezvous when the pool
+                // starves — and a pool bigger than the per-epoch burst
+                // never starves.
+                "eager" => {
+                    assert_eq!(c.rdvz_ops, c.eager_fallbacks, "{c:?}");
+                    if c.slots >= PUTS_PER_EPOCH {
+                        assert_eq!(c.eager_fallbacks, 0, "{c:?}");
+                    }
+                }
+                "rendezvous" => assert_eq!(c.eager_ops, 0, "{c:?}"),
+                _ => {}
+            }
+        }
+        // The pool axis is live: the small pool starves under the
+        // per-epoch burst on at least one forced-eager row.
+        assert!(
+            cells
+                .iter()
+                .any(|c| c.mode == "eager" && c.slots < PUTS_PER_EPOCH && c.eager_fallbacks > 0),
+            "small pool never starved — the pool-size axis measures nothing"
+        );
+        // Auto mode must use both protocols across the size axis.
+        let auto: Vec<_> = cells.iter().filter(|c| c.mode == "auto").collect();
+        assert!(auto.iter().any(|c| c.eager_ops > 0 && c.rdvz_ops == 0));
+        assert!(auto.iter().any(|c| c.rdvz_ops > 0 && c.eager_ops == 0));
+        // And at every size, auto is no slower than the worse forced
+        // mode — the threshold earns its keep.
+        for bytes in SWEEP_BYTES {
+            for slots in POOL_SIZES {
+                let by = |m: &str| {
+                    cells
+                        .iter()
+                        .find(|c| c.bytes == bytes && c.slots == slots && c.mode == m)
+                        .unwrap()
+                };
+                let worst = by("eager").elapsed.max(by("rendezvous").elapsed);
+                assert!(
+                    by("auto").elapsed <= worst + 1e-12,
+                    "auto slower than both forced modes at {bytes} B"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_export_is_wellformed() {
+        let cells = sweep(&ClusterConfig::paper_n(RANKS), 1);
+        let json = to_json(&cells);
+        assert_eq!(json.matches('{').count(), cells.len());
+        assert!(json.contains("\"rdvz_handshakes\""), "{json}");
+        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
+    }
+}

@@ -33,7 +33,7 @@ use vbus_sim::NetConfig;
 
 pub use cpu::{CpuModel, OpCounts};
 pub use memory::MemoryTracker;
-pub use nic::{HostCostBreakdown, NicModel, TransferKind};
+pub use nic::{HostCostBreakdown, NicModel, Protocol, TransferKind};
 pub use vbus_sim::Mesh;
 
 /// Maximum aspect ratio a rectangular job partition may have before

@@ -24,6 +24,32 @@
 use crate::cpu::CpuModel;
 use vpce_faults::{site, FaultInjector, VpceError};
 
+/// Which transport protocol carries a one-sided transfer.
+///
+/// The split follows the MPICH2-over-InfiniBand design: small messages
+/// go **eager** — the payload is staged into a pre-registered slot and
+/// sent immediately, completion piggybacked on the data header — while
+/// large messages go **rendezvous** — an RTS/CTS handshake pins the
+/// receive side, then the NIC DMAs straight out of the source region
+/// with no staging copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Copy into a registered slot, one message, piggybacked completion.
+    Eager,
+    /// RTS/CTS handshake, then zero-copy DMA from the source region.
+    Rendezvous,
+}
+
+impl Protocol {
+    /// Stable lowercase name (reports, benches, traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Eager => "eager",
+            Protocol::Rendezvous => "rendezvous",
+        }
+    }
+}
+
 /// Shape of a one-sided transfer as seen by the NIC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TransferKind {
@@ -62,6 +88,10 @@ pub struct HostCostBreakdown {
     pub dma_setup_s: f64,
     /// Element-by-element programmed-I/O copy time (strided path only).
     pub pio_copy_s: f64,
+    /// Eager staging-copy time: gathering the payload into a
+    /// pre-registered slot at the machine's memcpy rate (eager protocol
+    /// only; 0 on the legacy and rendezvous paths).
+    pub copy_s: f64,
     /// Driver-buffer chunks the transfer was split into.
     pub chunks: usize,
     /// Extra host seconds spent on fault recovery: re-posting rejected
@@ -79,7 +109,7 @@ impl HostCostBreakdown {
     /// [`NicModel::host_overhead`] returns (which never pays retries),
     /// plus any fault-recovery cost on the injected path.
     pub fn total(&self) -> f64 {
-        self.queue_s + self.dma_setup_s + self.pio_copy_s + self.retry_s
+        self.queue_s + self.dma_setup_s + self.pio_copy_s + self.copy_s + self.retry_s
     }
 }
 
@@ -106,6 +136,17 @@ pub struct NicModel {
     /// Device-driver buffer size; a transfer larger than this is split
     /// into buffer-sized chunks, each paying the post cost.
     pub driver_buf_bytes: usize,
+    /// Registered eager slots per rank: the pre-posted buffer arena the
+    /// eager protocol stages small payloads into.
+    pub eager_slots: usize,
+    /// Bytes per registered eager slot — the hard cap on eager payloads.
+    pub eager_slot_bytes: usize,
+    /// Descriptor-ring depth: consecutive same-window transfers share
+    /// one doorbell until this many descriptors are batched.
+    pub ring_depth: usize,
+    /// CPU time to append one descriptor to an already-open ring
+    /// (cheap WQE write, no doorbell).
+    pub ring_entry_s: f64,
 }
 
 impl NicModel {
@@ -122,6 +163,10 @@ impl NicModel {
             context_switch_s: 15.0e-6,
             staging_copy_s_per_byte: 1.0 / 180e6,
             driver_buf_bytes: 256 << 10,
+            eager_slots: 16,
+            eager_slot_bytes: 16 << 10,
+            ring_depth: 8,
+            ring_entry_s: 0.3e-6,
         }
     }
 
@@ -147,6 +192,10 @@ impl NicModel {
             context_switch_s: 25.0e-6,
             staging_copy_s_per_byte: 1.0 / 180e6,
             driver_buf_bytes: 64 << 10,
+            eager_slots: 8,
+            eager_slot_bytes: 8 << 10,
+            ring_depth: 4,
+            ring_entry_s: 1.0e-6,
         }
     }
 
@@ -200,6 +249,142 @@ impl NicModel {
             }
         }
         out
+    }
+
+    /// Protocol-aware host cost: what the eager/rendezvous transport
+    /// pays to *initiate* one transfer from inside a registered region.
+    ///
+    /// Unlike the legacy [`host_breakdown`](Self::host_breakdown) path
+    /// there is no driver-buffer chunking — eager payloads fit one
+    /// registered slot by construction, and rendezvous transfers DMA
+    /// straight out of the (already registered) source window with a
+    /// single descriptor. The doorbell cost drops to
+    /// [`ring_entry_s`](Self::ring_entry_s) when `batched` — the
+    /// descriptor rides an already-open same-window ring.
+    ///
+    /// - **Eager**: doorbell + staging copy into the pre-posted slot at
+    ///   the machine's memcpy rate. The slot's DMA descriptor was built
+    ///   once at pool registration, so no `dma_setup_s` is paid.
+    /// - **Rendezvous, contiguous**: doorbell + one DMA descriptor.
+    /// - **Rendezvous, strided**: doorbell + the element-by-element PIO
+    ///   gather (same per-element cost as the legacy path).
+    pub fn host_breakdown_proto(
+        &self,
+        kind: TransferKind,
+        proto: Protocol,
+        batched: bool,
+        cpu: &CpuModel,
+    ) -> HostCostBreakdown {
+        let wire = kind.wire_bytes();
+        let doorbell = if batched { self.ring_entry_s } else { self.post_s };
+        let per_msg = if self.shared_queue {
+            doorbell
+        } else {
+            // Conventional stack: kernel entry plus a staging copy of
+            // the payload on top of the doorbell.
+            doorbell + self.context_switch_s + wire as f64 * self.staging_copy_s_per_byte
+        };
+        let mut out = HostCostBreakdown {
+            queue_s: per_msg,
+            chunks: 1,
+            ..HostCostBreakdown::default()
+        };
+        match proto {
+            Protocol::Eager => {
+                out.copy_s = wire as f64 / cpu.memcpy_bps;
+            }
+            Protocol::Rendezvous => match kind {
+                TransferKind::Contiguous { .. } => {
+                    out.dma_setup_s = self.dma_setup_s;
+                }
+                TransferKind::Strided { elems, .. } => {
+                    out.pio_copy_s = elems as f64 * self.pio_per_elem_s.max(
+                        wire as f64 / elems.max(1) as f64 / cpu.memcpy_bps,
+                    );
+                }
+            },
+        }
+        out
+    }
+
+    /// [`host_breakdown_proto`](Self::host_breakdown_proto) under an
+    /// armed fault plane. The key transport property: an eager
+    /// retransmit replays *out of the registered slot* — the payload is
+    /// already staged, so recovery costs one doorbell re-post plus
+    /// backoff, never a second copy. A rendezvous retry re-programs its
+    /// single descriptor (contiguous) or redoes the PIO gather
+    /// (strided), exactly like the legacy path but without chunking.
+    #[allow(clippy::too_many_arguments)]
+    pub fn host_breakdown_proto_faulty(
+        &self,
+        kind: TransferKind,
+        proto: Protocol,
+        batched: bool,
+        cpu: &CpuModel,
+        inj: &FaultInjector,
+        rank: usize,
+        seq: u64,
+    ) -> Result<HostCostBreakdown, VpceError> {
+        let mut out = self.host_breakdown_proto(kind, proto, batched, cpu);
+        if !inj.enabled() {
+            return Ok(out);
+        }
+        let spec = inj.spec();
+        let key = ((rank as u64) << 32) ^ seq;
+        if inj.hits(spec.nic_stall, site::NIC_STALL, key, 0) {
+            out.retry_s += spec.nic_stall_s;
+            out.stalls += 1;
+        }
+        match (proto, kind) {
+            (Protocol::Eager, _) => {
+                // The slot holds the staged payload across attempts:
+                // recovery is a doorbell re-post, never a re-copy.
+                let mut attempt: u32 = 1;
+                while inj.hits(spec.dma_err, site::DMA_ERR, key, attempt as u64) {
+                    if attempt >= spec.max_retries.saturating_add(1) {
+                        return Err(VpceError::NicFailure {
+                            rank,
+                            what: "eager doorbell",
+                            attempts: attempt,
+                        });
+                    }
+                    out.retry_s += self.post_s + inj.backoff_delay(attempt);
+                    out.retries += 1;
+                    attempt += 1;
+                }
+            }
+            (Protocol::Rendezvous, TransferKind::Contiguous { .. }) => {
+                let mut attempt: u32 = 1;
+                while inj.hits(spec.dma_err, site::DMA_ERR, key, attempt as u64) {
+                    if attempt >= spec.max_retries.saturating_add(1) {
+                        return Err(VpceError::NicFailure {
+                            rank,
+                            what: "DMA descriptor",
+                            attempts: attempt,
+                        });
+                    }
+                    out.retry_s += self.dma_setup_s + inj.backoff_delay(attempt);
+                    out.retries += 1;
+                    attempt += 1;
+                }
+            }
+            (Protocol::Rendezvous, TransferKind::Strided { .. }) => {
+                let mut attempt: u32 = 1;
+                while inj.hits(spec.pio_err, site::PIO_ERR, key, attempt as u64) {
+                    if attempt >= spec.max_retries.saturating_add(1) {
+                        return Err(VpceError::NicFailure {
+                            rank,
+                            what: "PIO copy",
+                            attempts: attempt,
+                        });
+                    }
+                    out.retry_s += out.pio_copy_s;
+                    out.retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// [`host_breakdown`](Self::host_breakdown) under an armed fault
@@ -449,6 +634,130 @@ mod tests {
             }
             other => panic!("expected NicFailure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn eager_pays_copy_not_dma_setup() {
+        let nic = NicModel::vbus_card();
+        let kind = TransferKind::Contiguous { bytes: 2048 };
+        let b = nic.host_breakdown_proto(kind, Protocol::Eager, false, &cpu());
+        assert_eq!(b.dma_setup_s, 0.0);
+        assert_eq!(b.pio_copy_s, 0.0);
+        assert!((b.copy_s - 2048.0 / cpu().memcpy_bps).abs() < 1e-15);
+        assert_eq!(b.chunks, 1);
+        assert!((b.total() - (nic.post_s + b.copy_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rendezvous_contiguous_pays_one_descriptor_no_chunking() {
+        // 1 MiB would be 4 driver-buffer chunks on the legacy path;
+        // rendezvous DMAs straight from the registered window with a
+        // single descriptor.
+        let nic = NicModel::vbus_card();
+        let kind = TransferKind::Contiguous { bytes: 1 << 20 };
+        let b = nic.host_breakdown_proto(kind, Protocol::Rendezvous, false, &cpu());
+        assert_eq!(b.chunks, 1);
+        assert!((b.total() - (nic.post_s + nic.dma_setup_s)).abs() < 1e-15);
+        assert!(b.total() < nic.host_overhead(kind, &cpu()));
+    }
+
+    #[test]
+    fn rendezvous_strided_matches_legacy_pio_cost() {
+        let nic = NicModel::vbus_card();
+        let kind = TransferKind::Strided { elems: 512, elem_bytes: 8 };
+        let proto = nic.host_breakdown_proto(kind, Protocol::Rendezvous, false, &cpu());
+        let legacy = nic.host_breakdown(kind, &cpu());
+        assert_eq!(proto.pio_copy_s, legacy.pio_copy_s);
+        assert_eq!(proto.copy_s, 0.0);
+    }
+
+    #[test]
+    fn batched_doorbell_is_cheaper_than_posted() {
+        let nic = NicModel::vbus_card();
+        let kind = TransferKind::Contiguous { bytes: 256 };
+        for proto in [Protocol::Eager, Protocol::Rendezvous] {
+            let posted = nic.host_breakdown_proto(kind, proto, false, &cpu());
+            let batched = nic.host_breakdown_proto(kind, proto, true, &cpu());
+            assert!(
+                (posted.total() - batched.total() - (nic.post_s - nic.ring_entry_s)).abs()
+                    < 1e-15,
+                "{} batching should save exactly one doorbell",
+                proto.name()
+            );
+        }
+    }
+
+    #[test]
+    fn eager_retry_replays_from_slot_without_recopy() {
+        use vpce_faults::FaultSpec;
+        let nic = NicModel::vbus_card();
+        let inj = FaultInjector::new(FaultSpec {
+            seed: 11,
+            dma_err: 0.5,
+            ..FaultSpec::off()
+        });
+        // Large-ish eager payload: a re-copy would dwarf the doorbell.
+        let kind = TransferKind::Contiguous { bytes: 16 << 10 };
+        let base = nic.host_breakdown_proto(kind, Protocol::Eager, false, &cpu());
+        let mut saw_retry = false;
+        for seq in 0..60u64 {
+            let b = nic
+                .host_breakdown_proto_faulty(kind, Protocol::Eager, false, &cpu(), &inj, 0, seq)
+                .unwrap();
+            if b.retries > 0 {
+                saw_retry = true;
+                // Each retry costs a doorbell + backoff; never the
+                // staging copy again.
+                let per_retry = b.retry_s / b.retries as f64;
+                assert!(
+                    per_retry < base.copy_s,
+                    "retry {per_retry} must be cheaper than re-copying {}",
+                    base.copy_s
+                );
+            }
+            // The staged copy is paid exactly once regardless of faults.
+            assert_eq!(b.copy_s, base.copy_s);
+        }
+        assert!(saw_retry, "0.5 dma_err must fire in 60 ops");
+    }
+
+    #[test]
+    fn proto_faulty_off_spec_is_identical_and_deterministic() {
+        use vpce_faults::FaultSpec;
+        let nic = NicModel::vbus_card();
+        let off = FaultInjector::new(FaultSpec::off());
+        let on = FaultInjector::new(FaultSpec {
+            seed: 5,
+            dma_err: 0.3,
+            pio_err: 0.3,
+            nic_stall: 0.2,
+            ..FaultSpec::off()
+        });
+        for kind in [
+            TransferKind::Contiguous { bytes: 4096 },
+            TransferKind::Strided { elems: 128, elem_bytes: 8 },
+        ] {
+            for proto in [Protocol::Eager, Protocol::Rendezvous] {
+                let plain = nic.host_breakdown_proto(kind, proto, false, &cpu());
+                let quiet = nic
+                    .host_breakdown_proto_faulty(kind, proto, false, &cpu(), &off, 0, 3)
+                    .unwrap();
+                assert_eq!(plain, quiet);
+                let a = nic
+                    .host_breakdown_proto_faulty(kind, proto, false, &cpu(), &on, 1, 9)
+                    .unwrap();
+                let b = nic
+                    .host_breakdown_proto_faulty(kind, proto, false, &cpu(), &on, 1, 9)
+                    .unwrap();
+                assert_eq!(a, b, "same (rank, seq) must cost the same");
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_names_are_stable() {
+        assert_eq!(Protocol::Eager.name(), "eager");
+        assert_eq!(Protocol::Rendezvous.name(), "rendezvous");
     }
 
     #[test]

@@ -422,6 +422,10 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
         parallel.comm_time, parallel.net.p2p_messages, parallel.net.p2p_bytes
     );
     out.push_str(&crate::report::describe_comm(&parallel.rank_stats));
+    out.push_str(&crate::report::describe_transport(
+        &mpi2::TransportPolicy::from_config(&cluster),
+        &parallel.rank_stats,
+    ));
     if args.mode == ExecMode::Full {
         let identical = parallel.arrays == sequential.arrays;
         let _ = writeln!(

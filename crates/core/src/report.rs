@@ -33,6 +33,48 @@ pub fn describe_comm(stats: &[RankStats]) -> String {
     out
 }
 
+/// Describe how the eager/rendezvous transport carried the traffic and
+/// advise on the protocol split: the policy threshold the machine cost
+/// model derived, how many operations each protocol took (and what the
+/// eager staging copies cost), and whether the registered pool or the
+/// descriptor ring ever became the bottleneck.
+pub fn describe_transport(policy: &mpi2::TransportPolicy, stats: &[RankStats]) -> String {
+    let mut total = RankStats::default();
+    for s in stats {
+        total.merge(s);
+    }
+    let mut out = format!(
+        "  transport: eager <= {} B ({} slots x {} B registered/rank, ring depth {})\n",
+        policy.eager_max_bytes, policy.slots, policy.slot_bytes, policy.ring_depth
+    );
+    out.push_str(&format!(
+        "  protocol split: {} eager ops ({} B staged, {:.6}s copy) | {} rendezvous ops ({} B zero-copy)\n",
+        total.eager_ops, total.eager_bytes, total.eager_copy_s, total.rdvz_ops, total.rdvz_bytes
+    ));
+    out.push_str(&format!(
+        "  nic pressure: {} doorbells, {} ring-batched descriptors (max {}/ring) | pool hwm {}/{} slots, {} waits ({:.6}s), {} fallbacks\n",
+        total.doorbells,
+        total.ring_batched,
+        total.ring_batch_max,
+        total.pool_hwm,
+        policy.slots,
+        total.pool_waits,
+        total.pool_wait_s,
+        total.eager_fallbacks
+    ));
+    // The advisor verdict: is the threshold serving this workload?
+    if total.eager_fallbacks > 0 && total.eager_fallbacks >= total.eager_ops / 4 {
+        out.push_str(
+            "  advice: registered pool saturates often; raise eager_slots or lower the eager threshold\n",
+        );
+    } else if total.eager_ops + total.rdvz_ops > 0 && total.rdvz_ops == 0 {
+        out.push_str("  advice: all traffic fit the eager path; rendezvous untested at this size\n");
+    } else {
+        out.push_str("  advice: threshold is serving this workload; no tuning needed\n");
+    }
+    out
+}
+
 /// Describe what the fault plane injected and what the self-healing
 /// machinery did about it: the CRC/ack/retransmit ledger, degraded
 /// V-Bus collectives, and NIC-level retries. Printed only when a
@@ -226,6 +268,28 @@ mod tests {
         assert!(text.contains("data paths: DMA"), "{text}");
         assert!(text.contains("strided ops"), "{text}");
         assert!(text.contains("comm ledger:"), "{text}");
+    }
+
+    #[test]
+    fn transport_report_shows_split_and_advice() {
+        use crate::{BackendOptions, ClusterConfig, ExecMode};
+        let cfg = ClusterConfig::paper_4node();
+        let compiled =
+            crate::compile(swim::SOURCE, &[("N", 16)], &BackendOptions::new(4)).unwrap();
+        let rep = spmd_rt::execute(&compiled.program, &cfg, ExecMode::Analytic);
+        let policy = mpi2::TransportPolicy::from_config(&cfg);
+        let text = super::describe_transport(&policy, &rep.rank_stats);
+        assert!(text.contains("transport: eager <="), "{text}");
+        assert!(text.contains("protocol split:"), "{text}");
+        assert!(text.contains("nic pressure:"), "{text}");
+        assert!(text.contains("advice:"), "{text}");
+        // The ledger in the line must agree with the raw counters.
+        let mut total = mpi2::RankStats::default();
+        for s in &rep.rank_stats {
+            total.merge(s);
+        }
+        assert!(text.contains(&format!("{} eager ops", total.eager_ops)), "{text}");
+        assert!(text.contains(&format!("{} rendezvous ops", total.rdvz_ops)), "{text}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use crate::rma::{AccumulateOp, PendingRma, RmaKind};
 
+
 /// The element footprint of one side of an RMA operation on one
 /// window shard: `{off + i*stride : 0 <= i < count}` with
 /// `stride >= 1` (degenerate inputs are normalised on construction).
@@ -147,33 +148,50 @@ enum Role {
     Acc(AccumulateOp),
 }
 
-/// Flattened (shard, role, footprint, origin) effects of one op.
-fn effects(op: &PendingRma) -> Vec<(usize, Role, AccessSet)> {
+/// Append the flattened shard effects of one op into `eff` — the
+/// caller owns the (reused) vector, so the scan allocates nothing per
+/// operation.
+fn push_effects(op: &PendingRma, eff: &mut Vec<Effect>) {
+    let mk = |shard, role, set| Effect {
+        win: op.win.0,
+        shard,
+        origin: op.origin,
+        role,
+        set,
+    };
     match &op.kind {
-        RmaKind::PutContig { off, data } => {
-            vec![(op.target, Role::Write, AccessSet::new(*off, 1, data.len()))]
+        RmaKind::PutContig { off, src } => {
+            eff.push(mk(op.target, Role::Write, AccessSet::new(*off, 1, src.len())));
         }
-        RmaKind::PutStrided { off, stride, data } => vec![(
-            op.target,
-            Role::Write,
-            AccessSet::new(*off, *stride, data.len()),
-        )],
-        RmaKind::AccContig { off, data, op: a } => {
-            vec![(op.target, Role::Acc(*a), AccessSet::new(*off, 1, data.len()))]
+        RmaKind::PutStrided { off, stride, src } => {
+            eff.push(mk(
+                op.target,
+                Role::Write,
+                AccessSet::new(*off, *stride, src.len()),
+            ));
+        }
+        RmaKind::AccContig { off, src, op: a } => {
+            eff.push(mk(
+                op.target,
+                Role::Acc(*a),
+                AccessSet::new(*off, 1, src.len()),
+            ));
         }
         RmaKind::GetContig { off, count } => {
             if op.origin == op.target {
-                return Vec::new(); // symmetric layout: self-get is the identity
+                return; // symmetric layout: self-get is the identity
             }
             let set = AccessSet::new(*off, 1, *count);
-            vec![(op.target, Role::Read, set), (op.origin, Role::Write, set)]
+            eff.push(mk(op.target, Role::Read, set));
+            eff.push(mk(op.origin, Role::Write, set));
         }
         RmaKind::GetStrided { off, stride, count } => {
             if op.origin == op.target {
-                return Vec::new();
+                return;
             }
             let set = AccessSet::new(*off, *stride, *count);
-            vec![(op.target, Role::Read, set), (op.origin, Role::Write, set)]
+            eff.push(mk(op.target, Role::Read, set));
+            eff.push(mk(op.origin, Role::Write, set));
         }
     }
 }
@@ -203,17 +221,9 @@ struct Effect {
 /// undefined-outcome pairs. Operations arrive filtered to the fenced
 /// window(s); empty effect lists (self-gets) drop out naturally.
 pub(crate) fn scan_epoch(ops: &[PendingRma]) -> Vec<ConflictRecord> {
-    let mut eff: Vec<Effect> = Vec::new();
+    let mut eff: Vec<Effect> = Vec::with_capacity(ops.len());
     for op in ops {
-        for (shard, role, set) in effects(op) {
-            eff.push(Effect {
-                win: op.win.0,
-                shard,
-                origin: op.origin,
-                role,
-                set,
-            });
-        }
+        push_effects(op, &mut eff);
     }
     let mut out = Vec::new();
     for (i, a) in eff.iter().enumerate() {
@@ -243,7 +253,9 @@ pub(crate) fn scan_epoch(ops: &[PendingRma]) -> Vec<ConflictRecord> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rma::PutSrc;
     use crate::window::WinId;
+    use cluster_sim::Protocol;
 
     fn pending(origin: usize, target: usize, kind: RmaKind) -> PendingRma {
         PendingRma {
@@ -252,6 +264,7 @@ mod tests {
             target,
             win: WinId(0),
             issue: 0.0,
+            proto: Protocol::Eager,
             kind,
         }
     }
@@ -276,8 +289,8 @@ mod tests {
     #[test]
     fn disjoint_puts_are_clean() {
         let ops = vec![
-            pending(1, 0, RmaKind::PutContig { off: 0, data: vec![0.0; 4] }),
-            pending(2, 0, RmaKind::PutContig { off: 4, data: vec![0.0; 4] }),
+            pending(1, 0, RmaKind::PutContig { off: 0, src: PutSrc::Pinned(vec![0.0; 4]) }),
+            pending(2, 0, RmaKind::PutContig { off: 4, src: PutSrc::Pinned(vec![0.0; 4]) }),
         ];
         assert!(scan_epoch(&ops).is_empty());
     }
@@ -285,8 +298,8 @@ mod tests {
     #[test]
     fn overlapping_puts_from_two_origins_flagged() {
         let ops = vec![
-            pending(1, 0, RmaKind::PutContig { off: 0, data: vec![0.0; 4] }),
-            pending(2, 0, RmaKind::PutContig { off: 3, data: vec![0.0; 4] }),
+            pending(1, 0, RmaKind::PutContig { off: 0, src: PutSrc::Pinned(vec![0.0; 4]) }),
+            pending(2, 0, RmaKind::PutContig { off: 3, src: PutSrc::Pinned(vec![0.0; 4]) }),
         ];
         let c = scan_epoch(&ops);
         assert_eq!(c.len(), 1);
@@ -298,7 +311,7 @@ mod tests {
     #[test]
     fn put_vs_get_read_flagged() {
         let ops = vec![
-            pending(1, 0, RmaKind::PutContig { off: 2, data: vec![0.0; 2] }),
+            pending(1, 0, RmaKind::PutContig { off: 2, src: PutSrc::Pinned(vec![0.0; 2]) }),
             pending(2, 0, RmaKind::GetContig { off: 3, count: 4 }),
         ];
         let c = scan_epoch(&ops);
@@ -312,7 +325,7 @@ mod tests {
         // rank 1 puts into rank 2's shard at the same offsets.
         let ops = vec![
             pending(2, 0, RmaKind::GetContig { off: 0, count: 4 }),
-            pending(1, 2, RmaKind::PutContig { off: 2, data: vec![0.0; 2] }),
+            pending(1, 2, RmaKind::PutContig { off: 2, src: PutSrc::Pinned(vec![0.0; 2]) }),
         ];
         let c = scan_epoch(&ops);
         assert_eq!(c.len(), 1);
@@ -323,7 +336,7 @@ mod tests {
     #[test]
     fn accumulates_same_op_commute_mixed_ops_flagged() {
         let acc = |origin, op| {
-            pending(origin, 0, RmaKind::AccContig { off: 0, data: vec![1.0; 3], op })
+            pending(origin, 0, RmaKind::AccContig { off: 0, src: PutSrc::Pinned(vec![1.0; 3]), op })
         };
         assert!(scan_epoch(&[acc(1, AccumulateOp::Sum), acc(2, AccumulateOp::Sum)]).is_empty());
         let c = scan_epoch(&[acc(1, AccumulateOp::Sum), acc(2, AccumulateOp::Max)]);
@@ -335,7 +348,7 @@ mod tests {
     fn self_get_is_inert() {
         let ops = vec![
             pending(1, 1, RmaKind::GetContig { off: 0, count: 8 }),
-            pending(2, 1, RmaKind::PutContig { off: 0, data: vec![0.0; 8] }),
+            pending(2, 1, RmaKind::PutContig { off: 0, src: PutSrc::Pinned(vec![0.0; 8]) }),
         ];
         assert!(scan_epoch(&ops).is_empty());
     }
@@ -346,12 +359,12 @@ mod tests {
             pending(
                 1,
                 0,
-                RmaKind::PutStrided { off: 0, stride: 2, data: vec![0.0; 8] },
+                RmaKind::PutStrided { off: 0, stride: 2, src: PutSrc::Pinned(vec![0.0; 8]) },
             ),
             pending(
                 2,
                 0,
-                RmaKind::PutStrided { off: 1, stride: 2, data: vec![0.0; 8] },
+                RmaKind::PutStrided { off: 1, stride: 2, src: PutSrc::Pinned(vec![0.0; 8]) },
             ),
         ];
         assert!(scan_epoch(&ops).is_empty());

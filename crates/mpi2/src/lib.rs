@@ -41,17 +41,22 @@
 mod collective;
 pub mod conflict;
 mod p2p;
+mod pool;
 pub mod sync;
 mod rma;
 mod stats;
+mod transport;
 mod universe;
 mod window;
 
 pub mod coll;
 
+pub use cluster_sim::Protocol;
 pub use conflict::{AccessSet, ConflictKind, ConflictRecord};
+pub use pool::PoolSnapshot;
 pub use rma::AccumulateOp;
 pub use stats::RankStats;
+pub use transport::{TransportPolicy, CTRL_BYTES, HDR_BYTES};
 pub use universe::{Mpi, RunOutcome, Universe};
 pub use vpce_faults::{FaultInjector, FaultSpec, VpceError};
 pub use window::{WinId, WindowRef};

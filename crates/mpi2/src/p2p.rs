@@ -111,6 +111,7 @@ impl Mpi {
                 queue_s: b.queue_s,
                 dma_s: b.dma_setup_s,
                 pio_s: b.pio_copy_s,
+                copy_s: b.copy_s,
                 chunks: b.chunks as u64,
             });
             self.tracer()

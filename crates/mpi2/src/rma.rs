@@ -7,6 +7,14 @@
 //! deterministic order, schedules every wire transfer on the link
 //! simulator, and materialises the memory effects — the MPI-2 rule that
 //! RMA results become visible only when the epoch closes.
+//!
+//! Since the eager/rendezvous transport rework, a pending PUT no longer
+//! always owns a heap copy of its payload: [`PutSrc`] records *where*
+//! the bytes live — a registered eager slot (staged at issue time), a
+//! caller-pinned buffer, or the origin's own window shard (zero-copy
+//! rendezvous, read at apply time under the symmetric layout).
+
+use cluster_sim::Protocol;
 
 use crate::window::WinId;
 use crate::Elem;
@@ -32,6 +40,36 @@ impl AccumulateOp {
     }
 }
 
+/// Where a pending PUT/ACCUMULATE payload lives until the fence.
+#[derive(Debug, Clone)]
+pub(crate) enum PutSrc {
+    /// Staged in slot `slot` of the origin rank's registered pool
+    /// (eager protocol). The slot stays pinned — retransmits replay
+    /// out of it — until the fence releases it.
+    Slot { slot: usize, len: usize },
+    /// Pinned in a caller-provided buffer (`put(data)` hands ownership
+    /// over); rendezvous DMAs it without any further copy.
+    Pinned(Vec<Elem>),
+    /// Zero-copy rendezvous from the origin's own window shard: the
+    /// symmetric layout means the bytes sit at the same offsets the
+    /// operation targets, so the fence reads them straight from the
+    /// (registered) shard. Valid for race-free programs only — the
+    /// MPI-2 rule that a local buffer handed to PUT must not change
+    /// before the epoch closes.
+    Shard { len: usize },
+}
+
+impl PutSrc {
+    /// Payload length, elements.
+    pub fn len(&self) -> usize {
+        match self {
+            PutSrc::Slot { len, .. } => *len,
+            PutSrc::Pinned(data) => data.len(),
+            PutSrc::Shard { len } => *len,
+        }
+    }
+}
+
 /// The payload-specific part of a pending one-sided operation.
 ///
 /// Offsets are in elements. Layouts are symmetric: the scatter/collect
@@ -39,13 +77,13 @@ impl AccumulateOp {
 /// lives at the same offsets on both sides (see `spmd-rt`).
 #[derive(Debug, Clone)]
 pub(crate) enum RmaKind {
-    /// Contiguous PUT: write `data` at `off` in the target shard.
-    PutContig { off: usize, data: Vec<Elem> },
-    /// Strided PUT: write `data[i]` at `off + i*stride`.
+    /// Contiguous PUT: write the payload at `off` in the target shard.
+    PutContig { off: usize, src: PutSrc },
+    /// Strided PUT: write payload element `i` at `off + i*stride`.
     PutStrided {
         off: usize,
         stride: usize,
-        data: Vec<Elem>,
+        src: PutSrc,
     },
     /// Contiguous GET: read `count` elements at `off` from the target
     /// shard into the origin shard at the same offset.
@@ -57,23 +95,24 @@ pub(crate) enum RmaKind {
         stride: usize,
         count: usize,
     },
-    /// Accumulate: combine `data` into the target at `off` with `op`.
+    /// Accumulate: combine the payload into the target at `off` with
+    /// `op`.
     AccContig {
         off: usize,
-        data: Vec<Elem>,
+        src: PutSrc,
         op: AccumulateOp,
     },
 }
 
 impl RmaKind {
-    /// Payload bytes crossing the wire.
+    /// Payload bytes crossing the wire (protocol headers excluded).
     pub fn wire_bytes(&self) -> usize {
         let elems = match self {
-            RmaKind::PutContig { data, .. } => data.len(),
-            RmaKind::PutStrided { data, .. } => data.len(),
+            RmaKind::PutContig { src, .. } => src.len(),
+            RmaKind::PutStrided { src, .. } => src.len(),
             RmaKind::GetContig { count, .. } => *count,
             RmaKind::GetStrided { count, .. } => *count,
-            RmaKind::AccContig { data, .. } => data.len(),
+            RmaKind::AccContig { src, .. } => src.len(),
         };
         elems * crate::ELEM_BYTES
     }
@@ -81,6 +120,26 @@ impl RmaKind {
     /// True for GET-family operations (data flows target → origin).
     pub fn is_get(&self) -> bool {
         matches!(self, RmaKind::GetContig { .. } | RmaKind::GetStrided { .. })
+    }
+
+    /// The registered eager slot holding this payload, if any — the
+    /// fence releases it once the wire transfer has drained.
+    pub fn eager_slot(&self) -> Option<usize> {
+        match self {
+            RmaKind::PutContig {
+                src: PutSrc::Slot { slot, .. },
+                ..
+            }
+            | RmaKind::PutStrided {
+                src: PutSrc::Slot { slot, .. },
+                ..
+            }
+            | RmaKind::AccContig {
+                src: PutSrc::Slot { slot, .. },
+                ..
+            } => Some(*slot),
+            _ => None,
+        }
     }
 
     /// First element index touched on the target shard.
@@ -97,17 +156,17 @@ impl RmaKind {
     /// Highest element index touched on the target shard.
     pub fn target_extent(&self) -> usize {
         match *self {
-            RmaKind::PutContig { off, ref data } => off + data.len(),
+            RmaKind::PutContig { off, ref src } => off + src.len(),
             RmaKind::PutStrided {
                 off,
                 stride,
-                ref data,
-            } => off + stride * data.len().saturating_sub(1) + 1,
+                ref src,
+            } => off + stride * src.len().saturating_sub(1) + 1,
             RmaKind::GetContig { off, count } => off + count,
             RmaKind::GetStrided { off, stride, count } => {
                 off + stride * count.saturating_sub(1) + 1
             }
-            RmaKind::AccContig { off, ref data, .. } => off + data.len(),
+            RmaKind::AccContig { off, ref src, .. } => off + src.len(),
         }
     }
 }
@@ -124,6 +183,8 @@ pub(crate) struct PendingRma {
     /// Origin virtual time when the op left the host (after host
     /// overhead was charged).
     pub issue: f64,
+    /// Which transport protocol the fence schedules this op under.
+    pub proto: Protocol,
     pub kind: RmaKind,
 }
 
@@ -161,7 +222,23 @@ mod tests {
         assert_eq!(
             RmaKind::PutContig {
                 off: 0,
-                data: vec![0.0; 4]
+                src: PutSrc::Pinned(vec![0.0; 4])
+            }
+            .wire_bytes(),
+            32
+        );
+        assert_eq!(
+            RmaKind::PutContig {
+                off: 0,
+                src: PutSrc::Slot { slot: 2, len: 4 }
+            }
+            .wire_bytes(),
+            32
+        );
+        assert_eq!(
+            RmaKind::PutContig {
+                off: 0,
+                src: PutSrc::Shard { len: 4 }
             }
             .wire_bytes(),
             32
@@ -182,10 +259,25 @@ mod tests {
         let k = RmaKind::PutStrided {
             off: 10,
             stride: 4,
-            data: vec![0.0; 3],
+            src: PutSrc::Shard { len: 3 },
         };
         // Elements at 10, 14, 18 -> extent 19.
         assert_eq!(k.target_extent(), 19);
+    }
+
+    #[test]
+    fn eager_slot_is_surfaced_for_release() {
+        let k = RmaKind::PutContig {
+            off: 0,
+            src: PutSrc::Slot { slot: 7, len: 2 },
+        };
+        assert_eq!(k.eager_slot(), Some(7));
+        let k = RmaKind::PutContig {
+            off: 0,
+            src: PutSrc::Shard { len: 2 },
+        };
+        assert_eq!(k.eager_slot(), None);
+        assert_eq!(RmaKind::GetContig { off: 0, count: 1 }.eager_slot(), None);
     }
 
     #[test]
@@ -204,6 +296,7 @@ mod tests {
             target: 0,
             win: WinId(0),
             issue: 1.0,
+            proto: Protocol::Eager,
             kind: RmaKind::GetContig { off: 0, count: 1 },
         };
         assert!(mk(0, 5).sort_key() < mk(1, 0).sort_key());

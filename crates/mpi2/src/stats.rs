@@ -45,6 +45,35 @@ pub struct RankStats {
     /// Host time spent on those retries and stalls, seconds (already
     /// included in `comm_host`).
     pub nic_retry_s: f64,
+    /// One-sided transfers carried by the eager protocol (staged copy
+    /// into a registered slot, piggybacked completion).
+    pub eager_ops: u64,
+    /// Payload bytes moved eagerly.
+    pub eager_bytes: u64,
+    /// One-sided transfers carried by the rendezvous protocol (RTS/CTS
+    /// handshake, zero-copy DMA from the source region).
+    pub rdvz_ops: u64,
+    /// Payload bytes moved by rendezvous.
+    pub rdvz_bytes: u64,
+    /// Seconds spent on eager staging copies (included in `comm_host`).
+    pub eager_copy_s: f64,
+    /// Eager-eligible transfers that fell back to rendezvous because
+    /// the registered pool was exhausted with nothing scheduled to
+    /// free.
+    pub eager_fallbacks: u64,
+    /// Times this rank stalled waiting for a registered slot to unpin.
+    pub pool_waits: u64,
+    /// Seconds of that backpressure stall (included in `comm_wait`).
+    pub pool_wait_s: f64,
+    /// High-water mark of registered slots simultaneously in use.
+    pub pool_hwm: u64,
+    /// Doorbells actually rung (descriptor-ring opens).
+    pub doorbells: u64,
+    /// Descriptors that rode an already-open same-window ring instead
+    /// of paying their own doorbell.
+    pub ring_batched: u64,
+    /// Largest descriptor batch flushed by a single doorbell.
+    pub ring_batch_max: u64,
 }
 
 impl RankStats {
@@ -77,6 +106,18 @@ impl RankStats {
         self.nic_retries += other.nic_retries;
         self.nic_stalls += other.nic_stalls;
         self.nic_retry_s += other.nic_retry_s;
+        self.eager_ops += other.eager_ops;
+        self.eager_bytes += other.eager_bytes;
+        self.rdvz_ops += other.rdvz_ops;
+        self.rdvz_bytes += other.rdvz_bytes;
+        self.eager_copy_s += other.eager_copy_s;
+        self.eager_fallbacks += other.eager_fallbacks;
+        self.pool_waits += other.pool_waits;
+        self.pool_wait_s += other.pool_wait_s;
+        self.pool_hwm = self.pool_hwm.max(other.pool_hwm);
+        self.doorbells += other.doorbells;
+        self.ring_batched += other.ring_batched;
+        self.ring_batch_max = self.ring_batch_max.max(other.ring_batch_max);
     }
 }
 
@@ -100,15 +141,25 @@ mod tests {
         let mut a = RankStats {
             bytes_put: 10,
             rma_strided: 1,
+            eager_ops: 2,
+            pool_hwm: 3,
+            ring_batch_max: 5,
             ..RankStats::default()
         };
         let b = RankStats {
             bytes_put: 5,
             rma_contiguous: 2,
+            eager_ops: 1,
+            pool_hwm: 7,
+            ring_batch_max: 4,
             ..RankStats::default()
         };
         a.merge(&b);
         assert_eq!(a.bytes_put, 15);
         assert_eq!(a.rma_ops(), 3);
+        assert_eq!(a.eager_ops, 3);
+        // High-water marks merge by max, not sum.
+        assert_eq!(a.pool_hwm, 7);
+        assert_eq!(a.ring_batch_max, 5);
     }
 }

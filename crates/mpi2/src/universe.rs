@@ -4,7 +4,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use cluster_sim::{ClusterConfig, CpuModel, HostCostBreakdown, NicModel, OpCounts, TransferKind};
+use cluster_sim::{
+    ClusterConfig, CpuModel, HostCostBreakdown, NicModel, OpCounts, Protocol, TransferKind,
+};
 use crate::sync::{ArcMutexGuard, Mutex};
 use vbus_sim::{NetSim, NetStats};
 use vpce_faults::{raise, take_raised, FaultInjector, FaultSpec, VpceError};
@@ -13,8 +15,10 @@ use vpce_trace::{CallInfo, CallOp, DataPath, Dominator, EventKind, Lane, SetupPa
 use crate::collective::Collective;
 use crate::conflict::{self, ConflictRecord};
 use crate::p2p::Mailboxes;
-use crate::rma::{AccumulateOp, PendingRma, RmaKind};
+use crate::pool::{BufferPool, PoolSnapshot};
+use crate::rma::{AccumulateOp, PendingRma, PutSrc, RmaKind};
 use crate::stats::RankStats;
+use crate::transport::{TransportPolicy, CTRL_BYTES, HDR_BYTES};
 use crate::window::{WinId, WindowRef, WindowTable};
 use crate::Elem;
 
@@ -36,6 +40,12 @@ pub(crate) struct Shared {
     /// lives inside [`NetSim`]. Disabled unless the universe was built
     /// with [`Universe::with_faults`].
     pub faults: FaultInjector,
+    /// Per-origin-rank registered eager-slot arenas. Per rank on
+    /// purpose: a shared pool would hand slots out in OS-scheduling
+    /// order and break virtual-time determinism.
+    pub pools: Vec<Mutex<BufferPool>>,
+    /// The resolved eager/rendezvous switchover policy of this run.
+    pub policy: TransportPolicy,
 }
 
 impl Shared {
@@ -77,6 +87,9 @@ pub struct RunOutcome<R> {
     /// Phase rollups + critical-path attribution, present iff the
     /// universe was built with [`Universe::with_tracer`].
     pub trace: Option<TraceReport>,
+    /// End-of-run registered-pool accounting, one entry per rank. For
+    /// any program that fences its pending operations, `leaked` is 0.
+    pub pool: Vec<PoolSnapshot>,
 }
 
 impl<R> RunOutcome<R> {
@@ -109,6 +122,7 @@ pub struct Universe {
     cfg: ClusterConfig,
     tracer: Tracer,
     faults: FaultSpec,
+    transport: Option<TransportPolicy>,
 }
 
 impl Universe {
@@ -118,7 +132,24 @@ impl Universe {
             cfg,
             tracer: Tracer::disabled(),
             faults: FaultSpec::off(),
+            transport: None,
         }
+    }
+
+    /// Override the eager/rendezvous transport policy (the default is
+    /// derived from the machine cost model via
+    /// [`TransportPolicy::from_config`]). The bench harness uses this
+    /// to force each protocol across the same message sizes.
+    pub fn with_transport(mut self, policy: TransportPolicy) -> Self {
+        self.transport = Some(policy);
+        self
+    }
+
+    /// The transport policy runs of this universe resolve to.
+    pub fn transport_policy(&self) -> TransportPolicy {
+        self.transport
+            .clone()
+            .unwrap_or_else(|| TransportPolicy::from_config(&self.cfg))
     }
 
     /// Attach a trace sink: every run records call spans, link
@@ -199,6 +230,11 @@ impl Universe {
                 self.tracer.register_lane(Lane::Rank(r), format!("rank {r}"));
             }
         }
+        let policy = self.transport_policy();
+        let slot_elems = policy.slot_bytes / crate::ELEM_BYTES;
+        let pools = (0..n)
+            .map(|_| Mutex::new(BufferPool::new(policy.slots, slot_elems)))
+            .collect();
         let shared = Arc::new(Shared {
             cfg: self.cfg.clone(),
             net: Mutex::new(net),
@@ -209,6 +245,8 @@ impl Universe {
             conflicts: Mutex::new(Vec::new()),
             tracer: self.tracer.clone(),
             faults: FaultInjector::new(self.faults.clone()),
+            pools,
+            policy,
         });
         let mut results: Vec<Option<(R, f64, RankStats)>> = (0..n).map(|_| None).collect();
         let mut typed: Vec<VpceError> = Vec::new();
@@ -225,6 +263,7 @@ impl Universe {
                             clock: 0.0,
                             seq: 0,
                             nic_seq: 0,
+                            ring: None,
                             stats: RankStats::default(),
                             shared: Arc::clone(&shared),
                             held: HashMap::new(),
@@ -282,6 +321,11 @@ impl Universe {
         }
         let net = shared.net.lock().stats().clone();
         let rma_conflicts = std::mem::take(&mut *shared.conflicts.lock());
+        let pool = shared
+            .pools
+            .iter()
+            .map(|p| p.lock().snapshot_final())
+            .collect();
         let trace = self
             .tracer
             .is_enabled()
@@ -293,6 +337,7 @@ impl Universe {
             net,
             rma_conflicts,
             trace,
+            pool,
         })
     }
 }
@@ -317,6 +362,25 @@ struct FenceTrace {
     recovery: f64,
 }
 
+/// Where a PUT-family payload comes from at staging time.
+enum StageSrc<'a> {
+    /// Caller-provided buffer (ownership handed over).
+    User(Vec<Elem>),
+    /// `count` contiguous elements of this rank's own shard at `off`.
+    RegionContig {
+        win: &'a WindowRef,
+        off: usize,
+        count: usize,
+    },
+    /// Elements `off + i*stride`, `i < count`, of this rank's shard.
+    RegionStrided {
+        win: &'a WindowRef,
+        off: usize,
+        stride: usize,
+        count: usize,
+    },
+}
+
 /// Handle to one MPI process. Obtained only inside [`Universe::run`].
 pub struct Mpi {
     rank: usize,
@@ -326,6 +390,10 @@ pub struct Mpi {
     /// Serial number of host-side NIC operations on this rank — the
     /// deterministic key fault draws for DMA/PIO retries hash on.
     nic_seq: u64,
+    /// Open descriptor ring, `(window, descriptors)`: consecutive
+    /// same-window one-sided ops ride one doorbell until the ring
+    /// fills or the epoch closes.
+    ring: Option<(WinId, usize)>,
     stats: RankStats,
     shared: Arc<Shared>,
     held: HashMap<(usize, usize), EpochGuard>,
@@ -514,6 +582,198 @@ impl Mpi {
         b
     }
 
+    /// Retire the open descriptor ring: one doorbell event covering
+    /// every descriptor that batched onto it.
+    fn flush_ring(&mut self) {
+        if let Some((_, n)) = self.ring.take() {
+            if self.shared.tracer.is_enabled() {
+                self.shared.tracer.push(
+                    Lane::Rank(self.rank),
+                    self.clock,
+                    self.clock,
+                    EventKind::Doorbell {
+                        rank: self.rank,
+                        descs: n as u64,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Protocol-aware host charge for one active-target transfer:
+    /// descriptor-ring batching (consecutive same-window descriptors
+    /// share a doorbell), the eager/rendezvous cost split, and the NIC
+    /// fault plane (eager retries replay from the registered slot).
+    fn charge_host_proto(
+        &mut self,
+        kind: TransferKind,
+        proto: Protocol,
+        win: WinId,
+    ) -> HostCostBreakdown {
+        let depth = self.shared.policy.ring_depth.max(1);
+        let batched = matches!(self.ring, Some((w, n)) if w == win && n < depth);
+        if batched {
+            if let Some((_, n)) = self.ring.as_mut() {
+                *n += 1;
+                self.stats.ring_batch_max = self.stats.ring_batch_max.max(*n as u64);
+            }
+            self.stats.ring_batched += 1;
+        } else {
+            self.flush_ring();
+            self.ring = Some((win, 1));
+            self.stats.doorbells += 1;
+            self.stats.ring_batch_max = self.stats.ring_batch_max.max(1);
+        }
+        let seq = self.nic_seq;
+        self.nic_seq += 1;
+        let b = self
+            .shared
+            .cfg
+            .node
+            .nic
+            .host_breakdown_proto_faulty(
+                kind,
+                proto,
+                batched,
+                self.cpu(),
+                &self.shared.faults,
+                self.rank,
+                seq,
+            )
+            .unwrap_or_else(|e| raise(e));
+        if b.retries > 0 || b.stalls > 0 {
+            self.stats.nic_retries += b.retries;
+            self.stats.nic_stalls += b.stalls;
+            self.stats.nic_retry_s += b.retry_s;
+            if self.shared.tracer.is_enabled() {
+                let what = match (proto, kind) {
+                    (Protocol::Eager, _) => "eager doorbell",
+                    (Protocol::Rendezvous, TransferKind::Contiguous { .. }) => "DMA descriptor",
+                    (Protocol::Rendezvous, TransferKind::Strided { .. }) => "PIO copy",
+                };
+                self.shared.tracer.push(
+                    Lane::Rank(self.rank),
+                    self.clock,
+                    self.clock + b.retry_s,
+                    EventKind::NicRetry {
+                        rank: self.rank,
+                        what,
+                        attempts: (b.retries + b.stalls) as u32,
+                    },
+                );
+            }
+        }
+        self.clock += b.total();
+        self.stats.comm_host += b.total();
+        let wire = kind.wire_bytes() as u64;
+        match kind {
+            TransferKind::Contiguous { .. } => self.stats.rma_contiguous += 1,
+            TransferKind::Strided { elems, .. } => {
+                self.stats.rma_strided += 1;
+                // Only rendezvous gathers element-by-element over PIO;
+                // an eager strided payload rides the staging memcpy.
+                if proto == Protocol::Rendezvous {
+                    self.stats.pio_elems += elems as u64;
+                }
+            }
+        }
+        match proto {
+            Protocol::Eager => {
+                self.stats.eager_ops += 1;
+                self.stats.eager_bytes += wire;
+                self.stats.eager_copy_s += b.copy_s;
+            }
+            Protocol::Rendezvous => {
+                self.stats.rdvz_ops += 1;
+                self.stats.rdvz_bytes += wire;
+            }
+        }
+        b
+    }
+
+    /// Stage a PUT-family payload: pick the protocol for its size,
+    /// copy into a registered slot when it goes eager (stalling in
+    /// virtual time if the pool is drained but a pin is scheduled to
+    /// expire), or pin it in place for rendezvous. Allocation-free for
+    /// region sources.
+    fn stage(&mut self, src: StageSrc<'_>) -> (Protocol, PutSrc) {
+        let elems = match &src {
+            StageSrc::User(d) => d.len(),
+            StageSrc::RegionContig { count, .. } => *count,
+            StageSrc::RegionStrided { count, .. } => *count,
+        };
+        let bytes = elems * crate::ELEM_BYTES;
+        if self.shared.policy.choose(bytes) == Protocol::Eager {
+            let mut pool = self.shared.pools[self.rank].lock();
+            if let Some((slot, wait)) = pool.acquire(self.clock) {
+                if wait > 0.0 {
+                    self.stats.pool_waits += 1;
+                    self.stats.pool_wait_s += wait;
+                    self.stats.comm_wait += wait;
+                    if self.shared.tracer.is_enabled() {
+                        self.shared.tracer.push(
+                            Lane::Rank(self.rank),
+                            self.clock,
+                            self.clock + wait,
+                            EventKind::PoolWait { rank: self.rank },
+                        );
+                    }
+                    self.clock += wait;
+                }
+                self.stats.pool_hwm = self.stats.pool_hwm.max(pool.hwm() as u64);
+                let dst = pool.slot_mut(slot);
+                match &src {
+                    StageSrc::User(d) => dst[..elems].copy_from_slice(d),
+                    StageSrc::RegionContig { win, off, count } => {
+                        let m = win.lock();
+                        dst[..*count].copy_from_slice(&m[*off..*off + *count]);
+                    }
+                    StageSrc::RegionStrided {
+                        win,
+                        off,
+                        stride,
+                        count,
+                    } => {
+                        let m = win.lock();
+                        for (i, d) in dst[..*count].iter_mut().enumerate() {
+                            *d = m[off + i * stride];
+                        }
+                    }
+                }
+                return (Protocol::Eager, PutSrc::Slot { slot, len: elems });
+            }
+            // Pool exhausted with nothing scheduled to free (every slot
+            // held by this same epoch): fall back to rendezvous.
+            self.stats.eager_fallbacks += 1;
+        }
+        let src = match src {
+            StageSrc::User(d) => PutSrc::Pinned(d),
+            StageSrc::RegionContig { count, .. } | StageSrc::RegionStrided { count, .. } => {
+                PutSrc::Shard { len: count }
+            }
+        };
+        (Protocol::Rendezvous, src)
+    }
+
+    /// Emit the eager staging-copy span ending at the current clock.
+    fn trace_eager_copy(&self, proto: Protocol, src: &PutSrc, b: &HostCostBreakdown) {
+        if proto != Protocol::Eager || !self.shared.tracer.is_enabled() {
+            return;
+        }
+        if let PutSrc::Slot { slot, len } = src {
+            self.shared.tracer.push(
+                Lane::Rank(self.rank),
+                self.clock - b.copy_s,
+                self.clock,
+                EventKind::EagerCopy {
+                    rank: self.rank,
+                    bytes: (len * crate::ELEM_BYTES) as u64,
+                    slot: *slot as u64,
+                },
+            );
+        }
+    }
+
     /// The trace sink of this universe (the no-op tracer by default).
     pub fn tracer(&self) -> &Tracer {
         &self.shared.tracer
@@ -536,6 +796,7 @@ impl Mpi {
             queue_s: b.queue_s,
             dma_s: b.dma_setup_s,
             pio_s: b.pio_copy_s,
+            copy_s: b.copy_s,
             chunks: b.chunks as u64,
         });
         self.shared
@@ -572,7 +833,7 @@ impl Mpi {
             .push(Lane::Rank(self.rank), t0, t1, EventKind::Call(info));
     }
 
-    fn push_pending(&mut self, target: usize, win: WinId, kind: RmaKind) {
+    fn push_pending(&mut self, target: usize, win: WinId, proto: Protocol, kind: RmaKind) {
         self.check_bounds(win, target, &kind);
         let op = PendingRma {
             seq: self.seq,
@@ -580,6 +841,7 @@ impl Mpi {
             target,
             win,
             issue: self.clock,
+            proto,
             kind,
         };
         self.seq += 1;
@@ -587,21 +849,25 @@ impl Mpi {
     }
 
     /// Contiguous `MPI_PUT`: write `data` at element offset `off` of
-    /// `target`'s shard. DMA path — the host pays descriptor setup
-    /// only; completion happens at the closing fence.
+    /// `target`'s shard. Small payloads go eager (staged into a
+    /// registered slot, completion piggybacked); large ones go
+    /// rendezvous (zero-copy DMA at the closing fence).
     pub fn put(&mut self, win: &WindowRef, target: usize, off: usize, data: Vec<Elem>) {
         let bytes = data.len() * crate::ELEM_BYTES;
         let kind = TransferKind::Contiguous { bytes };
         self.stats.bytes_put += bytes as u64;
         let t0 = self.clock;
-        let b = self.charge_host(kind);
+        let (proto, src) = self.stage(StageSrc::User(data));
+        let b = self.charge_host_proto(kind, proto, win.id());
         self.trace_transfer(CallOp::Put, kind, t0, &b);
-        self.push_pending(target, win.id(), RmaKind::PutContig { off, data });
+        self.trace_eager_copy(proto, &src, &b);
+        self.push_pending(target, win.id(), proto, RmaKind::PutContig { off, src });
     }
 
     /// Strided `MPI_PUT`: write `data[i]` to `off + i*stride` of the
-    /// target shard. Programmed-I/O path — the host copies element by
-    /// element into the driver buffer (§2.2).
+    /// target shard. Under rendezvous this is the programmed-I/O path —
+    /// the host gathers element by element (§2.2); a small strided
+    /// payload rides the eager staging memcpy instead.
     pub fn put_strided(
         &mut self,
         win: &WindowRef,
@@ -622,25 +888,33 @@ impl Mpi {
         };
         self.stats.bytes_put += (elems * crate::ELEM_BYTES) as u64;
         let t0 = self.clock;
-        let b = self.charge_host(kind);
+        let (proto, src) = self.stage(StageSrc::User(data));
+        let b = self.charge_host_proto(kind, proto, win.id());
         self.trace_transfer(CallOp::Put, kind, t0, &b);
-        self.push_pending(target, win.id(), RmaKind::PutStrided { off, stride, data });
+        self.trace_eager_copy(proto, &src, &b);
+        self.push_pending(target, win.id(), proto, RmaKind::PutStrided { off, stride, src });
     }
 
     /// Contiguous PUT of a region of *this rank's own shard* to the
     /// same offsets of `target`'s shard — the symmetric-layout transfer
-    /// the data-scattering/collecting scheme uses.
+    /// the data-scattering/collecting scheme uses. Allocation-free:
+    /// eager stages straight from the shard into a registered slot,
+    /// rendezvous DMAs from the shard itself at the fence.
     pub fn put_region(&mut self, win: &WindowRef, target: usize, off: usize, count: usize) {
-        let data = {
-            let m = win.lock();
-            m[off..off + count].to_vec()
-        };
-        self.put(win, target, off, data);
+        let bytes = count * crate::ELEM_BYTES;
+        let kind = TransferKind::Contiguous { bytes };
+        self.stats.bytes_put += bytes as u64;
+        let t0 = self.clock;
+        let (proto, src) = self.stage(StageSrc::RegionContig { win, off, count });
+        let b = self.charge_host_proto(kind, proto, win.id());
+        self.trace_transfer(CallOp::Put, kind, t0, &b);
+        self.trace_eager_copy(proto, &src, &b);
+        self.push_pending(target, win.id(), proto, RmaKind::PutContig { off, src });
     }
 
     /// Strided PUT of a region of this rank's own shard (elements
     /// `off + i*stride`, `i < count`) to the same locations on
-    /// `target`.
+    /// `target`. Allocation-free, like [`Mpi::put_region`].
     pub fn put_region_strided(
         &mut self,
         win: &WindowRef,
@@ -654,11 +928,22 @@ impl Mpi {
                 msg: "stride must be positive".into(),
             });
         }
-        let data = {
-            let m = win.lock();
-            (0..count).map(|i| m[off + i * stride]).collect::<Vec<_>>()
+        let kind = TransferKind::Strided {
+            elems: count,
+            elem_bytes: crate::ELEM_BYTES,
         };
-        self.put_strided(win, target, off, stride, data);
+        self.stats.bytes_put += (count * crate::ELEM_BYTES) as u64;
+        let t0 = self.clock;
+        let (proto, src) = self.stage(StageSrc::RegionStrided {
+            win,
+            off,
+            stride,
+            count,
+        });
+        let b = self.charge_host_proto(kind, proto, win.id());
+        self.trace_transfer(CallOp::Put, kind, t0, &b);
+        self.trace_eager_copy(proto, &src, &b);
+        self.push_pending(target, win.id(), proto, RmaKind::PutStrided { off, stride, src });
     }
 
     /// Contiguous `MPI_GET`: fetch `count` elements at `off` from
@@ -669,9 +954,10 @@ impl Mpi {
         let kind = TransferKind::Contiguous { bytes };
         self.stats.bytes_got += bytes as u64;
         let t0 = self.clock;
-        let b = self.charge_host(kind);
+        let proto = self.shared.policy.choose(bytes);
+        let b = self.charge_host_proto(kind, proto, win.id());
         self.trace_transfer(CallOp::Get, kind, t0, &b);
-        self.push_pending(target, win.id(), RmaKind::GetContig { off, count });
+        self.push_pending(target, win.id(), proto, RmaKind::GetContig { off, count });
     }
 
     /// Strided `MPI_GET`: fetch elements `off + i*stride` from the
@@ -695,9 +981,10 @@ impl Mpi {
         };
         self.stats.bytes_got += (count * crate::ELEM_BYTES) as u64;
         let t0 = self.clock;
-        let b = self.charge_host(kind);
+        let proto = self.shared.policy.choose(count * crate::ELEM_BYTES);
+        let b = self.charge_host_proto(kind, proto, win.id());
         self.trace_transfer(CallOp::Get, kind, t0, &b);
-        self.push_pending(target, win.id(), RmaKind::GetStrided { off, stride, count });
+        self.push_pending(target, win.id(), proto, RmaKind::GetStrided { off, stride, count });
     }
 
     /// `MPI_ACCUMULATE` (contiguous): combine `data` into the target
@@ -715,9 +1002,11 @@ impl Mpi {
         let kind = TransferKind::Contiguous { bytes };
         self.stats.bytes_put += bytes as u64;
         let t0 = self.clock;
-        let b = self.charge_host(kind);
+        let (proto, src) = self.stage(StageSrc::User(data));
+        let b = self.charge_host_proto(kind, proto, win.id());
         self.trace_transfer(CallOp::Accumulate, kind, t0, &b);
-        self.push_pending(target, win.id(), RmaKind::AccContig { off, data, op });
+        self.trace_eager_copy(proto, &src, &b);
+        self.push_pending(target, win.id(), proto, RmaKind::AccContig { off, src, op });
     }
 
     // ------------------------------------------------------------------
@@ -739,6 +1028,9 @@ impl Mpi {
     }
 
     fn fence_filtered(&mut self, filter: Option<WinId>) {
+        // Closing the epoch retires the open descriptor ring: the next
+        // epoch's first transfer pays its own doorbell.
+        self.flush_ring();
         let entry = self.clock;
         let shared = Arc::clone(&self.shared);
         let (exit, ft): (f64, FenceTrace) = self.shared.coll.run(self.rank, self.clock, move |clocks| {
@@ -789,21 +1081,87 @@ impl Mpi {
                 recovery: 0.0,
             };
             for op in &ops {
-                // GETs are a request (origin->target) followed by the
-                // data flowing back; PUT data flows origin->target.
-                let (start, end, rec) = if op.kind.is_get() {
-                    let req = net
-                        .try_p2p(op.origin, op.target, 16, op.issue)
-                        .unwrap_or_else(|e| raise(e));
-                    let data = net
-                        .try_p2p(op.target, op.origin, op.kind.wire_bytes(), req.end)
-                        .unwrap_or_else(|e| raise(e));
-                    (req.start, data.end, req.recovery + data.recovery)
-                } else {
-                    let t = net
-                        .try_p2p(op.origin, op.target, op.kind.wire_bytes(), op.issue)
-                        .unwrap_or_else(|e| raise(e));
-                    (t.start, t.end, t.recovery)
+                // Wire legs per (direction, protocol). Eager data
+                // carries a piggybacked completion header; rendezvous
+                // pays an RTS/CTS control round trip before the
+                // zero-copy data leg. GET data flows target->origin.
+                let note_rdvz = |net: &mut NetSim, rts_start: f64, cts_end: f64| {
+                    if op.origin != op.target {
+                        net.note_handshake(2 * CTRL_BYTES as u64);
+                        if shared.tracer.is_enabled() {
+                            shared.tracer.push(
+                                Lane::Rank(op.origin),
+                                rts_start,
+                                cts_end,
+                                EventKind::RendezvousHandshake {
+                                    origin: op.origin,
+                                    target: op.target,
+                                    bytes: op.kind.wire_bytes() as u64,
+                                },
+                            );
+                        }
+                    }
+                };
+                let (start, end, rec) = match (op.kind.is_get(), op.proto) {
+                    (false, Protocol::Eager) => {
+                        let t = net
+                            .try_p2p(
+                                op.origin,
+                                op.target,
+                                op.kind.wire_bytes() + HDR_BYTES,
+                                op.issue,
+                            )
+                            .unwrap_or_else(|e| raise(e));
+                        (t.start, t.end, t.recovery)
+                    }
+                    (false, Protocol::Rendezvous) => {
+                        let rts = net
+                            .try_p2p(op.origin, op.target, CTRL_BYTES, op.issue)
+                            .unwrap_or_else(|e| raise(e));
+                        let cts = net
+                            .try_p2p(op.target, op.origin, CTRL_BYTES, rts.end)
+                            .unwrap_or_else(|e| raise(e));
+                        let data = net
+                            .try_p2p(op.origin, op.target, op.kind.wire_bytes(), cts.end)
+                            .unwrap_or_else(|e| raise(e));
+                        note_rdvz(&mut net, rts.start, cts.end);
+                        (
+                            rts.start,
+                            data.end,
+                            rts.recovery + cts.recovery + data.recovery,
+                        )
+                    }
+                    (true, Protocol::Eager) => {
+                        let req = net
+                            .try_p2p(op.origin, op.target, CTRL_BYTES, op.issue)
+                            .unwrap_or_else(|e| raise(e));
+                        let data = net
+                            .try_p2p(
+                                op.target,
+                                op.origin,
+                                op.kind.wire_bytes() + HDR_BYTES,
+                                req.end,
+                            )
+                            .unwrap_or_else(|e| raise(e));
+                        (req.start, data.end, req.recovery + data.recovery)
+                    }
+                    (true, Protocol::Rendezvous) => {
+                        let req = net
+                            .try_p2p(op.origin, op.target, CTRL_BYTES, op.issue)
+                            .unwrap_or_else(|e| raise(e));
+                        let cts = net
+                            .try_p2p(op.target, op.origin, CTRL_BYTES, req.end)
+                            .unwrap_or_else(|e| raise(e));
+                        let data = net
+                            .try_p2p(op.target, op.origin, op.kind.wire_bytes(), cts.end)
+                            .unwrap_or_else(|e| raise(e));
+                        note_rdvz(&mut net, req.start, cts.end);
+                        (
+                            req.start,
+                            data.end,
+                            req.recovery + cts.recovery + data.recovery,
+                        )
+                    }
                 };
                 if end > latest {
                     // The fence's exit is now determined by this
@@ -815,7 +1173,14 @@ impl Mpi {
                     ft.net = Some((start, end));
                     ft.recovery = rec;
                 }
-                apply_memory(&table, op);
+                apply_memory(&table, &shared.pools, op);
+                if let Some(slot) = op.kind.eager_slot() {
+                    // The slot stays pinned through the retransmit
+                    // window — a replay must find the staged payload.
+                    let hops = shared.cfg.net.topology.hops(op.origin, op.target);
+                    let free_at = end + shared.cfg.net.link.ack_turnaround(hops);
+                    shared.pools[op.origin].lock().release(slot, free_at);
+                }
             }
             let exit = latest + shared.cfg.node.nic.post_s;
             vec![(exit, ft); n]
@@ -912,7 +1277,10 @@ impl Mpi {
         let entry = self.clock;
         self.stats.bytes_put += bytes as u64;
         let breakdown = self.charge_host(TransferKind::Contiguous { bytes });
-        let kind = RmaKind::PutContig { off, data };
+        let kind = RmaKind::PutContig {
+            off,
+            src: PutSrc::Pinned(data),
+        };
         self.check_bounds(win.id(), target, &kind);
         let wire = {
             let mut net = self.shared.net.lock();
@@ -926,10 +1294,13 @@ impl Mpi {
             target,
             win: win.id(),
             issue: self.clock,
+            // Passive-target transfers complete synchronously; they
+            // bypass the eager pool, so they schedule as rendezvous.
+            proto: Protocol::Rendezvous,
             kind,
         };
         self.seq += 1;
-        apply_memory(&self.shared.table.lock(), &op);
+        apply_memory(&self.shared.table.lock(), &self.shared.pools, &op);
         self.stats.comm_wait += end - self.clock;
         self.clock = end;
         if self.shared.tracer.is_enabled() {
@@ -940,6 +1311,7 @@ impl Mpi {
                 queue_s: breakdown.queue_s,
                 dma_s: breakdown.dma_setup_s,
                 pio_s: breakdown.pio_copy_s,
+                copy_s: breakdown.copy_s,
                 chunks: breakdown.chunks as u64,
             });
             info.dom = Some(Dominator {
@@ -974,7 +1346,11 @@ impl Mpi {
         let entry = self.clock;
         self.stats.bytes_put += bytes as u64;
         let breakdown = self.charge_host(TransferKind::Contiguous { bytes });
-        let kind = RmaKind::AccContig { off, data, op };
+        let kind = RmaKind::AccContig {
+            off,
+            src: PutSrc::Pinned(data),
+            op,
+        };
         self.check_bounds(win.id(), target, &kind);
         let wire = {
             let mut net = self.shared.net.lock();
@@ -988,10 +1364,11 @@ impl Mpi {
             target,
             win: win.id(),
             issue: self.clock,
+            proto: Protocol::Rendezvous,
             kind,
         };
         self.seq += 1;
-        apply_memory(&self.shared.table.lock(), &pend);
+        apply_memory(&self.shared.table.lock(), &self.shared.pools, &pend);
         self.stats.comm_wait += end - self.clock;
         self.clock = end;
         if self.shared.tracer.is_enabled() {
@@ -1002,6 +1379,7 @@ impl Mpi {
                 queue_s: breakdown.queue_s,
                 dma_s: breakdown.dma_setup_s,
                 pio_s: breakdown.pio_copy_s,
+                copy_s: breakdown.copy_s,
                 chunks: breakdown.chunks as u64,
             });
             info.dom = Some(Dominator {
@@ -1058,23 +1436,103 @@ impl Mpi {
     }
 }
 
-/// Materialise the memory effect of one RMA operation.
-fn apply_memory(table: &WindowTable, op: &PendingRma) {
+/// Materialise the memory effect of one RMA operation. Payloads are
+/// read from wherever their [`PutSrc`] pinned them: a registered eager
+/// slot, a caller-pinned buffer, or (zero-copy rendezvous) the origin's
+/// own shard.
+fn apply_memory(table: &WindowTable, pools: &[Mutex<BufferPool>], op: &PendingRma) {
     let tgt_shard = table.shard(op.win, op.target);
+    // Lock ordering everywhere: pools before shard memory.
+    let slot_guard = op.kind.eager_slot().map(|_| pools[op.origin].lock());
     match &op.kind {
-        RmaKind::PutContig { off, data } => {
-            tgt_shard.mem.lock()[*off..off + data.len()].copy_from_slice(data);
-        }
-        RmaKind::PutStrided { off, stride, data } => {
-            let mut m = tgt_shard.mem.lock();
-            for (i, v) in data.iter().enumerate() {
-                m[off + i * stride] = *v;
+        RmaKind::PutContig { off, src } => {
+            let len = src.len();
+            match src {
+                PutSrc::Slot { slot, .. } => {
+                    let pool = slot_guard.as_ref().expect("slot pool locked");
+                    let data = pool.slot_data(*slot, len);
+                    tgt_shard.mem.lock()[*off..off + len].copy_from_slice(data);
+                }
+                PutSrc::Pinned(data) => {
+                    tgt_shard.mem.lock()[*off..off + len].copy_from_slice(data);
+                }
+                PutSrc::Shard { .. } => {
+                    if op.origin == op.target {
+                        return; // symmetric layout: self-put is the identity
+                    }
+                    let org = table.shard(op.win, op.origin);
+                    let src_mem = org.mem.lock();
+                    tgt_shard.mem.lock()[*off..off + len]
+                        .copy_from_slice(&src_mem[*off..off + len]);
+                }
             }
         }
-        RmaKind::AccContig { off, data, op: a } => {
-            let mut m = tgt_shard.mem.lock();
-            for (i, v) in data.iter().enumerate() {
-                m[off + i] = a.apply(m[off + i], *v);
+        RmaKind::PutStrided { off, stride, src } => {
+            let len = src.len();
+            match src {
+                PutSrc::Slot { slot, .. } => {
+                    let pool = slot_guard.as_ref().expect("slot pool locked");
+                    let data = pool.slot_data(*slot, len);
+                    let mut m = tgt_shard.mem.lock();
+                    for (i, v) in data.iter().enumerate() {
+                        m[off + i * stride] = *v;
+                    }
+                }
+                PutSrc::Pinned(data) => {
+                    let mut m = tgt_shard.mem.lock();
+                    for (i, v) in data.iter().enumerate() {
+                        m[off + i * stride] = *v;
+                    }
+                }
+                PutSrc::Shard { .. } => {
+                    if op.origin == op.target {
+                        return;
+                    }
+                    let org = table.shard(op.win, op.origin);
+                    let src_mem = org.mem.lock();
+                    let mut m = tgt_shard.mem.lock();
+                    for i in 0..len {
+                        let idx = off + i * stride;
+                        m[idx] = src_mem[idx];
+                    }
+                }
+            }
+        }
+        RmaKind::AccContig { off, src, op: a } => {
+            let len = src.len();
+            match src {
+                PutSrc::Slot { slot, .. } => {
+                    let pool = slot_guard.as_ref().expect("slot pool locked");
+                    let data = pool.slot_data(*slot, len);
+                    let mut m = tgt_shard.mem.lock();
+                    for (i, v) in data.iter().enumerate() {
+                        m[off + i] = a.apply(m[off + i], *v);
+                    }
+                }
+                PutSrc::Pinned(data) => {
+                    let mut m = tgt_shard.mem.lock();
+                    for (i, v) in data.iter().enumerate() {
+                        m[off + i] = a.apply(m[off + i], *v);
+                    }
+                }
+                PutSrc::Shard { .. } => {
+                    // Never staged today (accumulate payloads are user
+                    // buffers), but keep the semantics total: combine
+                    // the origin-shard region into the target.
+                    if op.origin == op.target {
+                        let mut m = tgt_shard.mem.lock();
+                        for i in 0..len {
+                            m[off + i] = a.apply(m[off + i], m[off + i]);
+                        }
+                        return;
+                    }
+                    let org = table.shard(op.win, op.origin);
+                    let src_mem = org.mem.lock();
+                    let mut m = tgt_shard.mem.lock();
+                    for i in 0..len {
+                        m[off + i] = a.apply(m[off + i], src_mem[off + i]);
+                    }
+                }
             }
         }
         RmaKind::GetContig { off, count } => {

@@ -1,0 +1,248 @@
+//! Property wall around the eager/rendezvous transport.
+//!
+//! Random one-sided workloads with window shapes, sizes and strides
+//! straddling the protocol threshold must be (a) byte-identical to a
+//! naive copy oracle regardless of which protocol carried each
+//! transfer, (b) leak-free on the registered pools (high-water mark
+//! bounded by capacity, free list full after the run quiesces), and
+//! (c) fully deterministic: the same scenario replayed gives identical
+//! protocol choices, counters and network statistics.
+//!
+//! Conflict-freedom by construction: origin `r` only ever touches
+//! elements of stripe `r` (`[r*SEG, (r+1)*SEG)`) — its PUTs write that
+//! stripe on the target, its GETs read that stripe into its own shard
+//! — so every memory cell is totally ordered by one origin's program
+//! order and the serial oracle is exact. Within an epoch each program
+//! issues all PUTs before any GET: a PUT captures its source buffer at
+//! issue time (the MPI-2 rule that a local buffer handed to PUT must
+//! not change before the epoch closes), so a PUT sourced from a region
+//! a pending same-epoch GET will overwrite is an erroneous program the
+//! oracle cannot model.
+
+use cluster_sim::ClusterConfig;
+use mpi2::{Universe, ELEM_BYTES};
+use vpce_testkit::prelude::*;
+
+const RANKS: usize = 3;
+/// Elements per origin stripe; 8 KB of payload spans the few-KB
+/// eager/rendezvous threshold of the paper machine.
+const SEG: usize = 1024;
+const WIN: usize = RANKS * SEG;
+
+/// One one-sided transfer confined to the origin's stripe.
+#[derive(Debug, Clone)]
+struct Op {
+    target: usize,
+    /// Offset within the origin's stripe.
+    off: usize,
+    /// 1 = contiguous (DMA/eager memcpy), >1 = strided.
+    stride: usize,
+    len: usize,
+    get: bool,
+}
+
+/// Per-origin programs, `progs[r]` = the ops rank `r` issues in order.
+#[derive(Debug, Clone)]
+struct Scenario {
+    progs: Vec<Vec<Op>>,
+}
+
+fn arb_scenario() -> Gen<Scenario> {
+    let op = zip4(
+        usize_in(0, RANKS - 1),
+        zip2(usize_in(0, 64), usize_in(1, 3)),
+        usize_in(1, SEG),
+        bool_any(),
+    )
+    .map(|(target, (off, stride), len, get)| {
+        // Clamp the footprint to the stripe: off + (len-1)*stride + 1 <= SEG.
+        let len = len.min((SEG - off).div_ceil(stride)).max(1);
+        Op {
+            target,
+            off,
+            stride,
+            len,
+            get,
+        }
+    });
+    vec_of(vec_of(op, 0, 5), RANKS, RANKS).map(|mut progs| {
+        // PUTs before GETs inside the epoch (see module docs).
+        for prog in &mut progs {
+            prog.sort_by_key(|op| op.get);
+        }
+        Scenario { progs }
+    })
+}
+
+/// Deterministic nonzero fill of rank `r`'s shard.
+fn fill(r: usize) -> Vec<f64> {
+    (0..WIN).map(|i| (r * WIN + i + 1) as f64).collect()
+}
+
+/// The serial oracle: apply each origin's program in order against
+/// model shards. Exact because stripes partition every shard by
+/// origin.
+fn oracle(sc: &Scenario) -> Vec<Vec<f64>> {
+    let mut shards: Vec<Vec<f64>> = (0..RANKS).map(fill).collect();
+    for (r, prog) in sc.progs.iter().enumerate() {
+        let base = r * SEG;
+        for op in prog {
+            for i in 0..op.len {
+                let idx = base + op.off + i * op.stride;
+                if op.get {
+                    let v = shards[op.target][idx];
+                    shards[r][idx] = v;
+                } else {
+                    let v = shards[r][idx];
+                    shards[op.target][idx] = v;
+                }
+            }
+        }
+    }
+    shards
+}
+
+/// Run the scenario on the simulated cluster; returns (shards, outcome
+/// fingerprint: per-rank protocol/pool counters + net stats).
+fn run(sc: &Scenario) -> (Vec<Vec<f64>>, String) {
+    let sc = sc.clone();
+    let uni = Universe::new(ClusterConfig::paper_n(RANKS));
+    let out = uni.run(move |mpi| {
+        let w = mpi.win_create(WIN);
+        w.fill_from(&fill(mpi.rank()));
+        mpi.barrier();
+        for op in &sc.progs[mpi.rank()] {
+            let off = mpi.rank() * SEG + op.off;
+            match (op.get, op.stride) {
+                (false, 1) => mpi.put_region(&w, op.target, off, op.len),
+                (false, s) => mpi.put_region_strided(&w, op.target, off, s, op.len),
+                (true, 1) => mpi.get(&w, op.target, off, op.len),
+                (true, s) => mpi.get_strided(&w, op.target, off, s, op.len),
+            }
+        }
+        mpi.fence_all();
+        w.snapshot()
+    });
+    let fp = format!(
+        "proto={:?} net={:?} pool={:?}",
+        out.rank_stats
+            .iter()
+            .map(|s| (
+                s.eager_ops,
+                s.eager_bytes,
+                s.rdvz_ops,
+                s.rdvz_bytes,
+                s.eager_fallbacks,
+                s.pool_waits,
+                s.pool_hwm,
+                s.doorbells,
+                s.ring_batched,
+                s.ring_batch_max,
+            ))
+            .collect::<Vec<_>>(),
+        out.net,
+        out.pool,
+    );
+    // Pool hygiene holds on every run, not just sampled ones.
+    let policy = Universe::new(ClusterConfig::paper_n(RANKS)).transport_policy();
+    for (r, p) in out.pool.iter().enumerate() {
+        assert_eq!(p.leaked, 0, "rank {r}: slots never returned to the pool");
+        assert!(
+            p.hwm <= p.slots,
+            "rank {r}: high-water {} exceeds capacity {}",
+            p.hwm,
+            p.slots
+        );
+        assert_eq!(p.slots, policy.slots);
+        assert_eq!(p.slot_bytes, policy.slot_bytes);
+    }
+    (out.results.clone(), fp)
+}
+
+#[test]
+fn transfers_match_copy_oracle_across_threshold() {
+    Check::new("mpi2::transfers_match_copy_oracle_across_threshold")
+        .cases(24)
+        .run(&arb_scenario(), |sc| {
+            let (shards, _) = run(sc);
+            let want = oracle(sc);
+            for r in 0..RANKS {
+                prop_assert_eq!(&shards[r], &want[r], "rank {} shard diverged", r);
+            }
+            Ok(())
+        });
+}
+
+#[test]
+fn same_scenario_replays_identical_choices_and_netstats() {
+    Check::new("mpi2::same_scenario_replays_identical_choices_and_netstats")
+        .cases(12)
+        .run(&arb_scenario(), |sc| {
+            let (shards_a, fp_a) = run(sc);
+            let (shards_b, fp_b) = run(sc);
+            prop_assert_eq!(&shards_a, &shards_b, "memory must be run-invariant");
+            prop_assert_eq!(&fp_a, &fp_b, "protocol choices / net stats diverged");
+            Ok(())
+        });
+}
+
+#[test]
+fn protocol_split_follows_the_policy_threshold() {
+    // Drive one op per size across the threshold and check the ledger
+    // agrees with the policy's chooser, payload byte for payload byte.
+    let policy = Universe::new(ClusterConfig::paper_n(2)).transport_policy();
+    let threshold_elems = policy.eager_max_bytes / ELEM_BYTES;
+    for len in [1usize, 16, threshold_elems, threshold_elems + 1, 2048] {
+        let uni = Universe::new(ClusterConfig::paper_n(2));
+        let out = uni.run(move |mpi| {
+            let w = mpi.win_create(WIN);
+            if mpi.rank() == 0 {
+                mpi.put_region(&w, 1, 0, len);
+            }
+            mpi.fence_all();
+        });
+        let s = &out.rank_stats[0];
+        let eager_expected = len * ELEM_BYTES <= policy.eager_max_bytes;
+        assert_eq!(
+            s.eager_ops,
+            u64::from(eager_expected),
+            "len {len}: wrong protocol"
+        );
+        assert_eq!(s.rdvz_ops, u64::from(!eager_expected));
+        let bytes = (len * ELEM_BYTES) as u64;
+        assert_eq!(s.eager_bytes + s.rdvz_bytes, bytes);
+        if eager_expected {
+            assert!(s.eager_copy_s > 0.0, "eager pays the staging copy");
+            assert_eq!(out.pool[0].hwm, 1, "one slot staged");
+        } else {
+            assert_eq!(out.pool[0].hwm, 0, "rendezvous never touches the pool");
+        }
+    }
+}
+
+#[test]
+fn exhausted_pool_backpressures_across_epochs_and_recovers() {
+    // More eager transfers per epoch than slots: the overflow inside
+    // one epoch falls back to rendezvous (slots cannot free before the
+    // fence), and the pool still quiesces clean.
+    let policy = Universe::new(ClusterConfig::paper_n(2)).transport_policy();
+    let slots = policy.slots;
+    let uni = Universe::new(ClusterConfig::paper_n(2));
+    let out = uni.run(move |mpi| {
+        let w = mpi.win_create(WIN);
+        for epoch in 0..3 {
+            if mpi.rank() == 0 {
+                for i in 0..slots + 4 {
+                    mpi.put(&w, 1, (epoch * (slots + 4) + i) % WIN, vec![1.0]);
+                }
+            }
+            mpi.fence_all();
+        }
+    });
+    let s = &out.rank_stats[0];
+    assert_eq!(s.eager_ops, 3 * slots as u64, "pool capacity per epoch");
+    assert_eq!(s.eager_fallbacks, 3 * 4, "overflow fell back to rendezvous");
+    assert_eq!(s.rdvz_ops, s.eager_fallbacks);
+    assert_eq!(out.pool[0].hwm, slots, "every slot was in flight");
+    assert_eq!(out.pool[0].leaked, 0, "all slots reclaimed after quiesce");
+}

@@ -1,0 +1,108 @@
+//! A counting global allocator for zero-allocation assertions.
+//!
+//! The transport data path promises *no heap traffic per steady-state
+//! transfer*: eager payloads stage into pre-registered slots, region
+//! rendezvous reads straight from the window shard, and the pending-op
+//! buffer reuses its drained capacity. That promise is easy to break
+//! silently — one `to_vec()` in the issue path and every transfer
+//! allocates again — so the test wall pins it with a counting
+//! allocator.
+//!
+//! Usage: a **dedicated test binary** (one file under `tests/`)
+//! installs the hook as its global allocator and measures allocations
+//! across a steady-state region:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: vpce_testkit::alloc::CountingAlloc =
+//!     vpce_testkit::alloc::CountingAlloc::new();
+//!
+//! let before = ALLOC.allocations();
+//! hot_path();
+//! assert_eq!(ALLOC.allocations() - before, 0);
+//! ```
+//!
+//! The counter is global to the process, so the binary must run its
+//! measured region single-threaded (or accept that helper threads
+//! count too — which is exactly right for the SPMD runtime, where the
+//! rank threads *are* the steady state under test).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A `System`-backed allocator that counts every allocation call.
+///
+/// `realloc` counts as one allocation (it may move), `dealloc` is not
+/// counted — the invariant under test is "no new heap traffic", not
+/// heap balance.
+pub struct CountingAlloc {
+    allocs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAlloc {
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total allocation calls (alloc + realloc) since process start.
+    pub fn allocations(&self) -> u64 {
+        self.allocs.load(Ordering::SeqCst)
+    }
+
+    /// Total bytes requested by those calls.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::SeqCst)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates verbatim to `System`; the counters are atomics and
+// allocation-free themselves.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::SeqCst);
+        self.bytes.fetch_add(layout.size() as u64, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::SeqCst);
+        self.bytes.fetch_add(new_size as u64, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Not installed as the global allocator here (the harness itself
+    // allocates); exercise the trait surface directly.
+    #[test]
+    fn counts_alloc_and_realloc_calls() {
+        let a = CountingAlloc::new();
+        let layout = Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = a.alloc(layout);
+            assert!(!p.is_null());
+            let p2 = a.realloc(p, layout, 128);
+            assert!(!p2.is_null());
+            a.dealloc(p2, Layout::from_size_align(128, 8).unwrap());
+        }
+        assert_eq!(a.allocations(), 2);
+        assert_eq!(a.allocated_bytes(), 64 + 128);
+    }
+}

@@ -31,6 +31,7 @@
 //! A failing property panics with its case seed and the shrunken
 //! counterexample; `VPCE_TESTKIT_SEED=0x…` replays it exactly.
 
+pub mod alloc;
 pub mod bench;
 pub mod gen;
 pub mod prop;

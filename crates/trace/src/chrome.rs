@@ -72,10 +72,11 @@ fn args_json(kind: &EventKind) -> String {
             if let Some(p) = &c.parts {
                 let _ = write!(
                     s,
-                    ",\"setup_queue_us\":{},\"setup_dma_us\":{},\"setup_pio_us\":{},\"chunks\":{}",
+                    ",\"setup_queue_us\":{},\"setup_dma_us\":{},\"setup_pio_us\":{},\"setup_copy_us\":{},\"chunks\":{}",
                     us(p.queue_s),
                     us(p.dma_s),
                     us(p.pio_s),
+                    us(p.copy_s),
                     p.chunks
                 );
             }
@@ -128,6 +129,18 @@ fn args_json(kind: &EventKind) -> String {
             what,
             attempts,
         } => format!("{{\"rank\":{rank},\"what\":\"{what}\",\"attempts\":{attempts}}}"),
+        EventKind::EagerCopy { rank, bytes, slot } => {
+            format!("{{\"rank\":{rank},\"bytes\":{bytes},\"slot\":{slot}}}")
+        }
+        EventKind::RendezvousHandshake {
+            origin,
+            target,
+            bytes,
+        } => format!("{{\"origin\":{origin},\"target\":{target},\"bytes\":{bytes}}}"),
+        EventKind::PoolWait { rank } => format!("{{\"rank\":{rank}}}"),
+        EventKind::Doorbell { rank, descs } => {
+            format!("{{\"rank\":{rank},\"descs\":{descs}}}")
+        }
     }
 }
 

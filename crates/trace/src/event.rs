@@ -123,6 +123,9 @@ pub struct SetupParts {
     pub dma_s: f64,
     /// Programmed-I/O element-copy time.
     pub pio_s: f64,
+    /// Eager staging-copy time into the registered slot (eager
+    /// protocol only; 0 elsewhere).
+    pub copy_s: f64,
     /// Driver-buffer chunks the transfer was split into.
     pub chunks: u64,
 }
@@ -221,6 +224,22 @@ pub enum EventKind {
         what: &'static str,
         attempts: u32,
     },
+    /// Eager protocol: the payload was staged into a registered slot
+    /// at the machine's memcpy rate (span covers the copy).
+    EagerCopy { rank: usize, bytes: u64, slot: u64 },
+    /// Rendezvous protocol: the RTS/CTS handshake window of one large
+    /// transfer, from RTS departure to CTS arrival back at the origin.
+    RendezvousHandshake {
+        origin: usize,
+        target: usize,
+        bytes: u64,
+    },
+    /// The origin rank stalled in virtual time waiting for a registered
+    /// eager slot to come free (pool-exhaustion backpressure).
+    PoolWait { rank: usize },
+    /// A descriptor-ring doorbell flushed `descs` batched same-window
+    /// descriptors to the NIC in one post.
+    Doorbell { rank: usize, descs: u64 },
 }
 
 impl EventKind {
@@ -237,6 +256,12 @@ impl EventKind {
             EventKind::BackoffWait { .. } => "backoff".to_string(),
             EventKind::BusDegraded { root, .. } => format!("vbus-degraded from {root}"),
             EventKind::NicRetry { what, .. } => format!("nic-retry {what}"),
+            EventKind::EagerCopy { .. } => "eager-copy".to_string(),
+            EventKind::RendezvousHandshake { origin, target, .. } => {
+                format!("rendezvous {origin}->{target}")
+            }
+            EventKind::PoolWait { .. } => "pool-wait".to_string(),
+            EventKind::Doorbell { .. } => "doorbell".to_string(),
         }
     }
 
@@ -252,6 +277,10 @@ impl EventKind {
             | EventKind::BackoffWait { .. }
             | EventKind::BusDegraded { .. }
             | EventKind::NicRetry { .. } => "fault",
+            EventKind::EagerCopy { .. }
+            | EventKind::RendezvousHandshake { .. }
+            | EventKind::PoolWait { .. }
+            | EventKind::Doorbell { .. } => "protocol",
         }
     }
 }
@@ -334,5 +363,21 @@ mod tests {
         let n = EventKind::NicRetry { rank: 2, what: "dma", attempts: 1 };
         assert_eq!(n.name(), "nic-retry dma");
         assert_eq!(n.category(), "fault");
+    }
+
+    #[test]
+    fn protocol_events_have_stable_names_and_category() {
+        let e = EventKind::EagerCopy { rank: 0, bytes: 128, slot: 3 };
+        assert_eq!(e.name(), "eager-copy");
+        assert_eq!(e.category(), "protocol");
+        let r = EventKind::RendezvousHandshake { origin: 1, target: 2, bytes: 1 << 20 };
+        assert_eq!(r.name(), "rendezvous 1->2");
+        assert_eq!(r.category(), "protocol");
+        let w = EventKind::PoolWait { rank: 3 };
+        assert_eq!(w.name(), "pool-wait");
+        assert_eq!(w.category(), "protocol");
+        let d = EventKind::Doorbell { rank: 0, descs: 8 };
+        assert_eq!(d.name(), "doorbell");
+        assert_eq!(d.category(), "protocol");
     }
 }

@@ -117,7 +117,7 @@ pub fn rollup(events: &[Event], n_ranks: usize) -> TraceSummary {
             DataPath::None => {}
         }
         if let Some(parts) = &c.parts {
-            p.setup_s += parts.queue_s + parts.dma_s + parts.pio_s;
+            p.setup_s += parts.queue_s + parts.dma_s + parts.pio_s + parts.copy_s;
         }
         if c.op.is_blocking() {
             p.blocked_s += ev.dur();
@@ -237,6 +237,7 @@ mod tests {
             queue_s: 1.0,
             dma_s: 2.0,
             pio_s: 3.0,
+            copy_s: 0.5,
             chunks: 1,
         });
         let events = vec![Event {
@@ -247,6 +248,6 @@ mod tests {
             kind: EventKind::Call(info),
         }];
         let s = rollup(&events, 1);
-        assert!((s.phases[0].setup_s - 6.0).abs() < 1e-12);
+        assert!((s.phases[0].setup_s - 6.5).abs() < 1e-12);
     }
 }

@@ -229,6 +229,15 @@ impl NetSim {
         &self.per_link
     }
 
+    /// Record one completed rendezvous RTS/CTS handshake of `bytes`
+    /// control traffic. The control legs themselves are scheduled as
+    /// ordinary p2p messages by the transport; this just keeps the
+    /// protocol ledger so reports can show handshake overhead.
+    pub fn note_handshake(&mut self, bytes: u64) {
+        self.stats.rdvz_handshakes += 1;
+        self.stats.rdvz_handshake_bytes += bytes;
+    }
+
     /// Take the accumulated network counters, leaving a zeroed ledger
     /// behind — the scoping primitive for multiplexed runs: callers
     /// that reuse one simulator for several logical runs snapshot each

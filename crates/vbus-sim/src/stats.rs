@@ -44,6 +44,11 @@ pub struct NetStats {
     /// Total fault-recovery seconds across transfers (failed attempts,
     /// detection turnarounds, backoff) — the sum of `Transfer::recovery`.
     pub recovery_time: f64,
+    /// Rendezvous RTS/CTS handshakes completed (one per rendezvous
+    /// transfer; the control legs themselves ride the normal p2p path).
+    pub rdvz_handshakes: u64,
+    /// Control bytes spent on those handshakes (RTS + CTS headers).
+    pub rdvz_handshake_bytes: u64,
     /// V-Bus construction attempts that failed arbitration.
     pub bus_fail_attempts: u64,
     /// Broadcasts that gave up on the hardware bus and degraded to the

@@ -7,8 +7,17 @@
 //! The configurations come from the testkit's deterministic choice
 //! stream, so every run covers the same configurations, and a failure
 //! prints the seed that reproduces it (`VPCE_TESTKIT_SEED=…`).
+//!
+//! The suite is also the end-to-end wall around the eager/rendezvous
+//! transport: real workloads (not synthetic transfer lists) must stay
+//! byte-identical to the sequential oracle no matter which protocol
+//! carried each transfer, under chaos schedules, and with reports and
+//! traces that replay identically.
 
-use vpce::{compile, BackendOptions, ClusterConfig, ExecMode, Granularity, Schedule};
+use spmd_rt::FaultSpec;
+use vpce::{
+    compile, BackendOptions, ClusterConfig, ExecMode, Granularity, Schedule, Tracer,
+};
 use vpce_testkit::prelude::*;
 use vpce_workloads::{max_abs_diff, mm, swim};
 
@@ -44,10 +53,10 @@ fn arb_config(n_lo: usize, n_hi: usize) -> Gen<Config> {
 /// parallel SPMD execution to equal the sequential interpretation
 /// exactly. Returns the compiled program's arrays for reference
 /// checks, keyed by name.
-fn run_both(
-    source: &str,
-    cfg: &Config,
-) -> Result<Vec<(String, Vec<f64>)>, PropError> {
+/// Final array contents keyed by name.
+type NamedArrays = Vec<(String, Vec<f64>)>;
+
+fn run_both(source: &str, cfg: &Config) -> Result<(NamedArrays, spmd_rt::RunReport), PropError> {
     let mut opts = BackendOptions::new(cfg.nprocs).granularity(cfg.g);
     if cfg.cyclic {
         opts = opts.schedule(Schedule::Cyclic);
@@ -63,13 +72,14 @@ fn run_both(
             "parallel and sequential arrays diverge under {cfg:?}"
         )));
     }
-    Ok(compiled
+    let arrays = compiled
         .program
         .arrays
         .iter()
         .zip(&par.arrays)
         .map(|((name, _), data)| (name.clone(), data.clone()))
-        .collect())
+        .collect();
+    Ok((arrays, par))
 }
 
 fn named<'a>(arrays: &'a [(String, Vec<f64>)], name: &str) -> &'a [f64] {
@@ -85,7 +95,7 @@ fn mm_differential_over_random_configs() {
     Check::new("workloads::mm_differential_over_random_configs")
         .cases(10)
         .run(&arb_config(8, 24), |cfg| {
-            let arrays = run_both(mm::SOURCE, cfg)?;
+            let (arrays, _) = run_both(mm::SOURCE, cfg)?;
             let (_, _, c_ref) = mm::reference(cfg.n);
             let diff = max_abs_diff(named(&arrays, "C"), &c_ref);
             prop_assert!(diff < 1e-12, "{:?}: max diff {} vs reference", cfg, diff);
@@ -93,12 +103,147 @@ fn mm_differential_over_random_configs() {
         });
 }
 
+/// Across a deterministic spread of granularities and problem sizes,
+/// the paper workloads must light up **both** transport protocols:
+/// fine-grain strips stage eager, coarse-grain block rows go
+/// rendezvous. If a cost-model change silently re-balances everything
+/// onto one path, this trips before any golden diff does — and every
+/// config still passed the sequential-oracle check inside `run_both`.
+#[test]
+fn workload_traffic_exercises_both_protocols() {
+    let configs = [
+        (
+            mm::SOURCE,
+            Config {
+                n: 8,
+                nprocs: 4,
+                g: Granularity::Fine,
+                cyclic: true,
+            },
+        ),
+        (
+            mm::SOURCE,
+            Config {
+                n: 24,
+                nprocs: 2,
+                g: Granularity::Coarse,
+                cyclic: false,
+            },
+        ),
+        (
+            swim::SOURCE,
+            Config {
+                n: 16,
+                nprocs: 4,
+                g: Granularity::Middle,
+                cyclic: false,
+            },
+        ),
+    ];
+    let mut eager = 0u64;
+    let mut rdvz = 0u64;
+    let mut fallbacks = 0u64;
+    for (src, cfg) in &configs {
+        let (_, rep) = run_both(src, cfg).expect("config runs clean");
+        for s in &rep.rank_stats {
+            eager += s.eager_ops;
+            rdvz += s.rdvz_ops;
+            fallbacks += s.eager_fallbacks;
+        }
+    }
+    assert!(eager > 0, "no workload transfer took the eager path");
+    assert!(rdvz > 0, "no workload transfer took the rendezvous path");
+    // Fallbacks are rendezvous by another name; they must already be
+    // inside the rdvz ledger, never a third bucket.
+    assert!(fallbacks <= rdvz, "fallbacks {fallbacks} not counted as rendezvous {rdvz}");
+}
+
+/// Chaos differential: under random *survivable* fault schedules the
+/// parallel run — eager retransmits replaying from registered slots,
+/// rendezvous re-handshakes and all — must still be byte-identical to
+/// the fault-free **sequential oracle**, not merely self-consistent.
+#[test]
+fn chaos_schedules_match_the_sequential_oracle() {
+    let opts = BackendOptions::new(4).granularity(Granularity::Fine);
+    let compiled = compile(mm::SOURCE, &[("N", 12)], &opts).expect("workload compiles");
+    let cluster = ClusterConfig::paper_n(4);
+    let seq =
+        spmd_rt::execute_sequential(&compiled.program, &cluster.node.cpu, ExecMode::Full);
+    let schedule = zip2(u64_in(1, u64::MAX / 2), bool_any()).map(|(seed, heavy)| {
+        let base = if heavy {
+            FaultSpec::heavy()
+        } else {
+            FaultSpec::light()
+        };
+        FaultSpec {
+            seed,
+            rank_crash: 0.0,
+            ..base
+        }
+    });
+    Check::new("workloads::chaos_schedules_match_the_sequential_oracle")
+        .cases(20)
+        .run(&schedule, |spec| {
+            match spmd_rt::try_execute(&compiled.program, &cluster, ExecMode::Full, spec.clone())
+            {
+                Ok(rep) => {
+                    prop_assert!(
+                        rep.arrays == seq.arrays,
+                        "arrays diverge from the sequential oracle under {spec:?}"
+                    );
+                }
+                Err(e) => {
+                    prop_assert!(e.is_injected(), "non-injected failure under {spec:?}: {e}");
+                }
+            }
+            Ok(())
+        });
+}
+
+/// Reports and traces are replay-invariant: the same workload under
+/// the same fault schedule renders byte-identical comm/transport
+/// report lines, trace analyses, and network counters on every rerun —
+/// protocol choice and pool behaviour are functions of the machine
+/// model, never of host-thread scheduling.
+#[test]
+fn reports_and_traces_replay_identically_under_faults() {
+    let opts = BackendOptions::new(4).granularity(Granularity::Middle);
+    let compiled = compile(swim::SOURCE, &[("N", 12)], &opts).expect("workload compiles");
+    let cluster = ClusterConfig::paper_n(4);
+    let spec = FaultSpec {
+        seed: 7,
+        rank_crash: 0.0,
+        ..FaultSpec::light()
+    };
+    let fingerprint = || {
+        let rep = spmd_rt::try_execute_traced(
+            &compiled.program,
+            &cluster,
+            ExecMode::Full,
+            Tracer::enabled(),
+            spec.clone(),
+        )
+        .expect("light seed-7 schedule is survivable");
+        let mut text = vpce::describe_comm(&rep.rank_stats);
+        text.push_str(&vpce::report::describe_transport(
+            &mpi2::TransportPolicy::from_config(&cluster),
+            &rep.rank_stats,
+        ));
+        text.push_str(&rep.trace.as_ref().expect("tracer was enabled").render());
+        text.push_str(&format!("net={:?}", rep.net));
+        text
+    };
+    let a = fingerprint();
+    assert_eq!(a, fingerprint(), "report/trace replay diverged");
+    assert!(a.contains("protocol split:"), "{a}");
+}
+
 #[test]
 fn swim_differential_over_random_configs() {
     Check::new("workloads::swim_differential_over_random_configs")
         .cases(6)
         .run(&arb_config(8, 16), |cfg| {
-            let arrays = run_both(swim::SOURCE, cfg)?;
+            let (arrays, _) = run_both(swim::SOURCE, cfg)?;
             let r = swim::reference(cfg.n);
             for (name, want) in [
                 ("U", &r.u),
