@@ -25,6 +25,8 @@
 //! `hwclaims`, `ablation` and `chaos` binaries print them as the
 //! paper-style rows recorded in `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 pub mod ablation;
 pub mod chaos;
 pub mod hwclaims;

@@ -25,6 +25,8 @@
 //!    NIC model exposes both the optimized and the conventional stack so
 //!    the ablation bench (A2) can quantify the gap.
 
+#![forbid(unsafe_code)]
+
 pub mod cpu;
 pub mod memory;
 pub mod nic;

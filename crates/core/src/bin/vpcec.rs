@@ -54,6 +54,11 @@ fn main() -> ExitCode {
                     return code;
                 }
             }
+            if let (Some(path), Some(json)) = (&args.verify_json, &out.verify_json) {
+                if let Err(code) = write_or_die(path, json, "verify JSON") {
+                    return code;
+                }
+            }
             if let (Some(path), Some(json)) = (&args.trace, &out.trace_json) {
                 if let Err(code) = write_or_die(path, json, "trace") {
                     return code;

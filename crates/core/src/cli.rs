@@ -28,6 +28,14 @@ pub struct CliArgs {
     pub pull: bool,
     pub lint: bool,
     pub lint_json: Option<String>,
+    /// `--verify`: statically verify deadlock-freedom of the lowered
+    /// communication plan instead of executing it.
+    pub verify: bool,
+    /// `--verify-json`: also write the verifier report as stable JSON.
+    pub verify_json: Option<String>,
+    /// `--verify-strict-pools`: model the eager pool as a hard
+    /// capacity (no rendezvous fallback when it is dry).
+    pub verify_strict_pools: bool,
     pub unsafe_collect: bool,
     pub trace: Option<String>,
     pub trace_summary: bool,
@@ -58,6 +66,9 @@ impl Default for CliArgs {
             pull: false,
             lint: false,
             lint_json: None,
+            verify: false,
+            verify_json: None,
+            verify_strict_pools: false,
             unsafe_collect: false,
             trace: None,
             trace_summary: false,
@@ -161,6 +172,18 @@ USAGE: vpcec <file.f> [options]
                        races and epoch-safety violations instead of
                        executing; exit 0 clean / 1 warnings / 2 conflicts
   --lint-json PATH     also write the lint diagnostics as JSON to PATH
+  --verify             statically verify deadlock-freedom of the lowered
+                       communication plan instead of executing: exhaustive
+                       small-scope exploration of every interleaving of the
+                       per-rank skeleton (fences, collectives, rendezvous
+                       handshakes, pool pressure, scheduled crashes), with a
+                       minimal counterexample schedule on failure; exit 0
+                       verified / 1 conditional-progress warnings / 2 deadlock
+  --verify-json PATH   also write the verifier report as JSON to PATH
+  --verify-strict-pools
+                       treat the registered eager pool as a hard capacity:
+                       an eager put with no free slot blocks (VPCE204)
+                       instead of falling back to rendezvous (VPCE210)
   --unsafe-collect     skip the 5.6 overlap safety check (deliberately
                        unsound; exists to exercise the linter)
   --trace PATH         record the run as Chrome trace-event JSON and
@@ -236,6 +259,11 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--lint-json" => {
                 out.lint_json = Some(it.next().ok_or("--lint-json needs a path")?.clone());
             }
+            "--verify" => out.verify = true,
+            "--verify-json" => {
+                out.verify_json = Some(it.next().ok_or("--verify-json needs a path")?.clone());
+            }
+            "--verify-strict-pools" => out.verify_strict_pools = true,
             "--unsafe-collect" => out.unsafe_collect = true,
             "--trace" => {
                 out.trace = Some(it.next().ok_or("--trace needs a path")?.clone());
@@ -297,6 +325,9 @@ pub struct RunOutput {
     /// `outcome.exit_code()`.
     pub outcome: Outcome,
     pub lint_json: Option<String>,
+    /// Stable-JSON verifier report when `--verify-json` was requested
+    /// in `--verify` mode (the binary writes it).
+    pub verify_json: Option<String>,
     /// Chrome trace-event JSON of the run when `--trace` was given
     /// (the binary writes it to the requested path).
     pub trace_json: Option<String>,
@@ -362,6 +393,30 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
             exit: outcome.exit_code(),
             outcome,
             lint_json: args.lint_json.is_some().then(|| lint.to_json()),
+            verify_json: None,
+            trace_json: None,
+            batch_json: None,
+        });
+    }
+
+    // Verify mode: exhaustively explore the lowered communication
+    // skeleton for deadlocks instead of executing it. Shares the lint
+    // exit convention (0 verified / 1 warnings / 2 errors).
+    if args.verify {
+        let policy = mpi2::TransportPolicy::from_config(&cluster);
+        let opts = commcheck::VerifyOptions {
+            strict_pools: args.verify_strict_pools,
+            ..commcheck::VerifyOptions::default()
+        };
+        let rep = commcheck::verify(&compiled.program, &policy, &args.faults, &opts);
+        out.push_str(&rep.render_human());
+        let outcome = Outcome::from_lint(rep.exit_code());
+        return Ok(RunOutput {
+            text: out,
+            exit: outcome.exit_code(),
+            outcome,
+            lint_json: None,
+            verify_json: args.verify_json.is_some().then(|| rep.to_json()),
             trace_json: None,
             batch_json: None,
         });
@@ -394,6 +449,7 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
                 exit: outcome.exit_code(),
                 outcome,
                 lint_json: None,
+                verify_json: None,
                 trace_json: None,
                 batch_json: None,
             });
@@ -449,6 +505,7 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
         exit: 0,
         outcome: Outcome::Success,
         lint_json: None,
+        verify_json: None,
         trace_json: tracing.then(|| tracer.to_chrome_json()),
         batch_json: None,
     })
@@ -478,6 +535,7 @@ pub fn run_batch(
         exit: outcome.exit_code(),
         outcome,
         lint_json: None,
+        verify_json: None,
         trace_json: args.trace.is_some().then(|| report.trace_json.clone()),
         batch_json: Some(report.to_json()),
     })
@@ -540,6 +598,56 @@ mod tests {
         let a = parse_args(&argv("prog.f")).unwrap();
         assert!(!a.lint && !a.unsafe_collect);
         assert!(a.lint_json.is_none());
+    }
+
+    #[test]
+    fn parses_verify_flags() {
+        let a = parse_args(&argv(
+            "prog.f --verify --verify-json v.json --verify-strict-pools",
+        ))
+        .unwrap();
+        assert!(a.verify && a.verify_strict_pools);
+        assert_eq!(a.verify_json.as_deref(), Some("v.json"));
+        let off = parse_args(&argv("prog.f")).unwrap();
+        assert!(!off.verify && !off.verify_strict_pools);
+        assert!(off.verify_json.is_none());
+        assert!(parse_args(&argv("prog.f --verify-json")).is_err());
+    }
+
+    #[test]
+    fn verify_mode_on_clean_source_exits_zero() {
+        let args = parse_args(&argv("x.f --verify --grain fine --verify-json v.json")).unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert_eq!(out.exit, 0, "{}", out.text);
+        assert!(
+            out.text.contains("clean (no stalling interleaving)"),
+            "{}",
+            out.text
+        );
+        let json = out.verify_json.expect("--verify-json requested");
+        assert!(json.contains("\"exit\": 0"), "{json}");
+        assert!(json.contains("\"explored\""), "{json}");
+        // Verify mode does not execute the program.
+        assert!(!out.text.contains("speedup"));
+    }
+
+    #[test]
+    fn verify_mode_predicts_the_scheduled_crash_stall() {
+        // A certain crash schedule kills every rank in region 0 — and
+        // with everyone dead, nobody hangs: the skeleton is vacuously
+        // deadlock-free. A *partial* schedule (only some ranks draw
+        // the crash under this seed) orphans the survivors at the
+        // entry barrier: VPCE205, exit 2.
+        let all = parse_args(&argv("x.f --verify --grain fine --faults crash=1.0")).unwrap();
+        let out = run(SRC, &all).unwrap();
+        assert_eq!(out.exit, 0, "{}", out.text);
+
+        let some =
+            parse_args(&argv("x.f --verify --grain fine --faults crash=0.5,seed=1")).unwrap();
+        let out = run(SRC, &some).unwrap();
+        assert_eq!(out.exit, 2, "{}", out.text);
+        assert!(out.text.contains("VPCE201"), "{}", out.text);
+        assert!(out.text.contains("VPCE205"), "{}", out.text);
     }
 
     #[test]

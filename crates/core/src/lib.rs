@@ -50,6 +50,8 @@
 //! | [`polaris_be`] | the MPI-2 postpass (§5) |
 //! | [`spmd_rt`] | SPMD IR + interpreter over the simulated cluster (§3) |
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod report;
 

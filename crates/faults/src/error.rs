@@ -47,6 +47,10 @@ pub enum VpceError {
     LockState { msg: String },
     /// A peer rank failed while this rank was blocked on it.
     PeerFailure { msg: String },
+    /// The dynamic wait-for-graph detector found every live rank
+    /// blocked on a condition no peer can ever satisfy: a communication
+    /// deadlock. `graph` is the rendered wait-for graph at detection.
+    DeadlockStall { graph: String },
     /// Program/cluster shape mismatch.
     SizeMismatch { program: usize, cluster: usize },
     /// Interpreter-level type violation (REAL where INTEGER required,
@@ -98,6 +102,7 @@ impl VpceError {
             VpceError::RankOutOfRange { .. } => "rank-out-of-range",
             VpceError::LockState { .. } => "lock-state",
             VpceError::PeerFailure { .. } => "peer-failure",
+            VpceError::DeadlockStall { .. } => "deadlock-stall",
             VpceError::SizeMismatch { .. } => "size-mismatch",
             VpceError::TypeViolation { .. } => "type-violation",
             VpceError::InvalidArgument { .. } => "invalid-argument",
@@ -135,6 +140,9 @@ impl fmt::Display for VpceError {
             }
             VpceError::LockState { msg } => write!(f, "{msg}"),
             VpceError::PeerFailure { msg } => write!(f, "{msg}"),
+            VpceError::DeadlockStall { graph } => {
+                write!(f, "communication deadlock: all live ranks blocked\n{graph}")
+            }
             VpceError::SizeMismatch { program, cluster } => write!(
                 f,
                 "program compiled for {program} ranks, cluster has {cluster}"

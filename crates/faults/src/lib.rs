@@ -14,6 +14,8 @@
 //!   `VpceError` out of a rank thread so `Universe::try_run` can hand
 //!   the caller a clean `Result` instead of a process abort.
 
+#![forbid(unsafe_code)]
+
 mod error;
 mod escalate;
 mod inject;

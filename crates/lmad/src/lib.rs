@@ -34,6 +34,8 @@
 //! as Fortran 77 fixes array dimensions at compile time (documented in
 //! `DESIGN.md`).
 
+#![forbid(unsafe_code)]
+
 mod descriptor;
 mod summary;
 mod transfer;

@@ -9,10 +9,12 @@
 //! scheduling.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use vpce_faults::{raise, VpceError};
 
 use crate::sync::{Condvar, Mutex};
+use crate::waitgraph::{BlockReason, WaitGraph};
 
 type Slot = Option<Box<dyn Any + Send>>;
 
@@ -29,6 +31,9 @@ pub struct Collective {
     n: usize,
     state: Mutex<State>,
     cv: Condvar,
+    /// Stall detector; `None` only in standalone unit-test
+    /// construction — the universe always wires one in.
+    wg: Option<Arc<WaitGraph>>,
 }
 
 impl Collective {
@@ -44,7 +49,14 @@ impl Collective {
                 outputs: (0..n).map(|_| None).collect(),
             }),
             cv: Condvar::new(),
+            wg: None,
         }
+    }
+
+    pub fn with_waitgraph(n: usize, wg: Arc<WaitGraph>) -> Self {
+        let mut c = Collective::new(n);
+        c.wg = Some(wg);
+        c
     }
 
     /// Mark the collective unusable because a participant died. Wakes
@@ -97,11 +109,32 @@ impl Collective {
             }
             st.arrived = 0;
             st.generation = st.generation.wrapping_add(1);
+            // Mirror the advance while still holding the state lock
+            // (see the waitgraph module's no-false-positive argument).
+            if let Some(wg) = &self.wg {
+                wg.note_coll_advance(st.generation);
+            }
             self.cv.notify_all();
         } else {
             let gen = st.generation;
-            self.cv
-                .wait_while(&mut st, |s| s.generation == gen && !s.poisoned);
+            match &self.wg {
+                None => {
+                    self.cv
+                        .wait_while(&mut st, |s| s.generation == gen && !s.poisoned);
+                }
+                Some(wg) => {
+                    wg.block(rank, BlockReason::Collective { gen });
+                    while st.generation == gen && !st.poisoned {
+                        let timed_out = self.cv.wait_timeout(&mut st, wg.check_interval());
+                        if timed_out && st.generation == gen && !st.poisoned {
+                            if let Some(graph) = wg.check_stall() {
+                                raise(VpceError::DeadlockStall { graph });
+                            }
+                        }
+                    }
+                    wg.unblock(rank);
+                }
+            }
             if st.generation == gen {
                 raise(VpceError::PeerFailure {
                     msg: "collective poisoned: a peer rank panicked".into(),

@@ -47,6 +47,7 @@ mod rma;
 mod stats;
 mod transport;
 mod universe;
+pub mod waitgraph;
 mod window;
 
 pub mod coll;

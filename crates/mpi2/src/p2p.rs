@@ -14,6 +14,7 @@
 //! `MPI_ANY_SOURCE` is not modeled.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use cluster_sim::TransferKind;
 use crate::sync::{Condvar, Mutex};
@@ -21,6 +22,7 @@ use vpce_faults::{raise, VpceError};
 use vpce_trace::{CallInfo, CallOp, DataPath, Dominator, EventKind, Lane, SetupParts};
 
 use crate::universe::Mpi;
+use crate::waitgraph::{BlockReason, WaitGraph};
 use crate::Elem;
 
 pub(crate) struct Message {
@@ -33,6 +35,10 @@ pub(crate) struct Message {
 pub(crate) struct Mailboxes {
     boxes: Mutex<Boxes>,
     cv: Condvar,
+    /// Stall detector, mirrored message counts and all. `None` only in
+    /// standalone unit-test construction; the universe always wires
+    /// one in.
+    wg: Option<Arc<WaitGraph>>,
 }
 
 #[derive(Default)]
@@ -46,7 +52,14 @@ impl Mailboxes {
         Mailboxes {
             boxes: Mutex::new(Boxes::default()),
             cv: Condvar::new(),
+            wg: None,
         }
+    }
+
+    pub fn with_waitgraph(n: usize, wg: Arc<WaitGraph>) -> Self {
+        let mut m = Mailboxes::new(n);
+        m.wg = Some(wg);
+        m
     }
 
     /// Wake all blocked receivers because a peer rank died.
@@ -56,29 +69,59 @@ impl Mailboxes {
     }
 
     pub fn post(&self, src: usize, dst: usize, tag: i32, msg: Message) {
-        self.boxes
-            .lock()
+        let mut boxes = self.boxes.lock();
+        boxes
             .queues
             .entry((src, dst, tag))
             .or_default()
             .push_back(msg);
+        // Mirror while still holding the mailbox lock (see the
+        // waitgraph module's no-false-positive argument).
+        if let Some(wg) = &self.wg {
+            wg.note_post(src, dst, tag);
+        }
+        drop(boxes);
         self.cv.notify_all();
     }
 
     pub fn take(&self, src: usize, dst: usize, tag: i32) -> Message {
         let mut boxes = self.boxes.lock();
+        let mut registered = false;
         loop {
             if let Some(q) = boxes.queues.get_mut(&(src, dst, tag)) {
                 if let Some(msg) = q.pop_front() {
+                    if let Some(wg) = &self.wg {
+                        wg.note_take(src, dst, tag);
+                        if registered {
+                            wg.unblock(dst);
+                        }
+                    }
                     return msg;
                 }
             }
             if boxes.poisoned {
+                if let (Some(wg), true) = (&self.wg, registered) {
+                    wg.unblock(dst);
+                }
                 raise(VpceError::PeerFailure {
                     msg: "recv poisoned: a peer rank panicked".into(),
                 });
             }
-            self.cv.wait(&mut boxes);
+            match &self.wg {
+                None => self.cv.wait(&mut boxes),
+                Some(wg) => {
+                    if !registered {
+                        wg.block(dst, BlockReason::Recv { src, tag });
+                        registered = true;
+                    }
+                    let timed_out = self.cv.wait_timeout(&mut boxes, wg.check_interval());
+                    if timed_out {
+                        if let Some(graph) = wg.check_stall() {
+                            raise(VpceError::DeadlockStall { graph });
+                        }
+                    }
+                }
+            }
         }
     }
 }

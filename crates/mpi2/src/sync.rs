@@ -94,6 +94,19 @@ impl Condvar {
         );
     }
 
+    /// Block until notified or `dur` elapses (spurious wakeups
+    /// possible — call in a loop). Returns `true` when the wait timed
+    /// out rather than being notified.
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, dur: std::time::Duration) -> bool {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, timeout) = self
+            .inner
+            .wait_timeout(inner, dur)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        timeout.timed_out()
+    }
+
     /// Block while `cond` holds, releasing the guarded mutex during
     /// the wait and reacquiring it before returning.
     pub fn wait_while<T, F>(&self, guard: &mut MutexGuard<'_, T>, cond: F)

@@ -19,6 +19,7 @@ use crate::pool::{BufferPool, PoolSnapshot};
 use crate::rma::{AccumulateOp, PendingRma, PutSrc, RmaKind};
 use crate::stats::RankStats;
 use crate::transport::{TransportPolicy, CTRL_BYTES, HDR_BYTES};
+use crate::waitgraph::{WaitGraph, DEFAULT_STALL_CHECK};
 use crate::window::{WinId, WindowRef, WindowTable};
 use crate::Elem;
 
@@ -46,6 +47,9 @@ pub(crate) struct Shared {
     pub pools: Vec<Mutex<BufferPool>>,
     /// The resolved eager/rendezvous switchover policy of this run.
     pub policy: TransportPolicy,
+    /// Dynamic wait-for-graph stall detector shared by every blocking
+    /// site of this run.
+    pub wg: Arc<WaitGraph>,
 }
 
 impl Shared {
@@ -123,6 +127,7 @@ pub struct Universe {
     tracer: Tracer,
     faults: FaultSpec,
     transport: Option<TransportPolicy>,
+    stall_check: std::time::Duration,
 }
 
 impl Universe {
@@ -133,7 +138,17 @@ impl Universe {
             tracer: Tracer::disabled(),
             faults: FaultSpec::off(),
             transport: None,
+            stall_check: DEFAULT_STALL_CHECK,
         }
+    }
+
+    /// Tune how often blocked ranks run the wait-for-graph stall
+    /// check. Purely a detection-latency knob — correctness never
+    /// depends on it (the detector has no false positives at any
+    /// interval). Tests that provoke deadlocks on purpose shorten it.
+    pub fn with_stall_check(mut self, interval: std::time::Duration) -> Self {
+        self.stall_check = interval;
+        self
     }
 
     /// Override the eager/rendezvous transport policy (the default is
@@ -235,18 +250,20 @@ impl Universe {
         let pools = (0..n)
             .map(|_| Mutex::new(BufferPool::new(policy.slots, slot_elems)))
             .collect();
+        let wg = WaitGraph::new(n, self.stall_check);
         let shared = Arc::new(Shared {
             cfg: self.cfg.clone(),
             net: Mutex::new(net),
             table: Mutex::new(WindowTable::default()),
             pending: Mutex::new(Vec::new()),
-            coll: Collective::new(n),
-            mail: Mailboxes::new(n),
+            coll: Collective::with_waitgraph(n, Arc::clone(&wg)),
+            mail: Mailboxes::with_waitgraph(n, Arc::clone(&wg)),
             conflicts: Mutex::new(Vec::new()),
             tracer: self.tracer.clone(),
             faults: FaultInjector::new(self.faults.clone()),
             pools,
             policy,
+            wg,
         });
         let mut results: Vec<Option<(R, f64, RankStats)>> = (0..n).map(|_| None).collect();
         let mut typed: Vec<VpceError> = Vec::new();
@@ -277,10 +294,19 @@ impl Universe {
                         (r, mpi.clock, mpi.stats)
                     });
                     match std::panic::catch_unwind(body) {
-                        Ok(out) => out,
+                        Ok(out) => {
+                            // This rank will never wake anyone again:
+                            // let the stall detector treat peers
+                            // blocked on it as deadlocked.
+                            shared.wg.done(rank);
+                            out
+                        }
                         Err(payload) => {
                             // Unblock peers stuck in collectives or
-                            // receives, then re-raise.
+                            // receives, then re-raise. Poison the
+                            // stall detector first so no peer races a
+                            // DeadlockStall report against the wake.
+                            shared.wg.poison();
                             shared.coll.poison();
                             shared.mail.poison();
                             std::panic::resume_unwind(payload);

@@ -1,0 +1,254 @@
+//! Dynamic wait-for-graph deadlock detection.
+//!
+//! Every blocking site in the runtime (mailbox receive, collective
+//! rendezvous) registers its wait condition here before sleeping, and
+//! every wake source mirrors just enough semantic state (posted message
+//! counts, the collective generation) for a *stall check* to decide —
+//! under a single lock — whether any blocked rank could ever be woken.
+//!
+//! ## Locking discipline
+//!
+//! The [`WaitGraph`] mutex is always the **innermost** lock: callers
+//! may hold their own site lock (the mailbox map, the collective
+//! state) while calling into the graph, but the graph never calls out
+//! or takes any other lock. That is the whole reason the semantic
+//! state is mirrored instead of inspected in place — a checker blocked
+//! in a collective must judge mailbox conditions without touching the
+//! mailbox mutex (which would create an ABBA cycle with a receiver
+//! blocked in the mailbox judging collective conditions).
+//!
+//! ## Why there are no false positives
+//!
+//! A stall is only reported when (a) the graph is not poisoned, (b) no
+//! rank is `Running`, and (c) every `Blocked` rank's mirrored wait
+//! condition is false. Each wake source publishes its `note_*` update
+//! while still holding the site lock, *before* the waking rank can
+//! itself reach a blocking site — so by the time condition (b) holds,
+//! every wake that happened has been mirrored. A woken-but-unscheduled
+//! rank therefore always shows a true condition and vetoes the stall.
+//! Spurious detection is impossible; the only cost of the timeout is
+//! detection latency.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::sync::Mutex;
+
+/// Default interval between stall checks while a rank is blocked.
+/// Purely a detection-latency / wakeup-overhead trade-off: correctness
+/// does not depend on its value.
+pub const DEFAULT_STALL_CHECK: Duration = Duration::from_millis(40);
+
+/// Why a rank is blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Waiting in `MPI_RECV` for a message from `src` with `tag`.
+    Recv { src: usize, tag: i32 },
+    /// Waiting in a collective for generation `gen` to complete.
+    Collective { gen: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Running,
+    Blocked(BlockReason),
+    Done,
+}
+
+struct Inner {
+    status: Vec<Status>,
+    /// Mirrored mailbox occupancy: `(src, dst, tag)` -> queued count.
+    posted: HashMap<(usize, usize, i32), usize>,
+    /// Mirrored collective generation counter.
+    coll_gen: u64,
+    /// Set when a rank died; the run is already being torn down via
+    /// site poisoning, so stall reports are suppressed.
+    poisoned: bool,
+}
+
+/// The shared wait-for graph of one running universe.
+pub struct WaitGraph {
+    inner: Mutex<Inner>,
+    check_every: Duration,
+}
+
+impl WaitGraph {
+    pub fn new(n: usize, check_every: Duration) -> Arc<Self> {
+        Arc::new(WaitGraph {
+            inner: Mutex::new(Inner {
+                status: vec![Status::Running; n],
+                posted: HashMap::new(),
+                coll_gen: 0,
+                poisoned: false,
+            }),
+            check_every,
+        })
+    }
+
+    /// How long a blocked rank sleeps between stall checks.
+    pub fn check_interval(&self) -> Duration {
+        self.check_every
+    }
+
+    /// A message `(src, dst, tag)` was enqueued.
+    pub fn note_post(&self, src: usize, dst: usize, tag: i32) {
+        *self.inner.lock().posted.entry((src, dst, tag)).or_insert(0) += 1;
+    }
+
+    /// A message `(src, dst, tag)` was dequeued.
+    pub fn note_take(&self, src: usize, dst: usize, tag: i32) {
+        let mut inner = self.inner.lock();
+        if let Some(c) = inner.posted.get_mut(&(src, dst, tag)) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// The collective completed a generation.
+    pub fn note_coll_advance(&self, gen: u64) {
+        self.inner.lock().coll_gen = gen;
+    }
+
+    /// `rank` is about to sleep on `reason`.
+    pub fn block(&self, rank: usize, reason: BlockReason) {
+        self.inner.lock().status[rank] = Status::Blocked(reason);
+    }
+
+    /// `rank` woke up (condition met or tearing down).
+    pub fn unblock(&self, rank: usize) {
+        self.inner.lock().status[rank] = Status::Running;
+    }
+
+    /// `rank`'s SPMD closure returned normally; it will never block
+    /// again, and it will never wake anyone either.
+    pub fn done(&self, rank: usize) {
+        self.inner.lock().status[rank] = Status::Done;
+    }
+
+    /// A rank died; peers are being woken through site poisoning, so
+    /// suppress stall reports from here on.
+    pub fn poison(&self) {
+        self.inner.lock().poisoned = true;
+    }
+
+    fn cond_true(inner: &Inner, rank: usize, reason: BlockReason) -> bool {
+        match reason {
+            BlockReason::Recv { src, tag } => {
+                inner.posted.get(&(src, rank, tag)).copied().unwrap_or(0) > 0
+            }
+            BlockReason::Collective { gen } => inner.coll_gen != gen,
+        }
+    }
+
+    /// Decide whether the whole universe is stalled. Returns the
+    /// rendered wait-for graph when every live rank is blocked on a
+    /// condition no peer can ever satisfy, `None` otherwise.
+    pub fn check_stall(&self) -> Option<String> {
+        let inner = self.inner.lock();
+        if inner.poisoned {
+            return None;
+        }
+        let mut any_blocked = false;
+        for (rank, st) in inner.status.iter().enumerate() {
+            match *st {
+                Status::Running => return None,
+                Status::Done => {}
+                Status::Blocked(reason) => {
+                    if Self::cond_true(&inner, rank, reason) {
+                        return None;
+                    }
+                    any_blocked = true;
+                }
+            }
+        }
+        if !any_blocked {
+            return None;
+        }
+        Some(Self::render(&inner))
+    }
+
+    fn render(inner: &Inner) -> String {
+        let mut out = String::from("wait-for graph at stall:\n");
+        for (rank, st) in inner.status.iter().enumerate() {
+            match *st {
+                Status::Running => {
+                    out.push_str(&format!("  rank {rank}: running\n"));
+                }
+                Status::Done => {
+                    out.push_str(&format!("  rank {rank}: finished\n"));
+                }
+                Status::Blocked(BlockReason::Recv { src, tag }) => {
+                    out.push_str(&format!(
+                        "  rank {rank}: blocked in recv(src={src}, tag={tag}) - no matching message posted\n"
+                    ));
+                }
+                Status::Blocked(BlockReason::Collective { gen }) => {
+                    out.push_str(&format!(
+                        "  rank {rank}: blocked in collective (generation {gen}) - peers never arrive\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_rank_vetoes_stall() {
+        let wg = WaitGraph::new(2, DEFAULT_STALL_CHECK);
+        wg.block(0, BlockReason::Recv { src: 1, tag: 0 });
+        assert!(wg.check_stall().is_none(), "rank 1 still running");
+    }
+
+    #[test]
+    fn satisfied_condition_vetoes_stall() {
+        let wg = WaitGraph::new(2, DEFAULT_STALL_CHECK);
+        wg.note_post(1, 0, 7);
+        wg.block(0, BlockReason::Recv { src: 1, tag: 7 });
+        wg.done(1);
+        assert!(wg.check_stall().is_none(), "message is available");
+        wg.note_take(1, 0, 7);
+        assert!(wg.check_stall().is_some(), "now genuinely stuck");
+    }
+
+    #[test]
+    fn done_plus_blocked_is_a_stall() {
+        let wg = WaitGraph::new(2, DEFAULT_STALL_CHECK);
+        wg.done(0);
+        wg.block(1, BlockReason::Recv { src: 0, tag: 3 });
+        let g = wg.check_stall().expect("stalled");
+        assert!(g.contains("rank 0: finished"), "{g}");
+        assert!(g.contains("rank 1: blocked in recv(src=0, tag=3)"), "{g}");
+    }
+
+    #[test]
+    fn collective_generation_advance_vetoes_stall() {
+        let wg = WaitGraph::new(2, DEFAULT_STALL_CHECK);
+        wg.block(0, BlockReason::Collective { gen: 0 });
+        wg.done(1);
+        assert!(wg.check_stall().is_some(), "generation 0 never completes");
+        wg.note_coll_advance(1);
+        assert!(wg.check_stall().is_none(), "rank 0 was woken, not scheduled yet");
+    }
+
+    #[test]
+    fn poison_suppresses_stall_reports() {
+        let wg = WaitGraph::new(1, DEFAULT_STALL_CHECK);
+        wg.block(0, BlockReason::Recv { src: 0, tag: 0 });
+        assert!(wg.check_stall().is_some());
+        wg.poison();
+        assert!(wg.check_stall().is_none());
+    }
+
+    #[test]
+    fn all_done_is_not_a_stall() {
+        let wg = WaitGraph::new(2, DEFAULT_STALL_CHECK);
+        wg.done(0);
+        wg.done(1);
+        assert!(wg.check_stall().is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! The dynamic wait-for-graph detector: programs that would hang
+//! forever must instead end in a typed [`VpceError::DeadlockStall`]
+//! (or the crash that caused the orphaning), and programs that merely
+//! *look* slow must never be flagged.
+
+use std::time::Duration;
+
+use cluster_sim::{ClusterConfig, Protocol};
+use mpi2::{TransportPolicy, Universe, VpceError};
+use vpce_faults::{raise, FaultSpec};
+
+/// Short stall-check interval: these tests provoke deadlocks on
+/// purpose and should detect them quickly. The detector has no false
+/// positives at any interval, so this is safe to shrink.
+const FAST: Duration = Duration::from_millis(5);
+
+fn uni(n: usize) -> Universe {
+    Universe::new(ClusterConfig::paper_n(n)).with_stall_check(FAST)
+}
+
+#[test]
+fn head_to_head_recv_cycle_is_a_typed_stall() {
+    // Both ranks receive first: the classic two-rank deadlock.
+    let err = uni(2)
+        .try_run(|mpi| {
+            let peer = 1 - mpi.rank();
+            let got = mpi.recv(peer, 0);
+            mpi.send(peer, 0, vec![1.0]);
+            got
+        })
+        .unwrap_err();
+    match err {
+        VpceError::DeadlockStall { graph } => {
+            assert!(graph.contains("rank 0: blocked in recv(src=1, tag=0)"), "{graph}");
+            assert!(graph.contains("rank 1: blocked in recv(src=0, tag=0)"), "{graph}");
+        }
+        other => panic!("expected DeadlockStall, got {other:?}"),
+    }
+}
+
+#[test]
+fn unmatched_recv_after_peer_finishes_is_a_typed_stall() {
+    // Rank 0 exits without ever sending: rank 1's receive can never be
+    // satisfied (the orphaned-handshake shape).
+    let err = uni(2)
+        .try_run(|mpi| {
+            if mpi.rank() == 1 {
+                mpi.recv(0, 7);
+            }
+        })
+        .unwrap_err();
+    match err {
+        VpceError::DeadlockStall { graph } => {
+            assert!(graph.contains("rank 0: finished"), "{graph}");
+            assert!(graph.contains("rank 1: blocked in recv(src=0, tag=7)"), "{graph}");
+        }
+        other => panic!("expected DeadlockStall, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_collective_participant_is_a_typed_stall() {
+    // Rank 0 skips the barrier and returns; the other ranks wait for a
+    // generation that can never complete.
+    let err = uni(3)
+        .try_run(|mpi| {
+            if mpi.rank() != 0 {
+                mpi.barrier();
+            }
+        })
+        .unwrap_err();
+    match err {
+        VpceError::DeadlockStall { graph } => {
+            assert!(graph.contains("rank 0: finished"), "{graph}");
+            assert!(graph.contains("blocked in collective"), "{graph}");
+        }
+        other => panic!("expected DeadlockStall, got {other:?}"),
+    }
+}
+
+#[test]
+fn crash_mid_rendezvous_orphans_the_peer_with_a_typed_error() {
+    // The satellite chaos case: rank 0 opens a rendezvous handshake
+    // (RTS), rank 1 accepts it and then dies before answering (CTS).
+    // The run must end in the crash as root cause — never a hang, and
+    // never an untyped panic.
+    const RTS: i32 = 1000;
+    const CTS: i32 = 1001;
+    let err = uni(2)
+        .try_run(|mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(1, RTS, vec![0.0]);
+                mpi.recv(1, CTS); // orphaned: the CTS never comes
+            } else {
+                mpi.recv(0, RTS);
+                raise(VpceError::RankCrash {
+                    rank: 1,
+                    region: "mid-rendezvous".into(),
+                });
+            }
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, VpceError::RankCrash { rank: 1, .. }),
+        "crash must be the root cause, got {err:?}"
+    );
+}
+
+#[test]
+fn slow_but_progressing_runs_are_never_flagged() {
+    // Many short stall-check timeouts fire while the sender dawdles in
+    // (wall-clock) compute; none may produce a false positive.
+    let out = uni(2).run(|mpi| {
+        if mpi.rank() == 0 {
+            for _ in 0..4 {
+                std::thread::sleep(4 * FAST);
+                mpi.send(1, 0, vec![1.0]);
+            }
+            0.0
+        } else {
+            (0..4).map(|_| mpi.recv(0, 0)[0]).sum()
+        }
+    });
+    assert_eq!(out.results[1], 4.0);
+}
+
+#[test]
+fn eager_retransmit_under_saturated_pool_never_double_acquires() {
+    // Regression: a link-level retransmit replays an eager message out
+    // of its registered slot. While the pool is saturated (every slot
+    // pinned until the fence) the replay must reuse that pinned slot —
+    // re-acquiring would either deadlock on a full pool or corrupt the
+    // free list. Leak/high-water accounting and payload bytes must
+    // all come out exact under heavy drop noise.
+    let policy = TransportPolicy::forced(Protocol::Eager, 256, 4);
+    let slots = policy.slots;
+    for seed in 0..8u64 {
+        let uni = Universe::new(ClusterConfig::paper_n(2))
+            .with_transport(policy.clone())
+            .with_stall_check(FAST)
+            .with_faults(FaultSpec {
+                seed,
+                link_drop: 0.25,
+                flit_corrupt: 0.15,
+                ..FaultSpec::off()
+            });
+        let out = uni.run(move |mpi| {
+            let w = mpi.win_create(64);
+            w.fill_from(&vec![0.0; 64]);
+            mpi.barrier();
+            if mpi.rank() == 0 {
+                // 2x oversubscribed: slots stay pinned to the fence,
+                // the overflow falls back to rendezvous.
+                for i in 0..2 * slots {
+                    mpi.put(&w, 1, i, vec![(i + 1) as f64]);
+                }
+            }
+            mpi.fence_all();
+            w.snapshot()
+        });
+        let want: Vec<f64> = (0..64)
+            .map(|i| if i < 2 * slots { (i + 1) as f64 } else { 0.0 })
+            .collect();
+        assert_eq!(out.results[1], want, "seed {seed}: payload corrupted");
+        let s = &out.rank_stats[0];
+        assert_eq!(s.eager_ops, slots as u64, "seed {seed}");
+        assert_eq!(s.eager_fallbacks, slots as u64, "seed {seed}");
+        let p = &out.pool[0];
+        assert_eq!(p.leaked, 0, "seed {seed}: slot leaked across retransmits");
+        assert_eq!(p.hwm, slots, "seed {seed}: high-water must cap at capacity");
+    }
+}

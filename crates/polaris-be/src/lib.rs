@@ -25,6 +25,8 @@
 //!    check forcing fine-grain collection when slaves' approximate
 //!    regions collide.
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod avpg;
 pub mod plan;

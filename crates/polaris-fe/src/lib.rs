@@ -28,6 +28,8 @@
 //! descriptors — is exactly the interface the paper's MPI-2 postpass
 //! (crate `polaris-be`) consumes.
 
+#![forbid(unsafe_code)]
+
 pub mod affine;
 pub mod analysis;
 pub mod ast;

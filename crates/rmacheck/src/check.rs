@@ -291,7 +291,7 @@ mod tests {
     }
 
     fn check(trace: &RmaTrace) -> LintReport {
-        let mut r = LintReport::new("t");
+        let mut r = crate::diag::new_report("t");
         check_trace(trace, &mut r);
         r.sort();
         r

@@ -1,19 +1,14 @@
-//! Structured lint diagnostics: stable `VPCE0xx` codes, plan-site and
-//! source-loop provenance, deterministic ordering, and a hand-rolled
-//! machine-readable JSON rendering (no serialisation dependency).
+//! The linter's diagnostic surface: the stable `VPCE0xx` code enum
+//! plus aliases onto the shared rendering model in [`vpce_diag`] (one
+//! path serves `--lint` and `--verify`, so provenance format, ordering
+//! and JSON shape stay consistent across tools — and the byte-exact
+//! lint goldens pin that shared path).
 
-use std::fmt::Write as _;
+pub use vpce_diag::Severity;
 
-/// How bad a finding is. Errors are undefined-outcome RMA conflicts;
-/// warnings are legal-but-suspect patterns (same-origin overlap).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Severity {
-    Warning,
-    Error,
-}
-
-/// The stable diagnostic codes. Numeric values never change once
-/// published: golden tests and CI diff against them.
+/// The stable lint diagnostic codes. Numeric values never change once
+/// published: golden tests and CI diff against them. (The full VPCE
+/// registry across tools is tabulated in `vpce_diag`.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Code {
     /// Two PUTs from different origins overlap on one shard inside a
@@ -67,206 +62,25 @@ impl Code {
     }
 }
 
-/// One finding, with enough provenance to locate it in both the plan
-/// (window, shard, ranks, phase) and the source (loop line).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    pub code: Code,
-    /// Window index (= array index); `usize::MAX` when not tied to a
-    /// particular window.
-    pub win: usize,
-    /// Window (array) name, empty when not applicable.
-    pub win_name: String,
-    /// Rank owning the shard where the footprints collide.
-    pub shard: usize,
-    /// The two involved ranks (sorted; equal for single-rank findings).
-    pub ranks: (usize, usize),
-    /// Source line of the originating loop (0 = unknown).
-    pub line: usize,
-    /// Plan site: which lowering phase produced the operations
-    /// (`scatter`, `collect`, `compute`, `sync`, `avpg`, ...).
-    pub site: String,
-    /// Human-readable explanation.
-    pub detail: String,
-}
-
-impl Diagnostic {
-    pub fn severity(&self) -> Severity {
-        self.code.severity()
+impl vpce_diag::DiagCode for Code {
+    fn as_str(self) -> &'static str {
+        Code::as_str(self)
+    }
+    fn severity(self) -> Severity {
+        Code::severity(self)
     }
 }
+
+/// One lint finding (the shared record, carrying this crate's codes).
+pub type Diagnostic = vpce_diag::Diagnostic<Code>;
 
 /// The full lint result for one compiled program.
-#[derive(Debug, Clone, Default)]
-pub struct LintReport {
-    pub program: String,
-    pub diags: Vec<Diagnostic>,
-}
+pub type LintReport = vpce_diag::Report<Code>;
 
-impl LintReport {
-    pub fn new(program: impl Into<String>) -> Self {
-        LintReport {
-            program: program.into(),
-            diags: Vec::new(),
-        }
-    }
-
-    pub fn push(&mut self, d: Diagnostic) {
-        self.diags.push(d);
-    }
-
-    /// Deterministic presentation order: errors first, then by code,
-    /// window, shard, ranks, line.
-    pub fn sort(&mut self) {
-        self.diags.sort_by(|a, b| {
-            b.severity()
-                .cmp(&a.severity())
-                .then(a.code.cmp(&b.code))
-                .then(a.win.cmp(&b.win))
-                .then(a.shard.cmp(&b.shard))
-                .then(a.ranks.cmp(&b.ranks))
-                .then(a.line.cmp(&b.line))
-                .then(a.detail.cmp(&b.detail))
-        });
-        self.diags.dedup();
-    }
-
-    pub fn errors(&self) -> usize {
-        self.diags
-            .iter()
-            .filter(|d| d.severity() == Severity::Error)
-            .count()
-    }
-
-    pub fn warnings(&self) -> usize {
-        self.diags
-            .iter()
-            .filter(|d| d.severity() == Severity::Warning)
-            .count()
-    }
-
-    pub fn is_clean(&self) -> bool {
-        self.diags.is_empty()
-    }
-
-    /// Process exit code: 0 clean, 1 warnings only, 2 any conflict.
-    pub fn exit_code(&self) -> i32 {
-        if self.errors() > 0 {
-            2
-        } else if self.warnings() > 0 {
-            1
-        } else {
-            0
-        }
-    }
-
-    /// Terminal rendering.
-    pub fn render_human(&self) -> String {
-        let mut out = String::new();
-        if self.is_clean() {
-            let _ = writeln!(out, "lint: {}: clean (no RMA conflicts)", self.program);
-            return out;
-        }
-        for d in &self.diags {
-            let sev = match d.severity() {
-                Severity::Error => "error",
-                Severity::Warning => "warning",
-            };
-            let _ = write!(out, "{sev}[{}]", d.code.as_str());
-            if !d.win_name.is_empty() {
-                let _ = write!(out, " window {}", d.win_name);
-            }
-            if d.shard != usize::MAX {
-                let _ = write!(out, " shard {}", d.shard);
-            }
-            if d.ranks.0 != usize::MAX {
-                if d.ranks.0 == d.ranks.1 {
-                    let _ = write!(out, " rank {}", d.ranks.0);
-                } else {
-                    let _ = write!(out, " ranks {}/{}", d.ranks.0, d.ranks.1);
-                }
-            }
-            if d.line > 0 {
-                let _ = write!(out, " (loop at line {})", d.line);
-            }
-            let _ = writeln!(out, " [{}]: {}", d.site, d.detail);
-        }
-        let _ = writeln!(
-            out,
-            "lint: {}: {} error(s), {} warning(s)",
-            self.program,
-            self.errors(),
-            self.warnings()
-        );
-        out
-    }
-
-    /// Machine-readable JSON: stable key order, one canonical shape.
-    pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        let _ = writeln!(out, "  \"program\": \"{}\",", json_escape(&self.program));
-        out.push_str("  \"diagnostics\": [");
-        for (i, d) in self.diags.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n    {");
-            let _ = write!(out, "\"code\": \"{}\", ", d.code.as_str());
-            let sev = match d.severity() {
-                Severity::Error => "error",
-                Severity::Warning => "warning",
-            };
-            let _ = write!(out, "\"severity\": \"{sev}\", ");
-            if d.win != usize::MAX {
-                let _ = write!(out, "\"win\": {}, ", d.win);
-                let _ = write!(out, "\"window\": \"{}\", ", json_escape(&d.win_name));
-            }
-            if d.shard != usize::MAX {
-                let _ = write!(out, "\"shard\": {}, ", d.shard);
-            }
-            if d.ranks.0 != usize::MAX {
-                let _ = write!(out, "\"ranks\": [{}, {}], ", d.ranks.0, d.ranks.1);
-            }
-            let _ = write!(out, "\"line\": {}, ", d.line);
-            let _ = write!(out, "\"site\": \"{}\", ", json_escape(&d.site));
-            let _ = write!(out, "\"detail\": \"{}\"", json_escape(&d.detail));
-            out.push('}');
-        }
-        if !self.diags.is_empty() {
-            out.push_str("\n  ");
-        }
-        out.push_str("],\n");
-        let _ = writeln!(
-            out,
-            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"exit\": {}}}",
-            self.errors(),
-            self.warnings(),
-            self.exit_code()
-        );
-        out.push('}');
-        out.push('\n');
-        out
-    }
-}
-
-/// Minimal JSON string escaping (control chars, quotes, backslash).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
+/// A fresh, empty lint report for `program` with the linter's
+/// rendering style.
+pub fn new_report(program: impl Into<String>) -> LintReport {
+    LintReport::new("lint", "clean (no RMA conflicts)", program)
 }
 
 #[cfg(test)]
@@ -288,7 +102,7 @@ mod tests {
 
     #[test]
     fn exit_codes_follow_severity() {
-        let mut r = LintReport::new("p");
+        let mut r = new_report("p");
         assert_eq!(r.exit_code(), 0);
         r.push(diag(Code::SameOriginOverlap));
         assert_eq!(r.exit_code(), 1);
@@ -298,7 +112,7 @@ mod tests {
 
     #[test]
     fn sort_puts_errors_before_warnings_and_dedups() {
-        let mut r = LintReport::new("p");
+        let mut r = new_report("p");
         r.push(diag(Code::SameOriginOverlap));
         r.push(diag(Code::PutPut));
         r.push(diag(Code::PutPut));
@@ -309,8 +123,23 @@ mod tests {
     }
 
     #[test]
+    fn rendering_keeps_the_pre_extraction_format() {
+        // The goldens pin these exact shapes; the shared emitter must
+        // reproduce them byte-for-byte.
+        let mut r = new_report("p");
+        assert_eq!(r.render_human(), "lint: p: clean (no RMA conflicts)\n");
+        r.push(diag(Code::PutPut));
+        let text = r.render_human();
+        assert_eq!(
+            text,
+            "error[VPCE001] window A shard 0 ranks 1/2 (loop at line 3) [collect]: x\n\
+             lint: p: 1 error(s), 0 warning(s)\n"
+        );
+    }
+
+    #[test]
     fn json_is_well_formed_and_escaped() {
-        let mut r = LintReport::new("quo\"te");
+        let mut r = new_report("quo\"te");
         let mut d = diag(Code::PutGet);
         d.detail = "line1\nline2".into();
         r.push(d);

@@ -25,6 +25,8 @@
 //! (exact, element-level, recorded at every closing fence) to hold
 //! that soundness direction over thousands of random plans.
 
+#![forbid(unsafe_code)]
+
 pub mod check;
 pub mod diag;
 pub mod lower;
@@ -56,7 +58,7 @@ impl Default for LintOptions {
 
 /// Run the full static check over a compiled program.
 pub fn lint(prog: &SpmdProgram, report: &PlanReport, opts: &LintOptions) -> LintReport {
-    let mut out = LintReport::new(prog.name.clone());
+    let mut out = diag::new_report(prog.name.clone());
     let trace = lower::lower(prog, report);
     check::check_trace(&trace, &mut out);
     stale::check_elisions(prog, report, opts, &mut out);
@@ -67,7 +69,7 @@ pub fn lint(prog: &SpmdProgram, report: &PlanReport, opts: &LintOptions) -> Lint
 /// Check a hand-built trace (no plan-level passes) — the entry point
 /// the differential harness uses.
 pub fn lint_trace(trace: &RmaTrace, program: &str) -> LintReport {
-    let mut out = LintReport::new(program);
+    let mut out = diag::new_report(program);
     check::check_trace(trace, &mut out);
     out.sort();
     out

@@ -334,7 +334,7 @@ mod tests {
     }
 
     fn run(prog: &SpmdProgram, report: &PlanReport, outputs_live: bool) -> LintReport {
-        let mut out = LintReport::new("t");
+        let mut out = crate::diag::new_report("t");
         check_elisions(
             prog,
             report,

@@ -38,6 +38,8 @@
 //! trace buffers are per-job by construction — concurrent jobs cannot
 //! read or corrupt each other's counters.
 
+#![forbid(unsafe_code)]
+
 pub mod job;
 pub mod partition;
 pub mod report;

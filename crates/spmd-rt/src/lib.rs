@@ -28,6 +28,8 @@
 //! element offsets on master and slaves and scatter/collect transfers
 //! are offset-preserving (`mpi2::Mpi::put_region` et al.).
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod exec;
 pub mod ir;

@@ -49,6 +49,8 @@
 //! `(lane, seq)` therefore yields the same byte stream on every run
 //! of the same program — the property the golden-trace tests pin.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 

@@ -37,6 +37,8 @@
 //! bandwidth) and a Fast-Ethernet NIC on a shared segment (the baseline
 //! the paper says V-Bus beats by ≈4× in both latency and bandwidth).
 
+#![forbid(unsafe_code)]
+
 pub mod link;
 pub mod stats;
 pub mod sweep;

@@ -17,6 +17,8 @@
 //! * [`irregular`] — an index-vector gather, the "irregular
 //!   computation" class §2.2 says one-sided communication simplifies.
 
+#![forbid(unsafe_code)]
+
 pub mod cfft;
 pub mod irregular;
 pub mod mm;

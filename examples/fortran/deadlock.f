@@ -1,0 +1,32 @@
+C     Pool-pressure fixture for the static communication verifier.
+C     The second loop reads seven arrays, so a cold push-scatter makes
+C     the master stage 7 arrays x 3 slaves = 21 eager transfers inside
+C     a single fence epoch -- more than the NIC's 16 registered slots.
+C     (--no-avpg keeps the scatter cold: AVPG would otherwise notice
+C     the values are already distributed by the first loop.)
+C
+C       vpcec examples/fortran/deadlock.f --verify --no-avpg
+C             --verify-strict-pools
+C
+C     refuses the plan (exit 2): VPCE204 pool-exhaustion deadlock with
+C     a minimal counterexample schedule. Without --verify-strict-pools
+C     the runtime's rendezvous fallback keeps the plan live and the
+C     same invocation exits 1 with a VPCE210 conditional-progress
+C     warning instead.
+      PROGRAM DEADLK
+      PARAMETER (N = 64)
+      REAL A(N), B(N), C(N), D(N), E(N), G(N), H(N), F(N)
+      INTEGER I
+      DO I = 1, N
+        A(I) = REAL(I)
+        B(I) = REAL(2 * I)
+        C(I) = REAL(3 * I)
+        D(I) = REAL(4 * I)
+        E(I) = REAL(5 * I)
+        G(I) = REAL(6 * I)
+        H(I) = REAL(7 * I)
+      ENDDO
+      DO I = 1, N
+        F(I) = A(I) + B(I) + C(I) + D(I) + E(I) + G(I) + H(I)
+      ENDDO
+      END

@@ -1,0 +1,93 @@
+//! Golden verifier output over the `examples/fortran` fixtures: the
+//! machine-readable JSON that `vpcec --verify --verify-json` emits is
+//! diffed byte-for-byte against checked-in expectations, so any drift
+//! in codes, counterexample rendering, or formatting is a deliberate,
+//! reviewed change. Regenerate with `UPDATE_GOLDEN=1 cargo test -q
+//! -p vpce --test verify_golden`.
+
+use vpce::cli::{parse_args, run};
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Verify one fixture and compare its JSON against the golden file.
+fn golden_case(fixture: &str, extra_args: &str, golden: &str, expect_exit: i32) -> String {
+    let source = std::fs::read_to_string(repo_path(&format!("examples/fortran/{fixture}")))
+        .expect("fixture exists");
+    let argv: Vec<String> = format!("{fixture} --verify --verify-json out.json {extra_args}")
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let args = parse_args(&argv).expect("fixture args parse");
+    let out = run(&source, &args).expect("fixture compiles");
+    assert_eq!(
+        out.exit, expect_exit,
+        "{fixture}: unexpected verify exit\n{}",
+        out.text
+    );
+    let json = out.verify_json.expect("--verify-json produces a payload");
+
+    let golden_path = repo_path(&format!("tests/golden/{golden}"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &json).expect("write golden");
+        return json;
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden file {golden_path}: {e}"));
+    assert_eq!(
+        json, expected,
+        "{fixture}: verify JSON drifted from {golden}; if intentional, \
+         regenerate with UPDATE_GOLDEN=1"
+    );
+    json
+}
+
+#[test]
+fn saxpy_verifies_clean() {
+    let json = golden_case("saxpy.f", "--grain fine", "saxpy_verify.json", 0);
+    assert!(json.contains("\"diagnostics\": []"), "{json}");
+    assert!(json.contains("\"truncated\": false"), "{json}");
+}
+
+#[test]
+fn mm_fine_grain_warns_about_pool_pressure() {
+    // Fine-grain matrix collection issues one eager put per row chunk
+    // — 128 per slave in a single fence epoch against 16 registered
+    // slots. The plan still progresses (rendezvous fallback), but only
+    // because that escape hatch exists: VPCE210, exit 1.
+    let json = golden_case("mm.f", "--grain fine", "mm_verify.json", 1);
+    assert!(json.contains("\"VPCE210\""), "{json}");
+    assert!(json.contains("\"errors\": 0"), "{json}");
+}
+
+#[test]
+fn deadlock_fixture_is_refused_under_strict_pools() {
+    let json = golden_case(
+        "deadlock.f",
+        "--grain coarse --no-avpg --verify-strict-pools",
+        "deadlock_verify.json",
+        2,
+    );
+    // The headline, the pool-exhaustion class, and a counterexample.
+    assert!(json.contains("\"VPCE201\""), "{json}");
+    assert!(json.contains("\"VPCE204\""), "{json}");
+    assert!(json.contains("\"counterexample\""), "{json}");
+}
+
+#[test]
+fn deadlock_fixture_downgrades_to_a_warning_with_rendezvous_fallback() {
+    // The very same plan without --verify-strict-pools: the runtime's
+    // rendezvous fallback keeps it live, and the verifier reports the
+    // conditional-progress dependence instead of a deadlock.
+    let source = std::fs::read_to_string(repo_path("examples/fortran/deadlock.f"))
+        .expect("fixture exists");
+    let argv: Vec<String> = "deadlock.f --verify --grain coarse --no-avpg"
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let out = run(&source, &parse_args(&argv).unwrap()).unwrap();
+    assert_eq!(out.exit, 1, "{}", out.text);
+    assert!(out.text.contains("VPCE210"), "{}", out.text);
+    assert!(!out.text.contains("counterexample"), "{}", out.text);
+}
