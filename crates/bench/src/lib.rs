@@ -19,7 +19,10 @@
 //!   recording utilization, gang concurrency and wait percentiles;
 //! * [`transport`] — the eager/rendezvous crossover grid: message size
 //!   × protocol mode (auto and both forced) × registered pool size,
-//!   recording the per-protocol ledgers and the achieved bandwidth.
+//!   recording the per-protocol ledgers and the achieved bandwidth;
+//! * [`serve`] — the `vpced` service benchmark: sustained submission
+//!   ingest, time-to-recovery from a sealed journal, and the seeded
+//!   kill/restart matrix (amortised cost per kill point).
 //!
 //! Each module computes plain data structures; the `table1`, `table2`,
 //! `hwclaims`, `ablation` and `chaos` binaries print them as the
@@ -31,6 +34,7 @@ pub mod ablation;
 pub mod chaos;
 pub mod hwclaims;
 pub mod sched;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod transport;

@@ -1,0 +1,198 @@
+//! `vpced` service benchmark — what does crash-safety cost, and how
+//! fast does the daemon come back? A synthetic two-tenant storm is
+//! driven through a journaled daemon three ways:
+//!
+//! * **ingest** — wall-clock to apply + journal every submission
+//!   (sustained submissions/sec, the line-protocol ceiling);
+//! * **recovery** — wall-clock to reopen the sealed journal, replay
+//!   every input, cross-check every derived record and re-derive the
+//!   report (time-to-recovery after a crash at the worst offset: the
+//!   very end);
+//! * **kill matrix** — the full seeded murder sweep, amortised per
+//!   kill point.
+//!
+//! The `servebench` binary prints the table and exports the CI
+//! `--json` artifact (`BENCH_serve.json`).
+
+use std::time::Instant;
+
+use spmd_rt::ExecMode;
+use vpce_serve::{kill_matrix, Daemon, MemStorage, Runner};
+
+/// Headline numbers of one service benchmark run.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    pub jobs: usize,
+    /// Input lines journaled (directives + submissions).
+    pub inputs: usize,
+    /// Sealed journal size in bytes.
+    pub journal_bytes: u64,
+    pub ingest_wall_s: f64,
+    pub submissions_per_s: f64,
+    pub drain_wall_s: f64,
+    /// Reopen the sealed journal: replay + cross-check + re-report.
+    pub recovery_wall_s: f64,
+    pub kill_points: usize,
+    pub kill_restarts: u64,
+    pub kill_divergent: usize,
+    pub kill_matrix_wall_s: f64,
+}
+
+/// The benchmark script: two tenants (one quota-throttled), `jobs`
+/// alternating 1-/2-rank submissions with staggered arrivals.
+pub fn storm_script(jobs: usize) -> Vec<String> {
+    let mut lines = vec![
+        "nodes=16".to_string(),
+        "seed=1".to_string(),
+        "tenant name=acme share=2 quota=8".to_string(),
+        "tenant name=beta share=1".to_string(),
+    ];
+    for i in 0..jobs {
+        let tenant = if i % 2 == 0 { "acme" } else { "beta" };
+        lines.push(format!(
+            "job name=j{i} tenant={tenant} workload=mm ranks={} param:N=8 arrive={}",
+            1 + i % 2,
+            (i as f64) * 2e-5,
+        ));
+    }
+    lines
+}
+
+/// Run the benchmark: ingest + drain a fresh daemon, recover from the
+/// sealed journal, then sweep `kill_points` seeded kills.
+pub fn run(jobs: usize, kill_points: usize) -> ServeBench {
+    let runner = Runner::new(ExecMode::Full);
+    let script = storm_script(jobs);
+
+    let mut storage = MemStorage::default();
+    let ingest_start = Instant::now();
+    let ingest_wall_s;
+    let drain_wall_s;
+    {
+        let (mut daemon, _) = Daemon::open(&mut storage, &runner).expect("fresh journal opens");
+        for line in &script {
+            daemon.submit(line).expect("benchmark submissions are valid");
+        }
+        ingest_wall_s = ingest_start.elapsed().as_secs_f64();
+        let drain_start = Instant::now();
+        daemon.drain().expect("benchmark batch drains");
+        drain_wall_s = drain_start.elapsed().as_secs_f64();
+    }
+    let journal_bytes = storage.bytes.len() as u64;
+
+    // Time-to-recovery: a daemon that died right after sealing.
+    let recovery_start = Instant::now();
+    let recovered = {
+        let (mut daemon, recovery) =
+            Daemon::open(&mut storage, &runner).expect("sealed journal recovers");
+        assert!(recovery.finished, "journal must be sealed");
+        daemon.drain().expect("replay drains");
+        daemon.report_json().len()
+    };
+    let recovery_wall_s = recovery_start.elapsed().as_secs_f64();
+    assert!(recovered > 0);
+
+    let kill_start = Instant::now();
+    let summary = kill_matrix(&runner, &script, kill_points).expect("kill matrix completes");
+    let kill_matrix_wall_s = kill_start.elapsed().as_secs_f64();
+
+    ServeBench {
+        jobs,
+        inputs: script.len(),
+        journal_bytes,
+        ingest_wall_s,
+        submissions_per_s: script.len() as f64 / ingest_wall_s.max(1e-9),
+        drain_wall_s,
+        recovery_wall_s,
+        kill_points: summary.points,
+        kill_restarts: summary.restarts,
+        kill_divergent: summary.divergent.len(),
+        kill_matrix_wall_s,
+    }
+}
+
+/// Sanity-check a finished run (the binary exits nonzero otherwise):
+/// the kill matrix must fire everywhere and never diverge.
+pub fn healthy(b: &ServeBench) -> bool {
+    b.kill_divergent == 0 && b.kill_restarts >= b.kill_points as u64 && b.journal_bytes > 0
+}
+
+/// Print the table.
+pub fn print(b: &ServeBench) {
+    println!("\n== vpced service benchmark: {} jobs, {} inputs ==", b.jobs, b.inputs);
+    println!("  journal           {:>10} bytes (sealed)", b.journal_bytes);
+    println!(
+        "  ingest            {:>10} | {:.0} submissions/s",
+        crate::fmt_secs(b.ingest_wall_s),
+        b.submissions_per_s
+    );
+    println!("  drain             {:>10}", crate::fmt_secs(b.drain_wall_s));
+    println!(
+        "  time-to-recovery  {:>10} (reopen + replay + cross-check)",
+        crate::fmt_secs(b.recovery_wall_s)
+    );
+    println!(
+        "  kill matrix       {:>10} | {} points, {} restarts, {} divergent ({} per point)",
+        crate::fmt_secs(b.kill_matrix_wall_s),
+        b.kill_points,
+        b.kill_restarts,
+        b.kill_divergent,
+        crate::fmt_secs(b.kill_matrix_wall_s / (b.kill_points.max(1) as f64)),
+    );
+}
+
+/// Render the run as the CI JSON artifact.
+pub fn to_json(b: &ServeBench) -> String {
+    format!(
+        "{{\n  \"jobs\": {},\n  \"inputs\": {},\n  \"journal_bytes\": {},\n  \
+         \"ingest_wall_s\": {},\n  \"submissions_per_s\": {},\n  \"drain_wall_s\": {},\n  \
+         \"recovery_wall_s\": {},\n  \"kill_points\": {},\n  \"kill_restarts\": {},\n  \
+         \"kill_divergent\": {},\n  \"kill_matrix_wall_s\": {}\n}}\n",
+        b.jobs,
+        b.inputs,
+        b.journal_bytes,
+        crate::json_num(b.ingest_wall_s),
+        crate::json_num(b.submissions_per_s),
+        crate::json_num(b.drain_wall_s),
+        crate::json_num(b.recovery_wall_s),
+        b.kill_points,
+        b.kill_restarts,
+        b.kill_divergent,
+        crate::json_num(b.kill_matrix_wall_s)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpce_serve::{run_session, KillStorage};
+
+    #[test]
+    fn bench_runs_and_exports_wellformed_json() {
+        let b = run(6, 8);
+        assert!(healthy(&b), "{b:?}");
+        assert_eq!(b.jobs, 6);
+        assert_eq!(b.inputs, 10, "4 directives + 6 jobs");
+        assert!(b.submissions_per_s > 0.0);
+        let json = to_json(&b);
+        assert!(json.contains("\"recovery_wall_s\""), "{json}");
+        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
+    }
+
+    #[test]
+    fn storm_script_replays_deterministically() {
+        let runner = Runner::new(ExecMode::Full);
+        let script = storm_script(4);
+        let mut a = MemStorage::default();
+        let mut b = MemStorage::default();
+        let ra = run_session(&runner, &mut a, &script).unwrap();
+        let rb = run_session(&runner, &mut b, &script).unwrap();
+        assert_eq!(ra.report_json, rb.report_json);
+        assert_eq!(a.bytes, b.bytes);
+        // And a killed session converges to the same bytes.
+        let mut k = KillStorage::new(MemStorage::default(), Some(64)).unwrap();
+        let rk = run_session(&runner, &mut k, &script).unwrap();
+        assert!(rk.restarts >= 1);
+        assert_eq!(rk.report_json, ra.report_json);
+    }
+}

@@ -1,10 +1,12 @@
 //! `vpcec` — the command-line front door of the environment:
 //! compile an F77-mini program and run it on the simulated V-Bus
-//! cluster, statically lint its communication plan (`--lint`), or run
-//! a whole jobfile through the gang scheduler (`--batch`). All logic
-//! lives in `vpce::cli` (unit-tested); this binary only does I/O, and
-//! every exit funnels through the one `Outcome` table.
+//! cluster, statically lint its communication plan (`--lint`), run a
+//! whole jobfile through the gang scheduler (`--batch`), or drive the
+//! persistent job service (`--serve`). All logic lives in `vpce::cli`
+//! (unit-tested); this binary only does I/O, and every exit funnels
+//! through the one `Outcome` table.
 
+use std::io::Read as _;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -35,6 +37,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(script_path) = args.serve.clone() {
+        return run_serve(&script_path, &args);
+    }
     if let Some(jobfile_path) = &args.batch {
         return run_batch(jobfile_path, &args);
     }
@@ -74,13 +79,62 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_batch(jobfile_path: &str, args: &cli::CliArgs) -> ExitCode {
-    let jobfile = match std::fs::read_to_string(jobfile_path) {
+/// Read an input file, with `-` meaning stdin (so jobfiles and serve
+/// scripts can be piped in).
+fn read_input(path: &str) -> Result<String, ExitCode> {
+    if path == "-" {
+        let mut s = String::new();
+        return std::io::stdin().read_to_string(&mut s).map(|_| s).map_err(|e| {
+            eprintln!("error: cannot read stdin: {e}");
+            exit(Outcome::IoError)
+        });
+    }
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        exit(Outcome::IoError)
+    })
+}
+
+fn run_serve(script_path: &str, args: &cli::CliArgs) -> ExitCode {
+    let script = match read_input(script_path) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {jobfile_path}: {e}");
-            return exit(Outcome::IoError);
+        Err(code) => return code,
+    };
+    let mut mem = vpce_serve::MemStorage::default();
+    let mut file;
+    let storage: &mut dyn vpce_serve::Storage = match &args.journal {
+        Some(path) => match vpce_serve::FileStorage::open(path) {
+            Ok(f) => {
+                file = f;
+                &mut file
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return exit(Outcome::IoError);
+            }
+        },
+        None => &mut mem,
+    };
+    let out = cli::run_serve(&script, args, storage);
+    print!("{}", out.text);
+    if let (Some(path), Some(json)) = (&args.batch_json, &out.batch_json) {
+        if let Err(code) = write_or_die(path, json, "batch report") {
+            return code;
         }
+    }
+    if let (Some(path), Some(json)) = (&args.trace, &out.trace_json) {
+        if let Err(code) = write_or_die(path, json, "cluster timeline") {
+            return code;
+        }
+        eprintln!("cluster timeline written to {path} (load in ui.perfetto.dev)");
+    }
+    exit(out.outcome)
+}
+
+fn run_batch(jobfile_path: &str, args: &cli::CliArgs) -> ExitCode {
+    let jobfile = match read_input(jobfile_path) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
     // `src=` paths resolve relative to the jobfile's directory, so a
     // jobfile and its programs travel as one unit.

@@ -48,6 +48,18 @@ pub struct CliArgs {
     pub sched_seed: Option<u64>,
     /// `--batch-json`: also write the batch report as stable JSON.
     pub batch_json: Option<String>,
+    /// Serve mode: path of a `vpced` script (`-` = stdin) to feed the
+    /// persistent job service.
+    pub serve: Option<String>,
+    /// `--journal`: durable journal file for `--serve` (in-memory
+    /// journal when absent).
+    pub journal: Option<String>,
+    /// `--kill-after`: murder the daemon when the journal would grow
+    /// past this byte offset (crash-recovery demo / CI harness).
+    pub kill_after: Option<u64>,
+    /// `--status`: after draining, also print this job's one-line
+    /// status (the client `status` verb).
+    pub status: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -77,6 +89,10 @@ impl Default for CliArgs {
             batch: None,
             sched_seed: None,
             batch_json: None,
+            serve: None,
+            journal: None,
+            kill_after: None,
+            status: None,
         }
     }
 }
@@ -92,6 +108,7 @@ impl Default for CliArgs {
 /// | 2    | `LintConflicts` |
 /// | 3    | `RuntimeFault` (an unsurvivable fault, or a failed batch job) |
 /// | 4    | `AdmissionFailure` (a batch job refused at admission) |
+/// | 5    | `JournalCorrupt` (a `vpced` journal that cannot be trusted) |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     Success,
@@ -104,10 +121,14 @@ pub enum Outcome {
     /// `--lint` found undefined-outcome conflicts.
     LintConflicts,
     /// The run died on an unsurvivable fault (or, in batch mode, at
-    /// least one admitted job failed).
+    /// least one admitted job failed; in serve mode, the daemon was
+    /// killed at the seeded journal offset).
     RuntimeFault,
     /// Batch admission control refused at least one job.
     AdmissionFailure,
+    /// The `vpced` journal is damaged mid-log (VPCE302) or replay
+    /// re-derived a different history than it records (VPCE303).
+    JournalCorrupt,
 }
 
 impl Outcome {
@@ -120,6 +141,7 @@ impl Outcome {
             Outcome::LintConflicts => 2,
             Outcome::RuntimeFault => 3,
             Outcome::AdmissionFailure => 4,
+            Outcome::JournalCorrupt => 5,
         }
     }
 
@@ -147,6 +169,23 @@ impl Outcome {
             0 => Outcome::Success,
             4 => Outcome::AdmissionFailure,
             _ => Outcome::RuntimeFault,
+        }
+    }
+
+    /// Classify a typed `vpced` service error. Untrustworthy-journal
+    /// codes get their own exit (5); command-level refusals are usage
+    /// errors; a torn tail only surfaces as an error when the seeded
+    /// kill fired, which is a runtime death.
+    pub fn from_serve(code: vpce_serve::ServeCode) -> Outcome {
+        use vpce_serve::ServeCode as S;
+        match code {
+            S::JournalCorrupt | S::ReplayDivergence => Outcome::JournalCorrupt,
+            S::TornTail => Outcome::RuntimeFault,
+            S::UnknownJob
+            | S::DuplicateSubmit
+            | S::QuotaExceeded
+            | S::BadCommand
+            | S::NotPreemptible => Outcome::UsageError,
         }
     }
 }
@@ -207,13 +246,34 @@ USAGE: vpcec <file.f> [options]
                        (jobfile `nodes=`/`policy=`/`seed=` directives
                        win over flags); prints per-job and aggregate
                        results. Exit 0 all jobs done / 3 an admitted
-                       job failed / 4 a job was refused at admission
+                       job failed / 4 a job was refused at admission.
+                       `-` reads the jobfile from stdin
   --sched-seed N       override the jobfile's batch seed (storm
                        arrivals and per-job fault schedules)
   --batch-json PATH    also write the batch report as stable JSON
+  --serve SCRIPT       run the jobfile-plus-verbs script through
+                       `vpced`, the persistent job service: every
+                       submission and scheduling decision is journaled
+                       (crash-safe, CRC'd), low-priority jobs are
+                       preempted by checkpoint/restart at fence
+                       boundaries, and tenants share the machine by
+                       fair share. `-` reads the script from stdin.
+                       Killing the daemon anywhere and restarting it on
+                       the same journal replays to a byte-identical
+                       report. Exits like --batch, plus 5 when the
+                       journal cannot be trusted (VPCE302/VPCE303)
+  --journal PATH       durable journal file for --serve; restarting on
+                       an existing journal recovers the acknowledged
+                       state (omitted: in-memory journal)
+  --kill-after N       kill the daemon when the journal would grow past
+                       byte N (crash drill; exit 3, then restart with
+                       the same --journal to recover)
+  --status NAME        after draining, also print NAME's one-line
+                       status (the client `status` verb)
 
 EXIT CODES: 0 ok | 1 usage, I/O or lint warnings | 2 lint conflicts |
-            3 unsurvivable fault / failed batch job | 4 admission refused
+            3 unsurvivable fault / failed batch job / killed daemon |
+            4 admission refused | 5 untrusted journal
 ";
 
 /// Parse an argument vector (excluding argv[0]).
@@ -293,18 +353,47 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--batch-json" => {
                 out.batch_json = Some(it.next().ok_or("--batch-json needs a path")?.clone());
             }
-            other if !other.starts_with('-') && out.source_path.is_empty() => {
+            "--serve" => {
+                out.serve = Some(it.next().ok_or("--serve needs a script path")?.clone());
+            }
+            "--journal" => {
+                out.journal = Some(it.next().ok_or("--journal needs a path")?.clone());
+            }
+            "--kill-after" => {
+                out.kill_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--kill-after needs a byte offset")?,
+                );
+            }
+            "--status" => {
+                out.status = Some(it.next().ok_or("--status needs a job name")?.clone());
+            }
+            // `-` alone is stdin for --batch/--serve, never a source
+            // file — so it falls through to the unknown-argument error
+            // here.
+            other if other != "-" && !other.starts_with('-') && out.source_path.is_empty() => {
                 out.source_path = other.to_string();
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    match (&out.batch, out.source_path.is_empty()) {
-        (None, true) => return Err("no source file given".into()),
-        (Some(_), false) => {
-            return Err("give either a source file or --batch JOBFILE, not both".into())
+    let modes =
+        usize::from(out.batch.is_some()) + usize::from(out.serve.is_some());
+    match (modes, out.source_path.is_empty()) {
+        (0, true) => return Err("no source file given".into()),
+        (0, false) => {}
+        (1, true) => {}
+        _ => {
+            return Err(
+                "give exactly one of a source file, --batch JOBFILE or --serve SCRIPT".into(),
+            )
         }
-        _ => {}
+    }
+    if out.serve.is_none()
+        && (out.journal.is_some() || out.kill_after.is_some() || out.status.is_some())
+    {
+        return Err("--journal/--kill-after/--status need --serve".into());
     }
     if let Some(seed) = out.fault_seed {
         out.faults.seed = seed;
@@ -521,7 +610,13 @@ pub fn run_batch(
     args: &CliArgs,
     loader: &SourceLoader,
 ) -> Result<RunOutput, String> {
-    let spec = BatchSpec::parse(jobfile)?;
+    let spec = match args.batch.as_deref() {
+        // `-` is stdin; a typed jobfile error names the real file.
+        Some(path) if path != "-" => {
+            BatchSpec::parse_named(jobfile, path).map_err(|e| e.to_string())?
+        }
+        _ => BatchSpec::parse(jobfile).map_err(|e| e.to_string())?,
+    };
     let opts = BatchOptions {
         nodes: args.nodes,
         seed: args.sched_seed,
@@ -539,6 +634,96 @@ pub fn run_batch(
         trace_json: args.trace.is_some().then(|| report.trace_json.clone()),
         batch_json: Some(report.to_json()),
     })
+}
+
+/// Serve mode: feed the script to `vpced` over `storage` and drain
+/// the machine. One call is one daemon incarnation: opening the
+/// journal recovers whatever previous incarnations acknowledged, the
+/// script lines beyond the durable prefix are submitted, and the
+/// drained report prints exactly like batch mode. Errors land in the
+/// outcome (never `Err`): a seeded kill is a runtime death (exit 3,
+/// restart with the same journal to recover), an untrusted journal is
+/// exit 5, a refused command is a usage error.
+pub fn run_serve(
+    script_text: &str,
+    args: &CliArgs,
+    storage: &mut dyn vpce_serve::Storage,
+) -> RunOutput {
+    use vpce_serve::{Daemon, KillStorage, Runner, KILLED};
+
+    let runner = Runner::new(args.mode);
+    let script = vpce_serve::script_lines(script_text);
+    let mut out = String::new();
+    let body = || -> Result<(String, String, String, i32), vpce_serve::ServeError> {
+        let mut storage = KillStorage::new(storage, args.kill_after)?;
+        let (mut daemon, recovery) = Daemon::open(&mut storage, &runner)?;
+        if recovery.torn_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "warning[VPCE301] discarded {} torn tail bytes (crash mid-append)",
+                recovery.torn_bytes
+            );
+        }
+        if recovery.inputs > 0 || recovery.prior_recoveries > 0 {
+            let _ = writeln!(
+                out,
+                "vpced: recovered {} inputs, {} derived ops from the journal (recovery #{})",
+                recovery.inputs,
+                recovery.derived,
+                recovery.prior_recoveries + 1
+            );
+        }
+        let durable = daemon.inputs().len();
+        for line in script.iter().skip(durable) {
+            daemon.submit(line)?;
+        }
+        daemon.drain()?;
+        if let Some(name) = &args.status {
+            let _ = writeln!(out, "{}", daemon.status(name)?);
+        }
+        Ok((
+            daemon.report().render_human(),
+            daemon.report_json().to_string(),
+            daemon.report().trace_json.clone(),
+            daemon.report().exit_code(),
+        ))
+    };
+    match body() {
+        Ok((human, json, trace, report_exit)) => {
+            out.push_str(&human);
+            let outcome = Outcome::from_batch(report_exit);
+            RunOutput {
+                text: out,
+                exit: outcome.exit_code(),
+                outcome,
+                lint_json: None,
+                verify_json: None,
+                trace_json: args.trace.is_some().then_some(trace),
+                batch_json: Some(json),
+            }
+        }
+        Err(e) => {
+            let outcome = if e.detail == KILLED {
+                let _ = writeln!(
+                    out,
+                    "vpced: {KILLED} (restart with the same --journal to recover)"
+                );
+                Outcome::RuntimeFault
+            } else {
+                let _ = writeln!(out, "{e}");
+                Outcome::from_serve(e.code)
+            };
+            RunOutput {
+                text: out,
+                exit: outcome.exit_code(),
+                outcome,
+                lint_json: None,
+                verify_json: None,
+                trace_json: None,
+                batch_json: None,
+            }
+        }
+    }
 }
 
 fn base_opts(args: &CliArgs) -> BackendOptions {
@@ -804,6 +989,7 @@ mod tests {
             (Outcome::LintConflicts, 2),
             (Outcome::RuntimeFault, 3),
             (Outcome::AdmissionFailure, 4),
+            (Outcome::JournalCorrupt, 5),
         ] {
             assert_eq!(outcome.exit_code(), code, "{outcome:?}");
         }
@@ -817,6 +1003,23 @@ mod tests {
         assert_eq!(Outcome::from_batch(0), Outcome::Success);
         assert_eq!(Outcome::from_batch(3), Outcome::RuntimeFault);
         assert_eq!(Outcome::from_batch(4), Outcome::AdmissionFailure);
+        // Serve-mode classification: every VPCE30x code, its outcome
+        // and (transitively) its exit — the round trip the daemon's
+        // typed errors take through the CLI.
+        use vpce_serve::ServeCode as S;
+        for (code, outcome, exit) in [
+            (S::TornTail, Outcome::RuntimeFault, 3),
+            (S::JournalCorrupt, Outcome::JournalCorrupt, 5),
+            (S::ReplayDivergence, Outcome::JournalCorrupt, 5),
+            (S::UnknownJob, Outcome::UsageError, 1),
+            (S::DuplicateSubmit, Outcome::UsageError, 1),
+            (S::QuotaExceeded, Outcome::UsageError, 1),
+            (S::BadCommand, Outcome::UsageError, 1),
+            (S::NotPreemptible, Outcome::UsageError, 1),
+        ] {
+            assert_eq!(Outcome::from_serve(code), outcome, "{code:?}");
+            assert_eq!(Outcome::from_serve(code).exit_code(), exit, "{code:?}");
+        }
     }
 
     #[test]
@@ -867,6 +1070,101 @@ mod tests {
         let other = parse_args(&argv("--batch j.txt --sched-seed 8")).unwrap();
         let diff = run_batch(jobfile, &other, &loader).unwrap();
         assert_ne!(base.batch_json, diff.batch_json, "storm arrivals re-draw");
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let a = parse_args(&argv(
+            "--serve s.txt --journal j.log --kill-after 64 --status hi",
+        ))
+        .unwrap();
+        assert_eq!(a.serve.as_deref(), Some("s.txt"));
+        assert_eq!(a.journal.as_deref(), Some("j.log"));
+        assert_eq!(a.kill_after, Some(64));
+        assert_eq!(a.status.as_deref(), Some("hi"));
+        // `-` means stdin for both file-fed modes, never a source path.
+        assert!(parse_args(&argv("--serve -")).is_ok());
+        assert!(parse_args(&argv("--batch -")).is_ok());
+        assert!(parse_args(&argv("-")).is_err());
+        // Mode exclusivity and flag prerequisites.
+        assert!(parse_args(&argv("x.f --serve s.txt")).is_err());
+        assert!(parse_args(&argv("--batch j.txt --serve s.txt")).is_err());
+        assert!(parse_args(&argv("--journal j.log --batch j.txt")).is_err());
+        assert!(parse_args(&argv("--status hi x.f")).is_err());
+        assert!(parse_args(&argv("--serve s.txt --kill-after x")).is_err());
+        assert!(parse_args(&argv("--serve")).is_err());
+    }
+
+    const SERVE_SCRIPT: &str = "nodes=4\nseed=1\n\
+                                tenant name=acme share=2\n\
+                                job name=a tenant=acme workload=mm ranks=2 param:N=8\n\
+                                job name=b workload=mm ranks=2 param:N=8 arrive=1e-4\n";
+
+    #[test]
+    fn serve_mode_drains_a_script_and_reports_like_batch() {
+        let args = parse_args(&argv("--serve s.txt --status a")).unwrap();
+        let mut storage = vpce_serve::MemStorage::default();
+        let out = run_serve(SERVE_SCRIPT, &args, &mut storage);
+        assert_eq!(out.outcome, Outcome::Success, "{}", out.text);
+        assert!(out.text.contains("2 submitted | 2 done"), "{}", out.text);
+        assert!(
+            out.text.contains("a done tenant=acme attempts=1 preemptions=0"),
+            "{}",
+            out.text
+        );
+        let json = out.batch_json.as_deref().expect("serve always renders JSON");
+        assert!(json.contains("\"tenant\": \"acme\""), "{json}");
+        // Byte-determinism through the CLI layer, journal included.
+        let mut storage2 = vpce_serve::MemStorage::default();
+        let again = run_serve(SERVE_SCRIPT, &args, &mut storage2);
+        assert_eq!(out.text, again.text);
+        assert_eq!(storage.bytes, storage2.bytes);
+    }
+
+    #[test]
+    fn serve_kill_after_then_restart_recovers_byte_identically() {
+        let clean_args = parse_args(&argv("--serve s.txt")).unwrap();
+        let mut clean = vpce_serve::MemStorage::default();
+        let base = run_serve(SERVE_SCRIPT, &clean_args, &mut clean);
+        assert_eq!(base.outcome, Outcome::Success, "{}", base.text);
+
+        let killed_args = parse_args(&argv("--serve s.txt --kill-after 120")).unwrap();
+        let mut storage = vpce_serve::MemStorage::default();
+        let dead = run_serve(SERVE_SCRIPT, &killed_args, &mut storage);
+        assert_eq!(dead.outcome, Outcome::RuntimeFault, "{}", dead.text);
+        assert_eq!(dead.exit, 3);
+        assert!(dead.text.contains("killed"), "{}", dead.text);
+        assert!(dead.batch_json.is_none(), "no report from a dead daemon");
+        assert!(storage.bytes.len() as u64 <= 120, "only the prefix survives");
+
+        // Same journal, no kill: recovery replays to the same bytes.
+        let recovered = run_serve(SERVE_SCRIPT, &clean_args, &mut storage);
+        assert_eq!(recovered.outcome, Outcome::Success, "{}", recovered.text);
+        assert!(recovered.text.contains("recovery #1"), "{}", recovered.text);
+        assert_eq!(recovered.batch_json, base.batch_json);
+        assert!(
+            recovered.text.ends_with(&base.text),
+            "report identical below the recovery banner:\n{}",
+            recovered.text
+        );
+    }
+
+    #[test]
+    fn serve_refuses_bad_commands_with_typed_codes() {
+        let args = parse_args(&argv("--serve s.txt")).unwrap();
+        let mut s = vpce_serve::MemStorage::default();
+        let out = run_serve("nodes=4\nfrobnicate the cluster\n", &args, &mut s);
+        assert_eq!(out.outcome, Outcome::UsageError, "{}", out.text);
+        assert!(out.text.contains("VPCE307"), "{}", out.text);
+        let mut s = vpce_serve::MemStorage::default();
+        let dup = run_serve(
+            "nodes=4\njob name=a workload=mm ranks=2 param:N=8\n\
+             job name=a workload=mm ranks=2 param:N=8\n",
+            &args,
+            &mut s,
+        );
+        assert_eq!(dup.outcome, Outcome::UsageError, "{}", dup.text);
+        assert!(dup.text.contains("VPCE305"), "{}", dup.text);
     }
 
     #[test]

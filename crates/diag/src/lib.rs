@@ -31,11 +31,25 @@
 //! | VPCE207 | error    | verify | receive no surviving rank ever matches |
 //! | VPCE208 | error    | verify | handshake half orphaned by a finished peer |
 //! | VPCE210 | warning  | verify | progress depends on eager pool size ≥ N |
+//! | VPCE301 | warning  | serve  | torn journal tail truncated (crash mid-append) |
+//! | VPCE302 | error    | serve  | journal corrupt before the tail; recovery refused |
+//! | VPCE303 | error    | serve  | replay re-derived a different history than journaled |
+//! | VPCE304 | error    | serve  | client verb names a job the journal never saw |
+//! | VPCE305 | error    | serve  | submission reuses a live job name |
+//! | VPCE306 | error    | serve  | submission can never run under its tenant's quota |
+//! | VPCE307 | error    | serve  | serve-script line is not a record or known verb |
+//! | VPCE308 | warning  | serve  | cancel/preempt target cannot stop at a boundary |
+//! | VPCE310 | error    | jobfile | unrecognisable jobfile line |
+//! | VPCE311 | error    | jobfile | unknown key on a jobfile record |
+//! | VPCE312 | error    | jobfile | unparsable value for a jobfile field |
+//! | VPCE313 | error    | jobfile | required jobfile field missing |
+//! | VPCE314 | error    | jobfile | duplicate job name in one jobfile |
+//! | VPCE315 | error    | jobfile | mutually exclusive jobfile fields combined |
 //!
-//! Each checker owns its code *enum* (and therefore the 0xx/2xx
-//! namespace split); this crate owns everything the enums have in
-//! common: the [`DiagCode`] trait, the [`Diagnostic`] record, and the
-//! [`Report`] container with its two renderers.
+//! Each checker owns its code *enum* (and therefore the
+//! 0xx/2xx/30x/31x namespace split); this crate owns everything the
+//! enums have in common: the [`DiagCode`] trait, the [`Diagnostic`]
+//! record, and the [`Report`] container with its two renderers.
 
 #![forbid(unsafe_code)]
 

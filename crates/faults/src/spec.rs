@@ -192,6 +192,51 @@ impl FaultSpec {
         }
         Ok(spec)
     }
+    /// The canonical `--faults` string for this spec: `off` when it
+    /// equals [`FaultSpec::off`], otherwise comma-separated
+    /// `key=value` overrides (only the fields that differ from `off`,
+    /// in the fixed key order of [`FaultSpec::parse`]). Parsing the
+    /// result reproduces the spec exactly, which is what lets jobfile
+    /// records and the `vpce-serve` journal round-trip fault
+    /// schedules.
+    pub fn to_record(&self) -> String {
+        let off = FaultSpec::off();
+        let mut parts: Vec<String> = Vec::new();
+        if self.seed != off.seed {
+            parts.push(format!("seed={}", self.seed));
+        }
+        let floats = [
+            ("corrupt", self.flit_corrupt, off.flit_corrupt),
+            ("drop", self.link_drop, off.link_drop),
+            ("stall", self.link_stall, off.link_stall),
+            ("stall_s", self.stall_s, off.stall_s),
+            ("bus", self.bus_fail, off.bus_fail),
+            ("dma", self.dma_err, off.dma_err),
+            ("pio", self.pio_err, off.pio_err),
+            ("nicstall", self.nic_stall, off.nic_stall),
+            ("nicstall_s", self.nic_stall_s, off.nic_stall_s),
+            ("slow", self.rank_slow, off.rank_slow),
+            ("slow_factor", self.slow_factor, off.slow_factor),
+            ("crash", self.rank_crash, off.rank_crash),
+            ("backoff_s", self.backoff_base_s, off.backoff_base_s),
+        ];
+        for (key, v, d) in floats {
+            if v != d {
+                parts.push(format!("{key}={v}"));
+            }
+        }
+        if self.bus_attempts != off.bus_attempts {
+            parts.push(format!("bus_attempts={}", self.bus_attempts));
+        }
+        if self.max_retries != off.max_retries {
+            parts.push(format!("retries={}", self.max_retries));
+        }
+        if parts.is_empty() {
+            "off".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
 }
 
 impl Default for FaultSpec {
@@ -227,6 +272,21 @@ mod tests {
         let s = FaultSpec::parse("corrupt=0.1").unwrap();
         assert_eq!(s.flit_corrupt, 0.1);
         assert_eq!(s.link_drop, 0.0);
+    }
+
+    #[test]
+    fn to_record_round_trips() {
+        assert_eq!(FaultSpec::off().to_record(), "off");
+        for spec in [
+            FaultSpec::light(),
+            FaultSpec::heavy(),
+            FaultSpec::crashy(),
+            FaultSpec::parse("heavy,seed=42,retries=3,stall_s=1e-5").unwrap(),
+        ] {
+            let rec = spec.to_record();
+            assert_eq!(FaultSpec::parse(&rec).unwrap(), spec, "{rec}");
+            assert!(!rec.contains(' '), "record must be one token: {rec}");
+        }
     }
 
     #[test]

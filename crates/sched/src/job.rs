@@ -2,16 +2,18 @@
 //!
 //! A jobfile is line-oriented: `#` starts a comment, blank lines are
 //! skipped, and each remaining line is either a header directive
-//! (`nodes=16`, `policy=backfill`, `seed=1`) or a whitespace-separated
-//! `key=value` record introduced by `job` or `storm`:
+//! (`nodes=16`, `policy=backfill`, `seed=1`), a `tenant` declaration,
+//! or a whitespace-separated `key=value` record introduced by `job` or
+//! `storm`:
 //!
 //! ```text
 //! # a 16-node batch
 //! nodes=16
 //! policy=backfill
 //! seed=1
+//! tenant name=acme share=2 quota=8
 //!
-//! job name=mm0 workload=mm ranks=2 param:N=16 arrive=0.0 prio=1
+//! job name=mm0 tenant=acme workload=mm ranks=2 param:N=16 arrive=0.0 prio=1
 //! job name=wide src=examples/fortran/mm.f ranks=8 grain=coarse
 //! job name=risky workload=mm ranks=2 faults=crashy,seed=7 retries=3
 //! storm count=8 prefix=s workload=mm ranks=2 param:N=16 mean-gap=2e-4
@@ -22,15 +24,160 @@
 //! inter-arrival gaps (mean `mean-gap` virtual seconds) drawn from the
 //! batch seed — the deterministic traffic-storm scenario the property
 //! suite and `bench::sched` sweep.
+//!
+//! `tenant` declares a fair-share principal: `share` weights the
+//! scheduler's usage-normalised queue order, `quota` caps the node
+//! cells the tenant may hold concurrently. Jobs name their tenant with
+//! `tenant=`; undeclared tenants are implicit (share 1, no quota).
+//!
+//! Parse failures are typed [`JobfileError`]s carrying the file, line,
+//! offending field and a stable `vpce-diag` code (VPCE31x), and every
+//! record has a canonical serialized form ([`JobSpec::to_record`],
+//! [`StormSpec::to_record`]) that re-parses to an equal value — the
+//! `vpce-serve` journal writes records in exactly this form.
+
+use std::fmt;
 
 use lmad::Granularity;
+use vpce_diag::{DiagCode, Diagnostic, Severity};
 use vpce_faults::FaultSpec;
 use vpce_testkit::rng::SplitMix64;
+
+/// Tenant name of jobs that did not claim one.
+pub const DEFAULT_TENANT: &str = "-";
+
+/// Stable diagnostic codes for jobfile parse failures (the VPCE31x
+/// block of the service-layer registry; see `vpce-diag`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum JobfileCode {
+    /// VPCE310: the line is not a record, declaration or header.
+    BadLine,
+    /// VPCE311: unknown record key or header directive.
+    UnknownKey,
+    /// VPCE312: a value failed to parse or is out of range.
+    BadValue,
+    /// VPCE313: a required field is missing.
+    MissingField,
+    /// VPCE314: duplicate job or tenant name.
+    DuplicateName,
+    /// VPCE315: mutually exclusive fields given together.
+    ConflictingFields,
+}
+
+impl DiagCode for JobfileCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobfileCode::BadLine => "VPCE310",
+            JobfileCode::UnknownKey => "VPCE311",
+            JobfileCode::BadValue => "VPCE312",
+            JobfileCode::MissingField => "VPCE313",
+            JobfileCode::DuplicateName => "VPCE314",
+            JobfileCode::ConflictingFields => "VPCE315",
+        }
+    }
+
+    fn severity(self) -> Severity {
+        Severity::Error
+    }
+}
+
+/// A typed jobfile parse failure: which file and line, which field,
+/// and a stable code — instead of a bare string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobfileError {
+    pub code: JobfileCode,
+    /// Jobfile name when the caller supplied one
+    /// ([`BatchSpec::parse_named`]); rendered as `jobfile` otherwise.
+    pub file: Option<String>,
+    /// 1-based line; 0 when the failure is not tied to one line
+    /// (post-expansion name collisions).
+    pub line: usize,
+    /// The offending record field, when one is identifiable.
+    pub field: Option<String>,
+    pub detail: String,
+}
+
+impl JobfileError {
+    fn new(code: JobfileCode, detail: impl Into<String>) -> Self {
+        JobfileError { code, file: None, line: 0, field: None, detail: detail.into() }
+    }
+
+    fn field(mut self, f: impl Into<String>) -> Self {
+        self.field = Some(f.into());
+        self
+    }
+
+    fn at(mut self, line: usize, file: Option<&str>) -> Self {
+        self.line = line;
+        self.file = file.map(str::to_string);
+        self
+    }
+
+    /// The finding as a `vpce-diag` record (for callers that aggregate
+    /// jobfile problems into a diagnostic report).
+    pub fn to_diagnostic(&self) -> Diagnostic<JobfileCode> {
+        let mut d = Diagnostic::bare(self.code);
+        d.line = self.line;
+        d.site = "jobfile".into();
+        d.detail = match &self.field {
+            Some(f) => format!("{} (field `{f}`)", self.detail),
+            None => self.detail.clone(),
+        };
+        d
+    }
+}
+
+impl fmt::Display for JobfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.file.as_deref().unwrap_or("jobfile"))?;
+        if self.line > 0 {
+            write!(f, " line {}", self.line)?;
+        }
+        write!(f, ": error[{}] {}", self.code.as_str(), self.detail)?;
+        if let Some(field) = &self.field {
+            write!(f, " (field `{field}`)")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for JobfileError {}
+
+/// A fair-share principal: jobs carrying `tenant=<name>` are accounted
+/// and throttled together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    pub name: String,
+    /// Fair-share weight (> 0): queue order normalises accumulated
+    /// node-seconds by this.
+    pub share: f64,
+    /// Maximum node cells the tenant may hold concurrently; `None` is
+    /// unbounded.
+    pub quota: Option<usize>,
+}
+
+impl TenantSpec {
+    /// The implicit tenant jobs get when they name an undeclared one.
+    pub fn implicit(name: impl Into<String>) -> Self {
+        TenantSpec { name: name.into(), share: 1.0, quota: None }
+    }
+
+    /// Canonical `tenant` declaration line; re-parses to an equal
+    /// value.
+    pub fn to_record(&self) -> String {
+        let mut s = format!("tenant name={} share={}", self.name, self.share);
+        if let Some(q) = self.quota {
+            s.push_str(&format!(" quota={q}"));
+        }
+        s
+    }
+}
 
 /// Where a job's program text comes from.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobSource {
-    /// F77-mini source held inline (API submissions, property tests).
+    /// F77-mini source held inline (API submissions, property tests,
+    /// `inline=` records with percent-encoded text).
     Inline(String),
     /// A path resolved by the caller-supplied source loader
     /// (`src=` in a jobfile; the CLI resolves relative to the
@@ -46,12 +193,14 @@ pub enum JobSource {
 pub struct JobSpec {
     /// Unique name within the batch.
     pub name: String,
+    /// Fair-share principal ([`DEFAULT_TENANT`] when unclaimed).
+    pub tenant: String,
     pub source: JobSource,
     /// Requested ranks (the partition may reserve a few spare router
     /// positions on top — see `cluster_sim::partition_shape`).
     pub ranks: usize,
-    /// Higher runs first; ties broken by arrival time, then
-    /// submission order.
+    /// Higher runs first; ties broken by fair-share ratio, arrival
+    /// time, then submission order.
     pub priority: i64,
     /// Virtual submission time, seconds.
     pub arrival: f64,
@@ -72,10 +221,12 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// A job with neutral defaults: priority 0, arrival 0, no
-    /// deadline, advisor granularity, faults off, 2 retries.
+    /// deadline, advisor granularity, faults off, 2 retries, default
+    /// tenant.
     pub fn new(name: impl Into<String>, source: JobSource, ranks: usize) -> Self {
         JobSpec {
             name: name.into(),
+            tenant: DEFAULT_TENANT.to_string(),
             source,
             ranks,
             priority: 0,
@@ -87,6 +238,92 @@ impl JobSpec {
             retries: 2,
         }
     }
+
+    /// Canonical `job` record line: parsing it back yields an equal
+    /// spec (`f64` fields print in shortest round-trip form). The
+    /// `vpce-serve` journal stores submissions in exactly this form.
+    pub fn to_record(&self) -> String {
+        let mut s = format!("job name={}", self.name);
+        s.push_str(&self.record_fields(true));
+        s
+    }
+
+    /// The non-name fields of the record, canonically ordered.
+    fn record_fields(&self, with_arrival: bool) -> String {
+        let mut s = String::new();
+        if self.tenant != DEFAULT_TENANT {
+            s.push_str(&format!(" tenant={}", self.tenant));
+        }
+        match &self.source {
+            JobSource::Workload(w) => s.push_str(&format!(" workload={w}")),
+            JobSource::Path(p) => s.push_str(&format!(" src={p}")),
+            JobSource::Inline(text) => s.push_str(&format!(" inline={}", encode_inline(text))),
+        }
+        s.push_str(&format!(" ranks={}", self.ranks));
+        if with_arrival && self.arrival != 0.0 {
+            s.push_str(&format!(" arrive={}", self.arrival));
+        }
+        if self.priority != 0 {
+            s.push_str(&format!(" prio={}", self.priority));
+        }
+        if let Some(d) = self.deadline {
+            s.push_str(&format!(" deadline={d}"));
+        }
+        if let Some(g) = self.granularity {
+            let name = match g {
+                Granularity::Fine => "fine",
+                Granularity::Middle => "middle",
+                Granularity::Coarse => "coarse",
+            };
+            s.push_str(&format!(" grain={name}"));
+        }
+        let faults = self.faults.to_record();
+        if faults != "off" {
+            s.push_str(&format!(" faults={faults}"));
+        }
+        if self.retries != 2 {
+            s.push_str(&format!(" retries={}", self.retries));
+        }
+        for (k, v) in &self.params {
+            s.push_str(&format!(" param:{k}={v}"));
+        }
+        s
+    }
+}
+
+/// Percent-encode inline program text into a single jobfile token
+/// (whitespace and `%` escaped as `%XX`).
+pub fn encode_inline(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for b in text.bytes() {
+        match b {
+            b'%' | b' ' | b'\t' | b'\n' | b'\r' => out.push_str(&format!("%{b:02X}")),
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_inline`].
+pub fn decode_inline(token: &str) -> Result<String, String> {
+    let bytes = token.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .and_then(|h| std::str::from_utf8(h).ok())
+                .and_then(|h| u8::from_str_radix(h, 16).ok())
+                .ok_or_else(|| format!("bad %-escape at byte {i}"))?;
+            out.push(hex);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| "inline text is not UTF-8".to_string())
 }
 
 /// Scheduling policy.
@@ -155,9 +392,23 @@ impl StormSpec {
             })
             .collect()
     }
+
+    /// Canonical `storm` record line; re-parses to an equal value.
+    pub fn to_record(&self) -> String {
+        let mut s = format!(
+            "storm prefix={} count={} mean-gap={}",
+            self.prefix, self.count, self.mean_gap_s
+        );
+        if self.start_s != 0.0 {
+            s.push_str(&format!(" start={}", self.start_s));
+        }
+        s.push_str(&self.template.record_fields(false));
+        s
+    }
 }
 
-/// A parsed jobfile: header directives plus the submitted jobs.
+/// A parsed jobfile: header directives, tenants, and the submitted
+/// jobs.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BatchSpec {
     /// Machine size (header `nodes=`); the CLI's `--nodes` is the
@@ -166,18 +417,29 @@ pub struct BatchSpec {
     pub policy: Option<Policy>,
     /// Batch seed (header `seed=`); `--sched-seed` overrides it.
     pub seed: Option<u64>,
+    /// Declared fair-share tenants.
+    pub tenants: Vec<TenantSpec>,
     pub jobs: Vec<JobSpec>,
     pub storms: Vec<StormSpec>,
 }
 
 impl BatchSpec {
-    /// Parse a jobfile. Errors are usage-level (malformed line, bad
-    /// value, duplicate explicit name) and name the offending line.
-    pub fn parse(text: &str) -> Result<Self, String> {
+    /// Parse a jobfile. Errors are typed [`JobfileError`]s naming the
+    /// offending line and field.
+    pub fn parse(text: &str) -> Result<Self, JobfileError> {
+        Self::parse_inner(text, None)
+    }
+
+    /// [`BatchSpec::parse`] with a file name carried into errors.
+    pub fn parse_named(text: &str, file: &str) -> Result<Self, JobfileError> {
+        Self::parse_inner(text, Some(file))
+    }
+
+    fn parse_inner(text: &str, file: Option<&str>) -> Result<Self, JobfileError> {
         let mut spec = BatchSpec::default();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
-            let at = |msg: String| format!("jobfile line {}: {msg}", lineno + 1);
+            let at = |e: JobfileError| e.at(lineno + 1, file);
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
@@ -187,28 +449,61 @@ impl BatchSpec {
                 "job" => {
                     let job = parse_job(tokens, /*storm*/ false).map_err(at)?;
                     if spec.jobs.iter().any(|j| j.name == job.name) {
-                        return Err(at(format!("duplicate job name `{}`", job.name)));
+                        return Err(at(JobfileError::new(
+                            JobfileCode::DuplicateName,
+                            format!("duplicate job name `{}`", job.name),
+                        )
+                        .field("name")));
                     }
                     spec.jobs.push(job);
                 }
                 "storm" => spec.storms.push(parse_storm(tokens).map_err(at)?),
-                _ => {
-                    let (k, v) = head
-                        .split_once('=')
-                        .ok_or_else(|| at(format!("expected `job`, `storm` or `key=value`, got `{head}`")))?;
-                    if tokens.next().is_some() {
-                        return Err(at("header directives take a single key=value".into()));
+                "tenant" => {
+                    let t = parse_tenant(tokens).map_err(at)?;
+                    if spec.tenants.iter().any(|x| x.name == t.name) {
+                        return Err(at(JobfileError::new(
+                            JobfileCode::DuplicateName,
+                            format!("duplicate tenant `{}`", t.name),
+                        )
+                        .field("name")));
                     }
+                    spec.tenants.push(t);
+                }
+                _ => {
+                    let (k, v) = head.split_once('=').ok_or_else(|| {
+                        at(JobfileError::new(
+                            JobfileCode::BadLine,
+                            format!("expected `job`, `storm`, `tenant` or `key=value`, got `{head}`"),
+                        ))
+                    })?;
+                    if tokens.next().is_some() {
+                        return Err(at(JobfileError::new(
+                            JobfileCode::BadLine,
+                            "header directives take a single key=value",
+                        )));
+                    }
+                    let bad = |what: &str| {
+                        at(JobfileError::new(
+                            JobfileCode::BadValue,
+                            format!("bad {what} `{v}`"),
+                        )
+                        .field(what))
+                    };
                     match k {
-                        "nodes" => {
-                            spec.nodes =
-                                Some(v.parse().map_err(|_| at(format!("bad nodes `{v}`")))?)
+                        "nodes" => spec.nodes = Some(v.parse().map_err(|_| bad("nodes"))?),
+                        "policy" => {
+                            spec.policy = Some(Policy::parse(v).map_err(|e| {
+                                at(JobfileError::new(JobfileCode::BadValue, e).field("policy"))
+                            })?)
                         }
-                        "policy" => spec.policy = Some(Policy::parse(v).map_err(at)?),
-                        "seed" => {
-                            spec.seed = Some(v.parse().map_err(|_| at(format!("bad seed `{v}`")))?)
+                        "seed" => spec.seed = Some(v.parse().map_err(|_| bad("seed"))?),
+                        other => {
+                            return Err(at(JobfileError::new(
+                                JobfileCode::UnknownKey,
+                                format!("unknown header directive `{other}`"),
+                            )
+                            .field(other)))
                         }
-                        other => return Err(at(format!("unknown header directive `{other}`"))),
                     }
                 }
             }
@@ -216,10 +511,19 @@ impl BatchSpec {
         Ok(spec)
     }
 
+    /// The declared tenant of `name`, or the implicit one.
+    pub fn tenant(&self, name: &str) -> TenantSpec {
+        self.tenants
+            .iter()
+            .find(|t| t.name == name)
+            .cloned()
+            .unwrap_or_else(|| TenantSpec::implicit(name))
+    }
+
     /// Explicit jobs plus every storm expansion under `seed`, checked
     /// for name collisions (a storm prefix may not shadow an explicit
     /// job or another storm).
-    pub fn materialize(&self, seed: u64) -> Result<Vec<JobSpec>, String> {
+    pub fn materialize(&self, seed: u64) -> Result<Vec<JobSpec>, JobfileError> {
         let mut jobs = self.jobs.clone();
         for storm in &self.storms {
             jobs.extend(storm.expand(seed));
@@ -227,7 +531,11 @@ impl BatchSpec {
         let mut names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
         names.sort_unstable();
         if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
-            return Err(format!("duplicate job name `{}` after storm expansion", w[0]));
+            return Err(JobfileError::new(
+                JobfileCode::DuplicateName,
+                format!("duplicate job name `{}` after storm expansion", w[0]),
+            )
+            .field("name"));
         }
         Ok(jobs)
     }
@@ -243,10 +551,14 @@ struct RecordFields {
     mean_gap_s: f64,
 }
 
+fn err(code: JobfileCode, field: &str, detail: String) -> JobfileError {
+    JobfileError::new(code, detail).field(field)
+}
+
 fn parse_record<'a>(
     tokens: impl Iterator<Item = &'a str>,
     storm: bool,
-) -> Result<RecordFields, String> {
+) -> Result<RecordFields, JobfileError> {
     let mut f = RecordFields {
         job: JobSpec::new("", JobSource::Inline(String::new()), 0),
         named: false,
@@ -255,74 +567,120 @@ fn parse_record<'a>(
         mean_gap_s: 1e-4,
     };
     for tok in tokens {
-        let (k, v) = tok
-            .split_once('=')
-            .ok_or_else(|| format!("expected key=value, got `{tok}`"))?;
-        let set_source = |f: &mut RecordFields, src: JobSource| -> Result<(), String> {
+        let (k, v) = tok.split_once('=').ok_or_else(|| {
+            JobfileError::new(JobfileCode::BadLine, format!("expected key=value, got `{tok}`"))
+        })?;
+        let set_source = |f: &mut RecordFields, k: &str, src: JobSource| {
             if f.sourced {
-                return Err("a job takes exactly one of src=/workload=".into());
+                return Err(err(
+                    JobfileCode::ConflictingFields,
+                    k,
+                    "a job takes exactly one of src=/workload=/inline=".into(),
+                ));
             }
             f.sourced = true;
             f.job.source = src;
             Ok(())
         };
+        let bad = |detail: String| err(JobfileCode::BadValue, k, detail);
         match k {
             "name" | "prefix" => {
                 f.job.name = v.to_string();
                 f.named = true;
             }
-            "src" => set_source(&mut f, JobSource::Path(v.to_string()))?,
-            "workload" => set_source(&mut f, JobSource::Workload(v.to_string()))?,
-            "ranks" => f.job.ranks = v.parse().map_err(|_| format!("bad ranks `{v}`"))?,
-            "arrive" | "start" => {
-                f.job.arrival = parse_time(v)?;
+            "tenant" => f.job.tenant = v.to_string(),
+            "src" => set_source(&mut f, k, JobSource::Path(v.to_string()))?,
+            "workload" => set_source(&mut f, k, JobSource::Workload(v.to_string()))?,
+            "inline" => {
+                let text = decode_inline(v).map_err(|e| bad(format!("bad inline text: {e}")))?;
+                set_source(&mut f, k, JobSource::Inline(text))?;
             }
-            "prio" => f.job.priority = v.parse().map_err(|_| format!("bad prio `{v}`"))?,
-            "deadline" => f.job.deadline = Some(parse_time(v)?),
+            "ranks" => {
+                f.job.ranks = v.parse().map_err(|_| bad(format!("bad ranks `{v}`")))?
+            }
+            "arrive" | "start" => {
+                f.job.arrival = parse_time(v).map_err(&bad)?;
+            }
+            "prio" => {
+                f.job.priority = v.parse().map_err(|_| bad(format!("bad prio `{v}`")))?
+            }
+            "deadline" => f.job.deadline = Some(parse_time(v).map_err(&bad)?),
             "grain" => {
                 f.job.granularity = Some(match v {
                     "fine" => Granularity::Fine,
                     "middle" => Granularity::Middle,
                     "coarse" => Granularity::Coarse,
-                    other => return Err(format!("bad grain `{other}`")),
+                    other => return Err(bad(format!("bad grain `{other}`"))),
                 })
             }
-            "faults" => f.job.faults = FaultSpec::parse(v)?,
-            "retries" => f.job.retries = v.parse().map_err(|_| format!("bad retries `{v}`"))?,
-            "count" if storm => f.count = Some(v.parse().map_err(|_| format!("bad count `{v}`"))?),
-            "mean-gap" if storm => f.mean_gap_s = parse_time(v)?,
+            "faults" => f.job.faults = FaultSpec::parse(v).map_err(&bad)?,
+            "retries" => {
+                f.job.retries = v.parse().map_err(|_| bad(format!("bad retries `{v}`")))?
+            }
+            "count" if storm => {
+                f.count = Some(v.parse().map_err(|_| bad(format!("bad count `{v}`")))?)
+            }
+            "mean-gap" if storm => f.mean_gap_s = parse_time(v).map_err(&bad)?,
             _ if k.starts_with("param:") => {
                 let name = k["param:".len()..].to_ascii_uppercase();
-                let val: i64 = v.parse().map_err(|_| format!("bad value in `{tok}`"))?;
+                let val: i64 = v.parse().map_err(|_| bad(format!("bad value in `{tok}`")))?;
                 f.job.params.push((name, val));
             }
-            other => return Err(format!("unknown key `{other}`")),
+            other => {
+                return Err(err(
+                    JobfileCode::UnknownKey,
+                    other,
+                    format!("unknown key `{other}`"),
+                ))
+            }
         }
     }
     if !f.named {
-        return Err(if storm { "storm needs prefix=" } else { "job needs name=" }.into());
+        let (field, what) = if storm { ("prefix", "storm needs prefix=") } else { ("name", "job needs name=") };
+        return Err(err(JobfileCode::MissingField, field, what.into()));
     }
     if !f.sourced {
-        return Err("job needs src= or workload=".into());
+        return Err(err(
+            JobfileCode::MissingField,
+            "src",
+            "job needs src=, workload= or inline=".into(),
+        ));
     }
     if f.job.ranks == 0 {
-        return Err("job needs ranks= (at least 1)".into());
+        return Err(err(
+            JobfileCode::MissingField,
+            "ranks",
+            "job needs ranks= (at least 1)".into(),
+        ));
     }
     Ok(f)
 }
 
-fn parse_job<'a>(tokens: impl Iterator<Item = &'a str>, storm: bool) -> Result<JobSpec, String> {
+fn parse_job<'a>(
+    tokens: impl Iterator<Item = &'a str>,
+    storm: bool,
+) -> Result<JobSpec, JobfileError> {
     Ok(parse_record(tokens, storm)?.job)
 }
 
-fn parse_storm<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<StormSpec, String> {
+fn parse_storm<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<StormSpec, JobfileError> {
     let f = parse_record(tokens, true)?;
-    let count = f.count.ok_or("storm needs count=")?;
+    let count = f
+        .count
+        .ok_or_else(|| err(JobfileCode::MissingField, "count", "storm needs count=".into()))?;
     if count == 0 {
-        return Err("storm count must be at least 1".into());
+        return Err(err(
+            JobfileCode::BadValue,
+            "count",
+            "storm count must be at least 1".into(),
+        ));
     }
     if f.mean_gap_s <= 0.0 || f.mean_gap_s.is_nan() {
-        return Err("storm mean-gap must be positive".into());
+        return Err(err(
+            JobfileCode::BadValue,
+            "mean-gap",
+            "storm mean-gap must be positive".into(),
+        ));
     }
     Ok(StormSpec {
         prefix: f.job.name.clone(),
@@ -331,6 +689,48 @@ fn parse_storm<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<StormSpec, S
         start_s: f.job.arrival,
         template: f.job,
     })
+}
+
+fn parse_tenant<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<TenantSpec, JobfileError> {
+    let mut t = TenantSpec { name: String::new(), share: 1.0, quota: None };
+    for tok in tokens {
+        let (k, v) = tok.split_once('=').ok_or_else(|| {
+            JobfileError::new(JobfileCode::BadLine, format!("expected key=value, got `{tok}`"))
+        })?;
+        let bad = |detail: String| err(JobfileCode::BadValue, k, detail);
+        match k {
+            "name" => t.name = v.to_string(),
+            "share" => {
+                let s: f64 = v.parse().map_err(|_| bad(format!("bad share `{v}`")))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(bad(format!("share `{v}` must be positive")));
+                }
+                t.share = s;
+            }
+            "quota" => {
+                let q: usize = v.parse().map_err(|_| bad(format!("bad quota `{v}`")))?;
+                if q == 0 {
+                    return Err(bad("quota must be at least 1 node".into()));
+                }
+                t.quota = Some(q);
+            }
+            other => {
+                return Err(err(
+                    JobfileCode::UnknownKey,
+                    other,
+                    format!("unknown tenant key `{other}`"),
+                ))
+            }
+        }
+    }
+    if t.name.is_empty() {
+        return Err(err(
+            JobfileCode::MissingField,
+            "name",
+            "tenant needs name=".into(),
+        ));
+    }
+    Ok(t)
 }
 
 fn parse_time(v: &str) -> Result<f64, String> {
@@ -350,31 +750,40 @@ mod tests {
 nodes=16
 policy=backfill
 seed=7
+tenant name=acme share=2 quota=8
 
-job name=a workload=mm ranks=2 param:N=16 arrive=0.0 prio=1
+job name=a tenant=acme workload=mm ranks=2 param:N=16 arrive=0.0 prio=1
 job name=b src=prog.f ranks=8 grain=coarse deadline=0.5 retries=3
 storm count=3 prefix=s workload=mm ranks=2 mean-gap=1e-4 start=2e-4
 ";
 
     #[test]
-    fn parses_headers_jobs_and_storms() {
+    fn parses_headers_tenants_jobs_and_storms() {
         let spec = BatchSpec::parse(FILE).unwrap();
         assert_eq!(spec.nodes, Some(16));
         assert_eq!(spec.policy, Some(Policy::Backfill));
         assert_eq!(spec.seed, Some(7));
+        assert_eq!(
+            spec.tenants,
+            vec![TenantSpec { name: "acme".into(), share: 2.0, quota: Some(8) }]
+        );
         assert_eq!(spec.jobs.len(), 2);
         let a = &spec.jobs[0];
         assert_eq!(a.name, "a");
+        assert_eq!(a.tenant, "acme");
         assert_eq!(a.source, JobSource::Workload("mm".into()));
         assert_eq!(a.params, vec![("N".to_string(), 16)]);
         assert_eq!(a.priority, 1);
         let b = &spec.jobs[1];
+        assert_eq!(b.tenant, DEFAULT_TENANT);
         assert_eq!(b.source, JobSource::Path("prog.f".into()));
         assert_eq!(b.granularity, Some(Granularity::Coarse));
         assert_eq!(b.deadline, Some(0.5));
         assert_eq!(b.retries, 3);
         assert_eq!(spec.storms.len(), 1);
         assert_eq!(spec.storms[0].count, 3);
+        assert_eq!(spec.tenant("acme").quota, Some(8));
+        assert_eq!(spec.tenant("ghost"), TenantSpec::implicit("ghost"));
     }
 
     #[test]
@@ -394,25 +803,59 @@ storm count=3 prefix=s workload=mm ranks=2 mean-gap=1e-4 start=2e-4
         );
     }
 
+    /// Satellite: every malformed-record class reports its typed code,
+    /// the 1-based line, and the offending field.
     #[test]
-    fn rejects_malformed_lines_with_line_numbers() {
-        for (bad, needle) in [
-            ("job ranks=2 workload=mm", "needs name"),
-            ("job name=x ranks=2", "src= or workload="),
-            ("job name=x workload=mm", "ranks"),
-            ("job name=x workload=mm ranks=2 bogus=1", "unknown key"),
-            ("job name=x workload=mm src=y ranks=2", "exactly one"),
-            ("storm prefix=s workload=mm ranks=1", "count"),
-            ("nodes=p", "bad nodes"),
-            ("what", "expected"),
-            ("job name=x workload=mm ranks=2 arrive=-1", "non-negative"),
+    fn malformed_records_carry_code_line_and_field() {
+        use JobfileCode::*;
+        for (bad, code, field) in [
+            ("job ranks=2 workload=mm", MissingField, Some("name")),
+            ("job name=x ranks=2", MissingField, Some("src")),
+            ("job name=x workload=mm", MissingField, Some("ranks")),
+            ("job name=x workload=mm ranks=2 bogus=1", UnknownKey, Some("bogus")),
+            ("job name=x workload=mm src=y ranks=2", ConflictingFields, Some("src")),
+            ("job name=x workload=mm ranks=p", BadValue, Some("ranks")),
+            ("job name=x workload=mm ranks=2 arrive=-1", BadValue, Some("arrive")),
+            ("job name=x workload=mm ranks=2 grain=huge", BadValue, Some("grain")),
+            ("job name=x workload=mm ranks=2 faults=wat", BadValue, Some("faults")),
+            ("job name=x inline=%ZZ ranks=2", BadValue, Some("inline")),
+            ("storm prefix=s workload=mm ranks=1", MissingField, Some("count")),
+            ("storm prefix=s count=0 workload=mm ranks=1", BadValue, Some("count")),
+            ("storm prefix=s count=1 mean-gap=0 workload=mm ranks=1", BadValue, Some("mean-gap")),
+            ("tenant share=2", MissingField, Some("name")),
+            ("tenant name=t share=0", BadValue, Some("share")),
+            ("tenant name=t quota=0", BadValue, Some("quota")),
+            ("tenant name=t color=red", UnknownKey, Some("color")),
+            ("nodes=p", BadValue, Some("nodes")),
+            ("policy=roulette", BadValue, Some("policy")),
+            ("speed=9", UnknownKey, Some("speed")),
+            ("what", BadLine, None),
+            ("job name=x workload=mm ranks=2 extra", BadLine, None),
         ] {
-            let err = BatchSpec::parse(bad).unwrap_err();
-            assert!(err.contains("line 1"), "{bad}: {err}");
-            assert!(err.contains(needle), "{bad}: {err}");
+            let e = BatchSpec::parse(bad).unwrap_err();
+            assert_eq!(e.code, code, "{bad}: {e}");
+            assert_eq!(e.line, 1, "{bad}: {e}");
+            assert_eq!(e.field.as_deref(), field, "{bad}: {e}");
+            assert!(e.to_string().contains("line 1"), "{bad}: {e}");
+            assert!(e.to_string().contains(e.code.as_str()), "{bad}: {e}");
         }
         let dup = "job name=x workload=mm ranks=1\njob name=x workload=mm ranks=1";
-        assert!(BatchSpec::parse(dup).unwrap_err().contains("duplicate"));
+        let e = BatchSpec::parse(dup).unwrap_err();
+        assert_eq!((e.code, e.line), (DuplicateName, 2));
+        let dup = "tenant name=t\ntenant name=t";
+        let e = BatchSpec::parse(dup).unwrap_err();
+        assert_eq!((e.code, e.line), (DuplicateName, 2));
+    }
+
+    #[test]
+    fn named_parse_and_diagnostics_carry_the_file() {
+        let e = BatchSpec::parse_named("job name=x\n", "examples/jobs/x.jobs").unwrap_err();
+        assert_eq!(e.file.as_deref(), Some("examples/jobs/x.jobs"));
+        assert!(e.to_string().starts_with("examples/jobs/x.jobs line 1:"), "{e}");
+        let d = e.to_diagnostic();
+        assert_eq!(d.line, 1);
+        assert_eq!(d.site, "jobfile");
+        assert!(d.detail.contains("field `src`"), "{}", d.detail);
     }
 
     #[test]
@@ -421,6 +864,44 @@ storm count=3 prefix=s workload=mm ranks=2 mean-gap=1e-4 start=2e-4
             "job name=s0 workload=mm ranks=1\nstorm count=1 prefix=s workload=mm ranks=1",
         )
         .unwrap();
-        assert!(spec.materialize(1).unwrap_err().contains("duplicate"));
+        let e = spec.materialize(1).unwrap_err();
+        assert_eq!(e.code, JobfileCode::DuplicateName);
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn records_round_trip_through_their_canonical_form() {
+        let spec = BatchSpec::parse(FILE).unwrap();
+        for job in &spec.jobs {
+            let line = job.to_record();
+            let re = BatchSpec::parse(&line).unwrap();
+            assert_eq!(re.jobs.len(), 1, "{line}");
+            assert_eq!(&re.jobs[0], job, "{line}");
+        }
+        for storm in &spec.storms {
+            let line = storm.to_record();
+            let re = BatchSpec::parse(&line).unwrap();
+            assert_eq!(&re.storms[0], storm, "{line}");
+        }
+        for tenant in &spec.tenants {
+            let line = tenant.to_record();
+            let re = BatchSpec::parse(&line).unwrap();
+            assert_eq!(&re.tenants[0], tenant, "{line}");
+        }
+        // Inline sources and fault schedules survive the round trip.
+        let mut j = JobSpec::new("inl", JobSource::Inline("PROGRAM T\n  X = 1\nEND\n".into()), 2);
+        j.tenant = "acme".into();
+        j.arrival = 3.25e-4;
+        j.faults = FaultSpec::parse("light,seed=9").unwrap();
+        j.retries = 5;
+        let re = BatchSpec::parse(&j.to_record()).unwrap();
+        assert_eq!(re.jobs[0], j);
+    }
+
+    #[test]
+    fn inline_encoding_round_trips() {
+        let text = "PROGRAM T\n  X = 100%\r\n\tEND\n";
+        assert_eq!(decode_inline(&encode_inline(text)).unwrap(), text);
+        assert!(!encode_inline(text).contains(char::is_whitespace));
     }
 }

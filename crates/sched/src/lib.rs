@@ -46,7 +46,10 @@ pub mod report;
 pub mod run;
 pub mod sched;
 
-pub use job::{BatchSpec, JobSource, JobSpec, Policy, StormSpec};
+pub use job::{
+    decode_inline, encode_inline, BatchSpec, JobSource, JobSpec, JobfileCode, JobfileError,
+    Policy, StormSpec, TenantSpec, DEFAULT_TENANT,
+};
 pub use partition::{NodeMap, Partition};
 pub use report::{AttemptLog, BatchReport, JobRecord, JobStatus};
 pub use sched::{run_batch, BatchOptions, Scheduler, SourceLoader};

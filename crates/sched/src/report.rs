@@ -54,6 +54,8 @@ impl JobStatus {
 #[derive(Debug, Clone)]
 pub struct JobRecord {
     pub name: String,
+    /// Fair-share tenant (`"-"` when the job claimed none).
+    pub tenant: String,
     pub ranks: usize,
     /// Partition rectangle as placed for the final attempt
     /// (requested shape for jobs that never started).
@@ -70,6 +72,9 @@ pub struct JobRecord {
     pub nodes: Vec<usize>,
     pub attempts: u32,
     pub requeues: u32,
+    /// Times the job was checkpointed off its partition and resumed
+    /// later (`vpce-serve` preemption; always 0 in plain batch runs).
+    pub preemptions: u32,
     /// `Full`-mode byte-identity of the final arrays against the
     /// fault-free dry run (`None` when the job never finished or the
     /// batch ran analytically).
@@ -107,6 +112,9 @@ pub struct BatchReport {
     pub horizon: f64,
     /// Busy node-seconds / (usable node-seconds over the horizon).
     pub utilization: f64,
+    /// Node-seconds charged per tenant at placement, ascending by
+    /// name. Only rendered when some job claimed a real tenant.
+    pub tenant_usage: Vec<(String, f64)>,
     /// Whole-cluster Chrome timeline (one lane per machine node); the
     /// CLI writes it on `--trace`, it is not part of the JSON report.
     pub trace_json: String,
@@ -217,6 +225,14 @@ impl BatchReport {
             let ids: Vec<String> = self.drained.iter().map(|n| n.to_string()).collect();
             let _ = writeln!(out, "  drained nodes: {}", ids.join(", "));
         }
+        if self.has_real_tenants() {
+            let parts: Vec<String> = self
+                .tenant_usage
+                .iter()
+                .map(|(t, u)| format!("{t} {u:.6} node-s"))
+                .collect();
+            let _ = writeln!(out, "  tenant usage: {}", parts.join(" | "));
+        }
         let _ = writeln!(
             out,
             "  {:<10} {:>5} {:>5} {:>8} {:>10} {:>10} {:>10} {:>4} notes",
@@ -283,6 +299,14 @@ impl BatchReport {
         let _ = writeln!(s, "  \"queue_wait_p99_s\": {},", json_num(qw99));
         let _ = writeln!(s, "  \"makespan_p50_s\": {},", json_num(ms50));
         let _ = writeln!(s, "  \"makespan_p99_s\": {},", json_num(ms99));
+        if self.has_real_tenants() {
+            let parts: Vec<String> = self
+                .tenant_usage
+                .iter()
+                .map(|(t, u)| format!("{}: {}", json_str(t), json_num(*u)))
+                .collect();
+            let _ = writeln!(s, "  \"tenant_usage_node_s\": {{{}}},", parts.join(", "));
+        }
         s.push_str("  \"jobs\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             s.push_str(&job_json(r, "    "));
@@ -291,12 +315,23 @@ impl BatchReport {
         s.push_str("  ]\n}\n");
         s
     }
+
+    /// True when any job claimed a tenant other than the implicit one.
+    fn has_real_tenants(&self) -> bool {
+        self.records
+            .iter()
+            .any(|r| r.tenant != crate::job::DEFAULT_TENANT)
+    }
 }
 
-fn job_json(r: &JobRecord, pad: &str) -> String {
+/// One job record as stable JSON (fixed key order, `pad`-indented, no
+/// trailing newline). Public so `vpce-serve` renders its reports in
+/// the same shape the batch goldens diff.
+pub fn job_json(r: &JobRecord, pad: &str) -> String {
     let mut s = format!("{pad}{{\n");
     let p = format!("{pad}  ");
     let _ = writeln!(s, "{p}\"name\": {},", json_str(&r.name));
+    let _ = writeln!(s, "{p}\"tenant\": {},", json_str(&r.tenant));
     let _ = writeln!(s, "{p}\"ranks\": {},", r.ranks);
     let _ = writeln!(s, "{p}\"shape\": \"{}x{}\",", r.shape.cols, r.shape.rows);
     let _ = writeln!(s, "{p}\"status\": \"{}\",", r.status.name());
@@ -309,6 +344,7 @@ fn job_json(r: &JobRecord, pad: &str) -> String {
     let _ = writeln!(s, "{p}\"nodes\": [{}],", nodes.join(", "));
     let _ = writeln!(s, "{p}\"attempts\": {},", r.attempts);
     let _ = writeln!(s, "{p}\"requeues\": {},", r.requeues);
+    let _ = writeln!(s, "{p}\"preemptions\": {},", r.preemptions);
     let ident = match r.identical {
         Some(b) => b.to_string(),
         None => "null".into(),
@@ -349,7 +385,7 @@ fn job_json(r: &JobRecord, pad: &str) -> String {
 }
 
 /// Nearest-rank percentile of an ascending-sorted slice (0 if empty).
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -359,18 +395,20 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 /// A float as a JSON number. Rust's `Display` for `f64` never emits
 /// exponents; non-finite values mean a broken batch and assert.
-fn json_num(v: f64) -> String {
+pub fn json_num(v: f64) -> String {
     assert!(v.is_finite(), "non-finite value in batch report: {v}");
     let s = format!("{v}");
     debug_assert!(!s.contains(['e', 'E']), "exponent in JSON number: {s}");
     s
 }
 
-fn json_opt(v: Option<f64>) -> String {
+/// An optional float as a JSON number or `null`.
+pub fn json_opt(v: Option<f64>) -> String {
     v.map(json_num).unwrap_or_else(|| "null".into())
 }
 
-fn json_str(s: &str) -> String {
+/// A string as a JSON string literal (quotes included).
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -395,6 +433,7 @@ mod tests {
     fn record(name: &str, status: JobStatus, wait: f64, end: Option<f64>) -> JobRecord {
         JobRecord {
             name: name.into(),
+            tenant: crate::job::DEFAULT_TENANT.into(),
             ranks: 2,
             shape: Mesh::new(2, 1),
             status,
@@ -405,6 +444,7 @@ mod tests {
             nodes: vec![0, 1],
             attempts: 1,
             requeues: 0,
+            preemptions: 0,
             identical: end.map(|_| true),
             error: None,
             missed_deadline: false,
@@ -425,6 +465,7 @@ mod tests {
             drained: vec![],
             horizon: 1.0,
             utilization: 0.25,
+            tenant_usage: Vec::new(),
             trace_json: String::new(),
             attempts: Vec::new(),
         }
@@ -463,6 +504,19 @@ mod tests {
         assert!(a.contains("\"we\\\"ird\""), "{a}");
         assert!(a.contains("\"error_kind\": \"rank-crash\""), "{a}");
         assert!(a.contains("\"policy\": \"backfill\""), "{a}");
+    }
+
+    #[test]
+    fn tenant_usage_renders_only_for_real_tenants() {
+        let mut rep = report(vec![record("a", JobStatus::Done, 0.1, Some(0.5))]);
+        rep.tenant_usage = vec![("-".into(), 1.0)];
+        assert!(!rep.to_json().contains("tenant_usage_node_s"));
+        assert!(!rep.render_human().contains("tenant usage"));
+        rep.records[0].tenant = "acme".into();
+        rep.tenant_usage = vec![("acme".into(), 1.0)];
+        assert!(rep.to_json().contains("\"tenant_usage_node_s\": {\"acme\": 1}"));
+        assert!(rep.to_json().contains("\"tenant\": \"acme\""));
+        assert!(rep.render_human().contains("tenant usage: acme"));
     }
 
     #[test]

@@ -134,6 +134,39 @@ pub fn run_attempt(
     spmd_rt::try_execute_traced(&prepared.program, &cluster, mode, Tracer::enabled(), faults)
 }
 
+/// Checkpoint attempt `attempt` of a prepared job at top-level block
+/// boundary `boundary` (1-based; see `spmd_rt::checkpoint`). The
+/// snapshot is a pure function of `(program, shape, faults, attempt,
+/// boundary)`, so `vpce-serve` can preempt a "running" job at decision
+/// time and later resume it byte-identically.
+pub fn checkpoint_attempt(
+    job: &JobSpec,
+    prepared: &Prepared,
+    mode: ExecMode,
+    attempt: u32,
+    boundary: usize,
+) -> Result<spmd_rt::Snapshot, VpceError> {
+    let cluster = partition_cluster(prepared.shape, job.ranks);
+    let faults = attempt_faults(&job.faults, attempt);
+    spmd_rt::checkpoint::checkpoint_at(&prepared.program, &cluster, mode, faults, boundary)
+}
+
+/// Resume a checkpointed attempt on a fresh private cluster (possibly
+/// a different partition rectangle of the same shape). The report
+/// covers the remaining blocks only; its arrays equal an
+/// uninterrupted run's byte for byte.
+pub fn resume_attempt(
+    job: &JobSpec,
+    prepared: &Prepared,
+    mode: ExecMode,
+    attempt: u32,
+    snap: &spmd_rt::Snapshot,
+) -> Result<RunReport, VpceError> {
+    let cluster = partition_cluster(prepared.shape, job.ranks);
+    let faults = attempt_faults(&job.faults, attempt);
+    spmd_rt::checkpoint::resume(&prepared.program, &cluster, mode, faults, snap)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +212,17 @@ mod tests {
         let e = prepare(&job, &no_loader(), ExecMode::Full).unwrap_err();
         assert_eq!(e.kind(), "admission-rejected");
         assert!(e.to_string().contains("front-end"), "{e}");
+    }
+
+    #[test]
+    fn preemption_hooks_resume_byte_identically() {
+        let job = mm_job("mm0", 2);
+        let p = prepare(&job, &no_loader(), ExecMode::Full).unwrap();
+        let full = run_attempt(&job, &p, ExecMode::Full, 0).unwrap();
+        let snap = checkpoint_attempt(&job, &p, ExecMode::Full, 0, 1).unwrap();
+        let rep = resume_attempt(&job, &p, ExecMode::Full, 0, &snap).unwrap();
+        assert_eq!(rep.arrays, full.arrays, "preempt+resume equals uninterrupted");
+        assert_eq!(rep.scalars, full.scalars);
     }
 
     #[test]

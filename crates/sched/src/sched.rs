@@ -27,12 +27,13 @@
 //! `AdmissionInfeasible`.
 
 use std::cmp::Reverse;
+use std::collections::BTreeMap;
 
 use spmd_rt::{ExecMode, RunReport, VpceError};
 use vbus_sim::Mesh;
 use vpce_trace::{EventKind, Lane, Tracer};
 
-use crate::job::{BatchSpec, JobSpec, Policy};
+use crate::job::{BatchSpec, JobSpec, Policy, TenantSpec};
 use crate::partition::{NodeMap, Partition};
 use crate::report::{AttemptLog, BatchReport, JobRecord, JobStatus};
 use crate::run::{self, Prepared};
@@ -72,11 +73,12 @@ pub fn run_batch(
     let nodes = spec.nodes.unwrap_or(opts.nodes);
     let policy = spec.policy.unwrap_or(opts.policy);
     let seed = opts.seed.or(spec.seed).unwrap_or(0);
-    let jobs = spec.materialize(seed)?;
+    let jobs = spec.materialize(seed).map_err(|e| e.to_string())?;
     if jobs.is_empty() {
         return Err("jobfile submits no jobs".into());
     }
-    let mut sched = Scheduler::new(jobs, nodes, policy, seed, opts.mode, loader)?;
+    let mut sched = Scheduler::new(jobs, nodes, policy, seed, opts.mode, loader)?
+        .with_tenants(spec.tenants.clone());
     Ok(sched.run())
 }
 
@@ -137,6 +139,12 @@ pub struct Scheduler {
     running: Vec<Running>,
     peak_concurrent: usize,
     busy_cell_s: f64,
+    /// Declared fair-share tenants by name (jobs naming an undeclared
+    /// tenant get share 1, no quota).
+    tenants: BTreeMap<String, TenantSpec>,
+    /// Node-seconds charged per tenant at placement time — the
+    /// fair-share ledger the queue order normalises by share.
+    usage: BTreeMap<String, f64>,
     tracer: Tracer,
     /// Every attempt interval + placement, for audits and the
     /// no-overlap safety property.
@@ -205,9 +213,72 @@ impl Scheduler {
             running: Vec::new(),
             peak_concurrent: 0,
             busy_cell_s: 0.0,
+            tenants: BTreeMap::new(),
+            usage: BTreeMap::new(),
             tracer,
             attempts: Vec::new(),
         })
+    }
+
+    /// Declare fair-share tenants (the jobfile's `tenant` lines).
+    /// Re-checks admission: a job whose partition needs more cells
+    /// than its tenant's quota can never start, so it is rejected here
+    /// instead of deadlocking the queue.
+    pub fn with_tenants(mut self, tenants: Vec<TenantSpec>) -> Self {
+        for t in tenants {
+            self.tenants.insert(t.name.clone(), t);
+        }
+        for job in &mut self.jobs {
+            let Ok(p) = &job.prepared else { continue };
+            let cells = p.shape.cols * p.shape.rows;
+            if let Some(q) = self.tenants.get(&job.spec.tenant).and_then(|t| t.quota) {
+                if cells > q {
+                    job.prepared = Err(VpceError::AdmissionRejected {
+                        job: job.spec.name.clone(),
+                        reason: format!(
+                            "partition of {cells} cells exceeds tenant `{}` quota {q}",
+                            job.spec.tenant
+                        ),
+                    });
+                }
+            }
+        }
+        self
+    }
+
+    /// Fair-share weight of `tenant` (1 when undeclared).
+    fn share(&self, tenant: &str) -> f64 {
+        self.tenants.get(tenant).map_or(1.0, |t| t.share)
+    }
+
+    /// Concurrent-cell quota of `tenant` (unbounded when undeclared).
+    fn quota(&self, tenant: &str) -> Option<usize> {
+        self.tenants.get(tenant).and_then(|t| t.quota)
+    }
+
+    /// Node cells `tenant` currently holds across running partitions.
+    fn held_cells(&self, tenant: &str) -> usize {
+        self.running
+            .iter()
+            .filter(|r| self.jobs[r.job].spec.tenant == tenant)
+            .map(|r| r.part.nodes.len())
+            .sum()
+    }
+
+    /// Would starting a `cells`-cell partition keep `tenant` within
+    /// its quota?
+    fn quota_allows(&self, tenant: &str, cells: usize) -> bool {
+        match self.quota(tenant) {
+            Some(q) => self.held_cells(tenant) + cells <= q,
+            None => true,
+        }
+    }
+
+    /// Accumulated usage normalised by share — the fair-share sort
+    /// key: the tenant that has consumed least relative to its weight
+    /// goes first.
+    fn fair_ratio(&self, tenant: &str) -> f64 {
+        self.usage.get(tenant).copied().unwrap_or(0.0) / self.share(tenant)
     }
 
     /// Play the batch to completion.
@@ -370,16 +441,32 @@ impl Scheduler {
         }
     }
 
-    /// Queue order: priority descending, then arrival, then submission
-    /// order — the order every placement decision respects.
+    /// Queue order: priority descending, then fair-share ratio
+    /// ascending (usage normalised by share — the under-served tenant
+    /// goes first), then arrival, then submission order. With a single
+    /// tenant every queued job carries the same ratio, so the order
+    /// degenerates to the classic priority/arrival one.
     fn sort_queue(&mut self) {
-        let jobs = &self.jobs;
-        self.queue.sort_by(|&a, &b| {
-            Reverse(jobs[a].spec.priority)
-                .cmp(&Reverse(jobs[b].spec.priority))
-                .then(jobs[a].spec.arrival.total_cmp(&jobs[b].spec.arrival))
-                .then(a.cmp(&b))
+        let mut keyed: Vec<(Reverse<i64>, f64, f64, usize)> = self
+            .queue
+            .iter()
+            .map(|&i| {
+                let j = &self.jobs[i];
+                (
+                    Reverse(j.spec.priority),
+                    self.fair_ratio(&j.spec.tenant),
+                    j.spec.arrival,
+                    i,
+                )
+            })
+            .collect();
+        keyed.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
+                .then(a.2.total_cmp(&b.2))
+                .then(a.3.cmp(&b.3))
         });
+        self.queue = keyed.into_iter().map(|k| k.3).collect();
     }
 
     fn schedule_pass(&mut self) {
@@ -387,26 +474,37 @@ impl Scheduler {
             self.sort_queue();
             let Some(&head) = self.queue.first() else { return };
             let head_shape = self.jobs[head].shape();
-            if let Some((x, y, s)) = self.map.find_fit(head_shape) {
-                self.start(head, x, y, s);
-                self.queue.remove(0);
-                continue;
+            let head_tenant = self.jobs[head].spec.tenant.clone();
+            let head_cells = head_shape.cols * head_shape.rows;
+            if self.quota_allows(&head_tenant, head_cells) {
+                if let Some((x, y, s)) = self.map.find_fit(head_shape) {
+                    self.start(head, x, y, s);
+                    self.queue.remove(0);
+                    continue;
+                }
             }
             if self.policy == Policy::Fcfs {
                 return;
             }
-            // Head is blocked: compute its reservation, then let
-            // smaller jobs slide past if they provably cannot delay it.
-            let Some((t_res, rect)) = self.reservation(head_shape) else {
+            // Head is blocked (by space or by its tenant's quota):
+            // compute its reservation, then let smaller jobs slide
+            // past if they provably cannot delay it.
+            let Some((t_res, rect)) = self.reservation(head_shape, &head_tenant, head_cells)
+            else {
                 // Machine cannot host the head even empty (a drain
                 // landed since admission) — sweep will fail it.
                 self.sweep_infeasible_queue();
                 continue;
             };
+            let head_quota = self.quota(&head_tenant);
             let mut started = false;
             for qi in 1..self.queue.len() {
                 let idx = self.queue[qi];
                 let shape = self.jobs[idx].shape();
+                let tenant = self.jobs[idx].spec.tenant.clone();
+                if !self.quota_allows(&tenant, shape.cols * shape.rows) {
+                    continue;
+                }
                 let Some((x, y, s)) = self.map.find_fit(shape) else { continue };
                 let cand = Partition {
                     x,
@@ -416,7 +514,12 @@ impl Scheduler {
                 };
                 let dur = self.attempt_duration(idx);
                 let fits_in_time = self.now + dur <= t_res;
-                let avoids_rect = !cand.overlaps(&rect);
+                // A same-tenant slide that outlives the reservation
+                // would hold quota the head may need at `t_res`, so it
+                // must finish in time when the head's tenant is
+                // quota-capped.
+                let avoids_rect = !cand.overlaps(&rect)
+                    && (tenant != head_tenant || head_quota.is_none());
                 if fits_in_time || avoids_rect {
                     self.start(idx, x, y, s);
                     self.queue.remove(qi);
@@ -431,10 +534,11 @@ impl Scheduler {
     }
 
     /// The head-of-queue reservation: simulate the running partitions
-    /// freeing in completion order and return the first time `shape`
-    /// fits, plus where. `None` if it cannot fit even on the drained
-    /// empty machine.
-    fn reservation(&self, shape: Mesh) -> Option<(f64, Partition)> {
+    /// freeing in completion order (quota included) and return the
+    /// first time a `shape` partition both fits and is within
+    /// `tenant`'s quota, plus where. `None` if it cannot fit even on
+    /// the drained empty machine.
+    fn reservation(&self, shape: Mesh, tenant: &str, cells: usize) -> Option<(f64, Partition)> {
         let mut ghost = self.map.clone();
         let mut ends: Vec<(f64, usize)> = self
             .running
@@ -443,8 +547,16 @@ impl Scheduler {
             .map(|(i, r)| (r.end, i))
             .collect();
         ends.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let quota = self.quota(tenant);
+        let mut held = self.held_cells(tenant);
         for (end, i) in ends {
             ghost.free(&self.running[i].part);
+            if self.jobs[self.running[i].job].spec.tenant == tenant {
+                held = held.saturating_sub(self.running[i].part.nodes.len());
+            }
+            if quota.is_some_and(|q| held + cells > q) {
+                continue;
+            }
             if let Some((x, y, s)) = ghost.find_fit(shape) {
                 return Some((
                     end,
@@ -477,6 +589,7 @@ impl Scheduler {
     fn start(&mut self, idx: usize, x: usize, y: usize, shape: Mesh) {
         let dur = self.attempt_duration(idx);
         let part = self.map.alloc(x, y, shape);
+        let job_tenant = self.jobs[idx].spec.tenant.clone();
         let job = &mut self.jobs[idx];
         let outcome = job.next_outcome.take().expect("attempt_duration computed it");
         job.queue_wait += self.now - job.enqueued_at;
@@ -497,7 +610,9 @@ impl Scheduler {
                 EventKind::Phase { name: label.clone() },
             );
         }
-        self.busy_cell_s += part.nodes.len() as f64 * dur;
+        let cell_s = part.nodes.len() as f64 * dur;
+        self.busy_cell_s += cell_s;
+        *self.usage.entry(job_tenant).or_insert(0.0) += cell_s;
         self.running.push(Running {
             job: idx,
             part,
@@ -555,6 +670,7 @@ impl Scheduler {
                 });
                 JobRecord {
                     name: j.spec.name.clone(),
+                    tenant: j.spec.tenant.clone(),
                     ranks: j.spec.ranks,
                     shape: j
                         .placed
@@ -569,6 +685,7 @@ impl Scheduler {
                     nodes: j.placed.as_ref().map(|p| p.nodes.clone()).unwrap_or_default(),
                     attempts: j.attempts,
                     requeues: j.attempts.saturating_sub(1),
+                    preemptions: 0,
                     identical,
                     error: j.error.clone(),
                     missed_deadline: match (j.spec.deadline, makespan) {
@@ -596,6 +713,11 @@ impl Scheduler {
             drained: self.map.drained(),
             horizon,
             utilization,
+            tenant_usage: self
+                .usage
+                .iter()
+                .map(|(t, u)| (t.clone(), *u))
+                .collect(),
             trace_json: self.tracer.to_chrome_json(),
             attempts: std::mem::take(&mut self.attempts),
         }
@@ -784,6 +906,67 @@ mod tests {
         assert_eq!(r.error.as_ref().unwrap().0, "rank-crash");
         assert_eq!(rep.exit_code(), 3);
         assert_eq!(attempts.len(), 2);
+    }
+
+    #[test]
+    fn tenant_quota_caps_concurrency() {
+        let mk = |name: &str| {
+            let mut j = mm(name, 2);
+            j.tenant = "acme".into();
+            j
+        };
+        let jobs = (0..4).map(|i| mk(&format!("a{i}"))).collect();
+        let tenants = vec![TenantSpec { name: "acme".into(), share: 1.0, quota: Some(4) }];
+        let mut s = Scheduler::new(jobs, 16, Policy::Backfill, 1, ExecMode::Full, &no_loader())
+            .unwrap()
+            .with_tenants(tenants);
+        let rep = s.run();
+        assert_eq!(rep.done(), 4);
+        assert_eq!(
+            rep.peak_concurrent, 2,
+            "quota of 4 cells admits two 2-cell partitions at a time"
+        );
+        assert_eq!(rep.tenant_usage.len(), 1);
+        assert!(rep.tenant_usage[0].1 > 0.0);
+        assert!(rep.to_json().contains("\"tenant\": \"acme\""));
+    }
+
+    #[test]
+    fn job_wider_than_its_quota_is_rejected_typed() {
+        let mut j = mm("big", 4);
+        j.tenant = "tiny".into();
+        let tenants = vec![TenantSpec { name: "tiny".into(), share: 1.0, quota: Some(2) }];
+        let mut s = Scheduler::new(vec![j], 16, Policy::Backfill, 1, ExecMode::Full, &no_loader())
+            .unwrap()
+            .with_tenants(tenants);
+        let rep = s.run();
+        assert_eq!(rep.rejected(), 1);
+        let r = &rep.records[0];
+        assert!(
+            r.error.as_ref().unwrap().1.contains("exceeds tenant `tiny` quota"),
+            "{:?}",
+            r.error
+        );
+    }
+
+    #[test]
+    fn fair_share_interleaves_tenants_at_equal_priority() {
+        // One 2-node machine serialises everything. Submission order
+        // is a0, a1, b0; once a0 is charged to tenant a, tenant b's
+        // ratio is lower, so b0 jumps ahead of a1.
+        let mk = |name: &str, tenant: &str| {
+            let mut j = mm(name, 2);
+            j.tenant = tenant.into();
+            j
+        };
+        let jobs = vec![mk("a0", "a"), mk("a1", "a"), mk("b0", "b")];
+        let mut s =
+            Scheduler::new(jobs, 2, Policy::Fcfs, 1, ExecMode::Full, &no_loader()).unwrap();
+        let rep = s.run();
+        assert_eq!(rep.done(), 3);
+        let order: Vec<&str> = rep.attempts.iter().map(|a| a.job.as_str()).collect();
+        assert_eq!(order, vec!["a0", "b0", "a1"], "fair-share rotates tenants");
+        assert_eq!(rep.tenant_usage.len(), 2);
     }
 
     #[test]

@@ -65,6 +65,7 @@ fn arb_batch(crashy_in_8: u32) -> Gen<BatchSpec> {
             nodes: Some(nodes),
             policy: Some(policy),
             seed: Some(seed),
+            tenants: Vec::new(),
             jobs,
             storms: Vec::new(),
         }
@@ -142,6 +143,7 @@ fn backfill_never_starves_the_wide_job() {
                 nodes: Some(16),
                 policy: Some(Policy::Backfill),
                 seed: Some(seed),
+                tenants: Vec::new(),
                 jobs: vec![wide],
                 storms: vec![StormSpec {
                     prefix: "s".into(),

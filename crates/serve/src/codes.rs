@@ -1,0 +1,103 @@
+//! Stable diagnostic codes for the service layer (the VPCE30x block;
+//! jobfile parse codes are VPCE31x in `vpce-sched`).
+
+use std::fmt;
+
+use vpce_diag::{DiagCode, Severity};
+
+/// Service-layer conditions `vpced` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServeCode {
+    /// VPCE301: trailing journal bytes failed their CRC and were
+    /// discarded — the expected signature of a crash mid-append.
+    TornTail,
+    /// VPCE302: a journal record *before* the tail is corrupt; the log
+    /// cannot be trusted and recovery refuses to proceed.
+    JournalCorrupt,
+    /// VPCE303: replaying the journal re-derived a different event
+    /// stream than the one recorded — determinism was violated (or
+    /// the journal belongs to different inputs).
+    ReplayDivergence,
+    /// VPCE304: a client verb referenced a job the journal never saw.
+    UnknownJob,
+    /// VPCE305: a submission reused a live job name.
+    DuplicateSubmit,
+    /// VPCE306: a submission can never run under its tenant's quota.
+    QuotaExceeded,
+    /// VPCE307: a serve-script line is not a record or a known verb.
+    BadCommand,
+    /// VPCE308: a cancel/preempt targeted a job that cannot be stopped
+    /// at a boundary (already finished, or its attempt is doomed).
+    NotPreemptible,
+}
+
+impl DiagCode for ServeCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            ServeCode::TornTail => "VPCE301",
+            ServeCode::JournalCorrupt => "VPCE302",
+            ServeCode::ReplayDivergence => "VPCE303",
+            ServeCode::UnknownJob => "VPCE304",
+            ServeCode::DuplicateSubmit => "VPCE305",
+            ServeCode::QuotaExceeded => "VPCE306",
+            ServeCode::BadCommand => "VPCE307",
+            ServeCode::NotPreemptible => "VPCE308",
+        }
+    }
+
+    fn severity(self) -> Severity {
+        match self {
+            ServeCode::TornTail | ServeCode::NotPreemptible => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// A typed service-layer failure: stable code + one-line detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeError {
+    pub code: ServeCode,
+    pub detail: String,
+}
+
+impl ServeError {
+    pub fn new(code: ServeCode, detail: impl Into<String>) -> Self {
+        ServeError { code, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}] {}", self.code.as_str(), self.detail)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_sorted() {
+        let all = [
+            ServeCode::TornTail,
+            ServeCode::JournalCorrupt,
+            ServeCode::ReplayDivergence,
+            ServeCode::UnknownJob,
+            ServeCode::DuplicateSubmit,
+            ServeCode::QuotaExceeded,
+            ServeCode::BadCommand,
+            ServeCode::NotPreemptible,
+        ];
+        let strs: Vec<&str> = all.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(strs, sorted, "codes ascend uniquely with the enum order");
+        assert_eq!(ServeCode::TornTail.severity(), Severity::Warning);
+        assert_eq!(ServeCode::JournalCorrupt.severity(), Severity::Error);
+        let e = ServeError::new(ServeCode::UnknownJob, "no job `x`");
+        assert_eq!(e.to_string(), "error[VPCE304] no job `x`");
+    }
+}

@@ -1,0 +1,41 @@
+//! # vpce-serve — `vpced`, the persistent job service
+//!
+//! The batch scheduler (`vpce-sched`) answers "what would this jobfile
+//! do?"; this crate answers "keep the machine **serving** jobs, and
+//! survive crashing at any instant". It layers three things over the
+//! gang scheduler:
+//!
+//! * **A crash-safe journal** ([`journal`]): every input (submission,
+//!   cancel) and every derived scheduling decision is appended as a
+//!   CRC-guarded record before it takes effect. A torn tail — the
+//!   signature of dying mid-append — is detected and truncated
+//!   (`VPCE301`); damage anywhere earlier refuses recovery
+//!   (`VPCE302`).
+//! * **A replayable state machine** ([`state`]): fair-share + quota
+//!   gang scheduling with *preemption by checkpoint/restart* — a
+//!   preempted job is snapshotted at its next fence boundary
+//!   (`spmd_rt::checkpoint`) and later resumes byte-identically.
+//! * **A daemon shell** ([`daemon`]): replays the journal on start,
+//!   cross-checks re-derived decisions against the recorded ones
+//!   (`VPCE303` on divergence), then continues serving.
+//!
+//! The headline property, proven by the kill/restart harness
+//! ([`session`]) at every journal byte offset: **kill the server
+//! anywhere, restart it, and the final batch report and whole-cluster
+//! trace are byte-identical to a server that never died.**
+
+#![forbid(unsafe_code)]
+
+pub mod codes;
+pub mod daemon;
+pub mod journal;
+pub mod runner;
+pub mod session;
+pub mod state;
+
+pub use codes::{ServeCode, ServeError};
+pub use daemon::{Daemon, Recovery};
+pub use journal::{crc32, FileStorage, Journal, Kind, KillStorage, MemStorage, Storage, KILLED};
+pub use runner::Runner;
+pub use session::{baseline, kill_matrix, run_session, script_lines, MatrixSummary, SessionResult};
+pub use state::ServeState;

@@ -32,7 +32,7 @@ pub enum ExecMode {
 }
 
 /// Result of a parallel execution.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Virtual execution time (slowest rank), seconds.
     pub elapsed: f64,
@@ -45,6 +45,14 @@ pub struct RunReport {
     pub arrays: Vec<Vec<Elem>>,
     /// Master's final scalar values.
     pub scalars: Vec<Value>,
+    /// Rank-0 virtual time after each executed top-level block — the
+    /// program's *fence boundaries*. A fresh run records one entry per
+    /// block; a resumed run records entries for the remaining blocks
+    /// only. By determinism, `boundaries[k-1]` of a fresh run equals,
+    /// bit for bit, the `elapsed` of a fresh run of the first `k`
+    /// blocks — which is what makes checkpoint-by-prefix exact (see
+    /// [`crate::checkpoint`]).
+    pub boundaries: Vec<f64>,
     /// Undefined-outcome RMA pairs recorded by the dynamic
     /// epoch-conflict ledger (`mpi2::conflict`). Empty for a
     /// well-synchronised plan; the differential ground truth for the
@@ -107,6 +115,24 @@ pub fn try_execute_traced(
     tracer: Tracer,
     faults: FaultSpec,
 ) -> Result<RunReport, VpceError> {
+    try_execute_resumed(prog, cluster, mode, tracer, faults, None)
+}
+
+/// [`try_execute_traced`] continuing from a fence-boundary snapshot:
+/// the first `snapshot.boundary` blocks are skipped, the master's
+/// windows and scalars are seeded from the snapshot before any rank
+/// communicates, and the region serial counter starts at the
+/// snapshot's base so rank-level fault draws line up with the
+/// uninterrupted run. With `resume: None` this *is*
+/// `try_execute_traced`.
+pub fn try_execute_resumed(
+    prog: &SpmdProgram,
+    cluster: &ClusterConfig,
+    mode: ExecMode,
+    tracer: Tracer,
+    faults: FaultSpec,
+    resume: Option<&crate::checkpoint::Snapshot>,
+) -> Result<RunReport, VpceError> {
     if prog.nprocs != cluster.num_nodes() {
         return Err(VpceError::SizeMismatch {
             program: prog.nprocs,
@@ -116,8 +142,8 @@ pub fn try_execute_traced(
     let uni = Universe::new(cluster.clone())
         .with_tracer(tracer)
         .with_faults(faults);
-    let out = uni.try_run(|mpi| run_rank(prog, mpi, mode))?;
-    let (arrays, scalars) = out.results[0].clone();
+    let out = uni.try_run(|mpi| run_rank(prog, mpi, mode, resume))?;
+    let (arrays, scalars, boundaries) = out.results[0].clone();
     Ok(RunReport {
         elapsed: out.elapsed(),
         comm_time: out.max_comm_time(),
@@ -125,6 +151,7 @@ pub fn try_execute_traced(
         net: out.net,
         arrays,
         scalars,
+        boundaries,
         rma_conflicts: out.rma_conflicts,
         trace: out.trace,
     })
@@ -196,8 +223,15 @@ fn phase(mpi: &Mpi, t0: f64, name: impl FnOnce() -> String) {
     }
 }
 
-/// Per-rank execution of the whole program.
-fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>>, Vec<Value>) {
+/// Per-rank execution of the whole program (or, when resuming, of its
+/// remaining blocks). Returns rank-0's view of the final arrays and
+/// scalars plus the block-boundary times (empty on slave ranks).
+fn run_rank(
+    prog: &SpmdProgram,
+    mpi: &mut Mpi,
+    mode: ExecMode,
+    resume: Option<&crate::checkpoint::Snapshot>,
+) -> (Vec<Vec<Elem>>, Vec<Value>, Vec<f64>) {
     let rank = mpi.rank();
     let nprocs = mpi.size();
     let t_init = mpi.now();
@@ -226,10 +260,33 @@ fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>
         mode,
     };
 
+    // Resuming: master state (windows + scalars) is authoritative at
+    // every block boundary — each parallel region ends collect → fence
+    // → barrier, and sequential blocks run on the master only. Slave
+    // copies that survive a boundary (the AVPG's delayed-communication
+    // elisions skip re-scattering regions a slave already holds fresh)
+    // agree with the master's content by the validity invariant, so
+    // seeding *every* rank with the master image reconstructs them
+    // exactly; stale slave regions are overwritten with data the
+    // program would never read un-scattered anyway. The seeding costs
+    // no virtual time; the service layer charges restore overhead
+    // explicitly. The first region's join barrier sequences all fills
+    // before any cross-rank access.
+    let skip = resume.map_or(0, |s| s.boundary);
+    if let Some(snap) = resume {
+        for (win, data) in wins.iter().zip(&snap.arrays) {
+            win.fill_from(data);
+        }
+        interp.scalars = snap.scalars.clone();
+    }
+
     // Serial number of the parallel region being entered — the
-    // deterministic key for rank-level fault draws.
-    let mut region_serial: u64 = 0;
-    for block in &prog.blocks {
+    // deterministic key for rank-level fault draws. A resumed run
+    // starts at the snapshot's base so draws line up with the
+    // uninterrupted execution.
+    let mut region_serial: u64 = resume.map_or(0, |s| s.region_serial_base);
+    let mut boundaries = Vec::new();
+    for block in &prog.blocks[skip..] {
         match block {
             Block::MasterSeq(instrs) => {
                 if rank == 0 {
@@ -262,6 +319,9 @@ fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>
                 region_serial += 1;
             }
         }
+        if rank == 0 {
+            boundaries.push(mpi.now());
+        }
     }
 
     // Final results: master's view.
@@ -270,7 +330,7 @@ fn run_rank(prog: &SpmdProgram, mpi: &mut Mpi, mode: ExecMode) -> (Vec<Vec<Elem>
     } else {
         Vec::new()
     };
-    (arrays, interp.scalars.clone())
+    (arrays, interp.scalars.clone(), boundaries)
 }
 
 type Guard = ArcMutexGuard<Vec<Elem>>;
@@ -809,14 +869,14 @@ fn body_mentions_scalar(instrs: &[Instr], var: usize) -> bool {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use lmad::RegionTransfer;
 
     /// Hand-built program: arrays A (len 16) and C (len 16);
     /// parallel region computes C[i] = A[i] * 2 over 16 iterations,
     /// block-scheduled on 4 ranks. A is initialised by the master.
-    fn axpy_prog(nprocs: usize) -> SpmdProgram {
+    pub(crate) fn axpy_prog(nprocs: usize) -> SpmdProgram {
         let n = 16usize;
         let chunk = n / nprocs;
         // Scatter: rank r receives A[r*chunk .. (r+1)*chunk].

@@ -141,6 +141,13 @@ fn args_json(kind: &EventKind) -> String {
         EventKind::Doorbell { rank, descs } => {
             format!("{{\"rank\":{rank},\"descs\":{descs}}}")
         }
+        EventKind::Submit { job } | EventKind::Preempt { job } => {
+            format!("{{\"job\":\"{}\"}}", json_escape(job))
+        }
+        EventKind::Checkpoint { job, boundary } => {
+            format!("{{\"job\":\"{}\",\"boundary\":{boundary}}}", json_escape(job))
+        }
+        EventKind::Recover { records } => format!("{{\"records\":{records}}}"),
     }
 }
 

@@ -240,6 +240,18 @@ pub enum EventKind {
     /// A descriptor-ring doorbell flushed `descs` batched same-window
     /// descriptors to the NIC in one post.
     Doorbell { rank: usize, descs: u64 },
+    /// Service layer (`vpced`): a job entered the persistent queue.
+    Submit { job: String },
+    /// Service layer: a running job was ordered off its partition; the
+    /// preemption takes effect at the job's next block boundary.
+    Preempt { job: String },
+    /// Service layer: the job's universe was snapshotted at block
+    /// boundary `boundary` (fence-exact, see `spmd_rt::checkpoint`).
+    Checkpoint { job: String, boundary: usize },
+    /// Service layer: the daemon replayed `records` journal records
+    /// after a crash. Observability-only — excluded from the canonical
+    /// timeline so kill/restart stays byte-identical.
+    Recover { records: u64 },
 }
 
 impl EventKind {
@@ -262,6 +274,10 @@ impl EventKind {
             }
             EventKind::PoolWait { .. } => "pool-wait".to_string(),
             EventKind::Doorbell { .. } => "doorbell".to_string(),
+            EventKind::Submit { job } => format!("submit {job}"),
+            EventKind::Preempt { job } => format!("preempt {job}"),
+            EventKind::Checkpoint { job, boundary } => format!("checkpoint {job}@{boundary}"),
+            EventKind::Recover { .. } => "recover".to_string(),
         }
     }
 
@@ -281,6 +297,10 @@ impl EventKind {
             | EventKind::RendezvousHandshake { .. }
             | EventKind::PoolWait { .. }
             | EventKind::Doorbell { .. } => "protocol",
+            EventKind::Submit { .. }
+            | EventKind::Preempt { .. }
+            | EventKind::Checkpoint { .. }
+            | EventKind::Recover { .. } => "service",
         }
     }
 }
@@ -379,5 +399,21 @@ mod tests {
         let d = EventKind::Doorbell { rank: 0, descs: 8 };
         assert_eq!(d.name(), "doorbell");
         assert_eq!(d.category(), "protocol");
+    }
+
+    #[test]
+    fn service_events_have_stable_names_and_category() {
+        let s = EventKind::Submit { job: "mm-3".into() };
+        assert_eq!(s.name(), "submit mm-3");
+        assert_eq!(s.category(), "service");
+        let p = EventKind::Preempt { job: "mm-3".into() };
+        assert_eq!(p.name(), "preempt mm-3");
+        assert_eq!(p.category(), "service");
+        let c = EventKind::Checkpoint { job: "mm-3".into(), boundary: 2 };
+        assert_eq!(c.name(), "checkpoint mm-3@2");
+        assert_eq!(c.category(), "service");
+        let r = EventKind::Recover { records: 17 };
+        assert_eq!(r.name(), "recover");
+        assert_eq!(r.category(), "service");
     }
 }

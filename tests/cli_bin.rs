@@ -1,0 +1,118 @@
+//! End-to-end tests of the `vpcec` binary itself: stdin-fed jobfiles
+//! (`--batch -`), the `--serve` daemon with a durable `--journal`, and
+//! the `--kill-after` crash drill. Everything below runs the real
+//! executable via `CARGO_BIN_EXE_vpcec`.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+const JOBFILE: &str = "nodes=4\nseed=1\n\
+                       job name=a workload=mm ranks=2 param:N=8\n\
+                       job name=b workload=mm ranks=2 param:N=8 arrive=1e-4\n";
+
+fn vpcec(args: &[&str], stdin: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_vpcec"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    cmd.stdin(if stdin.is_some() { Stdio::piped() } else { Stdio::null() });
+    let mut child = cmd.spawn().expect("spawn vpcec");
+    if let Some(text) = stdin {
+        child
+            .stdin
+            .take()
+            .expect("piped stdin")
+            .write_all(text.as_bytes())
+            .expect("feed stdin");
+    }
+    child.wait_with_output().expect("wait vpcec")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A scratch path that cleans itself up.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let p = std::env::temp_dir().join(format!("vpcec-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        Scratch(p)
+    }
+    fn str(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn batch_reads_the_jobfile_from_stdin() {
+    let out = vpcec(&["--batch", "-"], Some(JOBFILE));
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("2 submitted | 2 done"), "{text}");
+    // Identical to reading the same jobfile from a file.
+    let file = Scratch::new("jobs.txt");
+    std::fs::write(&file.0, JOBFILE).unwrap();
+    let from_file = vpcec(&["--batch", file.str()], None);
+    assert_eq!(text, stdout(&from_file));
+}
+
+#[test]
+fn serve_reads_the_script_from_stdin_and_journals_to_disk() {
+    let journal = Scratch::new("serve.journal");
+    let out = vpcec(&["--serve", "-", "--journal", journal.str()], Some(JOBFILE));
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("2 submitted | 2 done"), "{}", stdout(&out));
+    let log = std::fs::read_to_string(&journal.0).unwrap();
+    assert!(log.contains(" I nodes=4"), "{log}");
+    assert!(log.contains(" F report="), "sealed journal: {log}");
+
+    // Reopening the sealed journal replays (status verb works without
+    // resubmitting anything).
+    let again = vpcec(
+        &["--serve", "-", "--journal", journal.str(), "--status", "a"],
+        Some(""),
+    );
+    assert!(again.status.success(), "{}", stdout(&again));
+    let text = stdout(&again);
+    assert!(text.contains("recovery #1"), "{text}");
+    assert!(text.contains("a done"), "{text}");
+}
+
+#[test]
+fn kill_after_exits_3_and_a_restart_recovers() {
+    let journal = Scratch::new("killed.journal");
+    let dead = vpcec(
+        &["--serve", "-", "--journal", journal.str(), "--kill-after", "150"],
+        Some(JOBFILE),
+    );
+    assert_eq!(dead.status.code(), Some(3), "{}", stdout(&dead));
+    assert!(stdout(&dead).contains("killed"), "{}", stdout(&dead));
+    assert!(std::fs::metadata(&journal.0).unwrap().len() <= 150);
+
+    // The baseline that never died.
+    let clean = vpcec(&["--serve", "-"], Some(JOBFILE));
+    assert!(clean.status.success(), "{}", stdout(&clean));
+
+    // Restart on the torn journal: byte-identical report below the
+    // recovery banner.
+    let recovered = vpcec(&["--serve", "-", "--journal", journal.str()], Some(JOBFILE));
+    assert!(recovered.status.success(), "{}", stdout(&recovered));
+    let text = stdout(&recovered);
+    assert!(text.ends_with(&stdout(&clean)), "clean:\n{}\nrecovered:\n{text}", stdout(&clean));
+}
+
+#[test]
+fn usage_error_exits_1_and_mentions_serve() {
+    let out = vpcec(&["--journal", "j.log"], None);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("--serve"), "{err}");
+}

@@ -1,0 +1,87 @@
+//! Golden report and kill/restart matrix for `vpced`, the persistent
+//! job service. `tenants.jobs` (two tenants, a quota-throttled storm,
+//! one checkpoint/restart preemption) is drained through a journaled
+//! daemon session and its stable JSON diffed byte-for-byte against
+//! `tests/golden/tenants_serve.json`; then the daemon is murdered at
+//! 200+ seeded journal offsets across both jobfile fixtures and every
+//! recovered run must reproduce the never-killed report, human text
+//! and whole-cluster trace bit for bit. Regenerate the golden with
+//! `UPDATE_GOLDEN=1 cargo test -q -p vpce --test serve_golden`.
+
+use spmd_rt::ExecMode;
+use vpce_serve::{baseline, kill_matrix, script_lines, Runner};
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/../../{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn fixture(name: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(repo_path(&format!("examples/jobs/{name}")))
+        .expect("jobfile fixture exists");
+    script_lines(&text)
+}
+
+#[test]
+fn tenants_serve_report_matches_golden_bytes() {
+    let runner = Runner::new(ExecMode::Full);
+    let script = fixture("tenants.jobs");
+    let (res, journal) = baseline(&runner, &script).unwrap();
+    let (again, journal2) = baseline(&runner, &script).unwrap();
+    assert_eq!(res.report_json, again.report_json, "serve report must be deterministic");
+    assert_eq!(journal, journal2, "whole journal is deterministic");
+
+    let golden_path = repo_path("tests/golden/tenants_serve.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &res.report_json).expect("write golden");
+    } else {
+        let expected = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("missing golden file {golden_path}: {e}"));
+        assert_eq!(
+            res.report_json, expected,
+            "serve report drifted from tenants_serve.json; if intentional, \
+             regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+
+    // The acceptance shape, pinned structurally as well as byte-wise:
+    // every job completes, `low` is preempted exactly once and still
+    // heals bit-identical, and both tenants are charged usage.
+    let json = &res.report_json;
+    assert!(json.contains("\"done\": 5"), "{json}");
+    assert!(json.contains("\"failed\": 0"), "{json}");
+    assert_eq!(json.matches("\"preemptions\": 1").count(), 1, "{json}");
+    assert_eq!(json.matches("\"identical\": true").count(), 5, "{json}");
+    assert!(json.contains("\"tenant\": \"acme\""), "{json}");
+    assert!(json.contains("\"tenant\": \"beta\""), "{json}");
+    assert!(json.contains("\"tenant_usage_node_s\""), "{json}");
+}
+
+#[test]
+fn kill_anywhere_on_both_fixtures_recovers_byte_identically() {
+    // The headline property, at scale: 200+ seeded kill points across
+    // the two jobfile fixtures. Every kill fires mid-journal, every
+    // restart replays, and every final report/trace is byte-identical
+    // to the never-killed baseline.
+    let runner = Runner::new(ExecMode::Full);
+    let mut total_points = 0usize;
+    for name in ["tenants.jobs", "storm.jobs"] {
+        let script = fixture(name);
+        let summary = kill_matrix(&runner, &script, 128).unwrap();
+        assert!(
+            summary.journal_len > 1000,
+            "{name}: non-trivial journal ({} bytes)",
+            summary.journal_len
+        );
+        assert_eq!(
+            summary.divergent,
+            Vec::<u64>::new(),
+            "{name}: kill+restart must replay to identical bytes"
+        );
+        assert!(
+            summary.restarts >= summary.points as u64,
+            "{name}: every kill point actually killed the daemon"
+        );
+        total_points += summary.points;
+    }
+    assert!(total_points >= 200, "swept only {total_points} kill points");
+}
