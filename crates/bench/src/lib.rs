@@ -22,7 +22,11 @@
 //!   recording the per-protocol ledgers and the achieved bandwidth;
 //! * [`serve`] — the `vpced` service benchmark: sustained submission
 //!   ingest, time-to-recovery from a sealed journal, and the seeded
-//!   kill/restart matrix (amortised cost per kill point).
+//!   kill/restart matrix (amortised cost per kill point);
+//! * [`recover`] — the rollback-recovery sweep: checkpoint premium on
+//!   a crash-free run, time-to-recover and replay amplification across
+//!   seeded crash schedules, with byte-identity cross-checked on every
+//!   absorbed schedule.
 //!
 //! Each module computes plain data structures; the `table1`, `table2`,
 //! `hwclaims`, `ablation` and `chaos` binaries print them as the
@@ -33,6 +37,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod hwclaims;
+pub mod recover;
 pub mod sched;
 pub mod serve;
 pub mod table1;

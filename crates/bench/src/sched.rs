@@ -69,6 +69,7 @@ fn storm_batch(nodes: usize, policy: Policy, mean_gap_s: f64, per_storm: usize) 
         nodes: Some(nodes),
         policy: Some(policy),
         seed: None, // the sweep seed decides
+        probation: None,
         tenants: Vec::new(),
         jobs: vec![wide],
         storms: vec![storm("a", 1), storm("b", 2)],

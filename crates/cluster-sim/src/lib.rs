@@ -156,6 +156,62 @@ impl ClusterConfig {
     }
 }
 
+/// The rank→physical-node remap maintained by in-run rollback
+/// recovery: every rank starts on its home node, and each respawn
+/// moves a crashed rank onto the next node from a finite spare pool.
+/// Spare node ids continue past the active partition (`ranks`,
+/// `ranks+1`, …), matching how a real cluster keeps warm standby nodes
+/// outside the job's gang. Purely bookkeeping — the virtual-time cost
+/// model is node-homogeneous, so a remap changes placement history,
+/// never timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverMap {
+    /// Ranks in the partition.
+    pub ranks: usize,
+    /// Spare nodes provisioned at job start.
+    pub spares_total: usize,
+    /// Current physical node of each rank (`map[r]`).
+    pub map: Vec<usize>,
+    /// Every remap performed, in order: `(rank, from_node, to_node)`.
+    pub history: Vec<(usize, usize, usize)>,
+}
+
+impl FailoverMap {
+    /// Identity placement of `ranks` ranks with `spares` standby nodes.
+    pub fn new(ranks: usize, spares: usize) -> Self {
+        FailoverMap {
+            ranks,
+            spares_total: spares,
+            map: (0..ranks).collect(),
+            history: Vec::new(),
+        }
+    }
+
+    /// Spare nodes not yet consumed by a failover.
+    pub fn spares_left(&self) -> usize {
+        self.spares_total - self.history.len()
+    }
+
+    /// The physical node rank `r` currently occupies.
+    pub fn node_of(&self, r: usize) -> usize {
+        self.map[r]
+    }
+
+    /// Move crashed rank `r` onto the next spare node. Returns the
+    /// `(from, to)` pair, or `None` when the spare pool is exhausted
+    /// (the caller then fails the recovery with VPCE403).
+    pub fn remap(&mut self, r: usize) -> Option<(usize, usize)> {
+        if self.spares_left() == 0 {
+            return None;
+        }
+        let from = self.map[r];
+        let to = self.ranks + self.history.len();
+        self.map[r] = to;
+        self.history.push((r, from, to));
+        Some((from, to))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +252,25 @@ mod tests {
         assert_eq!(c.num_nodes(), 2);
         // The partition keeps the paper card (V-Bus present).
         assert!(c.net.vbus.is_some());
+    }
+
+    #[test]
+    fn failover_map_consumes_spares_in_order_and_keeps_history() {
+        let mut fm = FailoverMap::new(4, 2);
+        assert_eq!(fm.spares_left(), 2);
+        assert_eq!(fm.node_of(3), 3);
+        // First failover: rank 3 moves to spare node 4.
+        assert_eq!(fm.remap(3), Some((3, 4)));
+        assert_eq!(fm.node_of(3), 4);
+        assert_eq!(fm.spares_left(), 1);
+        // A rank can fail over twice; the pool keeps draining in order.
+        assert_eq!(fm.remap(3), Some((4, 5)));
+        assert_eq!(fm.spares_left(), 0);
+        assert_eq!(fm.remap(0), None, "exhausted pool refuses the remap");
+        assert_eq!(fm.history, vec![(3, 3, 4), (3, 4, 5)]);
+        // Untouched ranks keep their home nodes.
+        assert_eq!(fm.node_of(0), 0);
+        assert_eq!(fm.node_of(2), 2);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 
 use lmad::Granularity;
 use spmd_rt::{ExecMode, FaultSpec, Schedule, VpceError};
+use vpce_recover::RecoverSpec;
 use vpce_sched::{BatchOptions, BatchSpec, SourceLoader};
 use vpce_trace::Tracer;
 
@@ -46,6 +47,10 @@ pub struct CliArgs {
     pub batch: Option<String>,
     /// `--sched-seed`: overrides the jobfile's `seed=` directive.
     pub sched_seed: Option<u64>,
+    /// `--probation N`: crashed nodes reintegrate after `N` clean
+    /// attempt completions instead of draining for the whole batch
+    /// (the jobfile's `probation=` header wins over this).
+    pub probation: Option<u32>,
     /// `--batch-json`: also write the batch report as stable JSON.
     pub batch_json: Option<String>,
     /// Serve mode: path of a `vpced` script (`-` = stdin) to feed the
@@ -60,6 +65,9 @@ pub struct CliArgs {
     /// `--status`: after draining, also print this job's one-line
     /// status (the client `status` verb).
     pub status: Option<String>,
+    /// `--recover`: arm in-run rollback recovery (buddy-replicated
+    /// diskless checkpoints + spare-node failover) for a single run.
+    pub recover: Option<RecoverSpec>,
 }
 
 impl Default for CliArgs {
@@ -88,11 +96,13 @@ impl Default for CliArgs {
             fault_seed: None,
             batch: None,
             sched_seed: None,
+            probation: None,
             batch_json: None,
             serve: None,
             journal: None,
             kill_after: None,
             status: None,
+            recover: None,
         }
     }
 }
@@ -241,6 +251,19 @@ USAGE: vpcec <file.f> [options]
                        unsurvivable schedule exits 3 with a one-line
                        typed diagnosis
   --fault-seed N       override the fault schedule's PRNG seed
+  --recover SPEC       arm in-run rollback recovery: after every
+                       interval-th parallel region each rank ships its
+                       fence-boundary snapshot to buddy ranks (diskless
+                       checkpointing); a rank crash quiesces the
+                       survivors, rolls back to the last consistent
+                       snapshot, respawns the dead rank from a buddy
+                       replica onto a spare node and replays
+                       deterministically — the report and trace stay
+                       byte-identical to the crash-free run, with the
+                       recovery ledger appended. SPEC is `on` (defaults)
+                       or key=value pairs: interval=1, spares=4,
+                       buddies=2, rollbacks=16. An unabsorbable crash
+                       schedule exits 3 with a VPCE402/403/404 diagnosis
   --batch JOBFILE      run a batch of jobs through the deterministic
                        gang scheduler instead of a single program
                        (jobfile `nodes=`/`policy=`/`seed=` directives
@@ -250,6 +273,9 @@ USAGE: vpcec <file.f> [options]
                        `-` reads the jobfile from stdin
   --sched-seed N       override the jobfile's batch seed (storm
                        arrivals and per-job fault schedules)
+  --probation N        reintegrate crashed nodes after N clean attempt
+                       completions instead of draining them for the
+                       whole batch (jobfile `probation=` header wins)
   --batch-json PATH    also write the batch report as stable JSON
   --serve SCRIPT       run the jobfile-plus-verbs script through
                        `vpced`, the persistent job service: every
@@ -331,7 +357,7 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--trace-summary" => out.trace_summary = true,
             "--faults" => {
                 let spec = it.next().ok_or("--faults needs a schedule spec")?;
-                out.faults = FaultSpec::parse(spec)?;
+                out.faults = FaultSpec::parse(spec).map_err(|e| e.to_string())?;
             }
             "--fault-seed" => {
                 out.fault_seed = Some(
@@ -339,6 +365,10 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                         .and_then(|v| v.parse().ok())
                         .ok_or("--fault-seed needs a number")?,
                 );
+            }
+            "--recover" => {
+                let spec = it.next().ok_or("--recover needs a spec (try: on)")?;
+                out.recover = Some(RecoverSpec::parse(spec)?);
             }
             "--batch" => {
                 out.batch = Some(it.next().ok_or("--batch needs a jobfile path")?.clone());
@@ -349,6 +379,16 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
                         .and_then(|v| v.parse().ok())
                         .ok_or("--sched-seed needs a number")?,
                 );
+            }
+            "--probation" => {
+                let n: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--probation needs a number of clean intervals")?;
+                if n == 0 {
+                    return Err("--probation needs at least one clean interval".into());
+                }
+                out.probation = Some(n);
             }
             "--batch-json" => {
                 out.batch_json = Some(it.next().ok_or("--batch-json needs a path")?.clone());
@@ -394,6 +434,12 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
         && (out.journal.is_some() || out.kill_after.is_some() || out.status.is_some())
     {
         return Err("--journal/--kill-after/--status need --serve".into());
+    }
+    if out.recover.is_some() && (out.batch.is_some() || out.serve.is_some()) {
+        return Err("--recover applies to a single run; use `recover=` in the jobfile".into());
+    }
+    if out.probation.is_some() && out.batch.is_none() {
+        return Err("--probation needs --batch".into());
     }
     if let Some(seed) = out.fault_seed {
         out.faults.seed = seed;
@@ -519,14 +565,30 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
     } else {
         Tracer::disabled()
     };
-    let parallel = match spmd_rt::try_execute_traced(
-        &compiled.program,
-        &cluster,
-        args.mode,
-        tracer.clone(),
-        args.faults.clone(),
-    ) {
-        Ok(rep) => rep,
+    // `--recover` swaps in the rollback-recovery driver: the same
+    // execution (report and trace byte-identical to the crash-free
+    // run) plus a side ledger of checkpoints/rollbacks/respawns.
+    let executed = match &args.recover {
+        Some(spec) => vpce_recover::run_recovering(
+            &compiled.program,
+            &cluster,
+            args.mode,
+            tracer.clone(),
+            args.faults.clone(),
+            spec,
+        )
+        .map(|(rep, ledger)| (rep, Some(ledger))),
+        None => spmd_rt::try_execute_traced(
+            &compiled.program,
+            &cluster,
+            args.mode,
+            tracer.clone(),
+            args.faults.clone(),
+        )
+        .map(|rep| (rep, None)),
+    };
+    let (parallel, recovery) = match executed {
+        Ok(pair) => pair,
         Err(e) => {
             // Unsurvivable fault (or a program/cluster mismatch): a
             // one-line typed diagnosis and a distinct exit code, never
@@ -584,6 +646,12 @@ pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
     if !args.faults.is_off() {
         out.push_str(&crate::report::describe_faults(&args.faults, &parallel));
     }
+    // The recovery ledger prints only when --recover armed it, so an
+    // unarmed invocation's report is byte-identical to the pre-recovery
+    // output.
+    if let (Some(spec), Some(ledger)) = (&args.recover, &recovery) {
+        out.push_str(&crate::report::describe_recovery(spec, ledger));
+    }
     if args.trace_summary {
         if let Some(rep) = &parallel.trace {
             out.push_str(&rep.render());
@@ -621,6 +689,7 @@ pub fn run_batch(
         nodes: args.nodes,
         seed: args.sched_seed,
         mode: args.mode,
+        probation: args.probation,
         ..BatchOptions::default()
     };
     let report = vpce_sched::run_batch(&spec, &opts, loader)?;
@@ -979,6 +1048,92 @@ mod tests {
     }
 
     #[test]
+    fn parses_recover_flags() {
+        let a = parse_args(&argv("prog.f --recover on")).unwrap();
+        assert_eq!(a.recover, Some(RecoverSpec::default()));
+        let a = parse_args(&argv("prog.f --recover interval=2,spares=1")).unwrap();
+        let spec = a.recover.unwrap();
+        assert_eq!(spec.interval, 2);
+        assert_eq!(spec.spares, 1);
+        assert!(parse_args(&argv("prog.f")).unwrap().recover.is_none());
+        assert!(parse_args(&argv("prog.f --recover")).is_err());
+        assert!(parse_args(&argv("prog.f --recover nope=1")).is_err());
+        // Recovery is a single-run feature; batch/serve spell it
+        // `recover=` in the jobfile.
+        assert!(parse_args(&argv("--batch j.txt --recover on")).is_err());
+        assert!(parse_args(&argv("--serve s.txt --recover on")).is_err());
+    }
+
+    #[test]
+    fn recovered_crash_exits_zero_and_appends_the_ledger() {
+        let clean = run(SRC, &parse_args(&argv("x.f --grain fine")).unwrap()).unwrap();
+        // A crash schedule that kills the plain run but is absorbable.
+        let mut hit = None;
+        for seed in 0..64u64 {
+            let plain = parse_args(&argv(&format!(
+                "x.f --grain fine --faults crash=0.5,seed={seed}"
+            )))
+            .unwrap();
+            if run(SRC, &plain).unwrap().exit != 3 {
+                continue;
+            }
+            let armed = parse_args(&argv(&format!(
+                "x.f --grain fine --faults crash=0.5,seed={seed} --recover on"
+            )))
+            .unwrap();
+            let out = run(SRC, &armed).unwrap();
+            if out.exit == 0 {
+                hit = Some(out);
+                break;
+            }
+        }
+        let out = hit.expect("no absorbable crashing seed in the scan");
+        // The crash-free report is a byte prefix: recovery only appends.
+        assert!(
+            out.text.starts_with(&clean.text),
+            "clean:\n{}\nrecovered:\n{}",
+            clean.text,
+            out.text
+        );
+        assert!(out.text.contains("absorbed [VPCE401]:"), "{}", out.text);
+        assert!(out.text.contains("recovery time:"), "{}", out.text);
+    }
+
+    #[test]
+    fn recover_without_crashes_reports_checkpoint_overhead_only() {
+        let clean = run(SRC, &parse_args(&argv("x.f --grain fine")).unwrap()).unwrap();
+        let armed =
+            run(SRC, &parse_args(&argv("x.f --grain fine --recover on")).unwrap()).unwrap();
+        assert_eq!(armed.exit, 0, "{}", armed.text);
+        assert!(armed.text.starts_with(&clean.text));
+        assert!(armed.text.contains("absorbed: no crashes"), "{}", armed.text);
+        assert!(!armed.text.contains("VPCE401"), "{}", armed.text);
+    }
+
+    #[test]
+    fn unabsorbable_crash_schedule_exits_3_with_a_vpce40x_code() {
+        // rollbacks=0: the first predicted crash group busts the
+        // budget before execution — a one-line VPCE402, never a panic.
+        let seed = (0..64u64)
+            .find(|s| {
+                let plain = parse_args(&argv(&format!(
+                    "x.f --grain fine --faults crash=0.5,seed={s}"
+                )))
+                .unwrap();
+                run(SRC, &plain).unwrap().exit == 3
+            })
+            .expect("no crashing seed in the scan");
+        let args = parse_args(&argv(&format!(
+            "x.f --grain fine --faults crash=0.5,seed={seed} --recover rollbacks=0"
+        )))
+        .unwrap();
+        let out = run(SRC, &args).unwrap();
+        assert_eq!(out.exit, 3, "{}", out.text);
+        assert!(out.text.contains("VPCE402"), "{}", out.text);
+        assert!(!out.text.contains("speedup"), "{}", out.text);
+    }
+
+    #[test]
     fn exit_code_table_is_the_single_mapping() {
         // The documented table: every outcome, its one code.
         for (outcome, code) in [
@@ -1034,6 +1189,13 @@ mod tests {
         assert!(parse_args(&argv("x.f --batch jobs.txt")).is_err());
         assert!(parse_args(&argv("--sched-seed 5")).is_err());
         assert!(parse_args(&argv("--batch")).is_err());
+        // Probation is a batch-scheduler knob: it needs --batch, a
+        // positive interval count, and a number at all.
+        let p = parse_args(&argv("--batch jobs.txt --probation 2")).unwrap();
+        assert_eq!(p.probation, Some(2));
+        assert!(parse_args(&argv("x.f --probation 2")).is_err());
+        assert!(parse_args(&argv("--batch jobs.txt --probation 0")).is_err());
+        assert!(parse_args(&argv("--batch jobs.txt --probation soon")).is_err());
     }
 
     #[test]

@@ -100,6 +100,49 @@ pub fn describe_faults(spec: &spmd_rt::FaultSpec, rep: &spmd_rt::RunReport) -> S
     out
 }
 
+/// Describe what the rollback-recovery driver did: the checkpoint
+/// cadence and replication traffic, the crashes it absorbed (with the
+/// rank→node failovers), and the virtual time charged to the
+/// `Recovery` critical-path class — the four components printed sum to
+/// the total bit-exactly. Printed only when `--recover` armed it.
+pub fn describe_recovery(
+    spec: &vpce_recover::RecoverSpec,
+    ledger: &vpce_recover::RecoveryLedger,
+) -> String {
+    let mut out = format!(
+        "  recovery: checkpoint every {} region(s) x {} buddies | {} checkpoints | {} B payload -> {} B replicated\n",
+        spec.interval, spec.buddies, ledger.checkpoints, ledger.payload_bytes, ledger.replicated_bytes
+    );
+    if ledger.absorbed() {
+        let moves: Vec<String> = ledger
+            .failovers
+            .iter()
+            .map(|(rank, from, to)| format!("rank {rank} node {from}->{to}"))
+            .collect();
+        out.push_str(&format!(
+            "  absorbed [VPCE401]: {} rollback(s) | {} rank(s) respawned | {} region(s) replayed | {}\n",
+            ledger.rollbacks,
+            ledger.respawned,
+            ledger.replay_regions,
+            moves.join(", ")
+        ));
+    } else {
+        out.push_str(&format!(
+            "  absorbed: no crashes | {}/{} spare node(s) in reserve\n",
+            spec.spares, spec.spares
+        ));
+    }
+    out.push_str(&format!(
+        "  recovery time: {:.6}s = ckpt {:.6}s + quiesce {:.6}s + respawn {:.6}s + replay {:.6}s\n",
+        ledger.recovery_total(),
+        ledger.ckpt_time,
+        ledger.quiesce_time,
+        ledger.respawn_time,
+        ledger.replay_time
+    ));
+    out
+}
+
 /// Describe the front-end's findings: which loops parallelised and
 /// why the others did not.
 pub fn describe_frontend(analyzed: &AnalyzedProgram) -> String {

@@ -45,6 +45,13 @@
 //! | VPCE313 | error    | jobfile | required jobfile field missing |
 //! | VPCE314 | error    | jobfile | duplicate job name in one jobfile |
 //! | VPCE315 | error    | jobfile | mutually exclusive jobfile fields combined |
+//! | VPCE320 | error    | faults | duplicate key in one --faults spec |
+//! | VPCE321 | error    | faults | unknown --faults key |
+//! | VPCE322 | error    | faults | unparsable or out-of-range --faults value |
+//! | VPCE401 | warning  | recover | in-run recovery absorbed one or more crashes |
+//! | VPCE402 | error    | recover | rollback budget exhausted by the crash schedule |
+//! | VPCE403 | error    | recover | spare-node pool exhausted; crashed rank unplaceable |
+//! | VPCE404 | error    | recover | every buddy replica died with the crashed rank |
 //!
 //! Each checker owns its code *enum* (and therefore the
 //! 0xx/2xx/30x/31x namespace split); this crate owns everything the

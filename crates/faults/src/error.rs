@@ -33,6 +33,15 @@ pub enum VpceError {
     },
     /// A rank was killed by the fault schedule.
     RankCrash { rank: usize, region: String },
+    /// In-run rollback recovery could not absorb a crash: the rollback
+    /// budget ran out, the spare pool was empty, or every replica of
+    /// the crashed rank's checkpoint died with it. `code` is the
+    /// stable VPCE40x diagnostic code.
+    RecoveryFailed {
+        code: &'static str,
+        rank: usize,
+        detail: String,
+    },
     /// An RMA operation reached past the end of the target window.
     RmaBounds {
         target: usize,
@@ -88,6 +97,7 @@ impl VpceError {
                 | VpceError::BusFailure { .. }
                 | VpceError::NicFailure { .. }
                 | VpceError::RankCrash { .. }
+                | VpceError::RecoveryFailed { .. }
         )
     }
 
@@ -98,6 +108,7 @@ impl VpceError {
             VpceError::BusFailure { .. } => "bus-failure",
             VpceError::NicFailure { .. } => "nic-failure",
             VpceError::RankCrash { .. } => "rank-crash",
+            VpceError::RecoveryFailed { .. } => "recovery-failed",
             VpceError::RmaBounds { .. } => "rma-bounds",
             VpceError::RankOutOfRange { .. } => "rank-out-of-range",
             VpceError::LockState { .. } => "lock-state",
@@ -130,6 +141,9 @@ impl fmt::Display for VpceError {
             ),
             VpceError::RankCrash { rank, region } => {
                 write!(f, "rank {rank} crashed (fault schedule) at {region}")
+            }
+            VpceError::RecoveryFailed { code, rank, detail } => {
+                write!(f, "recovery failed [{code}] for rank {rank}: {detail}")
             }
             VpceError::RmaBounds { target, offset, len, size } => write!(
                 f,
@@ -181,6 +195,19 @@ mod tests {
             msg: "collective poisoned: a peer rank panicked".into(),
         };
         assert!(e.to_string().contains("collective poisoned"));
+    }
+
+    #[test]
+    fn recovery_failed_is_exit_3_injected_and_names_its_code() {
+        let e = VpceError::RecoveryFailed {
+            code: "VPCE402",
+            rank: 2,
+            detail: "rollback budget exhausted".into(),
+        };
+        assert_eq!(e.exit_code(), 3);
+        assert!(e.is_injected());
+        assert_eq!(e.kind(), "recovery-failed");
+        assert!(e.to_string().contains("VPCE402"), "{e}");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! callers supplying deterministic keys (packet serials, rank numbers,
 //! region indices), which they do.
 
+use std::collections::BTreeSet;
+
 use vpce_testkit::rng::SplitMix64;
 
 use crate::spec::FaultSpec;
@@ -35,11 +37,31 @@ const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     spec: FaultSpec,
+    /// Crash-site keys whose draws are masked for this run. Because
+    /// every draw is a pure hash, masking one key shifts no other
+    /// draw — this is what lets rollback recovery replay a region
+    /// with an already-handled crash elided while every transport
+    /// fault fires exactly as in the original attempt.
+    suppressed_crashes: BTreeSet<u64>,
 }
 
 impl FaultInjector {
     pub fn new(spec: FaultSpec) -> Self {
-        FaultInjector { spec }
+        FaultInjector { spec, suppressed_crashes: BTreeSet::new() }
+    }
+
+    /// Mask the crash draws at these `RANK_CRASH` keys (builder form).
+    pub fn with_suppressed_crashes(mut self, keys: BTreeSet<u64>) -> Self {
+        self.suppressed_crashes = keys;
+        self
+    }
+
+    /// The crash draw for `key`, honouring the suppression mask. Same
+    /// hash as `hits(spec.rank_crash, site::RANK_CRASH, key, 0)` when
+    /// the key is unmasked.
+    pub fn crash_hits(&self, key: u64) -> bool {
+        !self.suppressed_crashes.contains(&key)
+            && self.hits(self.spec.rank_crash, site::RANK_CRASH, key, 0)
     }
 
     pub fn spec(&self) -> &FaultSpec {
@@ -106,6 +128,22 @@ mod tests {
         let inj = FaultInjector::new(FaultSpec::off());
         assert!(!inj.hits(0.0, site::FLIT_CORRUPT, 1, 1));
         assert!(inj.hits(1.0, site::FLIT_CORRUPT, 1, 1));
+    }
+
+    #[test]
+    fn suppression_masks_only_the_named_key() {
+        let spec = FaultSpec { seed: 3, rank_crash: 1.0, ..FaultSpec::off() };
+        let plain = FaultInjector::new(spec.clone());
+        assert!(plain.crash_hits(7));
+        assert!(plain.crash_hits(8));
+        let masked = FaultInjector::new(spec).with_suppressed_crashes([7u64].into());
+        assert!(!masked.crash_hits(7));
+        assert!(masked.crash_hits(8));
+        // Non-crash draws are untouched by the mask.
+        assert_eq!(
+            plain.draw(site::LINK_DROP, 7, 0),
+            masked.draw(site::LINK_DROP, 7, 0)
+        );
     }
 
     #[test]

@@ -24,4 +24,4 @@ mod spec;
 pub use error::VpceError;
 pub use escalate::{install_quiet_hook, raise, raised_ref, take_raised, Raised};
 pub use inject::{site, FaultInjector};
-pub use spec::FaultSpec;
+pub use spec::{FaultParseError, FaultSpec, FaultSpecCode};

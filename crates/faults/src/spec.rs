@@ -5,6 +5,65 @@
 //! [`crate::FaultInjector`]); no wall clock, no global state. The same
 //! spec + seed therefore reproduces the same faults bit-for-bit.
 
+use std::collections::BTreeSet;
+use std::fmt;
+
+use vpce_diag::{DiagCode, Diagnostic, Severity};
+
+/// Stable diagnostic codes for `--faults` / `faults=` parse failures,
+/// registered in the shared `vpce-diag` registry (VPCE32x block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSpecCode {
+    /// The same `key=value` key appeared more than once in one spec.
+    DuplicateKey,
+    /// A key the grammar does not know.
+    UnknownKey,
+    /// A value that fails to parse or falls outside its legal range.
+    BadValue,
+}
+
+impl DiagCode for FaultSpecCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            FaultSpecCode::DuplicateKey => "VPCE320",
+            FaultSpecCode::UnknownKey => "VPCE321",
+            FaultSpecCode::BadValue => "VPCE322",
+        }
+    }
+    fn severity(self) -> Severity {
+        Severity::Error
+    }
+}
+
+/// A typed `--faults` parse failure: stable code + human detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError {
+    pub code: FaultSpecCode,
+    pub detail: String,
+}
+
+impl FaultParseError {
+    fn new(code: FaultSpecCode, detail: impl Into<String>) -> Self {
+        FaultParseError { code, detail: detail.into() }
+    }
+
+    /// The finding as a `vpce-diag` diagnostic (no source provenance —
+    /// fault specs come from the command line or a jobfile record).
+    pub fn to_diagnostic(&self) -> Diagnostic<FaultSpecCode> {
+        let mut d = Diagnostic::bare(self.code);
+        d.detail = self.detail.clone();
+        d
+    }
+}
+
+impl fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code.as_str(), self.detail)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
+
 /// Probabilities are per *event* (per packet attempt, per NIC chunk,
 /// per region entry), not per second: the simulation is virtual-time
 /// and event-driven, so event counts are the deterministic unit.
@@ -121,9 +180,12 @@ impl FaultSpec {
     /// Parse `--faults` syntax: a preset name (`off`, `light`,
     /// `heavy`, `crashy`) optionally followed by comma-separated
     /// `key=value` overrides, or overrides alone (starting from
-    /// `off`). Example: `light,drop=0.2,retries=10`.
-    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+    /// `off`). Example: `light,drop=0.2,retries=10`. A repeated key is
+    /// a typed VPCE320 error — silent last-wins would make two
+    /// visually different specs produce identical runs.
+    pub fn parse(s: &str) -> Result<FaultSpec, FaultParseError> {
         let mut spec = FaultSpec::off();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
         for (i, part) in s.split(',').enumerate() {
             let part = part.trim();
             if part.is_empty() {
@@ -132,8 +194,9 @@ impl FaultSpec {
             match part {
                 "off" | "light" | "heavy" | "crashy" => {
                     if i != 0 {
-                        return Err(format!(
-                            "preset '{part}' must come first in a --faults spec"
+                        return Err(FaultParseError::new(
+                            FaultSpecCode::BadValue,
+                            format!("preset '{part}' must come first in a --faults spec"),
                         ));
                     }
                     spec = match part {
@@ -146,31 +209,52 @@ impl FaultSpec {
                 }
                 _ => {}
             }
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| format!("bad --faults item '{part}': expected key=value"))?;
-            let fval = || -> Result<f64, String> {
-                value
-                    .parse::<f64>()
-                    .map_err(|_| format!("bad --faults value '{value}' for '{key}'"))
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                FaultParseError::new(
+                    FaultSpecCode::BadValue,
+                    format!("bad --faults item '{part}': expected key=value"),
+                )
+            })?;
+            if !seen.insert(key.to_string()) {
+                return Err(FaultParseError::new(
+                    FaultSpecCode::DuplicateKey,
+                    format!("duplicate --faults key '{key}': each key may appear once"),
+                ));
+            }
+            let fval = || -> Result<f64, FaultParseError> {
+                value.parse::<f64>().map_err(|_| {
+                    FaultParseError::new(
+                        FaultSpecCode::BadValue,
+                        format!("bad --faults value '{value}' for '{key}'"),
+                    )
+                })
             };
-            let uval = || -> Result<u32, String> {
-                value
-                    .parse::<u32>()
-                    .map_err(|_| format!("bad --faults value '{value}' for '{key}'"))
+            let uval = || -> Result<u32, FaultParseError> {
+                value.parse::<u32>().map_err(|_| {
+                    FaultParseError::new(
+                        FaultSpecCode::BadValue,
+                        format!("bad --faults value '{value}' for '{key}'"),
+                    )
+                })
             };
-            let rate = |v: f64| -> Result<f64, String> {
+            let rate = |v: f64| -> Result<f64, FaultParseError> {
                 if (0.0..=1.0).contains(&v) {
                     Ok(v)
                 } else {
-                    Err(format!("--faults rate '{key}' must be in [0,1], got {v}"))
+                    Err(FaultParseError::new(
+                        FaultSpecCode::BadValue,
+                        format!("--faults rate '{key}' must be in [0,1], got {v}"),
+                    ))
                 }
             };
             match key {
                 "seed" => {
-                    spec.seed = value
-                        .parse::<u64>()
-                        .map_err(|_| format!("bad --faults seed '{value}'"))?
+                    spec.seed = value.parse::<u64>().map_err(|_| {
+                        FaultParseError::new(
+                            FaultSpecCode::BadValue,
+                            format!("bad --faults seed '{value}'"),
+                        )
+                    })?
                 }
                 "corrupt" => spec.flit_corrupt = rate(fval()?)?,
                 "drop" => spec.link_drop = rate(fval()?)?,
@@ -187,7 +271,12 @@ impl FaultSpec {
                 "crash" => spec.rank_crash = rate(fval()?)?,
                 "retries" => spec.max_retries = uval()?,
                 "backoff_s" => spec.backoff_base_s = fval()?,
-                _ => return Err(format!("unknown --faults key '{key}'")),
+                _ => {
+                    return Err(FaultParseError::new(
+                        FaultSpecCode::UnknownKey,
+                        format!("unknown --faults key '{key}'"),
+                    ))
+                }
             }
         }
         Ok(spec)
@@ -295,5 +384,35 @@ mod tests {
         assert!(FaultSpec::parse("nope=1").is_err());
         assert!(FaultSpec::parse("drop").is_err());
         assert!(FaultSpec::parse("corrupt=0.1,light").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_stable_codes() {
+        assert_eq!(FaultSpec::parse("drop=2.0").unwrap_err().code, FaultSpecCode::BadValue);
+        assert_eq!(FaultSpec::parse("nope=1").unwrap_err().code, FaultSpecCode::UnknownKey);
+        assert_eq!(FaultSpec::parse("drop").unwrap_err().code, FaultSpecCode::BadValue);
+        assert_eq!(FaultSpecCode::DuplicateKey.as_str(), "VPCE320");
+        assert_eq!(FaultSpecCode::UnknownKey.as_str(), "VPCE321");
+        assert_eq!(FaultSpecCode::BadValue.as_str(), "VPCE322");
+        assert_eq!(FaultSpecCode::DuplicateKey.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn duplicate_keys_are_a_typed_error_not_last_wins() {
+        let err = FaultSpec::parse("drop=0.1,drop=0.2").unwrap_err();
+        assert_eq!(err.code, FaultSpecCode::DuplicateKey);
+        assert!(err.to_string().contains("VPCE320"), "{err}");
+        assert!(err.to_string().contains("duplicate --faults key 'drop'"), "{err}");
+        // Presets don't count as key tokens, and distinct keys still pass.
+        assert!(FaultSpec::parse("light,drop=0.2,retries=3").is_ok());
+        // A preset followed by an override of one of its fields is one
+        // key occurrence — still legal.
+        assert!(FaultSpec::parse("crashy,crash=0.9").is_ok());
+        // Duplicates are caught across presets-with-overrides too.
+        let err = FaultSpec::parse("light,seed=1,seed=2").unwrap_err();
+        assert_eq!(err.code, FaultSpecCode::DuplicateKey);
+        let d = err.to_diagnostic();
+        assert_eq!(d.code, FaultSpecCode::DuplicateKey);
+        assert!(d.detail.contains("seed"));
     }
 }

@@ -57,7 +57,7 @@ pub use conflict::{AccessSet, ConflictKind, ConflictRecord};
 pub use pool::PoolSnapshot;
 pub use rma::AccumulateOp;
 pub use stats::RankStats;
-pub use transport::{TransportPolicy, CTRL_BYTES, HDR_BYTES};
+pub use transport::{quiesce_cost, replica_put_cost, TransportPolicy, CTRL_BYTES, HDR_BYTES};
 pub use universe::{Mpi, RunOutcome, Universe};
 pub use vpce_faults::{FaultInjector, FaultSpec, VpceError};
 pub use window::{WinId, WindowRef};

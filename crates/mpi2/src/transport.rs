@@ -98,6 +98,51 @@ impl TransportPolicy {
     }
 }
 
+/// Virtual-time cost of PUTting one checkpoint replica of `bytes`
+/// payload to a buddy rank, costed through the same eager/rendezvous
+/// model as any other one-sided transfer: eager stages the payload
+/// into a registered slot and fires one message; rendezvous pays the
+/// RTS/CTS handshake and DMA setup, then streams with zero copies.
+/// Diskless checkpointing rides the existing transport for free — this
+/// is the MPICH2-over-InfiniBand observation the recovery layer banks
+/// on.
+pub fn replica_put_cost(cfg: &ClusterConfig, policy: &TransportPolicy, bytes: usize) -> f64 {
+    let nic = &cfg.node.nic;
+    let link = cfg.net.link;
+    let hops = link.per_hop_s * cfg.net.topology.diameter() as f64;
+    match policy.choose(bytes) {
+        Protocol::Eager => {
+            nic.post_s
+                + bytes as f64 / cfg.node.cpu.memcpy_bps
+                + hops
+                + link.transfer_time(bytes + HDR_BYTES)
+        }
+        Protocol::Rendezvous => {
+            let rtt = 2.0 * (hops + link.transfer_time(CTRL_BYTES)) + nic.post_s;
+            nic.dma_setup_s + rtt + hops + link.transfer_time(bytes)
+        }
+    }
+}
+
+/// Virtual-time cost of quiescing every surviving rank before a
+/// rollback: one full-cluster synchronisation that drains in-flight
+/// traffic, using the same software/V-Bus model as a barrier release
+/// (see `Shared::barrier_cost`).
+pub fn quiesce_cost(cfg: &ClusterConfig) -> f64 {
+    let p = cfg.num_nodes();
+    if p == 1 {
+        return cfg.node.nic.post_s;
+    }
+    let link = cfg.net.link;
+    let small = link.per_hop_s * cfg.net.topology.diameter() as f64
+        + link.transfer_time(64)
+        + cfg.node.nic.post_s;
+    match cfg.net.vbus {
+        Some(vb) => vb.arbitration_s + vb.per_node_config_s * p as f64 + small,
+        None => 2.0 * (p as f64).log2().ceil() * small,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +190,29 @@ mod tests {
             assert_eq!(e.choose(bytes), Protocol::Eager);
             assert_eq!(r.choose(bytes), Protocol::Rendezvous);
         }
+    }
+
+    #[test]
+    fn replica_put_cost_is_positive_monotone_and_protocol_aware() {
+        let cfg = ClusterConfig::paper_n(4);
+        let p = TransportPolicy::from_config(&cfg);
+        let small = replica_put_cost(&cfg, &p, 256);
+        let eager_edge = replica_put_cost(&cfg, &p, p.eager_max_bytes);
+        let large = replica_put_cost(&cfg, &p, 1 << 20);
+        assert!(small > 0.0);
+        assert!(eager_edge >= small);
+        assert!(large > eager_edge);
+        // Determinism: same inputs, same bits.
+        assert_eq!(small, replica_put_cost(&cfg, &p, 256));
+    }
+
+    #[test]
+    fn quiesce_cost_is_positive_and_grows_with_the_machine() {
+        let small = quiesce_cost(&ClusterConfig::paper_n(4));
+        let large = quiesce_cost(&ClusterConfig::paper_n(16));
+        assert!(small > 0.0);
+        assert!(large > small);
+        assert!(quiesce_cost(&ClusterConfig::paper_n(1)) > 0.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The MPI universe: rank threads, virtual clocks, and the `Mpi`
 //! process handle.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use cluster_sim::{
@@ -126,6 +126,7 @@ pub struct Universe {
     cfg: ClusterConfig,
     tracer: Tracer,
     faults: FaultSpec,
+    suppressed_crashes: BTreeSet<u64>,
     transport: Option<TransportPolicy>,
     stall_check: std::time::Duration,
 }
@@ -137,6 +138,7 @@ impl Universe {
             cfg,
             tracer: Tracer::disabled(),
             faults: FaultSpec::off(),
+            suppressed_crashes: BTreeSet::new(),
             transport: None,
             stall_check: DEFAULT_STALL_CHECK,
         }
@@ -188,6 +190,16 @@ impl Universe {
     /// The fault schedule this universe runs under.
     pub fn fault_spec(&self) -> &FaultSpec {
         &self.faults
+    }
+
+    /// Mask the crash draws at these `RANK_CRASH` keys. Because every
+    /// fault draw is a pure hash of `(seed, site, key, salt)`, masking
+    /// a key elides exactly that crash and shifts no other draw —
+    /// the foundation of in-run rollback recovery, which re-executes
+    /// a run with already-recovered crashes suppressed.
+    pub fn with_crash_suppression(mut self, keys: BTreeSet<u64>) -> Self {
+        self.suppressed_crashes = keys;
+        self
     }
 
     /// The trace sink this universe emits into (disabled by default).
@@ -260,7 +272,8 @@ impl Universe {
             mail: Mailboxes::with_waitgraph(n, Arc::clone(&wg)),
             conflicts: Mutex::new(Vec::new()),
             tracer: self.tracer.clone(),
-            faults: FaultInjector::new(self.faults.clone()),
+            faults: FaultInjector::new(self.faults.clone())
+                .with_suppressed_crashes(self.suppressed_crashes.clone()),
             pools,
             policy,
             wg,

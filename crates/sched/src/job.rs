@@ -217,6 +217,10 @@ pub struct JobSpec {
     pub faults: FaultSpec,
     /// How many times a fault-failed job may be requeued.
     pub retries: u32,
+    /// In-run rollback recovery (`recover=`): survivable crashes are
+    /// absorbed by buddy checkpoints + spare failover instead of
+    /// surfacing as a requeue; `None` keeps the requeue path.
+    pub recover: Option<vpce_recover::RecoverSpec>,
 }
 
 impl JobSpec {
@@ -236,6 +240,7 @@ impl JobSpec {
             granularity: None,
             faults: FaultSpec::off(),
             retries: 2,
+            recover: None,
         }
     }
 
@@ -283,6 +288,9 @@ impl JobSpec {
         }
         if self.retries != 2 {
             s.push_str(&format!(" retries={}", self.retries));
+        }
+        if let Some(r) = &self.recover {
+            s.push_str(&format!(" recover={}", r.to_record()));
         }
         for (k, v) in &self.params {
             s.push_str(&format!(" param:{k}={v}"));
@@ -417,6 +425,11 @@ pub struct BatchSpec {
     pub policy: Option<Policy>,
     /// Batch seed (header `seed=`); `--sched-seed` overrides it.
     pub seed: Option<u64>,
+    /// Probation length (header `probation=`, in clean scheduler
+    /// intervals): crashed nodes reintegrate after this many
+    /// crash-free attempt completions instead of draining for good.
+    /// `None` keeps the permanent-drain default.
+    pub probation: Option<u32>,
     /// Declared fair-share tenants.
     pub tenants: Vec<TenantSpec>,
     pub jobs: Vec<JobSpec>,
@@ -497,6 +510,13 @@ impl BatchSpec {
                             })?)
                         }
                         "seed" => spec.seed = Some(v.parse().map_err(|_| bad("seed"))?),
+                        "probation" => {
+                            let p: u32 = v.parse().map_err(|_| bad("probation"))?;
+                            if p == 0 {
+                                return Err(bad("probation"));
+                            }
+                            spec.probation = Some(p);
+                        }
                         other => {
                             return Err(at(JobfileError::new(
                                 JobfileCode::UnknownKey,
@@ -613,9 +633,13 @@ fn parse_record<'a>(
                     other => return Err(bad(format!("bad grain `{other}`"))),
                 })
             }
-            "faults" => f.job.faults = FaultSpec::parse(v).map_err(&bad)?,
+            "faults" => f.job.faults = FaultSpec::parse(v).map_err(|e| bad(e.to_string()))?,
             "retries" => {
                 f.job.retries = v.parse().map_err(|_| bad(format!("bad retries `{v}`")))?
+            }
+            "recover" => {
+                f.job.recover =
+                    Some(vpce_recover::RecoverSpec::parse(v).map_err(|e| bad(e.to_string()))?)
             }
             "count" if storm => {
                 f.count = Some(v.parse().map_err(|_| bad(format!("bad count `{v}`")))?)
@@ -818,6 +842,8 @@ storm count=3 prefix=s workload=mm ranks=2 mean-gap=1e-4 start=2e-4
             ("job name=x workload=mm ranks=2 arrive=-1", BadValue, Some("arrive")),
             ("job name=x workload=mm ranks=2 grain=huge", BadValue, Some("grain")),
             ("job name=x workload=mm ranks=2 faults=wat", BadValue, Some("faults")),
+            ("job name=x workload=mm ranks=2 recover=sideways", BadValue, Some("recover")),
+            ("job name=x workload=mm ranks=2 recover=on,spares=k", BadValue, Some("recover")),
             ("job name=x inline=%ZZ ranks=2", BadValue, Some("inline")),
             ("storm prefix=s workload=mm ranks=1", MissingField, Some("count")),
             ("storm prefix=s count=0 workload=mm ranks=1", BadValue, Some("count")),
@@ -828,6 +854,8 @@ storm count=3 prefix=s workload=mm ranks=2 mean-gap=1e-4 start=2e-4
             ("tenant name=t color=red", UnknownKey, Some("color")),
             ("nodes=p", BadValue, Some("nodes")),
             ("policy=roulette", BadValue, Some("policy")),
+            ("probation=0", BadValue, Some("probation")),
+            ("probation=soon", BadValue, Some("probation")),
             ("speed=9", UnknownKey, Some("speed")),
             ("what", BadLine, None),
             ("job name=x workload=mm ranks=2 extra", BadLine, None),
@@ -894,6 +922,15 @@ storm count=3 prefix=s workload=mm ranks=2 mean-gap=1e-4 start=2e-4
         j.arrival = 3.25e-4;
         j.faults = FaultSpec::parse("light,seed=9").unwrap();
         j.retries = 5;
+        let re = BatchSpec::parse(&j.to_record()).unwrap();
+        assert_eq!(re.jobs[0], j);
+        // Recovery specs round-trip too — both the bare `on` form and
+        // non-default knobs (the serve journal depends on this).
+        j.recover = Some(vpce_recover::RecoverSpec::default());
+        assert!(j.to_record().ends_with(" recover=on"), "{}", j.to_record());
+        let re = BatchSpec::parse(&j.to_record()).unwrap();
+        assert_eq!(re.jobs[0], j);
+        j.recover = Some(vpce_recover::RecoverSpec::parse("interval=2,buddies=1").unwrap());
         let re = BatchSpec::parse(&j.to_record()).unwrap();
         assert_eq!(re.jobs[0], j);
     }

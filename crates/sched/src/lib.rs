@@ -52,4 +52,9 @@ pub use job::{
 };
 pub use partition::{NodeMap, Partition};
 pub use report::{AttemptLog, BatchReport, JobRecord, JobStatus};
+pub use run::AttemptOutcome;
 pub use sched::{run_batch, BatchOptions, Scheduler, SourceLoader};
+// Jobfile `recover=` values and their ledgers, for downstream crates
+// (vpce-serve) that handle attempt outcomes without a direct
+// dependency on the recovery crate.
+pub use vpce_recover::{RecoverSpec, RecoveryLedger};

@@ -43,6 +43,10 @@ pub struct NodeMap {
     nodes: usize,
     busy: Vec<bool>,
     drained: Vec<bool>,
+    /// Remaining probation intervals per cell: `> 0` means the cell is
+    /// drained but will reintegrate once the counter ticks down to 0.
+    /// `0` on a drained cell means the drain is permanent.
+    probation: Vec<u32>,
 }
 
 impl NodeMap {
@@ -55,6 +59,7 @@ impl NodeMap {
             nodes,
             busy: vec![false; mesh.num_nodes()],
             drained: vec![false; mesh.num_nodes()],
+            probation: vec![0; mesh.num_nodes()],
         }
     }
 
@@ -113,6 +118,7 @@ impl NodeMap {
             nodes: self.nodes,
             busy: vec![false; self.mesh.num_nodes()],
             drained: self.drained.clone(),
+            probation: self.probation.clone(),
         };
         empty.find_fit(shape).is_some()
     }
@@ -142,6 +148,41 @@ impl NodeMap {
     pub fn drain(&mut self, node: NodeId) {
         assert!(node < self.nodes, "cannot drain phantom cell {node}");
         self.drained[node] = true;
+        self.probation[node] = 0;
+    }
+
+    /// Drain a crashed node *on probation*: it stays out of service
+    /// for `intervals` clean scheduler intervals (ticked by
+    /// [`NodeMap::tick_probation`]), then reintegrates. `intervals`
+    /// must be >= 1 — a zero-interval probation is just not draining.
+    pub fn drain_probation(&mut self, node: NodeId, intervals: u32) {
+        assert!(node < self.nodes, "cannot drain phantom cell {node}");
+        assert!(intervals >= 1, "probation needs at least one interval");
+        // A permanent drain is never downgraded to probation.
+        if self.drained[node] && self.probation[node] == 0 {
+            return;
+        }
+        self.drained[node] = true;
+        self.probation[node] = self.probation[node].max(intervals);
+    }
+
+    /// One clean interval elapsed: tick every probationary cell down
+    /// and reintegrate those whose counter reaches 0. Returns the
+    /// reintegrated node ids, ascending — deterministic, so callers
+    /// can journal them.
+    pub fn tick_probation(&mut self) -> Vec<NodeId> {
+        let mut healed = Vec::new();
+        for c in 0..self.nodes {
+            if self.probation[c] == 0 {
+                continue;
+            }
+            self.probation[c] -= 1;
+            if self.probation[c] == 0 {
+                self.drained[c] = false;
+                healed.push(c);
+            }
+        }
+        healed
     }
 }
 
@@ -217,5 +258,30 @@ mod tests {
         m.free(&p);
         // Freeing never resurrects a drained cell.
         assert!(!m.feasible(Mesh::new(4, 4)));
+    }
+
+    #[test]
+    fn probation_drains_then_reintegrates_after_clean_intervals() {
+        let mut m = map16();
+        m.drain_probation(5, 2);
+        assert_eq!(m.drained(), vec![5], "probationary cells are out of service");
+        assert!(!m.feasible(Mesh::new(4, 4)));
+        assert_eq!(m.tick_probation(), vec![], "one clean interval is not enough");
+        assert_eq!(m.drained(), vec![5]);
+        assert_eq!(m.tick_probation(), vec![5], "second interval reintegrates");
+        assert_eq!(m.drained(), vec![]);
+        assert!(m.feasible(Mesh::new(4, 4)), "the healed cell allocates again");
+
+        // A permanent drain is never downgraded by a later probation,
+        // and re-draining a probationary cell extends, not shortens.
+        m.drain(3);
+        m.drain_probation(3, 1);
+        assert_eq!(m.tick_probation(), vec![]);
+        assert_eq!(m.drained(), vec![3], "permanent means permanent");
+        m.drain_probation(7, 3);
+        m.drain_probation(7, 1);
+        assert_eq!(m.tick_probation(), vec![]);
+        assert_eq!(m.tick_probation(), vec![]);
+        assert_eq!(m.tick_probation(), vec![7], "the longer probation wins");
     }
 }

@@ -23,6 +23,7 @@ use polaris_be::{advisor, BackendOptions};
 use spmd_rt::{ExecMode, RunReport, SpmdProgram, VpceError};
 use vbus_sim::Mesh;
 use vpce_faults::FaultSpec;
+use vpce_recover::RecoveryLedger;
 use vpce_trace::Tracer;
 
 use crate::job::{JobSource, JobSpec};
@@ -119,19 +120,66 @@ pub fn attempt_faults(base: &FaultSpec, attempt: u32) -> FaultSpec {
     f
 }
 
+/// What one attempt produced: the run's report plus, when the job
+/// armed `recover=`, the rollback-recovery ledger. A recovered attempt
+/// holds its partition for `report.elapsed` *plus* the recovery time
+/// (checkpoint, quiesce, respawn and replay all happen on the job's
+/// nodes), so scheduling arithmetic must use [`AttemptOutcome::duration`]
+/// rather than the report's elapsed alone.
+#[derive(Debug, Clone)]
+pub struct AttemptOutcome {
+    pub report: RunReport,
+    pub recovery: Option<RecoveryLedger>,
+}
+
+impl AttemptOutcome {
+    /// Wall-clock the attempt occupies its partition for.
+    pub fn duration(&self) -> f64 {
+        self.report.elapsed + self.recovery.as_ref().map_or(0.0, |l| l.recovery_total())
+    }
+}
+
 /// Execute attempt `attempt` of a prepared job, traced, on a fresh
 /// private cluster. The outcome is a pure function of
-/// `(program, shape, faults, attempt)` — the scheduler may call this
-/// at decision time and trust the result never changes.
+/// `(program, shape, faults, recover, attempt)` — the scheduler may
+/// call this at decision time and trust the result never changes.
+///
+/// With `recover=` armed, survivable crash schedules are absorbed
+/// in-run (buddy checkpoints + spare failover) instead of surfacing as
+/// `RankCrash`: the report is byte-identical to the fault-free run and
+/// the ledger carries the recovery-time charge.
 pub fn run_attempt(
     job: &JobSpec,
     prepared: &Prepared,
     mode: ExecMode,
     attempt: u32,
-) -> Result<RunReport, VpceError> {
+) -> Result<AttemptOutcome, VpceError> {
     let cluster = partition_cluster(prepared.shape, job.ranks);
     let faults = attempt_faults(&job.faults, attempt);
-    spmd_rt::try_execute_traced(&prepared.program, &cluster, mode, Tracer::enabled(), faults)
+    match &job.recover {
+        Some(spec) => {
+            vpce_recover::run_recovering(&prepared.program, &cluster, mode, Tracer::enabled(), faults, spec)
+                .map(|(report, ledger)| AttemptOutcome { report, recovery: Some(ledger) })
+        }
+        None => {
+            spmd_rt::try_execute_traced(&prepared.program, &cluster, mode, Tracer::enabled(), faults)
+                .map(|report| AttemptOutcome { report, recovery: None })
+        }
+    }
+}
+
+/// Fault schedule a preemption checkpoint/resume replays. A
+/// recovery-armed job's *observable* timeline is the fault-free one —
+/// crashes are absorbed below the fence level by rollback recovery —
+/// so its snapshots are taken (and resumed) against a clean schedule;
+/// otherwise preempting before an absorbed crash would spuriously
+/// surface the crash the recovery layer already handled.
+fn preempt_faults(job: &JobSpec, attempt: u32) -> FaultSpec {
+    if job.recover.is_some() {
+        FaultSpec::off()
+    } else {
+        attempt_faults(&job.faults, attempt)
+    }
 }
 
 /// Checkpoint attempt `attempt` of a prepared job at top-level block
@@ -147,7 +195,7 @@ pub fn checkpoint_attempt(
     boundary: usize,
 ) -> Result<spmd_rt::Snapshot, VpceError> {
     let cluster = partition_cluster(prepared.shape, job.ranks);
-    let faults = attempt_faults(&job.faults, attempt);
+    let faults = preempt_faults(job, attempt);
     spmd_rt::checkpoint::checkpoint_at(&prepared.program, &cluster, mode, faults, boundary)
 }
 
@@ -163,7 +211,7 @@ pub fn resume_attempt(
     snap: &spmd_rt::Snapshot,
 ) -> Result<RunReport, VpceError> {
     let cluster = partition_cluster(prepared.shape, job.ranks);
-    let faults = attempt_faults(&job.faults, attempt);
+    let faults = preempt_faults(job, attempt);
     spmd_rt::checkpoint::resume(&prepared.program, &cluster, mode, faults, snap)
 }
 
@@ -191,10 +239,12 @@ mod tests {
         assert_eq!(p.shape.num_nodes(), 2);
         // The attempt path reproduces the dry run exactly when faults
         // are off.
-        let rep = run_attempt(&job, &p, ExecMode::Full, 0).unwrap();
-        assert_eq!(rep.elapsed, p.clean_elapsed);
-        assert_eq!(rep.arrays, p.clean_arrays);
-        assert!(rep.trace.is_some(), "attempts always trace");
+        let out = run_attempt(&job, &p, ExecMode::Full, 0).unwrap();
+        assert_eq!(out.report.elapsed, p.clean_elapsed);
+        assert_eq!(out.report.arrays, p.clean_arrays);
+        assert!(out.report.trace.is_some(), "attempts always trace");
+        assert!(out.recovery.is_none(), "no ledger without recover=");
+        assert_eq!(out.duration(), p.clean_elapsed);
     }
 
     #[test]
@@ -221,8 +271,44 @@ mod tests {
         let full = run_attempt(&job, &p, ExecMode::Full, 0).unwrap();
         let snap = checkpoint_attempt(&job, &p, ExecMode::Full, 0, 1).unwrap();
         let rep = resume_attempt(&job, &p, ExecMode::Full, 0, &snap).unwrap();
-        assert_eq!(rep.arrays, full.arrays, "preempt+resume equals uninterrupted");
-        assert_eq!(rep.scalars, full.scalars);
+        assert_eq!(rep.arrays, full.report.arrays, "preempt+resume equals uninterrupted");
+        assert_eq!(rep.scalars, full.report.scalars);
+    }
+
+    #[test]
+    fn recover_armed_attempts_absorb_crashes_and_charge_recovery_time() {
+        let mut job = mm_job("mm0", 4);
+        job.recover = Some(vpce_recover::RecoverSpec::default());
+        let p = prepare(&job, &no_loader(), ExecMode::Full).unwrap();
+        // Find a seed whose crash schedule kills the plain attempt.
+        // Crash-only (no transport noise), so the recovered report is
+        // byte-identical to the fault-free baseline.
+        let mut hit = false;
+        for seed in 0..64u64 {
+            job.recover = None;
+            job.faults = FaultSpec::parse(&format!("crash=0.5,seed={seed}")).unwrap();
+            if run_attempt(&job, &p, ExecMode::Full, 0).is_ok() {
+                continue;
+            }
+            job.recover = Some(vpce_recover::RecoverSpec::default());
+            // Not every crash schedule is survivable (a rank and all
+            // its buddies may die together); scan on until one is.
+            let Ok(out) = run_attempt(&job, &p, ExecMode::Full, 0) else { continue };
+            assert_eq!(out.report.arrays, p.clean_arrays, "byte-identical to fault-free");
+            assert_eq!(out.report.elapsed, p.clean_elapsed);
+            let ledger = out.recovery.as_ref().expect("recover= attaches a ledger");
+            assert!(ledger.absorbed(), "the crash was rolled back");
+            assert!(ledger.recovery_total() > 0.0);
+            assert_eq!(out.duration(), p.clean_elapsed + ledger.recovery_total());
+            hit = true;
+            break;
+        }
+        assert!(hit, "no crashing seed in 0..64");
+        // Preemption hooks replay the *fault-free* schedule for
+        // recovery-armed jobs: resume equals the clean remainder.
+        let snap = checkpoint_attempt(&job, &p, ExecMode::Full, 0, 1).unwrap();
+        let rep = resume_attempt(&job, &p, ExecMode::Full, 0, &snap).unwrap();
+        assert_eq!(rep.arrays, p.clean_arrays);
     }
 
     #[test]

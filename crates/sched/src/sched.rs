@@ -36,7 +36,7 @@ use vpce_trace::{EventKind, Lane, Tracer};
 use crate::job::{BatchSpec, JobSpec, Policy, TenantSpec};
 use crate::partition::{NodeMap, Partition};
 use crate::report::{AttemptLog, BatchReport, JobRecord, JobStatus};
-use crate::run::{self, Prepared};
+use crate::run::{self, AttemptOutcome, Prepared};
 
 pub use crate::run::SourceLoader;
 
@@ -49,6 +49,9 @@ pub struct BatchOptions {
     pub policy: Policy,
     pub seed: Option<u64>,
     pub mode: ExecMode,
+    /// Crashed-node probation in clean intervals (`None` = drain for
+    /// good); the jobfile's `probation=` header wins over this.
+    pub probation: Option<u32>,
 }
 
 impl Default for BatchOptions {
@@ -58,6 +61,7 @@ impl Default for BatchOptions {
             policy: Policy::Backfill,
             seed: None,
             mode: ExecMode::Full,
+            probation: None,
         }
     }
 }
@@ -78,7 +82,8 @@ pub fn run_batch(
         return Err("jobfile submits no jobs".into());
     }
     let mut sched = Scheduler::new(jobs, nodes, policy, seed, opts.mode, loader)?
-        .with_tenants(spec.tenants.clone());
+        .with_tenants(spec.tenants.clone())
+        .with_probation(spec.probation.or(opts.probation));
     Ok(sched.run())
 }
 
@@ -99,8 +104,11 @@ struct JobState {
     error: Option<(String, String)>,
     /// Outcome of the *next* attempt, computed lazily at decision time
     /// (it is a pure function of the job and attempt number).
-    next_outcome: Option<Result<RunReport, VpceError>>,
+    next_outcome: Option<Result<AttemptOutcome, VpceError>>,
     final_report: Option<RunReport>,
+    /// Rollback-recovery ledger of the finishing attempt, when the job
+    /// armed `recover=` (the recovery-time charge in its breakdown).
+    final_recovery: Option<vpce_recover::RecoveryLedger>,
 }
 
 impl JobState {
@@ -119,7 +127,7 @@ struct Running {
     start: f64,
     end: f64,
     attempt: u32,
-    outcome: Result<RunReport, VpceError>,
+    outcome: Result<AttemptOutcome, VpceError>,
 }
 
 /// The batch scheduler. Constructed over a materialized job list;
@@ -149,6 +157,9 @@ pub struct Scheduler {
     /// Every attempt interval + placement, for audits and the
     /// no-overlap safety property.
     attempts: Vec<AttemptLog>,
+    /// Probation length for crashed nodes, in clean intervals
+    /// (successful attempt completions). `None` = permanent drain.
+    probation: Option<u32>,
 }
 
 impl Scheduler {
@@ -189,6 +200,7 @@ impl Scheduler {
                     error: None,
                     next_outcome: None,
                     final_report: None,
+                    final_recovery: None,
                 }
             })
             .collect();
@@ -217,7 +229,16 @@ impl Scheduler {
             usage: BTreeMap::new(),
             tracer,
             attempts: Vec::new(),
+            probation: None,
         })
+    }
+
+    /// Put crashed nodes on probation for `intervals` clean attempt
+    /// completions instead of draining them for good. `None` (the
+    /// default) keeps permanent drains.
+    pub fn with_probation(mut self, intervals: Option<u32>) -> Self {
+        self.probation = intervals;
+        self
     }
 
     /// Declare fair-share tenants (the jobfile's `tenant` lines).
@@ -343,16 +364,27 @@ impl Scheduler {
         let job = &mut self.jobs[r.job];
         job.placed = Some(r.part.clone());
         match r.outcome {
-            Ok(report) => {
+            Ok(out) => {
                 job.status = Some(JobStatus::Done);
                 job.end = Some(r.end);
-                job.final_report = Some(report);
+                job.final_report = Some(out.report);
+                job.final_recovery = out.recovery;
+                // A clean completion is one clean interval: tick every
+                // probationary node (completions settle in
+                // deterministic (end, job) order, so reintegration
+                // times are a pure function of the batch).
+                self.map.tick_probation();
             }
             Err(e) => {
-                // A crashed rank takes its machine node down with it.
+                // A crashed rank takes its machine node down with it —
+                // for good, or on probation when the batch enables
+                // reintegration.
                 if let VpceError::RankCrash { rank, .. } = &e {
                     if let Some(&node) = r.part.nodes.get(*rank) {
-                        self.map.drain(node);
+                        match self.probation {
+                            Some(p) => self.map.drain_probation(node, p),
+                            None => self.map.drain(node),
+                        }
                     }
                 }
                 let job = &mut self.jobs[r.job];
@@ -578,7 +610,9 @@ impl Scheduler {
             ));
         }
         match job.next_outcome.as_ref().expect("just computed") {
-            Ok(rep) => rep.elapsed,
+            // A recovered attempt holds its partition for the clean
+            // makespan plus the recovery-time charge.
+            Ok(out) => out.duration(),
             // Heartbeat model: a fault is detected when the job blows
             // its fault-free deadline, so the partition is held that
             // long either way.
@@ -663,10 +697,15 @@ impl Scheduler {
                     (Some(rep), Ok(p), ExecMode::Full) => Some(rep.arrays == p.clean_arrays),
                     _ => None,
                 };
+                let recovery_s =
+                    j.final_recovery.as_ref().map_or(0.0, |l| l.recovery_total());
                 let breakdown = j.final_report.as_ref().and_then(|rep| {
-                    rep.trace
-                        .as_ref()
-                        .map(|t| t.critical.breakdown.with_queue_wait(j.queue_wait))
+                    rep.trace.as_ref().map(|t| {
+                        t.critical
+                            .breakdown
+                            .with_recovery(recovery_s)
+                            .with_queue_wait(j.queue_wait)
+                    })
                 });
                 JobRecord {
                     name: j.spec.name.clone(),
@@ -891,6 +930,83 @@ mod tests {
             }
         }
         assert!(found, "no seed in 0..64 produced crash-then-survive");
+    }
+
+    #[test]
+    fn probation_reintegrates_the_crashed_node_after_clean_completions() {
+        // The permanent-drain run leaves the crashed node out of
+        // service at batch end; the probation run heals it once enough
+        // clean completions tick by.
+        let mut found = false;
+        for seed in 0..64u64 {
+            let mk = || {
+                let mut risky = mm("risky", 2);
+                risky.faults = FaultSpec::parse(&format!("crashy,seed={seed}")).unwrap();
+                risky.retries = 4;
+                vec![risky, mm("bystander", 2)]
+            };
+            let (permanent, _) = batch(mk(), 16, Policy::Backfill);
+            let r = permanent.records.iter().find(|r| r.name == "risky").unwrap();
+            if !(r.status == JobStatus::Done && r.requeues > 0) {
+                continue;
+            }
+            assert!(!permanent.drained.is_empty(), "permanent drain persists");
+            let mut s =
+                Scheduler::new(mk(), 16, Policy::Backfill, 1, ExecMode::Full, &no_loader())
+                    .unwrap()
+                    .with_probation(Some(1));
+            let rep = s.run();
+            let r = rep.records.iter().find(|r| r.name == "risky").unwrap();
+            assert_eq!(r.status, JobStatus::Done);
+            assert_eq!(r.identical, Some(true), "healing never changes results");
+            assert!(
+                rep.drained.is_empty(),
+                "a clean completion reintegrated the node: {:?}",
+                rep.drained
+            );
+            found = true;
+            break;
+        }
+        assert!(found, "no seed in 0..64 produced crash-then-survive");
+    }
+
+    #[test]
+    fn recover_armed_jobs_absorb_crashes_without_requeue_or_drain() {
+        // The same crash schedule that forces a requeue (and drains a
+        // node) without `recover=` completes in-run with it: one
+        // attempt, no drain, byte-identical arrays, and the rollback
+        // charge surfaces in the breakdown's recovery component.
+        let mut found = false;
+        for seed in 0..64u64 {
+            let mut risky = mm("risky", 4);
+            risky.faults = FaultSpec::parse(&format!("crash=0.5,seed={seed}")).unwrap();
+            risky.retries = 0;
+            let plain = risky.clone();
+            let (plain_rep, _) = batch(vec![plain], 16, Policy::Backfill);
+            if plain_rep.records[0].status != JobStatus::Failed {
+                continue; // this seed never crashes; scan on
+            }
+            risky.recover = Some(vpce_recover::RecoverSpec::default());
+            let (rep, attempts) = batch(vec![risky, mm("bystander", 2)], 16, Policy::Backfill);
+            let r = rep.records.iter().find(|r| r.name == "risky").unwrap();
+            if r.status != JobStatus::Done {
+                continue; // unsurvivable schedule (buddies all died)
+            }
+            assert_eq!(r.attempts, 1, "recovery absorbs the crash in-run");
+            assert_eq!(r.requeues, 0);
+            assert_eq!(r.identical, Some(true), "recovered arrays match the dry run");
+            assert!(rep.drained.is_empty(), "failover respawns; no node is drained");
+            let b = r.breakdown.as_ref().expect("done jobs carry a breakdown");
+            assert!(b.recovery > 0.0, "rollback charge lands in the recovery slice");
+            assert!(
+                attempts.iter().all(|a| a.ok),
+                "no failed attempt is ever logged with recovery armed"
+            );
+            assert_eq!(rep.exit_code(), 0);
+            found = true;
+            break;
+        }
+        assert!(found, "no seed in 0..64 produced an absorbable crash");
     }
 
     #[test]

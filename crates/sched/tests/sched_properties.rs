@@ -65,6 +65,7 @@ fn arb_batch(crashy_in_8: u32) -> Gen<BatchSpec> {
             nodes: Some(nodes),
             policy: Some(policy),
             seed: Some(seed),
+            probation: None,
             tenants: Vec::new(),
             jobs,
             storms: Vec::new(),
@@ -124,6 +125,42 @@ fn concurrent_attempts_never_share_nodes() {
 }
 
 #[test]
+fn probation_batches_stay_deterministic_and_safe() {
+    // Crash-heavy batches with probation-based reintegration: healed
+    // nodes re-enter the allocatable pool mid-batch, the exact regime
+    // where a non-deterministic tick order would fork the timeline or
+    // double-book a cell. Determinism and the no-overlap safety
+    // property must both survive reintegration.
+    let gen = zip2(arb_batch(4), u64_in(1, 3)).map(|(mut spec, p)| {
+        spec.probation = Some(p as u32);
+        spec
+    });
+    Check::new("sched::probation_batches_stay_deterministic_and_safe")
+        .cases(6)
+        .run(&gen, |spec| {
+            let a = run(spec);
+            let b = run(spec);
+            prop_assert_eq!(a.to_json(), b.to_json(), "probation batches must replay byte-identically");
+            prop_assert_eq!(&a.trace_json, &b.trace_json);
+            for (i, x) in a.attempts.iter().enumerate() {
+                for y in &a.attempts[i + 1..] {
+                    if x.end <= y.start || y.end <= x.start {
+                        continue;
+                    }
+                    prop_assert!(
+                        !x.partition.nodes.iter().any(|n| y.partition.nodes.contains(n)),
+                        "shared node between concurrent attempts after reintegration\n{x:?}\n{y:?}"
+                    );
+                }
+            }
+            // The report's drained list only keeps nodes still out of
+            // service at batch end — every entry must be a real node.
+            prop_assert!(a.drained.iter().all(|&n| n < a.nodes));
+            Ok(())
+        });
+}
+
+#[test]
 fn backfill_never_starves_the_wide_job() {
     // One full-width, lowest-priority job at t=0 versus a seeded storm
     // of narrow high-priority jobs. Conservative backfill must still
@@ -143,6 +180,7 @@ fn backfill_never_starves_the_wide_job() {
                 nodes: Some(16),
                 policy: Some(Policy::Backfill),
                 seed: Some(seed),
+                probation: None,
                 tenants: Vec::new(),
                 jobs: vec![wide],
                 storms: vec![StormSpec {

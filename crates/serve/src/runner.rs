@@ -13,7 +13,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use spmd_rt::{ExecMode, RunReport, Snapshot, VpceError};
-use vpce_sched::run::{self, Prepared};
+use vpce_sched::run::{self, AttemptOutcome, Prepared};
 use vpce_sched::JobSpec;
 
 type Key = (String, u32);
@@ -24,7 +24,7 @@ type CkptKey = (String, u32, usize);
 pub struct Runner {
     mode: ExecMode,
     prepared: RefCell<HashMap<String, Result<Prepared, VpceError>>>,
-    runs: RefCell<HashMap<Key, Result<RunReport, VpceError>>>,
+    runs: RefCell<HashMap<Key, Result<AttemptOutcome, VpceError>>>,
     snaps: RefCell<HashMap<CkptKey, Result<Snapshot, VpceError>>>,
     resumes: RefCell<HashMap<CkptKey, Result<RunReport, VpceError>>>,
 }
@@ -62,13 +62,14 @@ impl Runner {
     }
 
     /// Outcome of attempt `attempt` (traced, on a fresh private
-    /// cluster).
+    /// cluster). With `recover=` armed the outcome carries the
+    /// rollback-recovery ledger alongside the report.
     pub fn run(
         &self,
         spec: &JobSpec,
         prepared: &Prepared,
         attempt: u32,
-    ) -> Result<RunReport, VpceError> {
+    ) -> Result<AttemptOutcome, VpceError> {
         let key = (spec.to_record(), attempt);
         if let Some(hit) = self.runs.borrow().get(&key) {
             return hit.clone();
@@ -134,13 +135,13 @@ mod tests {
         let p = r.prepare(&job).unwrap();
         let one = r.run(&job, &p, 0).unwrap();
         let two = r.run(&job, &p, 0).unwrap();
-        assert_eq!(one.arrays, two.arrays);
-        assert_eq!(one.elapsed, two.elapsed);
+        assert_eq!(one.report.arrays, two.report.arrays);
+        assert_eq!(one.report.elapsed, two.report.elapsed);
         let fresh = run::run_attempt(&job, &p, ExecMode::Full, 0).unwrap();
-        assert_eq!(one.arrays, fresh.arrays);
+        assert_eq!(one.report.arrays, fresh.report.arrays);
         // A preempt+resume through the cache is byte-identical too.
         let resumed = r.resume(&job, &p, 0, 1).unwrap();
-        assert_eq!(resumed.arrays, fresh.arrays);
+        assert_eq!(resumed.arrays, fresh.report.arrays);
     }
 
     #[test]
@@ -153,6 +154,6 @@ mod tests {
         let pb = r.prepare(&b).unwrap();
         let ra = r.run(&a, &pa, 0).unwrap();
         let rb = r.run(&b, &pb, 0).unwrap();
-        assert_ne!(ra.elapsed, rb.elapsed, "different N, different makespan");
+        assert_ne!(ra.report.elapsed, rb.report.elapsed, "different N, different makespan");
     }
 }

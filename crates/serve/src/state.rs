@@ -30,7 +30,8 @@ use std::collections::BTreeMap;
 use spmd_rt::{RunReport, VpceError};
 use vbus_sim::Mesh;
 use vpce_sched::report::{AttemptLog, BatchReport, JobRecord, JobStatus};
-use vpce_sched::{BatchSpec, JobSpec, NodeMap, Partition, Policy, TenantSpec};
+use vpce_sched::run::AttemptOutcome;
+use vpce_sched::{BatchSpec, JobSpec, NodeMap, Partition, Policy, RecoveryLedger, TenantSpec};
 use vpce_trace::{EventKind, Lane, Tracer};
 
 use crate::codes::{ServeCode, ServeError};
@@ -70,6 +71,9 @@ struct SJob {
     /// A cancel landed before the job could finish.
     cancelled: bool,
     final_report: Option<RunReport>,
+    /// Rollback-recovery ledger of the finishing attempt (jobs with
+    /// `recover=` armed).
+    final_recovery: Option<RecoveryLedger>,
     arrived: bool,
 }
 
@@ -88,7 +92,7 @@ struct SRun {
     start: f64,
     end: f64,
     attempt: u32,
-    outcome: Result<RunReport, VpceError>,
+    outcome: Result<AttemptOutcome, VpceError>,
     /// Boundary this run resumed from (0 = fresh start).
     resumed_from: usize,
     stop: Option<Stop>,
@@ -211,6 +215,12 @@ impl<'r> ServeState<'r> {
             }
             self.seed = s;
         }
+        if spec.probation.is_some() {
+            return Err(Self::bad(
+                ServeCode::BadCommand,
+                "probation= is a batch-scheduler knob; vpced drains crashed nodes for good".into(),
+            ));
+        }
         for t in spec.tenants {
             self.tenants.insert(t.name.clone(), t);
         }
@@ -306,6 +316,7 @@ impl<'r> ServeState<'r> {
             resume_boundary: None,
             cancelled: false,
             final_report: None,
+            final_recovery: None,
             arrived: false,
         });
         self.arrivals.push(idx);
@@ -529,10 +540,24 @@ impl<'r> ServeState<'r> {
         job.placed = Some(r.part.clone());
         let name = job.spec.name.clone();
         match r.outcome {
-            Ok(report) => {
+            Ok(out) => {
                 job.status = Some(JobStatus::Done);
                 job.end = Some(r.end);
-                job.final_report = Some(report);
+                // Audit record for absorbed crashes, journaled before
+                // the completion op: recovery decisions replay (and
+                // cross-check) like every other derived op.
+                let recover_op = out.recovery.as_ref().filter(|l| l.absorbed()).map(|l| {
+                    format!(
+                        "recover {name} t={} rollbacks={} respawned={} replay={}",
+                        tbits(r.end),
+                        l.rollbacks,
+                        l.respawned,
+                        l.replay_regions
+                    )
+                });
+                job.final_report = Some(out.report);
+                job.final_recovery = out.recovery;
+                self.ops.extend(recover_op);
                 self.ops
                     .push(format!("complete {name} t={} status=done", tbits(r.end)));
             }
@@ -716,18 +741,23 @@ impl<'r> ServeState<'r> {
 
     /// Outcome (and thus duration) of the next attempt of `idx` —
     /// fresh or resumed, memoised in the runner.
-    fn attempt_outcome(&self, idx: usize) -> Result<RunReport, VpceError> {
+    fn attempt_outcome(&self, idx: usize) -> Result<AttemptOutcome, VpceError> {
         let job = &self.jobs[idx];
         let prepared = job.prepared.as_ref().expect("queued jobs are admitted");
         match job.resume_boundary {
-            Some(b) => self.runner.resume(&job.spec, prepared, job.attempts, b),
+            // A resumed remainder replays the recovered (fault-free)
+            // timeline; its recovery charge was paid pre-preemption.
+            Some(b) => self
+                .runner
+                .resume(&job.spec, prepared, job.attempts, b)
+                .map(|report| AttemptOutcome { report, recovery: None }),
             None => self.runner.run(&job.spec, prepared, job.attempts),
         }
     }
 
-    fn attempt_duration(&self, idx: usize, outcome: &Result<RunReport, VpceError>) -> f64 {
+    fn attempt_duration(&self, idx: usize, outcome: &Result<AttemptOutcome, VpceError>) -> f64 {
         match outcome {
-            Ok(rep) => rep.elapsed,
+            Ok(out) => out.duration(),
             // Heartbeat model: a faulted attempt holds its partition
             // for the fault-free makespan before the failure is
             // detected.
@@ -966,10 +996,15 @@ impl<'r> ServeState<'r> {
                     }
                     _ => None,
                 };
+                let recovery_s =
+                    j.final_recovery.as_ref().map_or(0.0, |l| l.recovery_total());
                 let breakdown = j.final_report.as_ref().and_then(|rep| {
-                    rep.trace
-                        .as_ref()
-                        .map(|t| t.critical.breakdown.with_queue_wait(j.queue_wait))
+                    rep.trace.as_ref().map(|t| {
+                        t.critical
+                            .breakdown
+                            .with_recovery(recovery_s)
+                            .with_queue_wait(j.queue_wait)
+                    })
                 });
                 JobRecord {
                     name: j.spec.name.clone(),
@@ -1028,7 +1063,7 @@ impl<'r> ServeState<'r> {
 /// stopping there is meaningless, so it is excluded. `None` for doomed
 /// (Err) outcomes, which carry no boundary times.
 fn next_boundary(r: &SRun, t: f64) -> Option<(f64, usize)> {
-    let rep = r.outcome.as_ref().ok()?;
+    let rep = &r.outcome.as_ref().ok()?.report;
     for (i, b) in rep.boundaries.iter().enumerate() {
         if i + 1 == rep.boundaries.len() {
             break; // last boundary == program end
@@ -1089,6 +1124,8 @@ mod tests {
         assert_eq!(e.code, ServeCode::UnknownJob);
         let e = s.apply("launch name=a").unwrap_err();
         assert_eq!(e.code, ServeCode::BadCommand);
+        let e = s.apply("probation=2").unwrap_err();
+        assert_eq!(e.code, ServeCode::BadCommand, "probation= is batch-only");
     }
 
     #[test]
@@ -1138,6 +1175,55 @@ mod tests {
         }
         let a = rep.records.iter().find(|j| j.name == "a").unwrap();
         assert!(a.end.unwrap() >= 3e-5, "a ran until its stop boundary");
+    }
+
+    #[test]
+    fn recover_armed_jobs_absorb_crashes_and_journal_an_audit_record() {
+        // Probe for a seed whose crash schedule kills the plain
+        // attempt but is absorbed with recovery armed (both pure, so
+        // the scan is stable), then drive the daemon state machine.
+        let loader = |p: &str| -> Result<String, String> { Err(format!("no loader `{p}`")) };
+        let mut probe =
+            JobSpec::new("risky", vpce_sched::JobSource::Workload("mm".into()), 4);
+        probe.params.push(("N".into(), 8));
+        let prep = vpce_sched::run::prepare(&probe, &loader, ExecMode::Full).unwrap();
+        let mut seed_found = None;
+        for seed in 0..64u64 {
+            probe.recover = None;
+            probe.faults =
+                vpce_faults::FaultSpec::parse(&format!("crash=0.5,seed={seed}")).unwrap();
+            if vpce_sched::run::run_attempt(&probe, &prep, ExecMode::Full, 0).is_ok() {
+                continue;
+            }
+            probe.recover = Some(vpce_sched::RecoverSpec::default());
+            if vpce_sched::run::run_attempt(&probe, &prep, ExecMode::Full, 0).is_ok() {
+                seed_found = Some(seed);
+                break;
+            }
+        }
+        let seed = seed_found.expect("no absorbable crashing seed in 0..64");
+        let r = Runner::new(ExecMode::Full);
+        let mut s = ServeState::new(&r);
+        s.apply("nodes=4").unwrap();
+        s.apply(&format!(
+            "job name=risky workload=mm ranks=4 retries=0 \
+             faults=crash=0.5,seed={seed} recover=on param:N=8"
+        ))
+        .unwrap();
+        s.drain();
+        let rep = s.report();
+        let j = rep.records.iter().find(|j| j.name == "risky").unwrap();
+        assert_eq!(j.status, JobStatus::Done, "{:?}", j.error);
+        assert_eq!(j.identical, Some(true), "recovered arrays match the dry run");
+        assert_eq!(j.requeues, 0, "absorbed in-run, never requeued");
+        assert!(
+            j.breakdown.as_ref().unwrap().recovery > 0.0,
+            "rollback charge lands in the recovery slice"
+        );
+        let ops = s.take_ops();
+        let audit = ops.iter().find(|o| o.starts_with("recover risky"));
+        assert!(audit.is_some_and(|o| o.contains("rollbacks=")), "{ops:?}");
+        assert!(ops.iter().any(|o| o.starts_with("complete risky")), "{ops:?}");
     }
 
     #[test]

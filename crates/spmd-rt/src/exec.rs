@@ -133,6 +133,33 @@ pub fn try_execute_resumed(
     faults: FaultSpec,
     resume: Option<&crate::checkpoint::Snapshot>,
 ) -> Result<RunReport, VpceError> {
+    try_execute_suppressed(
+        prog,
+        cluster,
+        mode,
+        tracer,
+        faults,
+        resume,
+        &std::collections::BTreeSet::new(),
+    )
+}
+
+/// [`try_execute_resumed`] with a crash-suppression mask: the
+/// `RANK_CRASH` draws at the given `(rank << 32) ^ region_serial` keys
+/// are elided, every other fault draw is untouched (draws are pure
+/// hashes, so masking one shifts none). This is the execution
+/// primitive of in-run rollback recovery: the recovery driver predicts
+/// which crashes it can absorb, masks exactly those, and runs once.
+#[allow(clippy::too_many_arguments)]
+pub fn try_execute_suppressed(
+    prog: &SpmdProgram,
+    cluster: &ClusterConfig,
+    mode: ExecMode,
+    tracer: Tracer,
+    faults: FaultSpec,
+    resume: Option<&crate::checkpoint::Snapshot>,
+    suppressed_crashes: &std::collections::BTreeSet<u64>,
+) -> Result<RunReport, VpceError> {
     if prog.nprocs != cluster.num_nodes() {
         return Err(VpceError::SizeMismatch {
             program: prog.nprocs,
@@ -141,7 +168,8 @@ pub fn try_execute_resumed(
     }
     let uni = Universe::new(cluster.clone())
         .with_tracer(tracer)
-        .with_faults(faults);
+        .with_faults(faults)
+        .with_crash_suppression(suppressed_crashes.clone());
     let out = uni.try_run(|mpi| run_rank(prog, mpi, mode, resume))?;
     let (arrays, scalars, boundaries) = out.results[0].clone();
     Ok(RunReport {
@@ -371,7 +399,7 @@ fn run_region(
         let inj = mpi.fault_injector();
         let spec = inj.spec();
         (
-            inj.hits(spec.rank_crash, site::RANK_CRASH, fault_key, 0),
+            inj.crash_hits(fault_key),
             if inj.hits(spec.rank_slow, site::RANK_SLOW, fault_key, 0) {
                 spec.slow_factor
             } else {

@@ -39,7 +39,7 @@ pub mod value;
 pub use checkpoint::Snapshot;
 pub use exec::{
     execute, execute_sequential, execute_traced, try_execute, try_execute_resumed,
-    try_execute_traced, ExecMode, RunReport, SeqReport,
+    try_execute_suppressed, try_execute_traced, ExecMode, RunReport, SeqReport,
 };
 pub use vpce_faults::{FaultSpec, VpceError};
 pub use ir::{

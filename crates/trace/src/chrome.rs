@@ -148,6 +148,16 @@ fn args_json(kind: &EventKind) -> String {
             format!("{{\"job\":\"{}\",\"boundary\":{boundary}}}", json_escape(job))
         }
         EventKind::Recover { records } => format!("{{\"records\":{records}}}"),
+        EventKind::RecoveryCheckpoint { region, bytes, buddies } => {
+            format!("{{\"region\":{region},\"bytes\":{bytes},\"buddies\":{buddies}}}")
+        }
+        EventKind::Rollback { region, ranks } => {
+            format!("{{\"region\":{region},\"ranks\":{ranks}}}")
+        }
+        EventKind::Respawn { rank, from, to } => {
+            format!("{{\"rank\":{rank},\"from\":{from},\"to\":{to}}}")
+        }
+        EventKind::Replay { regions } => format!("{{\"regions\":{regions}}}"),
     }
 }
 

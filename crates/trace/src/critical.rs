@@ -104,6 +104,16 @@ impl Breakdown {
         self
     }
 
+    /// This breakdown with `recovery` seconds of rollback-recovery
+    /// work charged on top — checkpoint replication, quiesce, respawn
+    /// and replay time attributed by the recovery ledger. The
+    /// components then tile `[0, elapsed + recovery]` exactly, the
+    /// same contract as [`Breakdown::with_queue_wait`].
+    pub fn with_recovery(mut self, recovery: f64) -> Self {
+        self.recovery += recovery;
+        self
+    }
+
     fn charge(&mut self, class: TimeClass, dur: f64) {
         match class {
             TimeClass::Compute => self.compute += dur,
@@ -457,6 +467,21 @@ mod tests {
             &[1.0],
         );
         assert!(!plain.render().contains("recovery"));
+    }
+
+    #[test]
+    fn recovery_charge_extends_the_tiling_like_queue_wait() {
+        // A run that computed for 1 s and then spent 0.125 s in
+        // rollback recovery: the charged breakdown tiles the extended
+        // interval and the render grows a recovery line.
+        let cp = critical_path(&[], &[1.0]);
+        let charged = cp.breakdown.with_recovery(0.125);
+        assert!((charged.recovery - 0.125).abs() < 1e-12);
+        assert!((charged.total() - (cp.elapsed + 0.125)).abs() < 1e-12);
+        let mut with_rec = cp.clone();
+        with_rec.breakdown = charged;
+        assert!(with_rec.render().contains("recovery"));
+        assert!(!cp.render().contains("recovery"));
     }
 
     #[test]

@@ -252,6 +252,23 @@ pub enum EventKind {
     /// after a crash. Observability-only — excluded from the canonical
     /// timeline so kill/restart stays byte-identical.
     Recover { records: u64 },
+    /// Rollback recovery: a fence-boundary snapshot was taken after
+    /// parallel region `region` and replicated to `buddies` buddy
+    /// ranks (`bytes` payload each). Ledger-only — never emitted into
+    /// a run's tracer, so recovered traces stay byte-identical to
+    /// fault-free ones.
+    RecoveryCheckpoint { region: usize, bytes: usize, buddies: usize },
+    /// Rollback recovery: survivors quiesced and every rank rolled
+    /// back to the checkpoint after region `region` because `ranks`
+    /// crashed. Ledger-only.
+    Rollback { region: usize, ranks: usize },
+    /// Rollback recovery: crashed rank `rank` was respawned from its
+    /// buddy's replica, failing over `from` → `to` in the node map.
+    /// Ledger-only.
+    Respawn { rank: usize, from: usize, to: usize },
+    /// Rollback recovery: `regions` parallel regions were replayed
+    /// deterministically after a rollback. Ledger-only.
+    Replay { regions: usize },
 }
 
 impl EventKind {
@@ -278,6 +295,12 @@ impl EventKind {
             EventKind::Preempt { job } => format!("preempt {job}"),
             EventKind::Checkpoint { job, boundary } => format!("checkpoint {job}@{boundary}"),
             EventKind::Recover { .. } => "recover".to_string(),
+            EventKind::RecoveryCheckpoint { region, .. } => {
+                format!("recovery-checkpoint @{region}")
+            }
+            EventKind::Rollback { region, .. } => format!("rollback to @{region}"),
+            EventKind::Respawn { rank, .. } => format!("respawn rank {rank}"),
+            EventKind::Replay { regions } => format!("replay {regions} regions"),
         }
     }
 
@@ -301,6 +324,10 @@ impl EventKind {
             | EventKind::Preempt { .. }
             | EventKind::Checkpoint { .. }
             | EventKind::Recover { .. } => "service",
+            EventKind::RecoveryCheckpoint { .. }
+            | EventKind::Rollback { .. }
+            | EventKind::Respawn { .. }
+            | EventKind::Replay { .. } => "recovery",
         }
     }
 }
@@ -415,5 +442,21 @@ mod tests {
         let r = EventKind::Recover { records: 17 };
         assert_eq!(r.name(), "recover");
         assert_eq!(r.category(), "service");
+    }
+
+    #[test]
+    fn recovery_events_have_stable_names_and_category() {
+        let c = EventKind::RecoveryCheckpoint { region: 3, bytes: 8192, buddies: 2 };
+        assert_eq!(c.name(), "recovery-checkpoint @3");
+        assert_eq!(c.category(), "recovery");
+        let rb = EventKind::Rollback { region: 2, ranks: 1 };
+        assert_eq!(rb.name(), "rollback to @2");
+        assert_eq!(rb.category(), "recovery");
+        let rs = EventKind::Respawn { rank: 1, from: 1, to: 4 };
+        assert_eq!(rs.name(), "respawn rank 1");
+        assert_eq!(rs.category(), "recovery");
+        let rp = EventKind::Replay { regions: 2 };
+        assert_eq!(rp.name(), "replay 2 regions");
+        assert_eq!(rp.category(), "recovery");
     }
 }

@@ -72,7 +72,7 @@ fn drain_batch_survives_with_requeues_and_exits_clean() {
     assert_eq!(out.outcome, Outcome::Success, "{}", out.text);
     assert_eq!(out.exit, 0);
     let json = out.batch_json.expect("batch mode renders JSON");
-    assert!(json.contains("\"done\": 4"), "{json}");
+    assert!(json.contains("\"done\": 6"), "{json}");
     let requeues: u32 = json
         .lines()
         .find_map(|l| l.trim().strip_prefix("\"requeues\": "))
@@ -80,7 +80,22 @@ fn drain_batch_survives_with_requeues_and_exits_clean() {
         .expect("aggregate requeues in report");
     assert!(requeues > 0, "drain scenario must requeue: {json}");
     assert!(!json.contains("\"drained\": []"), "nodes must drain: {json}");
-    assert_eq!(json.matches("\"identical\": true").count(), 4, "{json}");
+    assert_eq!(json.matches("\"identical\": true").count(), 6, "{json}");
+    // The recover=on jobs absorb the same class of crashes in-run:
+    // zero retries budgeted, so any unabsorbed crash would fail the
+    // batch — and the rollback cost shows up in their `recovery`
+    // breakdown component (and only theirs).
+    let recoveries: Vec<f64> = json
+        .split("\"recovery\": ")
+        .skip(1)
+        .filter_map(|v| v.split(['}', ',']).next()?.parse().ok())
+        .collect();
+    assert_eq!(recoveries.len(), 6, "one recovery component per job: {json}");
+    assert_eq!(
+        recoveries.iter().filter(|&&r| r > 0.0).count(),
+        2,
+        "exactly the two recover=on jobs pay a recovery charge: {json}"
+    );
 }
 
 #[test]
