@@ -64,4 +64,7 @@ fn main() {
             r.ratio
         );
     }
+
+    println!("\n== C5: machines x workloads (the declarative zoo, 8 nodes) ==");
+    vpce_bench::machine::print(&vpce_bench::machine::sweep(vpce_bench::machine::MACHINES, 8));
 }

@@ -8,6 +8,10 @@
 //! * [`hwclaims`] — the §1/§2 hardware claims: SKWP vs conventional
 //!   pipelining (C1), V-Bus card vs Fast Ethernet (C2), virtual-bus vs
 //!   software broadcast (C3), DMA vs PIO one-sided transfers (C4);
+//! * [`machine`] — the machines × workloads sweep: every built-in
+//!   machine description (paper baseline, link ablations, the non-mesh
+//!   topology zoo) runs every example workload end to end, with the
+//!   fabric-independent-numerics invariant checked per cell;
 //! * [`ablation`] — AVPG elimination (A1), user-level vs kernel stack
 //!   (A2), block vs cyclic partitioning (A3), and the §5.6 overlap
 //!   safety check (A4);
@@ -37,6 +41,7 @@
 pub mod ablation;
 pub mod chaos;
 pub mod hwclaims;
+pub mod machine;
 pub mod recover;
 pub mod sched;
 pub mod serve;

@@ -1,0 +1,165 @@
+//! Machines × workloads sweep — every built-in machine description of
+//! the zoo runs every example workload end to end, recording the
+//! makespan, communication time, speedup over the same machine's
+//! sequential execution, and the byte-identity invariant (numerics
+//! must never depend on the fabric).
+//!
+//! The `machinebench` binary prints the table and exports the CI
+//! `--json` artifact (`BENCH_machine.json`); the `hwclaims` binary
+//! prints the same sweep as its final section.
+
+use lmad::Granularity;
+use polaris_be::BackendOptions;
+use spmd_rt::ExecMode;
+use vpce_machine::MachineSpec;
+
+/// One cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct MachinePoint {
+    pub machine: String,
+    pub topology: String,
+    pub workload: String,
+    pub nodes: usize,
+    pub elapsed_s: f64,
+    pub comm_s: f64,
+    pub speedup: f64,
+    pub identical: bool,
+}
+
+/// The default machine set: the paper baseline, its conventional-link
+/// and Fast-Ethernet ablations, and the non-mesh topology zoo.
+pub const MACHINES: &[&str] = &[
+    "paper",
+    "conventional",
+    "fast-ethernet",
+    "torus",
+    "torus3d",
+    "crossbar",
+    "fattree",
+    "hypercube",
+];
+
+const WORKLOADS: &[(&str, &str, i64)] = &[
+    ("mm", vpce_workloads::mm::SOURCE, 32),
+    ("swim", vpce_workloads::swim::SOURCE, 32),
+];
+
+/// Run the sweep: every machine in `machines` × every example
+/// workload, on `nodes` PCs. Each workload compiles once; only the
+/// lowered cluster varies across machines.
+pub fn sweep(machines: &[&str], nodes: usize) -> Vec<MachinePoint> {
+    let mut out = Vec::new();
+    for &(name, source, n) in WORKLOADS {
+        let opts = BackendOptions::new(nodes).granularity(Granularity::Coarse);
+        let compiled = vpce::compile(source, &[("N", n)], &opts).expect("workloads compile");
+        for &machine in machines {
+            let spec = MachineSpec::builtin(machine)
+                .unwrap_or_else(|| panic!("unknown built-in machine `{machine}`"));
+            let cluster = spec
+                .lower(nodes)
+                .unwrap_or_else(|e| panic!("machine `{machine}` lowers at {nodes} nodes: {e}"));
+            let par = spmd_rt::execute(&compiled.program, &cluster, ExecMode::Full);
+            let seq = spmd_rt::execute_sequential(&compiled.program, &cluster.node.cpu, ExecMode::Full);
+            out.push(MachinePoint {
+                machine: machine.to_string(),
+                topology: spec.topology.kind.name().to_string(),
+                workload: name.to_string(),
+                nodes,
+                elapsed_s: par.elapsed,
+                comm_s: par.comm_time,
+                speedup: seq.elapsed / par.elapsed,
+                identical: par.arrays == seq.arrays,
+            });
+        }
+    }
+    out
+}
+
+/// Sanity gate for CI: every cell finished with fabric-independent
+/// numerics, and the zoo really exercised at least three non-mesh
+/// fabrics end to end.
+pub fn healthy(points: &[MachinePoint]) -> bool {
+    let non_mesh: std::collections::BTreeSet<&str> = points
+        .iter()
+        .filter(|p| p.topology != "mesh" && p.topology != "torus")
+        .map(|p| p.topology.as_str())
+        .collect();
+    !points.is_empty()
+        && points.iter().all(|p| p.identical && p.elapsed_s > 0.0)
+        && non_mesh.len() >= 3
+}
+
+/// Print the paper-style table.
+pub fn print(points: &[MachinePoint]) {
+    println!(
+        "{:>14} {:>9} {:>8} {:>6} {:>12} {:>12} {:>8} {:>6}",
+        "machine", "topology", "workload", "nodes", "elapsed", "comm", "speedup", "ident"
+    );
+    for p in points {
+        println!(
+            "{:>14} {:>9} {:>8} {:>6} {:>10} {:>10} {:>7.2}x {:>6}",
+            p.machine,
+            p.topology,
+            p.workload,
+            p.nodes,
+            crate::fmt_secs(p.elapsed_s),
+            crate::fmt_secs(p.comm_s),
+            p.speedup,
+            p.identical
+        );
+    }
+}
+
+/// Stable-JSON export for the CI artifact.
+pub fn to_json(points: &[MachinePoint]) -> String {
+    let mut s = String::from("{\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"machine\": \"{}\", \"topology\": \"{}\", \"workload\": \"{}\", \
+             \"nodes\": {}, \"elapsed_s\": {}, \"comm_s\": {}, \"speedup\": {}, \
+             \"identical\": {}}}{}\n",
+            p.machine,
+            p.topology,
+            p.workload,
+            p.nodes,
+            crate::json_num(p.elapsed_s),
+            crate::json_num(p.comm_s),
+            crate::json_num(p.speedup),
+            p.identical,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_zoo_and_stays_numerics_identical() {
+        let points = sweep(MACHINES, 8);
+        assert_eq!(points.len(), MACHINES.len() * 2);
+        assert!(healthy(&points), "{points:?}");
+        // The conventional links must visibly slow communication on
+        // the same workload.
+        let comm = |m: &str, w: &str| {
+            points
+                .iter()
+                .find(|p| p.machine == m && p.workload == w)
+                .unwrap()
+                .comm_s
+        };
+        assert!(
+            comm("conventional", "mm") > 2.0 * comm("paper", "mm"),
+            "conventional links should cost >2x comm: {} vs {}",
+            comm("conventional", "mm"),
+            comm("paper", "mm")
+        );
+        let json = to_json(&points);
+        assert!(json.contains("\"crossbar\""), "{json}");
+        assert!(json.contains("\"fattree\""), "{json}");
+        assert!(json.contains("\"torus3d\""), "{json}");
+    }
+}

@@ -70,6 +70,7 @@ fn storm_batch(nodes: usize, policy: Policy, mean_gap_s: f64, per_storm: usize) 
         policy: Some(policy),
         seed: None, // the sweep seed decides
         probation: None,
+        machine: None,
         tenants: Vec::new(),
         jobs: vec![wide],
         storms: vec![storm("a", 1), storm("b", 2)],

@@ -43,6 +43,37 @@ pub use vbus_sim::Mesh;
 /// falls back to a near-square shape with spare router positions.
 pub const MAX_PARTITION_ASPECT: usize = 4;
 
+/// Why a rectangular partition shape could not be produced. Machine
+/// descriptions introduce topologies (crossbar, fat-tree) that have no
+/// rectangular sub-shape at all, so shape requests need a typed error
+/// instead of an assert: a scheduler can then reject the job or fall
+/// back to a pure allocation footprint, rather than abort the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// A partition holds at least one rank.
+    ZeroRanks,
+    /// The machine's topology admits no rectangular sub-shape; callers
+    /// that only need an *allocation footprint* (a NodeMap rectangle,
+    /// not wires) should fall back to [`Mesh::near_square`] explicitly.
+    NoRectangular {
+        ranks: usize,
+        /// Stable topology-kind name (`"crossbar"`, `"fattree"`, …).
+        topology: &'static str,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::ZeroRanks => write!(f, "a partition holds at least one rank"),
+            ShapeError::NoRectangular { ranks, topology } => write!(
+                f,
+                "a {topology} topology has no rectangular sub-shape for {ranks} ranks"
+            ),
+        }
+    }
+}
+
 /// Shape of the rectangular partition a gang scheduler should carve
 /// for a job of `ranks` processes.
 ///
@@ -54,8 +85,21 @@ pub const MAX_PARTITION_ASPECT: usize = 4;
 /// of router positions but never produces a `1 x n` chain for
 /// `ranks >= 3`. The degenerate chain is thus unreachable either way.
 pub fn partition_shape(ranks: usize) -> Mesh {
-    assert!(ranks > 0, "a partition holds at least one rank");
-    Mesh::exact_factor(ranks, MAX_PARTITION_ASPECT).unwrap_or_else(|| Mesh::near_square(ranks))
+    try_partition_shape(ranks).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Non-panicking [`partition_shape`]: `Err(ShapeError::ZeroRanks)`
+/// instead of the assert. Every positive rank count gets a shape on
+/// rectangular topologies; the `NoRectangular` variant is produced by
+/// topology-aware callers (the machine-description layer) for
+/// switch-based fabrics.
+pub fn try_partition_shape(ranks: usize) -> Result<Mesh, ShapeError> {
+    if ranks == 0 {
+        return Err(ShapeError::ZeroRanks);
+    }
+    Ok(Mesh::try_exact_factor(ranks, MAX_PARTITION_ASPECT)
+        .expect("positive ranks and aspect")
+        .unwrap_or_else(|| Mesh::near_square(ranks)))
 }
 
 /// Configuration of one PC in the cluster.
@@ -244,6 +288,29 @@ mod tests {
             assert!(m.rows >= 2, "ranks={ranks} got a {}x{} chain", m.cols, m.rows);
             assert!(m.num_nodes() >= ranks);
         }
+    }
+
+    #[test]
+    fn try_partition_shape_matches_panicking_variant_and_types_zero() {
+        assert_eq!(try_partition_shape(0), Err(ShapeError::ZeroRanks));
+        // Primes and awkward counts still produce the near-square
+        // fallback, identically to the panicking variant.
+        for ranks in [1, 2, 3, 4, 5, 7, 8, 11, 12, 13, 16, 17, 22] {
+            assert_eq!(try_partition_shape(ranks), Ok(partition_shape(ranks)), "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn shape_errors_render_their_cause() {
+        assert_eq!(
+            ShapeError::ZeroRanks.to_string(),
+            "a partition holds at least one rank"
+        );
+        let e = ShapeError::NoRectangular { ranks: 7, topology: "crossbar" };
+        assert_eq!(
+            e.to_string(),
+            "a crossbar topology has no rectangular sub-shape for 7 ranks"
+        );
     }
 
     #[test]

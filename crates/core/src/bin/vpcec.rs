@@ -29,13 +29,45 @@ fn main() -> ExitCode {
         print!("{}", cli::USAGE);
         return exit(Outcome::Success);
     }
-    let args = match cli::parse_args(&argv) {
+    let mut args = match cli::parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", cli::USAGE);
             return exit(Outcome::UsageError);
         }
     };
+
+    // Resolve --machine before any mode runs: built-in name, or a
+    // .machine file whose include= names resolve relative to its own
+    // directory (like jobfile src= paths).
+    if let Some(op) = args.machine.clone() {
+        let dir = Path::new(&op)
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let top = op.clone();
+        let loader = move |p: &str| -> Result<String, String> {
+            let pb = Path::new(p);
+            let full = if p == top || pb.is_absolute() {
+                pb.to_path_buf()
+            } else {
+                dir.join(pb)
+            };
+            std::fs::read_to_string(&full).map_err(|e| e.to_string())
+        };
+        match cli::load_machine(&op, &loader) {
+            Ok(spec) => args.machine_spec = Some(spec),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return exit(Outcome::UsageError);
+            }
+        }
+    }
+    if args.machine_dump {
+        let out = cli::run_machine_dump(&args);
+        print!("{}", out.text);
+        return exit(out.outcome);
+    }
 
     if let Some(script_path) = args.serve.clone() {
         return run_serve(&script_path, &args);

@@ -7,6 +7,7 @@ use std::fmt::Write as _;
 
 use lmad::Granularity;
 use spmd_rt::{ExecMode, FaultSpec, Schedule, VpceError};
+use vpce_machine::MachineSpec;
 use vpce_recover::RecoverSpec;
 use vpce_sched::{BatchOptions, BatchSpec, SourceLoader};
 use vpce_trace::Tracer;
@@ -68,6 +69,15 @@ pub struct CliArgs {
     /// `--recover`: arm in-run rollback recovery (buddy-replicated
     /// diskless checkpoints + spare-node failover) for a single run.
     pub recover: Option<RecoverSpec>,
+    /// `--machine`: a built-in description name or a `.machine` file;
+    /// replaces the hard-coded paper cluster in every mode.
+    pub machine: Option<String>,
+    /// The resolved description. The binary fills this via
+    /// [`load_machine`] after parsing; tests may set it directly.
+    pub machine_spec: Option<MachineSpec>,
+    /// `--machine-dump`: print the fully-resolved machine description
+    /// and exit (a standalone mode; the CI config lint).
+    pub machine_dump: bool,
 }
 
 impl Default for CliArgs {
@@ -103,6 +113,9 @@ impl Default for CliArgs {
             kill_after: None,
             status: None,
             recover: None,
+            machine: None,
+            machine_spec: None,
+            machine_dump: false,
         }
     }
 }
@@ -216,6 +229,19 @@ USAGE: vpcec <file.f> [options]
   --advise             print the granularity advisor's comparison
   --no-avpg            disable the AVPG communication elimination
   --prototype          use the calibrated ~6 MB/s prototype card
+  --machine M          replace the hard-coded paper cluster with a
+                       machine description: a built-in name (paper,
+                       prototype, fast-ethernet, conventional, torus,
+                       torus3d, crossbar, fattree, hypercube) or a
+                       layered key=value .machine file (include= pulls
+                       in a base; later settings override). Valid in
+                       plain, --batch and --serve modes; jobfile
+                       machine= headers and per-job machine= fields
+                       (built-in names) win over it
+  --machine-dump       print the fully-resolved machine description
+                       (the --machine layering applied, or the paper
+                       baseline) and exit — a config lint: the output
+                       re-parses to the identical machine
   --pull               slaves GET their data instead of master PUTs
   --lint               statically check the communication plan for RMA
                        races and epoch-safety violations instead of
@@ -409,6 +435,11 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             "--status" => {
                 out.status = Some(it.next().ok_or("--status needs a job name")?.clone());
             }
+            "--machine" => {
+                out.machine =
+                    Some(it.next().ok_or("--machine needs a name or .machine file")?.clone());
+            }
+            "--machine-dump" => out.machine_dump = true,
             // `-` alone is stdin for --batch/--serve, never a source
             // file — so it falls through to the unknown-argument error
             // here.
@@ -418,17 +449,22 @@ pub fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    let modes =
-        usize::from(out.batch.is_some()) + usize::from(out.serve.is_some());
+    let modes = usize::from(out.batch.is_some())
+        + usize::from(out.serve.is_some())
+        + usize::from(out.machine_dump);
     match (modes, out.source_path.is_empty()) {
         (0, true) => return Err("no source file given".into()),
         (0, false) => {}
         (1, true) => {}
         _ => {
             return Err(
-                "give exactly one of a source file, --batch JOBFILE or --serve SCRIPT".into(),
+                "give exactly one of a source file, --batch JOBFILE, --serve SCRIPT or --machine-dump"
+                    .into(),
             )
         }
+    }
+    if out.machine.is_some() && out.prototype {
+        return Err("--machine and --prototype both pick the cluster model; give one".into());
     }
     if out.serve.is_none()
         && (out.journal.is_some() || out.kill_after.is_some() || out.status.is_some())
@@ -471,13 +507,61 @@ pub struct RunOutput {
     pub batch_json: Option<String>,
 }
 
+/// Resolve a `--machine` operand: a built-in description name, else a
+/// `.machine` file the loader reads (the loader also serves `include=`
+/// names inside the file, so tests can inject closures and the binary
+/// resolves relative to the file's directory).
+pub fn load_machine(operand: &str, loader: &SourceLoader) -> Result<MachineSpec, String> {
+    if let Some(spec) = MachineSpec::builtin(operand) {
+        return Ok(spec);
+    }
+    let text = loader(operand).map_err(|e| format!("--machine {operand}: {e}"))?;
+    let mut include = |name: &str| loader(name);
+    vpce_machine::parse::parse_layered(&text, &mut include)
+        .map_err(|e| format!("--machine {operand}: {e}"))
+}
+
+/// `--machine-dump` mode: print the fully-resolved machine description
+/// (the `--machine` layering applied, or the hard-coded paper
+/// baseline). The output is itself a valid `.machine` file that parses
+/// back to the identical spec — the round trip CI lints against.
+pub fn run_machine_dump(args: &CliArgs) -> RunOutput {
+    let spec = args.machine_spec.clone().unwrap_or_default();
+    RunOutput {
+        text: spec.dump(),
+        exit: Outcome::Success.exit_code(),
+        outcome: Outcome::Success,
+        lint_json: None,
+        verify_json: None,
+        trace_json: None,
+        batch_json: None,
+    }
+}
+
 /// Execute the request against already-loaded source text. Returns the
 /// full report the binary prints.
 pub fn run(source: &str, args: &CliArgs) -> Result<RunOutput, FrontError> {
-    let cluster = if args.prototype {
-        ClusterConfig::prototype_n(args.nodes)
-    } else {
-        ClusterConfig::paper_n(args.nodes)
+    let cluster = match &args.machine_spec {
+        Some(m) => match m.lower(args.nodes) {
+            Ok(c) => c,
+            Err(e) => {
+                // A shape the description cannot host at this node
+                // count (e.g. a 6-node hypercube) is a usage error,
+                // not a compile error.
+                let outcome = Outcome::UsageError;
+                return Ok(RunOutput {
+                    text: format!("error: machine `{}`: {e}\n", m.name),
+                    exit: outcome.exit_code(),
+                    outcome,
+                    lint_json: None,
+                    verify_json: None,
+                    trace_json: None,
+                    batch_json: None,
+                });
+            }
+        },
+        None if args.prototype => ClusterConfig::prototype_n(args.nodes),
+        None => ClusterConfig::paper_n(args.nodes),
     };
     let params: Vec<(&str, i64)> = args.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
 
@@ -690,6 +774,7 @@ pub fn run_batch(
         seed: args.sched_seed,
         mode: args.mode,
         probation: args.probation,
+        machine: args.machine_spec.clone(),
         ..BatchOptions::default()
     };
     let report = vpce_sched::run_batch(&spec, &opts, loader)?;
@@ -720,7 +805,7 @@ pub fn run_serve(
 ) -> RunOutput {
     use vpce_serve::{Daemon, KillStorage, Runner, KILLED};
 
-    let runner = Runner::new(args.mode);
+    let runner = Runner::new(args.mode).with_machine(args.machine_spec.clone());
     let script = vpce_serve::script_lines(script_text);
     let mut out = String::new();
     let body = || -> Result<(String, String, String, i32), vpce_serve::ServeError> {
@@ -1334,5 +1419,123 @@ mod tests {
         let args = parse_args(&argv("x.f --grain fine")).unwrap();
         let err = run("PROGRAM T\nX = \nEND\n", &args).unwrap_err();
         assert!(err.to_string().contains("line"));
+    }
+
+    #[test]
+    fn machine_flags_parse_and_exclude_their_conflicts() {
+        let a = parse_args(&argv("prog.f --machine torus3d")).unwrap();
+        assert_eq!(a.machine.as_deref(), Some("torus3d"));
+        assert!(!a.machine_dump);
+        let d = parse_args(&argv("--machine-dump")).unwrap();
+        assert!(d.machine_dump, "standalone mode needs no source file");
+        let d = parse_args(&argv("--machine custom.machine --machine-dump")).unwrap();
+        assert_eq!(d.machine.as_deref(), Some("custom.machine"));
+        assert!(parse_args(&argv("prog.f --machine")).is_err());
+        assert!(parse_args(&argv("prog.f --machine paper --prototype")).is_err());
+        assert!(parse_args(&argv("prog.f --machine-dump")).is_err(), "dump is its own mode");
+    }
+
+    #[test]
+    fn load_machine_resolves_builtins_files_and_includes() {
+        let loader = |p: &str| -> Result<String, String> {
+            match p {
+                "slow.machine" => {
+                    Ok("include = base.machine\n[nic]\npost_s = 9e-6\n".into())
+                }
+                "base.machine" => Ok("[cpu]\nclock_hz = 200e6\n".into()),
+                other => Err(format!("no file `{other}`")),
+            }
+        };
+        let builtin = load_machine("fast-ethernet", &loader).unwrap();
+        assert_eq!(builtin.name, "fast-ethernet");
+        let layered = load_machine("slow.machine", &loader).unwrap();
+        assert_eq!(layered.cpu.clock_hz, 200e6, "include pulled the base in");
+        assert_eq!(layered.nic.post_s, 9e-6, "top layer overrides");
+        let e = load_machine("ghost.machine", &loader).unwrap_err();
+        assert!(e.contains("ghost.machine"), "{e}");
+    }
+
+    #[test]
+    fn paper_machine_report_is_byte_identical_to_the_default() {
+        let bare = parse_args(&argv("x.f --nodes 4")).unwrap();
+        let base = run(SRC, &bare).unwrap();
+        let mut with = parse_args(&argv("x.f --nodes 4 --machine paper")).unwrap();
+        with.machine_spec = Some(MachineSpec::default());
+        let out = run(SRC, &with).unwrap();
+        assert_eq!(out.text, base.text, "the built-in default must lower byte-identically");
+        assert_eq!(out.exit, 0);
+        // The prototype preset reproduces --prototype byte for byte.
+        let proto = parse_args(&argv("x.f --nodes 4 --prototype")).unwrap();
+        let proto_out = run(SRC, &proto).unwrap();
+        let mut via = parse_args(&argv("x.f --nodes 4 --machine prototype")).unwrap();
+        via.machine_spec = Some(MachineSpec::builtin("prototype").unwrap());
+        assert_eq!(run(SRC, &via).unwrap().text, proto_out.text);
+    }
+
+    #[test]
+    fn infeasible_machine_is_a_usage_error_not_a_panic() {
+        let mut args = parse_args(&argv("x.f --nodes 6 --machine hypercube")).unwrap();
+        args.machine_spec = Some(MachineSpec::builtin("hypercube").unwrap());
+        let out = run(SRC, &args).unwrap();
+        assert_eq!(out.outcome, Outcome::UsageError, "{}", out.text);
+        assert!(out.text.contains("hypercube"), "{}", out.text);
+    }
+
+    #[test]
+    fn machine_dump_round_trips_through_the_parser() {
+        let mut args = parse_args(&argv("--machine-dump")).unwrap();
+        let base = run_machine_dump(&args);
+        assert_eq!(base.outcome, Outcome::Success);
+        assert!(base.text.starts_with("# resolved machine description"), "{}", base.text);
+        let reparsed = vpce_machine::parse::parse(&base.text).unwrap();
+        assert_eq!(reparsed, MachineSpec::default(), "dump must re-parse to itself");
+        args.machine_spec = Some(MachineSpec::builtin("torus3d").unwrap());
+        let zoo = run_machine_dump(&args);
+        let reparsed = vpce_machine::parse::parse(&zoo.text).unwrap();
+        assert_eq!(reparsed, MachineSpec::builtin("torus3d").unwrap());
+    }
+
+    #[test]
+    fn batch_mode_honours_machine_headers_and_defaults() {
+        let jobs = "nodes=4\njob name=a workload=mm ranks=2 param:N=8\n";
+        let bare = parse_args(&argv("--batch j.jobs")).unwrap();
+        let loader = |p: &str| Err::<String, _>(format!("unexpected load of `{p}`"));
+        let base = run_batch(jobs, &bare, &loader).unwrap();
+        assert_eq!(base.outcome, Outcome::Success, "{}", base.text);
+        // machine=paper header: byte-identical report and JSON.
+        let hdr = format!("machine=paper\n{jobs}");
+        let out = run_batch(&hdr, &bare, &loader).unwrap();
+        assert_eq!(out.text, base.text);
+        assert_eq!(out.batch_json, base.batch_json);
+        // A zoo machine as the --machine default still finishes clean.
+        let mut via = parse_args(&argv("--batch j.jobs")).unwrap();
+        via.machine_spec = Some(MachineSpec::builtin("crossbar").unwrap());
+        let zoo = run_batch(jobs, &via, &loader).unwrap();
+        assert_eq!(zoo.outcome, Outcome::Success, "{}", zoo.text);
+        // Per-job machine= beats the batch default; an infeasible one
+        // is a typed admission record, not an error.
+        let mix = "nodes=8\njob name=a workload=mm ranks=6 machine=hypercube param:N=8\n";
+        let out = run_batch(mix, &bare, &loader).unwrap();
+        assert_eq!(out.outcome, Outcome::AdmissionFailure, "{}", out.text);
+    }
+
+    #[test]
+    fn serve_mode_accepts_machine_headers() {
+        let args = parse_args(&argv("--serve s.txt")).unwrap();
+        let mut s = vpce_serve::MemStorage::default();
+        let out = run_serve(
+            "machine=torus\nnodes=4\njob name=a workload=mm ranks=2 param:N=8\n",
+            &args,
+            &mut s,
+        );
+        assert_eq!(out.outcome, Outcome::Success, "{}", out.text);
+        let mut s = vpce_serve::MemStorage::default();
+        let late = run_serve(
+            "nodes=4\njob name=a workload=mm ranks=2 param:N=8\nmachine=torus\n",
+            &args,
+            &mut s,
+        );
+        assert_eq!(late.outcome, Outcome::UsageError, "{}", late.text);
+        assert!(late.text.contains("machine= must precede"), "{}", late.text);
     }
 }

@@ -52,6 +52,12 @@
 //! | VPCE402 | error    | recover | rollback budget exhausted by the crash schedule |
 //! | VPCE403 | error    | recover | spare-node pool exhausted; crashed rank unplaceable |
 //! | VPCE404 | error    | recover | every buddy replica died with the crashed rank |
+//! | VPCE500 | error    | machine | unrecognisable machine-description line |
+//! | VPCE501 | error    | machine | unknown machine-description section |
+//! | VPCE502 | error    | machine | unknown key for a machine-description section |
+//! | VPCE503 | error    | machine | unparsable or out-of-range machine value |
+//! | VPCE504 | error    | machine | unresolvable, cyclic, or misplaced include |
+//! | VPCE505 | error    | machine | topology constraints unsatisfiable (dims, pod counts) |
 //!
 //! Each checker owns its code *enum* (and therefore the
 //! 0xx/2xx/30x/31x namespace split); this crate owns everything the

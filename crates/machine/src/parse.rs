@@ -1,0 +1,333 @@
+//! The `.machine` parser: sections of `key = value` lines, `#`
+//! comments, and one `include =` layering directive.
+//!
+//! Layering model (the sesc `.conf` idiom): every file is a set of
+//! *overrides* on a base description. The base is the built-in
+//! `paper` preset unless the file's first directive is
+//! `include = NAME`, which swaps in a built-in preset or another
+//! file (resolved by the caller-supplied loader — the library itself
+//! never touches the filesystem). Later keys override earlier ones,
+//! so `parse(spec.dump())` round-trips exactly.
+
+use crate::spec::{MachineSpec, Signalling, TopoKind};
+use crate::{MachineCode, MachineError};
+
+/// Maximum include nesting before the parser declares a cycle.
+const MAX_INCLUDE_DEPTH: usize = 8;
+
+/// Resolves an `include =` operand that is not a built-in preset name
+/// to the text of another machine file. Returning `Err` makes the
+/// include fail with VPCE504 carrying the message.
+pub type IncludeLoader<'a> = dyn FnMut(&str) -> Result<String, String> + 'a;
+
+/// Parse a self-contained machine description: built-in includes work,
+/// file includes are rejected (the loader that refuses everything).
+pub fn parse(text: &str) -> Result<MachineSpec, MachineError> {
+    parse_layered(text, &mut |path: &str| {
+        Err(format!("no include loader available for `{path}`"))
+    })
+}
+
+/// Parse a machine description, resolving file includes through
+/// `loader`.
+pub fn parse_layered(text: &str, loader: &mut IncludeLoader) -> Result<MachineSpec, MachineError> {
+    let mut spec = MachineSpec::paper();
+    parse_into(&mut spec, text, loader, 0)?;
+    Ok(spec)
+}
+
+/// Resolve an include operand: built-in preset name first, then the
+/// loader; a loaded file is parsed with the same recursive rules.
+fn resolve_include(
+    name: &str,
+    loader: &mut IncludeLoader,
+    depth: usize,
+    line: usize,
+) -> Result<MachineSpec, MachineError> {
+    if depth > MAX_INCLUDE_DEPTH {
+        return Err(MachineError {
+            code: MachineCode::BadInclude,
+            line,
+            key: "include".into(),
+            detail: format!("include nesting exceeds {MAX_INCLUDE_DEPTH} (cycle?)"),
+        });
+    }
+    if let Some(spec) = MachineSpec::builtin(name) {
+        return Ok(spec);
+    }
+    let text = loader(name).map_err(|e| MachineError {
+        code: MachineCode::BadInclude,
+        line,
+        key: "include".into(),
+        detail: format!("cannot resolve include `{name}`: {e}"),
+    })?;
+    let mut spec = MachineSpec::paper();
+    parse_into(&mut spec, &text, loader, depth)?;
+    Ok(spec)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Machine,
+    Cpu,
+    Nic,
+    Link,
+    Bus,
+    Node,
+    Topology,
+}
+
+fn parse_into(
+    spec: &mut MachineSpec,
+    text: &str,
+    loader: &mut IncludeLoader,
+    depth: usize,
+) -> Result<(), MachineError> {
+    let mut section = Section::Machine;
+    let mut saw_setting = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = raw.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        if let Some(rest) = content.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(bad_line(line, content, "unterminated section header"));
+            };
+            section = match name.trim() {
+                "machine" => Section::Machine,
+                "cpu" => Section::Cpu,
+                "nic" => Section::Nic,
+                "link" => Section::Link,
+                "bus" => Section::Bus,
+                "node" => Section::Node,
+                "topology" => Section::Topology,
+                other => {
+                    return Err(MachineError {
+                        code: MachineCode::UnknownSection,
+                        line,
+                        key: other.to_string(),
+                        detail: format!(
+                            "unknown section `[{other}]` (expected machine, cpu, nic, link, bus, node, or topology)"
+                        ),
+                    })
+                }
+            };
+            continue;
+        }
+        let Some((key, value)) = content.split_once('=') else {
+            return Err(bad_line(line, content, "expected `key = value` or `[section]`"));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        if key == "include" {
+            if section != Section::Machine {
+                return Err(MachineError {
+                    code: MachineCode::BadInclude,
+                    line,
+                    key: "include".into(),
+                    detail: "include belongs at the top (the [machine] section)".into(),
+                });
+            }
+            if saw_setting {
+                return Err(MachineError {
+                    code: MachineCode::BadInclude,
+                    line,
+                    key: "include".into(),
+                    detail: "include must precede every other setting".into(),
+                });
+            }
+            *spec = resolve_include(value, loader, depth + 1, line)?;
+            saw_setting = true;
+            continue;
+        }
+        saw_setting = true;
+        apply(spec, section, key, value, line)?;
+    }
+    Ok(())
+}
+
+fn bad_line(line: usize, content: &str, why: &str) -> MachineError {
+    MachineError {
+        code: MachineCode::BadLine,
+        line,
+        key: String::new(),
+        detail: format!("{why}: `{content}`"),
+    }
+}
+
+fn apply(
+    spec: &mut MachineSpec,
+    section: Section,
+    key: &str,
+    value: &str,
+    line: usize,
+) -> Result<(), MachineError> {
+    match section {
+        Section::Machine => match key {
+            "name" => spec.name = value.to_string(),
+            _ => return Err(unknown_key("machine", key, line)),
+        },
+        Section::Cpu => {
+            let c = &mut spec.cpu;
+            match key {
+                "clock_hz" => c.clock_hz = pos_f64(key, value, line)?,
+                "cyc_fadd" => c.cyc_fadd = pos_f64(key, value, line)?,
+                "cyc_fmul" => c.cyc_fmul = pos_f64(key, value, line)?,
+                "cyc_fdiv" => c.cyc_fdiv = pos_f64(key, value, line)?,
+                "cyc_transcendental" => c.cyc_transcendental = pos_f64(key, value, line)?,
+                "cyc_load" => c.cyc_load = pos_f64(key, value, line)?,
+                "cyc_store" => c.cyc_store = pos_f64(key, value, line)?,
+                "cyc_int" => c.cyc_int = pos_f64(key, value, line)?,
+                "cyc_loop" => c.cyc_loop = pos_f64(key, value, line)?,
+                "memcpy_bps" => c.memcpy_bps = pos_f64(key, value, line)?,
+                _ => return Err(unknown_key("cpu", key, line)),
+            }
+        }
+        Section::Nic => {
+            let n = &mut spec.nic;
+            match key {
+                "post_s" => n.post_s = nonneg_f64(key, value, line)?,
+                "dma_setup_s" => n.dma_setup_s = nonneg_f64(key, value, line)?,
+                "pio_per_elem_s" => n.pio_per_elem_s = nonneg_f64(key, value, line)?,
+                "shared_queue" => n.shared_queue = boolean(key, value, line)?,
+                "context_switch_s" => n.context_switch_s = nonneg_f64(key, value, line)?,
+                "staging_copy_bps" => n.staging_copy_bps = pos_f64(key, value, line)?,
+                "driver_buf_bytes" => n.driver_buf_bytes = pos_usize(key, value, line)?,
+                "eager_slots" => n.eager_slots = pos_usize(key, value, line)?,
+                "eager_slot_bytes" => n.eager_slot_bytes = pos_usize(key, value, line)?,
+                "ring_depth" => n.ring_depth = pos_usize(key, value, line)?,
+                "ring_entry_s" => n.ring_entry_s = nonneg_f64(key, value, line)?,
+                _ => return Err(unknown_key("nic", key, line)),
+            }
+        }
+        Section::Link => {
+            let l = &mut spec.link;
+            match key {
+                "signalling" => {
+                    l.signalling = Signalling::from_name(value).ok_or_else(|| MachineError {
+                        code: MachineCode::BadValue,
+                        line,
+                        key: key.into(),
+                        detail: format!(
+                            "unknown signalling `{value}` (expected skwp, conventional, wave, or raw)"
+                        ),
+                    })?
+                }
+                "width_bits" => l.width_bits = pos_usize(key, value, line)?,
+                "line_delay_min_ps" => l.line_delay_min_ps = pos_f64(key, value, line)?,
+                "line_delay_spread_ps" => l.line_delay_spread_ps = nonneg_f64(key, value, line)?,
+                "settle_ps" => l.settle_ps = nonneg_f64(key, value, line)?,
+                "jitter_ps" => l.jitter_ps = nonneg_f64(key, value, line)?,
+                "sample_window_ps" => l.sample_window_ps = nonneg_f64(key, value, line)?,
+                "wave_margin" => l.wave_margin = pos_f64(key, value, line)?,
+                "budget_hops" => l.budget_hops = pos_usize(key, value, line)?,
+                "router_delay_s" => l.router_delay_s = nonneg_f64(key, value, line)?,
+                "raw_bandwidth_bps" => l.raw_bandwidth_bps = pos_f64(key, value, line)?,
+                "raw_per_hop_s" => l.raw_per_hop_s = nonneg_f64(key, value, line)?,
+                "derate_bandwidth_bps" => l.derate_bandwidth_bps = nonneg_f64(key, value, line)?,
+                _ => return Err(unknown_key("link", key, line)),
+            }
+        }
+        Section::Bus => {
+            let b = &mut spec.bus;
+            match key {
+                "enabled" => b.enabled = boolean(key, value, line)?,
+                "arbitration_s" => b.arbitration_s = nonneg_f64(key, value, line)?,
+                "per_node_config_s" => b.per_node_config_s = nonneg_f64(key, value, line)?,
+                "bandwidth_derate" => {
+                    let v = pos_f64(key, value, line)?;
+                    if v > 1.0 {
+                        return Err(MachineError {
+                            code: MachineCode::BadValue,
+                            line,
+                            key: key.into(),
+                            detail: format!("bandwidth_derate must be in (0, 1], got {value}"),
+                        });
+                    }
+                    b.bandwidth_derate = v;
+                }
+                _ => return Err(unknown_key("bus", key, line)),
+            }
+        }
+        Section::Node => match key {
+            "mem_bytes" => spec.node.mem_bytes = pos_usize(key, value, line)?,
+            _ => return Err(unknown_key("node", key, line)),
+        },
+        Section::Topology => {
+            let t = &mut spec.topology;
+            match key {
+                "kind" => {
+                    t.kind = TopoKind::from_name(value).ok_or_else(|| MachineError {
+                        code: MachineCode::BadValue,
+                        line,
+                        key: key.into(),
+                        detail: format!(
+                            "unknown topology `{value}` (expected mesh, torus, torus3d, hypercube, crossbar, fattree, or shared)"
+                        ),
+                    })?
+                }
+                "dim_x" => t.dim_x = any_usize(key, value, line)?,
+                "dim_y" => t.dim_y = any_usize(key, value, line)?,
+                "dim_z" => t.dim_z = any_usize(key, value, line)?,
+                "pods" => t.pods = any_usize(key, value, line)?,
+                _ => return Err(unknown_key("topology", key, line)),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn unknown_key(section: &str, key: &str, line: usize) -> MachineError {
+    MachineError {
+        code: MachineCode::UnknownKey,
+        line,
+        key: key.to_string(),
+        detail: format!("unknown key `{key}` in section [{section}]"),
+    }
+}
+
+fn bad_value(key: &str, value: &str, line: usize, want: &str) -> MachineError {
+    MachineError {
+        code: MachineCode::BadValue,
+        line,
+        key: key.to_string(),
+        detail: format!("`{key}` needs {want}, got `{value}`"),
+    }
+}
+
+fn nonneg_f64(key: &str, value: &str, line: usize) -> Result<f64, MachineError> {
+    match value.parse::<f64>() {
+        Ok(v) if v.is_finite() && v >= 0.0 => Ok(v),
+        _ => Err(bad_value(key, value, line, "a finite non-negative number")),
+    }
+}
+
+fn pos_f64(key: &str, value: &str, line: usize) -> Result<f64, MachineError> {
+    match value.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+        _ => Err(bad_value(key, value, line, "a finite positive number")),
+    }
+}
+
+fn pos_usize(key: &str, value: &str, line: usize) -> Result<usize, MachineError> {
+    match value.parse::<usize>() {
+        Ok(v) if v > 0 => Ok(v),
+        _ => Err(bad_value(key, value, line, "a positive integer")),
+    }
+}
+
+fn any_usize(key: &str, value: &str, line: usize) -> Result<usize, MachineError> {
+    value
+        .parse::<usize>()
+        .map_err(|_| bad_value(key, value, line, "a non-negative integer"))
+}
+
+fn boolean(key: &str, value: &str, line: usize) -> Result<bool, MachineError> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(bad_value(key, value, line, "`true` or `false`")),
+    }
+}

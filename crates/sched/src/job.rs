@@ -221,6 +221,12 @@ pub struct JobSpec {
     /// absorbed by buddy checkpoints + spare failover instead of
     /// surfacing as a requeue; `None` keeps the requeue path.
     pub recover: Option<vpce_recover::RecoverSpec>,
+    /// Built-in machine description the job's partition lowers through
+    /// (`machine=`; see `vpce_machine::MachineSpec::BUILTINS`). Only
+    /// built-in names are accepted so a journaled record stays
+    /// self-contained; `None` is the hard-coded paper machine (or the
+    /// batch-level default).
+    pub machine: Option<String>,
 }
 
 impl JobSpec {
@@ -241,6 +247,7 @@ impl JobSpec {
             faults: FaultSpec::off(),
             retries: 2,
             recover: None,
+            machine: None,
         }
     }
 
@@ -291,6 +298,9 @@ impl JobSpec {
         }
         if let Some(r) = &self.recover {
             s.push_str(&format!(" recover={}", r.to_record()));
+        }
+        if let Some(m) = &self.machine {
+            s.push_str(&format!(" machine={m}"));
         }
         for (k, v) in &self.params {
             s.push_str(&format!(" param:{k}={v}"));
@@ -430,6 +440,10 @@ pub struct BatchSpec {
     /// crash-free attempt completions instead of draining for good.
     /// `None` keeps the permanent-drain default.
     pub probation: Option<u32>,
+    /// Default machine description (header `machine=`, a built-in
+    /// name): jobs without their own `machine=` field lower through
+    /// it. Wins over the CLI's `--machine`.
+    pub machine: Option<String>,
     /// Declared fair-share tenants.
     pub tenants: Vec<TenantSpec>,
     pub jobs: Vec<JobSpec>,
@@ -510,6 +524,11 @@ impl BatchSpec {
                             })?)
                         }
                         "seed" => spec.seed = Some(v.parse().map_err(|_| bad("seed"))?),
+                        "machine" => {
+                            spec.machine = Some(checked_machine(v).map_err(|e| {
+                                at(JobfileError::new(JobfileCode::BadValue, e).field("machine"))
+                            })?)
+                        }
                         "probation" => {
                             let p: u32 = v.parse().map_err(|_| bad("probation"))?;
                             if p == 0 {
@@ -641,6 +660,7 @@ fn parse_record<'a>(
                 f.job.recover =
                     Some(vpce_recover::RecoverSpec::parse(v).map_err(|e| bad(e.to_string()))?)
             }
+            "machine" => f.job.machine = Some(checked_machine(v).map_err(&bad)?),
             "count" if storm => {
                 f.count = Some(v.parse().map_err(|_| bad(format!("bad count `{v}`")))?)
             }
@@ -755,6 +775,22 @@ fn parse_tenant<'a>(tokens: impl Iterator<Item = &'a str>) -> Result<TenantSpec,
         ));
     }
     Ok(t)
+}
+
+/// Validate a `machine=` value: only built-in machine-description
+/// names are legal in jobfiles, so a journaled record (and the batch
+/// replay it drives) stays self-contained — no file ever needs to
+/// resolve. Custom `.machine` files enter through the CLI's
+/// `--machine` as the batch-level default instead.
+fn checked_machine(v: &str) -> Result<String, String> {
+    if vpce_machine::MachineSpec::builtin(v).is_some() {
+        Ok(v.to_string())
+    } else {
+        Err(format!(
+            "unknown machine `{v}` (built-in descriptions: {})",
+            vpce_machine::MachineSpec::BUILTINS.join(", ")
+        ))
+    }
 }
 
 fn parse_time(v: &str) -> Result<f64, String> {
@@ -933,6 +969,31 @@ storm count=3 prefix=s workload=mm ranks=2 mean-gap=1e-4 start=2e-4
         j.recover = Some(vpce_recover::RecoverSpec::parse("interval=2,buddies=1").unwrap());
         let re = BatchSpec::parse(&j.to_record()).unwrap();
         assert_eq!(re.jobs[0], j);
+    }
+
+    #[test]
+    fn machine_fields_round_trip_and_screen_unknown_names() {
+        // Per-job machine= (a built-in name) survives the canonical
+        // record form — the serve journal depends on this.
+        let mut j = JobSpec::new("m", JobSource::Workload("mm".into()), 2);
+        j.machine = Some("torus3d".into());
+        let line = j.to_record();
+        assert!(line.contains(" machine=torus3d"), "{line}");
+        let re = BatchSpec::parse(&line).unwrap();
+        assert_eq!(re.jobs[0], j);
+        // The batch-level header parses too, and both spots reject
+        // names outside the built-in zoo with the typed VPCE312.
+        let spec = BatchSpec::parse("machine=crossbar\njob name=x workload=mm ranks=1").unwrap();
+        assert_eq!(spec.machine.as_deref(), Some("crossbar"));
+        for bad in [
+            "machine=vax780",
+            "job name=x workload=mm ranks=1 machine=vax780",
+        ] {
+            let e = BatchSpec::parse(bad).unwrap_err();
+            assert_eq!(e.code, JobfileCode::BadValue, "{bad}: {e}");
+            assert_eq!(e.field.as_deref(), Some("machine"), "{bad}: {e}");
+            assert!(e.to_string().contains("built-in"), "{bad}: {e}");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use polaris_be::{advisor, BackendOptions};
 use spmd_rt::{ExecMode, RunReport, SpmdProgram, VpceError};
 use vbus_sim::Mesh;
 use vpce_faults::FaultSpec;
+use vpce_machine::MachineSpec;
 use vpce_recover::RecoveryLedger;
 use vpce_trace::Tracer;
 
@@ -40,8 +41,12 @@ pub type SourceLoader<'a> = dyn Fn(&str) -> Result<String, String> + 'a;
 #[derive(Debug, Clone)]
 pub struct Prepared {
     pub program: SpmdProgram,
-    /// Partition rectangle the job's ranks occupy.
+    /// Partition rectangle the job's ranks occupy (on switch-based
+    /// fabrics: the accounting footprint the node map charges).
     pub shape: Mesh,
+    /// Resolved machine description every attempt lowers its partition
+    /// through; `None` is the hard-coded paper machine.
+    pub machine: Option<MachineSpec>,
     pub granularity: Granularity,
     /// Fault-free virtual makespan (the scheduling-time estimate, the
     /// backfill bound and the failure heartbeat).
@@ -79,10 +84,60 @@ fn resolve_source(job: &JobSpec, loader: &SourceLoader) -> Result<String, VpceEr
     }
 }
 
+/// Resolve a job's effective machine description: its own `machine=`
+/// field (a built-in name), else the batch-level `default`, else
+/// `None` (the hard-coded paper machine). An unknown name is a typed
+/// admission rejection — jobfile parsing already screens it, but specs
+/// built through the API arrive unchecked.
+pub fn resolve_machine(
+    job: &JobSpec,
+    default: Option<&MachineSpec>,
+) -> Result<Option<MachineSpec>, VpceError> {
+    match &job.machine {
+        None => Ok(default.cloned()),
+        Some(name) => MachineSpec::builtin(name).map(Some).ok_or_else(|| {
+            reject(
+                job,
+                format!(
+                    "unknown machine `{name}` (built-in descriptions: {})",
+                    MachineSpec::BUILTINS.join(", ")
+                ),
+            )
+        }),
+    }
+}
+
+/// The partition rectangle the node map charges a `ranks`-wide job
+/// for. On rectangular fabrics this is the carved sub-mesh; on
+/// switch-based fabrics (crossbar, fat-tree, shared) there is no
+/// rectangular sub-shape, so a near-square accounting footprint stands
+/// in — the attempt's network is a private fabric instance either way.
+pub fn job_footprint(machine: Option<&MachineSpec>, ranks: usize) -> Mesh {
+    match machine {
+        Some(m) => m
+            .partition_footprint(ranks.max(1))
+            .expect("positive ranks always have a footprint"),
+        None => partition_shape(ranks.max(1)),
+    }
+}
+
 /// Admission-time compile + fault-free dry run. Any failure here is a
 /// typed [`VpceError::AdmissionRejected`] — the job never enters the
 /// queue.
 pub fn prepare(job: &JobSpec, loader: &SourceLoader, mode: ExecMode) -> Result<Prepared, VpceError> {
+    prepare_on(job, loader, mode, None)
+}
+
+/// [`prepare`] with a batch-level default machine description (the
+/// CLI's `--machine` / the jobfile's `machine=` header); the job's own
+/// `machine=` field wins.
+pub fn prepare_on(
+    job: &JobSpec,
+    loader: &SourceLoader,
+    mode: ExecMode,
+    default_machine: Option<&MachineSpec>,
+) -> Result<Prepared, VpceError> {
+    let machine = resolve_machine(job, default_machine)?;
     let source = resolve_source(job, loader)?;
     let params: Vec<(&str, i64)> = job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let analyzed = polaris_fe::compile(&source, &params)
@@ -92,13 +147,15 @@ pub fn prepare(job: &JobSpec, loader: &SourceLoader, mode: ExecMode) -> Result<P
         advisor::advise(&analyzed, &base, &advisor::CostParams::paper_card()).recommended
     });
     let compiled = polaris_be::compile_backend(&analyzed, &base.granularity(granularity));
-    let shape = partition_shape(job.ranks);
-    let cluster = partition_cluster(shape, job.ranks);
+    let shape = job_footprint(machine.as_ref(), job.ranks);
+    let cluster = try_partition_cluster(machine.as_ref(), shape, job.ranks)
+        .map_err(|e| reject(job, e))?;
     let clean = spmd_rt::try_execute(&compiled.program, &cluster, mode, FaultSpec::off())
         .map_err(|e| reject(job, format!("fault-free dry run: {e}")))?;
     Ok(Prepared {
         program: compiled.program,
         shape,
+        machine,
         granularity,
         clean_elapsed: clean.elapsed,
         clean_arrays: clean.arrays,
@@ -110,6 +167,30 @@ pub fn prepare(job: &JobSpec, loader: &SourceLoader, mode: ExecMode) -> Result<P
 /// rank counts still route).
 pub fn partition_cluster(shape: Mesh, ranks: usize) -> ClusterConfig {
     ClusterConfig::paper_partition(shape, ranks)
+}
+
+/// [`partition_cluster`] lowered through a machine description.
+/// `None` keeps the hard-coded paper partition; `Some` lowers the
+/// spec's fabric (a `VPCE505`-class failure — e.g. a non-power-of-two
+/// hypercube partition — surfaces as the error string).
+pub fn try_partition_cluster(
+    machine: Option<&MachineSpec>,
+    shape: Mesh,
+    ranks: usize,
+) -> Result<ClusterConfig, String> {
+    match machine {
+        None => Ok(partition_cluster(shape, ranks)),
+        Some(m) => m
+            .lower_partition(shape, ranks)
+            .map_err(|e| format!("machine `{}`: {e}", m.name)),
+    }
+}
+
+/// The attempt-time cluster of a prepared job. Infallible: `prepare`
+/// already lowered the identical inputs once.
+fn prepared_cluster(prepared: &Prepared, ranks: usize) -> ClusterConfig {
+    try_partition_cluster(prepared.machine.as_ref(), prepared.shape, ranks)
+        .expect("machine lowering was validated at admission")
 }
 
 /// Fault seed for attempt `k` of a job (attempt 0 is the jobfile's own
@@ -154,7 +235,7 @@ pub fn run_attempt(
     mode: ExecMode,
     attempt: u32,
 ) -> Result<AttemptOutcome, VpceError> {
-    let cluster = partition_cluster(prepared.shape, job.ranks);
+    let cluster = prepared_cluster(prepared, job.ranks);
     let faults = attempt_faults(&job.faults, attempt);
     match &job.recover {
         Some(spec) => {
@@ -194,7 +275,7 @@ pub fn checkpoint_attempt(
     attempt: u32,
     boundary: usize,
 ) -> Result<spmd_rt::Snapshot, VpceError> {
-    let cluster = partition_cluster(prepared.shape, job.ranks);
+    let cluster = prepared_cluster(prepared, job.ranks);
     let faults = preempt_faults(job, attempt);
     spmd_rt::checkpoint::checkpoint_at(&prepared.program, &cluster, mode, faults, boundary)
 }
@@ -210,7 +291,7 @@ pub fn resume_attempt(
     attempt: u32,
     snap: &spmd_rt::Snapshot,
 ) -> Result<RunReport, VpceError> {
-    let cluster = partition_cluster(prepared.shape, job.ranks);
+    let cluster = prepared_cluster(prepared, job.ranks);
     let faults = preempt_faults(job, attempt);
     spmd_rt::checkpoint::resume(&prepared.program, &cluster, mode, faults, snap)
 }
@@ -321,5 +402,65 @@ mod tests {
         assert_ne!(a1.seed, base.seed);
         assert_ne!(attempt_faults(&base, 2).seed, a1.seed);
         assert_eq!(a1.rank_crash, base.rank_crash, "only the seed changes");
+    }
+
+    #[test]
+    fn paper_machine_prepares_byte_identically_to_no_machine() {
+        let job = mm_job("mm0", 4);
+        let bare = prepare(&job, &no_loader(), ExecMode::Full).unwrap();
+        let paper = MachineSpec::default();
+        let with = prepare_on(&job, &no_loader(), ExecMode::Full, Some(&paper)).unwrap();
+        assert_eq!(with.shape, bare.shape);
+        assert_eq!(with.clean_elapsed.to_bits(), bare.clean_elapsed.to_bits());
+        assert_eq!(with.clean_arrays, bare.clean_arrays);
+        let a = run_attempt(&job, &bare, ExecMode::Full, 0).unwrap();
+        let b = run_attempt(&job, &with, ExecMode::Full, 0).unwrap();
+        assert_eq!(a.report.elapsed.to_bits(), b.report.elapsed.to_bits());
+        assert_eq!(a.report.arrays, b.report.arrays);
+    }
+
+    #[test]
+    fn job_machine_names_resolve_and_override_the_default() {
+        let mut job = mm_job("mm0", 2);
+        job.machine = Some("fast-ethernet".into());
+        // The job's own machine wins over the batch default.
+        let default = MachineSpec::default();
+        let p = prepare_on(&job, &no_loader(), ExecMode::Full, Some(&default)).unwrap();
+        assert_eq!(p.machine.as_ref().map(|m| m.name.as_str()), Some("fast-ethernet"));
+        let bare = prepare(&mm_job("mm0", 2), &no_loader(), ExecMode::Full).unwrap();
+        assert_ne!(
+            p.clean_elapsed.to_bits(),
+            bare.clean_elapsed.to_bits(),
+            "a shared-medium NIC must time differently from the V-Bus"
+        );
+        assert_eq!(p.clean_arrays, bare.clean_arrays, "results stay numerics-identical");
+
+        job.machine = Some("pdp11".into());
+        let e = prepare_on(&job, &no_loader(), ExecMode::Full, None).unwrap_err();
+        assert_eq!(e.exit_code(), 4, "{e}");
+        assert!(e.to_string().contains("unknown machine"), "{e}");
+    }
+
+    #[test]
+    fn infeasible_machine_shapes_are_admission_rejections() {
+        // A 6-rank job on a hypercube fabric has no power-of-two
+        // sub-cube — the lowering failure surfaces at admission.
+        let mut job = mm_job("mm0", 6);
+        job.machine = Some("hypercube".into());
+        let e = prepare_on(&job, &no_loader(), ExecMode::Full, None).unwrap_err();
+        assert_eq!(e.exit_code(), 4, "{e}");
+        assert!(e.to_string().contains("hypercube"), "{e}");
+    }
+
+    #[test]
+    fn zoo_machines_run_attempts_end_to_end() {
+        for name in ["torus", "torus3d", "crossbar", "fattree"] {
+            let mut job = mm_job("mm0", 4);
+            job.machine = Some(name.to_string());
+            let p = prepare_on(&job, &no_loader(), ExecMode::Full, None).unwrap();
+            let out = run_attempt(&job, &p, ExecMode::Full, 0).unwrap();
+            assert_eq!(out.report.arrays, p.clean_arrays, "{name}");
+            assert!(out.report.elapsed > 0.0, "{name}");
+        }
     }
 }

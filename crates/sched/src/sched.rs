@@ -31,6 +31,7 @@ use std::collections::BTreeMap;
 
 use spmd_rt::{ExecMode, RunReport, VpceError};
 use vbus_sim::Mesh;
+use vpce_machine::MachineSpec;
 use vpce_trace::{EventKind, Lane, Tracer};
 
 use crate::job::{BatchSpec, JobSpec, Policy, TenantSpec};
@@ -52,6 +53,10 @@ pub struct BatchOptions {
     /// Crashed-node probation in clean intervals (`None` = drain for
     /// good); the jobfile's `probation=` header wins over this.
     pub probation: Option<u32>,
+    /// Batch-level default machine description (`--machine`); the
+    /// jobfile's `machine=` header and per-job `machine=` fields win.
+    /// `None` is the hard-coded paper machine.
+    pub machine: Option<MachineSpec>,
 }
 
 impl Default for BatchOptions {
@@ -62,6 +67,7 @@ impl Default for BatchOptions {
             seed: None,
             mode: ExecMode::Full,
             probation: None,
+            machine: None,
         }
     }
 }
@@ -77,11 +83,19 @@ pub fn run_batch(
     let nodes = spec.nodes.unwrap_or(opts.nodes);
     let policy = spec.policy.unwrap_or(opts.policy);
     let seed = opts.seed.or(spec.seed).unwrap_or(0);
+    let machine = match &spec.machine {
+        // Header names are screened at parse time (`VPCE312`), so the
+        // built-in lookup cannot miss here.
+        Some(name) => Some(MachineSpec::builtin(name).ok_or_else(|| {
+            format!("jobfile names unknown machine `{name}`")
+        })?),
+        None => opts.machine.clone(),
+    };
     let jobs = spec.materialize(seed).map_err(|e| e.to_string())?;
     if jobs.is_empty() {
         return Err("jobfile submits no jobs".into());
     }
-    let mut sched = Scheduler::new(jobs, nodes, policy, seed, opts.mode, loader)?
+    let mut sched = Scheduler::new_on(jobs, nodes, policy, seed, opts.mode, loader, machine.as_ref())?
         .with_tenants(spec.tenants.clone())
         .with_probation(spec.probation.or(opts.probation));
     Ok(sched.run())
@@ -174,6 +188,20 @@ impl Scheduler {
         mode: ExecMode,
         loader: &SourceLoader,
     ) -> Result<Scheduler, String> {
+        Scheduler::new_on(jobs, nodes, policy, seed, mode, loader, None)
+    }
+
+    /// [`Scheduler::new`] with a batch-level default machine
+    /// description; jobs with their own `machine=` field override it.
+    pub fn new_on(
+        jobs: Vec<JobSpec>,
+        nodes: usize,
+        policy: Policy,
+        seed: u64,
+        mode: ExecMode,
+        loader: &SourceLoader,
+        machine: Option<&MachineSpec>,
+    ) -> Result<Scheduler, String> {
         if nodes == 0 {
             return Err("batch needs at least one node".into());
         }
@@ -186,7 +214,7 @@ impl Scheduler {
         let states: Vec<JobState> = jobs
             .into_iter()
             .map(|spec| {
-                let prepared = admit(&spec, nodes, &map, loader, mode);
+                let prepared = admit(&spec, nodes, &map, loader, mode, machine);
                 JobState {
                     spec,
                     prepared,
@@ -770,6 +798,7 @@ fn admit(
     map: &NodeMap,
     loader: &SourceLoader,
     mode: ExecMode,
+    machine: Option<&MachineSpec>,
 ) -> Result<Prepared, VpceError> {
     if spec.ranks == 0 {
         return Err(VpceError::AdmissionRejected {
@@ -784,7 +813,8 @@ fn admit(
             have: nodes,
         });
     }
-    let shape = cluster_sim::partition_shape(spec.ranks);
+    let effective = run::resolve_machine(spec, machine)?;
+    let shape = run::job_footprint(effective.as_ref(), spec.ranks);
     if !map.feasible(shape) {
         return Err(VpceError::AdmissionRejected {
             job: spec.name.clone(),
@@ -794,7 +824,7 @@ fn admit(
             ),
         });
     }
-    run::prepare(spec, loader, mode)
+    run::prepare_on(spec, loader, mode, machine)
 }
 
 #[cfg(test)]

@@ -66,6 +66,7 @@ fn arb_batch(crashy_in_8: u32) -> Gen<BatchSpec> {
             policy: Some(policy),
             seed: Some(seed),
             probation: None,
+            machine: None,
             tenants: Vec::new(),
             jobs,
             storms: Vec::new(),
@@ -181,6 +182,7 @@ fn backfill_never_starves_the_wide_job() {
                 policy: Some(Policy::Backfill),
                 seed: Some(seed),
                 probation: None,
+                machine: None,
                 tenants: Vec::new(),
                 jobs: vec![wide],
                 storms: vec![StormSpec {

@@ -13,6 +13,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use spmd_rt::{ExecMode, RunReport, Snapshot, VpceError};
+use vpce_machine::MachineSpec;
 use vpce_sched::run::{self, AttemptOutcome, Prepared};
 use vpce_sched::JobSpec;
 
@@ -23,6 +24,11 @@ type CkptKey = (String, u32, usize);
 /// across the whole kill matrix in tests).
 pub struct Runner {
     mode: ExecMode,
+    /// Session-level default machine description (`vpcec --serve
+    /// --machine`). A fixed launch parameter like `mode`, not journal
+    /// state: jobs carrying their own `machine=` (a built-in name,
+    /// journalled in their records) override it.
+    machine: Option<MachineSpec>,
     prepared: RefCell<HashMap<String, Result<Prepared, VpceError>>>,
     runs: RefCell<HashMap<Key, Result<AttemptOutcome, VpceError>>>,
     snaps: RefCell<HashMap<CkptKey, Result<Snapshot, VpceError>>>,
@@ -33,11 +39,18 @@ impl Runner {
     pub fn new(mode: ExecMode) -> Self {
         Runner {
             mode,
+            machine: None,
             prepared: RefCell::new(HashMap::new()),
             runs: RefCell::new(HashMap::new()),
             snaps: RefCell::new(HashMap::new()),
             resumes: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Set the session-level default machine description.
+    pub fn with_machine(mut self, machine: Option<MachineSpec>) -> Self {
+        self.machine = machine;
+        self
     }
 
     pub fn mode(&self) -> ExecMode {
@@ -56,7 +69,7 @@ impl Runner {
         let loader = |p: &str| -> Result<String, String> {
             Err(format!("serve jobs must be self-contained, got src=`{p}`"))
         };
-        let out = run::prepare(spec, &loader, self.mode);
+        let out = run::prepare_on(spec, &loader, self.mode, self.machine.as_ref());
         self.prepared.borrow_mut().insert(key, out.clone());
         out
     }

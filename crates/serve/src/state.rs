@@ -112,6 +112,11 @@ pub struct ServeState<'r> {
     pub nodes: usize,
     pub policy: Policy,
     pub seed: u64,
+    /// Session-level `machine=` header (a built-in description name).
+    /// Stamped onto every submitted job that carries none of its own,
+    /// so the journalled records — and the runner's cache keys — stay
+    /// self-contained under replay.
+    pub machine: Option<String>,
     map: NodeMap,
     tenants: BTreeMap<String, TenantSpec>,
     usage: BTreeMap<String, f64>,
@@ -139,6 +144,7 @@ impl<'r> ServeState<'r> {
             nodes: 0,
             policy: Policy::Backfill,
             seed: 0,
+            machine: None,
             map: NodeMap::new(Mesh::near_square(1), 1),
             tenants: BTreeMap::new(),
             usage: BTreeMap::new(),
@@ -221,6 +227,15 @@ impl<'r> ServeState<'r> {
                 "probation= is a batch-scheduler knob; vpced drains crashed nodes for good".into(),
             ));
         }
+        if let Some(m) = spec.machine {
+            if !self.jobs.is_empty() {
+                return Err(Self::bad(
+                    ServeCode::BadCommand,
+                    "machine= must precede the first submission".into(),
+                ));
+            }
+            self.machine = Some(m);
+        }
         for t in spec.tenants {
             self.tenants.insert(t.name.clone(), t);
         }
@@ -267,12 +282,17 @@ impl<'r> ServeState<'r> {
         Ok(())
     }
 
-    fn submit(&mut self, spec: JobSpec) -> Result<(), ServeError> {
+    fn submit(&mut self, mut spec: JobSpec) -> Result<(), ServeError> {
         if self.by_name.contains_key(&spec.name) {
             return Err(Self::bad(
                 ServeCode::DuplicateSubmit,
                 format!("job `{}` already submitted", spec.name),
             ));
+        }
+        // Stamp the session machine onto the job before its record is
+        // journalled, so replay needs no out-of-band header state.
+        if let Some(m) = &self.machine {
+            spec.machine.get_or_insert_with(|| m.clone());
         }
         // Admission happens now (pure, memoised), so a rejection is
         // visible to `status` immediately; quota-impossible jobs are
@@ -1126,6 +1146,28 @@ mod tests {
         assert_eq!(e.code, ServeCode::BadCommand);
         let e = s.apply("probation=2").unwrap_err();
         assert_eq!(e.code, ServeCode::BadCommand, "probation= is batch-only");
+    }
+
+    #[test]
+    fn machine_header_stamps_jobs_and_orders_like_nodes() {
+        let r = Runner::new(ExecMode::Full);
+        let mut s = state(&r);
+        s.apply("machine=torus").unwrap();
+        s.apply("job name=a workload=mm ranks=2 param:N=8").unwrap();
+        // The stamp lands in the job's canonical record, so the
+        // journal (and the runner's cache key) is self-contained.
+        assert!(s.jobs[0].spec.to_record().contains(" machine=torus"));
+        // Header after a submission is refused, like nodes=/seed=.
+        let e = s.apply("machine=crossbar").unwrap_err();
+        assert_eq!(e.code, ServeCode::BadCommand);
+        s.drain();
+        assert_eq!(s.report().exit_code(), 0);
+        // A job's own machine= beats the session header.
+        let r2 = Runner::new(ExecMode::Full);
+        let mut s2 = state(&r2);
+        s2.apply("machine=torus").unwrap();
+        s2.apply("job name=b workload=mm ranks=2 param:N=8 machine=fattree").unwrap();
+        assert!(s2.jobs[0].spec.to_record().contains(" machine=fattree"));
     }
 
     #[test]

@@ -49,7 +49,7 @@ mod sim;
 pub use link::{LinkPhy, LinkRate, SignallingMode};
 pub use sim::{BusOutcome, NetConfig, NetSim, Transfer, VBusConfig};
 pub use stats::{LinkStats, NetStats};
-pub use topology::{Mesh, NodeId, Topology};
+pub use topology::{FactorError, Mesh, NodeId, Topology};
 
 /// Virtual time in seconds.
 ///

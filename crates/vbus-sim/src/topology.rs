@@ -43,6 +43,23 @@ pub enum Topology {
     /// all traffic serialises — the property that makes the paper's
     /// mesh-based card "more scalable" than a shared network (§2.1).
     SharedSegment { nodes: usize },
+    /// A 3-D torus in the APENet mould: `dims = (x, y, z)` cells with
+    /// wraparound in every dimension, six directed links per cell,
+    /// dimension-ordered shorter-way-around routing. Nodes attach at
+    /// cells `0..nodes`; remaining cells are routers without a PC.
+    Torus3d { dims: (usize, usize, usize), nodes: usize },
+    /// A switched crossbar (the PMS "Poor Man's Supercomputer" /
+    /// switched Fast-Ethernet style): every node has a dedicated uplink
+    /// to one non-blocking switch and a dedicated downlink back, so any
+    /// src→dst pair contends only on those two ports, never on shared
+    /// fabric.
+    Crossbar { nodes: usize },
+    /// A two-level fat-tree: nodes hang off per-pod edge switches and
+    /// the edge switches share one core switch. In-pod traffic crosses
+    /// the edge switch (2 hops); cross-pod traffic climbs to the core
+    /// and back down (4 hops). Pod uplinks are the deliberate choke
+    /// point the scaling benches probe.
+    FatTree { pods: usize, nodes: usize },
 }
 
 impl Topology {
@@ -97,12 +114,69 @@ impl Topology {
         Topology::SharedSegment { nodes: n }
     }
 
+    /// A near-cubic 3-D torus for `n` nodes (spare cells are routers
+    /// without a PC, like the near-square mesh).
+    pub fn torus3d_for(n: usize) -> Self {
+        Topology::Torus3d {
+            dims: near_cubic(n),
+            nodes: n,
+        }
+    }
+
+    /// A 3-D torus of explicit dimensions with `n` nodes attached at
+    /// cells `0..n`.
+    ///
+    /// # Panics
+    /// Panics if the torus cannot hold `n` nodes or a dimension is zero.
+    pub fn torus3d_with(dims: (usize, usize, usize), n: usize) -> Self {
+        assert!(n > 0, "topology needs at least one node");
+        assert!(
+            dims.0 > 0 && dims.1 > 0 && dims.2 > 0,
+            "torus3d dimensions must be positive"
+        );
+        assert!(
+            n <= dims.0 * dims.1 * dims.2,
+            "{n} nodes do not fit a {}x{}x{} torus",
+            dims.0,
+            dims.1,
+            dims.2
+        );
+        Topology::Torus3d { dims, nodes: n }
+    }
+
+    /// A non-blocking crossbar switch for `n` nodes.
+    pub fn crossbar_for(n: usize) -> Self {
+        assert!(n > 0, "topology needs at least one node");
+        Topology::Crossbar { nodes: n }
+    }
+
+    /// A two-level fat-tree for `n` nodes with `ceil(sqrt(n))` pods.
+    pub fn fattree_for(n: usize) -> Self {
+        assert!(n > 0, "topology needs at least one node");
+        let pods = ((n as f64).sqrt().ceil() as usize).max(1);
+        Self::fattree_with(pods, n)
+    }
+
+    /// A two-level fat-tree with an explicit pod count. Nodes fill pods
+    /// in blocks of `ceil(n / pods)`.
+    pub fn fattree_with(pods: usize, n: usize) -> Self {
+        assert!(n > 0, "topology needs at least one node");
+        assert!(pods > 0, "fat-tree needs at least one pod");
+        Topology::FatTree {
+            pods: pods.min(n),
+            nodes: n,
+        }
+    }
+
     /// Number of PCs attached to the network.
     pub fn num_nodes(&self) -> usize {
         match self {
             Topology::Mesh { nodes, .. }
             | Topology::Torus { nodes, .. }
-            | Topology::Hypercube { nodes, .. } => *nodes,
+            | Topology::Hypercube { nodes, .. }
+            | Topology::Torus3d { nodes, .. }
+            | Topology::Crossbar { nodes }
+            | Topology::FatTree { nodes, .. } => *nodes,
             Topology::SharedSegment { nodes } => *nodes,
         }
     }
@@ -116,6 +190,12 @@ impl Topology {
             // One outgoing link per dimension per node.
             Topology::Hypercube { dims, nodes } => nodes * *dims as usize,
             Topology::SharedSegment { .. } => 1,
+            // Six outgoing directions per cell, all usable (wraparound).
+            Topology::Torus3d { dims, .. } => dims.0 * dims.1 * dims.2 * 6,
+            // One uplink and one downlink per node port.
+            Topology::Crossbar { nodes } => nodes * 2,
+            // Node up/downlinks plus pod up/downlinks to the core.
+            Topology::FatTree { pods, nodes } => nodes * 2 + pods * 2,
         }
     }
 
@@ -146,6 +226,35 @@ impl Topology {
                     vec![0]
                 }
             }
+            Topology::Torus3d { dims, .. } => t3_route(*dims, src, dst),
+            Topology::Crossbar { nodes } => {
+                if src == dst {
+                    Vec::new()
+                } else {
+                    // Uplink of the source port, downlink of the
+                    // destination port, through the non-blocking switch.
+                    vec![src, nodes + dst]
+                }
+            }
+            Topology::FatTree { pods, nodes } => {
+                if src == dst {
+                    return Vec::new();
+                }
+                let per_pod = nodes.div_ceil(*pods);
+                let (ps, pd) = (src / per_pod, dst / per_pod);
+                if ps == pd {
+                    // Turn around at the pod's edge switch.
+                    vec![src, nodes + dst]
+                } else {
+                    // Up to the edge, up to the core, down the far pod.
+                    vec![
+                        src,
+                        2 * nodes + ps,
+                        2 * nodes + pods + pd,
+                        nodes + dst,
+                    ]
+                }
+            }
         }
     }
 
@@ -156,6 +265,25 @@ impl Topology {
             Topology::Torus { mesh, .. } => mesh.torus_distance(src, dst),
             Topology::Hypercube { .. } => (src ^ dst).count_ones() as usize,
             Topology::SharedSegment { .. } => usize::from(src != dst),
+            Topology::Torus3d { dims, .. } => t3_distance(*dims, src, dst),
+            Topology::Crossbar { .. } => {
+                if src == dst {
+                    0
+                } else {
+                    2
+                }
+            }
+            Topology::FatTree { pods, nodes } => {
+                if src == dst {
+                    return 0;
+                }
+                let per_pod = nodes.div_ceil(*pods);
+                if src / per_pod == dst / per_pod {
+                    2
+                } else {
+                    4
+                }
+            }
         }
     }
 
@@ -195,6 +323,41 @@ impl Topology {
                 Some((node, node ^ (1 << (link % d))))
             }
             Topology::SharedSegment { .. } => None,
+            Topology::Torus3d { dims, .. } => {
+                let cells = dims.0 * dims.1 * dims.2;
+                let cell = link / 6;
+                if cell >= cells {
+                    return None;
+                }
+                Some((cell, t3_neighbor(*dims, cell, link % 6)))
+            }
+            // Switch endpoints use phantom ids past the node range:
+            // the crossbar switch is node `n`; a fat-tree edge switch
+            // of pod `p` is `n + p` and the core switch is `n + pods`.
+            Topology::Crossbar { nodes } => {
+                if link < *nodes {
+                    Some((link, *nodes))
+                } else if link < nodes * 2 {
+                    Some((*nodes, link - nodes))
+                } else {
+                    None
+                }
+            }
+            Topology::FatTree { pods, nodes } => {
+                let per_pod = nodes.div_ceil(*pods);
+                if link < *nodes {
+                    Some((link, nodes + link / per_pod))
+                } else if link < nodes * 2 {
+                    let d = link - nodes;
+                    Some((nodes + d / per_pod, d))
+                } else if link < nodes * 2 + pods {
+                    Some((nodes + (link - 2 * nodes), nodes + pods))
+                } else if link < nodes * 2 + pods * 2 {
+                    Some((nodes + pods, nodes + (link - 2 * nodes - pods)))
+                } else {
+                    None
+                }
+            }
         }
     }
 
@@ -205,8 +368,130 @@ impl Topology {
             Topology::Torus { mesh, .. } => mesh.cols / 2 + mesh.rows / 2,
             Topology::Hypercube { dims, .. } => *dims as usize,
             Topology::SharedSegment { .. } => 1,
+            Topology::Torus3d { dims, .. } => dims.0 / 2 + dims.1 / 2 + dims.2 / 2,
+            Topology::Crossbar { nodes } => {
+                if *nodes <= 1 {
+                    0
+                } else {
+                    2
+                }
+            }
+            Topology::FatTree { pods, nodes } => {
+                if *nodes <= 1 {
+                    0
+                } else if *nodes <= nodes.div_ceil(*pods) {
+                    2
+                } else {
+                    4
+                }
+            }
         }
     }
+}
+
+/// Near-cubic dimensions holding at least `n` cells: the 3-D analogue
+/// of [`Mesh::near_square`] (largest dimension first, spare cells stay
+/// under one plane).
+fn near_cubic(n: usize) -> (usize, usize, usize) {
+    assert!(n > 0, "torus must hold at least one node");
+    let x = ((n as f64).cbrt().ceil() as usize).max(1);
+    let rest = n.div_ceil(x);
+    let y = ((rest as f64).sqrt().ceil() as usize).max(1);
+    let z = rest.div_ceil(y);
+    (x, y, z)
+}
+
+/// `(x, y, z)` coordinates of a cell in a 3-D torus.
+fn t3_coords(dims: (usize, usize, usize), cell: usize) -> (usize, usize, usize) {
+    (cell % dims.0, (cell / dims.0) % dims.1, cell / (dims.0 * dims.1))
+}
+
+fn t3_cell(dims: (usize, usize, usize), x: usize, y: usize, z: usize) -> usize {
+    (z * dims.1 + y) * dims.0 + x
+}
+
+/// The six directed links of a cell: `cell * 6 + dir` with
+/// `dir = 0..6` meaning +x, -x, +y, -y, +z, -z.
+fn t3_neighbor(dims: (usize, usize, usize), cell: usize, dir: usize) -> usize {
+    let (x, y, z) = t3_coords(dims, cell);
+    let (nx, ny, nz) = match dir {
+        0 => ((x + 1) % dims.0, y, z),
+        1 => ((x + dims.0 - 1) % dims.0, y, z),
+        2 => (x, (y + 1) % dims.1, z),
+        3 => (x, (y + dims.1 - 1) % dims.1, z),
+        4 => (x, y, (z + 1) % dims.2),
+        _ => (x, y, (z + dims.2 - 1) % dims.2),
+    };
+    t3_cell(dims, nx, ny, nz)
+}
+
+/// Wraparound distance per dimension, summed.
+fn t3_distance(dims: (usize, usize, usize), a: usize, b: usize) -> usize {
+    let (ax, ay, az) = t3_coords(dims, a);
+    let (bx, by, bz) = t3_coords(dims, b);
+    let dx = ax.abs_diff(bx).min(dims.0 - ax.abs_diff(bx));
+    let dy = ay.abs_diff(by).min(dims.1 - ay.abs_diff(by));
+    let dz = az.abs_diff(bz).min(dims.2 - az.abs_diff(bz));
+    dx + dy + dz
+}
+
+/// Dimension-ordered 3-D torus route: per dimension, walk the shorter
+/// way around the ring (ties break toward increasing coordinates).
+fn t3_route(dims: (usize, usize, usize), src: usize, dst: usize) -> Vec<usize> {
+    let (mut x, mut y, mut z) = t3_coords(dims, src);
+    let (tx, ty, tz) = t3_coords(dims, dst);
+    let mut links = Vec::with_capacity(t3_distance(dims, src, dst));
+    // X dimension.
+    let fwd = (tx + dims.0 - x) % dims.0;
+    let go_plus = fwd <= dims.0 - fwd;
+    for _ in 0..fwd.min(dims.0 - fwd) {
+        let cell = t3_cell(dims, x, y, z);
+        if go_plus {
+            links.push(cell * 6);
+            x = (x + 1) % dims.0;
+        } else {
+            links.push(cell * 6 + 1);
+            x = (x + dims.0 - 1) % dims.0;
+        }
+    }
+    // Y dimension.
+    let fwd = (ty + dims.1 - y) % dims.1;
+    let go_plus = fwd <= dims.1 - fwd;
+    for _ in 0..fwd.min(dims.1 - fwd) {
+        let cell = t3_cell(dims, x, y, z);
+        if go_plus {
+            links.push(cell * 6 + 2);
+            y = (y + 1) % dims.1;
+        } else {
+            links.push(cell * 6 + 3);
+            y = (y + dims.1 - 1) % dims.1;
+        }
+    }
+    // Z dimension.
+    let fwd = (tz + dims.2 - z) % dims.2;
+    let go_plus = fwd <= dims.2 - fwd;
+    for _ in 0..fwd.min(dims.2 - fwd) {
+        let cell = t3_cell(dims, x, y, z);
+        if go_plus {
+            links.push(cell * 6 + 4);
+            z = (z + 1) % dims.2;
+        } else {
+            links.push(cell * 6 + 5);
+            z = (z + dims.2 - 1) % dims.2;
+        }
+    }
+    links
+}
+
+/// Why [`Mesh::try_exact_factor`] could not consider any shape at all
+/// (as opposed to declining every too-elongated factorization, which
+/// is the `Ok(None)` case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FactorError {
+    /// Zero nodes were requested.
+    ZeroNodes,
+    /// The aspect bound was zero — no shape can satisfy it.
+    ZeroAspect,
 }
 
 /// A `cols x rows` 2-D mesh. Node `i` sits at
@@ -259,18 +544,34 @@ impl Mesh {
     /// fallback ([`Mesh::near_square`] with spare routers) explicitly
     /// rather than receive a `1 x n` wire by accident.
     pub fn exact_factor(n: usize, max_aspect: usize) -> Option<Self> {
-        assert!(n > 0, "mesh must hold at least one node");
-        assert!(max_aspect >= 1, "aspect bound must be at least 1");
+        match Self::try_exact_factor(n, max_aspect) {
+            Ok(shape) => shape,
+            Err(FactorError::ZeroNodes) => panic!("mesh must hold at least one node"),
+            Err(FactorError::ZeroAspect) => panic!("aspect bound must be at least 1"),
+        }
+    }
+
+    /// Non-panicking [`exact_factor`](Self::exact_factor): the argument
+    /// errors the panicking variant asserts on become `Err`, and
+    /// `Ok(None)` still means every exact factorization is too
+    /// elongated for the aspect bound.
+    pub fn try_exact_factor(n: usize, max_aspect: usize) -> Result<Option<Self>, FactorError> {
+        if n == 0 {
+            return Err(FactorError::ZeroNodes);
+        }
+        if max_aspect == 0 {
+            return Err(FactorError::ZeroAspect);
+        }
         // Largest divisor <= sqrt(n) gives the most-square pair.
         let mut rows = (n as f64).sqrt().floor() as usize;
         while rows >= 1 {
             if n % rows == 0 {
                 let cols = n / rows;
-                return (cols <= rows * max_aspect).then_some(Mesh { cols, rows });
+                return Ok((cols <= rows * max_aspect).then_some(Mesh { cols, rows }));
             }
             rows -= 1;
         }
-        None
+        Ok(None)
     }
 
     /// Total node capacity of the mesh.
@@ -676,6 +977,11 @@ mod tests {
             Topology::mesh_for(12),
             Topology::torus_for(12),
             Topology::hypercube_for(8),
+            Topology::torus3d_for(12),
+            Topology::torus3d_with((3, 2, 2), 11),
+            Topology::crossbar_for(9),
+            Topology::fattree_for(13),
+            Topology::fattree_with(3, 12),
         ] {
             let n = t.num_nodes();
             for s in 0..n {
@@ -705,6 +1011,103 @@ mod tests {
         assert_eq!(t.endpoints(corner_east), Some((1, 0)));
         assert_eq!(Topology::shared_for(4).endpoints(0), None);
         assert_eq!(m.endpoints(1_000), None);
+    }
+
+    #[test]
+    fn try_exact_factor_reports_argument_errors() {
+        assert_eq!(Mesh::try_exact_factor(0, 4), Err(FactorError::ZeroNodes));
+        assert_eq!(Mesh::try_exact_factor(4, 0), Err(FactorError::ZeroAspect));
+        assert_eq!(Mesh::try_exact_factor(12, 4), Ok(Some(Mesh::new(4, 3))));
+        assert_eq!(Mesh::try_exact_factor(7, 4), Ok(None));
+    }
+
+    #[test]
+    fn torus3d_route_length_matches_distance() {
+        for t in [Topology::torus3d_for(8), Topology::torus3d_with((4, 3, 2), 24)] {
+            let n = t.num_nodes();
+            for s in 0..n {
+                for d in 0..n {
+                    assert_eq!(t.route(s, d).len(), t.hops(s, d), "{s}->{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus3d_near_cubic_shapes() {
+        // 8 → 2x2x2, 27 → 3x3x3; awkward counts get spare router cells
+        // but never more than one plane of waste.
+        assert_eq!(Topology::torus3d_for(8), Topology::torus3d_with((2, 2, 2), 8));
+        assert_eq!(Topology::torus3d_for(27), Topology::torus3d_with((3, 3, 3), 27));
+        for n in [5, 7, 11, 13, 19, 24, 64] {
+            if let Topology::Torus3d { dims, nodes } = Topology::torus3d_for(n) {
+                assert_eq!(nodes, n);
+                let cap = dims.0 * dims.1 * dims.2;
+                assert!(cap >= n, "n={n} does not fit {dims:?}");
+                assert!(cap - n < dims.0 * dims.1, "n={n} wastes a plane on {dims:?}");
+            } else {
+                unreachable!()
+            }
+        }
+    }
+
+    #[test]
+    fn torus3d_wraparound_shortens_routes() {
+        // 4x3x2 torus: +x three hops forward is one hop backward.
+        let t = Topology::torus3d_with((4, 3, 2), 24);
+        assert_eq!(t.hops(0, 3), 1);
+        assert_eq!(t.diameter(), 4 / 2 + 3 / 2 + 2 / 2);
+        assert_eq!(t.num_links(), 24 * 6);
+    }
+
+    #[test]
+    fn crossbar_is_two_hops_between_any_distinct_pair() {
+        let t = Topology::crossbar_for(7);
+        assert_eq!(t.num_links(), 14);
+        assert_eq!(t.diameter(), 2);
+        for s in 0..7 {
+            for d in 0..7 {
+                let r = t.route(s, d);
+                if s == d {
+                    assert!(r.is_empty());
+                } else {
+                    assert_eq!(r, vec![s, 7 + d]);
+                    assert_eq!(t.hops(s, d), 2);
+                }
+            }
+        }
+        // Distinct pairs sharing no port share no links: 0->1 vs 2->3.
+        let a = t.route(0, 1);
+        let b = t.route(2, 3);
+        assert!(a.iter().all(|l| !b.contains(l)));
+    }
+
+    #[test]
+    fn fattree_in_pod_beats_cross_pod() {
+        // 3 pods of 4: nodes 0-3, 4-7, 8-11.
+        let t = Topology::fattree_with(3, 12);
+        assert_eq!(t.num_links(), 12 * 2 + 3 * 2);
+        assert_eq!(t.hops(0, 3), 2, "same pod turns at the edge switch");
+        assert_eq!(t.hops(0, 4), 4, "cross pod climbs to the core");
+        assert_eq!(t.diameter(), 4);
+        // Cross-pod routes from the same pod share the pod uplink —
+        // the deliberate choke point.
+        let r1 = t.route(0, 4);
+        let r2 = t.route(1, 8);
+        assert_eq!(r1[1], r2[1], "pod uplink is shared");
+    }
+
+    #[test]
+    fn fattree_single_pod_degenerates_to_crossbar_shape() {
+        let t = Topology::fattree_with(1, 5);
+        assert_eq!(t.diameter(), 2);
+        for s in 0..5 {
+            for d in 0..5 {
+                if s != d {
+                    assert_eq!(t.hops(s, d), 2);
+                }
+            }
+        }
     }
 
     #[test]
